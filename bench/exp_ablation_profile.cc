@@ -1,0 +1,85 @@
+// Ablation: the profile-neighbour order k. k = 1 is the paper's instance
+// profile (Def. 9); k > 1 is the neighbor-profile generalisation of He et
+// al. (ICDE 2020), which the paper's related work credits for the bagging
+// view but leaves unexplored for shapelet discovery ("the method for
+// discovering shapelets from NP is not presented"). This bench explores it:
+// accuracy and candidate-generation time as k grows (Q_S is raised so
+// higher orders exist).
+
+#include <cstdio>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "ips/pipeline.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace ips::bench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  const std::vector<std::string> datasets = SelectDatasets(
+      args, {"ArrowHead", "CBF", "ECG200", "GunPoint", "ShapeletSim",
+             "ToeSegmentation1"});
+  const std::vector<size_t> orders = {1, 2, 3};
+
+  std::printf(
+      "Ablation: instance profile (k=1, the paper) vs neighbor-profile "
+      "orders k=2,3 (He et al. 2020). Accuracy %% (3-run mean) and "
+      "discovery time (s).\n\n");
+
+  TablePrinter table;
+  std::vector<std::string> header = {"Dataset"};
+  for (size_t k : orders) {
+    header.push_back("k=" + std::to_string(k) + " acc");
+    header.push_back("k=" + std::to_string(k) + " t(s)");
+  }
+  table.SetHeader(header);
+
+  std::vector<double> totals(orders.size(), 0.0);
+  for (const std::string& name : datasets) {
+    const TrainTestSplit data = GetDataset(name, args);
+    std::vector<std::string> row = {name};
+    for (size_t o = 0; o < orders.size(); ++o) {
+      double acc = 0.0;
+      double seconds = 0.0;
+      for (uint64_t run = 0; run < 3; ++run) {
+        IpsOptions options;
+        options.sample_size = 5;  // so k=3 has enough other instances
+        options.profile_neighbors = orders[o];
+        options.seed = 42 + run * 1000;
+        Timer timer;
+        IpsClassifier clf(options);
+        clf.Fit(data.train);
+        seconds += timer.ElapsedSeconds() / 3.0;
+        acc += 100.0 * clf.Accuracy(data.test) / 3.0;
+      }
+      totals[o] += acc;
+      row.push_back(TablePrinter::Num(acc, 2));
+      row.push_back(TablePrinter::Num(seconds, 3));
+    }
+    table.AddRow(row);
+  }
+  std::vector<std::string> avg = {"Average"};
+  for (double t : totals) {
+    avg.push_back(TablePrinter::Num(t / datasets.size(), 2));
+    avg.push_back("");
+  }
+  table.AddRow(avg);
+  table.Print();
+  if (!args.csv_path.empty()) table.WriteCsv(args.csv_path);
+  std::printf(
+      "\nExpected shape: time is flat in k (the AB-joins dominate either "
+      "way); higher orders trade a single chance match for population "
+      "support, moving accuracy within a few points.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ips::bench
+
+int main(int argc, char** argv) {
+  return ips::bench::Run(ips::bench::ParseArgs(argc, argv));
+}

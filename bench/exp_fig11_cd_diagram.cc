@@ -1,0 +1,196 @@
+// Regenerates Figure 11 and the §IV-C statistics: the Friedman test over
+// the 13-method accuracy matrix, average ranks, the Nemenyi critical
+// difference, an ASCII critical-difference diagram, and the Wilcoxon
+// signed-rank tests of IPS against every other method with Holm's
+// correction.
+//
+// Methods measured by this repository (RotF, 1NN-DTW, ST, LTS, FS, SD,
+// ELIS, BSPCOVER, BASE, IPS) use measured accuracies; the deep/ensemble
+// methods (ResNet, COTE, COTE-IPS) use the paper's published Table VI
+// numbers (see DESIGN.md §2.3). Pass --paper_only to rank the paper's
+// numbers alone (reproduces the published diagram exactly).
+
+#include <cstdio>
+#include <cstring>
+
+#include <string>
+#include <vector>
+
+#include "baselines/bspcover.h"
+#include "baselines/elis.h"
+#include "baselines/fast_shapelets.h"
+#include "baselines/lts.h"
+#include "baselines/mp_base.h"
+#include "baselines/sd.h"
+#include "baselines/st.h"
+#include "bench/bench_common.h"
+#include "bench/paper_results.h"
+#include "classify/nn.h"
+#include "classify/rotation_forest.h"
+#include "eval/cd_diagram.h"
+#include "eval/friedman.h"
+#include "ips/pipeline.h"
+#include "util/table_printer.h"
+
+namespace ips::bench {
+namespace {
+
+LabeledMatrix ToMatrix(const Dataset& data, size_t dim) {
+  LabeledMatrix out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<double> row(data[i].values);
+    row.resize(dim, 0.0);
+    out.x.push_back(std::move(row));
+    out.y.push_back(data[i].label);
+  }
+  return out;
+}
+
+int Run(const BenchArgs& args, bool paper_only) {
+  const std::vector<std::string> method_names = {
+      "RotF", "DTW1NN", "ST",     "LTS",  "FS",       "SD",  "ELIS",
+      "BSPCOVER", "ResNet", "COTE", "COTE-IPS", "BASE", "IPS"};
+
+  std::vector<std::string> datasets;
+  std::vector<std::vector<double>> scores;  // [dataset][method]
+
+  for (const PaperAccuracyRow& row : PaperTable6()) {
+    // ELIS has a missing value on one dataset; the rank computation needs a
+    // full matrix, so substitute the paper's convention of skipping -- here
+    // we give it the column minimum (it affects only ELIS's own rank).
+    std::vector<double> paper_row = {
+        row.rotf,   row.dtw,    row.st,       row.lts,  row.fs,
+        row.sd,     row.elis,   row.bspcover, row.resnet, row.cote,
+        row.cote_ips, row.base, row.ips};
+    if (paper_row[6] < 0.0) paper_row[6] = 0.0;
+
+    if (!paper_only) {
+      const TrainTestSplit data = GetDataset(row.dataset, args);
+      const size_t dim = data.train.MaxLength();
+
+      RotationForest rotf;
+      rotf.Fit(ToMatrix(data.train, dim));
+      paper_row[0] = 100.0 * rotf.Accuracy(ToMatrix(data.test, dim));
+
+      // The bake-off's DTW_Rn_1NN: warping window learned by LOO-CV.
+      OneNnDtwCv dtw;
+      dtw.Fit(data.train);
+      paper_row[1] = 100.0 * dtw.Accuracy(data.test);
+
+      StOptions st_options;
+      st_options.stride = 3;
+      StClassifier st(st_options);
+      st.Fit(data.train);
+      paper_row[2] = 100.0 * st.Accuracy(data.test);
+
+      LtsOptions lts_options;
+      lts_options.max_iters = 200;
+      LtsClassifier lts(lts_options);
+      lts.Fit(data.train);
+      paper_row[3] = 100.0 * lts.Accuracy(data.test);
+
+      FastShapeletsClassifier fs;
+      fs.Fit(data.train);
+      paper_row[4] = 100.0 * fs.Accuracy(data.test);
+
+      SdClassifier sd;
+      sd.Fit(data.train);
+      paper_row[5] = 100.0 * sd.Accuracy(data.test);
+
+      ElisOptions elis_options;
+      elis_options.adjust.max_iters = 150;
+      ElisClassifier elis(elis_options);
+      elis.Fit(data.train);
+      paper_row[6] = 100.0 * elis.Accuracy(data.test);
+
+      BspCoverOptions bsp_options;
+      bsp_options.stride = 2;
+      BspCoverClassifier bsp(bsp_options);
+      bsp.Fit(data.train);
+      paper_row[7] = 100.0 * bsp.Accuracy(data.test);
+
+      MpBaseClassifier base;
+      base.Fit(data.train);
+      paper_row[11] = 100.0 * base.Accuracy(data.test);
+
+      double acc_ips = 0.0;
+      for (uint64_t run = 0; run < 3; ++run) {
+        IpsOptions ips_options;
+        ips_options.seed = 42 + run * 1000;
+        IpsClassifier ips_clf(ips_options);
+        ips_clf.Fit(data.train);
+        acc_ips += 100.0 * ips_clf.Accuracy(data.test) / 3.0;
+      }
+      paper_row[12] = acc_ips;
+    }
+    datasets.push_back(row.dataset);
+    scores.push_back(std::move(paper_row));
+  }
+
+  std::printf(
+      "Figure 11: Friedman test + critical-difference diagram over %zu "
+      "methods x %zu datasets (%s)\n\n",
+      method_names.size(), datasets.size(),
+      paper_only ? "paper-reported numbers only"
+                 : "measured where implemented, paper-reported otherwise");
+
+  const FriedmanResult friedman = FriedmanTest(scores);
+  std::printf("Friedman chi-squared = %.3f (dof %zu), p = %.6f\n",
+              friedman.chi_squared, method_names.size() - 1,
+              friedman.p_value);
+  std::printf("Iman-Davenport F = %.3f\n\n", friedman.f_statistic);
+
+  std::vector<CdEntry> entries;
+  for (size_t m = 0; m < method_names.size(); ++m) {
+    entries.push_back({method_names[m], friedman.average_ranks[m]});
+  }
+  const double cd =
+      NemenyiCriticalDifference(method_names.size(), datasets.size());
+  std::printf("%s\n", RenderCdDiagram(entries, cd).c_str());
+
+  // Wilcoxon signed-rank of IPS vs each method, Holm-corrected.
+  const size_t ips_col = method_names.size() - 1;
+  std::vector<double> ips_scores(datasets.size());
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    ips_scores[d] = scores[d][ips_col];
+  }
+  std::vector<double> p_values;
+  for (size_t m = 0; m + 1 < method_names.size(); ++m) {
+    std::vector<double> other(datasets.size());
+    for (size_t d = 0; d < datasets.size(); ++d) other[d] = scores[d][m];
+    p_values.push_back(WilcoxonSignedRankTest(ips_scores, other));
+  }
+  const std::vector<bool> rejected = HolmCorrection(p_values, 0.05);
+
+  TablePrinter table;
+  table.SetHeader({"IPS vs", "Wilcoxon p", "significant (Holm 5%)"});
+  for (size_t m = 0; m + 1 < method_names.size(); ++m) {
+    table.AddRow({method_names[m], TablePrinter::Num(p_values[m], 4),
+                  rejected[m] ? "yes" : "no"});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): IPS ranked in the leading group; "
+      "significantly better than all methods except COTE, COTE-IPS, "
+      "ResNet, ST and BSPCOVER; BASE ranked near the bottom.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ips::bench
+
+int main(int argc, char** argv) {
+  bool paper_only = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper_only") == 0) {
+      paper_only = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  return ips::bench::Run(
+      ips::bench::ParseArgs(static_cast<int>(rest.size()), rest.data()),
+      paper_only);
+}

@@ -1,0 +1,138 @@
+// Regenerates Figure 13: the interpretability case study on
+// ItalyPowerDemand-like data. IPS and BSPCOVER each discover shapelets on
+// two-class daily power-demand curves; the discovered class-1 ("winter")
+// shapelet should cover the morning heating ramp, and the two methods'
+// shapelets should agree while IPS discovers faster.
+
+#include <cstdio>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/bspcover.h"
+#include "bench/bench_common.h"
+#include "data/generator.h"
+#include "ips/pipeline.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace ips::bench {
+namespace {
+
+std::string AsciiCurve(const std::vector<double>& v, double lo, double hi,
+                       size_t height = 8) {
+  std::string out;
+  for (size_t r = height; r-- > 0;) {
+    const double level = lo + (hi - lo) * (static_cast<double>(r) + 0.5) /
+                                  static_cast<double>(height);
+    for (double x : v) {
+      out += x >= level ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<double> ClassMean(const Dataset& data, int label) {
+  std::vector<double> mean;
+  size_t count = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].label != label) continue;
+    if (mean.empty()) mean.assign(data[i].length(), 0.0);
+    for (size_t j = 0; j < data[i].length(); ++j) {
+      mean[j] += data[i].values[j];
+    }
+    ++count;
+  }
+  for (double& v : mean) v /= static_cast<double>(count);
+  return mean;
+}
+
+int Run(const BenchArgs& args) {
+  (void)args;
+  const TrainTestSplit data = GenerateItalyPowerLike(40, 80);
+
+  std::printf(
+      "Figure 13: interpretability on ItalyPowerDemand-like daily load "
+      "curves (24 hourly samples; class 0 = summer, class 1 = winter)\n\n");
+
+  const std::vector<double> summer = ClassMean(data.train, 0);
+  const std::vector<double> winter = ClassMean(data.train, 1);
+  const double lo = std::min(*std::min_element(summer.begin(), summer.end()),
+                             *std::min_element(winter.begin(), winter.end()));
+  const double hi = std::max(*std::max_element(summer.begin(), summer.end()),
+                             *std::max_element(winter.begin(), winter.end()));
+  std::printf("class 0 (summer) mean, hours 0-23:\n%s\n",
+              AsciiCurve(summer, lo, hi).c_str());
+  std::printf("class 1 (winter) mean, hours 0-23:\n%s\n",
+              AsciiCurve(winter, lo, hi).c_str());
+
+  // IPS discovery.
+  IpsOptions ips_options;
+  ips_options.length_ratios = {0.25, 0.35};
+  ips_options.shapelets_per_class = 1;
+  Timer ips_timer;
+  const auto ips_shapelets = DiscoverShapelets(data.train, ips_options);
+  const double ips_s = ips_timer.ElapsedSeconds();
+
+  // BSPCOVER discovery.
+  BspCoverOptions bsp_options;
+  bsp_options.length_ratios = {0.25, 0.35};
+  bsp_options.shapelets_per_class = 1;
+  Timer bsp_timer;
+  const auto bsp_shapelets = DiscoverBspCoverShapelets(data.train,
+                                                       bsp_options);
+  const double bsp_s = bsp_timer.ElapsedSeconds();
+
+  TablePrinter table;
+  table.SetHeader({"Method", "class", "start hour", "length",
+                   "covers morning ramp (6-10h)?", "discovery time (s)"});
+  auto report = [&](const char* method,
+                    const std::vector<Subsequence>& shapelets,
+                    double seconds) {
+    for (const Subsequence& s : shapelets) {
+      const size_t end = s.start + s.length();
+      const bool morning = s.start <= 10 && end >= 6;
+      table.AddRow({method, std::to_string(s.label),
+                    std::to_string(s.start), std::to_string(s.length()),
+                    morning ? "yes" : "no",
+                    TablePrinter::Num(seconds, 4)});
+    }
+  };
+  report("IPS", ips_shapelets, ips_s);
+  report("BSPCOVER", bsp_shapelets, bsp_s);
+  table.Print();
+
+  // Print the winter shapelet values of each method.
+  auto print_shapelet = [&](const char* method,
+                            const std::vector<Subsequence>& shapelets) {
+    for (const Subsequence& s : shapelets) {
+      if (s.label != 1) continue;
+      std::printf("\n%s winter shapelet (hours %zu-%zu):\n", method, s.start,
+                  s.start + s.length() - 1);
+      std::printf("%s", AsciiCurve(s.values,
+                                   *std::min_element(s.values.begin(),
+                                                     s.values.end()),
+                                   *std::max_element(s.values.begin(),
+                                                     s.values.end()))
+                            .c_str());
+      break;
+    }
+  };
+  print_shapelet("IPS", ips_shapelets);
+  print_shapelet("BSPCOVER", bsp_shapelets);
+
+  std::printf(
+      "\nExpected shape (paper): both methods' winter shapelets highlight "
+      "the morning heating demand; the difference between them is minor "
+      "while IPS discovers several times faster (paper: 4x).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ips::bench
+
+int main(int argc, char** argv) {
+  return ips::bench::Run(ips::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,117 @@
+// Ablation: how well does the O(N) DABF query approximate the quadratic
+// naive "close to most elements" decision? For each dataset, both pruners
+// run on the same candidate pool and the per-candidate decisions are
+// cross-tabulated. This quantifies the approximation Fig. 10(a) only times.
+
+#include <cstdio>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dabf/dabf.h"
+#include "ips/candidate_gen.h"
+#include "ips/pruning.h"
+#include "util/table_printer.h"
+
+namespace ips::bench {
+namespace {
+
+// Identity key of a candidate (provenance triple).
+std::string Key(const Subsequence& s) {
+  return std::to_string(s.series_index) + ":" + std::to_string(s.start) +
+         ":" + std::to_string(s.length());
+}
+
+std::set<std::string> SurvivingMotifs(const CandidatePool& pool) {
+  std::set<std::string> out;
+  for (const auto& [label, motifs] : pool.motifs) {
+    for (const auto& m : motifs) out.insert(Key(m));
+  }
+  return out;
+}
+
+int Run(const BenchArgs& args) {
+  const std::vector<std::string> datasets = SelectDatasets(
+      args, {"ArrowHead", "CBF", "ECG200", "GunPoint", "ItalyPowerDemand",
+             "ShapeletSim", "ToeSegmentation1", "TwoLeadECG"});
+
+  std::printf(
+      "Ablation: agreement of DABF pruning with the naive quadratic "
+      "pruner on identical candidate pools\n\n");
+
+  TablePrinter table;
+  table.SetHeader({"Dataset", "candidates", "naive kept", "DABF kept",
+                   "both kept", "agreement(%)"});
+
+  IpsOptions options;
+  double total_agree = 0.0;
+  for (const std::string& name : datasets) {
+    const TrainTestSplit data = GetDataset(name, args);
+    Rng rng(options.seed);
+    const CandidatePool pool = GenerateCandidates(data.train, options, rng);
+
+    std::map<int, std::vector<Subsequence>> by_class;
+    for (const auto& [label, motifs] : pool.motifs) {
+      auto merged = pool.AllOfClass(label);
+      if (!merged.empty()) by_class.emplace(label, std::move(merged));
+    }
+    const Dabf dabf(by_class, options.dabf);
+
+    // min_keep = 0: measure the raw decisions, no restore guard.
+    CandidatePool naive_pool = pool;
+    PruneNaive(naive_pool, /*min_keep_motifs=*/0);
+    CandidatePool dabf_pool = pool;
+    PruneWithDabf(dabf_pool, dabf, /*min_keep_motifs=*/0);
+
+    const std::set<std::string> naive_kept = SurvivingMotifs(naive_pool);
+    const std::set<std::string> dabf_kept = SurvivingMotifs(dabf_pool);
+
+    // The same subsequence can be drawn by several samples; compare the
+    // decisions over UNIQUE candidates.
+    std::set<std::string> all_keys;
+    for (const auto& [label, motifs] : pool.motifs) {
+      for (const auto& m : motifs) all_keys.insert(Key(m));
+    }
+    size_t agree = 0;
+    size_t both = 0;
+    const size_t total = all_keys.size();
+    for (const std::string& key : all_keys) {
+      const bool in_naive = naive_kept.count(key) > 0;
+      const bool in_dabf = dabf_kept.count(key) > 0;
+      if (in_naive == in_dabf) ++agree;
+      if (in_naive && in_dabf) ++both;
+    }
+    const double agreement =
+        total > 0 ? 100.0 * static_cast<double>(agree) /
+                        static_cast<double>(total)
+                  : 0.0;
+    total_agree += agreement;
+    table.AddRow({name, std::to_string(total),
+                  std::to_string(naive_kept.size()),
+                  std::to_string(dabf_kept.size()), std::to_string(both),
+                  TablePrinter::Num(agreement, 1)});
+  }
+  table.AddRow({"Average", "", "", "", "",
+                TablePrinter::Num(total_agree / datasets.size(), 1)});
+  table.Print();
+  if (!args.csv_path.empty()) table.WriteCsv(args.csv_path);
+  std::printf(
+      "\nObserved shape: the two pruners operationalise \"close to most "
+      "elements\" differently -- the naive median-radius rule is "
+      "permissive, the DABF collision+band rule is stricter -- so raw "
+      "agreement sits near 30-60%%. What matters downstream is that the "
+      "survivors of either rule support the same end accuracy "
+      "(exp_fig10 panel (c)) while the DABF decision costs O(N) instead "
+      "of O(|Phi| N).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ips::bench
+
+int main(int argc, char** argv) {
+  return ips::bench::Run(ips::bench::ParseArgs(argc, argv));
+}

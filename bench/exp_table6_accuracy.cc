@@ -1,0 +1,208 @@
+// Regenerates Table VI: accuracy of the compared methods over the 46
+// evaluated datasets. Ten of the thirteen columns are measured by this
+// repository (RotF, 1NN-DTW, ST, LTS, FS, SD, ELIS, BSPCOVER, BASE, IPS);
+// the remaining three (ResNet, COTE, COTE-IPS -- deep/ensemble-scale
+// methods, see DESIGN.md §2.3) repeat the paper's published numbers so the
+// footer statistics (best-accuracy counts, IPS 1-to-1 win/draw/loss) cover
+// the full 13-method comparison exactly as the paper computes them.
+
+#include <cstdio>
+
+#include <string>
+#include <vector>
+
+#include "baselines/bspcover.h"
+#include "baselines/elis.h"
+#include "baselines/fast_shapelets.h"
+#include "baselines/lts.h"
+#include "baselines/mp_base.h"
+#include "baselines/sd.h"
+#include "baselines/st.h"
+#include "bench/bench_common.h"
+#include "bench/paper_results.h"
+#include "classify/nn.h"
+#include "classify/rotation_forest.h"
+#include "eval/metrics.h"
+#include "ips/pipeline.h"
+#include "util/table_printer.h"
+
+namespace ips::bench {
+namespace {
+
+// Raw-series feature matrix for the Rotation Forest baseline (the bake-off
+// treats each time point as a feature).
+LabeledMatrix ToMatrix(const Dataset& data, size_t dim) {
+  LabeledMatrix out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<double> row(data[i].values);
+    row.resize(dim, 0.0);
+    out.x.push_back(std::move(row));
+    out.y.push_back(data[i].label);
+  }
+  return out;
+}
+
+struct MethodColumn {
+  std::string name;
+  bool measured = false;
+  std::vector<double> accuracy;  // % per dataset
+};
+
+int Run(const BenchArgs& args) {
+  const std::vector<std::string> datasets =
+      SelectDatasets(args, AllPaperDatasets());
+
+  std::printf(
+      "Table VI: accuracy (%%). Columns marked * are measured by this "
+      "implementation; unmarked columns repeat the paper-reported numbers "
+      "(methods the paper itself quotes from [2], [12], [23]).\n\n");
+
+  std::vector<MethodColumn> columns = {
+      {"RotF*", true, {}},     {"DTW1NN*", true, {}},
+      {"ST*", true, {}},       {"LTS*", true, {}},
+      {"FS*", true, {}},       {"SD*", true, {}},
+      {"ELIS*", true, {}},     {"BSPCOVER*", true, {}},
+      {"ResNet", false, {}},   {"COTE", false, {}},
+      {"COTE-IPS", false, {}}, {"BASE*", true, {}},
+      {"IPS*", true, {}},
+  };
+
+  TablePrinter table;
+  std::vector<std::string> header = {"Dataset"};
+  for (const auto& c : columns) header.push_back(c.name);
+  table.SetHeader(header);
+
+  for (const std::string& name : datasets) {
+    const TrainTestSplit data = GetDataset(name, args);
+    const PaperAccuracyRow* paper = FindPaperAccuracy(name);
+
+    // Measured methods.
+    const size_t dim = data.train.MaxLength();
+    RotationForest rotf;
+    rotf.Fit(ToMatrix(data.train, dim));
+    const double acc_rotf =
+        100.0 * rotf.Accuracy(ToMatrix(data.test, dim));
+
+    // The bake-off's DTW_Rn_1NN: warping window learned by LOO-CV.
+    OneNnDtwCv dtw;
+    dtw.Fit(data.train);
+    const double acc_dtw = 100.0 * dtw.Accuracy(data.test);
+
+    StOptions st_options;
+    st_options.stride = 3;  // bounded exhaustive search (see DESIGN.md)
+    StClassifier st(st_options);
+    st.Fit(data.train);
+    const double acc_st = 100.0 * st.Accuracy(data.test);
+
+    LtsOptions lts_options;
+    lts_options.max_iters = 200;
+    LtsClassifier lts(lts_options);
+    lts.Fit(data.train);
+    const double acc_lts = 100.0 * lts.Accuracy(data.test);
+
+    FastShapeletsClassifier fs;
+    fs.Fit(data.train);
+    const double acc_fs = 100.0 * fs.Accuracy(data.test);
+
+    SdClassifier sd;
+    sd.Fit(data.train);
+    const double acc_sd = 100.0 * sd.Accuracy(data.test);
+
+    ElisOptions elis_options;
+    elis_options.adjust.max_iters = 150;
+    ElisClassifier elis(elis_options);
+    elis.Fit(data.train);
+    const double acc_elis = 100.0 * elis.Accuracy(data.test);
+
+    BspCoverOptions bsp_options;
+    bsp_options.stride = 2;
+    BspCoverClassifier bsp(bsp_options);
+    bsp.Fit(data.train);
+    const double acc_bsp = 100.0 * bsp.Accuracy(data.test);
+
+    MpBaseClassifier base;
+    base.Fit(data.train);
+    const double acc_base = 100.0 * base.Accuracy(data.test);
+
+    // IPS is sampling-based: report the 3-run mean (the paper reports the
+    // mean of 5 runs).
+    double acc_ips = 0.0;
+    for (uint64_t run = 0; run < 3; ++run) {
+      IpsOptions ips_options;
+      ips_options.seed = 42 + run * 1000;
+      IpsClassifier ips_clf(ips_options);
+      ips_clf.Fit(data.train);
+      acc_ips += 100.0 * ips_clf.Accuracy(data.test) / 3.0;
+    }
+
+    const double values[] = {
+        acc_rotf,
+        acc_dtw,
+        acc_st,
+        acc_lts,
+        acc_fs,
+        acc_sd,
+        acc_elis,
+        acc_bsp,
+        paper ? paper->resnet : -1.0,
+        paper ? paper->cote : -1.0,
+        paper ? paper->cote_ips : -1.0,
+        acc_base,
+        acc_ips,
+    };
+
+    std::vector<std::string> row = {name};
+    for (size_t c = 0; c < columns.size(); ++c) {
+      columns[c].accuracy.push_back(values[c]);
+      row.push_back(values[c] < 0.0 ? "-" : TablePrinter::Num(values[c], 2));
+    }
+    table.AddRow(row);
+  }
+
+  // Footer: best-accuracy counts, then IPS 1-to-1 records.
+  std::vector<std::string> best_row = {"Total best acc"};
+  std::vector<size_t> best_counts(columns.size(), 0);
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    double best = -1.0;
+    for (const auto& c : columns) best = std::max(best, c.accuracy[d]);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (columns[c].accuracy[d] >= best - 1e-9) ++best_counts[c];
+    }
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    best_row.push_back(std::to_string(best_counts[c]));
+  }
+  table.AddRow(best_row);
+
+  const std::vector<double>& ips_scores = columns.back().accuracy;
+  std::vector<std::string> wins = {"IPS 1-to-1 Wins"};
+  std::vector<std::string> draws = {"IPS 1-to-1 Draws"};
+  std::vector<std::string> losses = {"IPS 1-to-1 Losses"};
+  for (size_t c = 0; c + 1 < columns.size(); ++c) {
+    const WinDrawLoss r =
+        CompareScores(ips_scores, columns[c].accuracy, 1e-9);
+    wins.push_back(std::to_string(r.wins));
+    draws.push_back(std::to_string(r.draws));
+    losses.push_back(std::to_string(r.losses));
+  }
+  wins.push_back("-");
+  draws.push_back("-");
+  losses.push_back("-");
+  table.AddRow(wins);
+  table.AddRow(draws);
+  table.AddRow(losses);
+
+  table.Print();
+  if (!args.csv_path.empty()) table.WriteCsv(args.csv_path);
+  std::printf(
+      "\nExpected shape (paper): IPS among the top shapelet methods, well "
+      "above BASE (41/46 1-to-1 wins), comparable to BSPCOVER and ST.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ips::bench
+
+int main(int argc, char** argv) {
+  return ips::bench::Run(ips::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,200 @@
+// Microbenchmarks of the numeric kernels (google-benchmark): distance
+// profiles (naive vs FFT crossover), STOMP matrix profile, instance
+// profile, LSH hashing and DABF queries, and the DT vs exact utility
+// scoring -- the engineering ablations DESIGN.md §4 calls out.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/fft.h"
+#include "core/rng.h"
+#include "dabf/dabf.h"
+#include "data/generator.h"
+#include "ips/candidate_gen.h"
+#include "ips/instance_profile.h"
+#include "ips/utility.h"
+#include "lsh/lsh.h"
+#include "matrix_profile/matrix_profile.h"
+
+namespace ips {
+namespace {
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.Gaussian();
+  return out;
+}
+
+void BM_SlidingDotsNaive(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto query = RandomSeries(m, 1);
+  const auto series = RandomSeries(4096, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SlidingDotProductsNaive(query, series));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SlidingDotsNaive)->RangeMultiplier(2)->Range(8, 512);
+
+void BM_SlidingDotsFft(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto query = RandomSeries(m, 1);
+  const auto series = RandomSeries(4096, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SlidingDotProducts(query, series));
+  }
+}
+BENCHMARK(BM_SlidingDotsFft)->RangeMultiplier(2)->Range(8, 512);
+
+void BM_DistanceProfileZNorm(benchmark::State& state) {
+  const auto query = RandomSeries(static_cast<size_t>(state.range(0)), 3);
+  const auto series = RandomSeries(4096, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistanceProfileZNorm(query, series));
+  }
+}
+BENCHMARK(BM_DistanceProfileZNorm)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SelfJoinProfile(benchmark::State& state) {
+  const auto series = RandomSeries(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelfJoinProfile(series, 64));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SelfJoinProfile)->RangeMultiplier(2)->Range(512, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SelfJoinProfileParallel(benchmark::State& state) {
+  const auto series = RandomSeries(4096, 5);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelfJoinProfileParallel(series, 64, threads));
+  }
+}
+BENCHMARK(BM_SelfJoinProfileParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AbJoinProfile(benchmark::State& state) {
+  const auto a = RandomSeries(static_cast<size_t>(state.range(0)), 6);
+  const auto b = RandomSeries(static_cast<size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AbJoinProfile(a, b, 64));
+  }
+}
+BENCHMARK(BM_AbJoinProfile)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_InstanceProfile(benchmark::State& state) {
+  GeneratorSpec spec;
+  spec.name = "micro_ip";
+  spec.num_classes = 2;
+  spec.train_size = static_cast<size_t>(state.range(0));
+  spec.test_size = 2;
+  spec.length = 256;
+  const Dataset train = GenerateDataset(spec).train;
+  std::vector<TimeSeries> sample;
+  for (size_t i = 0; i < train.size(); ++i) sample.push_back(train[i]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeInstanceProfile(sample, 32));
+  }
+}
+BENCHMARK(BM_InstanceProfile)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LshHash(benchmark::State& state) {
+  LshParams params;
+  params.scheme = static_cast<LshScheme>(state.range(0));
+  params.input_dim = 32;
+  params.num_hashes = 8;
+  const auto family = MakeLshFamily(params);
+  const auto v = RandomSeries(32, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family->HashKey(v));
+  }
+}
+BENCHMARK(BM_LshHash)->Arg(0)->Arg(1)->Arg(2);  // L2 / Cosine / Hamming
+
+struct DabfFixture {
+  CandidatePool pool;
+  Dataset train;
+  std::unique_ptr<Dabf> dabf;
+
+  DabfFixture() {
+    GeneratorSpec spec;
+    spec.name = "micro_dabf";
+    spec.num_classes = 2;
+    spec.train_size = 20;
+    spec.test_size = 2;
+    spec.length = 128;
+    train = GenerateDataset(spec).train;
+    IpsOptions options;
+    options.sample_count = 6;
+    Rng rng(1);
+    pool = GenerateCandidates(train, options, rng);
+    std::map<int, std::vector<Subsequence>> by_class;
+    for (const auto& [label, motifs] : pool.motifs) {
+      by_class[label] = pool.AllOfClass(label);
+    }
+    dabf = std::make_unique<Dabf>(by_class, DabfOptions{});
+  }
+};
+
+void BM_DabfQuery(benchmark::State& state) {
+  static const DabfFixture fixture;
+  const Subsequence& probe = fixture.pool.motifs.begin()->second.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.dabf->CloseToAnyOtherClass(probe.view(), probe.label));
+  }
+}
+BENCHMARK(BM_DabfQuery);
+
+void BM_NaivePruneScan(benchmark::State& state) {
+  static const DabfFixture fixture;
+  const Subsequence& probe = fixture.pool.motifs.begin()->second.front();
+  const auto others = fixture.pool.AllOfClass(1);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& o : others) {
+      sum += SubsequenceDistance(probe.view(), o.view());
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_NaivePruneScan);
+
+void BM_UtilityExactNaive(benchmark::State& state) {
+  static const DabfFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScoreAllCandidates(
+        fixture.pool, fixture.train, UtilityMode::kExactNaive, nullptr));
+  }
+}
+BENCHMARK(BM_UtilityExactNaive);
+
+void BM_UtilityExactCr(benchmark::State& state) {
+  static const DabfFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScoreAllCandidates(
+        fixture.pool, fixture.train, UtilityMode::kExactWithCr, nullptr));
+  }
+}
+BENCHMARK(BM_UtilityExactCr);
+
+void BM_UtilityDtCr(benchmark::State& state) {
+  static const DabfFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ScoreAllCandidates(fixture.pool, fixture.train, UtilityMode::kDtCr,
+                           fixture.dabf.get()));
+  }
+}
+BENCHMARK(BM_UtilityDtCr);
+
+}  // namespace
+}  // namespace ips
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Compares all shapelet-discovery methods in this repository -- IPS, the MP
+// baseline (BASE), BSPCOVER and Fast Shapelets -- plus the 1NN baselines,
+// on one sensor-style workload: accuracy and discovery time side by side.
+//
+//   ./build/examples/method_comparison [dataset-name]
+//
+// The optional argument picks a UCR-catalogue dataset (synthetic shape
+// parameters); default GunPoint.
+
+#include <cstdio>
+
+#include <memory>
+#include <string>
+
+#include "baselines/bspcover.h"
+#include "baselines/elis.h"
+#include "baselines/fast_shapelets.h"
+#include "baselines/lts.h"
+#include "baselines/mp_base.h"
+#include "baselines/sd.h"
+#include "baselines/st.h"
+#include "classify/ensemble.h"
+#include "classify/nn.h"
+#include "data/generator.h"
+#include "data/ucr_catalog.h"
+#include "ips/pipeline.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "GunPoint";
+  const auto info = ips::FindUcrDataset(name);
+  if (!info) {
+    std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+    return 2;
+  }
+  // Scale to laptop size while keeping the dataset's proportions.
+  ips::CatalogScale scale;
+  scale.count_factor = 0.3;
+  scale.length_factor = 0.5;
+  scale.max_train = 40;
+  scale.max_test = 120;
+  scale.max_length = 256;
+  const ips::TrainTestSplit data =
+      ips::GenerateDataset(ips::SpecFromCatalog(ScaleDataset(*info, scale)));
+
+  std::printf("%s-like workload: %zu train / %zu test, length %zu, %d classes\n\n",
+              name.c_str(), data.train.size(), data.test.size(),
+              data.train.MinLength(), info->num_classes);
+
+  ips::TablePrinter table;
+  table.SetHeader({"Method", "fit time (s)", "test accuracy (%)"});
+
+  auto run = [&](const char* method, ips::SeriesClassifier& clf) {
+    ips::Timer timer;
+    clf.Fit(data.train);
+    const double seconds = timer.ElapsedSeconds();
+    table.AddRow({method, ips::TablePrinter::Num(seconds, 3),
+                  ips::TablePrinter::Num(100.0 * clf.Accuracy(data.test), 2)});
+  };
+
+  ips::IpsClassifier ips_clf;
+  run("IPS", ips_clf);
+
+  ips::MpBaseClassifier base_clf;
+  run("BASE (MP baseline)", base_clf);
+
+  ips::BspCoverClassifier bsp_clf;
+  run("BSPCOVER", bsp_clf);
+
+  ips::FastShapeletsClassifier fs_clf;
+  run("Fast Shapelets", fs_clf);
+
+  ips::StOptions st_options;
+  st_options.stride = 2;
+  ips::StClassifier st_clf(st_options);
+  run("ST (exhaustive)", st_clf);
+
+  ips::SdClassifier sd_clf;
+  run("SD (clustered)", sd_clf);
+
+  ips::LtsClassifier lts_clf;
+  run("LTS (learned)", lts_clf);
+
+  ips::ElisClassifier elis_clf;
+  run("ELIS (select+adjust)", elis_clf);
+
+  ips::OneNnEd ed_clf;
+  run("1NN-ED", ed_clf);
+
+  ips::OneNnDtw dtw_clf(0.1);
+  run("1NN-DTW", dtw_clf);
+
+  // A COTE-IPS-style augmentation at reproducible scale: vote IPS together
+  // with the strongest non-shapelet members.
+  ips::VotingEnsemble ensemble;
+  ensemble.AddMember(std::make_unique<ips::IpsClassifier>());
+  ensemble.AddMember(std::make_unique<ips::OneNnDtw>(0.1));
+  ensemble.AddMember(std::make_unique<ips::OneNnEd>());
+  run("Ensemble (IPS+DTW+ED)", ensemble);
+
+  table.Print();
+  std::printf(
+      "\nIPS shapelets per class: %zu (top-%zu of %zu surviving "
+      "candidates)\n",
+      ips_clf.shapelets().size() /
+          static_cast<size_t>(info->num_classes),
+      static_cast<size_t>(5), ips_clf.stats().motifs_after_prune);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Standalone tour of the matrix-profile substrate: compute the self-join
+// profile of a series, list its top motifs and discords, and visualise
+// them -- the §II primitives IPS builds on, usable on their own for motif
+// discovery and anomaly detection.
+//
+//   ./build/examples/motif_explorer [window-length]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "matrix_profile/matrix_profile.h"
+#include "matrix_profile/motif.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+std::string Sparkline(const std::vector<double>& v, size_t width = 76) {
+  static const char* kLevels = " .:-=+*#";
+  const double mn = *std::min_element(v.begin(), v.end());
+  const double mx = *std::max_element(v.begin(), v.end());
+  const double span = mx > mn ? mx - mn : 1.0;
+  std::string out;
+  for (size_t c = 0; c < width; ++c) {
+    const size_t i = c * v.size() / width;
+    const int level = static_cast<int>((v[i] - mn) / span * 7.0);
+    out += kLevels[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t window =
+      argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 48;
+
+  // A 2000-point series with a repeated motif (same waveform at three
+  // locations) and one injected anomaly.
+  ips::Rng rng(5);
+  std::vector<double> series(2000);
+  double level = 0.0;
+  for (auto& v : series) {
+    level = 0.97 * level + rng.Gaussian(0.0, 0.2);
+    v = level;
+  }
+  auto inject = [&](size_t offset, double amplitude, double freq) {
+    for (size_t i = 0; i < window && offset + i < series.size(); ++i) {
+      series[offset + i] +=
+          amplitude * std::sin(freq * static_cast<double>(i)) *
+          std::sin(3.14159 * static_cast<double>(i) /
+                   static_cast<double>(window));
+    }
+  };
+  inject(200, 3.0, 0.35);   // motif occurrence 1
+  inject(900, 3.0, 0.35);   // motif occurrence 2
+  inject(1500, 3.0, 0.35);  // motif occurrence 3
+  inject(1200, 4.0, 1.7);   // the anomaly: a one-off high-frequency burst
+
+  std::printf("series (n = %zu, window L = %zu):\n  %s\n\n", series.size(),
+              window, Sparkline(series).c_str());
+
+  ips::Timer timer;
+  const ips::MatrixProfile mp = ips::SelfJoinProfile(series, window);
+  std::printf("self-join matrix profile computed in %.3f s:\n  %s\n\n",
+              timer.ElapsedSeconds(), Sparkline(mp.values).c_str());
+
+  const auto motifs =
+      ips::FindMotifs(mp.values, 3, ips::DefaultExclusionZone(window));
+  const auto discords =
+      ips::FindDiscords(mp.values, 2, ips::DefaultExclusionZone(window));
+
+  ips::TablePrinter table;
+  table.SetHeader({"kind", "position", "profile value", "nearest neighbour"});
+  for (size_t m : motifs) {
+    table.AddRow({"motif", std::to_string(m),
+                  ips::TablePrinter::Num(mp.values[m], 3),
+                  std::to_string(mp.indices[m])});
+  }
+  for (size_t d : discords) {
+    table.AddRow({"discord", std::to_string(d),
+                  ips::TablePrinter::Num(mp.values[d], 3),
+                  std::to_string(mp.indices[d])});
+  }
+  table.Print();
+
+  std::printf(
+      "\nplanted: motif copies near 200 / 900 / 1500, anomaly near 1200.\n"
+      "The motif positions pair up with each other as nearest neighbours;\n"
+      "the discord's profile value towers over the rest -- the two\n"
+      "primitives (frequent vs anomalous windows) that IPS turns into\n"
+      "shapelet candidates.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Interpretability case study (the paper's Fig. 13 scenario): classify
+// daily electricity-demand curves into summer vs winter and read the
+// discovered shapelet back as a domain statement -- "winter days have a
+// morning heating ramp".
+//
+//   ./build/examples/power_demand_case_study
+
+#include <cstdio>
+
+#include <algorithm>
+#include <vector>
+
+#include "data/generator.h"
+#include "ips/pipeline.h"
+#include "transform/shapelet_transform.h"
+
+namespace {
+
+void PrintHourly(const char* label, const std::vector<double>& v) {
+  std::printf("%-24s", label);
+  const double mn = *std::min_element(v.begin(), v.end());
+  const double mx = *std::max_element(v.begin(), v.end());
+  static const char* kGlyphs = " .:-=+*#";
+  for (double x : v) {
+    const int level = static_cast<int>((x - mn) / (mx - mn + 1e-12) * 7.0);
+    std::putchar(kGlyphs[std::clamp(level, 0, 7)]);
+  }
+  std::putchar('\n');
+}
+
+}  // namespace
+
+int main() {
+  // 24-hour load curves; class 0 = summer, class 1 = winter (extra morning
+  // heating demand around hours 6-10).
+  const ips::TrainTestSplit data = ips::GenerateItalyPowerLike(
+      /*train_size=*/40, /*test_size=*/200);
+
+  // Per-class mean curves for orientation.
+  std::vector<double> mean0(24, 0.0), mean1(24, 0.0);
+  size_t n0 = 0, n1 = 0;
+  for (size_t i = 0; i < data.train.size(); ++i) {
+    const ips::TimeSeries& day = data.train[i];
+    auto& mean = day.label == 0 ? mean0 : mean1;
+    for (size_t h = 0; h < 24; ++h) mean[h] += day[h];
+    (day.label == 0 ? n0 : n1)++;
+  }
+  for (auto& v : mean0) v /= static_cast<double>(n0);
+  for (auto& v : mean1) v /= static_cast<double>(n1);
+
+  std::printf("hours:                  0         1         2\n");
+  std::printf("                        0123456789012345678901234\n");
+  PrintHourly("summer mean (class 0)", mean0);
+  PrintHourly("winter mean (class 1)", mean1);
+
+  // Discover one shapelet per class with IPS.
+  ips::IpsOptions options;
+  options.length_ratios = {0.25, 0.35};
+  options.shapelets_per_class = 1;
+  ips::IpsClassifier classifier(options);
+  classifier.Fit(data.train);
+
+  std::printf("\ndiscovered shapelets:\n");
+  for (const ips::Subsequence& s : classifier.shapelets()) {
+    std::printf("  class %d (%s): hours %zu-%zu\n", s.label,
+                s.label == 0 ? "summer" : "winter", s.start,
+                s.start + s.length() - 1);
+    PrintHourly("    shape", s.values);
+  }
+
+  const double accuracy = classifier.Accuracy(data.test);
+  std::printf("\ntest accuracy: %.1f%% over %zu unseen days\n",
+              100.0 * accuracy, data.test.size());
+
+  // The interpretability pay-off: the shapelet-transform features separate
+  // the classes along the "distance to the winter-morning shape" axis.
+  const ips::TransformedData transformed =
+      ips::ShapeletTransform(data.test, classifier.shapelets());
+  double d_summer = 0.0, d_winter = 0.0;
+  size_t winter_col = 0;
+  for (size_t s = 0; s < classifier.shapelets().size(); ++s) {
+    if (classifier.shapelets()[s].label == 1) winter_col = s;
+  }
+  size_t c0 = 0, c1 = 0;
+  for (size_t i = 0; i < transformed.size(); ++i) {
+    if (transformed.labels[i] == 0) {
+      d_summer += transformed.features[i][winter_col];
+      ++c0;
+    } else {
+      d_winter += transformed.features[i][winter_col];
+      ++c1;
+    }
+  }
+  std::printf(
+      "mean distance to the winter shapelet: summer days %.3f vs winter "
+      "days %.3f\n",
+      d_summer / static_cast<double>(c0), d_winter / static_cast<double>(c1));
+  std::printf(
+      "=> winter days contain the morning-ramp shape; summer days do not.\n");
+  return accuracy > 0.6 ? 0 : 1;
+}

@@ -1,0 +1,194 @@
+// Command-line runner: evaluate IPS on any dataset of the UCR catalogue --
+// real archive data when --ucr_dir points at the 2018 archive layout,
+// synthetic otherwise -- with the paper's tunable parameters exposed as
+// flags.
+//
+//   ./build/examples/ucr_runner --dataset=ArrowHead --k=5 --qn=10 --qs=3
+//   ./build/examples/ucr_runner --dataset=GunPoint --ucr_dir=/data/UCR
+//   ./build/examples/ucr_runner --dataset=Coffee --lsh=cosine --no_dabf
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <string>
+
+#include "data/generator.h"
+#include "data/ucr_catalog.h"
+#include "data/ucr_loader.h"
+#include "ips/pipeline.h"
+#include "ips/serialization.h"
+#include "transform/shapelet_transform.h"
+#include "util/timer.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ucr_runner [--dataset=NAME] [--ucr_dir=PATH] [--k=N]\n"
+      "                  [--qn=N] [--qs=N] [--seed=N] [--threads=N]\n"
+      "                  [--lsh=l2|cosine|hamming] [--no_dabf] [--exact]\n"
+      "                  [--backend=svm|logistic|nb|1nn]\n"
+      "                  [--save_shapelets=PATH] [--load_shapelets=PATH]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "ArrowHead";
+  std::string ucr_dir;
+  std::string save_path;
+  std::string load_path;
+  ips::IpsOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--dataset=")) {
+      dataset = v;
+    } else if (const char* v = value_of("--ucr_dir=")) {
+      ucr_dir = v;
+    } else if (const char* v = value_of("--k=")) {
+      options.shapelets_per_class = static_cast<size_t>(std::atoi(v));
+    } else if (const char* v = value_of("--qn=")) {
+      options.sample_count = static_cast<size_t>(std::atoi(v));
+    } else if (const char* v = value_of("--qs=")) {
+      options.sample_size = static_cast<size_t>(std::atoi(v));
+    } else if (const char* v = value_of("--seed=")) {
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value_of("--threads=")) {
+      options.num_threads = static_cast<size_t>(std::atoi(v));
+    } else if (const char* v = value_of("--save_shapelets=")) {
+      save_path = v;
+    } else if (const char* v = value_of("--load_shapelets=")) {
+      load_path = v;
+    } else if (const char* v = value_of("--lsh=")) {
+      const std::string scheme = v;
+      if (scheme == "l2") {
+        options.dabf.scheme = ips::LshScheme::kL2PStable;
+      } else if (scheme == "cosine") {
+        options.dabf.scheme = ips::LshScheme::kCosine;
+      } else if (scheme == "hamming") {
+        options.dabf.scheme = ips::LshScheme::kHamming;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (const char* v = value_of("--backend=")) {
+      const std::string backend = v;
+      if (backend == "svm") {
+        options.backend = ips::TransformBackend::kLinearSvm;
+      } else if (backend == "logistic") {
+        options.backend = ips::TransformBackend::kLogisticRegression;
+      } else if (backend == "nb") {
+        options.backend = ips::TransformBackend::kNaiveBayes;
+      } else if (backend == "1nn") {
+        options.backend = ips::TransformBackend::kNearestNeighbor;
+      } else {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--no_dabf") {
+      options.use_dabf_pruning = false;
+    } else if (arg == "--exact") {
+      options.utility_mode = ips::UtilityMode::kExactNaive;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  ips::TrainTestSplit data;
+  if (!ucr_dir.empty()) {
+    if (auto real = ips::LoadUcrDataset(ucr_dir, dataset)) {
+      data = std::move(*real);
+      std::printf("loaded real archive data for %s\n", dataset.c_str());
+    } else {
+      std::fprintf(stderr, "could not load %s from %s\n", dataset.c_str(),
+                   ucr_dir.c_str());
+      return 2;
+    }
+  } else {
+    const auto info = ips::FindUcrDataset(dataset);
+    if (!info) {
+      std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
+      return 2;
+    }
+    ips::CatalogScale scale;
+    scale.count_factor = 0.3;
+    scale.length_factor = 0.5;
+    scale.max_train = 60;
+    scale.max_test = 150;
+    scale.max_length = 256;
+    data = ips::GenerateDataset(
+        ips::SpecFromCatalog(ScaleDataset(*info, scale)));
+    std::printf("generated synthetic %s-like data (pass --ucr_dir for the "
+                "real archive)\n",
+                dataset.c_str());
+  }
+
+  std::printf("train %zu / test %zu series, %d classes\n", data.train.size(),
+              data.test.size(), data.train.NumClasses());
+
+  if (!load_path.empty()) {
+    // Skip discovery: classify with previously saved shapelets (refit the
+    // transform + SVM, which is cheap).
+    const auto shapelets = ips::LoadShapelets(load_path);
+    if (!shapelets) {
+      std::fprintf(stderr, "failed to load %s\n", load_path.c_str());
+      return 2;
+    }
+    const ips::TransformedData transformed =
+        ips::ShapeletTransform(data.train, *shapelets);
+    ips::LabeledMatrix matrix;
+    matrix.x = transformed.features;
+    matrix.y = transformed.labels;
+    ips::LinearSvm svm;
+    svm.Fit(matrix);
+    size_t correct = 0;
+    for (size_t i = 0; i < data.test.size(); ++i) {
+      if (svm.Predict(ips::TransformSeries(data.test[i], *shapelets)) ==
+          data.test[i].label) {
+        ++correct;
+      }
+    }
+    std::printf("loaded %zu shapelets from %s\n", shapelets->size(),
+                load_path.c_str());
+    std::printf("test accuracy: %.2f%%\n",
+                100.0 * static_cast<double>(correct) /
+                    static_cast<double>(data.test.size()));
+    return 0;
+  }
+
+  ips::Timer timer;
+  ips::IpsClassifier classifier(options);
+  classifier.Fit(data.train);
+  const double fit_seconds = timer.ElapsedSeconds();
+
+  const ips::IpsRunStats& stats = classifier.stats();
+  std::printf("\ndiscovery: %.3f s (gen %.3f, dabf %.3f, prune %.3f, "
+              "select %.3f)\n",
+              stats.TotalDiscoverySeconds(), stats.candidate_gen_seconds,
+              stats.dabf_build_seconds, stats.pruning_seconds,
+              stats.selection_seconds);
+  std::printf("candidates: %zu motifs -> %zu after pruning; %zu shapelets\n",
+              stats.motifs_generated, stats.motifs_after_prune,
+              stats.shapelets);
+  std::printf("total fit time (incl. transform + SVM): %.3f s\n", fit_seconds);
+  std::printf("test accuracy: %.2f%%\n",
+              100.0 * classifier.Accuracy(data.test));
+
+  if (!save_path.empty()) {
+    if (ips::SaveShapelets(classifier.shapelets(), save_path)) {
+      std::printf("shapelets saved to %s\n", save_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", save_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/ (text +
+# CSV where the experiment is tabular).
+#
+#   ./scripts/run_all_experiments.sh [extra bench args...]
+#
+# Pass --full to run at archive sizes, or --ucr_dir=PATH to use the real
+# UCR Archive. Requires a completed build in ./build.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCH=build/bench
+OUT=results
+mkdir -p "$OUT"
+
+run() {
+  local name=$1
+  shift
+  echo "=== $name ==="
+  "$BENCH/$name" "$@" | tee "$OUT/$name.txt"
+  echo
+}
+
+run_csv() {
+  local name=$1
+  shift
+  echo "=== $name ==="
+  "$BENCH/$name" --csv="$OUT/$name.csv" "$@" | tee "$OUT/$name.txt"
+  echo
+}
+
+run_csv exp_table2_base_topk "$@"
+run_csv exp_table3_distribution_fit "$@"
+run_csv exp_table4_efficiency "$@"
+run exp_table5_breakdown "$@"
+run_csv exp_table6_accuracy "$@"
+run_csv exp_table7_lsh "$@"
+run exp_fig3_4_motivation "$@"
+run exp_fig9_efficiency_vs_k "$@"
+run_csv exp_fig10_dabf_dtcr "$@"
+run exp_fig11_cd_diagram "$@"
+run_csv exp_fig12_accuracy_vs_k "$@"
+run exp_fig13_interpretability
+run exp_ablation_sampling "$@"
+run_csv exp_ablation_backend "$@"
+run_csv exp_ablation_profile "$@"
+run_csv exp_pruning_quality "$@"
+
+echo "=== micro_kernels ==="
+"$BENCH/micro_kernels" --benchmark_min_time=0.05 | tee "$OUT/micro_kernels.txt"
+
+echo
+echo "All outputs under $OUT/"

@@ -1,0 +1,142 @@
+#include "baselines/bspcover.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/sax.h"
+#include "baselines/shapelet_quality.h"
+#include "dabf/bloom_filter.h"
+#include "ips/candidate_gen.h"
+#include "transform/shapelet_transform.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+struct ScoredCandidate {
+  Subsequence shapelet;
+  double info_gain = 0.0;
+  std::vector<size_t> covered;  // own-class instance indices below the split
+};
+
+ScoredCandidate EvaluateCandidate(Subsequence candidate, const Dataset& train,
+                                  int num_classes) {
+  SplitQuality quality = EvaluateSplitQuality(candidate, train, num_classes);
+  ScoredCandidate out;
+  out.shapelet = std::move(candidate);
+  out.info_gain = quality.info_gain;
+  out.covered = std::move(quality.covered);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Subsequence> DiscoverBspCoverShapelets(
+    const Dataset& train, const BspCoverOptions& options,
+    BspCoverStats* stats) {
+  IPS_CHECK(!train.empty());
+  IPS_CHECK(options.stride >= 1);
+  BspCoverStats local;
+  BspCoverStats& s = stats != nullptr ? *stats : local;
+  s = BspCoverStats{};
+
+  const std::vector<size_t> lengths =
+      ResolveCandidateLengths(train.MinLength(), options.length_ratios);
+  const int num_classes = train.NumClasses();
+
+  // 1+2: dense enumeration with bloom-filter dedup per class.
+  std::map<int, std::vector<ScoredCandidate>> scored_by_class;
+  for (int label = 0; label < num_classes; ++label) {
+    const std::vector<size_t> class_indices = train.IndicesOfClass(label);
+    if (class_indices.empty()) continue;
+
+    size_t expected = 0;
+    for (size_t idx : class_indices) {
+      for (size_t window : lengths) {
+        if (train[idx].length() >= window) {
+          expected += (train[idx].length() - window) / options.stride + 1;
+        }
+      }
+    }
+    BloomFilter bloom = BloomFilter::WithCapacity(std::max<size_t>(expected, 8),
+                                                  options.bloom_fpr);
+
+    auto& scored = scored_by_class[label];
+    for (size_t idx : class_indices) {
+      const TimeSeries& t = train[idx];
+      for (size_t window : lengths) {
+        if (t.length() < window) continue;
+        for (size_t off = 0; off + window <= t.length();
+             off += options.stride) {
+          ++s.candidates_enumerated;
+          Subsequence cand =
+              ExtractSubsequence(t, off, window, static_cast<int>(idx));
+          const std::string word =
+              SaxWord(cand.view(), options.paa_segments,
+                      options.paa_cardinality) +
+              static_cast<char>('0' + window % 10);
+          if (bloom.MayContain(word)) continue;  // similar candidate seen
+          bloom.Add(word);
+          ++s.candidates_after_bloom;
+          // 3: information-gain + coverage scoring.
+          scored.push_back(
+              EvaluateCandidate(std::move(cand), train, num_classes));
+        }
+      }
+    }
+  }
+
+  // 4: greedy p-shapelet set cover per class.
+  std::vector<Subsequence> shapelets;
+  for (auto& [label, scored] : scored_by_class) {
+    std::vector<bool> covered(train.size(), false);
+    std::vector<bool> used(scored.size(), false);
+    for (size_t taken = 0;
+         taken < options.shapelets_per_class && taken < scored.size();
+         ++taken) {
+      double best_key = -1.0;
+      size_t best = scored.size();
+      for (size_t c = 0; c < scored.size(); ++c) {
+        if (used[c]) continue;
+        size_t new_cover = 0;
+        for (size_t idx : scored[c].covered) {
+          if (!covered[idx]) ++new_cover;
+        }
+        // Primary: newly covered instances; secondary: information gain.
+        const double key =
+            static_cast<double>(new_cover) + scored[c].info_gain * 1e-3;
+        if (key > best_key) {
+          best_key = key;
+          best = c;
+        }
+      }
+      if (best == scored.size()) break;
+      used[best] = true;
+      for (size_t idx : scored[best].covered) covered[idx] = true;
+      shapelets.push_back(scored[best].shapelet);
+    }
+  }
+  s.shapelets = shapelets.size();
+  return shapelets;
+}
+
+void BspCoverClassifier::Fit(const Dataset& train) {
+  shapelets_ = DiscoverBspCoverShapelets(train, options_, &stats_);
+  IPS_CHECK_MSG(!shapelets_.empty(), "BSPCOVER discovered no shapelets");
+  const TransformedData transformed = ShapeletTransform(train, shapelets_);
+  LabeledMatrix matrix;
+  matrix.x = transformed.features;
+  matrix.y = transformed.labels;
+  svm_ = LinearSvm(options_.svm);
+  svm_.Fit(matrix);
+}
+
+int BspCoverClassifier::Predict(const TimeSeries& series) const {
+  IPS_CHECK(!shapelets_.empty());
+  return svm_.Predict(TransformSeries(series, shapelets_));
+}
+
+}  // namespace ips

@@ -1,0 +1,85 @@
+#include "baselines/elis.h"
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/sax.h"
+#include "baselines/shapelet_quality.h"
+#include "core/resample.h"
+#include "ips/candidate_gen.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+// PAA smoothing at the original length: average over `factor`-wide chunks,
+// then linearly interpolate back (ELIS's low-resolution candidate trick).
+std::vector<double> PaaSmooth(std::span<const double> x, size_t factor) {
+  if (factor <= 1 || x.size() <= factor) {
+    return std::vector<double>(x.begin(), x.end());
+  }
+  const std::vector<double> coarse = Paa(x, x.size() / factor);
+  return ResampleToDim(coarse, x.size());
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> SelectElisCandidates(
+    const Dataset& train, const ElisOptions& options) {
+  IPS_CHECK(!train.empty());
+  const std::vector<size_t> lengths =
+      ResolveCandidateLengths(train.MinLength(), options.length_ratios);
+  const int num_classes = train.NumClasses();
+
+  struct Scored {
+    std::vector<double> values;
+    double info_gain;
+  };
+  std::map<int, std::vector<Scored>> per_class;
+
+  for (size_t window : lengths) {
+    for (size_t i = 0; i < train.size(); ++i) {
+      const TimeSeries& t = train[i];
+      if (t.length() < window) continue;
+      for (size_t off = 0; off + window <= t.length();
+           off += options.stride) {
+        Subsequence cand =
+            ExtractSubsequence(t, off, window, static_cast<int>(i));
+        cand.values = PaaSmooth(cand.values, options.paa_factor);
+        const double gain =
+            EvaluateSplitQuality(cand, train, num_classes).info_gain;
+        per_class[t.label].push_back({std::move(cand.values), gain});
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> selected;
+  for (auto& [label, scored] : per_class) {
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.info_gain > b.info_gain;
+                     });
+    const size_t take =
+        std::min(options.candidates_per_class, scored.size());
+    for (size_t i = 0; i < take; ++i) {
+      selected.push_back(std::move(scored[i].values));
+    }
+  }
+  return selected;
+}
+
+void ElisClassifier::Fit(const Dataset& train) {
+  std::vector<std::vector<double>> initial =
+      SelectElisCandidates(train, options_);
+  IPS_CHECK_MSG(!initial.empty(), "ELIS selected no candidates");
+  lts_ = LtsClassifier(options_.adjust);
+  lts_.SetInitialShapelets(std::move(initial));
+  lts_.Fit(train);
+}
+
+int ElisClassifier::Predict(const TimeSeries& series) const {
+  return lts_.Predict(series);
+}
+
+}  // namespace ips

@@ -1,0 +1,60 @@
+// ELIS-style baseline: Efficient Learning of Interpretable Shapelets in the
+// spirit of Fang et al. (ICDE 2018) -- the paper's ELIS column.
+//
+// ELIS's two-phase scheme is "select, then adjust": a small set of
+// promising candidate shapelets is picked cheaply (here: PAA-smoothed
+// subsequences ranked by information gain, top-k per class), and those
+// candidates are then fine-tuned by the LTS gradient machinery (soft-min
+// features + logistic heads) instead of being used as-is. This keeps the
+// interpretability of extracted subsequences while gaining the accuracy of
+// learned ones.
+
+#ifndef IPS_BASELINES_ELIS_H_
+#define IPS_BASELINES_ELIS_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "baselines/lts.h"
+#include "classify/classifier.h"
+#include "core/time_series.h"
+
+namespace ips {
+
+/// ELIS parameters.
+struct ElisOptions {
+  std::vector<double> length_ratios = {0.2, 0.35};
+  /// Candidates selected per class before adjustment.
+  size_t candidates_per_class = 4;
+  /// Enumeration stride and PAA smoothing factor of phase 1.
+  size_t stride = 4;
+  size_t paa_factor = 2;  ///< Each candidate is PAA-smoothed by this factor.
+  /// Phase-2 adjustment (LTS machinery) parameters.
+  LtsOptions adjust;
+};
+
+/// ELIS as a series classifier.
+class ElisClassifier final : public SeriesClassifier {
+ public:
+  explicit ElisClassifier(ElisOptions options = {}) : options_(options) {}
+
+  void Fit(const Dataset& train) override;
+  int Predict(const TimeSeries& series) const override;
+
+  /// The adjusted shapelets (valid after Fit()).
+  std::vector<Subsequence> Shapelets() const { return lts_.Shapelets(); }
+
+ private:
+  ElisOptions options_;
+  LtsClassifier lts_{LtsOptions{}};
+};
+
+/// Phase 1 alone: the PAA-smoothed, information-gain-selected initial
+/// shapelets. Exposed for testing.
+std::vector<std::vector<double>> SelectElisCandidates(
+    const Dataset& train, const ElisOptions& options);
+
+}  // namespace ips
+
+#endif  // IPS_BASELINES_ELIS_H_

@@ -1,0 +1,152 @@
+#include "baselines/fast_shapelets.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "baselines/sax.h"
+#include "baselines/shapelet_quality.h"
+#include "core/distance.h"
+#include "core/rng.h"
+#include "ips/candidate_gen.h"
+#include "transform/shapelet_transform.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+struct WordInfo {
+  Subsequence representative;          // first raw subsequence with the word
+  std::set<size_t> instances;          // training instances containing it
+  double distinguishing_power = 0.0;
+};
+
+// Exact information gain of the candidate's best distance split.
+double InfoGain(const Subsequence& candidate, const Dataset& train,
+                int num_classes) {
+  return EvaluateSplitQuality(candidate, train, num_classes).info_gain;
+}
+
+}  // namespace
+
+std::vector<Subsequence> DiscoverFastShapelets(
+    const Dataset& train, const FastShapeletsOptions& options) {
+  IPS_CHECK(!train.empty());
+  const std::vector<size_t> lengths =
+      ResolveCandidateLengths(train.MinLength(), options.length_ratios);
+  const int num_classes = train.NumClasses();
+  Rng rng(options.seed);
+
+  // Per-class per-instance counts for normalising collision frequencies.
+  std::vector<size_t> class_sizes(static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < train.size(); ++i) {
+    ++class_sizes[static_cast<size_t>(train[i].label)];
+  }
+
+  std::vector<Subsequence> shapelets;
+  for (size_t window : lengths) {
+    // Collect SAX words per class.
+    std::map<std::string, WordInfo> words;
+    for (size_t i = 0; i < train.size(); ++i) {
+      const TimeSeries& t = train[i];
+      if (t.length() < window) continue;
+      for (size_t off = 0; off + window <= t.length();
+           off += options.stride) {
+        Subsequence sub = ExtractSubsequence(t, off, window,
+                                             static_cast<int>(i));
+        std::string word =
+            SaxWord(sub.view(), options.sax_segments, options.sax_cardinality);
+        auto [it, inserted] = words.emplace(std::move(word), WordInfo{});
+        if (inserted) it->second.representative = std::move(sub);
+        it->second.instances.insert(i);
+      }
+    }
+    if (words.empty()) continue;
+
+    // Random masking rounds: group words by masked signature, credit each
+    // word with how class-skewed its collision group is.
+    const size_t word_len = words.begin()->first.size();
+    const size_t mask_count = std::min(options.masked_positions, word_len);
+    for (size_t round = 0; round < options.masking_rounds; ++round) {
+      const std::vector<size_t> mask =
+          rng.SampleWithoutReplacement(word_len, mask_count);
+      std::map<std::string, std::vector<WordInfo*>> groups;
+      for (auto& [word, info] : words) {
+        std::string masked = word;
+        for (size_t p : mask) masked[p] = '*';
+        groups[std::move(masked)].push_back(&info);
+      }
+      for (auto& [masked, members] : groups) {
+        // Per-class fraction of instances hit by the collision group.
+        std::vector<std::set<size_t>> hit(static_cast<size_t>(num_classes));
+        for (const WordInfo* info : members) {
+          for (size_t i : info->instances) {
+            hit[static_cast<size_t>(train[i].label)].insert(i);
+          }
+        }
+        std::vector<double> frac(static_cast<size_t>(num_classes), 0.0);
+        double mean = 0.0;
+        for (int c = 0; c < num_classes; ++c) {
+          if (class_sizes[static_cast<size_t>(c)] == 0) continue;
+          frac[static_cast<size_t>(c)] =
+              static_cast<double>(hit[static_cast<size_t>(c)].size()) /
+              static_cast<double>(class_sizes[static_cast<size_t>(c)]);
+          mean += frac[static_cast<size_t>(c)];
+        }
+        mean /= static_cast<double>(num_classes);
+        double skew = 0.0;
+        for (double f : frac) skew = std::max(skew, std::abs(f - mean));
+        for (WordInfo* info : members) info->distinguishing_power += skew;
+      }
+    }
+
+    // Top words per class, refined by exact information gain.
+    for (int label = 0; label < num_classes; ++label) {
+      std::vector<WordInfo*> class_words;
+      for (auto& [word, info] : words) {
+        if (info.representative.label == label) class_words.push_back(&info);
+      }
+      std::sort(class_words.begin(), class_words.end(),
+                [](const WordInfo* a, const WordInfo* b) {
+                  return a->distinguishing_power > b->distinguishing_power;
+                });
+      class_words.resize(std::min(class_words.size(), options.top_words));
+
+      std::vector<std::pair<double, const WordInfo*>> refined;
+      for (const WordInfo* info : class_words) {
+        refined.emplace_back(
+            InfoGain(info->representative, train, num_classes), info);
+      }
+      std::sort(refined.begin(), refined.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const size_t per_length = std::max<size_t>(
+          1, options.shapelets_per_class / lengths.size());
+      for (size_t i = 0; i < per_length && i < refined.size(); ++i) {
+        shapelets.push_back(refined[i].second->representative);
+      }
+    }
+  }
+  return shapelets;
+}
+
+void FastShapeletsClassifier::Fit(const Dataset& train) {
+  shapelets_ = DiscoverFastShapelets(train, options_);
+  IPS_CHECK_MSG(!shapelets_.empty(), "FS discovered no shapelets");
+  const TransformedData transformed = ShapeletTransform(train, shapelets_);
+  LabeledMatrix matrix;
+  matrix.x = transformed.features;
+  matrix.y = transformed.labels;
+  tree_ = DecisionTree(options_.tree);
+  tree_.Fit(matrix);
+}
+
+int FastShapeletsClassifier::Predict(const TimeSeries& series) const {
+  IPS_CHECK(!shapelets_.empty());
+  return tree_.Predict(TransformSeries(series, shapelets_));
+}
+
+}  // namespace ips

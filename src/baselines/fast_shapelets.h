@@ -1,0 +1,66 @@
+// Fast Shapelets (Rakthanmanon & Keogh, SDM 2013) -- the FS column of the
+// paper's Table VI.
+//
+// Candidates are summarised as SAX words; repeated random masking projects
+// the words into lower-dimensional hash signatures, and words whose masked
+// signatures collide mostly within one class receive high distinguishing
+// power. The top-scoring words are mapped back to raw subsequences, refined
+// by information gain, and the best per class are kept as shapelets. This
+// implementation classifies with a decision tree over the shapelet
+// transform, mirroring the original's tree-based classifier.
+
+#ifndef IPS_BASELINES_FAST_SHAPELETS_H_
+#define IPS_BASELINES_FAST_SHAPELETS_H_
+
+#include <cstdint>
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/decision_tree.h"
+#include "core/time_series.h"
+
+namespace ips {
+
+/// Fast Shapelets parameters.
+struct FastShapeletsOptions {
+  std::vector<double> length_ratios = {0.1, 0.2, 0.3, 0.4, 0.5};
+  size_t shapelets_per_class = 5;
+  /// SAX parameters.
+  size_t sax_segments = 8;
+  size_t sax_cardinality = 4;
+  /// Offset stride of the candidate enumeration.
+  size_t stride = 2;
+  /// Random-masking rounds and masked positions per round.
+  size_t masking_rounds = 10;
+  size_t masked_positions = 3;
+  /// Words refined by exact information gain, per class and length.
+  size_t top_words = 10;
+  DecisionTreeOptions tree;
+  uint64_t seed = 17;
+};
+
+/// Runs Fast Shapelets discovery.
+std::vector<Subsequence> DiscoverFastShapelets(
+    const Dataset& train, const FastShapeletsOptions& options);
+
+/// Fast Shapelets as a series classifier (transform + decision tree).
+class FastShapeletsClassifier final : public SeriesClassifier {
+ public:
+  explicit FastShapeletsClassifier(FastShapeletsOptions options = {})
+      : options_(options) {}
+
+  void Fit(const Dataset& train) override;
+  int Predict(const TimeSeries& series) const override;
+
+  const std::vector<Subsequence>& shapelets() const { return shapelets_; }
+
+ private:
+  FastShapeletsOptions options_;
+  std::vector<Subsequence> shapelets_;
+  DecisionTree tree_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_BASELINES_FAST_SHAPELETS_H_

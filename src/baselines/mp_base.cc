@@ -1,0 +1,88 @@
+#include "baselines/mp_base.h"
+
+#include <algorithm>
+
+#include "ips/candidate_gen.h"
+#include "matrix_profile/matrix_profile.h"
+#include "matrix_profile/motif.h"
+#include "transform/shapelet_transform.h"
+#include "util/check.h"
+
+namespace ips {
+
+std::vector<Subsequence> DiscoverMpBaseShapelets(
+    const Dataset& train, const MpBaseOptions& options) {
+  IPS_CHECK(!train.empty());
+  const std::vector<size_t> lengths =
+      ResolveCandidateLengths(train.MinLength(), options.length_ratios);
+  const int num_classes = train.NumClasses();
+
+  std::vector<Subsequence> shapelets;
+  for (int label = 0; label < num_classes; ++label) {
+    const TimeSeries own = train.ConcatenateClass(label);
+    if (own.length() == 0) continue;
+
+    // Concatenate every other class (the baseline's T_B).
+    TimeSeries other;
+    for (size_t i = 0; i < train.size(); ++i) {
+      if (train[i].label == label) continue;
+      other.values.insert(other.values.end(), train[i].values.begin(),
+                          train[i].values.end());
+    }
+    if (other.length() == 0) continue;
+
+    // Candidate = (diff value, length, offset in T_C); best per position
+    // across lengths, then top-k with exclusion per length group.
+    struct Candidate {
+      double diff;
+      size_t length;
+      size_t offset;
+    };
+    std::vector<Candidate> candidates;
+    for (size_t window : lengths) {
+      if (own.length() <= window || other.length() < window) continue;
+      const MatrixProfile self = SelfJoinProfile(own.view(), window);
+      const MatrixProfile cross =
+          AbJoinProfile(own.view(), other.view(), window);
+      const std::vector<double> diff = ProfileDiff(cross, self);
+      // Largest differences, separated by an exclusion zone (Formula 4
+      // extended to top-k, as the paper notes).
+      const std::vector<size_t> tops = FindDiscords(
+          diff, options.shapelets_per_class, DefaultExclusionZone(window));
+      for (size_t pos : tops) {
+        candidates.push_back({diff[pos], window, pos});
+      }
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.diff > b.diff;
+              });
+    const size_t take =
+        std::min(options.shapelets_per_class, candidates.size());
+    for (size_t i = 0; i < take; ++i) {
+      shapelets.push_back(ExtractSubsequence(own, candidates[i].offset,
+                                             candidates[i].length,
+                                             /*series_index=*/-1));
+    }
+  }
+  return shapelets;
+}
+
+void MpBaseClassifier::Fit(const Dataset& train) {
+  shapelets_ = DiscoverMpBaseShapelets(train, options_);
+  IPS_CHECK_MSG(!shapelets_.empty(), "BASE discovered no shapelets");
+  const TransformedData transformed = ShapeletTransform(train, shapelets_);
+  LabeledMatrix matrix;
+  matrix.x = transformed.features;
+  matrix.y = transformed.labels;
+  svm_ = LinearSvm(options_.svm);
+  svm_.Fit(matrix);
+}
+
+int MpBaseClassifier::Predict(const TimeSeries& series) const {
+  IPS_CHECK(!shapelets_.empty());
+  return svm_.Predict(TransformSeries(series, shapelets_));
+}
+
+}  // namespace ips

@@ -1,0 +1,56 @@
+// BASE: the matrix-profile shapelet baseline of Yeh et al. [37], as the
+// paper describes it in §II-B (Formula 4).
+//
+// Per class C, all class-C training instances are concatenated into one long
+// series T_C and all other instances into T_notC. The self-join profile
+// P_CC and the AB-join profile P_C,notC are computed per candidate length;
+// the positions with the largest |P_C,notC - P_CC| become the class's
+// shapelets. This inherits the two issues the paper analyses (discords as
+// "shapelets"; diversity loss from concatenation), which is exactly what the
+// Table II / Table VI experiments measure.
+
+#ifndef IPS_BASELINES_MP_BASE_H_
+#define IPS_BASELINES_MP_BASE_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/svm.h"
+#include "core/time_series.h"
+
+namespace ips {
+
+/// BASE discovery/classification parameters.
+struct MpBaseOptions {
+  /// Candidate lengths as fractions of the series length (matched to IPS).
+  std::vector<double> length_ratios = {0.1, 0.2, 0.3, 0.4, 0.5};
+  /// Shapelets per class (top-k largest profile differences).
+  size_t shapelets_per_class = 5;
+  /// Back-end SVM on the shapelet transform.
+  SvmOptions svm;
+};
+
+/// Discovers BASE shapelets for every class of `train`.
+std::vector<Subsequence> DiscoverMpBaseShapelets(const Dataset& train,
+                                                 const MpBaseOptions& options);
+
+/// BASE as a series classifier: discovery + shapelet transform + linear SVM
+/// (the same back-end as IPS, per the paper's fairness setup).
+class MpBaseClassifier final : public SeriesClassifier {
+ public:
+  explicit MpBaseClassifier(MpBaseOptions options = {}) : options_(options) {}
+
+  void Fit(const Dataset& train) override;
+  int Predict(const TimeSeries& series) const override;
+
+  const std::vector<Subsequence>& shapelets() const { return shapelets_; }
+
+ private:
+  MpBaseOptions options_;
+  std::vector<Subsequence> shapelets_;
+  LinearSvm svm_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_BASELINES_MP_BASE_H_

@@ -1,0 +1,107 @@
+#include "baselines/sax.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "core/znorm.h"
+#include "util/check.h"
+
+namespace ips {
+
+std::vector<double> Paa(std::span<const double> x, size_t segments) {
+  IPS_CHECK(!x.empty());
+  IPS_CHECK(segments >= 1);
+  segments = std::min(segments, x.size());
+  std::vector<double> out(segments, 0.0);
+  // Fractional assignment: point i contributes to segment floor(i*s/n),
+  // giving equal-width segments up to integer rounding.
+  std::vector<size_t> counts(segments, 0);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const size_t seg = i * segments / x.size();
+    out[seg] += x[i];
+    ++counts[seg];
+  }
+  for (size_t s = 0; s < segments; ++s) {
+    out[s] /= static_cast<double>(counts[s]);
+  }
+  return out;
+}
+
+std::vector<double> SaxBreakpoints(size_t cardinality) {
+  IPS_CHECK(cardinality >= 2 && cardinality <= 16);
+  // Quantiles of N(0,1) at i/cardinality, i = 1..cardinality-1, from the
+  // standard SAX lookup table (Lin et al. 2003) up to cardinality 8 and the
+  // Beasley-Springer-Moro approximation beyond.
+  static const std::vector<std::vector<double>> kTable = {
+      /*2*/ {0.0},
+      /*3*/ {-0.43, 0.43},
+      /*4*/ {-0.67, 0.0, 0.67},
+      /*5*/ {-0.84, -0.25, 0.25, 0.84},
+      /*6*/ {-0.97, -0.43, 0.0, 0.43, 0.97},
+      /*7*/ {-1.07, -0.57, -0.18, 0.18, 0.57, 1.07},
+      /*8*/ {-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15},
+  };
+  if (cardinality <= 8) return kTable[cardinality - 2];
+
+  // Acklam/BSM-style inverse-normal approximation for larger cardinalities.
+  auto inv_norm = [](double p) {
+    // Peter Acklam's rational approximation; |relative error| < 1.15e-9.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double p_low = 0.02425;
+    double q, r;
+    if (p < p_low) {
+      q = std::sqrt(-2.0 * std::log(p));
+      return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+             ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= 1.0 - p_low) {
+      q = p - 0.5;
+      r = q * q;
+      return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+              a[5]) *
+             q /
+             (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+              1.0);
+    }
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  };
+
+  std::vector<double> out;
+  for (size_t i = 1; i < cardinality; ++i) {
+    out.push_back(
+        inv_norm(static_cast<double>(i) / static_cast<double>(cardinality)));
+  }
+  return out;
+}
+
+std::string SaxWord(std::span<const double> x, size_t segments,
+                    size_t cardinality) {
+  const std::vector<double> z = ZNormalize(x);
+  const std::vector<double> paa = Paa(z, segments);
+  const std::vector<double> breaks = SaxBreakpoints(cardinality);
+  std::string word;
+  word.reserve(paa.size());
+  for (double v : paa) {
+    const size_t symbol = static_cast<size_t>(
+        std::upper_bound(breaks.begin(), breaks.end(), v) - breaks.begin());
+    word.push_back(static_cast<char>('a' + symbol));
+  }
+  return word;
+}
+
+}  // namespace ips

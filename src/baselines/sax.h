@@ -1,0 +1,33 @@
+// Piecewise aggregate approximation (PAA) and symbolic aggregate
+// approximation (SAX). Substrate for the Fast Shapelets baseline (SAX words
+// + random masking) and the BSPCOVER baseline (discretised words as bloom
+// filter keys).
+
+#ifndef IPS_BASELINES_SAX_H_
+#define IPS_BASELINES_SAX_H_
+
+#include <cstddef>
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ips {
+
+/// PAA: mean of `segments` equal(ish)-width chunks of x. Requires
+/// 1 <= segments and non-empty x; segments > x.size() is clamped.
+std::vector<double> Paa(std::span<const double> x, size_t segments);
+
+/// SAX word of `x`: z-normalise, PAA to `segments`, then discretise each
+/// segment mean into `cardinality` symbols ('a', 'b', ...) using standard
+/// normal breakpoints. Cardinality must be in [2, 16].
+std::string SaxWord(std::span<const double> x, size_t segments,
+                    size_t cardinality);
+
+/// The standard-normal breakpoints that split the real line into
+/// `cardinality` equiprobable regions (cardinality - 1 values, ascending).
+std::vector<double> SaxBreakpoints(size_t cardinality);
+
+}  // namespace ips
+
+#endif  // IPS_BASELINES_SAX_H_

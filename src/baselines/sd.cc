@@ -1,0 +1,129 @@
+#include "baselines/sd.h"
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/shapelet_quality.h"
+#include "core/distance.h"
+#include "ips/candidate_gen.h"
+#include "transform/shapelet_transform.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+// Data-derived pruning radius: a low percentile of the pairwise distances
+// among the first accepted representatives of this length.
+double PruneRadius(const std::vector<Subsequence>& sample,
+                   double percentile) {
+  std::vector<double> dists;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (size_t j = i + 1; j < sample.size(); ++j) {
+      dists.push_back(
+          SubsequenceDistance(sample[i].view(), sample[j].view()));
+    }
+  }
+  if (dists.empty()) return 0.0;
+  std::sort(dists.begin(), dists.end());
+  const size_t idx = std::min(
+      dists.size() - 1,
+      static_cast<size_t>(percentile * static_cast<double>(dists.size())));
+  return dists[idx];
+}
+
+}  // namespace
+
+std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
+                                             const SdOptions& options,
+                                             SdStats* stats) {
+  IPS_CHECK(!train.empty());
+  IPS_CHECK(options.stride >= 1);
+  SdStats local;
+  SdStats& s = stats != nullptr ? *stats : local;
+  s = SdStats{};
+
+  const std::vector<size_t> lengths =
+      ResolveCandidateLengths(train.MinLength(), options.length_ratios);
+  const int num_classes = train.NumClasses();
+
+  struct Scored {
+    Subsequence shapelet;
+    double info_gain;
+  };
+  std::map<int, std::vector<Scored>> per_class;
+
+  for (size_t window : lengths) {
+    // Seed the radius estimate from one candidate per training series.
+    std::vector<Subsequence> seeds;
+    for (size_t i = 0; i < train.size() && seeds.size() < 20; ++i) {
+      if (train[i].length() < window) continue;
+      seeds.push_back(ExtractSubsequence(
+          train[i], (train[i].length() - window) / 2, window,
+          static_cast<int>(i)));
+    }
+    const double radius = PruneRadius(seeds, options.prune_percentile);
+
+    // Online clustering over the grid enumeration: accept a candidate only
+    // when it is farther than `radius` from every accepted representative
+    // of the same length.
+    std::vector<Subsequence> representatives;
+    for (size_t i = 0; i < train.size(); ++i) {
+      const TimeSeries& t = train[i];
+      if (t.length() < window) continue;
+      for (size_t off = 0; off + window <= t.length();
+           off += options.stride) {
+        ++s.candidates_enumerated;
+        Subsequence cand =
+            ExtractSubsequence(t, off, window, static_cast<int>(i));
+        const bool redundant = std::any_of(
+            representatives.begin(), representatives.end(),
+            [&](const Subsequence& rep) {
+              return SubsequenceDistance(cand.view(), rep.view()) <= radius;
+            });
+        if (redundant) continue;
+        representatives.push_back(std::move(cand));
+      }
+    }
+    s.cluster_representatives += representatives.size();
+
+    // Score the representatives only.
+    for (Subsequence& rep : representatives) {
+      const double gain =
+          EvaluateSplitQuality(rep, train, num_classes).info_gain;
+      per_class[rep.label].push_back({std::move(rep), gain});
+    }
+  }
+
+  std::vector<Subsequence> shapelets;
+  for (auto& [label, scored] : per_class) {
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.info_gain > b.info_gain;
+                     });
+    const size_t take =
+        std::min(options.shapelets_per_class, scored.size());
+    for (size_t i = 0; i < take; ++i) {
+      shapelets.push_back(std::move(scored[i].shapelet));
+    }
+  }
+  return shapelets;
+}
+
+void SdClassifier::Fit(const Dataset& train) {
+  shapelets_ = DiscoverSdShapelets(train, options_, &stats_);
+  IPS_CHECK_MSG(!shapelets_.empty(), "SD discovered no shapelets");
+  const TransformedData transformed = ShapeletTransform(train, shapelets_);
+  LabeledMatrix matrix;
+  matrix.x = transformed.features;
+  matrix.y = transformed.labels;
+  svm_ = LinearSvm(options_.svm);
+  svm_.Fit(matrix);
+}
+
+int SdClassifier::Predict(const TimeSeries& series) const {
+  IPS_CHECK(!shapelets_.empty());
+  return svm_.Predict(TransformSeries(series, shapelets_));
+}
+
+}  // namespace ips

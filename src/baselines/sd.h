@@ -1,0 +1,64 @@
+// SD: scalable shapelet discovery in the style of Grabocka et al. (KAIS
+// 2016) -- the paper's SD column. Candidates are enumerated on a coarse
+// grid and pruned ONLINE: a candidate within a data-derived distance
+// threshold of any previously accepted candidate is considered redundant
+// and skipped (distance-based clustering), so only cluster representatives
+// are scored (information gain) and selected.
+
+#ifndef IPS_BASELINES_SD_H_
+#define IPS_BASELINES_SD_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/svm.h"
+#include "core/time_series.h"
+
+namespace ips {
+
+/// SD parameters.
+struct SdOptions {
+  std::vector<double> length_ratios = {0.2, 0.4};
+  size_t shapelets_per_class = 5;
+  /// Offset stride of the grid enumeration.
+  size_t stride = 4;
+  /// The pruning threshold is this percentile of a sample of pairwise
+  /// candidate distances (the paper derives it from the data likewise).
+  double prune_percentile = 0.25;
+  SvmOptions svm;
+};
+
+/// Instrumentation of one discovery run.
+struct SdStats {
+  size_t candidates_enumerated = 0;
+  size_t cluster_representatives = 0;
+};
+
+/// Runs SD discovery. `stats` may be null.
+std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
+                                             const SdOptions& options,
+                                             SdStats* stats = nullptr);
+
+/// SD as a series classifier (transform + linear SVM back-end).
+class SdClassifier final : public SeriesClassifier {
+ public:
+  explicit SdClassifier(SdOptions options = {}) : options_(options) {}
+
+  void Fit(const Dataset& train) override;
+  int Predict(const TimeSeries& series) const override;
+
+  const std::vector<Subsequence>& shapelets() const { return shapelets_; }
+  const SdStats& stats() const { return stats_; }
+
+ private:
+  SdOptions options_;
+  std::vector<Subsequence> shapelets_;
+  LinearSvm svm_;
+  SdStats stats_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_BASELINES_SD_H_

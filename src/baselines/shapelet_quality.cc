@@ -1,0 +1,74 @@
+#include "baselines/shapelet_quality.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "core/distance.h"
+#include "util/check.h"
+
+namespace ips {
+
+double LabelEntropy(const std::vector<size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+SplitQuality EvaluateSplitQuality(const Subsequence& candidate,
+                                  const Dataset& train, int num_classes) {
+  IPS_CHECK(!train.empty());
+  IPS_CHECK(num_classes >= 1);
+  const size_t n = train.size();
+
+  std::vector<std::pair<double, size_t>> by_distance(n);
+  for (size_t i = 0; i < n; ++i) {
+    by_distance[i] = {SubsequenceDistance(train[i].view(), candidate.view()),
+                      i};
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+
+  std::vector<size_t> total_counts(static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < n; ++i) {
+    IPS_CHECK(train[i].label >= 0 && train[i].label < num_classes);
+    ++total_counts[static_cast<size_t>(train[i].label)];
+  }
+  const double parent = LabelEntropy(total_counts, n);
+
+  SplitQuality best;
+  std::vector<size_t> left(static_cast<size_t>(num_classes), 0);
+  size_t best_split = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const size_t idx = by_distance[i].second;
+    ++left[static_cast<size_t>(train[idx].label)];
+    if (by_distance[i].first >= by_distance[i + 1].first) continue;
+    std::vector<size_t> right(total_counts);
+    for (size_t c = 0; c < right.size(); ++c) right[c] -= left[c];
+    const size_t nl = i + 1;
+    const size_t nr = n - nl;
+    const double child =
+        (static_cast<double>(nl) * LabelEntropy(left, nl) +
+         static_cast<double>(nr) * LabelEntropy(right, nr)) /
+        static_cast<double>(n);
+    const double gain = parent - child;
+    if (gain > best.info_gain) {
+      best.info_gain = gain;
+      best.threshold =
+          0.5 * (by_distance[i].first + by_distance[i + 1].first);
+      best_split = nl;
+    }
+  }
+
+  for (size_t i = 0; i < best_split; ++i) {
+    const size_t idx = by_distance[i].second;
+    if (train[idx].label == candidate.label) best.covered.push_back(idx);
+  }
+  return best;
+}
+
+}  // namespace ips

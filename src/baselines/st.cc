@@ -1,0 +1,94 @@
+#include "baselines/st.h"
+
+#include <algorithm>
+
+#include "baselines/shapelet_quality.h"
+#include "ips/candidate_gen.h"
+#include "transform/shapelet_transform.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+struct Scored {
+  Subsequence shapelet;
+  double info_gain;
+};
+
+// The original's self-similarity filter: two candidates from the same
+// training series whose windows overlap are redundant; keep the better.
+bool Overlaps(const Subsequence& a, const Subsequence& b) {
+  if (a.series_index != b.series_index) return false;
+  const size_t a_end = a.start + a.length();
+  const size_t b_end = b.start + b.length();
+  return a.start < b_end && b.start < a_end;
+}
+
+}  // namespace
+
+std::vector<Subsequence> DiscoverStShapelets(const Dataset& train,
+                                             const StOptions& options) {
+  IPS_CHECK(!train.empty());
+  IPS_CHECK(options.stride >= 1);
+  const std::vector<size_t> lengths =
+      ResolveCandidateLengths(train.MinLength(), options.length_ratios);
+  const int num_classes = train.NumClasses();
+
+  // Exhaustive enumeration + information-gain scoring.
+  std::vector<std::vector<Scored>> per_class(
+      static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < train.size(); ++i) {
+    const TimeSeries& t = train[i];
+    for (size_t window : lengths) {
+      if (t.length() < window) continue;
+      for (size_t off = 0; off + window <= t.length();
+           off += options.stride) {
+        Subsequence cand =
+            ExtractSubsequence(t, off, window, static_cast<int>(i));
+        const double gain =
+            EvaluateSplitQuality(cand, train, num_classes).info_gain;
+        per_class[static_cast<size_t>(t.label)].push_back(
+            {std::move(cand), gain});
+      }
+    }
+  }
+
+  std::vector<Subsequence> shapelets;
+  for (auto& scored : per_class) {
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.info_gain > b.info_gain;
+                     });
+    std::vector<Subsequence> kept;
+    for (Scored& s : scored) {
+      if (kept.size() >= options.shapelets_per_class) break;
+      const bool redundant = std::any_of(
+          kept.begin(), kept.end(),
+          [&](const Subsequence& k) { return Overlaps(k, s.shapelet); });
+      if (!redundant) kept.push_back(std::move(s.shapelet));
+    }
+    shapelets.insert(shapelets.end(),
+                     std::make_move_iterator(kept.begin()),
+                     std::make_move_iterator(kept.end()));
+  }
+  return shapelets;
+}
+
+void StClassifier::Fit(const Dataset& train) {
+  shapelets_ = DiscoverStShapelets(train, options_);
+  IPS_CHECK_MSG(!shapelets_.empty(), "ST discovered no shapelets");
+  const TransformedData transformed = ShapeletTransform(train, shapelets_);
+  LabeledMatrix matrix;
+  matrix.x = transformed.features;
+  matrix.y = transformed.labels;
+  svm_ = LinearSvm(options_.svm);
+  svm_.Fit(matrix);
+}
+
+int StClassifier::Predict(const TimeSeries& series) const {
+  IPS_CHECK(!shapelets_.empty());
+  return svm_.Predict(TransformSeries(series, shapelets_));
+}
+
+}  // namespace ips

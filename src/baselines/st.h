@@ -1,0 +1,57 @@
+// ST: the classic shapelet-transform discovery of Hills, Lines et al.
+// ([26] and the bake-off's ST column) -- exhaustive candidate enumeration,
+// information-gain quality, self-similarity filtering, then a conventional
+// classifier over the transform.
+//
+// This is the accuracy gold standard among the paper's shapelet baselines
+// and also the slowest: every offset of every training series at every
+// candidate length is evaluated against every training series.
+
+#ifndef IPS_BASELINES_ST_H_
+#define IPS_BASELINES_ST_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/svm.h"
+#include "core/time_series.h"
+
+namespace ips {
+
+/// ST parameters.
+struct StOptions {
+  std::vector<double> length_ratios = {0.1, 0.2, 0.3, 0.4, 0.5};
+  size_t shapelets_per_class = 5;
+  /// Offset stride of the enumeration (1 = the literal exhaustive search).
+  size_t stride = 1;
+  SvmOptions svm;
+};
+
+/// Runs ST discovery: top `shapelets_per_class` candidates per class by
+/// information gain, with overlapping same-series candidates suppressed
+/// (the original's self-similarity filter).
+std::vector<Subsequence> DiscoverStShapelets(const Dataset& train,
+                                             const StOptions& options);
+
+/// ST as a series classifier (transform + linear SVM back-end, mirroring
+/// the simplified single-classifier variants used in later studies).
+class StClassifier final : public SeriesClassifier {
+ public:
+  explicit StClassifier(StOptions options = {}) : options_(options) {}
+
+  void Fit(const Dataset& train) override;
+  int Predict(const TimeSeries& series) const override;
+
+  const std::vector<Subsequence>& shapelets() const { return shapelets_; }
+
+ private:
+  StOptions options_;
+  std::vector<Subsequence> shapelets_;
+  LinearSvm svm_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_BASELINES_ST_H_

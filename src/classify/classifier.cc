@@ -1,0 +1,33 @@
+#include "classify/classifier.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ips {
+
+int LabeledMatrix::NumClasses() const {
+  int mx = -1;
+  for (int label : y) mx = std::max(mx, label);
+  return mx + 1;
+}
+
+double Classifier::Accuracy(const LabeledMatrix& data) const {
+  IPS_CHECK(!data.x.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < data.x.size(); ++i) {
+    if (Predict(data.x[i]) == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.x.size());
+}
+
+double SeriesClassifier::Accuracy(const Dataset& test) const {
+  IPS_CHECK(!test.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (Predict(test[i]) == test[i].label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace ips

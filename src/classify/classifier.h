@@ -1,0 +1,60 @@
+// Common classifier interfaces.
+//
+// Feature-space classifiers (SVM, decision tree, rotation forest) consume a
+// LabeledMatrix -- e.g. the output of the shapelet transform or raw series
+// values. Series classifiers (1NN-ED, 1NN-DTW) consume Datasets directly.
+
+#ifndef IPS_CLASSIFY_CLASSIFIER_H_
+#define IPS_CLASSIFY_CLASSIFIER_H_
+
+#include <span>
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace ips {
+
+/// Dense feature matrix with labels; row i is the feature vector of sample
+/// i. Labels are dense class ids in [0, num_classes).
+struct LabeledMatrix {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+
+  size_t size() const { return x.size(); }
+  size_t dim() const { return x.empty() ? 0 : x.front().size(); }
+  int NumClasses() const;
+};
+
+/// Classifier over fixed-dimension feature vectors.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the matrix. Requires at least one sample and one class.
+  virtual void Fit(const LabeledMatrix& data) = 0;
+
+  /// Predicts the class of a feature vector. Requires Fit().
+  virtual int Predict(std::span<const double> features) const = 0;
+
+  /// Fraction of `data` rows predicted correctly.
+  double Accuracy(const LabeledMatrix& data) const;
+};
+
+/// Classifier over raw (possibly variable-length) time series.
+class SeriesClassifier {
+ public:
+  virtual ~SeriesClassifier() = default;
+
+  /// Trains on the dataset. Requires at least one series.
+  virtual void Fit(const Dataset& train) = 0;
+
+  /// Predicts the class of a series. Requires Fit().
+  virtual int Predict(const TimeSeries& series) const = 0;
+
+  /// Fraction of `test` series predicted correctly.
+  double Accuracy(const Dataset& test) const;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CLASSIFY_CLASSIFIER_H_

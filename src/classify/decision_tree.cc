@@ -1,0 +1,130 @@
+#include "classify/decision_tree.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ips {
+
+double Entropy(const std::vector<size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+void DecisionTree::Fit(const LabeledMatrix& data) {
+  IPS_CHECK(!data.x.empty());
+  nodes_.clear();
+  std::vector<size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  Grow(data, indices, 0, data.NumClasses());
+}
+
+int DecisionTree::Grow(const LabeledMatrix& data,
+                       std::vector<size_t>& indices, size_t depth,
+                       int num_classes) {
+  std::vector<size_t> counts(static_cast<size_t>(num_classes), 0);
+  for (size_t i : indices) ++counts[static_cast<size_t>(data.y[i])];
+  const int majority = static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  const double parent_entropy = Entropy(counts, indices.size());
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.label = majority;
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (parent_entropy <= 0.0 || depth >= options_.max_depth ||
+      indices.size() < 2 * options_.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Best information-gain split over all features.
+  const size_t d = data.dim();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  // Slightly below the threshold so a gain of exactly min_gain qualifies.
+  double best_gain = options_.min_gain - 1e-15;
+
+  std::vector<std::pair<double, int>> column(indices.size());
+  std::vector<size_t> left_counts(static_cast<size_t>(num_classes));
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t k = 0; k < indices.size(); ++k) {
+      column[k] = {data.x[indices[k]][f], data.y[indices[k]]};
+    }
+    std::sort(column.begin(), column.end());
+
+    std::fill(left_counts.begin(), left_counts.end(), size_t{0});
+    for (size_t k = 0; k + 1 < column.size(); ++k) {
+      ++left_counts[static_cast<size_t>(column[k].second)];
+      if (column[k].first >= column[k + 1].first) continue;  // no boundary
+      const size_t nl = k + 1;
+      const size_t nr = column.size() - nl;
+      if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+        continue;
+      }
+      std::vector<size_t> right_counts(counts);
+      for (size_t c = 0; c < right_counts.size(); ++c) {
+        right_counts[c] -= left_counts[c];
+      }
+      const double child_entropy =
+          (static_cast<double>(nl) * Entropy(left_counts, nl) +
+           static_cast<double>(nr) * Entropy(right_counts, nr)) /
+          static_cast<double>(column.size());
+      const double gain = parent_entropy - child_entropy;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (column[k].first + column[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : indices) {
+    if (data.x[i][static_cast<size_t>(best_feature)] <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  IPS_CHECK(!left_idx.empty() && !right_idx.empty());
+
+  Node node;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  const int self = static_cast<int>(nodes_.size() - 1);
+  const int left = Grow(data, left_idx, depth + 1, num_classes);
+  const int right = Grow(data, right_idx, depth + 1, num_classes);
+  nodes_[static_cast<size_t>(self)].left = left;
+  nodes_[static_cast<size_t>(self)].right = right;
+  return self;
+}
+
+int DecisionTree::Predict(std::span<const double> features) const {
+  IPS_CHECK(!nodes_.empty());
+  // The root is node 0: Grow() pushes the root before its subtrees.
+  size_t node = 0;
+  while (!nodes_[node].IsLeaf()) {
+    const Node& n = nodes_[node];
+    node = static_cast<size_t>(
+        features[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                                : n.right);
+  }
+  return nodes_[node].label;
+}
+
+}  // namespace ips

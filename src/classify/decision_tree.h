@@ -1,0 +1,62 @@
+// Axis-aligned decision tree with information-gain splits (C4.5-style,
+// binary thresholds). Base learner of the Rotation Forest baseline.
+
+#ifndef IPS_CLASSIFY_DECISION_TREE_H_
+#define IPS_CLASSIFY_DECISION_TREE_H_
+
+#include <cstddef>
+
+#include <memory>
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace ips {
+
+/// Tree growth parameters.
+struct DecisionTreeOptions {
+  size_t max_depth = 32;
+  size_t min_samples_leaf = 1;
+  /// Minimum information gain for a split. Gains equal to the threshold are
+  /// accepted, so the default of 0 allows zero-gain splits (needed for
+  /// XOR-like concepts where the first split alone has no gain).
+  double min_gain = 0.0;
+};
+
+/// Entropy-based binary decision tree.
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {})
+      : options_(options) {}
+
+  void Fit(const LabeledMatrix& data) override;
+  int Predict(std::span<const double> features) const override;
+
+  /// Number of nodes in the grown tree (diagnostic).
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold and child indices. Leaf: label.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int label = -1;
+    bool IsLeaf() const { return feature < 0; }
+  };
+
+  int Grow(const LabeledMatrix& data, std::vector<size_t>& indices,
+           size_t depth, int num_classes);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+/// Shannon entropy (nats) of a label multiset given per-class counts and the
+/// total. Exposed for testing.
+double Entropy(const std::vector<size_t>& counts, size_t total);
+
+}  // namespace ips
+
+#endif  // IPS_CLASSIFY_DECISION_TREE_H_

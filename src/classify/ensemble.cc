@@ -1,0 +1,47 @@
+#include "classify/ensemble.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ips {
+
+void VotingEnsemble::AddMember(std::unique_ptr<SeriesClassifier> member) {
+  IPS_CHECK(member != nullptr);
+  members_.push_back(std::move(member));
+}
+
+void VotingEnsemble::Fit(const Dataset& train) {
+  IPS_CHECK(!members_.empty());
+  IPS_CHECK(!train.empty());
+  num_classes_ = train.NumClasses();
+  for (auto& member : members_) member->Fit(train);
+}
+
+int VotingEnsemble::Predict(const TimeSeries& series) const {
+  IPS_CHECK(!members_.empty());
+  std::vector<size_t> votes(static_cast<size_t>(num_classes_), 0);
+  std::vector<int> first_voter(static_cast<size_t>(num_classes_), -1);
+  for (size_t m = 0; m < members_.size(); ++m) {
+    const int label = members_[m]->Predict(series);
+    IPS_CHECK(label >= 0 && label < num_classes_);
+    ++votes[static_cast<size_t>(label)];
+    if (first_voter[static_cast<size_t>(label)] < 0) {
+      first_voter[static_cast<size_t>(label)] = static_cast<int>(m);
+    }
+  }
+  // Majority; ties resolve to the label whose first voter is earliest.
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    const size_t cc = static_cast<size_t>(c);
+    const size_t bb = static_cast<size_t>(best);
+    if (votes[cc] > votes[bb] ||
+        (votes[cc] == votes[bb] && votes[cc] > 0 &&
+         first_voter[cc] < first_voter[bb])) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ips

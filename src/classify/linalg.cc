@@ -1,0 +1,118 @@
+#include "classify/linalg.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ips {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Covariance(const std::vector<std::vector<double>>& rows) {
+  IPS_CHECK(!rows.empty());
+  const size_t n = rows.size();
+  const size_t d = rows.front().size();
+
+  std::vector<double> mean(d, 0.0);
+  for (const auto& row : rows) {
+    IPS_CHECK(row.size() == d);
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  Matrix cov(d, d, 0.0);
+  for (const auto& row : rows) {
+    for (size_t a = 0; a < d; ++a) {
+      const double da = row[a] - mean[a];
+      for (size_t b = a; b < d; ++b) {
+        cov.at(a, b) += da * (row[b] - mean[b]);
+      }
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1)
+                             : 1.0;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov.at(a, b) /= denom;
+      cov.at(b, a) = cov.at(a, b);
+    }
+  }
+  return cov;
+}
+
+EigenResult JacobiEigenSymmetric(const Matrix& input, size_t max_sweeps) {
+  IPS_CHECK(input.rows() == input.cols());
+  const size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::Identity(n);
+
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius norm for convergence.
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a.at(p, q) * a.at(p, q);
+    }
+    if (off < 1e-20) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return a.at(x, x) > a.at(y, y);
+  });
+
+  EigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = a.at(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      result.eigenvectors.at(i, j) = v.at(i, order[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace ips

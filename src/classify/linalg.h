@@ -1,0 +1,50 @@
+// Small dense linear-algebra kernels: covariance and a cyclic Jacobi
+// symmetric eigensolver. Substrate for the PCA rotations of the Rotation
+// Forest baseline.
+
+#ifndef IPS_CLASSIFY_LINALG_H_
+#define IPS_CLASSIFY_LINALG_H_
+
+#include <cstddef>
+
+#include <vector>
+
+namespace ips {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Sample covariance matrix of `rows` (observations x variables), with the
+/// column means subtracted. Requires at least one row.
+Matrix Covariance(const std::vector<std::vector<double>>& rows);
+
+/// Eigen decomposition of a symmetric matrix by the cyclic Jacobi method.
+/// eigenvalues are returned in descending order; eigenvectors.at(i, j) is
+/// component i of the eigenvector for eigenvalues[j].
+struct EigenResult {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;
+};
+EigenResult JacobiEigenSymmetric(const Matrix& a, size_t max_sweeps = 64);
+
+}  // namespace ips
+
+#endif  // IPS_CLASSIFY_LINALG_H_

@@ -1,0 +1,112 @@
+#include "classify/naive_bayes.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace ips {
+
+void GaussianNaiveBayes::Fit(const LabeledMatrix& data) {
+  IPS_CHECK(!data.x.empty());
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  const int num_classes = data.NumClasses();
+
+  std::vector<size_t> counts(static_cast<size_t>(num_classes), 0);
+  means_.assign(static_cast<size_t>(num_classes),
+                std::vector<double>(d, 0.0));
+  variances_.assign(static_cast<size_t>(num_classes),
+                    std::vector<double>(d, 0.0));
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = static_cast<size_t>(data.y[i]);
+    ++counts[c];
+    for (size_t j = 0; j < d; ++j) means_[c][j] += data.x[i][j];
+  }
+  for (size_t c = 0; c < means_.size(); ++c) {
+    if (counts[c] == 0) continue;
+    for (double& m : means_[c]) m /= static_cast<double>(counts[c]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = static_cast<size_t>(data.y[i]);
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = data.x[i][j] - means_[c][j];
+      variances_[c][j] += diff * diff;
+    }
+  }
+
+  // Variance floor: a small fraction of the global variance keeps empty or
+  // constant features from producing infinite likelihood ratios.
+  double global_var = 0.0;
+  for (size_t c = 0; c < variances_.size(); ++c) {
+    for (double v : variances_[c]) global_var += v;
+  }
+  global_var /= static_cast<double>(n) * static_cast<double>(d);
+  const double floor = std::max(1e-9, 1e-3 * global_var);
+
+  log_priors_.assign(static_cast<size_t>(num_classes), -1e300);
+  for (size_t c = 0; c < variances_.size(); ++c) {
+    if (counts[c] == 0) continue;
+    log_priors_[c] = std::log(static_cast<double>(counts[c]) /
+                              static_cast<double>(n));
+    for (size_t j = 0; j < d; ++j) {
+      variances_[c][j] =
+          std::max(variances_[c][j] / static_cast<double>(counts[c]), floor);
+    }
+  }
+}
+
+int GaussianNaiveBayes::Predict(std::span<const double> features) const {
+  IPS_CHECK(!log_priors_.empty());
+  int best = 0;
+  double best_score = -1e300;
+  for (size_t c = 0; c < log_priors_.size(); ++c) {
+    if (log_priors_[c] <= -1e299) continue;  // empty class
+    double score = log_priors_[c];
+    for (size_t j = 0; j < features.size(); ++j) {
+      const double var = variances_[c][j];
+      const double diff = features[j] - means_[c][j];
+      score += -0.5 * std::log(2.0 * std::numbers::pi * var) -
+               diff * diff / (2.0 * var);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+void FeatureKnn::Fit(const LabeledMatrix& data) {
+  IPS_CHECK(!data.x.empty());
+  IPS_CHECK(k_ >= 1);
+  train_ = data;
+}
+
+int FeatureKnn::Predict(std::span<const double> features) const {
+  IPS_CHECK(!train_.x.empty());
+  // Distances to all training rows; partial sort for the k nearest.
+  std::vector<std::pair<double, int>> dists(train_.size());
+  for (size_t i = 0; i < train_.size(); ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < features.size(); ++j) {
+      const double d = features[j] - train_.x[i][j];
+      s += d * d;
+    }
+    dists[i] = {s, train_.y[i]};
+  }
+  const size_t k = std::min(k_, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<ptrdiff_t>(k),
+                    dists.end());
+  std::vector<size_t> votes(static_cast<size_t>(train_.NumClasses()), 0);
+  for (size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<size_t>(dists[i].second)];
+  }
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace ips

@@ -1,0 +1,47 @@
+// Gaussian naive Bayes over feature vectors -- one of the classic
+// classifiers the paper's §I names as a shapelet-transform back-end
+// ("Nearest Neighbor, Naive Bayes, and SVM").
+
+#ifndef IPS_CLASSIFY_NAIVE_BAYES_H_
+#define IPS_CLASSIFY_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace ips {
+
+/// Gaussian naive Bayes: per-class, per-feature normal likelihoods with a
+/// variance floor, class priors from training frequencies.
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  GaussianNaiveBayes() = default;
+
+  void Fit(const LabeledMatrix& data) override;
+  int Predict(std::span<const double> features) const override;
+
+  int num_classes() const { return static_cast<int>(log_priors_.size()); }
+
+ private:
+  std::vector<double> log_priors_;               // per class
+  std::vector<std::vector<double>> means_;       // [class][feature]
+  std::vector<std::vector<double>> variances_;   // [class][feature]
+};
+
+/// k-nearest-neighbour classifier in feature space (k=1 gives the "Nearest
+/// Neighbor on the transform" back-end).
+class FeatureKnn final : public Classifier {
+ public:
+  explicit FeatureKnn(size_t k = 1) : k_(k) {}
+
+  void Fit(const LabeledMatrix& data) override;
+  int Predict(std::span<const double> features) const override;
+
+ private:
+  size_t k_;
+  LabeledMatrix train_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CLASSIFY_NAIVE_BAYES_H_

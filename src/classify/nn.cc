@@ -1,0 +1,117 @@
+#include "classify/nn.h"
+
+#include <cmath>
+
+#include <limits>
+
+#include "core/distance.h"
+#include "core/dtw.h"
+#include "util/check.h"
+
+namespace ips {
+
+void OneNnEd::Fit(const Dataset& train) {
+  IPS_CHECK(!train.empty());
+  train_ = train;
+}
+
+int OneNnEd::Predict(const TimeSeries& series) const {
+  IPS_CHECK(!train_.empty());
+  double best = std::numeric_limits<double>::infinity();
+  int label = train_[0].label;
+  for (size_t i = 0; i < train_.size(); ++i) {
+    const TimeSeries& cand = train_[i];
+    double d;
+    if (cand.length() == series.length()) {
+      d = SquaredEuclidean(series.view(), cand.view());
+    } else {
+      d = SubsequenceDistance(series.view(), cand.view());
+    }
+    if (d < best) {
+      best = d;
+      label = cand.label;
+    }
+  }
+  return label;
+}
+
+void OneNnDtwCv::Fit(const Dataset& train) {
+  IPS_CHECK(!train.empty());
+  std::vector<double> grid = candidates_;
+  if (grid.empty()) {
+    grid = {0.0, 0.01, 0.02, 0.03, 0.04, 0.05,
+            0.06, 0.07, 0.08, 0.09, 0.1, 0.15, 0.2};
+  }
+
+  size_t best_correct = 0;
+  chosen_ = grid.front();
+  for (double fraction : grid) {
+    // Leave-one-out 1NN over the training set at this window.
+    size_t correct = 0;
+    for (size_t i = 0; i < train.size(); ++i) {
+      const int window = static_cast<int>(std::ceil(
+          fraction * static_cast<double>(train[i].length())));
+      double best = std::numeric_limits<double>::infinity();
+      int label = -1;
+      for (size_t j = 0; j < train.size(); ++j) {
+        if (j == i) continue;
+        if (train[j].length() == train[i].length() &&
+            LbKeogh(train[i].view(), train[j].view(), window) >= best) {
+          continue;
+        }
+        const double d =
+            DtwDistance(train[i].view(), train[j].view(), window);
+        if (d < best) {
+          best = d;
+          label = train[j].label;
+        }
+      }
+      if (label == train[i].label) ++correct;
+    }
+    // Strictly-better keeps the smallest (cheapest) window on ties.
+    if (correct > best_correct) {
+      best_correct = correct;
+      chosen_ = fraction;
+    }
+  }
+
+  inner_ = OneNnDtw(chosen_);
+  inner_.Fit(train);
+}
+
+int OneNnDtwCv::Predict(const TimeSeries& series) const {
+  return inner_.Predict(series);
+}
+
+void OneNnDtw::Fit(const Dataset& train) {
+  IPS_CHECK(!train.empty());
+  train_ = train;
+}
+
+int OneNnDtw::Predict(const TimeSeries& series) const {
+  IPS_CHECK(!train_.empty());
+  int window = -1;
+  if (window_fraction_ >= 0.0) {
+    window = static_cast<int>(
+        std::ceil(window_fraction_ * static_cast<double>(series.length())));
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  int label = train_[0].label;
+  for (size_t i = 0; i < train_.size(); ++i) {
+    const TimeSeries& cand = train_[i];
+    // LB_Keogh admissibly skips candidates that cannot beat the incumbent.
+    if (window >= 0 && cand.length() == series.length() &&
+        LbKeogh(series.view(), cand.view(), window) >= best) {
+      continue;
+    }
+    const double d = DtwDistance(series.view(), cand.view(), window);
+    if (d < best) {
+      best = d;
+      label = cand.label;
+    }
+  }
+  return label;
+}
+
+}  // namespace ips

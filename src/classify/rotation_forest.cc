@@ -1,0 +1,103 @@
+#include "classify/rotation_forest.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rng.h"
+#include "util/check.h"
+
+namespace ips {
+
+void RotationForest::Fit(const LabeledMatrix& data) {
+  IPS_CHECK(!data.x.empty());
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  IPS_CHECK(d >= 1);
+  num_classes_ = data.NumClasses();
+  trees_.clear();
+  Rng rng(options_.seed);
+
+  const size_t subset_size = std::max<size_t>(1, options_.features_per_subset);
+  const size_t bootstrap_n = std::max<size_t>(
+      2, static_cast<size_t>(options_.bootstrap_fraction *
+                             static_cast<double>(n)));
+
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    Member member;
+
+    // Random partition of the features into subsets of ~subset_size.
+    std::vector<size_t> perm(d);
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    rng.Shuffle(perm);
+    for (size_t start = 0; start < d; start += subset_size) {
+      const size_t end = std::min(d, start + subset_size);
+      member.subsets.emplace_back(perm.begin() + static_cast<ptrdiff_t>(start),
+                                  perm.begin() + static_cast<ptrdiff_t>(end));
+    }
+
+    // PCA per subset on a bootstrap sample.
+    for (const auto& subset : member.subsets) {
+      const std::vector<size_t> sample =
+          rng.SampleWithReplacement(n, bootstrap_n);
+      std::vector<std::vector<double>> sub_rows(sample.size());
+      for (size_t r = 0; r < sample.size(); ++r) {
+        sub_rows[r].resize(subset.size());
+        for (size_t c = 0; c < subset.size(); ++c) {
+          sub_rows[r][c] = data.x[sample[r]][subset[c]];
+        }
+      }
+      const EigenResult eig = JacobiEigenSymmetric(Covariance(sub_rows));
+
+      // loadings[i][r]: weight of input feature i on rotated axis r.
+      std::vector<std::vector<double>> loading(
+          subset.size(), std::vector<double>(subset.size()));
+      for (size_t i = 0; i < subset.size(); ++i) {
+        for (size_t r = 0; r < subset.size(); ++r) {
+          loading[i][r] = eig.eigenvectors.at(i, r);
+        }
+      }
+      member.loadings.push_back(std::move(loading));
+    }
+
+    // Train the tree on the fully rotated training data.
+    LabeledMatrix rotated;
+    rotated.y = data.y;
+    rotated.x.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      rotated.x[i] = Rotate(member, data.x[i]);
+    }
+    member.tree = DecisionTree(options_.tree);
+    member.tree.Fit(rotated);
+    trees_.push_back(std::move(member));
+  }
+}
+
+std::vector<double> RotationForest::Rotate(
+    const Member& member, std::span<const double> features) const {
+  std::vector<double> out;
+  for (size_t s = 0; s < member.subsets.size(); ++s) {
+    const auto& subset = member.subsets[s];
+    const auto& loading = member.loadings[s];
+    for (size_t r = 0; r < subset.size(); ++r) {
+      double v = 0.0;
+      for (size_t i = 0; i < subset.size(); ++i) {
+        v += loading[i][r] * features[subset[i]];
+      }
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+int RotationForest::Predict(std::span<const double> features) const {
+  IPS_CHECK(!trees_.empty());
+  std::vector<size_t> votes(static_cast<size_t>(num_classes_), 0);
+  for (const Member& member : trees_) {
+    const std::vector<double> rotated = Rotate(member, features);
+    ++votes[static_cast<size_t>(member.tree.Predict(rotated))];
+  }
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace ips

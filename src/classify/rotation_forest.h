@@ -1,0 +1,62 @@
+// Rotation Forest (Rodriguez et al., TPAMI 2006) -- the RotF baseline of the
+// paper's Table VI, applied (as in the TSC bake-off [2]) to the raw series
+// values as a feature vector.
+//
+// Each ensemble member partitions the feature set into K disjoint subsets,
+// runs PCA on a bootstrap sample of each subset, assembles the principal
+// axes into a block-diagonal rotation matrix, and trains a decision tree on
+// the rotated data. Prediction is by majority vote.
+
+#ifndef IPS_CLASSIFY_ROTATION_FOREST_H_
+#define IPS_CLASSIFY_ROTATION_FOREST_H_
+
+#include <cstdint>
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/decision_tree.h"
+#include "classify/linalg.h"
+
+namespace ips {
+
+/// Ensemble parameters.
+struct RotationForestOptions {
+  size_t num_trees = 10;
+  size_t features_per_subset = 4;
+  double bootstrap_fraction = 0.75;
+  DecisionTreeOptions tree;
+  uint64_t seed = 31;
+};
+
+/// Rotation Forest over dense feature vectors.
+class RotationForest final : public Classifier {
+ public:
+  explicit RotationForest(RotationForestOptions options = {})
+      : options_(options) {}
+
+  void Fit(const LabeledMatrix& data) override;
+  int Predict(std::span<const double> features) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Member {
+    // Per-subset feature indices and the rotation loading for each subset:
+    // rotated feature r of subset s = sum_i loadings[s][i][r] * x[subset[s][i]].
+    std::vector<std::vector<size_t>> subsets;
+    std::vector<std::vector<std::vector<double>>> loadings;
+    DecisionTree tree;
+  };
+
+  std::vector<double> Rotate(const Member& member,
+                             std::span<const double> features) const;
+
+  RotationForestOptions options_;
+  std::vector<Member> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CLASSIFY_ROTATION_FOREST_H_

@@ -1,0 +1,158 @@
+#include "classify/svm.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rng.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+// Dual coordinate descent for the L1-loss (hinge) linear SVM:
+//   min_w 1/2 ||w||^2 + C sum max(0, 1 - y_i w.x_i)
+// over samples with binary labels y in {-1, +1}. Returns w. The bias is
+// expected to be modelled by an appended constant feature.
+std::vector<double> TrainBinary(const std::vector<std::vector<double>>& x,
+                                const std::vector<int>& y,
+                                const SvmOptions& options) {
+  const size_t n = x.size();
+  const size_t d = x.front().size();
+  std::vector<double> w(d, 0.0);
+  std::vector<double> alpha(n, 0.0);
+
+  // Diagonal of Q: ||x_i||^2.
+  std::vector<double> qd(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (double v : x[i]) s += v * v;
+    qd[i] = s;
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  Rng rng(options.seed);
+
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    rng.Shuffle(order);
+    double max_pg = 0.0;
+    for (size_t i : order) {
+      if (qd[i] <= 0.0) continue;
+      const double yi = static_cast<double>(y[i]);
+      double wx = 0.0;
+      for (size_t j = 0; j < d; ++j) wx += w[j] * x[i][j];
+      const double g = yi * wx - 1.0;
+
+      // Projected gradient.
+      double pg = g;
+      if (alpha[i] <= 0.0) {
+        pg = std::min(g, 0.0);
+      } else if (alpha[i] >= options.c) {
+        pg = std::max(g, 0.0);
+      }
+      max_pg = std::max(max_pg, std::abs(pg));
+      if (pg == 0.0) continue;
+
+      const double old_alpha = alpha[i];
+      alpha[i] = std::clamp(old_alpha - g / qd[i], 0.0, options.c);
+      const double delta = (alpha[i] - old_alpha) * yi;
+      if (delta != 0.0) {
+        for (size_t j = 0; j < d; ++j) w[j] += delta * x[i][j];
+      }
+    }
+    if (max_pg < options.tolerance) break;
+  }
+  return w;
+}
+
+}  // namespace
+
+void LinearSvm::Fit(const LabeledMatrix& data) {
+  IPS_CHECK(!data.x.empty());
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  IPS_CHECK(d >= 1);
+  const int num_classes = data.NumClasses();
+  IPS_CHECK(num_classes >= 1);
+
+  // Learn the standardisation.
+  feature_means_.assign(d, 0.0);
+  feature_stds_.assign(d, 0.0);
+  for (const auto& row : data.x) {
+    IPS_CHECK(row.size() == d);
+    for (size_t j = 0; j < d; ++j) feature_means_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) feature_means_[j] /= static_cast<double>(n);
+  for (const auto& row : data.x) {
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - feature_means_[j];
+      feature_stds_[j] += diff * diff;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    feature_stds_[j] = std::sqrt(feature_stds_[j] / static_cast<double>(n));
+    if (feature_stds_[j] < 1e-12) feature_stds_[j] = 1.0;
+  }
+
+  // Standardised matrix with the bias feature appended.
+  std::vector<std::vector<double>> xs(n, std::vector<double>(d + 1));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      xs[i][j] = (data.x[i][j] - feature_means_[j]) / feature_stds_[j];
+    }
+    xs[i][d] = 1.0;
+  }
+
+  weights_.assign(static_cast<size_t>(num_classes),
+                  std::vector<double>(d + 1, 0.0));
+  std::vector<int> binary(n);
+  for (int c = 0; c < num_classes; ++c) {
+    for (size_t i = 0; i < n; ++i) binary[i] = data.y[i] == c ? 1 : -1;
+    SvmOptions per_class = options_;
+    per_class.seed = options_.seed + static_cast<uint64_t>(c);
+    weights_[static_cast<size_t>(c)] = TrainBinary(xs, binary, per_class);
+  }
+}
+
+std::vector<double> LinearSvm::Standardize(
+    std::span<const double> features) const {
+  IPS_CHECK(features.size() == feature_means_.size());
+  std::vector<double> out(features.size() + 1);
+  for (size_t j = 0; j < features.size(); ++j) {
+    out[j] = (features[j] - feature_means_[j]) / feature_stds_[j];
+  }
+  out[features.size()] = 1.0;
+  return out;
+}
+
+double LinearSvm::DecisionValue(std::span<const double> features,
+                                int label) const {
+  IPS_CHECK(label >= 0 && label < num_classes());
+  const std::vector<double> xs = Standardize(features);
+  const auto& w = weights_[static_cast<size_t>(label)];
+  double s = 0.0;
+  for (size_t j = 0; j < xs.size(); ++j) s += w[j] * xs[j];
+  return s;
+}
+
+int LinearSvm::Predict(std::span<const double> features) const {
+  IPS_CHECK(!weights_.empty());
+  const std::vector<double> xs = Standardize(features);
+  int best = 0;
+  double best_value = -1e300;
+  for (int c = 0; c < num_classes(); ++c) {
+    const auto& w = weights_[static_cast<size_t>(c)];
+    double s = 0.0;
+    for (size_t j = 0; j < xs.size(); ++j) s += w[j] * xs[j];
+    if (s > best_value) {
+      best_value = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ips

@@ -1,0 +1,53 @@
+// Linear-kernel SVM trained by dual coordinate descent (Hsieh et al., ICML
+// 2008 -- the LIBLINEAR algorithm), with one-vs-rest reduction for
+// multiclass. This is the classification back-end the paper applies to the
+// shapelet-transformed data (§III-D "Remarks").
+//
+// Features are standardised internally (per-dimension mean/variance learned
+// at Fit time) so shapelet distances of different scales are weighted
+// comparably, and a bias term is learned via feature augmentation.
+
+#ifndef IPS_CLASSIFY_SVM_H_
+#define IPS_CLASSIFY_SVM_H_
+
+#include <cstdint>
+
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace ips {
+
+/// Hyper-parameters of the linear SVM.
+struct SvmOptions {
+  double c = 1.0;           ///< Soft-margin penalty.
+  size_t max_passes = 200;  ///< Maximum coordinate-descent epochs.
+  double tolerance = 1e-4;  ///< Projected-gradient stopping tolerance.
+  uint64_t seed = 13;       ///< Permutation seed.
+};
+
+/// One-vs-rest linear SVM.
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(SvmOptions options = {}) : options_(options) {}
+
+  void Fit(const LabeledMatrix& data) override;
+  int Predict(std::span<const double> features) const override;
+
+  /// Decision value of class `label` for a feature vector (w . x + b).
+  double DecisionValue(std::span<const double> features, int label) const;
+
+  int num_classes() const { return static_cast<int>(weights_.size()); }
+
+ private:
+  std::vector<double> Standardize(std::span<const double> features) const;
+
+  SvmOptions options_;
+  std::vector<std::vector<double>> weights_;  // per class, incl. bias weight
+  std::vector<double> feature_means_;
+  std::vector<double> feature_stds_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CLASSIFY_SVM_H_

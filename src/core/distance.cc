@@ -1,0 +1,122 @@
+#include "core/distance.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "core/fft.h"
+#include "util/check.h"
+
+namespace ips {
+
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b) {
+  IPS_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double Euclidean(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredEuclidean(a, b));
+}
+
+namespace {
+
+std::vector<double> SlidingProducts(std::span<const double> query,
+                                    std::span<const double> series) {
+  if (query.size() < kFftCutoff) {
+    return SlidingDotProductsNaive(query, series);
+  }
+  return SlidingDotProductsAuto(query, series);
+}
+
+}  // namespace
+
+std::vector<double> DistanceProfileRaw(std::span<const double> query,
+                                       std::span<const double> series) {
+  const size_t m = query.size();
+  const size_t n = series.size();
+  IPS_CHECK(m >= 1);
+  IPS_CHECK(n >= m);
+
+  double qq = 0.0;
+  for (double v : query) qq += v * v;
+
+  // Prefix sums of series^2 for the window energies.
+  std::vector<double> sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) sq[i + 1] = sq[i] + series[i] * series[i];
+
+  const std::vector<double> qt = SlidingProducts(query, series);
+
+  std::vector<double> out(n - m + 1);
+  const double md = static_cast<double>(m);
+  for (size_t i = 0; i <= n - m; ++i) {
+    const double window_sq = sq[i + m] - sq[i];
+    out[i] = std::max(0.0, (qq - 2.0 * qt[i] + window_sq) / md);
+  }
+  return out;
+}
+
+double SubsequenceDistance(std::span<const double> a,
+                           std::span<const double> b) {
+  const std::span<const double>& shorter = a.size() <= b.size() ? a : b;
+  const std::span<const double>& longer = a.size() <= b.size() ? b : a;
+  const std::vector<double> profile = DistanceProfileRaw(shorter, longer);
+  return *std::min_element(profile.begin(), profile.end());
+}
+
+std::vector<double> DistanceProfileZNorm(std::span<const double> query,
+                                         std::span<const double> series,
+                                         const RollingStats* stats) {
+  const size_t m = query.size();
+  const size_t n = series.size();
+  IPS_CHECK(m >= 1);
+  IPS_CHECK(n >= m);
+
+  RollingStats local;
+  if (stats == nullptr) {
+    local = ComputeRollingStats(series, m);
+    stats = &local;
+  }
+  IPS_CHECK(stats->means.size() == n - m + 1);
+
+  const std::vector<double> q = ZNormalize(query);
+  const bool query_flat =
+      std::all_of(q.begin(), q.end(), [](double v) { return v == 0.0; });
+
+  const std::vector<double> qt = SlidingProducts(q, series);
+
+  // For a z-normalised query q (mean 0, ||q||^2 = m when not flat) and window
+  // w with mean mu, std sig:
+  //   || q - znorm(w) ||^2 = m + m - 2 * <q, w - mu> / sig
+  //                        = 2m - 2 * <q, w> / sig          (since sum q = 0)
+  std::vector<double> out(n - m + 1);
+  const double md = static_cast<double>(m);
+  for (size_t i = 0; i <= n - m; ++i) {
+    const double sig = stats->stds[i];
+    const bool window_flat = sig < kFlatStdEpsilon;
+    if (query_flat && window_flat) {
+      out[i] = 0.0;
+    } else if (query_flat || window_flat) {
+      // One side is the all-zero vector; distance is the other's norm sqrt(m).
+      out[i] = std::sqrt(md);
+    } else {
+      const double d2 = std::max(0.0, 2.0 * md - 2.0 * qt[i] / sig);
+      out[i] = std::sqrt(d2);
+    }
+  }
+  return out;
+}
+
+double SubsequenceDistanceZNorm(std::span<const double> a,
+                                std::span<const double> b) {
+  const std::span<const double>& shorter = a.size() <= b.size() ? a : b;
+  const std::span<const double>& longer = a.size() <= b.size() ? b : a;
+  const std::vector<double> profile = DistanceProfileZNorm(shorter, longer);
+  return *std::min_element(profile.begin(), profile.end());
+}
+
+}  // namespace ips

@@ -1,0 +1,60 @@
+// Distance kernels (paper Def. 4 and the z-normalised profile used by the
+// matrix profile).
+//
+// Two families are provided:
+//  * Raw distances: the paper's Def. 4 -- length-normalised squared Euclidean
+//    distance, minimised over all alignments of the shorter series inside the
+//    longer one. Used for shapelet/candidate scoring and the transform.
+//  * Z-normalised distances: each window is z-normalised before comparison;
+//    this is the matrix-profile metric (MASS / STOMP).
+
+#ifndef IPS_CORE_DISTANCE_H_
+#define IPS_CORE_DISTANCE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/znorm.h"
+
+namespace ips {
+
+/// Sum of squared differences between equal-length vectors.
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b);
+
+/// sqrt(SquaredEuclidean).
+double Euclidean(std::span<const double> a, std::span<const double> b);
+
+/// Query length below which the FFT path is never used, regardless of the
+/// cost model (tiny transforms never pay off). The actual naive/FFT choice
+/// is ShouldUseFftSlidingProducts() in core/fft.h.
+inline constexpr size_t kFftCutoff = 64;
+
+/// Raw distance profile of `query` against `series` (requires
+/// series.size() >= query.size() >= 1):
+///   profile[i] = (1/m) * sum_j (series[i+j] - query[j])^2.
+/// O(n log n) via FFT when the query is long, O(n*m) otherwise.
+std::vector<double> DistanceProfileRaw(std::span<const double> query,
+                                       std::span<const double> series);
+
+/// The paper's dist(Tp, Tq) (Def. 4): minimum of the raw distance profile of
+/// the shorter input slid along the longer one. Symmetric in its arguments.
+double SubsequenceDistance(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Z-normalised Euclidean distance profile (the MASS algorithm):
+///   profile[i] = || znorm(series[i..i+m)) - znorm(query) ||_2.
+/// Constant windows (stddev ~ 0) are compared as all-zero vectors.
+/// `stats` may supply precomputed rolling statistics for `series` with
+/// window m; pass nullptr to compute them internally.
+std::vector<double> DistanceProfileZNorm(std::span<const double> query,
+                                         std::span<const double> series,
+                                         const RollingStats* stats = nullptr);
+
+/// Z-normalised subsequence distance: minimum of DistanceProfileZNorm of the
+/// shorter input against the longer one. Symmetric in its arguments.
+double SubsequenceDistanceZNorm(std::span<const double> a,
+                                std::span<const double> b);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_DISTANCE_H_

@@ -1,0 +1,87 @@
+#include "core/dtw.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ips {
+
+double DtwDistance(std::span<const double> a, std::span<const double> b,
+                   int window) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  IPS_CHECK(n >= 1);
+  IPS_CHECK(m >= 1);
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  size_t w;
+  if (window < 0) {
+    w = std::max(n, m);  // unconstrained
+  } else {
+    // The band must be at least |n - m| wide for a path to exist.
+    w = std::max<size_t>(static_cast<size_t>(window),
+                         n > m ? n - m : m - n);
+  }
+
+  // Two-row dynamic program over the banded cost matrix.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const size_t j_lo = i > w ? i - w : 1;
+    const size_t j_hi = std::min(m, i + w);
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = d * d + best;
+    }
+    std::swap(prev, curr);
+  }
+  return std::sqrt(prev[m]);
+}
+
+Envelope ComputeEnvelope(std::span<const double> x, int window) {
+  IPS_CHECK(window >= 0);
+  const size_t n = x.size();
+  const size_t w = static_cast<size_t>(window);
+  Envelope env;
+  env.lower.resize(n);
+  env.upper.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i > w ? i - w : 0;
+    const size_t hi = std::min(n - 1, i + w);
+    double mn = x[lo], mx = x[lo];
+    for (size_t j = lo + 1; j <= hi; ++j) {
+      mn = std::min(mn, x[j]);
+      mx = std::max(mx, x[j]);
+    }
+    env.lower[i] = mn;
+    env.upper[i] = mx;
+  }
+  return env;
+}
+
+double LbKeogh(std::span<const double> query, std::span<const double> candidate,
+               int window) {
+  IPS_CHECK(query.size() == candidate.size());
+  const Envelope env = ComputeEnvelope(candidate, window);
+  double s = 0.0;
+  for (size_t i = 0; i < query.size(); ++i) {
+    if (query[i] > env.upper[i]) {
+      const double d = query[i] - env.upper[i];
+      s += d * d;
+    } else if (query[i] < env.lower[i]) {
+      const double d = env.lower[i] - query[i];
+      s += d * d;
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace ips

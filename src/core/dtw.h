@@ -1,0 +1,38 @@
+// Dynamic time warping with an optional Sakoe-Chiba band, plus the LB_Keogh
+// lower bound used to accelerate 1NN-DTW classification.
+
+#ifndef IPS_CORE_DTW_H_
+#define IPS_CORE_DTW_H_
+
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// DTW distance between `a` and `b` under squared-difference local cost,
+/// returned as the square root of the accumulated cost (so DTW of identical
+/// series is 0 and DTW >= 0 always).
+///
+/// `window` is the Sakoe-Chiba band half-width in samples; a negative value
+/// means unconstrained. With window = 0 and equal lengths this degenerates to
+/// the Euclidean distance.
+double DtwDistance(std::span<const double> a, std::span<const double> b,
+                   int window = -1);
+
+/// LB_Keogh lower bound on DtwDistance(query, candidate, window) for
+/// equal-length inputs; cheap O(n) filter for 1NN search. Requires
+/// window >= 0.
+double LbKeogh(std::span<const double> query, std::span<const double> candidate,
+               int window);
+
+/// Upper/lower envelopes of `x` within a +/- `window` band, as used by
+/// LB_Keogh. Exposed for testing.
+struct Envelope {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+Envelope ComputeEnvelope(std::span<const double> x, int window);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_DTW_H_

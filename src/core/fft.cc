@@ -1,0 +1,107 @@
+#include "core/fft.h"
+
+#include <cmath>
+
+#include <numbers>
+
+#include "util/check.h"
+
+namespace ips {
+
+void Fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  IPS_CHECK((n & (n - 1)) == 0);
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& v : a) v /= static_cast<double>(n);
+  }
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<double> SlidingDotProducts(std::span<const double> query,
+                                       std::span<const double> series) {
+  const size_t m = query.size();
+  const size_t n = series.size();
+  IPS_CHECK(m >= 1);
+  IPS_CHECK(n >= m);
+
+  const size_t size = NextPowerOfTwo(n + m);
+  std::vector<std::complex<double>> fs(size), fq(size);
+  for (size_t i = 0; i < n; ++i) fs[i] = series[i];
+  // Reversed query turns the convolution into a cross-correlation.
+  for (size_t i = 0; i < m; ++i) fq[i] = query[m - 1 - i];
+
+  Fft(fs, /*inverse=*/false);
+  Fft(fq, /*inverse=*/false);
+  for (size_t i = 0; i < size; ++i) fs[i] *= fq[i];
+  Fft(fs, /*inverse=*/true);
+
+  std::vector<double> out(n - m + 1);
+  for (size_t i = 0; i <= n - m; ++i) out[i] = fs[m - 1 + i].real();
+  return out;
+}
+
+bool ShouldUseFftSlidingProducts(size_t query_len, size_t series_len) {
+  const size_t padded = NextPowerOfTwo(series_len + query_len);
+  double log2n = 0.0;
+  for (size_t p = padded; p > 1; p >>= 1) log2n += 1.0;
+  const double naive_cost =
+      static_cast<double>(query_len) * static_cast<double>(series_len);
+  const double fft_cost = 14.0 * static_cast<double>(padded) * log2n;
+  return naive_cost > fft_cost;
+}
+
+std::vector<double> SlidingDotProductsAuto(std::span<const double> query,
+                                           std::span<const double> series) {
+  if (ShouldUseFftSlidingProducts(query.size(), series.size())) {
+    return SlidingDotProducts(query, series);
+  }
+  return SlidingDotProductsNaive(query, series);
+}
+
+std::vector<double> SlidingDotProductsNaive(std::span<const double> query,
+                                            std::span<const double> series) {
+  const size_t m = query.size();
+  const size_t n = series.size();
+  IPS_CHECK(m >= 1);
+  IPS_CHECK(n >= m);
+  std::vector<double> out(n - m + 1, 0.0);
+  for (size_t i = 0; i <= n - m; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < m; ++j) s += query[j] * series[i + j];
+    out[i] = s;
+  }
+  return out;
+}
+
+}  // namespace ips

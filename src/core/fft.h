@@ -1,0 +1,48 @@
+// Iterative radix-2 FFT and FFT-based sliding dot products.
+//
+// The MASS distance-profile kernel needs the dot product of a query against
+// every window of a series; computing all of them at once is a linear
+// convolution, done here by zero-padding to a power of two.
+
+#ifndef IPS_CORE_FFT_H_
+#define IPS_CORE_FFT_H_
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `a.size()` must be a power
+/// of two. `inverse` selects the inverse transform (including the 1/n scale).
+void Fft(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Smallest power of two >= n.
+size_t NextPowerOfTwo(size_t n);
+
+/// Sliding dot products of `query` (length m) against `series` (length n >=
+/// m): result[i] = sum_j query[j] * series[i + j], for i in [0, n - m].
+/// O(n log n) via FFT cross-correlation.
+std::vector<double> SlidingDotProducts(std::span<const double> query,
+                                       std::span<const double> series);
+
+/// Direct O(n*m) sliding dot products; reference implementation and the
+/// faster choice for short queries (see micro_kernels benchmark).
+std::vector<double> SlidingDotProductsNaive(std::span<const double> query,
+                                            std::span<const double> series);
+
+/// Cost-model choice between the two kernels: the naive path costs ~n*m
+/// multiply-adds, the FFT path ~3 transforms of size N = 2^ceil(log2(n+m)).
+/// The constant is calibrated by the micro_kernels benchmark (naive ~0.6
+/// ns/op, FFT ~8 ns per N*log2(N) unit on the reference machine), putting
+/// the crossover near m ~ 350 for n ~ 4k.
+bool ShouldUseFftSlidingProducts(size_t query_len, size_t series_len);
+
+/// Dispatches between SlidingDotProducts and SlidingDotProductsNaive via
+/// ShouldUseFftSlidingProducts.
+std::vector<double> SlidingDotProductsAuto(std::span<const double> query,
+                                           std::span<const double> series);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_FFT_H_

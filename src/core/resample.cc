@@ -1,0 +1,33 @@
+#include "core/resample.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ips {
+
+std::vector<double> ResampleToDim(std::span<const double> x, size_t dim) {
+  IPS_CHECK(!x.empty());
+  IPS_CHECK(dim >= 1);
+  std::vector<double> out(dim);
+  if (x.size() == 1) {
+    for (auto& v : out) v = x[0];
+    return out;
+  }
+  if (dim == 1) {
+    out[0] = x[x.size() / 2];
+    return out;
+  }
+  const double step = static_cast<double>(x.size() - 1) /
+                      static_cast<double>(dim - 1);
+  for (size_t i = 0; i < dim; ++i) {
+    const double pos = static_cast<double>(i) * step;
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = lo + 1 < x.size() ? lo + 1 : lo;
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = x[lo] * (1.0 - frac) + x[hi] * frac;
+  }
+  return out;
+}
+
+}  // namespace ips

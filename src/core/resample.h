@@ -1,0 +1,22 @@
+// Linear-interpolation resampling. Shapelet candidates come in several
+// lengths; the DABF hashes them after resampling to a fixed dimension, which
+// is the linear-map view of LSH the paper appeals to (Johnson-Lindenstrauss).
+
+#ifndef IPS_CORE_RESAMPLE_H_
+#define IPS_CORE_RESAMPLE_H_
+
+#include <cstddef>
+
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// Resamples `x` to exactly `dim` points by linear interpolation over the
+/// index range. A length-1 input is replicated. Requires non-empty input and
+/// dim >= 1.
+std::vector<double> ResampleToDim(std::span<const double> x, size_t dim);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_RESAMPLE_H_

@@ -1,0 +1,46 @@
+#include "core/rng.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ips {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  IPS_CHECK(lo <= hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+}
+
+size_t Rng::Index(size_t n) {
+  IPS_CHECK(n > 0);
+  return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(gen_);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  IPS_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector: O(n) setup, exact uniformity.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    std::swap(idx[i], idx[i + Index(n - i)]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<size_t> Rng::SampleWithReplacement(size_t n, size_t k) {
+  IPS_CHECK(n > 0);
+  std::vector<size_t> out(k);
+  for (auto& v : out) v = Index(n);
+  return out;
+}
+
+}  // namespace ips

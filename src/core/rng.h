@@ -1,0 +1,56 @@
+// Seeded random-number utilities. All stochastic components of the library
+// (instance sampling, LSH projections, dataset generation) draw from an
+// explicitly-seeded Rng so that every experiment is reproducible.
+
+#ifndef IPS_CORE_RNG_H_
+#define IPS_CORE_RNG_H_
+
+#include <cstdint>
+
+#include <random>
+#include <vector>
+
+namespace ips {
+
+/// Wrapper around a 64-bit Mersenne Twister with the sampling helpers the
+/// library needs. Copyable; copies continue the same stream independently.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform size_t in [0, n). Requires n > 0.
+  size_t Index(size_t n);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal draw scaled to N(mean, stddev^2).
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// k distinct indices drawn uniformly from [0, n). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// k indices drawn uniformly from [0, n), repeats allowed.
+  std::vector<size_t> SampleWithReplacement(size_t n, size_t k);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[Index(i)]);
+    }
+  }
+
+  /// Access to the underlying engine for <random> distributions.
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_CORE_RNG_H_

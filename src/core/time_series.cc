@@ -1,0 +1,77 @@
+#include "core/time_series.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ips {
+
+Dataset::Dataset(std::vector<TimeSeries> series) : series_(std::move(series)) {}
+
+void Dataset::Add(TimeSeries series) { series_.push_back(std::move(series)); }
+
+int Dataset::NumClasses() const {
+  int max_label = -1;
+  for (const auto& t : series_) max_label = std::max(max_label, t.label);
+  return max_label + 1;
+}
+
+std::vector<size_t> Dataset::IndicesOfClass(int label) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < series_.size(); ++i) {
+    if (series_[i].label == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<TimeSeries> Dataset::SeriesOfClass(int label) const {
+  std::vector<TimeSeries> out;
+  for (const auto& t : series_) {
+    if (t.label == label) out.push_back(t);
+  }
+  return out;
+}
+
+TimeSeries Dataset::ConcatenateClass(int label) const {
+  TimeSeries out;
+  out.label = label;
+  for (const auto& t : series_) {
+    if (t.label != label) continue;
+    out.values.insert(out.values.end(), t.values.begin(), t.values.end());
+  }
+  return out;
+}
+
+size_t Dataset::MaxLength() const {
+  size_t n = 0;
+  for (const auto& t : series_) n = std::max(n, t.length());
+  return n;
+}
+
+size_t Dataset::MinLength() const {
+  if (series_.empty()) return 0;
+  size_t n = series_.front().length();
+  for (const auto& t : series_) n = std::min(n, t.length());
+  return n;
+}
+
+std::vector<int> Dataset::Labels() const {
+  std::vector<int> out;
+  out.reserve(series_.size());
+  for (const auto& t : series_) out.push_back(t.label);
+  return out;
+}
+
+Subsequence ExtractSubsequence(const TimeSeries& t, size_t start,
+                               size_t length, int series_index) {
+  IPS_CHECK(start + length <= t.length());
+  Subsequence s;
+  s.values.assign(t.values.begin() + static_cast<ptrdiff_t>(start),
+                  t.values.begin() + static_cast<ptrdiff_t>(start + length));
+  s.label = t.label;
+  s.series_index = series_index;
+  s.start = start;
+  return s;
+}
+
+}  // namespace ips

@@ -1,0 +1,93 @@
+// Fundamental time-series containers (paper Defs. 1-3).
+//
+// A TimeSeries is an ordered sequence of real values with an integer class
+// label; a Dataset is a collection of labelled TimeSeries; a Subsequence is an
+// owned extract of a series that remembers where it came from (class, series
+// index, offset) -- shapelet candidates are Subsequences.
+
+#ifndef IPS_CORE_TIME_SERIES_H_
+#define IPS_CORE_TIME_SERIES_H_
+
+#include <cstddef>
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ips {
+
+/// Ordered value sequence with a class label (Def. 1). Label -1 means
+/// "unlabelled".
+struct TimeSeries {
+  std::vector<double> values;
+  int label = -1;
+
+  TimeSeries() = default;
+  TimeSeries(std::vector<double> v, int l) : values(std::move(v)), label(l) {}
+
+  size_t length() const { return values.size(); }
+  double operator[](size_t i) const { return values[i]; }
+  std::span<const double> view() const { return values; }
+};
+
+/// An owned time-series extract that records its provenance. Used for
+/// shapelet candidates and discovered shapelets.
+struct Subsequence {
+  std::vector<double> values;
+  int label = -1;        ///< Class of the source series.
+  int series_index = -1; ///< Index of the source series within its dataset.
+  size_t start = 0;      ///< Offset of the extract within the source series.
+
+  size_t length() const { return values.size(); }
+  std::span<const double> view() const { return values; }
+};
+
+/// A set of labelled time series (Def. 2). Class labels are expected to be
+/// dense in [0, NumClasses()).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<TimeSeries> series);
+
+  /// Appends a series. Invalidates cached class grouping.
+  void Add(TimeSeries series);
+
+  size_t size() const { return series_.size(); }
+  bool empty() const { return series_.empty(); }
+  const TimeSeries& operator[](size_t i) const { return series_[i]; }
+  const std::vector<TimeSeries>& series() const { return series_; }
+
+  /// Number of distinct classes, computed as 1 + max label.
+  int NumClasses() const;
+
+  /// Indices of the series whose label is `label`.
+  std::vector<size_t> IndicesOfClass(int label) const;
+
+  /// All series of the given class, copied.
+  std::vector<TimeSeries> SeriesOfClass(int label) const;
+
+  /// Concatenates all series of the given class into one long series
+  /// (the paper's T_C used by the MP baseline).
+  TimeSeries ConcatenateClass(int label) const;
+
+  /// Length of the longest series in the dataset (0 when empty).
+  size_t MaxLength() const;
+
+  /// Length of the shortest series in the dataset (0 when empty).
+  size_t MinLength() const;
+
+  /// The vector of labels, one per series.
+  std::vector<int> Labels() const;
+
+ private:
+  std::vector<TimeSeries> series_;
+};
+
+/// Extracts the subsequence T[start, start+length) of series `t` as an owned
+/// Subsequence with provenance filled in.
+Subsequence ExtractSubsequence(const TimeSeries& t, size_t start,
+                               size_t length, int series_index = -1);
+
+}  // namespace ips
+
+#endif  // IPS_CORE_TIME_SERIES_H_

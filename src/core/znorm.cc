@@ -1,0 +1,85 @@
+#include "core/znorm.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ips {
+
+double Mean(std::span<const double> x) {
+  IPS_CHECK(!x.empty());
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double StdDev(std::span<const double> x) {
+  IPS_CHECK(!x.empty());
+  const double m = Mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+std::vector<double> ZNormalize(std::span<const double> x) {
+  std::vector<double> out(x.begin(), x.end());
+  ZNormalizeInPlace(out);
+  return out;
+}
+
+void ZNormalizeInPlace(std::vector<double>& x) {
+  if (x.empty()) return;
+  const double m = Mean(x);
+  const double s = StdDev(x);
+  if (s < kFlatStdEpsilon) {
+    std::fill(x.begin(), x.end(), 0.0);
+    return;
+  }
+  for (double& v : x) v = (v - m) / s;
+}
+
+RollingStats ComputeRollingStats(std::span<const double> x, size_t w) {
+  IPS_CHECK(w >= 1);
+  IPS_CHECK(x.size() >= w);
+  const size_t n = x.size();
+  const size_t count = n - w + 1;
+
+  if (w == 1) {
+    // Size-1 windows: mean is the sample, deviation is exactly zero.
+    RollingStats rs;
+    rs.means.assign(x.begin(), x.end());
+    rs.stds.assign(n, 0.0);
+    return rs;
+  }
+
+  // Prefix sums of the globally-centred data: subtracting the overall mean
+  // first conditions the variance computation so constant windows come out
+  // exactly zero instead of sqrt(machine-epsilon) noise.
+  const double gm = Mean(x);
+  std::vector<double> sum(n + 1, 0.0);
+  std::vector<double> sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double c = x[i] - gm;
+    sum[i + 1] = sum[i] + c;
+    sq[i + 1] = sq[i] + c * c;
+  }
+
+  RollingStats rs;
+  rs.means.resize(count);
+  rs.stds.resize(count);
+  const double wd = static_cast<double>(w);
+  for (size_t i = 0; i < count; ++i) {
+    const double s1 = sum[i + w] - sum[i];
+    const double s2 = sq[i + w] - sq[i];
+    const double mean_c = s1 / wd;
+    // Cancellation can push the variance slightly negative; clamp.
+    const double var = std::max(0.0, s2 / wd - mean_c * mean_c);
+    rs.means[i] = gm + mean_c;
+    rs.stds[i] = std::sqrt(var);
+  }
+  return rs;
+}
+
+}  // namespace ips

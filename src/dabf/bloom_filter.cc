@@ -1,0 +1,70 @@
+#include "dabf/bloom_filter.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+// 64-bit FNV-1a with a seed mixed in.
+uint64_t Fnv1a(std::string_view key, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t num_bits, size_t num_hashes, uint64_t seed)
+    : bits_(std::max<size_t>(num_bits, 8), false),
+      num_hashes_(std::max<size_t>(num_hashes, 1)),
+      seed_(seed) {}
+
+BloomFilter BloomFilter::WithCapacity(size_t expected_items,
+                                      double false_positive_rate) {
+  IPS_CHECK(expected_items >= 1);
+  IPS_CHECK(false_positive_rate > 0.0 && false_positive_rate < 1.0);
+  const double n = static_cast<double>(expected_items);
+  const double ln2 = std::numbers::ln2;
+  const double m = -n * std::log(false_positive_rate) / (ln2 * ln2);
+  const double k = m / n * ln2;
+  return BloomFilter(static_cast<size_t>(std::ceil(m)),
+                     std::max<size_t>(1, static_cast<size_t>(std::round(k))));
+}
+
+uint64_t BloomFilter::HashAt(std::string_view key, size_t i) const {
+  // Kirsch-Mitzenmacher double hashing: h_i = h1 + i * h2.
+  const uint64_t h1 = Fnv1a(key, seed_);
+  const uint64_t h2 = Fnv1a(key, seed_ ^ 0xdeadbeefULL) | 1ULL;
+  return h1 + static_cast<uint64_t>(i) * h2;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    bits_[HashAt(key, i) % bits_.size()] = true;
+  }
+  ++num_items_;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    if (!bits_[HashAt(key, i) % bits_.size()]) return false;
+  }
+  return true;
+}
+
+double BloomFilter::FillRatio() const {
+  const size_t set = static_cast<size_t>(
+      std::count(bits_.begin(), bits_.end(), true));
+  return static_cast<double>(set) / static_cast<double>(bits_.size());
+}
+
+}  // namespace ips

@@ -1,0 +1,57 @@
+// Classic Bloom filter over byte strings (Bloom 1970).
+//
+// Substrate for the BSPCOVER baseline, which uses bloom filters to drop
+// shapelet candidates whose discretised PAA word has already been seen, and
+// the conceptual ancestor of the paper's distribution-aware bloom filter.
+
+#ifndef IPS_DABF_BLOOM_FILTER_H_
+#define IPS_DABF_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include <string_view>
+#include <vector>
+
+namespace ips {
+
+/// Standard m-bit, k-hash Bloom filter. Answers "definitely not in the set"
+/// or "possibly in the set".
+class BloomFilter {
+ public:
+  /// `num_bits` bit array positions and `num_hashes` hash functions.
+  BloomFilter(size_t num_bits, size_t num_hashes, uint64_t seed = 0x9e3779b9);
+
+  /// Sizes the filter for an expected item count and target false-positive
+  /// rate using the optimal m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+  static BloomFilter WithCapacity(size_t expected_items,
+                                  double false_positive_rate);
+
+  /// Inserts a key.
+  void Add(std::string_view key);
+
+  /// False means the key was definitely never added; true means it possibly
+  /// was.
+  bool MayContain(std::string_view key) const;
+
+  size_t num_bits() const { return bits_.size(); }
+  size_t num_hashes() const { return num_hashes_; }
+
+  /// Number of Add() calls so far.
+  size_t num_items() const { return num_items_; }
+
+  /// Fraction of bits set -- a saturation diagnostic.
+  double FillRatio() const;
+
+ private:
+  uint64_t HashAt(std::string_view key, size_t i) const;
+
+  std::vector<bool> bits_;
+  size_t num_hashes_;
+  uint64_t seed_;
+  size_t num_items_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_DABF_BLOOM_FILTER_H_

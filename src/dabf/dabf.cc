@@ -1,0 +1,108 @@
+#include "dabf/dabf.h"
+
+#include <cmath>
+
+#include "core/resample.h"
+#include "core/znorm.h"
+#include "util/check.h"
+
+namespace ips {
+
+ClassDabf::ClassDabf(std::span<const Subsequence> candidates,
+                     const DabfOptions& options)
+    : options_(options) {
+  IPS_CHECK(!candidates.empty());
+
+  LshParams params;
+  params.scheme = options.scheme;
+  params.input_dim = options.projection_dim;
+  params.num_hashes = options.num_hashes;
+  params.bucket_width = options.bucket_width;
+  params.seed = options.seed;
+  family_ = MakeLshFamily(params);
+  table_ = std::make_unique<LshTable>(family_.get());
+
+  for (const Subsequence& c : candidates) {
+    table_->Add(Featurize(c.view()));
+  }
+  table_->Finalize();
+
+  // Fit the distribution of the z-normalised distance-to-origin statistics
+  // (Algorithm 2 lines 8-10 / Formula 10).
+  const std::vector<double>& norms = table_->item_norms();
+  mean_ = Mean(norms);
+  stddev_ = StdDev(norms);
+  if (stddev_ < kFlatStdEpsilon) stddev_ = 1.0;
+
+  std::vector<double> z(norms.size());
+  for (size_t i = 0; i < norms.size(); ++i) {
+    z[i] = (norms[i] - mean_) / stddev_;
+  }
+  BestFit fit = FitBestDistribution(z, options.num_bins);
+  distribution_ = std::move(fit.distribution);
+  fit_name_ = distribution_->Name();
+  nmse_ = fit.nmse;
+}
+
+std::vector<double> ClassDabf::Featurize(std::span<const double> x) const {
+  std::vector<double> r = ResampleToDim(x, options_.projection_dim);
+  ZNormalizeInPlace(r);
+  return r;
+}
+
+double ClassDabf::NormalizedDistance(
+    std::span<const double> candidate) const {
+  const double norm = table_->ProjectionNorm(Featurize(candidate));
+  const double z = (norm - mean_) / stddev_;
+  // Centre on the fitted distribution (a non-normal best fit can have a
+  // non-zero mean in z space).
+  return (z - distribution_->Mean()) /
+         std::max(distribution_->StdDev(), 1e-9);
+}
+
+bool ClassDabf::KeyCollides(std::span<const double> candidate) const {
+  return table_->ContainsKey(Featurize(candidate));
+}
+
+bool ClassDabf::PossiblyCloseToMost(
+    std::span<const double> candidate) const {
+  return KeyCollides(candidate) &&
+         std::abs(NormalizedDistance(candidate)) <= options_.sigma_threshold;
+}
+
+size_t ClassDabf::BucketCoordinate(std::span<const double> candidate) const {
+  return table_->QueryBucketRank(Featurize(candidate));
+}
+
+size_t ClassDabf::ItemBucketCoordinate(size_t item) const {
+  return table_->BucketRankOfItem(item);
+}
+
+Dabf::Dabf(const std::map<int, std::vector<Subsequence>>& candidates_by_class,
+           const DabfOptions& options)
+    : options_(options) {
+  for (const auto& [label, pool] : candidates_by_class) {
+    if (pool.empty()) continue;
+    DabfOptions class_options = options;
+    // Decorrelate the per-class hash functions.
+    class_options.seed =
+        options.seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(label + 1);
+    filters_.emplace(label, ClassDabf(pool, class_options));
+  }
+}
+
+const ClassDabf* Dabf::ForClass(int label) const {
+  const auto it = filters_.find(label);
+  return it == filters_.end() ? nullptr : &it->second;
+}
+
+bool Dabf::CloseToAnyOtherClass(std::span<const double> candidate,
+                                int own_label) const {
+  for (const auto& [label, filter] : filters_) {
+    if (label == own_label) continue;
+    if (filter.PossiblyCloseToMost(candidate)) return true;
+  }
+  return false;
+}
+
+}  // namespace ips

@@ -1,0 +1,147 @@
+// Distribution-aware bloom filter (paper §III-B, Algorithms 2-3, Fig. 7-8).
+//
+// A DABF answers the query "is this subsequence close to MOST elements of a
+// class's candidate population?" in O(N):
+//   1. every candidate of the class is resampled to a fixed dimension,
+//      z-normalised, and hashed by an LSH family into buckets;
+//   2. buckets are ranked by the distance between their centre and the
+//      origin of the projection space;
+//   3. the distribution of the (z-normalised) per-item distance-to-origin
+//      statistics is fitted (NMSE best fit over Normal/Gamma/Exp/Uniform);
+//   4. a query's statistic is normalised against that distribution; falling
+//      within the 3-sigma band means "possibly close to most elements"
+//      (prune), outside means "definitely not close" (keep -- a
+//      discriminative candidate).
+//
+// The ranked bucket index also serves as the scalar coordinate of the DT
+// optimisation (Formula 15/16): |rank_i - rank_j| lower-bounds the scaled
+// candidate distance and replaces O(L) distance computations with O(1).
+
+#ifndef IPS_DABF_DABF_H_
+#define IPS_DABF_DABF_H_
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/time_series.h"
+#include "lsh/lsh.h"
+#include "lsh/lsh_table.h"
+#include "stats/distribution.h"
+
+namespace ips {
+
+/// Construction and query parameters shared by all per-class filters.
+struct DabfOptions {
+  /// LSH scheme used for bucketing (the paper adopts L2 p-stable).
+  LshScheme scheme = LshScheme::kL2PStable;
+  /// Fixed dimension candidates are resampled to before hashing.
+  size_t projection_dim = 32;
+  /// Number of hash functions. Together with the bucket width this sets the
+  /// pruning selectivity: more hashes / narrower buckets make the bloom
+  /// membership bit stricter (fewer candidates pruned).
+  size_t num_hashes = 6;
+  /// p-stable bucket width, in units of the projection scale (a z-normalised
+  /// projection_dim-vector has norm sqrt(projection_dim) ~ 5.7).
+  double bucket_width = 12.0;
+  /// Chebyshev band half-width: a query within `sigma_threshold` standard
+  /// deviations of the fitted mean counts as "close to most elements".
+  double sigma_threshold = 3.0;
+  /// Histogram bins for the distribution fit.
+  size_t num_bins = 32;
+  uint64_t seed = 7;
+};
+
+/// The per-class filter: (LSH_C, Distribution_C) of the paper.
+class ClassDabf {
+ public:
+  /// Builds the filter from a class's candidate subsequences (Algorithm 2).
+  /// Requires a non-empty candidate set.
+  ClassDabf(std::span<const Subsequence> candidates,
+            const DabfOptions& options);
+
+  ClassDabf(ClassDabf&&) = default;
+  ClassDabf& operator=(ClassDabf&&) = default;
+
+  /// Query of Algorithm 3: true when (a) the candidate's LSH key collides
+  /// with a bucket of this class -- the bloom-filter membership bit,
+  /// "possibly close to a stored element" -- AND (b) its distance-to-origin
+  /// statistic lies within the sigma band of this class's fitted
+  /// distribution, i.e. it is also typical of the population. A candidate
+  /// satisfying both is "possibly close to most elements" of this class and
+  /// should be pruned by candidates of OTHER classes; failing either is
+  /// "definitely not close".
+  bool PossiblyCloseToMost(std::span<const double> candidate) const;
+
+  /// The bloom-filter membership bit alone (component (a) above).
+  bool KeyCollides(std::span<const double> candidate) const;
+
+  /// The candidate's statistic normalised by the fitted distribution:
+  /// (distance_to_origin - mu) / sigma. |value| > sigma_threshold means
+  /// "definitely not close to most elements".
+  double NormalizedDistance(std::span<const double> candidate) const;
+
+  /// Ranked-bucket coordinate of a query (the DT scalar).
+  size_t BucketCoordinate(std::span<const double> candidate) const;
+
+  /// Ranked-bucket coordinate of the i-th candidate this filter was built
+  /// from.
+  size_t ItemBucketCoordinate(size_t item) const;
+
+  size_t NumBuckets() const { return table_->NumBuckets(); }
+  size_t NumItems() const { return table_->NumItems(); }
+
+  /// Best-fit family name for reporting (Table III).
+  const std::string& best_fit_name() const { return fit_name_; }
+
+  /// NMSE of the best fit (Table III).
+  double nmse() const { return nmse_; }
+
+  /// Fitted mean / stddev of the raw distance-to-origin statistics.
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> Featurize(std::span<const double> x) const;
+
+  DabfOptions options_;
+  std::unique_ptr<LshFamily> family_;
+  std::unique_ptr<LshTable> table_;
+  std::unique_ptr<Distribution> distribution_;
+  std::string fit_name_;
+  double nmse_ = 0.0;
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+};
+
+/// The dataset-level DABF: one ClassDabf per class label (Fig. 8).
+class Dabf {
+ public:
+  /// Builds one filter per class from the per-class candidate pools.
+  /// Classes with empty pools get no filter.
+  Dabf(const std::map<int, std::vector<Subsequence>>& candidates_by_class,
+       const DabfOptions& options);
+
+  /// The filter of class `label`, or nullptr when that class had no
+  /// candidates.
+  const ClassDabf* ForClass(int label) const;
+
+  /// Algorithm 3's disjunction: true when `candidate` (of class
+  /// `own_label`) is possibly close to most elements of ANY other class --
+  /// i.e. the candidate should be pruned.
+  bool CloseToAnyOtherClass(std::span<const double> candidate,
+                            int own_label) const;
+
+  const DabfOptions& options() const { return options_; }
+  const std::map<int, ClassDabf>& filters() const { return filters_; }
+
+ private:
+  DabfOptions options_;
+  std::map<int, ClassDabf> filters_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_DABF_DABF_H_

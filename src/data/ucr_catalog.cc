@@ -1,0 +1,94 @@
+#include "data/ucr_catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ips {
+
+std::span<const UcrDatasetInfo> UcrCatalog() {
+  // Metadata from the UCR Time Series Classification Archive (2018
+  // release): name, type, classes, train size, test size, length.
+  static const std::vector<UcrDatasetInfo> kCatalog = {
+      {"ArrowHead", "Image", 3, 36, 175, 251},
+      {"Beef", "Spectro", 5, 30, 30, 470},
+      {"BeetleFly", "Image", 2, 20, 20, 512},
+      {"CBF", "Simulated", 3, 30, 900, 128},
+      {"ChlorineConcentration", "Sensor", 3, 467, 3840, 166},
+      {"Coffee", "Spectro", 2, 28, 28, 286},
+      {"Computers", "Device", 2, 250, 250, 720},
+      {"CricketZ", "Motion", 12, 390, 390, 300},
+      {"DiatomSizeReduction", "Image", 4, 16, 306, 345},
+      {"DistalPhalanxOutlineCorrect", "Image", 2, 600, 276, 80},
+      {"Earthquakes", "Sensor", 2, 322, 139, 512},
+      {"ECG200", "ECG", 2, 100, 100, 96},
+      {"ECG5000", "ECG", 5, 500, 4500, 140},
+      {"ECGFiveDays", "ECG", 2, 23, 861, 136},
+      {"ElectricDevices", "Device", 7, 8926, 7711, 96},
+      {"FaceAll", "Image", 14, 560, 1690, 131},
+      {"FaceFour", "Image", 4, 24, 88, 350},
+      {"FacesUCR", "Image", 14, 200, 2050, 131},
+      {"FordA", "Sensor", 2, 3601, 1320, 500},
+      {"GunPoint", "Motion", 2, 50, 150, 150},
+      {"Ham", "Spectro", 2, 109, 105, 431},
+      {"HandOutlines", "Image", 2, 1000, 370, 2709},
+      {"Haptics", "Motion", 5, 155, 308, 1092},
+      {"InlineSkate", "Motion", 7, 100, 550, 1882},
+      {"InsectWingbeatSound", "Sensor", 11, 220, 1980, 256},
+      {"ItalyPowerDemand", "Sensor", 2, 67, 1029, 24},
+      {"LargeKitchenAppliances", "Device", 3, 375, 375, 720},
+      {"Mallat", "Simulated", 8, 55, 2345, 1024},
+      {"Meat", "Spectro", 3, 60, 60, 448},
+      {"MoteStrain", "Sensor", 2, 20, 1252, 84},
+      {"NonInvasiveFatalECGThorax1", "ECG", 42, 1800, 1965, 750},
+      {"OSULeaf", "Image", 6, 200, 242, 427},
+      {"Phoneme", "Sensor", 39, 214, 1896, 1024},
+      {"RefrigerationDevices", "Device", 3, 375, 375, 720},
+      {"ShapeletSim", "Simulated", 2, 20, 180, 500},
+      {"SonyAIBORobotSurface1", "Sensor", 2, 20, 601, 70},
+      {"SonyAIBORobotSurface2", "Sensor", 2, 27, 953, 65},
+      {"Strawberry", "Spectro", 2, 613, 370, 235},
+      {"Symbols", "Image", 6, 25, 995, 398},
+      {"SyntheticControl", "Simulated", 6, 300, 300, 60},
+      {"ToeSegmentation1", "Motion", 2, 40, 228, 277},
+      {"TwoLeadECG", "ECG", 2, 23, 1139, 82},
+      {"TwoPatterns", "Simulated", 4, 1000, 4000, 128},
+      {"UWaveGestureLibraryY", "Motion", 8, 896, 3582, 315},
+      {"Wafer", "Sensor", 2, 1000, 6164, 152},
+      {"WormsTwoClass", "Motion", 2, 181, 77, 900},
+      {"Yoga", "Image", 2, 300, 3000, 426},
+  };
+  return kCatalog;
+}
+
+std::optional<UcrDatasetInfo> FindUcrDataset(const std::string& name) {
+  for (const UcrDatasetInfo& info : UcrCatalog()) {
+    if (info.name == name) return info;
+  }
+  return std::nullopt;
+}
+
+UcrDatasetInfo ScaleDataset(const UcrDatasetInfo& info,
+                            const CatalogScale& scale) {
+  IPS_CHECK(scale.count_factor > 0.0);
+  IPS_CHECK(scale.length_factor > 0.0);
+  UcrDatasetInfo out = info;
+  auto apply = [](size_t value, double factor, size_t lo, size_t hi) {
+    const double scaled = std::round(static_cast<double>(value) * factor);
+    return std::clamp(static_cast<size_t>(std::max(scaled, 1.0)), lo, hi);
+  };
+  out.train_size =
+      apply(info.train_size, scale.count_factor, scale.min_train,
+            scale.max_train);
+  out.test_size = apply(info.test_size, scale.count_factor, scale.min_test,
+                        scale.max_test);
+  out.length = apply(info.length, scale.length_factor, scale.min_length,
+                     scale.max_length);
+  // At least 2 training instances per class so instance profiles exist.
+  out.train_size = std::max<size_t>(
+      out.train_size, 2 * static_cast<size_t>(info.num_classes));
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,58 @@
+// Catalogue of the UCR Archive datasets used in the paper's evaluation
+// (Tables II, IV, VI and Figures 9-13): per-dataset class counts, split
+// sizes, and series lengths, taken from the archive's published metadata.
+//
+// The benchmark harness drives the synthetic generator with these shape
+// parameters -- optionally scaled down so a full 46-dataset sweep finishes
+// in minutes -- or, when the real archive is available on disk, loads it
+// directly (see ucr_loader.h).
+
+#ifndef IPS_DATA_UCR_CATALOG_H_
+#define IPS_DATA_UCR_CATALOG_H_
+
+#include <cstddef>
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ips {
+
+/// Metadata of one archive dataset.
+struct UcrDatasetInfo {
+  std::string name;
+  std::string type;  // Image / Sensor / Motion / Simulated / ECG / ...
+  int num_classes = 2;
+  size_t train_size = 0;
+  size_t test_size = 0;
+  size_t length = 0;
+};
+
+/// The 46 datasets of the paper's Tables IV/VI plus the additional datasets
+/// of Table II and the Fig. 13 case study (MoteStrain, ItalyPowerDemand).
+std::span<const UcrDatasetInfo> UcrCatalog();
+
+/// Catalogue lookup by name; nullopt when unknown.
+std::optional<UcrDatasetInfo> FindUcrDataset(const std::string& name);
+
+/// Scaling controls for benchmark runs: sizes multiplied and clamped so the
+/// workload keeps the archive's relative proportions at tractable cost.
+struct CatalogScale {
+  double count_factor = 1.0;   ///< Multiplies train/test sizes.
+  double length_factor = 1.0;  ///< Multiplies series length.
+  size_t min_train = 6;
+  size_t max_train = 10000;
+  size_t min_test = 10;
+  size_t max_test = 20000;
+  size_t min_length = 32;
+  size_t max_length = 4096;
+};
+
+/// Applies `scale` to `info`, preserving class count.
+UcrDatasetInfo ScaleDataset(const UcrDatasetInfo& info,
+                            const CatalogScale& scale);
+
+}  // namespace ips
+
+#endif  // IPS_DATA_UCR_CATALOG_H_

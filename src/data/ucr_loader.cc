@@ -1,0 +1,84 @@
+#include "data/ucr_loader.h"
+
+#include <cmath>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ips {
+
+namespace {
+
+// Splits a line on tabs/commas/spaces into doubles; returns false on parse
+// failure of a non-empty token.
+bool ParseLine(const std::string& line, std::vector<double>& out) {
+  out.clear();
+  std::string token;
+  std::istringstream stream(line);
+  std::string normalized = line;
+  for (char& c : normalized) {
+    if (c == '\t' || c == ',') c = ' ';
+  }
+  std::istringstream fields(normalized);
+  while (fields >> token) {
+    if (token == "NaN" || token == "nan") {
+      out.push_back(std::nan(""));
+      continue;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return false;
+    out.push_back(value);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Dataset> LoadUcrFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  // First pass collects (raw_label, values); labels remapped densely after.
+  std::vector<std::pair<double, std::vector<double>>> rows;
+  std::string line;
+  std::vector<double> fields;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!ParseLine(line, fields) || fields.size() < 2) return std::nullopt;
+    std::vector<double> values(fields.begin() + 1, fields.end());
+    // Trim trailing NaN padding (variable-length datasets).
+    while (!values.empty() && std::isnan(values.back())) values.pop_back();
+    if (values.empty()) return std::nullopt;
+    rows.emplace_back(fields.front(), std::move(values));
+  }
+  if (rows.empty()) return std::nullopt;
+
+  std::map<double, int> label_map;
+  for (const auto& [raw, values] : rows) label_map.emplace(raw, 0);
+  int next = 0;
+  for (auto& [raw, dense] : label_map) dense = next++;
+
+  Dataset out;
+  for (auto& [raw, values] : rows) {
+    out.Add(TimeSeries(std::move(values), label_map.at(raw)));
+  }
+  return out;
+}
+
+std::optional<TrainTestSplit> LoadUcrDataset(const std::string& archive_dir,
+                                             const std::string& name) {
+  const std::string base = archive_dir + "/" + name + "/" + name;
+  auto train = LoadUcrFile(base + "_TRAIN.tsv");
+  if (!train) return std::nullopt;
+  auto test = LoadUcrFile(base + "_TEST.tsv");
+  if (!test) return std::nullopt;
+  TrainTestSplit split;
+  split.train = std::move(*train);
+  split.test = std::move(*test);
+  return split;
+}
+
+}  // namespace ips

@@ -1,0 +1,29 @@
+// Loader for the UCR Archive's 2018 tab-separated format, so every
+// experiment can be re-run on the real archive when it is available:
+// <dir>/<Name>/<Name>_TRAIN.tsv and <Name>_TEST.tsv, one series per line,
+// class label first. Labels are remapped to dense ids in [0, C).
+
+#ifndef IPS_DATA_UCR_LOADER_H_
+#define IPS_DATA_UCR_LOADER_H_
+
+#include <optional>
+#include <string>
+
+#include "data/generator.h"
+
+namespace ips {
+
+/// Loads one archive dataset. Returns nullopt when either split file is
+/// missing or unparsable. Values separated by tabs, commas or spaces are
+/// accepted; NaN entries (variable-length padding) are trimmed from the
+/// tail of each series.
+std::optional<TrainTestSplit> LoadUcrDataset(const std::string& archive_dir,
+                                             const std::string& name);
+
+/// Loads a single split file (one labelled series per line). Exposed for
+/// testing.
+std::optional<Dataset> LoadUcrFile(const std::string& path);
+
+}  // namespace ips
+
+#endif  // IPS_DATA_UCR_LOADER_H_

@@ -1,0 +1,69 @@
+#include "eval/cd_diagram.h"
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ips {
+
+std::vector<std::pair<size_t, size_t>> CdCliques(
+    const std::vector<double>& sorted_ranks, double critical_difference) {
+  std::vector<std::pair<size_t, size_t>> cliques;
+  const size_t n = sorted_ranks.size();
+  for (size_t i = 0; i < n; ++i) {
+    size_t j = i;
+    while (j + 1 < n &&
+           sorted_ranks[j + 1] - sorted_ranks[i] <= critical_difference) {
+      ++j;
+    }
+    if (j > i) {
+      // Keep only maximal cliques (drop those contained in the previous).
+      if (cliques.empty() || cliques.back().second < j) {
+        cliques.emplace_back(i, j);
+      }
+    }
+  }
+  return cliques;
+}
+
+std::string RenderCdDiagram(std::vector<CdEntry> entries,
+                            double critical_difference) {
+  IPS_CHECK(!entries.empty());
+  std::sort(entries.begin(), entries.end(),
+            [](const CdEntry& a, const CdEntry& b) {
+              return a.average_rank < b.average_rank;
+            });
+
+  std::vector<double> ranks;
+  for (const auto& e : entries) ranks.push_back(e.average_rank);
+  const auto cliques = CdCliques(ranks, critical_difference);
+
+  size_t name_width = 0;
+  for (const auto& e : entries) name_width = std::max(name_width, e.name.size());
+
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "critical difference (Nemenyi, alpha=0.05): %.3f\n",
+                critical_difference);
+  out += buf;
+  out += "rank  method";
+  out.append(name_width > 6 ? name_width - 6 : 0, ' ');
+  out += "  groups (methods joined by '|' are not significantly different)\n";
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%5.2f  %-*s  ", entries[i].average_rank,
+                  static_cast<int>(name_width), entries[i].name.c_str());
+    out += buf;
+    for (const auto& [lo, hi] : cliques) {
+      out += (i >= lo && i <= hi) ? '|' : ' ';
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,35 @@
+// ASCII critical-difference diagram (the textual rendering of the paper's
+// Fig. 11): methods placed on an average-rank axis, with bars grouping
+// cliques of methods whose rank difference is below the Nemenyi CD.
+
+#ifndef IPS_EVAL_CD_DIAGRAM_H_
+#define IPS_EVAL_CD_DIAGRAM_H_
+
+#include <cstddef>
+
+#include <string>
+#include <vector>
+
+namespace ips {
+
+/// One method on the diagram.
+struct CdEntry {
+  std::string name;
+  double average_rank = 0.0;
+};
+
+/// Renders a critical-difference diagram as multi-line text. Methods are
+/// listed best (lowest rank) first; maximal cliques of methods within
+/// `critical_difference` of each other are shown as grouping bars, mirroring
+/// the thick lines of the published diagram.
+std::string RenderCdDiagram(std::vector<CdEntry> entries,
+                            double critical_difference);
+
+/// The maximal groups (by index into the rank-sorted order) of methods that
+/// are NOT significantly different. Exposed for testing.
+std::vector<std::pair<size_t, size_t>> CdCliques(
+    const std::vector<double>& sorted_ranks, double critical_difference);
+
+}  // namespace ips
+
+#endif  // IPS_EVAL_CD_DIAGRAM_H_

@@ -1,0 +1,136 @@
+#include "eval/friedman.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/special.h"
+#include "util/check.h"
+
+namespace ips {
+
+std::vector<double> FractionalRanksDescending(std::span<const double> values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return values[a] > values[b];
+  });
+
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average of ranks i+1..j+1.
+    const double avg = (static_cast<double>(i + 1) +
+                        static_cast<double>(j + 1)) /
+                       2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+FriedmanResult FriedmanTest(
+    const std::vector<std::vector<double>>& scores) {
+  IPS_CHECK(scores.size() >= 2);
+  const size_t n = scores.size();            // datasets
+  const size_t k = scores.front().size();    // methods
+  IPS_CHECK(k >= 2);
+
+  FriedmanResult result;
+  result.average_ranks.assign(k, 0.0);
+  for (const auto& row : scores) {
+    IPS_CHECK(row.size() == k);
+    const std::vector<double> ranks = FractionalRanksDescending(row);
+    for (size_t m = 0; m < k; ++m) result.average_ranks[m] += ranks[m];
+  }
+  for (double& r : result.average_ranks) r /= static_cast<double>(n);
+
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  double sum_sq = 0.0;
+  for (double r : result.average_ranks) sum_sq += r * r;
+  result.chi_squared =
+      12.0 * nd / (kd * (kd + 1.0)) *
+      (sum_sq - kd * (kd + 1.0) * (kd + 1.0) / 4.0);
+  result.p_value = 1.0 - ChiSquaredCdf(result.chi_squared, kd - 1.0);
+
+  const double denom = nd * (kd - 1.0) - result.chi_squared;
+  result.f_statistic =
+      denom > 1e-12 ? (nd - 1.0) * result.chi_squared / denom
+                    : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+double NemenyiCriticalDifference(size_t num_methods, size_t num_datasets) {
+  IPS_CHECK(num_methods >= 2 && num_methods <= 20);
+  IPS_CHECK(num_datasets >= 1);
+  // q_0.05 values (studentised range / sqrt(2)) for k = 2..20 (Demsar 2006).
+  static const double kQ005[] = {
+      1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+      3.219, 3.268, 3.313, 3.354, 3.391, 3.426, 3.458, 3.489, 3.517,
+      3.544};
+  const double q = kQ005[num_methods - 2];
+  const double k = static_cast<double>(num_methods);
+  const double n = static_cast<double>(num_datasets);
+  return q * std::sqrt(k * (k + 1.0) / (6.0 * n));
+}
+
+double WilcoxonSignedRankTest(std::span<const double> a,
+                              std::span<const double> b) {
+  IPS_CHECK(a.size() == b.size());
+  // Non-zero differences, ranked by absolute value.
+  std::vector<double> diffs;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  const size_t n = diffs.size();
+  if (n < 2) return 1.0;
+
+  std::vector<double> abs_diffs(n);
+  for (size_t i = 0; i < n; ++i) abs_diffs[i] = std::abs(diffs[i]);
+  // Ranks ascending by |d|: reuse the descending ranker on negated values.
+  std::vector<double> neg(n);
+  for (size_t i = 0; i < n; ++i) neg[i] = -abs_diffs[i];
+  const std::vector<double> ranks = FractionalRanksDescending(neg);
+
+  double w_plus = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (diffs[i] > 0.0) w_plus += ranks[i];
+  }
+
+  const double nd = static_cast<double>(n);
+  const double mean = nd * (nd + 1.0) / 4.0;
+  const double sd = std::sqrt(nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0);
+  if (sd <= 0.0) return 1.0;
+  // Continuity-corrected two-sided normal approximation.
+  const double z = (std::abs(w_plus - mean) - 0.5) / sd;
+  return 2.0 * (1.0 - StandardNormalCdf(std::max(z, 0.0)));
+}
+
+std::vector<bool> HolmCorrection(std::span<const double> p_values,
+                                 double alpha) {
+  const size_t m = p_values.size();
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return p_values[x] < p_values[y];
+  });
+
+  std::vector<bool> rejected(m, false);
+  for (size_t i = 0; i < m; ++i) {
+    const double threshold = alpha / static_cast<double>(m - i);
+    if (p_values[order[i]] <= threshold) {
+      rejected[order[i]] = true;
+    } else {
+      break;  // step-down: once one fails, the rest are retained
+    }
+  }
+  return rejected;
+}
+
+}  // namespace ips

@@ -1,0 +1,55 @@
+// Non-parametric multi-method comparison over multiple datasets (Demsar,
+// JMLR 2006): Friedman test, average ranks, Nemenyi critical difference,
+// and the Wilcoxon signed-rank test with Holm's step-down correction --
+// everything behind the paper's Fig. 11 and §IV-C statistics.
+
+#ifndef IPS_EVAL_FRIEDMAN_H_
+#define IPS_EVAL_FRIEDMAN_H_
+
+#include <cstddef>
+
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// Fractional (average-on-ties) ranks of `values`, rank 1 = LARGEST value.
+/// Used to rank method accuracies within a dataset.
+std::vector<double> FractionalRanksDescending(std::span<const double> values);
+
+/// Result of the Friedman test over a score matrix scores[dataset][method].
+struct FriedmanResult {
+  /// Mean rank of each method across datasets (lower = better).
+  std::vector<double> average_ranks;
+  /// Friedman chi-squared statistic.
+  double chi_squared = 0.0;
+  /// Iman-Davenport F statistic (the less conservative variant).
+  double f_statistic = 0.0;
+  /// p-value of the chi-squared approximation.
+  double p_value = 1.0;
+};
+
+/// Runs the Friedman test. Requires >= 2 methods and >= 2 datasets; every
+/// row must have one score per method (higher score = better method).
+FriedmanResult FriedmanTest(
+    const std::vector<std::vector<double>>& scores);
+
+/// Nemenyi critical difference at alpha = 0.05 for `num_methods` methods
+/// over `num_datasets` datasets: CD = q_0.05 * sqrt(k(k+1) / (6N)).
+/// Supports k in [2, 20].
+double NemenyiCriticalDifference(size_t num_methods, size_t num_datasets);
+
+/// Wilcoxon signed-rank test between two paired score vectors. Returns the
+/// two-sided p-value from the normal approximation (with tie/zero handling
+/// by the Pratt method of discarding zero differences).
+double WilcoxonSignedRankTest(std::span<const double> a,
+                              std::span<const double> b);
+
+/// Holm's step-down correction: given raw p-values, returns which
+/// hypotheses are rejected at family-wise level `alpha`.
+std::vector<bool> HolmCorrection(std::span<const double> p_values,
+                                 double alpha = 0.05);
+
+}  // namespace ips
+
+#endif  // IPS_EVAL_FRIEDMAN_H_

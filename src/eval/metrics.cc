@@ -1,0 +1,52 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ips {
+
+double AccuracyScore(std::span<const int> expected,
+                     std::span<const int> predicted) {
+  IPS_CHECK(expected.size() == predicted.size());
+  IPS_CHECK(!expected.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(expected.size());
+}
+
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    std::span<const int> expected, std::span<const int> predicted,
+    int num_classes) {
+  IPS_CHECK(expected.size() == predicted.size());
+  IPS_CHECK(num_classes >= 1);
+  std::vector<std::vector<size_t>> m(
+      static_cast<size_t>(num_classes),
+      std::vector<size_t>(static_cast<size_t>(num_classes), 0));
+  for (size_t i = 0; i < expected.size(); ++i) {
+    IPS_CHECK(expected[i] >= 0 && expected[i] < num_classes);
+    IPS_CHECK(predicted[i] >= 0 && predicted[i] < num_classes);
+    ++m[static_cast<size_t>(expected[i])][static_cast<size_t>(predicted[i])];
+  }
+  return m;
+}
+
+WinDrawLoss CompareScores(std::span<const double> a, std::span<const double> b,
+                          double tie_epsilon) {
+  IPS_CHECK(a.size() == b.size());
+  WinDrawLoss out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) <= tie_epsilon) {
+      ++out.draws;
+    } else if (a[i] > b[i]) {
+      ++out.wins;
+    } else {
+      ++out.losses;
+    }
+  }
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,38 @@
+// Classification metrics and method-vs-method comparison counters used by
+// the Table VI harness.
+
+#ifndef IPS_EVAL_METRICS_H_
+#define IPS_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// Fraction of positions where predicted == expected. Requires equal,
+/// non-zero sizes.
+double AccuracyScore(std::span<const int> expected,
+                     std::span<const int> predicted);
+
+/// Confusion matrix: entry (actual, predicted) counts. Labels must be dense
+/// in [0, num_classes).
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    std::span<const int> expected, std::span<const int> predicted,
+    int num_classes);
+
+/// Win/draw/loss record of method A vs method B over per-dataset scores
+/// (the paper's "IPS 1-to-1 Wins/Draws/Losses" rows). Scores equal within
+/// `tie_epsilon` count as draws.
+struct WinDrawLoss {
+  size_t wins = 0;
+  size_t draws = 0;
+  size_t losses = 0;
+};
+WinDrawLoss CompareScores(std::span<const double> a, std::span<const double> b,
+                          double tie_epsilon = 1e-9);
+
+}  // namespace ips
+
+#endif  // IPS_EVAL_METRICS_H_

@@ -1,0 +1,126 @@
+#include "ips/candidate_gen.h"
+
+#include <algorithm>
+
+#include "ips/instance_profile.h"
+#include "util/parallel.h"
+#include "util/check.h"
+
+namespace ips {
+
+size_t CandidatePool::TotalMotifs() const {
+  size_t n = 0;
+  for (const auto& [label, pool] : motifs) n += pool.size();
+  return n;
+}
+
+size_t CandidatePool::TotalDiscords() const {
+  size_t n = 0;
+  for (const auto& [label, pool] : discords) n += pool.size();
+  return n;
+}
+
+std::vector<Subsequence> CandidatePool::AllOfClass(int label) const {
+  std::vector<Subsequence> out;
+  if (const auto it = motifs.find(label); it != motifs.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  if (const auto it = discords.find(label); it != discords.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+std::vector<size_t> ResolveCandidateLengths(
+    size_t series_length, std::span<const double> ratios) {
+  IPS_CHECK(series_length >= 4);
+  std::vector<size_t> lengths;
+  for (double r : ratios) {
+    size_t l = static_cast<size_t>(r * static_cast<double>(series_length));
+    l = std::clamp<size_t>(l, 4, series_length);
+    lengths.push_back(l);
+  }
+  std::sort(lengths.begin(), lengths.end());
+  lengths.erase(std::unique(lengths.begin(), lengths.end()), lengths.end());
+  return lengths;
+}
+
+CandidatePool GenerateCandidates(const Dataset& train,
+                                 const IpsOptions& options, Rng& rng) {
+  IPS_CHECK(!train.empty());
+  IPS_CHECK(options.sample_size >= 1);
+  IPS_CHECK(options.sample_count >= 1);
+
+  const std::vector<size_t> lengths =
+      ResolveCandidateLengths(train.MinLength(), options.length_ratios);
+  const int num_classes = train.NumClasses();
+
+  // Draw every (class, sample) task up front with the shared RNG, so the
+  // parallel profile computation below is deterministic for any thread
+  // count (Alg. 1 line 4's random sampling).
+  struct Task {
+    int label;
+    std::vector<TimeSeries> sample;
+    std::vector<size_t> dataset_index;  // provenance of each sample member
+    std::vector<Subsequence> motifs;    // task-local outputs
+    std::vector<Subsequence> discords;
+  };
+  std::vector<Task> tasks;
+  for (int label = 0; label < num_classes; ++label) {
+    const std::vector<size_t> class_indices = train.IndicesOfClass(label);
+    if (class_indices.empty()) continue;
+    const size_t sample_size =
+        std::min(options.sample_size, class_indices.size());
+    for (size_t s = 0; s < options.sample_count; ++s) {
+      const std::vector<size_t> picks =
+          rng.SampleWithoutReplacement(class_indices.size(), sample_size);
+      Task task;
+      task.label = label;
+      for (size_t p : picks) {
+        task.dataset_index.push_back(class_indices[p]);
+        task.sample.push_back(train[class_indices[p]]);
+      }
+      tasks.push_back(std::move(task));
+    }
+  }
+
+  // Instance profiles per task (the expensive part; embarrassingly
+  // parallel).
+  const size_t min_length = train.MinLength();
+  ParallelFor(tasks.size(), options.num_threads, [&](size_t t) {
+    Task& task = tasks[t];
+    for (size_t window : lengths) {
+      if (min_length < window) continue;
+      const InstanceProfile ip = ComputeInstanceProfile(
+          task.sample, window, options.profile_neighbors);
+
+      auto extract = [&](std::span<const size_t> entries,
+                         std::vector<Subsequence>& dst) {
+        for (size_t e : entries) {
+          const size_t m = ip.instances[e];
+          dst.push_back(ExtractSubsequence(
+              task.sample[m], ip.offsets[e], window,
+              static_cast<int>(task.dataset_index[m])));
+        }
+      };
+      extract(
+          InstanceProfileMotifs(ip, options.candidates_per_profile, window),
+          task.motifs);
+      extract(InstanceProfileDiscords(ip, options.candidates_per_profile,
+                                      window),
+              task.discords);
+    }
+  });
+
+  // Merge in task order (stable across thread counts).
+  CandidatePool pool;
+  for (Task& task : tasks) {
+    auto& motif_pool = pool.motifs[task.label];
+    auto& discord_pool = pool.discords[task.label];
+    for (auto& m : task.motifs) motif_pool.push_back(std::move(m));
+    for (auto& d : task.discords) discord_pool.push_back(std::move(d));
+  }
+  return pool;
+}
+
+}  // namespace ips

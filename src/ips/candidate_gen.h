@@ -1,0 +1,49 @@
+// Shapelet candidate generation with the instance profile (Algorithm 1).
+//
+// For every class, Q_N samples of Q_S training instances are drawn (bagging
+// [5]); for every candidate length, the sample's instance profile yields its
+// top motif(s) -- frequent, class-typical patterns -- and top discord(s).
+// Motifs are the shapelet candidates proper; discords participate only in
+// inter-class utility scoring (Def. 12).
+
+#ifndef IPS_IPS_CANDIDATE_GEN_H_
+#define IPS_IPS_CANDIDATE_GEN_H_
+
+#include <cstddef>
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time_series.h"
+#include "ips/config.h"
+
+namespace ips {
+
+/// The per-class candidate pools Phi of Algorithm 1.
+struct CandidatePool {
+  std::map<int, std::vector<Subsequence>> motifs;
+  std::map<int, std::vector<Subsequence>> discords;
+
+  size_t TotalMotifs() const;
+  size_t TotalDiscords() const;
+
+  /// Motifs and discords of one class merged (the paper's Phi_C).
+  std::vector<Subsequence> AllOfClass(int label) const;
+};
+
+/// Concrete candidate lengths for a dataset whose shortest series has
+/// `series_length` points: each ratio is rounded to samples, clamped to
+/// [4, series_length], and de-duplicated.
+std::vector<size_t> ResolveCandidateLengths(
+    size_t series_length, std::span<const double> ratios);
+
+/// Runs Algorithm 1 over the training set. Classes with no training
+/// instance produce empty pools. Requires a non-empty training set.
+CandidatePool GenerateCandidates(const Dataset& train,
+                                 const IpsOptions& options, Rng& rng);
+
+}  // namespace ips
+
+#endif  // IPS_IPS_CANDIDATE_GEN_H_

@@ -1,0 +1,118 @@
+#include "ips/instance_profile.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "matrix_profile/matrix_profile.h"
+#include "util/check.h"
+
+namespace ips {
+
+InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
+                                       size_t window, size_t neighbors) {
+  IPS_CHECK(!sample.empty());
+  IPS_CHECK(window >= 2);
+  IPS_CHECK(neighbors >= 1);
+
+  // Indices of instances long enough to contribute windows.
+  std::vector<size_t> usable;
+  for (size_t m = 0; m < sample.size(); ++m) {
+    if (sample[m].length() >= window) usable.push_back(m);
+  }
+  IPS_CHECK_MSG(!usable.empty(),
+                "no instance in the sample is as long as the window");
+
+  InstanceProfile ip;
+
+  if (usable.size() == 1) {
+    // Degenerate sample: self-join with exclusion zone (the MP extreme).
+    const size_t m = usable.front();
+    const TimeSeries& t = sample[m];
+    if (t.length() > window) {
+      const MatrixProfile mp = SelfJoinProfile(t.view(), window);
+      for (size_t i = 0; i < mp.size(); ++i) {
+        ip.values.push_back(mp.values[i]);
+        ip.instances.push_back(m);
+        ip.offsets.push_back(i);
+      }
+    } else {
+      // Exactly one window; it has no neighbour, annotate with 0.
+      ip.values.push_back(0.0);
+      ip.instances.push_back(m);
+      ip.offsets.push_back(0);
+    }
+    return ip;
+  }
+
+  for (size_t m : usable) {
+    const TimeSeries& t = sample[m];
+    const size_t num_windows = t.length() - window + 1;
+    // Per window: the nearest-window distance to each OTHER instance.
+    std::vector<std::vector<double>> per_other(num_windows);
+    for (size_t other : usable) {
+      if (other == m) continue;
+      const MatrixProfile join =
+          AbJoinProfile(t.view(), sample[other].view(), window);
+      for (size_t i = 0; i < num_windows; ++i) {
+        per_other[i].push_back(join.values[i]);
+      }
+    }
+    const size_t k = std::min(neighbors, usable.size() - 1);
+    for (size_t i = 0; i < num_windows; ++i) {
+      // k-th smallest of the per-instance minima (k=1 is Def. 9's 1-NN).
+      std::nth_element(per_other[i].begin(),
+                       per_other[i].begin() + static_cast<ptrdiff_t>(k - 1),
+                       per_other[i].end());
+      ip.values.push_back(per_other[i][k - 1]);
+      ip.instances.push_back(m);
+      ip.offsets.push_back(i);
+    }
+  }
+  return ip;
+}
+
+namespace {
+
+std::vector<size_t> SelectProfileEntries(const InstanceProfile& profile,
+                                         size_t k, size_t window,
+                                         bool smallest_first) {
+  std::vector<size_t> order(profile.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return smallest_first ? profile.values[a] < profile.values[b]
+                          : profile.values[a] > profile.values[b];
+  });
+
+  const size_t exclusion = (window + 1) / 2;
+  std::vector<size_t> selected;
+  for (size_t e : order) {
+    if (selected.size() >= k) break;
+    if (!std::isfinite(profile.values[e])) continue;
+    const bool clashes = std::any_of(
+        selected.begin(), selected.end(), [&](size_t s) {
+          if (profile.instances[s] != profile.instances[e]) return false;
+          const size_t a = profile.offsets[s];
+          const size_t b = profile.offsets[e];
+          return (a > b ? a - b : b - a) <= exclusion;
+        });
+    if (!clashes) selected.push_back(e);
+  }
+  return selected;
+}
+
+}  // namespace
+
+std::vector<size_t> InstanceProfileMotifs(const InstanceProfile& profile,
+                                          size_t k, size_t window) {
+  return SelectProfileEntries(profile, k, window, /*smallest_first=*/true);
+}
+
+std::vector<size_t> InstanceProfileDiscords(const InstanceProfile& profile,
+                                            size_t k, size_t window) {
+  return SelectProfileEntries(profile, k, window, /*smallest_first=*/false);
+}
+
+}  // namespace ips

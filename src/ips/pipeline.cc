@@ -1,0 +1,110 @@
+#include "ips/pipeline.h"
+
+#include <map>
+#include <memory>
+
+#include "dabf/dabf.h"
+#include "classify/logistic.h"
+#include "classify/naive_bayes.h"
+#include "ips/top_k.h"
+#include "ips/utility.h"
+#include "transform/shapelet_transform.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace ips {
+
+std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
+                                           const IpsOptions& options,
+                                           IpsRunStats* stats) {
+  IPS_CHECK(!train.empty());
+  IpsRunStats local;
+  IpsRunStats& s = stats != nullptr ? *stats : local;
+  s = IpsRunStats{};
+
+  // (1)+(2) Candidate generation with the instance profile (Alg. 1).
+  Rng rng(options.seed);
+  Timer timer;
+  CandidatePool pool = GenerateCandidates(train, options, rng);
+  s.candidate_gen_seconds = timer.ElapsedSeconds();
+  s.motifs_generated = pool.TotalMotifs();
+  s.discords_generated = pool.TotalDiscords();
+
+  // (3) DABF construction (Alg. 2). Needed for DABF pruning and for the
+  // DT utility coordinates, so it is built whenever either is active.
+  const bool need_dabf = options.use_dabf_pruning ||
+                         options.utility_mode == UtilityMode::kDtCr;
+  std::unique_ptr<Dabf> dabf;
+  if (need_dabf) {
+    timer.Reset();
+    std::map<int, std::vector<Subsequence>> by_class;
+    for (const auto& [label, motifs] : pool.motifs) {
+      auto merged = pool.AllOfClass(label);
+      if (!merged.empty()) by_class.emplace(label, std::move(merged));
+    }
+    DabfOptions dabf_options = options.dabf;
+    dabf_options.seed = options.dabf.seed + options.seed;
+    dabf = std::make_unique<Dabf>(by_class, dabf_options);
+    s.dabf_build_seconds = timer.ElapsedSeconds();
+  }
+
+  // (4) Pruning (Alg. 3).
+  timer.Reset();
+  if (options.use_dabf_pruning) {
+    PruneWithDabf(pool, *dabf, options.shapelets_per_class);
+  } else {
+    PruneNaive(pool, options.shapelets_per_class);
+  }
+  s.pruning_seconds = timer.ElapsedSeconds();
+  s.motifs_after_prune = pool.TotalMotifs();
+  s.discords_after_prune = pool.TotalDiscords();
+
+  // (5) Utility scoring + top-k (Alg. 4).
+  timer.Reset();
+  const auto scores =
+      ScoreAllCandidates(pool, train, options.utility_mode, dabf.get());
+  std::vector<Subsequence> shapelets =
+      SelectTopKShapelets(pool, scores, options.shapelets_per_class);
+  s.selection_seconds = timer.ElapsedSeconds();
+  s.shapelets = shapelets.size();
+  return shapelets;
+}
+
+namespace {
+
+std::unique_ptr<Classifier> MakeBackend(const IpsOptions& options) {
+  switch (options.backend) {
+    case TransformBackend::kLinearSvm:
+      return std::make_unique<LinearSvm>(options.svm);
+    case TransformBackend::kLogisticRegression:
+      return std::make_unique<LogisticRegression>();
+    case TransformBackend::kNaiveBayes:
+      return std::make_unique<GaussianNaiveBayes>();
+    case TransformBackend::kNearestNeighbor:
+      return std::make_unique<FeatureKnn>(1);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void IpsClassifier::Fit(const Dataset& train) {
+  shapelets_ = DiscoverShapelets(train, options_, &stats_);
+  IPS_CHECK_MSG(!shapelets_.empty(), "IPS discovered no shapelets");
+  const TransformedData transformed =
+      ShapeletTransform(train, shapelets_, options_.transform_distance,
+                        options_.num_threads);
+  LabeledMatrix matrix;
+  matrix.x = transformed.features;
+  matrix.y = transformed.labels;
+  backend_ = MakeBackend(options_);
+  backend_->Fit(matrix);
+}
+
+int IpsClassifier::Predict(const TimeSeries& series) const {
+  IPS_CHECK(!shapelets_.empty());
+  return backend_->Predict(
+      TransformSeries(series, shapelets_, options_.transform_distance));
+}
+
+}  // namespace ips

@@ -1,0 +1,74 @@
+// End-to-end IPS pipeline (paper Fig. 5):
+//   (1) sample instances per class           -> candidate generation with the
+//   (2) instance profiles -> motifs/discords    instance profile (Alg. 1)
+//   (3) DABF construction (Alg. 2)
+//   (4) candidate pruning (Alg. 3)
+//   (5) utility scoring + top-k selection (Alg. 4, DT & CR)
+// followed by the shapelet transform and a linear SVM for classification.
+
+#ifndef IPS_IPS_PIPELINE_H_
+#define IPS_IPS_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/svm.h"
+#include "core/time_series.h"
+#include "ips/candidate_gen.h"
+#include "ips/config.h"
+#include "ips/pruning.h"
+
+namespace ips {
+
+/// Wall-clock and size instrumentation of one discovery run (Table V).
+struct IpsRunStats {
+  double candidate_gen_seconds = 0.0;
+  double dabf_build_seconds = 0.0;
+  double pruning_seconds = 0.0;
+  double selection_seconds = 0.0;
+
+  size_t motifs_generated = 0;
+  size_t discords_generated = 0;
+  size_t motifs_after_prune = 0;
+  size_t discords_after_prune = 0;
+  size_t shapelets = 0;
+
+  double TotalDiscoverySeconds() const {
+    return candidate_gen_seconds + dabf_build_seconds + pruning_seconds +
+           selection_seconds;
+  }
+};
+
+/// Runs shapelet discovery (stages 1-5) on a training set. `stats` may be
+/// null. Requires a non-empty training set whose shortest series has at
+/// least 4 points.
+std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
+                                           const IpsOptions& options,
+                                           IpsRunStats* stats = nullptr);
+
+/// IPS as a drop-in time-series classifier: discovery + shapelet transform
+/// + a configurable back-end (linear SVM by default, per §III-D).
+class IpsClassifier final : public SeriesClassifier {
+ public:
+  explicit IpsClassifier(IpsOptions options = {}) : options_(options) {}
+
+  void Fit(const Dataset& train) override;
+  int Predict(const TimeSeries& series) const override;
+
+  /// Discovered shapelets (valid after Fit()).
+  const std::vector<Subsequence>& shapelets() const { return shapelets_; }
+
+  /// Discovery instrumentation (valid after Fit()).
+  const IpsRunStats& stats() const { return stats_; }
+
+ private:
+  IpsOptions options_;
+  std::vector<Subsequence> shapelets_;
+  std::unique_ptr<Classifier> backend_;
+  IpsRunStats stats_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_IPS_PIPELINE_H_

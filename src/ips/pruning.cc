@@ -1,0 +1,164 @@
+#include "ips/pruning.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/distance.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+// Restores the most-discriminative pruned motifs of a class when the
+// survivor count falls below `min_keep`. `atypicality[i]` scores pruned
+// motif i (higher = more discriminative = restore first).
+void RestoreMotifs(std::vector<Subsequence>& kept,
+                   std::vector<Subsequence>& pruned,
+                   std::vector<double>& atypicality, size_t min_keep) {
+  while (kept.size() < min_keep && !pruned.empty()) {
+    const size_t best = static_cast<size_t>(
+        std::max_element(atypicality.begin(), atypicality.end()) -
+        atypicality.begin());
+    kept.push_back(std::move(pruned[best]));
+    pruned.erase(pruned.begin() + static_cast<ptrdiff_t>(best));
+    atypicality.erase(atypicality.begin() + static_cast<ptrdiff_t>(best));
+  }
+}
+
+}  // namespace
+
+PruneStats PruneWithDabf(CandidatePool& pool, const Dabf& dabf,
+                         size_t min_keep_motifs) {
+  PruneStats stats;
+  stats.motifs_before = pool.TotalMotifs();
+  stats.discords_before = pool.TotalDiscords();
+
+  for (auto& [label, motifs] : pool.motifs) {
+    std::vector<Subsequence> kept;
+    std::vector<Subsequence> pruned;
+    std::vector<double> atypicality;
+    for (auto& cand : motifs) {
+      // Minimum |normalised distance| across the other classes whose bloom
+      // bit collides: small means some other class finds the candidate
+      // typical (Algorithm 3's disjunction).
+      double min_abs_z = std::numeric_limits<double>::infinity();
+      bool close = false;
+      for (const auto& [other, filter] : dabf.filters()) {
+        if (other == label) continue;
+        const double z = std::abs(filter.NormalizedDistance(cand.view()));
+        min_abs_z = std::min(min_abs_z, z);
+        if (filter.PossiblyCloseToMost(cand.view())) close = true;
+      }
+      if (close) {
+        pruned.push_back(std::move(cand));
+        atypicality.push_back(min_abs_z);
+      } else {
+        kept.push_back(std::move(cand));
+      }
+    }
+    RestoreMotifs(kept, pruned, atypicality, min_keep_motifs);
+    motifs = std::move(kept);
+  }
+
+  for (auto& [label, discords] : pool.discords) {
+    std::vector<Subsequence> kept;
+    for (auto& cand : discords) {
+      if (!dabf.CloseToAnyOtherClass(cand.view(), label)) {
+        kept.push_back(std::move(cand));
+      }
+    }
+    discords = std::move(kept);
+  }
+
+  stats.motifs_after = pool.TotalMotifs();
+  stats.discords_after = pool.TotalDiscords();
+  return stats;
+}
+
+namespace {
+
+// Median pairwise Def. 4 distance within a candidate set (the naive
+// pruner's closeness radius r).
+double MedianPairwiseDistance(const std::vector<Subsequence>& pool) {
+  std::vector<double> dists;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      dists.push_back(
+          SubsequenceDistance(pool[i].view(), pool[j].view()));
+    }
+  }
+  if (dists.empty()) return 0.0;
+  const size_t mid = dists.size() / 2;
+  std::nth_element(dists.begin(),
+                   dists.begin() + static_cast<ptrdiff_t>(mid), dists.end());
+  return dists[mid];
+}
+
+}  // namespace
+
+PruneStats PruneNaive(CandidatePool& pool, size_t min_keep_motifs,
+                      double majority_fraction) {
+  PruneStats stats;
+  stats.motifs_before = pool.TotalMotifs();
+  stats.discords_before = pool.TotalDiscords();
+
+  // Closeness radius per class.
+  std::map<int, double> radius;
+  for (const auto& [label, motifs] : pool.motifs) {
+    std::vector<Subsequence> all = pool.AllOfClass(label);
+    radius[label] = MedianPairwiseDistance(all);
+  }
+
+  auto close_to_most = [&](const Subsequence& cand, int own_label) {
+    double best_margin = -std::numeric_limits<double>::infinity();
+    for (const auto& [other, motifs] : pool.motifs) {
+      if (other == own_label) continue;
+      const std::vector<Subsequence> others = pool.AllOfClass(other);
+      if (others.empty()) continue;
+      size_t close = 0;
+      for (const auto& o : others) {
+        if (SubsequenceDistance(cand.view(), o.view()) <= radius[other]) {
+          ++close;
+        }
+      }
+      const double frac = static_cast<double>(close) /
+                          static_cast<double>(others.size());
+      best_margin = std::max(best_margin, frac - majority_fraction);
+    }
+    return best_margin >= 0.0 ? best_margin : -1.0;
+  };
+
+  for (auto& [label, motifs] : pool.motifs) {
+    std::vector<Subsequence> kept, pruned;
+    std::vector<double> atypicality;
+    for (auto& cand : motifs) {
+      const double margin = close_to_most(cand, label);
+      if (margin >= 0.0) {
+        pruned.push_back(std::move(cand));
+        atypicality.push_back(-margin);  // smaller margin = more atypical
+      } else {
+        kept.push_back(std::move(cand));
+      }
+    }
+    RestoreMotifs(kept, pruned, atypicality, min_keep_motifs);
+    motifs = std::move(kept);
+  }
+
+  for (auto& [label, discords] : pool.discords) {
+    std::vector<Subsequence> kept;
+    for (auto& cand : discords) {
+      if (close_to_most(cand, label) < 0.0) kept.push_back(std::move(cand));
+    }
+    discords = std::move(kept);
+  }
+
+  stats.motifs_after = pool.TotalMotifs();
+  stats.discords_after = pool.TotalDiscords();
+  return stats;
+}
+
+}  // namespace ips

@@ -1,0 +1,75 @@
+#include "ips/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace ips {
+
+namespace {
+
+constexpr const char* kMagic = "ips-shapelets v1";
+
+}  // namespace
+
+std::string SerializeShapelets(const std::vector<Subsequence>& shapelets) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kMagic << '\n' << shapelets.size() << '\n';
+  for (const Subsequence& s : shapelets) {
+    out << s.label << ' ' << s.series_index << ' ' << s.start << ' '
+        << s.length();
+    for (double v : s.values) out << ' ' << v;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::optional<std::vector<Subsequence>> DeserializeShapelets(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) return std::nullopt;
+
+  size_t count = 0;
+  if (!(in >> count)) return std::nullopt;
+
+  std::vector<Subsequence> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Subsequence s;
+    size_t length = 0;
+    if (!(in >> s.label >> s.series_index >> s.start >> length)) {
+      return std::nullopt;
+    }
+    s.values.resize(length);
+    for (size_t j = 0; j < length; ++j) {
+      if (!(in >> s.values[j])) return std::nullopt;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool SaveShapelets(const std::vector<Subsequence>& shapelets,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << SerializeShapelets(shapelets);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<Subsequence>> LoadShapelets(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeShapelets(buffer.str());
+}
+
+}  // namespace ips

@@ -1,0 +1,40 @@
+// Plain-text persistence for discovered shapelets.
+//
+// Format (line-oriented, locale-independent):
+//   ips-shapelets v1
+//   <count>
+//   <label> <series_index> <start> <length> v_0 v_1 ... v_{length-1}
+//   ...
+// Doubles are written with max_digits10 so a round trip is bit-exact.
+// A saved shapelet set plus the training set is sufficient to rebuild a
+// classifier (refit the transform + SVM), so no classifier state is stored.
+
+#ifndef IPS_IPS_SERIALIZATION_H_
+#define IPS_IPS_SERIALIZATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace ips {
+
+/// Serialises `shapelets` to a string in the v1 format.
+std::string SerializeShapelets(const std::vector<Subsequence>& shapelets);
+
+/// Parses the v1 format; nullopt on any syntax error.
+std::optional<std::vector<Subsequence>> DeserializeShapelets(
+    const std::string& text);
+
+/// Writes the serialisation to `path`. Returns false on I/O failure.
+bool SaveShapelets(const std::vector<Subsequence>& shapelets,
+                   const std::string& path);
+
+/// Reads shapelets from `path`; nullopt on I/O or syntax failure.
+std::optional<std::vector<Subsequence>> LoadShapelets(
+    const std::string& path);
+
+}  // namespace ips
+
+#endif  // IPS_IPS_SERIALIZATION_H_

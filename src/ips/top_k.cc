@@ -1,0 +1,35 @@
+#include "ips/top_k.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/check.h"
+
+namespace ips {
+
+std::vector<Subsequence> SelectTopKShapelets(
+    const CandidatePool& pool,
+    const std::map<int, std::vector<CandidateScore>>& scores, size_t k) {
+  std::vector<Subsequence> shapelets;
+  for (const auto& [label, motifs] : pool.motifs) {
+    const auto it = scores.find(label);
+    if (it == scores.end() || motifs.empty()) continue;
+    const std::vector<CandidateScore>& class_scores = it->second;
+    IPS_CHECK(class_scores.size() == motifs.size());
+
+    // Min-priority queue over combined score (Algorithm 4 lines 3-9).
+    using Entry = std::pair<double, size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    for (size_t i = 0; i < motifs.size(); ++i) {
+      queue.emplace(class_scores[i].Combined(), i);
+    }
+    for (size_t taken = 0; taken < k && !queue.empty(); ++taken) {
+      shapelets.push_back(motifs[queue.top().second]);
+      queue.pop();
+    }
+  }
+  return shapelets;
+}
+
+}  // namespace ips

@@ -1,0 +1,28 @@
+// Top-k shapelet selection (Algorithm 4).
+//
+// Motif candidates are scored by the three utilities; the k candidates with
+// the smallest combined score u = U_intra - U_inter + U_DC per class become
+// the final shapelets.
+
+#ifndef IPS_IPS_TOP_K_H_
+#define IPS_IPS_TOP_K_H_
+
+#include <map>
+#include <vector>
+
+#include "core/time_series.h"
+#include "ips/candidate_gen.h"
+#include "ips/utility.h"
+
+namespace ips {
+
+/// Selects up to `k` motif candidates per class by ascending combined
+/// score. `scores` must be the output of ScoreAllCandidates over `pool`.
+/// The returned set is the union over classes (the paper's S).
+std::vector<Subsequence> SelectTopKShapelets(
+    const CandidatePool& pool,
+    const std::map<int, std::vector<CandidateScore>>& scores, size_t k);
+
+}  // namespace ips
+
+#endif  // IPS_IPS_TOP_K_H_

@@ -1,0 +1,188 @@
+#include "ips/utility.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "core/distance.h"
+#include "util/check.h"
+
+namespace ips {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+namespace {
+
+double MeanOrZero(double sum, size_t count) {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+// ------------------------------------------------------------------ exact
+
+// Exact-mode scorer. With `reuse` the candidate-candidate distances are
+// computed once into a symmetric cache; without it every lookup recomputes
+// the Def. 4 distance (the deliberate Fig. 10(b) baseline).
+std::map<int, std::vector<CandidateScore>> ScoreExact(
+    const CandidatePool& pool, const Dataset& train, bool reuse) {
+  // Global candidate index: motifs first per class, then discords.
+  struct Ref {
+    const Subsequence* sub;
+    int label;
+  };
+  std::vector<Ref> all;
+  std::map<int, std::vector<size_t>> motif_ids;    // per class
+  std::map<int, std::vector<size_t>> inter_pool;   // per class: other-class ids
+
+  for (const auto& [label, motifs] : pool.motifs) {
+    for (const auto& m : motifs) {
+      motif_ids[label].push_back(all.size());
+      all.push_back({&m, label});
+    }
+  }
+  for (const auto& [label, discords] : pool.discords) {
+    for (const auto& d : discords) all.push_back({&d, label});
+  }
+  for (const auto& [label, ids] : motif_ids) {
+    auto& inter = inter_pool[label];
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (all[i].label != label) inter.push_back(i);
+    }
+  }
+
+  const size_t n = all.size();
+  std::vector<double> cache;
+  if (reuse) {
+    cache.assign(n * n, -1.0);
+  }
+  auto dist = [&](size_t i, size_t j) {
+    if (!reuse) {
+      return SubsequenceDistance(all[i].sub->view(), all[j].sub->view());
+    }
+    double& slot = cache[i * n + j];
+    if (slot < 0.0) {
+      slot = SubsequenceDistance(all[i].sub->view(), all[j].sub->view());
+      cache[j * n + i] = slot;  // CR: the symmetric pair is free
+    }
+    return slot;
+  };
+
+  std::map<int, std::vector<CandidateScore>> scores;
+  for (const auto& [label, ids] : motif_ids) {
+    const std::vector<size_t>& inter = inter_pool[label];
+    const std::vector<size_t> instance_ids = train.IndicesOfClass(label);
+    auto& out = scores[label];
+    out.resize(ids.size());
+
+    for (size_t a = 0; a < ids.size(); ++a) {
+      const size_t i = ids[a];
+      CandidateScore cs;
+
+      double intra_sum = 0.0;
+      for (size_t b = 0; b < ids.size(); ++b) {
+        if (b == a) continue;
+        intra_sum += dist(i, ids[b]);
+      }
+      cs.intra = Sigmoid(MeanOrZero(intra_sum, ids.size() - 1));
+
+      double inter_sum = 0.0;
+      for (size_t j : inter) inter_sum += dist(i, j);
+      cs.inter = Sigmoid(MeanOrZero(inter_sum, inter.size()));
+
+      double inst_sum = 0.0;
+      for (size_t t : instance_ids) {
+        inst_sum += SubsequenceDistance(all[i].sub->view(), train[t].view());
+      }
+      cs.instance = Sigmoid(MeanOrZero(inst_sum, instance_ids.size()));
+
+      out[a] = cs;
+    }
+  }
+  return scores;
+}
+
+// ------------------------------------------------------------------ DT+CR
+
+// DT mode: candidates and instances are mapped once to ranked-bucket
+// coordinates of the scoring class's DABF; utilities then aggregate O(1)
+// integer gaps. Gaps are normalised by the bucket count so the sigmoid
+// stays responsive regardless of table size.
+std::map<int, std::vector<CandidateScore>> ScoreDtCr(
+    const CandidatePool& pool, const Dataset& train, const Dabf& dabf) {
+  std::map<int, std::vector<CandidateScore>> scores;
+
+  for (const auto& [label, motifs] : pool.motifs) {
+    auto& out = scores[label];
+    out.resize(motifs.size());
+    const ClassDabf* filter = dabf.ForClass(label);
+    if (filter == nullptr || motifs.empty()) continue;
+
+    const double denom =
+        std::max<double>(1.0, static_cast<double>(filter->NumBuckets() - 1));
+
+    // CR: one hash per object, coordinates cached up front.
+    std::vector<double> own(motifs.size());
+    for (size_t a = 0; a < motifs.size(); ++a) {
+      own[a] = static_cast<double>(filter->BucketCoordinate(motifs[a].view()));
+    }
+    std::vector<double> inter;
+    for (const auto& [other, other_motifs] : pool.motifs) {
+      if (other == label) continue;
+      for (const auto& c : other_motifs) {
+        inter.push_back(
+            static_cast<double>(filter->BucketCoordinate(c.view())));
+      }
+    }
+    for (const auto& [other, other_discords] : pool.discords) {
+      if (other == label) continue;
+      for (const auto& c : other_discords) {
+        inter.push_back(
+            static_cast<double>(filter->BucketCoordinate(c.view())));
+      }
+    }
+    std::vector<double> instances;
+    for (size_t t : train.IndicesOfClass(label)) {
+      instances.push_back(
+          static_cast<double>(filter->BucketCoordinate(train[t].view())));
+    }
+
+    for (size_t a = 0; a < motifs.size(); ++a) {
+      CandidateScore cs;
+      double intra_sum = 0.0;
+      for (size_t b = 0; b < own.size(); ++b) {
+        if (b == a) continue;
+        intra_sum += std::abs(own[a] - own[b]) / denom;
+      }
+      cs.intra = Sigmoid(MeanOrZero(intra_sum, own.size() - 1));
+
+      double inter_sum = 0.0;
+      for (double c : inter) inter_sum += std::abs(own[a] - c) / denom;
+      cs.inter = Sigmoid(MeanOrZero(inter_sum, inter.size()));
+
+      double inst_sum = 0.0;
+      for (double c : instances) inst_sum += std::abs(own[a] - c) / denom;
+      cs.instance = Sigmoid(MeanOrZero(inst_sum, instances.size()));
+
+      out[a] = cs;
+    }
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::map<int, std::vector<CandidateScore>> ScoreAllCandidates(
+    const CandidatePool& pool, const Dataset& train, UtilityMode mode,
+    const Dabf* dabf) {
+  switch (mode) {
+    case UtilityMode::kExactNaive:
+      return ScoreExact(pool, train, /*reuse=*/false);
+    case UtilityMode::kExactWithCr:
+      return ScoreExact(pool, train, /*reuse=*/true);
+    case UtilityMode::kDtCr:
+      IPS_CHECK_MSG(dabf != nullptr, "kDtCr scoring requires a DABF");
+      return ScoreDtCr(pool, train, *dabf);
+  }
+  return {};
+}
+
+}  // namespace ips

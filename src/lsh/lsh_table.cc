@@ -1,0 +1,135 @@
+#include "lsh/lsh_table.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+double Norm(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+LshTable::LshTable(const LshFamily* family) : family_(family) {
+  IPS_CHECK(family != nullptr);
+}
+
+size_t LshTable::Add(std::span<const double> x) {
+  IPS_CHECK(!finalized_);
+  projections_.push_back(family_->Project(x));
+  keys_.push_back(family_->HashKey(x));
+  item_norms_.push_back(Norm(projections_.back()));
+  return projections_.size() - 1;
+}
+
+void LshTable::Finalize() {
+  IPS_CHECK(!finalized_);
+  IPS_CHECK(!projections_.empty());
+
+  // Group items by key; accumulate centre sums in projection space.
+  struct BucketAccum {
+    std::vector<double> center_sum;
+    size_t count = 0;
+  };
+  std::map<std::vector<int64_t>, BucketAccum> buckets;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    auto& b = buckets[keys_[i]];
+    if (b.center_sum.empty()) b.center_sum.assign(family_->num_hashes(), 0.0);
+    for (size_t d = 0; d < projections_[i].size(); ++d) {
+      b.center_sum[d] += projections_[i][d];
+    }
+    ++b.count;
+  }
+
+  // Rank buckets by centre norm (ascending = closest to origin first).
+  struct Entry {
+    const std::vector<int64_t>* key;
+    double norm;
+    size_t count;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(buckets.size());
+  for (const auto& [key, acc] : buckets) {
+    std::vector<double> center(acc.center_sum);
+    for (double& v : center) v /= static_cast<double>(acc.count);
+    entries.push_back({&key, Norm(center), acc.count});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.norm < b.norm;
+                   });
+
+  bucket_sizes_.resize(entries.size());
+  bucket_norms_.resize(entries.size());
+  for (size_t r = 0; r < entries.size(); ++r) {
+    key_to_rank_[*entries[r].key] = r;
+    bucket_sizes_[r] = entries[r].count;
+    bucket_norms_[r] = entries[r].norm;
+  }
+
+  item_rank_.resize(keys_.size());
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    item_rank_[i] = key_to_rank_.at(keys_[i]);
+  }
+  finalized_ = true;
+}
+
+size_t LshTable::NumBuckets() const {
+  IPS_CHECK(finalized_);
+  return bucket_sizes_.size();
+}
+
+size_t LshTable::BucketRankOfItem(size_t id) const {
+  IPS_CHECK(finalized_);
+  IPS_CHECK(id < item_rank_.size());
+  return item_rank_[id];
+}
+
+size_t LshTable::BucketSize(size_t rank) const {
+  IPS_CHECK(finalized_);
+  IPS_CHECK(rank < bucket_sizes_.size());
+  return bucket_sizes_[rank];
+}
+
+double LshTable::BucketCenterNorm(size_t rank) const {
+  IPS_CHECK(finalized_);
+  IPS_CHECK(rank < bucket_norms_.size());
+  return bucket_norms_[rank];
+}
+
+double LshTable::ProjectionNorm(std::span<const double> x) const {
+  return Norm(family_->Project(x));
+}
+
+bool LshTable::ContainsKey(std::span<const double> x) const {
+  IPS_CHECK(finalized_);
+  return key_to_rank_.count(family_->HashKey(x)) > 0;
+}
+
+size_t LshTable::QueryBucketRank(std::span<const double> x) const {
+  IPS_CHECK(finalized_);
+  const std::vector<int64_t> key = family_->HashKey(x);
+  const auto it = key_to_rank_.find(key);
+  if (it != key_to_rank_.end()) return it->second;
+
+  // Unseen key: nearest bucket by centre norm. bucket_norms_ is ascending.
+  const double q = Norm(family_->Project(x));
+  const auto lb = std::lower_bound(bucket_norms_.begin(), bucket_norms_.end(),
+                                   q);
+  if (lb == bucket_norms_.begin()) return 0;
+  if (lb == bucket_norms_.end()) return bucket_norms_.size() - 1;
+  const size_t hi = static_cast<size_t>(lb - bucket_norms_.begin());
+  const size_t lo = hi - 1;
+  return (q - bucket_norms_[lo]) <= (bucket_norms_[hi] - q) ? lo : hi;
+}
+
+}  // namespace ips

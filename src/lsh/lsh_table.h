@@ -1,0 +1,88 @@
+// LSH bucket table: items hashed by an LshFamily, grouped into buckets, with
+// buckets ranked by the distance between their centre (in projection space)
+// and the origin -- step (2) of the paper's DABF construction (Fig. 7).
+
+#ifndef IPS_LSH_LSH_TABLE_H_
+#define IPS_LSH_LSH_TABLE_H_
+
+#include <cstddef>
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "lsh/lsh.h"
+
+namespace ips {
+
+/// Groups projected items into LSH buckets and ranks the buckets by the L2
+/// norm of their centre. After Finalize():
+///  * every item has a bucket rank in [0, NumBuckets());
+///  * an arbitrary query vector can be mapped to the rank of the bucket it
+///    hits (or, for an unseen key, the bucket whose centre norm is nearest
+///    to the query's projection norm).
+///
+/// The ranked bucket index is the scalar "coordinate" used by the DT
+/// optimisation (paper Formula 15/16).
+class LshTable {
+ public:
+  /// `family` must outlive the table.
+  explicit LshTable(const LshFamily* family);
+
+  /// Hashes and stores an item. Returns its item id. Must be called before
+  /// Finalize().
+  size_t Add(std::span<const double> x);
+
+  /// Builds buckets and ranks them. Must be called exactly once, after all
+  /// Add() calls; requires at least one item.
+  void Finalize();
+
+  size_t NumItems() const { return projections_.size(); }
+  size_t NumBuckets() const;
+
+  /// Rank (0 = closest bucket centre to the origin) of the bucket holding
+  /// item `id`. Requires Finalize().
+  size_t BucketRankOfItem(size_t id) const;
+
+  /// Number of items in the bucket of rank `rank`. Requires Finalize().
+  size_t BucketSize(size_t rank) const;
+
+  /// L2 norm of the centre of the bucket of rank `rank`. Requires Finalize().
+  double BucketCenterNorm(size_t rank) const;
+
+  /// Projection-space L2 norm of an arbitrary query (its distance to the
+  /// origin, the DABF statistic).
+  double ProjectionNorm(std::span<const double> x) const;
+
+  /// Bucket rank an arbitrary query maps to: the rank of its exact bucket
+  /// when its key was seen during construction, otherwise the rank of the
+  /// bucket whose centre norm is closest to the query's projection norm
+  /// (O(log B) search). Requires Finalize().
+  size_t QueryBucketRank(std::span<const double> x) const;
+
+  /// Whether the query's exact hash key was seen during construction --
+  /// the bloom-filter membership bit ("possibly close to a stored
+  /// element"). Requires Finalize().
+  bool ContainsKey(std::span<const double> x) const;
+
+  /// Distance-to-origin statistic of every stored item (used to fit the
+  /// DABF distribution). Requires Finalize().
+  const std::vector<double>& item_norms() const { return item_norms_; }
+
+ private:
+  const LshFamily* family_;
+  bool finalized_ = false;
+
+  std::vector<std::vector<double>> projections_;  // per item
+  std::vector<std::vector<int64_t>> keys_;        // per item
+  std::vector<double> item_norms_;                // per item
+
+  std::map<std::vector<int64_t>, size_t> key_to_rank_;
+  std::vector<size_t> item_rank_;        // per item
+  std::vector<size_t> bucket_sizes_;     // per rank
+  std::vector<double> bucket_norms_;     // per rank, ascending
+};
+
+}  // namespace ips
+
+#endif  // IPS_LSH_LSH_TABLE_H_

@@ -1,0 +1,204 @@
+#include "matrix_profile/matrix_profile.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/distance.h"
+#include "core/fft.h"
+#include "core/znorm.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace ips {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Z-normalised distance between windows i (of the series described by
+// stats_a) and j (stats_b) given their raw dot product qt.
+double ZNormDistance(double qt, size_t window, double mu_a, double sig_a,
+                     double mu_b, double sig_b) {
+  const double m = static_cast<double>(window);
+  const bool flat_a = sig_a < kFlatStdEpsilon;
+  const bool flat_b = sig_b < kFlatStdEpsilon;
+  if (flat_a && flat_b) return 0.0;
+  if (flat_a || flat_b) return std::sqrt(m);
+  const double corr = (qt - m * mu_a * mu_b) / (m * sig_a * sig_b);
+  const double d2 = std::max(0.0, 2.0 * m * (1.0 - corr));
+  return std::sqrt(d2);
+}
+
+std::vector<double> InitialDots(std::span<const double> query,
+                                std::span<const double> series) {
+  if (query.size() < kFftCutoff) {
+    return SlidingDotProductsNaive(query, series);
+  }
+  return SlidingDotProductsAuto(query, series);
+}
+
+}  // namespace
+
+size_t DefaultExclusionZone(size_t window) { return (window + 1) / 2; }
+
+MatrixProfile SelfJoinProfile(std::span<const double> series, size_t window,
+                              size_t exclusion) {
+  IPS_CHECK(window >= 2);
+  IPS_CHECK(series.size() > window);
+  if (exclusion == 0) exclusion = DefaultExclusionZone(window);
+
+  const size_t n = series.size();
+  const size_t l = n - window + 1;
+  const RollingStats stats = ComputeRollingStats(series, window);
+
+  MatrixProfile mp;
+  mp.values.assign(l, kInf);
+  mp.indices.assign(l, kNoNeighbor);
+
+  // Row 0: dot products of window 0 against every window.
+  std::vector<double> qt =
+      InitialDots(series.subspan(0, window), series);
+  const std::vector<double> qt_first = qt;  // qt_first[j] = QT(0, j)
+
+  auto update = [&](size_t i, size_t j, double qt_ij) {
+    const size_t gap = i > j ? i - j : j - i;
+    if (gap <= exclusion) return;
+    const double d = ZNormDistance(qt_ij, window, stats.means[i],
+                                   stats.stds[i], stats.means[j],
+                                   stats.stds[j]);
+    if (d < mp.values[i]) {
+      mp.values[i] = d;
+      mp.indices[i] = j;
+    }
+    if (d < mp.values[j]) {
+      mp.values[j] = d;
+      mp.indices[j] = i;
+    }
+  };
+
+  for (size_t j = 0; j < l; ++j) update(0, j, qt[j]);
+
+  for (size_t i = 1; i < l; ++i) {
+    // STOMP recurrence, in-place right-to-left:
+    //   QT(i, j) = QT(i-1, j-1) - t[i-1] t[j-1] + t[i+m-1] t[j+m-1]
+    for (size_t j = l - 1; j >= 1; --j) {
+      qt[j] = qt[j - 1] - series[i - 1] * series[j - 1] +
+              series[i + window - 1] * series[j + window - 1];
+    }
+    qt[0] = qt_first[i];  // QT(i, 0) = QT(0, i) by symmetry.
+    // Only j >= i is needed; update() fills both directions.
+    for (size_t j = i + 1; j < l; ++j) update(i, j, qt[j]);
+  }
+  return mp;
+}
+
+MatrixProfile SelfJoinProfileParallel(std::span<const double> series,
+                                      size_t window, size_t num_threads,
+                                      size_t exclusion) {
+  IPS_CHECK(window >= 2);
+  IPS_CHECK(series.size() > window);
+  if (num_threads <= 1) return SelfJoinProfile(series, window, exclusion);
+  if (exclusion == 0) exclusion = DefaultExclusionZone(window);
+
+  const size_t n = series.size();
+  const size_t l = n - window + 1;
+  const RollingStats stats = ComputeRollingStats(series, window);
+
+  MatrixProfile mp;
+  mp.values.assign(l, kInf);
+  mp.indices.assign(l, kNoNeighbor);
+
+  const size_t chunks = std::min(num_threads, l);
+  const size_t chunk_size = (l + chunks - 1) / chunks;
+
+  ParallelFor(chunks, num_threads, [&](size_t c) {
+    const size_t row_begin = c * chunk_size;
+    const size_t row_end = std::min(l, row_begin + chunk_size);
+    if (row_begin >= row_end) return;
+
+    // Seed the chunk's recurrence with one sliding-products computation.
+    std::vector<double> qt =
+        InitialDots(series.subspan(row_begin, window), series);
+
+    for (size_t i = row_begin; i < row_end; ++i) {
+      if (i > row_begin) {
+        for (size_t j = l - 1; j >= 1; --j) {
+          qt[j] = qt[j - 1] - series[i - 1] * series[j - 1] +
+                  series[i + window - 1] * series[j + window - 1];
+        }
+        // QT(i, 0) by direct dot product (no symmetric row available).
+        double dot = 0.0;
+        for (size_t p = 0; p < window; ++p) dot += series[i + p] * series[p];
+        qt[0] = dot;
+      }
+      for (size_t j = 0; j < l; ++j) {
+        const size_t gap = i > j ? i - j : j - i;
+        if (gap <= exclusion) continue;
+        const double d =
+            ZNormDistance(qt[j], window, stats.means[i], stats.stds[i],
+                          stats.means[j], stats.stds[j]);
+        if (d < mp.values[i]) {
+          mp.values[i] = d;
+          mp.indices[i] = j;
+        }
+      }
+    }
+  });
+  return mp;
+}
+
+MatrixProfile AbJoinProfile(std::span<const double> a,
+                            std::span<const double> b, size_t window) {
+  IPS_CHECK(window >= 2);
+  IPS_CHECK(a.size() >= window);
+  IPS_CHECK(b.size() >= window);
+
+  const size_t la = a.size() - window + 1;
+  const size_t lb = b.size() - window + 1;
+  const RollingStats stats_a = ComputeRollingStats(a, window);
+  const RollingStats stats_b = ComputeRollingStats(b, window);
+
+  MatrixProfile mp;
+  mp.values.assign(la, kInf);
+  mp.indices.assign(la, kNoNeighbor);
+
+  // qt[j] = dot(a-window(i), b-window(j)); row 0 via sliding products, then
+  // the STOMP recurrence over i.
+  std::vector<double> qt = InitialDots(a.subspan(0, window), b);
+  // Column 0 products for the recurrence seed: dot(b-window(0), a-window(i)).
+  const std::vector<double> qt_col0 = InitialDots(b.subspan(0, window), a);
+
+  for (size_t i = 0; i < la; ++i) {
+    if (i > 0) {
+      for (size_t j = lb - 1; j >= 1; --j) {
+        qt[j] = qt[j - 1] - a[i - 1] * b[j - 1] +
+                a[i + window - 1] * b[j + window - 1];
+      }
+      qt[0] = qt_col0[i];
+    }
+    for (size_t j = 0; j < lb; ++j) {
+      const double d =
+          ZNormDistance(qt[j], window, stats_a.means[i], stats_a.stds[i],
+                        stats_b.means[j], stats_b.stds[j]);
+      if (d < mp.values[i]) {
+        mp.values[i] = d;
+        mp.indices[i] = j;
+      }
+    }
+  }
+  return mp;
+}
+
+std::vector<double> ProfileDiff(const MatrixProfile& pa,
+                                const MatrixProfile& pb) {
+  IPS_CHECK(pa.size() == pb.size());
+  std::vector<double> out(pa.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    out[i] = std::abs(pa.values[i] - pb.values[i]);
+  }
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,30 @@
+// Motif and discord extraction from a (matrix or instance) profile.
+//
+// Motifs are the windows with the smallest profile values (frequently
+// recurring patterns); discords are the windows with the largest (anomalies).
+// Selections are separated by an exclusion zone so that the top-k are k
+// genuinely distinct locations rather than k offsets of the same pattern.
+
+#ifndef IPS_MATRIX_PROFILE_MOTIF_H_
+#define IPS_MATRIX_PROFILE_MOTIF_H_
+
+#include <cstddef>
+
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// Indices of up to `k` profile minima, greedily selected smallest-first with
+/// at least `exclusion` separation between any two selections. Non-finite
+/// profile entries are skipped.
+std::vector<size_t> FindMotifs(std::span<const double> profile, size_t k,
+                               size_t exclusion);
+
+/// Indices of up to `k` profile maxima with the same exclusion rule.
+std::vector<size_t> FindDiscords(std::span<const double> profile, size_t k,
+                                 size_t exclusion);
+
+}  // namespace ips
+
+#endif  // IPS_MATRIX_PROFILE_MOTIF_H_

@@ -1,0 +1,71 @@
+#include "multivariate/mips.h"
+
+#include "transform/shapelet_transform.h"
+#include "util/check.h"
+
+namespace ips {
+
+void MultivariateIpsClassifier::Fit(const MultivariateDataset& train) {
+  IPS_CHECK(!train.empty());
+  const size_t channels = train.num_channels();
+  channel_shapelets_.assign(channels, {});
+
+  LabeledMatrix matrix;
+  matrix.y = train.Labels();
+  matrix.x.assign(train.size(), {});
+
+  for (size_t c = 0; c < channels; ++c) {
+    const Dataset slice = train.ChannelSlice(c);
+    IpsOptions channel_options = options_;
+    channel_options.seed = options_.seed + 0x9e3779b9u * (c + 1);
+    channel_shapelets_[c] = DiscoverShapelets(slice, channel_options);
+
+    const TransformedData transformed = ShapeletTransform(
+        slice, channel_shapelets_[c], options_.transform_distance,
+        options_.num_threads);
+    for (size_t i = 0; i < train.size(); ++i) {
+      matrix.x[i].insert(matrix.x[i].end(), transformed.features[i].begin(),
+                         transformed.features[i].end());
+    }
+  }
+
+  svm_ = LinearSvm(options_.svm);
+  svm_.Fit(matrix);
+}
+
+std::vector<double> MultivariateIpsClassifier::Featurize(
+    const MultivariateTimeSeries& series) const {
+  std::vector<double> features;
+  for (size_t c = 0; c < channel_shapelets_.size(); ++c) {
+    const TimeSeries channel(series.channels[c], series.label);
+    const std::vector<double> row = TransformSeries(
+        channel, channel_shapelets_[c], options_.transform_distance);
+    features.insert(features.end(), row.begin(), row.end());
+  }
+  return features;
+}
+
+int MultivariateIpsClassifier::Predict(
+    const MultivariateTimeSeries& series) const {
+  IPS_CHECK(!channel_shapelets_.empty());
+  IPS_CHECK(series.num_channels() == channel_shapelets_.size());
+  return svm_.Predict(Featurize(series));
+}
+
+double MultivariateIpsClassifier::Accuracy(
+    const MultivariateDataset& test) const {
+  IPS_CHECK(!test.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (Predict(test[i]) == test[i].label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+const std::vector<Subsequence>& MultivariateIpsClassifier::ChannelShapelets(
+    size_t c) const {
+  IPS_CHECK(c < channel_shapelets_.size());
+  return channel_shapelets_[c];
+}
+
+}  // namespace ips

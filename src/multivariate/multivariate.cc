@@ -1,0 +1,46 @@
+#include "multivariate/multivariate.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ips {
+
+void MultivariateDataset::Add(MultivariateTimeSeries series) {
+  IPS_CHECK(!series.channels.empty());
+  for (const auto& channel : series.channels) {
+    IPS_CHECK(channel.size() == series.channels[0].size());
+  }
+  if (!series_.empty()) {
+    IPS_CHECK(series.num_channels() == series_[0].num_channels());
+  }
+  series_.push_back(std::move(series));
+}
+
+size_t MultivariateDataset::num_channels() const {
+  return series_.empty() ? 0 : series_[0].num_channels();
+}
+
+int MultivariateDataset::NumClasses() const {
+  int mx = -1;
+  for (const auto& s : series_) mx = std::max(mx, s.label);
+  return mx + 1;
+}
+
+std::vector<int> MultivariateDataset::Labels() const {
+  std::vector<int> out;
+  out.reserve(series_.size());
+  for (const auto& s : series_) out.push_back(s.label);
+  return out;
+}
+
+Dataset MultivariateDataset::ChannelSlice(size_t c) const {
+  IPS_CHECK(c < num_channels());
+  Dataset out;
+  for (const auto& s : series_) {
+    out.Add(TimeSeries(s.channels[c], s.label));
+  }
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,57 @@
+// Multivariate time-series containers and channel utilities.
+//
+// The paper's conclusion names multivariate TSC as future work (following
+// ShapeNet [24]); this module provides the containers and the channel-wise
+// reduction that src/multivariate/mips.h builds the multivariate IPS
+// classifier on.
+
+#ifndef IPS_MULTIVARIATE_MULTIVARIATE_H_
+#define IPS_MULTIVARIATE_MULTIVARIATE_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace ips {
+
+/// A multivariate series: `channels[c]` is the univariate value sequence of
+/// channel c; all channels have equal length.
+struct MultivariateTimeSeries {
+  std::vector<std::vector<double>> channels;
+  int label = -1;
+
+  size_t num_channels() const { return channels.size(); }
+  size_t length() const { return channels.empty() ? 0 : channels[0].size(); }
+};
+
+/// A set of labelled multivariate series with a uniform channel count.
+class MultivariateDataset {
+ public:
+  MultivariateDataset() = default;
+
+  /// Appends a series; its channel count must match earlier series.
+  void Add(MultivariateTimeSeries series);
+
+  size_t size() const { return series_.size(); }
+  bool empty() const { return series_.empty(); }
+  const MultivariateTimeSeries& operator[](size_t i) const {
+    return series_[i];
+  }
+
+  size_t num_channels() const;
+  int NumClasses() const;
+  std::vector<int> Labels() const;
+
+  /// The univariate dataset formed by channel `c` of every series (labels
+  /// preserved). Requires c < num_channels().
+  Dataset ChannelSlice(size_t c) const;
+
+ private:
+  std::vector<MultivariateTimeSeries> series_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_MULTIVARIATE_MULTIVARIATE_H_

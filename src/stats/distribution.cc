@@ -1,0 +1,183 @@
+#include "stats/distribution.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <numbers>
+
+#include "core/znorm.h"
+#include "stats/special.h"
+#include "util/check.h"
+
+namespace ips {
+
+namespace {
+
+constexpr double kMinSigma = 1e-9;
+
+double SampleVariance(std::span<const double> data) {
+  const double m = Mean(data);
+  double s = 0.0;
+  for (double v : data) s += (v - m) * (v - m);
+  return s / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Normal
+
+NormalDistribution::NormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(std::max(sigma, kMinSigma)) {}
+
+double NormalDistribution::Pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double NormalDistribution::Cdf(double x) const {
+  return 0.5 * std::erfc(-(x - mu_) / (sigma_ * std::numbers::sqrt2));
+}
+
+// ---------------------------------------------------------------- Gamma
+
+GammaDistribution::GammaDistribution(double shape, double scale,
+                                     double location)
+    : shape_(std::max(shape, 1e-6)),
+      scale_(std::max(scale, kMinSigma)),
+      location_(location),
+      log_norm_(-std::lgamma(shape_) - shape_ * std::log(scale_)) {}
+
+double GammaDistribution::Pdf(double x) const {
+  const double y = x - location_;
+  if (y <= 0.0) return 0.0;
+  return std::exp(log_norm_ + (shape_ - 1.0) * std::log(y) - y / scale_);
+}
+
+double GammaDistribution::Cdf(double x) const {
+  const double y = x - location_;
+  if (y <= 0.0) return 0.0;
+  return RegularizedGammaP(shape_, y / scale_);
+}
+
+double GammaDistribution::Mean() const { return location_ + shape_ * scale_; }
+
+double GammaDistribution::StdDev() const {
+  return std::sqrt(shape_) * scale_;
+}
+
+// ---------------------------------------------------------------- Exponential
+
+ExponentialDistribution::ExponentialDistribution(double lambda,
+                                                 double location)
+    : lambda_(std::max(lambda, kMinSigma)), location_(location) {}
+
+double ExponentialDistribution::Pdf(double x) const {
+  const double y = x - location_;
+  if (y < 0.0) return 0.0;
+  return lambda_ * std::exp(-lambda_ * y);
+}
+
+double ExponentialDistribution::Cdf(double x) const {
+  const double y = x - location_;
+  if (y < 0.0) return 0.0;
+  return 1.0 - std::exp(-lambda_ * y);
+}
+
+double ExponentialDistribution::Mean() const {
+  return location_ + 1.0 / lambda_;
+}
+
+double ExponentialDistribution::StdDev() const { return 1.0 / lambda_; }
+
+// ---------------------------------------------------------------- Uniform
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi > lo ? hi : lo + kMinSigma) {}
+
+double UniformDistribution::Pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return 1.0 / (hi_ - lo_);
+}
+
+double UniformDistribution::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDistribution::Mean() const { return 0.5 * (lo_ + hi_); }
+
+double UniformDistribution::StdDev() const {
+  return (hi_ - lo_) / std::sqrt(12.0);
+}
+
+// ---------------------------------------------------------------- Fitting
+
+std::unique_ptr<Distribution> FitNormal(std::span<const double> data) {
+  IPS_CHECK(!data.empty());
+  return std::make_unique<NormalDistribution>(Mean(data),
+                                              std::sqrt(SampleVariance(data)));
+}
+
+std::unique_ptr<Distribution> FitGamma(std::span<const double> data) {
+  IPS_CHECK(!data.empty());
+  // Shift so the support starts just below the sample minimum, then match
+  // the first two moments of the shifted data.
+  const double mn = *std::min_element(data.begin(), data.end());
+  const double var = std::max(SampleVariance(data), 1e-12);
+  const double location = mn - 0.05 * std::sqrt(var) - 1e-9;
+  const double mean_shifted = Mean(data) - location;
+  const double shape = mean_shifted * mean_shifted / var;
+  const double scale = var / mean_shifted;
+  return std::make_unique<GammaDistribution>(shape, scale, location);
+}
+
+std::unique_ptr<Distribution> FitExponential(std::span<const double> data) {
+  IPS_CHECK(!data.empty());
+  const double mn = *std::min_element(data.begin(), data.end());
+  const double mean_shifted = std::max(Mean(data) - mn, 1e-12);
+  return std::make_unique<ExponentialDistribution>(1.0 / mean_shifted, mn);
+}
+
+std::unique_ptr<Distribution> FitUniform(std::span<const double> data) {
+  IPS_CHECK(!data.empty());
+  auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  return std::make_unique<UniformDistribution>(*mn, *mx);
+}
+
+double Nmse(const Histogram& hist, const Distribution& dist) {
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t b = 0; b < hist.num_bins(); ++b) {
+    const double h = hist.Density(b);
+    const double p = dist.Pdf(hist.BinCenter(b));
+    num += (h - p) * (h - p);
+    den += h * h;
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+BestFit FitBestDistribution(std::span<const double> data, size_t num_bins) {
+  IPS_CHECK(!data.empty());
+  const Histogram hist(data, num_bins);
+
+  std::vector<std::unique_ptr<Distribution>> candidates;
+  candidates.push_back(FitNormal(data));
+  candidates.push_back(FitGamma(data));
+  candidates.push_back(FitExponential(data));
+  candidates.push_back(FitUniform(data));
+
+  BestFit best;
+  for (auto& c : candidates) {
+    const double err = Nmse(hist, *c);
+    if (best.distribution == nullptr || err < best.nmse) {
+      best.nmse = err;
+      best.distribution = std::move(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace ips

@@ -1,0 +1,129 @@
+// Parametric distribution fitting (paper Table III / Formula 10).
+//
+// The DABF fits the histogram of hashed-subsequence distances to a family of
+// candidate distributions and keeps the best fit under normalised mean square
+// error (NMSE). Four families are provided -- Normal, Gamma, Exponential and
+// Uniform -- each fitted by the method of moments; the Gamma and Exponential
+// fits carry a location shift so they apply to z-normalised (possibly
+// negative) samples.
+
+#ifndef IPS_STATS_DISTRIBUTION_H_
+#define IPS_STATS_DISTRIBUTION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace ips {
+
+/// A fitted one-dimensional parametric distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Probability density at x.
+  virtual double Pdf(double x) const = 0;
+
+  /// Cumulative distribution at x.
+  virtual double Cdf(double x) const = 0;
+
+  /// Distribution mean.
+  virtual double Mean() const = 0;
+
+  /// Distribution standard deviation.
+  virtual double StdDev() const = 0;
+
+  /// Family name ("Norm", "Gamma", "Exp", "Uniform").
+  virtual std::string Name() const = 0;
+};
+
+/// Normal(mu, sigma). A near-zero sigma is clamped to a small positive value.
+class NormalDistribution final : public Distribution {
+ public:
+  NormalDistribution(double mu, double sigma);
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override { return mu_; }
+  double StdDev() const override { return sigma_; }
+  std::string Name() const override { return "Norm"; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Three-parameter Gamma: shape k, scale theta, location shift.
+class GammaDistribution final : public Distribution {
+ public:
+  GammaDistribution(double shape, double scale, double location);
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double StdDev() const override;
+  std::string Name() const override { return "Gamma"; }
+
+ private:
+  double shape_;
+  double scale_;
+  double location_;
+  double log_norm_;  // log of the normalising constant
+};
+
+/// Shifted exponential with rate lambda.
+class ExponentialDistribution final : public Distribution {
+ public:
+  ExponentialDistribution(double lambda, double location);
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double StdDev() const override;
+  std::string Name() const override { return "Exp"; }
+
+ private:
+  double lambda_;
+  double location_;
+};
+
+/// Uniform on [lo, hi].
+class UniformDistribution final : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi);
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  double StdDev() const override;
+  std::string Name() const override { return "Uniform"; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Method-of-moments fits. Each requires non-empty data.
+std::unique_ptr<Distribution> FitNormal(std::span<const double> data);
+std::unique_ptr<Distribution> FitGamma(std::span<const double> data);
+std::unique_ptr<Distribution> FitExponential(std::span<const double> data);
+std::unique_ptr<Distribution> FitUniform(std::span<const double> data);
+
+/// Normalised mean square error between the histogram's bin densities and
+/// the distribution's PDF at the bin centres:
+///   NMSE = sum_b (h_b - p_b)^2 / sum_b h_b^2.
+double Nmse(const Histogram& hist, const Distribution& dist);
+
+/// Result of fitting all candidate families and choosing the NMSE-best.
+struct BestFit {
+  std::unique_ptr<Distribution> distribution;
+  double nmse = 0.0;
+};
+
+/// Fits Normal, Gamma, Exponential and Uniform to `data` (binned into
+/// `num_bins`) and returns the family with the smallest NMSE.
+BestFit FitBestDistribution(std::span<const double> data,
+                            size_t num_bins = 32);
+
+}  // namespace ips
+
+#endif  // IPS_STATS_DISTRIBUTION_H_

@@ -1,0 +1,43 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ips {
+
+Histogram::Histogram(std::span<const double> data, size_t num_bins) {
+  IPS_CHECK(!data.empty());
+  IPS_CHECK(num_bins >= 1);
+  auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  min_ = *mn;
+  max_ = *mx;
+  if (max_ <= min_) max_ = min_ + 1.0;  // constant data: one unit-width span
+  width_ = (max_ - min_) / static_cast<double>(num_bins);
+  counts_.assign(num_bins, 0);
+  for (double v : data) {
+    size_t b = static_cast<size_t>((v - min_) / width_);
+    if (b >= num_bins) b = num_bins - 1;  // right edge inclusive
+    ++counts_[b];
+  }
+  total_ = data.size();
+}
+
+double Histogram::BinCenter(size_t b) const {
+  IPS_CHECK(b < counts_.size());
+  return min_ + (static_cast<double>(b) + 0.5) * width_;
+}
+
+double Histogram::Density(size_t b) const {
+  IPS_CHECK(b < counts_.size());
+  return static_cast<double>(counts_[b]) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::vector<double> Histogram::Densities() const {
+  std::vector<double> out(counts_.size());
+  for (size_t b = 0; b < counts_.size(); ++b) out[b] = Density(b);
+  return out;
+}
+
+}  // namespace ips

@@ -1,0 +1,51 @@
+// Fixed-bin histogram used by the DABF distribution-fitting step
+// (paper Formula 10: the histogram of hashed subsequence distances).
+
+#ifndef IPS_STATS_HISTOGRAM_H_
+#define IPS_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+
+#include <span>
+#include <vector>
+
+namespace ips {
+
+/// Equal-width histogram over [min, max] of the input data.
+class Histogram {
+ public:
+  /// Builds a histogram of `data` with `num_bins` equal-width bins spanning
+  /// [min(data), max(data)]. Degenerate (constant) data lands in one bin.
+  /// Requires non-empty data and num_bins >= 1.
+  Histogram(std::span<const double> data, size_t num_bins);
+
+  size_t num_bins() const { return counts_.size(); }
+  size_t total_count() const { return total_; }
+  double bin_width() const { return width_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Raw count of bin b.
+  size_t count(size_t b) const { return counts_[b]; }
+
+  /// Centre of bin b.
+  double BinCenter(size_t b) const;
+
+  /// Probability density estimate of bin b: count / (total * width), so the
+  /// histogram integrates to 1 and is comparable with a fitted PDF.
+  double Density(size_t b) const;
+
+  /// All bin densities.
+  std::vector<double> Densities() const;
+
+ private:
+  std::vector<size_t> counts_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double width_ = 1.0;
+  size_t total_ = 0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_STATS_HISTOGRAM_H_

@@ -1,0 +1,58 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+#include <numbers>
+
+#include "util/check.h"
+
+namespace ips {
+
+double RegularizedGammaP(double a, double x) {
+  IPS_CHECK(a > 0.0);
+  if (x <= 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-13) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a, x); P = 1 - Q.
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-13) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+double ChiSquaredCdf(double x, double dof) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+double StandardNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+}  // namespace ips

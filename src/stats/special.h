@@ -1,0 +1,19 @@
+// Special functions shared by the distribution and hypothesis-testing code.
+
+#ifndef IPS_STATS_SPECIAL_H_
+#define IPS_STATS_SPECIAL_H_
+
+namespace ips {
+
+/// Regularised lower incomplete gamma function P(a, x) for a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// CDF of the chi-squared distribution with `dof` degrees of freedom.
+double ChiSquaredCdf(double x, double dof);
+
+/// CDF of the standard normal distribution.
+double StandardNormalCdf(double z);
+
+}  // namespace ips
+
+#endif  // IPS_STATS_SPECIAL_H_

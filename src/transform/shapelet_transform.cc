@@ -1,0 +1,37 @@
+#include "transform/shapelet_transform.h"
+
+#include "core/distance.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace ips {
+
+std::vector<double> TransformSeries(const TimeSeries& series,
+                                    const std::vector<Subsequence>& shapelets,
+                                    TransformDistance distance) {
+  IPS_CHECK(!shapelets.empty());
+  std::vector<double> row(shapelets.size());
+  for (size_t s = 0; s < shapelets.size(); ++s) {
+    row[s] = distance == TransformDistance::kRaw
+                 ? SubsequenceDistance(series.view(), shapelets[s].view())
+                 : SubsequenceDistanceZNorm(series.view(),
+                                            shapelets[s].view());
+  }
+  return row;
+}
+
+TransformedData ShapeletTransform(const Dataset& data,
+                                  const std::vector<Subsequence>& shapelets,
+                                  TransformDistance distance,
+                                  size_t num_threads) {
+  TransformedData out;
+  out.features.resize(data.size());
+  out.labels.resize(data.size());
+  ParallelFor(data.size(), num_threads, [&](size_t i) {
+    out.features[i] = TransformSeries(data[i], shapelets, distance);
+    out.labels[i] = data[i].label;
+  });
+  return out;
+}
+
+}  // namespace ips

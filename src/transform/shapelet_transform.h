@@ -1,0 +1,54 @@
+// Shapelet transform (paper Def. 7, Lines et al. [26]).
+//
+// Given a set of discovered shapelets S, a time series T_j is embedded as
+// the vector (dist(T_j, S_1), ..., dist(T_j, S_|S|)) -- its distance to each
+// shapelet under the paper's Def. 4 subsequence distance. The transformed
+// dataset is then handed to a conventional classifier (the paper uses a
+// linear-kernel SVM).
+
+#ifndef IPS_TRANSFORM_SHAPELET_TRANSFORM_H_
+#define IPS_TRANSFORM_SHAPELET_TRANSFORM_H_
+
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace ips {
+
+/// Which subsequence distance the transform embeds with.
+enum class TransformDistance {
+  /// The paper's literal Def. 4: length-normalised squared Euclidean.
+  kRaw,
+  /// Z-normalised windows before comparison -- the convention of the
+  /// shapelet-transform literature ([23], [26]), robust to amplitude and
+  /// offset jitter. The default.
+  kZNormalized,
+};
+
+/// A transformed dataset: one row of shapelet distances per series, plus the
+/// original labels.
+struct TransformedData {
+  std::vector<std::vector<double>> features;  // [series][shapelet]
+  std::vector<int> labels;
+
+  size_t size() const { return features.size(); }
+  size_t dim() const { return features.empty() ? 0 : features.front().size(); }
+};
+
+/// Embeds every series of `data` into shapelet-distance space. Requires a
+/// non-empty shapelet set; shapelets longer than a series contribute the
+/// distance with the roles swapped (the distances are symmetric in
+/// min-alignment).
+TransformedData ShapeletTransform(
+    const Dataset& data, const std::vector<Subsequence>& shapelets,
+    TransformDistance distance = TransformDistance::kZNormalized,
+    size_t num_threads = 1);
+
+/// Transforms a single series.
+std::vector<double> TransformSeries(
+    const TimeSeries& series, const std::vector<Subsequence>& shapelets,
+    TransformDistance distance = TransformDistance::kZNormalized);
+
+}  // namespace ips
+
+#endif  // IPS_TRANSFORM_SHAPELET_TRANSFORM_H_

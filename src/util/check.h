@@ -1,0 +1,44 @@
+// Lightweight precondition-checking macros.
+//
+// The library does not use exceptions (Google C++ style). Unrecoverable
+// programming errors -- violated preconditions, broken invariants -- abort the
+// process with a diagnostic. Recoverable failures (e.g. missing files) are
+// reported through return values instead.
+
+#ifndef IPS_UTIL_CHECK_H_
+#define IPS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ips::internal {
+
+/// Prints a fatal-check diagnostic and aborts. Never returns.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "IPS_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " -- " : "", msg);
+  std::abort();
+}
+
+}  // namespace ips::internal
+
+/// Aborts with a diagnostic when `cond` is false. Always evaluated (including
+/// in release builds): the library's correctness contracts are cheap relative
+/// to the numeric kernels they guard.
+#define IPS_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::ips::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                \
+  } while (0)
+
+/// IPS_CHECK with an explanatory message literal.
+#define IPS_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::ips::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                 \
+  } while (0)
+
+#endif  // IPS_UTIL_CHECK_H_

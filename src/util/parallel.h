@@ -1,0 +1,56 @@
+// Minimal data-parallel loop used by the optional multi-threaded discovery
+// path (the paper's future-work direction of distributing IPS, realised
+// here as shared-memory parallelism).
+//
+// Work items are claimed from an atomic counter, so uneven item costs
+// balance across threads. Callers are responsible for making `fn` writes
+// disjoint per index; the library keeps determinism by pre-assigning all
+// randomness before the parallel region.
+
+#ifndef IPS_UTIL_PARALLEL_H_
+#define IPS_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ips {
+
+/// Runs fn(i) for every i in [0, count) on up to `num_threads` threads
+/// (including the calling thread). num_threads <= 1 or count <= 1 runs
+/// inline. Exceptions must not escape fn (the library does not use them).
+template <typename Fn>
+void ParallelFor(size_t count, size_t num_threads, Fn&& fn) {
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const size_t workers = std::min(num_threads, count);
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+}
+
+/// Number of hardware threads, at least 1.
+inline size_t HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_PARALLEL_H_

@@ -1,0 +1,95 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ips {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  IPS_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  IPS_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto append_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  append_row(out, header_);
+  size_t rule = 0;
+  for (size_t c = 0; c < width.size(); ++c) rule += width[c] + 2;
+  out.append(rule > 2 ? rule - 2 : rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TablePrinter::ToCsv() const {
+  std::string out;
+  auto append = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += CsvEscape(row[c]);
+      if (c + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  };
+  append(header_);
+  for (const auto& row : rows_) append(row);
+  return out;
+}
+
+bool TablePrinter::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = ToCsv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string TablePrinter::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace ips

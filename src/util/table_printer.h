@@ -1,0 +1,46 @@
+// Fixed-width text table printer for the benchmark harness. Each exp_* binary
+// regenerates one table/figure of the paper; this formats the rows the same
+// way the paper reports them.
+
+#ifndef IPS_UTIL_TABLE_PRINTER_H_
+#define IPS_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace ips {
+
+/// Collects rows of string cells and prints them as an aligned text table
+/// with a header rule, suitable for terminal output and for diffing runs.
+class TablePrinter {
+ public:
+  /// Sets the column headers. Must be called before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one row; the cell count must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Renders the table as RFC-4180 CSV (cells containing commas, quotes or
+  /// newlines are quoted).
+  std::string ToCsv() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+  /// Writes the CSV rendering to `path`. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Num(double value, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_TABLE_PRINTER_H_

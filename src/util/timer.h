@@ -1,0 +1,65 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// instrumented IPS pipeline (Table V breakdown).
+
+#ifndef IPS_UTIL_TIMER_H_
+#define IPS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ips {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple timed sections; used to attribute
+/// pipeline time to stages (candidate generation / pruning / selection).
+class StageTimer {
+ public:
+  /// Adds `seconds` to the accumulated total.
+  void Add(double seconds) { total_ += seconds; }
+
+  /// Runs `fn` and adds its wall-clock duration to the total. Returns fn().
+  template <typename Fn>
+  auto Time(Fn&& fn) {
+    Timer t;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      total_ += t.ElapsedSeconds();
+    } else {
+      auto result = fn();
+      total_ += t.ElapsedSeconds();
+      return result;
+    }
+  }
+
+  /// Accumulated seconds.
+  double total_seconds() const { return total_; }
+
+  /// Clears the accumulated total.
+  void Reset() { total_ = 0.0; }
+
+ private:
+  double total_ = 0.0;
+};
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_TIMER_H_

@@ -1,0 +1,152 @@
+// Tests for the alternative transform back-ends (logistic regression,
+// Gaussian naive Bayes, feature-space kNN) and the IpsOptions::backend
+// selector -- the paper's §I "Nearest Neighbor, Naive Bayes, and SVM"
+// remark.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/logistic.h"
+#include "classify/naive_bayes.h"
+#include "core/rng.h"
+#include "data/generator.h"
+#include "ips/pipeline.h"
+
+namespace ips {
+namespace {
+
+LabeledMatrix Blobs(size_t per_class, Rng& rng, double separation = 2.0) {
+  LabeledMatrix data;
+  for (size_t i = 0; i < per_class; ++i) {
+    data.x.push_back(
+        {rng.Gaussian(separation, 0.5), rng.Gaussian(separation, 0.5)});
+    data.y.push_back(0);
+    data.x.push_back(
+        {rng.Gaussian(-separation, 0.5), rng.Gaussian(-separation, 0.5)});
+    data.y.push_back(1);
+  }
+  return data;
+}
+
+TEST(LogisticRegressionTest, SeparatesBlobs) {
+  Rng rng(1);
+  const LabeledMatrix data = Blobs(40, rng);
+  LogisticRegression clf;
+  clf.Fit(data);
+  EXPECT_GE(clf.Accuracy(data), 0.98);
+  EXPECT_EQ(clf.num_classes(), 2);
+}
+
+TEST(LogisticRegressionTest, Multiclass) {
+  Rng rng(2);
+  LabeledMatrix data;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      data.x.push_back({rng.Gaussian(3.0 * c, 0.4)});
+      data.y.push_back(c);
+    }
+  }
+  LogisticRegression clf;
+  clf.Fit(data);
+  EXPECT_GE(clf.Accuracy(data), 0.9);
+}
+
+TEST(LogisticRegressionTest, OffsetDecisionBoundary) {
+  Rng rng(3);
+  LabeledMatrix data;
+  for (int i = 0; i < 50; ++i) {
+    data.x.push_back({rng.Gaussian(10.0, 0.3)});
+    data.y.push_back(0);
+    data.x.push_back({rng.Gaussian(12.0, 0.3)});
+    data.y.push_back(1);
+  }
+  LogisticRegression clf;
+  clf.Fit(data);
+  EXPECT_GE(clf.Accuracy(data), 0.95);
+}
+
+TEST(GaussianNaiveBayesTest, SeparatesBlobs) {
+  Rng rng(4);
+  const LabeledMatrix data = Blobs(40, rng);
+  GaussianNaiveBayes clf;
+  clf.Fit(data);
+  EXPECT_GE(clf.Accuracy(data), 0.98);
+}
+
+TEST(GaussianNaiveBayesTest, UsesPerClassVariance) {
+  // Same mean, very different variance: NB separates where a mean-only
+  // classifier cannot.
+  Rng rng(5);
+  LabeledMatrix data;
+  for (int i = 0; i < 200; ++i) {
+    data.x.push_back({rng.Gaussian(0.0, 0.1)});
+    data.y.push_back(0);
+    data.x.push_back({rng.Gaussian(0.0, 5.0)});
+    data.y.push_back(1);
+  }
+  GaussianNaiveBayes clf;
+  clf.Fit(data);
+  EXPECT_GE(clf.Accuracy(data), 0.75);
+}
+
+TEST(GaussianNaiveBayesTest, ConstantFeatureDoesNotCrash) {
+  LabeledMatrix data;
+  data.x = {{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}, {4.0, 5.0}};
+  data.y = {0, 0, 1, 1};
+  GaussianNaiveBayes clf;
+  clf.Fit(data);
+  EXPECT_GE(clf.Accuracy(data), 0.75);
+}
+
+TEST(FeatureKnnTest, OneNnMemorizesTraining) {
+  Rng rng(6);
+  const LabeledMatrix data = Blobs(20, rng);
+  FeatureKnn clf(1);
+  clf.Fit(data);
+  EXPECT_DOUBLE_EQ(clf.Accuracy(data), 1.0);
+}
+
+TEST(FeatureKnnTest, LargerKSmoothsNoise) {
+  Rng rng(7);
+  LabeledMatrix train = Blobs(30, rng, 1.0);
+  // Flip a few labels to create noise.
+  for (size_t i = 0; i < train.size(); i += 13) {
+    train.y[i] = 1 - train.y[i];
+  }
+  const LabeledMatrix test = Blobs(30, rng, 1.0);
+  FeatureKnn k1(1), k5(5);
+  k1.Fit(train);
+  k5.Fit(train);
+  EXPECT_GE(k5.Accuracy(test) + 0.05, k1.Accuracy(test));
+}
+
+class BackendSweep : public ::testing::TestWithParam<TransformBackend> {};
+
+TEST_P(BackendSweep, IpsPipelineWorksWithEveryBackend) {
+  GeneratorSpec spec;
+  spec.name = "backend";
+  spec.num_classes = 2;
+  spec.train_size = 16;
+  spec.test_size = 40;
+  spec.length = 80;
+  const TrainTestSplit data = GenerateDataset(spec);
+
+  IpsOptions options;
+  options.sample_count = 5;
+  options.length_ratios = {0.15, 0.25};
+  options.backend = GetParam();
+  IpsClassifier clf(options);
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendSweep,
+    ::testing::Values(TransformBackend::kLinearSvm,
+                      TransformBackend::kLogisticRegression,
+                      TransformBackend::kNaiveBayes,
+                      TransformBackend::kNearestNeighbor));
+
+}  // namespace
+}  // namespace ips

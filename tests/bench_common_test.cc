@@ -1,0 +1,93 @@
+// Tests for the benchmark-harness helpers: argument parsing, workload
+// scaling and dataset selection.
+
+#include "bench/bench_common.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips::bench {
+namespace {
+
+BenchArgs Parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::string prog = "test";
+  argv.push_back(prog.data());
+  for (auto& a : args) argv.push_back(a.data());
+  return ParseArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParseArgsTest, Defaults) {
+  const BenchArgs args = Parse({});
+  EXPECT_FALSE(args.full);
+  EXPECT_TRUE(args.ucr_dir.empty());
+  EXPECT_TRUE(args.datasets.empty());
+  EXPECT_TRUE(args.csv_path.empty());
+  EXPECT_FALSE(args.count_scale.has_value());
+}
+
+TEST(ParseArgsTest, AllFlags) {
+  const BenchArgs args =
+      Parse({"--full", "--ucr_dir=/data/ucr", "--count_scale=0.5",
+             "--length_scale=0.25", "--csv=/tmp/out.csv",
+             "--datasets=A,B,C"});
+  EXPECT_TRUE(args.full);
+  EXPECT_EQ(args.ucr_dir, "/data/ucr");
+  ASSERT_TRUE(args.count_scale.has_value());
+  EXPECT_DOUBLE_EQ(*args.count_scale, 0.5);
+  ASSERT_TRUE(args.length_scale.has_value());
+  EXPECT_DOUBLE_EQ(*args.length_scale, 0.25);
+  EXPECT_EQ(args.csv_path, "/tmp/out.csv");
+  EXPECT_EQ(args.datasets, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(ParseArgsTest, SingleDataset) {
+  const BenchArgs args = Parse({"--datasets=GunPoint"});
+  EXPECT_EQ(args.datasets, (std::vector<std::string>{"GunPoint"}));
+}
+
+TEST(ScaleForTest, QuickModeByDefaultFullOnFlag) {
+  const CatalogScale quick = ScaleFor(Parse({}));
+  EXPECT_LT(quick.count_factor, 1.0);
+  const CatalogScale full = ScaleFor(Parse({"--full"}));
+  EXPECT_DOUBLE_EQ(full.count_factor, 1.0);
+  EXPECT_DOUBLE_EQ(full.length_factor, 1.0);
+}
+
+TEST(ScaleForTest, OverridesApply) {
+  const CatalogScale s = ScaleFor(Parse({"--count_scale=0.7"}));
+  EXPECT_DOUBLE_EQ(s.count_factor, 0.7);
+}
+
+TEST(SelectDatasetsTest, FlagOverridesDefaults) {
+  const BenchArgs args = Parse({"--datasets=X"});
+  EXPECT_EQ(SelectDatasets(args, {"A", "B"}),
+            (std::vector<std::string>{"X"}));
+  EXPECT_EQ(SelectDatasets(Parse({}), {"A", "B"}),
+            (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(AllPaperDatasetsTest, FortySixWithoutMoteStrain) {
+  const auto names = AllPaperDatasets();
+  EXPECT_EQ(names.size(), 46u);
+  for (const auto& n : names) EXPECT_NE(n, "MoteStrain");
+}
+
+TEST(GetDatasetTest, SynthesisesFromCatalog) {
+  const BenchArgs args = Parse({});
+  const TrainTestSplit data = GetDataset("GunPoint", args);
+  EXPECT_GT(data.train.size(), 0u);
+  EXPECT_GT(data.test.size(), 0u);
+  EXPECT_EQ(data.train.NumClasses(), 2);
+}
+
+TEST(GetDatasetTest, MissingUcrDirFallsBackToSynthetic) {
+  const BenchArgs args = Parse({"--ucr_dir=/nonexistent"});
+  const TrainTestSplit data = GetDataset("GunPoint", args);
+  EXPECT_GT(data.train.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ips::bench

@@ -1,0 +1,71 @@
+#include "dabf/bloom_filter.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1024, 3);
+  for (int i = 0; i < 100; ++i) {
+    filter.Add("key-" + std::to_string(i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(filter.MayContain("key-" + std::to_string(i)));
+  }
+}
+
+TEST(BloomFilterTest, UnseenKeysMostlyRejected) {
+  BloomFilter filter = BloomFilter::WithCapacity(200, 0.01);
+  for (int i = 0; i < 200; ++i) filter.Add("in-" + std::to_string(i));
+  int false_positives = 0;
+  const int probes = 2000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.MayContain("out-" + std::to_string(i))) ++false_positives;
+  }
+  // Target rate 1%; allow generous slack.
+  EXPECT_LT(false_positives, probes / 20);
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  const BloomFilter filter(256, 4);
+  EXPECT_FALSE(filter.MayContain("anything"));
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), 0.0);
+}
+
+TEST(BloomFilterTest, WithCapacitySizesSensibly) {
+  const BloomFilter f = BloomFilter::WithCapacity(1000, 0.01);
+  // Optimal m ~ 9.6 bits/item at 1% FPR; k ~ 7.
+  EXPECT_GT(f.num_bits(), 9000u);
+  EXPECT_LT(f.num_bits(), 11000u);
+  EXPECT_GE(f.num_hashes(), 6u);
+  EXPECT_LE(f.num_hashes(), 8u);
+}
+
+TEST(BloomFilterTest, FillRatioGrowsWithInsertions) {
+  BloomFilter f(512, 3);
+  const double before = f.FillRatio();
+  for (int i = 0; i < 50; ++i) f.Add("k" + std::to_string(i));
+  EXPECT_GT(f.FillRatio(), before);
+  EXPECT_EQ(f.num_items(), 50u);
+}
+
+TEST(BloomFilterTest, EmptyKeySupported) {
+  BloomFilter f(128, 2);
+  f.Add("");
+  EXPECT_TRUE(f.MayContain(""));
+}
+
+TEST(BloomFilterTest, BinaryKeysSupported) {
+  BloomFilter f(256, 3);
+  const std::string key1("\x00\x01\x02", 3);
+  const std::string key2("\x00\x01\x03", 3);
+  f.Add(key1);
+  EXPECT_TRUE(f.MayContain(key1));
+  EXPECT_FALSE(f.MayContain(key2));
+}
+
+}  // namespace
+}  // namespace ips

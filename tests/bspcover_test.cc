@@ -1,0 +1,94 @@
+#include "baselines/bspcover.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace ips {
+namespace {
+
+TrainTestSplit MakeData(const std::string& name) {
+  GeneratorSpec spec;
+  spec.name = name;
+  spec.num_classes = 2;
+  spec.train_size = 10;
+  spec.test_size = 30;
+  spec.length = 64;
+  return GenerateDataset(spec);
+}
+
+BspCoverOptions FastOptions() {
+  BspCoverOptions o;
+  o.length_ratios = {0.2, 0.3};
+  o.shapelets_per_class = 3;
+  o.stride = 4;
+  return o;
+}
+
+TEST(BspCoverTest, DiscoversShapelets) {
+  const TrainTestSplit data = MakeData("bsp1");
+  BspCoverStats stats;
+  const auto shapelets =
+      DiscoverBspCoverShapelets(data.train, FastOptions(), &stats);
+  EXPECT_GT(shapelets.size(), 0u);
+  EXPECT_LE(shapelets.size(), 6u);
+  EXPECT_GT(stats.candidates_enumerated, 0u);
+  EXPECT_GT(stats.candidates_after_bloom, 0u);
+  EXPECT_LE(stats.candidates_after_bloom, stats.candidates_enumerated);
+  EXPECT_EQ(stats.shapelets, shapelets.size());
+}
+
+TEST(BspCoverTest, BloomFilterPrunesDuplicates) {
+  // A dataset whose class series repeat the same pattern everywhere should
+  // see heavy bloom pruning.
+  Dataset train;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> v(64);
+    for (size_t j = 0; j < 64; ++j) {
+      v[j] = (i % 2 == 0 ? 1.0 : -1.0) *
+             std::sin(0.4 * static_cast<double>(j));
+    }
+    train.Add(TimeSeries(std::move(v), i % 2));
+  }
+  BspCoverStats stats;
+  BspCoverOptions o = FastOptions();
+  o.stride = 1;
+  DiscoverBspCoverShapelets(train, o, &stats);
+  EXPECT_LT(stats.candidates_after_bloom,
+            stats.candidates_enumerated / 2);
+}
+
+TEST(BspCoverTest, ClassifierBeatsChance) {
+  const TrainTestSplit data = MakeData("bsp2");
+  BspCoverClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 0.55);
+}
+
+TEST(BspCoverTest, StrideReducesEnumeration) {
+  const TrainTestSplit data = MakeData("bsp3");
+  BspCoverStats dense, sparse;
+  BspCoverOptions o = FastOptions();
+  o.stride = 1;
+  DiscoverBspCoverShapelets(data.train, o, &dense);
+  o.stride = 8;
+  DiscoverBspCoverShapelets(data.train, o, &sparse);
+  EXPECT_GT(dense.candidates_enumerated,
+            4 * sparse.candidates_enumerated);
+}
+
+TEST(BspCoverTest, ShapeletsCarryClassLabels) {
+  const TrainTestSplit data = MakeData("bsp4");
+  const auto shapelets =
+      DiscoverBspCoverShapelets(data.train, FastOptions());
+  for (const auto& s : shapelets) {
+    EXPECT_TRUE(s.label == 0 || s.label == 1);
+  }
+}
+
+}  // namespace
+}  // namespace ips

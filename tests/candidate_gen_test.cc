@@ -1,0 +1,134 @@
+#include "ips/candidate_gen.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace ips {
+namespace {
+
+Dataset SmallTrainSet() {
+  GeneratorSpec spec;
+  spec.name = "candgen";
+  spec.num_classes = 2;
+  spec.train_size = 12;
+  spec.test_size = 2;
+  spec.length = 64;
+  return GenerateDataset(spec).train;
+}
+
+IpsOptions SmallOptions() {
+  IpsOptions o;
+  o.sample_count = 4;
+  o.sample_size = 3;
+  o.length_ratios = {0.2, 0.4};
+  return o;
+}
+
+TEST(ResolveCandidateLengthsTest, RatiosRoundedAndDeduped) {
+  const std::vector<double> ratios = {0.1, 0.2, 0.21, 0.5};
+  const auto lengths = ResolveCandidateLengths(100, ratios);
+  EXPECT_EQ(lengths, (std::vector<size_t>{10, 20, 21, 50}));
+  // On a short series several ratios collapse to the same clamped value.
+  const auto clamped = ResolveCandidateLengths(20, std::vector<double>{0.1, 0.15, 0.2});
+  EXPECT_EQ(clamped, (std::vector<size_t>{4}));
+}
+
+TEST(ResolveCandidateLengthsTest, ClampedToSeriesLength) {
+  const auto lengths = ResolveCandidateLengths(10, std::vector<double>{2.0});
+  EXPECT_EQ(lengths, (std::vector<size_t>{10}));
+}
+
+TEST(GenerateCandidatesTest, PoolsPopulatedPerClass) {
+  const Dataset train = SmallTrainSet();
+  Rng rng(1);
+  const CandidatePool pool = GenerateCandidates(train, SmallOptions(), rng);
+  EXPECT_EQ(pool.motifs.size(), 2u);
+  EXPECT_EQ(pool.discords.size(), 2u);
+  // Q_N=4 samples x 2 lengths x 1 per profile = 8 per class.
+  for (const auto& [label, motifs] : pool.motifs) {
+    EXPECT_EQ(motifs.size(), 8u) << "class " << label;
+  }
+  EXPECT_EQ(pool.TotalMotifs(), 16u);
+  EXPECT_EQ(pool.TotalDiscords(), 16u);
+}
+
+TEST(GenerateCandidatesTest, CandidatesCarryProvenance) {
+  const Dataset train = SmallTrainSet();
+  Rng rng(2);
+  const CandidatePool pool = GenerateCandidates(train, SmallOptions(), rng);
+  for (const auto& [label, motifs] : pool.motifs) {
+    for (const Subsequence& m : motifs) {
+      EXPECT_EQ(m.label, label);
+      ASSERT_GE(m.series_index, 0);
+      ASSERT_LT(static_cast<size_t>(m.series_index), train.size());
+      EXPECT_EQ(train[static_cast<size_t>(m.series_index)].label, label);
+      // Values must equal the recorded slice of the source series.
+      const TimeSeries& src = train[static_cast<size_t>(m.series_index)];
+      ASSERT_LE(m.start + m.length(), src.length());
+      for (size_t i = 0; i < m.length(); ++i) {
+        EXPECT_DOUBLE_EQ(m.values[i], src.values[m.start + i]);
+      }
+    }
+  }
+}
+
+TEST(GenerateCandidatesTest, LengthsMatchRatios) {
+  const Dataset train = SmallTrainSet();
+  Rng rng(3);
+  const CandidatePool pool = GenerateCandidates(train, SmallOptions(), rng);
+  const auto lengths = ResolveCandidateLengths(64, std::vector<double>{0.2, 0.4});
+  for (const auto& [label, motifs] : pool.motifs) {
+    for (const Subsequence& m : motifs) {
+      EXPECT_TRUE(std::find(lengths.begin(), lengths.end(), m.length()) !=
+                  lengths.end())
+          << "unexpected length " << m.length();
+    }
+  }
+}
+
+TEST(GenerateCandidatesTest, DeterministicGivenRngSeed) {
+  const Dataset train = SmallTrainSet();
+  Rng rng_a(7), rng_b(7);
+  const CandidatePool a = GenerateCandidates(train, SmallOptions(), rng_a);
+  const CandidatePool b = GenerateCandidates(train, SmallOptions(), rng_b);
+  ASSERT_EQ(a.TotalMotifs(), b.TotalMotifs());
+  for (const auto& [label, motifs] : a.motifs) {
+    const auto& other = b.motifs.at(label);
+    for (size_t i = 0; i < motifs.size(); ++i) {
+      EXPECT_EQ(motifs[i].values, other[i].values);
+    }
+  }
+}
+
+TEST(GenerateCandidatesTest, SampleSizeClampedToClassSize) {
+  // Class sizes of 3; sample_size 10 must not crash.
+  GeneratorSpec spec;
+  spec.name = "tiny";
+  spec.num_classes = 2;
+  spec.train_size = 6;
+  spec.test_size = 2;
+  spec.length = 48;
+  const Dataset train = GenerateDataset(spec).train;
+  IpsOptions o = SmallOptions();
+  o.sample_size = 10;
+  Rng rng(4);
+  const CandidatePool pool = GenerateCandidates(train, o, rng);
+  EXPECT_GT(pool.TotalMotifs(), 0u);
+}
+
+TEST(CandidatePoolTest, AllOfClassMergesMotifsAndDiscords) {
+  CandidatePool pool;
+  Subsequence a;
+  a.values = {1.0};
+  a.label = 0;
+  pool.motifs[0] = {a, a};
+  pool.discords[0] = {a};
+  EXPECT_EQ(pool.AllOfClass(0).size(), 3u);
+  EXPECT_TRUE(pool.AllOfClass(1).empty());
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,79 @@
+#include "eval/cd_diagram.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(CdCliquesTest, AllWithinCdFormOneClique) {
+  const std::vector<double> ranks = {1.0, 1.5, 2.0};
+  const auto cliques = CdCliques(ranks, 1.5);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (std::pair<size_t, size_t>{0, 2}));
+}
+
+TEST(CdCliquesTest, DistantMethodsNoClique) {
+  const std::vector<double> ranks = {1.0, 3.0, 5.0};
+  EXPECT_TRUE(CdCliques(ranks, 0.5).empty());
+}
+
+TEST(CdCliquesTest, OverlappingCliquesKeptMaximal) {
+  const std::vector<double> ranks = {1.0, 2.0, 3.0, 4.0};
+  const auto cliques = CdCliques(ranks, 1.5);
+  // {0,1}, {1,2}, {2,3}: each extends further than the previous.
+  ASSERT_EQ(cliques.size(), 3u);
+  EXPECT_EQ(cliques[0], (std::pair<size_t, size_t>{0, 1}));
+  EXPECT_EQ(cliques[1], (std::pair<size_t, size_t>{1, 2}));
+  EXPECT_EQ(cliques[2], (std::pair<size_t, size_t>{2, 3}));
+}
+
+TEST(CdCliquesTest, ContainedCliqueDropped) {
+  const std::vector<double> ranks = {1.0, 1.2, 1.4};
+  const auto cliques = CdCliques(ranks, 0.5);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (std::pair<size_t, size_t>{0, 2}));
+}
+
+TEST(RenderCdDiagramTest, ContainsAllMethodsSortedByRank) {
+  std::vector<CdEntry> entries = {
+      {"MethodB", 2.5}, {"MethodA", 1.2}, {"MethodC", 4.0}};
+  const std::string diagram = RenderCdDiagram(entries, 1.5);
+  const size_t pos_a = diagram.find("MethodA");
+  const size_t pos_b = diagram.find("MethodB");
+  const size_t pos_c = diagram.find("MethodC");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_c, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_c);
+}
+
+TEST(RenderCdDiagramTest, ShowsCriticalDifference) {
+  std::vector<CdEntry> entries = {{"X", 1.0}, {"Y", 2.0}};
+  const std::string diagram = RenderCdDiagram(entries, 1.234);
+  EXPECT_NE(diagram.find("1.234"), std::string::npos);
+}
+
+TEST(RenderCdDiagramTest, GroupBarsMarkCliqueMembers) {
+  std::vector<CdEntry> entries = {{"A", 1.0}, {"B", 1.3}, {"C", 9.0}};
+  const std::string diagram = RenderCdDiagram(entries, 1.0);
+  // A and B grouped; C alone: exactly one clique column, with bars on the
+  // first two method rows only.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < diagram.size()) {
+    const size_t end = diagram.find('\n', start);
+    lines.push_back(diagram.substr(start, end - start));
+    start = end == std::string::npos ? diagram.size() : end + 1;
+  }
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_NE(lines[2].find('|'), std::string::npos);  // A row
+  EXPECT_NE(lines[3].find('|'), std::string::npos);  // B row
+  EXPECT_EQ(lines[4].find('|'), std::string::npos);  // C row
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,62 @@
+// Contract tests: IPS_CHECK preconditions must abort (not corrupt) on
+// violated contracts. Uses gtest death tests.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/resample.h"
+#include "core/rng.h"
+#include "core/time_series.h"
+#include "core/znorm.h"
+#include "matrix_profile/matrix_profile.h"
+#include "stats/histogram.h"
+#include "util/check.h"
+
+namespace ips {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH(IPS_CHECK(1 == 2), "IPS_CHECK failed");
+  EXPECT_DEATH(IPS_CHECK_MSG(false, "context message"), "context message");
+}
+
+TEST(CheckDeathTest, MeanOfEmptyInput) {
+  const std::vector<double> empty;
+  EXPECT_DEATH(Mean(empty), "IPS_CHECK failed");
+}
+
+TEST(CheckDeathTest, RollingStatsWindowLargerThanInput) {
+  const std::vector<double> x = {1.0, 2.0};
+  EXPECT_DEATH(ComputeRollingStats(x, 3), "IPS_CHECK failed");
+}
+
+TEST(CheckDeathTest, ResampleEmptyInput) {
+  const std::vector<double> empty;
+  EXPECT_DEATH(ResampleToDim(empty, 4), "IPS_CHECK failed");
+}
+
+TEST(CheckDeathTest, SelfJoinWindowTooLarge) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_DEATH(SelfJoinProfile(x, 3), "IPS_CHECK failed");
+}
+
+TEST(CheckDeathTest, HistogramEmptyData) {
+  const std::vector<double> empty;
+  EXPECT_DEATH(Histogram(empty, 4), "IPS_CHECK failed");
+}
+
+TEST(CheckDeathTest, RngSampleTooLarge) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.SampleWithoutReplacement(3, 5), "IPS_CHECK failed");
+}
+
+TEST(CheckDeathTest, ExtractSubsequenceOutOfRange) {
+  const TimeSeries t({1.0, 2.0, 3.0}, 0);
+  EXPECT_DEATH(ExtractSubsequence(t, 2, 5), "IPS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ips

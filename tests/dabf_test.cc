@@ -1,0 +1,159 @@
+#include "dabf/dabf.h"
+
+#include <cmath>
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+Subsequence MakeSub(std::vector<double> values, int label) {
+  Subsequence s;
+  s.values = std::move(values);
+  s.label = label;
+  return s;
+}
+
+// A population of similar sine-shaped subsequences with small jitter.
+std::vector<Subsequence> SinePopulation(int label, size_t count, size_t len,
+                                        double freq, Rng& rng) {
+  std::vector<Subsequence> out;
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<double> v(len);
+    for (size_t j = 0; j < len; ++j) {
+      v[j] = std::sin(freq * static_cast<double>(j)) +
+             rng.Gaussian(0.0, 0.05);
+    }
+    out.push_back(MakeSub(std::move(v), label));
+  }
+  return out;
+}
+
+DabfOptions TestOptions() {
+  DabfOptions o;
+  o.projection_dim = 16;
+  o.num_hashes = 6;
+  o.bucket_width = 8.0;
+  o.seed = 5;
+  return o;
+}
+
+TEST(ClassDabfTest, ReportsFitMetadata) {
+  Rng rng(1);
+  const auto pop = SinePopulation(0, 60, 32, 0.4, rng);
+  const ClassDabf dabf(pop, TestOptions());
+  EXPECT_GT(dabf.NumItems(), 0u);
+  EXPECT_GT(dabf.NumBuckets(), 0u);
+  EXPECT_FALSE(dabf.best_fit_name().empty());
+  EXPECT_GE(dabf.nmse(), 0.0);
+  EXPECT_GT(dabf.stddev(), 0.0);
+}
+
+TEST(ClassDabfTest, MemberOfPopulationIsClose) {
+  Rng rng(2);
+  const auto pop = SinePopulation(0, 80, 32, 0.4, rng);
+  const ClassDabf dabf(pop, TestOptions());
+  // A fresh draw from the same population should look typical.
+  Rng rng2(99);
+  const auto probe = SinePopulation(0, 1, 32, 0.4, rng2).front();
+  EXPECT_TRUE(dabf.PossiblyCloseToMost(probe.view()));
+  EXPECT_LE(std::abs(dabf.NormalizedDistance(probe.view())), 3.0);
+}
+
+TEST(ClassDabfTest, BucketCoordinateWithinRange) {
+  Rng rng(3);
+  const auto pop = SinePopulation(0, 40, 32, 0.4, rng);
+  const ClassDabf dabf(pop, TestOptions());
+  const auto probe = pop.front();
+  EXPECT_LT(dabf.BucketCoordinate(probe.view()), dabf.NumBuckets());
+  for (size_t i = 0; i < pop.size(); ++i) {
+    EXPECT_LT(dabf.ItemBucketCoordinate(i), dabf.NumBuckets());
+  }
+}
+
+TEST(ClassDabfTest, HandlesVariableLengthCandidates) {
+  Rng rng(4);
+  std::vector<Subsequence> pop;
+  for (size_t len : {16, 24, 32, 48}) {
+    auto group = SinePopulation(0, 10, len, 0.4, rng);
+    pop.insert(pop.end(), group.begin(), group.end());
+  }
+  const ClassDabf dabf(pop, TestOptions());
+  EXPECT_EQ(dabf.NumItems(), 40u);
+}
+
+class DabfSchemeSweep : public ::testing::TestWithParam<LshScheme> {};
+
+TEST_P(DabfSchemeSweep, BuildAndQueryWorkUnderEveryScheme) {
+  Rng rng(20);
+  std::map<int, std::vector<Subsequence>> pools;
+  pools[0] = SinePopulation(0, 40, 32, 0.2, rng);
+  pools[1] = SinePopulation(1, 40, 32, 0.9, rng);
+  DabfOptions options = TestOptions();
+  options.scheme = GetParam();
+  const Dabf dabf(pools, options);
+  ASSERT_NE(dabf.ForClass(0), nullptr);
+  ASSERT_NE(dabf.ForClass(1), nullptr);
+  // Query machinery well-defined for every scheme.
+  const auto& probe = pools[0].front();
+  dabf.CloseToAnyOtherClass(probe.view(), 0);
+  EXPECT_LT(dabf.ForClass(0)->BucketCoordinate(probe.view()),
+            dabf.ForClass(0)->NumBuckets());
+  EXPECT_GE(dabf.ForClass(0)->nmse(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DabfSchemeSweep,
+                         ::testing::Values(LshScheme::kL2PStable,
+                                           LshScheme::kCosine,
+                                           LshScheme::kHamming));
+
+TEST(DabfTest, BuildsOneFilterPerClass) {
+  Rng rng(5);
+  std::map<int, std::vector<Subsequence>> pools;
+  pools[0] = SinePopulation(0, 30, 32, 0.2, rng);
+  pools[1] = SinePopulation(1, 30, 32, 0.9, rng);
+  const Dabf dabf(pools, TestOptions());
+  EXPECT_NE(dabf.ForClass(0), nullptr);
+  EXPECT_NE(dabf.ForClass(1), nullptr);
+  EXPECT_EQ(dabf.ForClass(2), nullptr);
+}
+
+TEST(DabfTest, EmptyPoolSkipped) {
+  Rng rng(6);
+  std::map<int, std::vector<Subsequence>> pools;
+  pools[0] = SinePopulation(0, 20, 32, 0.2, rng);
+  pools[1] = {};
+  const Dabf dabf(pools, TestOptions());
+  EXPECT_NE(dabf.ForClass(0), nullptr);
+  EXPECT_EQ(dabf.ForClass(1), nullptr);
+}
+
+TEST(DabfTest, CloseToAnyOtherClassIgnoresOwnClass) {
+  Rng rng(7);
+  std::map<int, std::vector<Subsequence>> pools;
+  pools[0] = SinePopulation(0, 40, 32, 0.2, rng);
+  const Dabf dabf(pools, TestOptions());
+  // Only one class exists: nothing can be close to an *other* class.
+  const auto probe = pools[0].front();
+  EXPECT_FALSE(dabf.CloseToAnyOtherClass(probe.view(), 0));
+}
+
+TEST(DabfTest, TypicalOtherClassMemberIsFlagged) {
+  Rng rng(8);
+  std::map<int, std::vector<Subsequence>> pools;
+  pools[0] = SinePopulation(0, 60, 32, 0.2, rng);
+  pools[1] = SinePopulation(1, 60, 32, 0.2, rng);  // same population shape
+  const Dabf dabf(pools, TestOptions());
+  // A class-0 candidate drawn from the same distribution as class 1 should
+  // be recognised as close to class 1 -> prune signal.
+  const auto probe = pools[0].front();
+  EXPECT_TRUE(dabf.CloseToAnyOtherClass(probe.view(), 0));
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,110 @@
+#include "classify/decision_tree.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+TEST(EntropyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Entropy({4, 0}, 4), 0.0);
+  EXPECT_NEAR(Entropy({2, 2}, 4), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Entropy({}, 0), 0.0);
+}
+
+TEST(DecisionTreeTest, PureDataGivesSingleLeaf) {
+  LabeledMatrix data;
+  data.x = {{1.0}, {2.0}, {3.0}};
+  data.y = {1, 1, 1};
+  DecisionTree tree;
+  tree.Fit(data);
+  EXPECT_EQ(tree.NumNodes(), 1u);
+  EXPECT_EQ(tree.Predict(std::vector<double>{5.0}), 1);
+}
+
+TEST(DecisionTreeTest, AxisAlignedSplitLearned) {
+  LabeledMatrix data;
+  for (double v = 0.0; v < 10.0; v += 1.0) {
+    data.x.push_back({v});
+    data.y.push_back(v < 5.0 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.Fit(data);
+  EXPECT_DOUBLE_EQ(tree.Accuracy(data), 1.0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{2.0}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{8.0}), 1);
+}
+
+TEST(DecisionTreeTest, XorNeedsDepthTwo) {
+  LabeledMatrix data;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int rep = 0; rep < 5; ++rep) {
+        data.x.push_back({static_cast<double>(a), static_cast<double>(b)});
+        data.y.push_back(a ^ b);
+      }
+    }
+  }
+  DecisionTree tree;
+  tree.Fit(data);
+  EXPECT_DOUBLE_EQ(tree.Accuracy(data), 1.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsGrowth) {
+  Rng rng(1);
+  LabeledMatrix data;
+  for (int i = 0; i < 200; ++i) {
+    data.x.push_back({rng.Gaussian(), rng.Gaussian()});
+    data.y.push_back(rng.UniformInt(0, 1) == 0 ? 0 : 1);
+  }
+  DecisionTreeOptions o;
+  o.max_depth = 1;
+  DecisionTree stump(o);
+  stump.Fit(data);
+  EXPECT_LE(stump.NumNodes(), 3u);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  LabeledMatrix data;
+  for (double v = 0.0; v < 8.0; v += 1.0) {
+    data.x.push_back({v});
+    data.y.push_back(v < 1.0 ? 0 : 1);  // a 1-sample left split candidate
+  }
+  DecisionTreeOptions o;
+  o.min_samples_leaf = 2;
+  DecisionTree tree(o);
+  tree.Fit(data);
+  // The only perfect split (v < 0.5) is forbidden; tree may be imperfect but
+  // must respect the constraint (no crash, sensible predictions).
+  EXPECT_GE(tree.Accuracy(data), 0.8);
+}
+
+TEST(DecisionTreeTest, MulticlassSupported) {
+  LabeledMatrix data;
+  for (double v = 0.0; v < 12.0; v += 1.0) {
+    data.x.push_back({v});
+    data.y.push_back(static_cast<int>(v) / 4);
+  }
+  DecisionTree tree;
+  tree.Fit(data);
+  EXPECT_DOUBLE_EQ(tree.Accuracy(data), 1.0);
+}
+
+TEST(DecisionTreeTest, DuplicateFeatureValuesDifferentLabels) {
+  LabeledMatrix data;
+  data.x = {{1.0}, {1.0}, {1.0}};
+  data.y = {0, 1, 0};
+  DecisionTree tree;
+  tree.Fit(data);
+  // No split boundary exists; must fall back to the majority leaf.
+  EXPECT_EQ(tree.NumNodes(), 1u);
+  EXPECT_EQ(tree.Predict(std::vector<double>{1.0}), 0);
+}
+
+}  // namespace
+}  // namespace ips

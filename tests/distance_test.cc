@@ -1,0 +1,195 @@
+#include "core/distance.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/znorm.h"
+
+namespace ips {
+namespace {
+
+// Reference Def. 4 profile: direct per-alignment computation.
+std::vector<double> NaiveRawProfile(const std::vector<double>& q,
+                                    const std::vector<double>& s) {
+  std::vector<double> out(s.size() - q.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < q.size(); ++j) {
+      const double d = s[i + j] - q[j];
+      sum += d * d;
+    }
+    out[i] = sum / static_cast<double>(q.size());
+  }
+  return out;
+}
+
+TEST(SquaredEuclideanTest, KnownValue) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 0.0, 3.0};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Euclidean(a, b), std::sqrt(5.0));
+}
+
+TEST(SquaredEuclideanTest, ZeroForIdentical) {
+  const std::vector<double> a = {1.5, -2.5};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, a), 0.0);
+}
+
+TEST(DistanceProfileRawTest, MatchesNaive) {
+  Rng rng(1);
+  std::vector<double> q(9), s(60);
+  for (auto& v : q) v = rng.Gaussian();
+  for (auto& v : s) v = rng.Gaussian();
+  const auto fast = DistanceProfileRaw(q, s);
+  const auto naive = NaiveRawProfile(q, s);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-8);
+  }
+}
+
+TEST(DistanceProfileRawTest, LongQueryTakesFftPath) {
+  Rng rng(2);
+  std::vector<double> q(kFftCutoff + 10), s(400);
+  for (auto& v : q) v = rng.Gaussian();
+  for (auto& v : s) v = rng.Gaussian();
+  const auto fast = DistanceProfileRaw(q, s);
+  const auto naive = NaiveRawProfile(q, s);
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-7);
+  }
+}
+
+TEST(DistanceProfileRawTest, ExactMatchGivesZero) {
+  std::vector<double> s = {1.0, 3.0, -2.0, 4.0, 0.5, 2.5};
+  std::vector<double> q(s.begin() + 2, s.begin() + 5);
+  const auto profile = DistanceProfileRaw(q, s);
+  EXPECT_NEAR(profile[2], 0.0, 1e-12);
+}
+
+TEST(SubsequenceDistanceTest, SymmetricInArguments) {
+  Rng rng(3);
+  std::vector<double> a(20), b(50);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  EXPECT_DOUBLE_EQ(SubsequenceDistance(a, b), SubsequenceDistance(b, a));
+}
+
+TEST(SubsequenceDistanceTest, ContainedSubsequenceIsZero) {
+  std::vector<double> s = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> q = {2.0, 3.0, 4.0};
+  EXPECT_NEAR(SubsequenceDistance(q, s), 0.0, 1e-12);
+}
+
+TEST(SubsequenceDistanceTest, EqualLengthIsMeanSquaredDiff) {
+  std::vector<double> a = {1.0, 2.0};
+  std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SubsequenceDistance(a, b), 4.0);
+}
+
+// Reference z-normalised profile via explicit window normalisation.
+std::vector<double> NaiveZNormProfile(const std::vector<double>& q,
+                                      const std::vector<double>& s) {
+  const std::vector<double> zq = ZNormalize(q);
+  std::vector<double> out(s.size() - q.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    std::vector<double> window(s.begin() + static_cast<ptrdiff_t>(i),
+                               s.begin() +
+                                   static_cast<ptrdiff_t>(i + q.size()));
+    const std::vector<double> zw = ZNormalize(window);
+    out[i] = Euclidean(zq, zw);
+  }
+  return out;
+}
+
+TEST(DistanceProfileZNormTest, MatchesNaive) {
+  Rng rng(4);
+  std::vector<double> q(12), s(80);
+  for (auto& v : q) v = rng.Gaussian(2.0, 3.0);
+  for (auto& v : s) v = rng.Gaussian(-1.0, 0.5);
+  const auto fast = DistanceProfileZNorm(q, s);
+  const auto naive = NaiveZNormProfile(q, s);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-7) << "position " << i;
+  }
+}
+
+TEST(DistanceProfileZNormTest, InvariantToQueryScaleAndShift) {
+  Rng rng(5);
+  std::vector<double> q(10), s(40);
+  for (auto& v : q) v = rng.Gaussian();
+  for (auto& v : s) v = rng.Gaussian();
+  std::vector<double> q2(q);
+  for (double& v : q2) v = 5.0 * v + 100.0;
+  const auto p1 = DistanceProfileZNorm(q, s);
+  const auto p2 = DistanceProfileZNorm(q2, s);
+  for (size_t i = 0; i < p1.size(); ++i) EXPECT_NEAR(p1[i], p2[i], 1e-8);
+}
+
+TEST(DistanceProfileZNormTest, FlatQueryAgainstFlatWindowIsZero) {
+  const std::vector<double> q(5, 3.0);
+  const std::vector<double> s(12, -1.0);
+  for (double v : DistanceProfileZNorm(q, s)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DistanceProfileZNormTest, FlatQueryAgainstVaryingWindowIsSqrtM) {
+  const std::vector<double> q(4, 1.0);
+  std::vector<double> s = {0.0, 5.0, -3.0, 2.0, 7.0, 1.0};
+  for (double v : DistanceProfileZNorm(q, s)) {
+    EXPECT_NEAR(v, 2.0, 1e-10);  // sqrt(4)
+  }
+}
+
+TEST(DistanceProfileZNormTest, PrecomputedStatsGiveSameResult) {
+  Rng rng(6);
+  std::vector<double> q(8), s(50);
+  for (auto& v : q) v = rng.Gaussian();
+  for (auto& v : s) v = rng.Gaussian();
+  const RollingStats stats = ComputeRollingStats(s, q.size());
+  const auto with = DistanceProfileZNorm(q, s, &stats);
+  const auto without = DistanceProfileZNorm(q, s);
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with[i], without[i]);
+  }
+}
+
+TEST(SubsequenceDistanceZNormTest, SelfContainedIsZero) {
+  Rng rng(7);
+  std::vector<double> s(30);
+  for (auto& v : s) v = rng.Gaussian();
+  const std::vector<double> q(s.begin() + 5, s.begin() + 15);
+  EXPECT_NEAR(SubsequenceDistanceZNorm(q, s), 0.0, 1e-8);
+}
+
+class RawProfileSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(RawProfileSweep, NonNegativeAndMatchesNaive) {
+  const auto [m, n] = GetParam();
+  Rng rng(100 + m);
+  std::vector<double> q(m), s(n);
+  for (auto& v : q) v = rng.Gaussian();
+  for (auto& v : s) v = rng.Gaussian();
+  const auto fast = DistanceProfileRaw(q, s);
+  const auto naive = NaiveRawProfile(q, s);
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_GE(fast[i], 0.0);
+    EXPECT_NEAR(fast[i], naive[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RawProfileSweep,
+    ::testing::Values(std::pair<size_t, size_t>{1, 5},
+                      std::pair<size_t, size_t>{2, 2},
+                      std::pair<size_t, size_t>{7, 200},
+                      std::pair<size_t, size_t>{65, 300},
+                      std::pair<size_t, size_t>{33, 33}));
+
+}  // namespace
+}  // namespace ips

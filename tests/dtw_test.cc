@@ -1,0 +1,122 @@
+#include "core/dtw.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+TEST(DtwTest, IdenticalSeriesIsZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST(DtwTest, ZeroWindowEqualsEuclidean) {
+  Rng rng(1);
+  std::vector<double> a(20), b(20);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  EXPECT_NEAR(DtwDistance(a, b, 0), Euclidean(a, b), 1e-10);
+}
+
+TEST(DtwTest, UnconstrainedNotWorseThanEuclidean) {
+  Rng rng(2);
+  std::vector<double> a(30), b(30);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  EXPECT_LE(DtwDistance(a, b, -1), Euclidean(a, b) + 1e-10);
+}
+
+TEST(DtwTest, WindowMonotonicity) {
+  // Widening the band can only lower (or keep) the distance.
+  Rng rng(3);
+  std::vector<double> a(40), b(40);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  double prev = DtwDistance(a, b, 0);
+  for (int w : {1, 2, 4, 8, 16, 40}) {
+    const double d = DtwDistance(a, b, w);
+    EXPECT_LE(d, prev + 1e-10) << "window " << w;
+    prev = d;
+  }
+}
+
+TEST(DtwTest, AbsorbsTimeShift) {
+  // A shifted copy of a smooth pulse: DTW should be much smaller than ED.
+  auto pulse = [](size_t n, size_t center) {
+    std::vector<double> out(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(i) - static_cast<double>(center);
+      out[i] = std::exp(-d * d / 8.0);
+    }
+    return out;
+  };
+  const auto a = pulse(50, 20);
+  const auto b = pulse(50, 25);
+  EXPECT_LT(DtwDistance(a, b, -1), 0.15 * Euclidean(a, b));
+}
+
+TEST(DtwTest, SymmetricInArguments) {
+  Rng rng(4);
+  std::vector<double> a(17), b(23);
+  for (auto& v : a) v = rng.Gaussian();
+  for (auto& v : b) v = rng.Gaussian();
+  EXPECT_NEAR(DtwDistance(a, b, -1), DtwDistance(b, a, -1), 1e-10);
+}
+
+TEST(DtwTest, UnequalLengthsSupported) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 1.5, 2.0, 2.5, 3.0};
+  EXPECT_GE(DtwDistance(a, b, -1), 0.0);
+  // Narrow window is widened to |n - m| so a path always exists.
+  EXPECT_TRUE(std::isfinite(DtwDistance(a, b, 0)));
+}
+
+TEST(DtwTest, SingleElementSeries) {
+  const std::vector<double> a = {2.0};
+  const std::vector<double> b = {5.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 3.0);
+}
+
+TEST(EnvelopeTest, BoundsInput) {
+  const std::vector<double> x = {1.0, 5.0, 2.0, 8.0, 3.0};
+  const Envelope env = ComputeEnvelope(x, 1);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(env.lower[i], x[i]);
+    EXPECT_GE(env.upper[i], x[i]);
+  }
+}
+
+TEST(EnvelopeTest, ZeroWindowIsIdentity) {
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  const Envelope env = ComputeEnvelope(x, 0);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(env.lower[i], x[i]);
+    EXPECT_DOUBLE_EQ(env.upper[i], x[i]);
+  }
+}
+
+class LbKeoghSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LbKeoghSweep, IsAdmissibleLowerBound) {
+  const int window = GetParam();
+  Rng rng(10 + window);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(32), b(32);
+    for (auto& v : a) v = rng.Gaussian();
+    for (auto& v : b) v = rng.Gaussian();
+    EXPECT_LE(LbKeogh(a, b, window), DtwDistance(a, b, window) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, LbKeoghSweep,
+                         ::testing::Values(0, 1, 3, 8, 31));
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,192 @@
+// Failure-injection and degenerate-input tests across the pipeline: inputs
+// that are legal but pathological must not crash, and must degrade
+// gracefully.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/mp_base.h"
+#include "classify/svm.h"
+#include "core/distance.h"
+#include "core/rng.h"
+#include "data/generator.h"
+#include "ips/pipeline.h"
+#include "matrix_profile/matrix_profile.h"
+
+namespace ips {
+namespace {
+
+Dataset ConstantDataset(size_t count, size_t length) {
+  Dataset d;
+  for (size_t i = 0; i < count; ++i) {
+    d.Add(TimeSeries(std::vector<double>(length,
+                                         static_cast<double>(i % 2)),
+                     static_cast<int>(i % 2)));
+  }
+  return d;
+}
+
+TEST(EdgeCaseTest, ConstantSeriesThroughMatrixProfile) {
+  const std::vector<double> flat(64, 5.0);
+  const MatrixProfile mp = SelfJoinProfile(flat, 8);
+  // Flat windows compare as all-zero vectors: every distance is 0.
+  for (double v : mp.values) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCaseTest, ConstantDatasetThroughIps) {
+  const Dataset train = ConstantDataset(10, 64);
+  IpsOptions options;
+  options.sample_count = 3;
+  options.length_ratios = {0.2};
+  IpsClassifier clf(options);
+  clf.Fit(train);
+  // Classes ARE separable by level; z-normalised shapelet features are not,
+  // so any prediction is acceptable -- the contract is "no crash".
+  clf.Predict(train[0]);
+  SUCCEED();
+}
+
+TEST(EdgeCaseTest, PureNoiseDatasetDegradesGracefully) {
+  Rng rng(1);
+  Dataset train, test;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<double> a(64), b(64);
+    for (auto& v : a) v = rng.Gaussian();
+    for (auto& v : b) v = rng.Gaussian();
+    train.Add(TimeSeries(std::move(a), i % 2));
+    test.Add(TimeSeries(std::move(b), i % 2));
+  }
+  IpsOptions options;
+  options.sample_count = 3;
+  options.length_ratios = {0.2};
+  IpsClassifier clf(options);
+  clf.Fit(train);
+  const double acc = clf.Accuracy(test);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(EdgeCaseTest, SingleClassDatasetThroughIps) {
+  GeneratorSpec spec;
+  spec.name = "edge1class";
+  spec.num_classes = 2;
+  spec.train_size = 8;
+  spec.test_size = 2;
+  spec.length = 64;
+  Dataset train = GenerateDataset(spec).train;
+  // Relabel everything to class 0: no inter-class information exists.
+  Dataset single;
+  for (size_t i = 0; i < train.size(); ++i) {
+    TimeSeries t = train[i];
+    t.label = 0;
+    single.Add(std::move(t));
+  }
+  IpsOptions options;
+  options.sample_count = 3;
+  options.length_ratios = {0.2};
+  const auto shapelets = DiscoverShapelets(single, options);
+  EXPECT_FALSE(shapelets.empty());
+  for (const auto& s : shapelets) EXPECT_EQ(s.label, 0);
+}
+
+TEST(EdgeCaseTest, GapInClassLabels) {
+  // Labels {0, 2} with class 1 absent: one-vs-rest must tolerate an empty
+  // class.
+  GeneratorSpec spec;
+  spec.name = "edgegap";
+  spec.num_classes = 3;
+  spec.train_size = 12;
+  spec.test_size = 12;
+  spec.length = 64;
+  TrainTestSplit data = GenerateDataset(spec);
+  auto relabel = [](Dataset& d) {
+    Dataset out;
+    for (size_t i = 0; i < d.size(); ++i) {
+      TimeSeries t = d[i];
+      if (t.label == 1) t.label = 0;  // merge class 1 into 0 -> gap at 1
+      out.Add(std::move(t));
+    }
+    return out;
+  };
+  Dataset train = relabel(data.train);
+  Dataset test = relabel(data.test);
+  IpsOptions options;
+  options.sample_count = 3;
+  options.length_ratios = {0.2};
+  IpsClassifier clf(options);
+  clf.Fit(train);
+  for (size_t i = 0; i < test.size(); ++i) {
+    const int predicted = clf.Predict(test[i]);
+    EXPECT_GE(predicted, 0);
+    EXPECT_LE(predicted, 2);
+  }
+}
+
+TEST(EdgeCaseTest, MinimumLengthSeries) {
+  // 16-point series: candidate ratios clamp to the 4-point floor.
+  GeneratorSpec spec;
+  spec.name = "edgeshort";
+  spec.num_classes = 2;
+  spec.train_size = 8;
+  spec.test_size = 8;
+  spec.length = 16;
+  const TrainTestSplit data = GenerateDataset(spec);
+  IpsOptions options;
+  options.sample_count = 3;
+  IpsClassifier clf(options);
+  clf.Fit(data.train);
+  clf.Accuracy(data.test);
+  SUCCEED();
+}
+
+TEST(EdgeCaseTest, TwoInstancesPerClass) {
+  GeneratorSpec spec;
+  spec.name = "edgetiny";
+  spec.num_classes = 2;
+  spec.train_size = 4;  // 2 per class, the minimum for an instance profile
+  spec.test_size = 4;
+  spec.length = 64;
+  const TrainTestSplit data = GenerateDataset(spec);
+  IpsOptions options;
+  options.sample_count = 2;
+  options.sample_size = 2;
+  const auto shapelets = DiscoverShapelets(data.train, options);
+  EXPECT_FALSE(shapelets.empty());
+}
+
+TEST(EdgeCaseTest, MpBaseWithSeriesShorterThanWindowRatio) {
+  // Length-5 ratio of a 16-point series is 8 points; the concatenated class
+  // series is longer, so discovery must still work.
+  GeneratorSpec spec;
+  spec.name = "edgebase";
+  spec.num_classes = 2;
+  spec.train_size = 6;
+  spec.test_size = 4;
+  spec.length = 16;
+  const TrainTestSplit data = GenerateDataset(spec);
+  MpBaseOptions options;
+  options.length_ratios = {0.5};
+  const auto shapelets = DiscoverMpBaseShapelets(data.train, options);
+  EXPECT_FALSE(shapelets.empty());
+}
+
+TEST(EdgeCaseTest, SvmSingleSample) {
+  LabeledMatrix m;
+  m.x = {{1.0, 2.0}};
+  m.y = {0};
+  LinearSvm svm;
+  svm.Fit(m);
+  EXPECT_EQ(svm.Predict(std::vector<double>{0.0, 0.0}), 0);
+}
+
+TEST(EdgeCaseTest, DistanceProfileSingleWindow) {
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  const std::vector<double> s = {1.0, 2.0, 3.0};
+  const auto profile = DistanceProfileRaw(q, s);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_NEAR(profile[0], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,84 @@
+#include "baselines/elis.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace ips {
+namespace {
+
+TrainTestSplit MakeData(const std::string& name) {
+  GeneratorSpec spec;
+  spec.name = name;
+  spec.num_classes = 2;
+  spec.train_size = 14;
+  spec.test_size = 40;
+  spec.length = 64;
+  return GenerateDataset(spec);
+}
+
+ElisOptions FastOptions() {
+  ElisOptions o;
+  o.adjust.max_iters = 100;
+  return o;
+}
+
+TEST(ElisTest, SelectsCandidatesPerClass) {
+  const TrainTestSplit data = MakeData("elis1");
+  ElisOptions options = FastOptions();
+  options.candidates_per_class = 3;
+  const auto selected = SelectElisCandidates(data.train, options);
+  EXPECT_EQ(selected.size(), 6u);  // 2 classes x 3
+  for (const auto& s : selected) EXPECT_GE(s.size(), 4u);
+}
+
+TEST(ElisTest, PaaSmoothingPreservesLength) {
+  const TrainTestSplit data = MakeData("elis2");
+  ElisOptions options = FastOptions();
+  options.paa_factor = 4;
+  const auto selected = SelectElisCandidates(data.train, options);
+  const auto lengths = std::vector<size_t>{12, 22};  // 0.2/0.35 of 64
+  for (const auto& s : selected) {
+    EXPECT_TRUE(s.size() == lengths[0] || s.size() == lengths[1])
+        << "length " << s.size();
+  }
+}
+
+TEST(ElisTest, ClassifierBeatsChance) {
+  const TrainTestSplit data = MakeData("elis3");
+  ElisClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 0.6);
+}
+
+TEST(ElisTest, AdjustedShapeletCountMatchesSelection) {
+  const TrainTestSplit data = MakeData("elis4");
+  ElisOptions options = FastOptions();
+  options.candidates_per_class = 2;
+  options.adjust.max_iters = 10;
+  ElisClassifier clf(options);
+  clf.Fit(data.train);
+  EXPECT_EQ(clf.Shapelets().size(), 4u);
+}
+
+TEST(ElisTest, AdjustmentChangesTheShapelets) {
+  // Phase 2 must actually move the selected candidates (gradient steps).
+  const TrainTestSplit data = MakeData("elis5");
+  ElisOptions options = FastOptions();
+  options.adjust.max_iters = 100;
+  const auto initial = SelectElisCandidates(data.train, options);
+  ElisClassifier clf(options);
+  clf.Fit(data.train);
+  const auto adjusted = clf.Shapelets();
+  ASSERT_EQ(adjusted.size(), initial.size());
+  bool any_changed = false;
+  for (size_t i = 0; i < initial.size(); ++i) {
+    if (adjusted[i].values != initial[i]) any_changed = true;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+}  // namespace
+}  // namespace ips

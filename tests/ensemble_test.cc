@@ -1,0 +1,89 @@
+#include "classify/ensemble.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "classify/nn.h"
+#include "data/generator.h"
+#include "ips/pipeline.h"
+
+namespace ips {
+namespace {
+
+// A stub member that always answers one label.
+class ConstantClassifier final : public SeriesClassifier {
+ public:
+  explicit ConstantClassifier(int label) : label_(label) {}
+  void Fit(const Dataset&) override {}
+  int Predict(const TimeSeries&) const override { return label_; }
+
+ private:
+  int label_;
+};
+
+Dataset TinyTrain() {
+  Dataset d;
+  d.Add(TimeSeries(std::vector<double>(16, 0.0), 0));
+  d.Add(TimeSeries(std::vector<double>(16, 1.0), 1));
+  d.Add(TimeSeries(std::vector<double>(16, 2.0), 2));
+  return d;
+}
+
+TEST(VotingEnsembleTest, MajorityWins) {
+  VotingEnsemble ensemble;
+  ensemble.AddMember(std::make_unique<ConstantClassifier>(1));
+  ensemble.AddMember(std::make_unique<ConstantClassifier>(1));
+  ensemble.AddMember(std::make_unique<ConstantClassifier>(0));
+  ensemble.Fit(TinyTrain());
+  EXPECT_EQ(ensemble.Predict(TinyTrain()[0]), 1);
+}
+
+TEST(VotingEnsembleTest, TieResolvesToEarliestVoter) {
+  VotingEnsemble ensemble;
+  ensemble.AddMember(std::make_unique<ConstantClassifier>(2));
+  ensemble.AddMember(std::make_unique<ConstantClassifier>(0));
+  ensemble.Fit(TinyTrain());
+  EXPECT_EQ(ensemble.Predict(TinyTrain()[0]), 2);
+}
+
+TEST(VotingEnsembleTest, SingleMemberPassesThrough) {
+  VotingEnsemble ensemble;
+  ensemble.AddMember(std::make_unique<ConstantClassifier>(1));
+  ensemble.Fit(TinyTrain());
+  EXPECT_EQ(ensemble.Predict(TinyTrain()[2]), 1);
+  EXPECT_EQ(ensemble.num_members(), 1u);
+}
+
+TEST(VotingEnsembleTest, RealMembersAtLeastAsGoodAsWorstMember) {
+  GeneratorSpec spec;
+  spec.name = "ensemble";
+  spec.num_classes = 2;
+  spec.train_size = 16;
+  spec.test_size = 50;
+  spec.length = 80;
+  const TrainTestSplit data = GenerateDataset(spec);
+
+  IpsOptions fast;
+  fast.sample_count = 5;
+  fast.length_ratios = {0.15, 0.25};
+
+  VotingEnsemble ensemble;
+  ensemble.AddMember(std::make_unique<IpsClassifier>(fast));
+  ensemble.AddMember(std::make_unique<OneNnEd>());
+  ensemble.AddMember(std::make_unique<OneNnDtw>(0.1));
+  ensemble.Fit(data.train);
+  const double ensemble_acc = ensemble.Accuracy(data.test);
+
+  OneNnEd ed;
+  ed.Fit(data.train);
+  IpsClassifier ips_clf(fast);
+  ips_clf.Fit(data.train);
+  const double worst =
+      std::min(ed.Accuracy(data.test), ips_clf.Accuracy(data.test));
+  EXPECT_GE(ensemble_acc, worst - 0.05);
+  EXPECT_GT(ensemble_acc, 0.6);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,72 @@
+#include "baselines/fast_shapelets.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace ips {
+namespace {
+
+TrainTestSplit MakeData(const std::string& name) {
+  GeneratorSpec spec;
+  spec.name = name;
+  spec.num_classes = 2;
+  spec.train_size = 12;
+  spec.test_size = 30;
+  spec.length = 64;
+  return GenerateDataset(spec);
+}
+
+FastShapeletsOptions FastOptions() {
+  FastShapeletsOptions o;
+  o.length_ratios = {0.2, 0.3};
+  o.shapelets_per_class = 3;
+  o.stride = 2;
+  o.masking_rounds = 5;
+  return o;
+}
+
+TEST(FastShapeletsTest, DiscoversShapelets) {
+  const TrainTestSplit data = MakeData("fs1");
+  const auto shapelets = DiscoverFastShapelets(data.train, FastOptions());
+  EXPECT_GT(shapelets.size(), 0u);
+}
+
+TEST(FastShapeletsTest, ShapeletsFromBothClasses) {
+  const TrainTestSplit data = MakeData("fs2");
+  const auto shapelets = DiscoverFastShapelets(data.train, FastOptions());
+  bool c0 = false, c1 = false;
+  for (const auto& s : shapelets) {
+    if (s.label == 0) c0 = true;
+    if (s.label == 1) c1 = true;
+  }
+  EXPECT_TRUE(c0);
+  EXPECT_TRUE(c1);
+}
+
+TEST(FastShapeletsTest, ClassifierBeatsChance) {
+  const TrainTestSplit data = MakeData("fs3");
+  FastShapeletsClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 0.55);
+}
+
+TEST(FastShapeletsTest, DeterministicForSameSeed) {
+  const TrainTestSplit data = MakeData("fs4");
+  const auto a = DiscoverFastShapelets(data.train, FastOptions());
+  const auto b = DiscoverFastShapelets(data.train, FastOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].values, b[i].values);
+}
+
+TEST(FastShapeletsTest, ZeroMaskedPositionsStillWorks) {
+  const TrainTestSplit data = MakeData("fs5");
+  FastShapeletsOptions o = FastOptions();
+  o.masked_positions = 0;
+  EXPECT_GT(DiscoverFastShapelets(data.train, o).size(), 0u);
+}
+
+}  // namespace
+}  // namespace ips

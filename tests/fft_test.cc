@@ -1,0 +1,140 @@
+#include "core/fft.h"
+
+#include <cmath>
+
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+// Reference O(n^2) DFT.
+std::vector<std::complex<double>> NaiveDft(
+    const std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  std::vector<std::complex<double>> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> s = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double angle = 2.0 * std::numbers::pi * static_cast<double>(j) *
+                           static_cast<double>(k) / static_cast<double>(n) *
+                           (inverse ? 1.0 : -1.0);
+      s += a[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = inverse ? s / static_cast<double>(n) : s;
+  }
+  return out;
+}
+
+TEST(FftTest, MatchesNaiveDft) {
+  Rng rng(3);
+  std::vector<std::complex<double>> a(16);
+  for (auto& v : a) v = {rng.Gaussian(), rng.Gaussian()};
+  const auto expected = NaiveDft(a, false);
+  auto actual = a;
+  Fft(actual, /*inverse=*/false);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(actual[i].real(), expected[i].real(), 1e-9);
+    EXPECT_NEAR(actual[i].imag(), expected[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, RoundTripIsIdentity) {
+  Rng rng(4);
+  std::vector<std::complex<double>> a(64);
+  for (auto& v : a) v = {rng.Gaussian(), rng.Gaussian()};
+  auto b = a;
+  Fft(b, false);
+  Fft(b, true);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(b[i].real(), a[i].real(), 1e-10);
+    EXPECT_NEAR(b[i].imag(), a[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, SizeOneIsNoop) {
+  std::vector<std::complex<double>> a = {{2.0, -1.0}};
+  Fft(a, false);
+  EXPECT_DOUBLE_EQ(a[0].real(), 2.0);
+  EXPECT_DOUBLE_EQ(a[0].imag(), -1.0);
+}
+
+TEST(FftTest, DeltaTransformsToAllOnes) {
+  std::vector<std::complex<double>> a(8, 0.0);
+  a[0] = 1.0;
+  Fft(a, false);
+  for (const auto& v : a) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(NextPowerOfTwoTest, KnownValues) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(17), 32u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(ShouldUseFftTest, SmallQueriesStayNaive) {
+  EXPECT_FALSE(ShouldUseFftSlidingProducts(8, 1000));
+  EXPECT_FALSE(ShouldUseFftSlidingProducts(64, 1000));
+}
+
+TEST(ShouldUseFftTest, LargeProductsGoFft) {
+  EXPECT_TRUE(ShouldUseFftSlidingProducts(2000, 100000));
+  EXPECT_TRUE(ShouldUseFftSlidingProducts(1024, 8192));
+}
+
+TEST(ShouldUseFftTest, AutoDispatchMatchesBothKernels) {
+  Rng rng(9);
+  for (const auto& [m, n] : {std::pair<size_t, size_t>{16, 100},
+                             std::pair<size_t, size_t>{512, 2048}}) {
+    std::vector<double> query(m), series(n);
+    for (auto& v : query) v = rng.Gaussian();
+    for (auto& v : series) v = rng.Gaussian();
+    const auto fast = SlidingDotProductsAuto(query, series);
+    const auto naive = SlidingDotProductsNaive(query, series);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i], naive[i], 1e-6);
+    }
+  }
+}
+
+class SlidingDotSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SlidingDotSweep, FftMatchesNaive) {
+  const auto [m, n] = GetParam();
+  Rng rng(42 + m + n);
+  std::vector<double> query(m), series(n);
+  for (auto& v : query) v = rng.Gaussian();
+  for (auto& v : series) v = rng.Gaussian();
+
+  const auto fft = SlidingDotProducts(query, series);
+  const auto naive = SlidingDotProductsNaive(query, series);
+  ASSERT_EQ(fft.size(), naive.size());
+  ASSERT_EQ(fft.size(), n - m + 1);
+  for (size_t i = 0; i < fft.size(); ++i) {
+    EXPECT_NEAR(fft[i], naive[i], 1e-7) << "position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SlidingDotSweep,
+    ::testing::Values(std::pair<size_t, size_t>{1, 10},
+                      std::pair<size_t, size_t>{3, 3},
+                      std::pair<size_t, size_t>{5, 100},
+                      std::pair<size_t, size_t>{64, 256},
+                      std::pair<size_t, size_t>{100, 101},
+                      std::pair<size_t, size_t>{128, 1000}));
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,140 @@
+#include "eval/friedman.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(FractionalRanksTest, DescendingNoTies) {
+  const std::vector<double> v = {0.3, 0.9, 0.6};
+  const auto r = FractionalRanksDescending(v);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(FractionalRanksTest, TiesGetAverageRank) {
+  const std::vector<double> v = {0.5, 0.9, 0.5, 0.1};
+  const auto r = FractionalRanksDescending(v);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(FractionalRanksTest, AllTied) {
+  const std::vector<double> v = {1.0, 1.0, 1.0};
+  for (double r : FractionalRanksDescending(v)) EXPECT_DOUBLE_EQ(r, 2.0);
+}
+
+TEST(FriedmanTest, ClearWinnerGetsRankOne) {
+  // Method 0 wins every dataset, method 2 always last.
+  std::vector<std::vector<double>> scores;
+  for (int d = 0; d < 10; ++d) {
+    scores.push_back({0.9, 0.7, 0.5});
+  }
+  const FriedmanResult r = FriedmanTest(scores);
+  EXPECT_DOUBLE_EQ(r.average_ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.average_ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.average_ranks[2], 3.0);
+  EXPECT_LT(r.p_value, 0.01);  // differences are maximal
+}
+
+TEST(FriedmanTest, IdenticalMethodsNotSignificant) {
+  std::vector<std::vector<double>> scores;
+  for (int d = 0; d < 10; ++d) {
+    scores.push_back({0.5, 0.5, 0.5});
+  }
+  const FriedmanResult r = FriedmanTest(scores);
+  EXPECT_NEAR(r.chi_squared, 0.0, 1e-9);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(FriedmanTest, TextbookExample) {
+  // Demsar 2006, Table 6-style check: hand-computed chi^2 for a small
+  // matrix. scores[dataset][method].
+  const std::vector<std::vector<double>> scores = {
+      {0.9, 0.8, 0.7},
+      {0.6, 0.8, 0.7},
+      {0.9, 0.6, 0.7},
+      {0.8, 0.7, 0.6},
+  };
+  const FriedmanResult r = FriedmanTest(scores);
+  // Ranks per dataset: {1,2,3},{3,1,2},{1,3,2},{1,2,3} -> sums 6,8,10
+  // -> averages 1.5, 2.0, 2.5.
+  EXPECT_DOUBLE_EQ(r.average_ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(r.average_ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.average_ranks[2], 2.5);
+  // chi2 = 12*4/(3*4) * (1.5^2+2^2+2.5^2 - 3*16/4) = 4*(12.5-12) = 2.
+  EXPECT_NEAR(r.chi_squared, 2.0, 1e-9);
+}
+
+TEST(NemenyiCriticalDifferenceTest, KnownValue) {
+  // Demsar: k=13, N=46 -> CD = 3.313 * sqrt(13*14/(6*46)) ~ 2.688.
+  EXPECT_NEAR(NemenyiCriticalDifference(13, 46), 2.688, 0.01);
+  // k=2 reduces to the normal quantile case.
+  EXPECT_NEAR(NemenyiCriticalDifference(2, 100), 1.96 * std::sqrt(6.0 / 600.0),
+              1e-9);
+}
+
+TEST(NemenyiCriticalDifferenceTest, ShrinksWithMoreDatasets) {
+  EXPECT_GT(NemenyiCriticalDifference(5, 10), NemenyiCriticalDifference(5, 100));
+}
+
+TEST(WilcoxonTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {0.5, 0.6, 0.7, 0.8};
+  EXPECT_DOUBLE_EQ(WilcoxonSignedRankTest(a, a), 1.0);
+}
+
+TEST(WilcoxonTest, ConsistentLargeDifferencesSignificant) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(0.9 + 0.001 * i);
+    b.push_back(0.5 + 0.001 * i);
+  }
+  EXPECT_LT(WilcoxonSignedRankTest(a, b), 0.001);
+}
+
+TEST(WilcoxonTest, SymmetricMixedDifferencesNotSignificant) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(0.5 + (i % 2 == 0 ? 0.1 : -0.1));
+    b.push_back(0.5);
+  }
+  EXPECT_GT(WilcoxonSignedRankTest(a, b), 0.5);
+}
+
+TEST(HolmCorrectionTest, StepDownBehaviour) {
+  // p = {0.001, 0.02, 0.04}, alpha = 0.05, m = 3:
+  // 0.001 <= 0.05/3 -> reject; 0.02 <= 0.05/2 -> reject;
+  // 0.04 <= 0.05/1 -> reject.
+  const std::vector<double> p1 = {0.001, 0.02, 0.04};
+  const auto r1 = HolmCorrection(p1, 0.05);
+  EXPECT_TRUE(r1[0] && r1[1] && r1[2]);
+
+  // p = {0.001, 0.03, 0.04}: 0.03 > 0.05/2 -> stop; only the first rejected.
+  const std::vector<double> p2 = {0.001, 0.03, 0.04};
+  const auto r2 = HolmCorrection(p2, 0.05);
+  EXPECT_TRUE(r2[0]);
+  EXPECT_FALSE(r2[1]);
+  EXPECT_FALSE(r2[2]);
+}
+
+TEST(HolmCorrectionTest, OrderIndependentOfInput) {
+  const std::vector<double> p = {0.04, 0.001, 0.03};
+  const auto r = HolmCorrection(p, 0.05);
+  EXPECT_TRUE(r[1]);
+  EXPECT_FALSE(r[0]);
+  EXPECT_FALSE(r[2]);
+}
+
+TEST(HolmCorrectionTest, EmptyInput) {
+  EXPECT_TRUE(HolmCorrection(std::vector<double>{}, 0.05).empty());
+}
+
+}  // namespace
+}  // namespace ips

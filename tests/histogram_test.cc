@@ -1,0 +1,78 @@
+#include "stats/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+TEST(HistogramTest, CountsSumToTotal) {
+  const std::vector<double> data = {1.0, 2.0, 2.5, 3.0, 10.0};
+  const Histogram h(data, 4);
+  size_t total = 0;
+  for (size_t b = 0; b < h.num_bins(); ++b) total += h.count(b);
+  EXPECT_EQ(total, data.size());
+  EXPECT_EQ(h.total_count(), data.size());
+}
+
+TEST(HistogramTest, RightEdgeInclusive) {
+  const std::vector<double> data = {0.0, 1.0};
+  const Histogram h(data, 2);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(HistogramTest, ConstantDataSingleBin) {
+  const std::vector<double> data(5, 3.0);
+  const Histogram h(data, 4);
+  EXPECT_EQ(h.count(0), 5u);
+  for (size_t b = 1; b < h.num_bins(); ++b) EXPECT_EQ(h.count(b), 0u);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  Rng rng(1);
+  std::vector<double> data(1000);
+  for (auto& v : data) v = rng.Gaussian();
+  const Histogram h(data, 20);
+  double integral = 0.0;
+  for (size_t b = 0; b < h.num_bins(); ++b) {
+    integral += h.Density(b) * h.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, BinCentersAscendAndSpanRange) {
+  const std::vector<double> data = {0.0, 10.0};
+  const Histogram h(data, 5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  for (size_t b = 1; b < h.num_bins(); ++b) {
+    EXPECT_GT(h.BinCenter(b), h.BinCenter(b - 1));
+  }
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(4), 9.0);
+}
+
+TEST(HistogramTest, SingleBin) {
+  const std::vector<double> data = {1.0, 2.0, 3.0};
+  const Histogram h(data, 1);
+  EXPECT_EQ(h.count(0), 3u);
+}
+
+TEST(HistogramTest, DensitiesVectorMatchesPerBin) {
+  Rng rng(2);
+  std::vector<double> data(100);
+  for (auto& v : data) v = rng.Uniform();
+  const Histogram h(data, 8);
+  const auto densities = h.Densities();
+  ASSERT_EQ(densities.size(), 8u);
+  for (size_t b = 0; b < 8; ++b) {
+    EXPECT_DOUBLE_EQ(densities[b], h.Density(b));
+  }
+}
+
+}  // namespace
+}  // namespace ips

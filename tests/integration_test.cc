@@ -1,0 +1,166 @@
+// Cross-module integration tests: the paper's qualitative claims on small
+// synthetic workloads -- IPS accuracy vs the MP baseline, DABF vs naive
+// pruning consistency, and end-to-end comparability of all classifiers.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bspcover.h"
+#include "baselines/fast_shapelets.h"
+#include "baselines/mp_base.h"
+#include "classify/nn.h"
+#include "data/generator.h"
+#include "ips/pipeline.h"
+#include "util/timer.h"
+
+namespace ips {
+namespace {
+
+TrainTestSplit MakeData(const std::string& name, size_t train = 16,
+                        size_t test = 60, size_t length = 96) {
+  GeneratorSpec spec;
+  spec.name = name;
+  spec.num_classes = 2;
+  spec.train_size = train;
+  spec.test_size = test;
+  spec.length = length;
+  return GenerateDataset(spec);
+}
+
+IpsOptions FastIpsOptions() {
+  IpsOptions o;
+  o.sample_count = 6;
+  o.sample_size = 3;
+  o.length_ratios = {0.15, 0.25};
+  o.shapelets_per_class = 4;
+  return o;
+}
+
+TEST(IntegrationTest, IpsAtLeastAsAccurateAsBaseOnAverage) {
+  // Paper claim: BASE's accuracy is lower than IPS's on most datasets
+  // (Table VI: 41 of 46). Check the average over several synthetic sets.
+  double ips_total = 0.0, base_total = 0.0;
+  const std::vector<std::string> names = {"intA", "intB", "intC"};
+  for (const auto& name : names) {
+    const TrainTestSplit data = MakeData(name);
+    IpsClassifier ips_clf(FastIpsOptions());
+    ips_clf.Fit(data.train);
+    ips_total += ips_clf.Accuracy(data.test);
+
+    MpBaseOptions base_options;
+    base_options.length_ratios = {0.15, 0.25};
+    base_options.shapelets_per_class = 4;
+    MpBaseClassifier base_clf(base_options);
+    base_clf.Fit(data.train);
+    base_total += base_clf.Accuracy(data.test);
+  }
+  // On these easy unit-test datasets both methods score high; the paper's
+  // gap shows on harder data (see exp_table6). Assert IPS is in the same
+  // band rather than strictly ahead.
+  EXPECT_GE(ips_total, base_total - 0.15)
+      << "IPS " << ips_total / 3.0 << " vs BASE " << base_total / 3.0;
+}
+
+TEST(IntegrationTest, AllClassifiersBeatChanceOnEasyData) {
+  GeneratorSpec spec;
+  spec.name = "easy";
+  spec.num_classes = 2;
+  spec.train_size = 16;
+  spec.test_size = 40;
+  spec.length = 80;
+  spec.noise = 0.15;
+  const TrainTestSplit data = GenerateDataset(spec);
+
+  IpsClassifier ips_clf(FastIpsOptions());
+  ips_clf.Fit(data.train);
+  EXPECT_GT(ips_clf.Accuracy(data.test), 0.6) << "IPS";
+
+  MpBaseOptions base_options;
+  base_options.length_ratios = {0.15, 0.25};
+  MpBaseClassifier base_clf(base_options);
+  base_clf.Fit(data.train);
+  EXPECT_GT(base_clf.Accuracy(data.test), 0.5) << "BASE";
+
+  BspCoverOptions bsp_options;
+  bsp_options.length_ratios = {0.15, 0.25};
+  bsp_options.stride = 4;
+  BspCoverClassifier bsp_clf(bsp_options);
+  bsp_clf.Fit(data.train);
+  EXPECT_GT(bsp_clf.Accuracy(data.test), 0.6) << "BSPCOVER";
+
+  FastShapeletsOptions fs_options;
+  fs_options.length_ratios = {0.15, 0.25};
+  FastShapeletsClassifier fs_clf(fs_options);
+  fs_clf.Fit(data.train);
+  EXPECT_GT(fs_clf.Accuracy(data.test), 0.55) << "FS";
+
+  OneNnEd ed;
+  ed.Fit(data.train);
+  EXPECT_GT(ed.Accuracy(data.test), 0.6) << "1NN-ED";
+}
+
+TEST(IntegrationTest, IpsFasterThanBspCover) {
+  // Paper Table IV: IPS is consistently faster than BSPCOVER (dense
+  // enumeration). Use a workload large enough for the asymptotics to show.
+  const TrainTestSplit data = MakeData("speed", 20, 10, 128);
+
+  Timer ips_timer;
+  DiscoverShapelets(data.train, FastIpsOptions());
+  const double ips_seconds = ips_timer.ElapsedSeconds();
+
+  BspCoverOptions bsp_options;
+  bsp_options.length_ratios = {0.15, 0.25};
+  bsp_options.stride = 1;
+  Timer bsp_timer;
+  DiscoverBspCoverShapelets(data.train, bsp_options);
+  const double bsp_seconds = bsp_timer.ElapsedSeconds();
+
+  EXPECT_LT(ips_seconds, bsp_seconds)
+      << "IPS " << ips_seconds << "s vs BSPCOVER " << bsp_seconds << "s";
+}
+
+TEST(IntegrationTest, DabfPruningAgreesWithNaiveOnAccuracy) {
+  // Fig. 10 claim: DABF changes efficiency, not (much) accuracy.
+  const TrainTestSplit data = MakeData("dabfacc");
+  IpsOptions with = FastIpsOptions();
+  IpsOptions without = FastIpsOptions();
+  without.use_dabf_pruning = false;
+
+  IpsClassifier clf_with(with), clf_without(without);
+  clf_with.Fit(data.train);
+  clf_without.Fit(data.train);
+  const double a = clf_with.Accuracy(data.test);
+  const double b = clf_without.Accuracy(data.test);
+  EXPECT_NEAR(a, b, 0.25) << "with " << a << " without " << b;
+}
+
+TEST(IntegrationTest, DtCrAccuracyCloseToExact) {
+  // Fig. 10(c) claim: the DT & CR optimisations barely move accuracy.
+  const TrainTestSplit data = MakeData("dtacc");
+  IpsOptions dt = FastIpsOptions();
+  dt.utility_mode = UtilityMode::kDtCr;
+  IpsOptions exact = FastIpsOptions();
+  exact.utility_mode = UtilityMode::kExactNaive;
+
+  IpsClassifier clf_dt(dt), clf_exact(exact);
+  clf_dt.Fit(data.train);
+  clf_exact.Fit(data.train);
+  EXPECT_NEAR(clf_dt.Accuracy(data.test), clf_exact.Accuracy(data.test),
+              0.25);
+}
+
+TEST(IntegrationTest, MoreShapeletsNeverBreaksPipeline) {
+  const TrainTestSplit data = MakeData("sweepk", 14, 20, 64);
+  for (size_t k : {1, 2, 5, 10}) {
+    IpsOptions o = FastIpsOptions();
+    o.shapelets_per_class = k;
+    IpsClassifier clf(o);
+    clf.Fit(data.train);
+    EXPECT_GT(clf.Accuracy(data.test), 0.4) << "k=" << k;
+    EXPECT_LE(clf.shapelets().size(), 2 * k);
+  }
+}
+
+}  // namespace
+}  // namespace ips

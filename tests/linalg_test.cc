@@ -1,0 +1,127 @@
+#include "classify/linalg.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+TEST(MatrixTest, IdentityAndAccess) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(CovarianceTest, KnownValues) {
+  // Two perfectly correlated variables.
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  const Matrix cov = Covariance(rows);
+  EXPECT_NEAR(cov.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov.at(1, 1), 4.0, 1e-12);
+  EXPECT_NEAR(cov.at(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov.at(1, 0), 2.0, 1e-12);
+}
+
+TEST(CovarianceTest, SingleRowIsZero) {
+  const std::vector<std::vector<double>> rows = {{3.0, 4.0}};
+  const Matrix cov = Covariance(rows);
+  EXPECT_DOUBLE_EQ(cov.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cov.at(1, 1), 0.0);
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix a(3, 3, 0.0);
+  a.at(0, 0) = 3.0;
+  a.at(1, 1) = 1.0;
+  a.at(2, 2) = 2.0;
+  const EigenResult r = JacobiEigenSymmetric(a);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 2.0;
+  const EigenResult r = JacobiEigenSymmetric(a);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = r.eigenvectors.at(0, 0);
+  const double v1 = r.eigenvectors.at(1, 0);
+  EXPECT_NEAR(std::abs(v0), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  // A = V diag(w) V^T for a random symmetric matrix.
+  Rng rng(1);
+  const size_t n = 5;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a.at(i, j) = rng.Gaussian();
+      a.at(j, i) = a.at(i, j);
+    }
+  }
+  const EigenResult r = JacobiEigenSymmetric(a);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        sum += r.eigenvectors.at(i, k) * r.eigenvalues[k] *
+               r.eigenvectors.at(j, k);
+      }
+      EXPECT_NEAR(sum, a.at(i, j), 1e-8) << "entry " << i << "," << j;
+    }
+  }
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  Rng rng(2);
+  const size_t n = 6;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a.at(i, j) = rng.Gaussian();
+      a.at(j, i) = a.at(i, j);
+    }
+  }
+  const EigenResult r = JacobiEigenSymmetric(a);
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t q = 0; q < n; ++q) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        dot += r.eigenvectors.at(i, p) * r.eigenvectors.at(i, q);
+      }
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, CovarianceEigenvaluesNonNegative) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows(40, std::vector<double>(4));
+  for (auto& row : rows) {
+    for (auto& v : row) v = rng.Gaussian();
+  }
+  const EigenResult r = JacobiEigenSymmetric(Covariance(rows));
+  for (double w : r.eigenvalues) EXPECT_GE(w, -1e-10);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,137 @@
+#include "lsh/lsh_table.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+std::unique_ptr<LshFamily> MakeFamily() {
+  LshParams p;
+  p.scheme = LshScheme::kL2PStable;
+  p.input_dim = 8;
+  p.num_hashes = 4;
+  p.bucket_width = 4.0;
+  p.seed = 21;
+  return MakeLshFamily(p);
+}
+
+std::vector<double> RandomVector(Rng& rng, double scale = 1.0) {
+  std::vector<double> v(8);
+  for (auto& x : v) x = rng.Gaussian(0.0, scale);
+  return v;
+}
+
+TEST(LshTableTest, AddReturnsSequentialIds) {
+  const auto family = MakeFamily();
+  LshTable table(family.get());
+  Rng rng(1);
+  EXPECT_EQ(table.Add(RandomVector(rng)), 0u);
+  EXPECT_EQ(table.Add(RandomVector(rng)), 1u);
+  EXPECT_EQ(table.NumItems(), 2u);
+}
+
+TEST(LshTableTest, IdenticalItemsShareBucket) {
+  const auto family = MakeFamily();
+  LshTable table(family.get());
+  Rng rng(2);
+  const auto v = RandomVector(rng);
+  const size_t a = table.Add(v);
+  const size_t b = table.Add(v);
+  table.Add(RandomVector(rng, 10.0));
+  table.Finalize();
+  EXPECT_EQ(table.BucketRankOfItem(a), table.BucketRankOfItem(b));
+}
+
+TEST(LshTableTest, BucketNormsAscendWithRank) {
+  const auto family = MakeFamily();
+  LshTable table(family.get());
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    table.Add(RandomVector(rng, 0.5 + 0.2 * i));
+  }
+  table.Finalize();
+  for (size_t r = 1; r < table.NumBuckets(); ++r) {
+    EXPECT_GE(table.BucketCenterNorm(r), table.BucketCenterNorm(r - 1));
+  }
+}
+
+TEST(LshTableTest, BucketSizesSumToItems) {
+  const auto family = MakeFamily();
+  LshTable table(family.get());
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) table.Add(RandomVector(rng));
+  table.Finalize();
+  size_t total = 0;
+  for (size_t r = 0; r < table.NumBuckets(); ++r) total += table.BucketSize(r);
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(LshTableTest, QueryOfStoredItemReturnsItsRank) {
+  const auto family = MakeFamily();
+  LshTable table(family.get());
+  Rng rng(5);
+  std::vector<std::vector<double>> items;
+  for (int i = 0; i < 30; ++i) items.push_back(RandomVector(rng));
+  for (const auto& v : items) table.Add(v);
+  table.Finalize();
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(table.QueryBucketRank(items[i]), table.BucketRankOfItem(i));
+  }
+}
+
+TEST(LshTableTest, UnseenQueryMapsToNearestNormBucket) {
+  const auto family = MakeFamily();
+  LshTable table(family.get());
+  Rng rng(6);
+  // Two clusters: tiny-norm and huge-norm vectors.
+  for (int i = 0; i < 20; ++i) table.Add(RandomVector(rng, 0.1));
+  for (int i = 0; i < 20; ++i) table.Add(RandomVector(rng, 50.0));
+  table.Finalize();
+
+  // A small query should land in a low-rank bucket, a huge one high-rank.
+  const size_t small_rank = table.QueryBucketRank(RandomVector(rng, 0.05));
+  const size_t large_rank = table.QueryBucketRank(RandomVector(rng, 80.0));
+  EXPECT_LT(small_rank, table.NumBuckets());
+  EXPECT_LT(large_rank, table.NumBuckets());
+  EXPECT_LE(small_rank, large_rank);
+}
+
+TEST(LshTableTest, AllIdenticalItemsFormOneBucket) {
+  const auto family = MakeFamily();
+  LshTable table(family.get());
+  Rng rng(8);
+  const auto v = RandomVector(rng);
+  for (int i = 0; i < 10; ++i) table.Add(v);
+  table.Finalize();
+  EXPECT_EQ(table.NumBuckets(), 1u);
+  EXPECT_EQ(table.BucketSize(0), 10u);
+  EXPECT_TRUE(table.ContainsKey(v));
+}
+
+TEST(LshTableTest, ContainsKeyFalseForDistantQuery) {
+  const auto family = MakeFamily();
+  LshTable table(family.get());
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) table.Add(RandomVector(rng, 0.1));
+  table.Finalize();
+  // A vector with hugely different projections cannot share a key.
+  EXPECT_FALSE(table.ContainsKey(RandomVector(rng, 1000.0)));
+}
+
+TEST(LshTableTest, ProjectionNormNonNegative) {
+  const auto family = MakeFamily();
+  LshTable table(family.get());
+  Rng rng(7);
+  EXPECT_GE(table.ProjectionNorm(RandomVector(rng)), 0.0);
+  const std::vector<double> zero(8, 0.0);
+  EXPECT_DOUBLE_EQ(table.ProjectionNorm(zero), 0.0);
+}
+
+}  // namespace
+}  // namespace ips

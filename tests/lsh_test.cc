@@ -1,0 +1,141 @@
+#include "lsh/lsh.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+LshParams ParamsFor(LshScheme scheme) {
+  LshParams p;
+  p.scheme = scheme;
+  p.input_dim = 16;
+  p.num_hashes = 8;
+  p.bucket_width = 2.0;
+  p.seed = 11;
+  return p;
+}
+
+std::vector<double> RandomVector(Rng& rng, size_t dim) {
+  std::vector<double> v(dim);
+  for (auto& x : v) x = rng.Gaussian();
+  return v;
+}
+
+TEST(LshSchemeNameTest, Names) {
+  EXPECT_EQ(LshSchemeName(LshScheme::kL2PStable), "L2");
+  EXPECT_EQ(LshSchemeName(LshScheme::kCosine), "Cosine");
+  EXPECT_EQ(LshSchemeName(LshScheme::kHamming), "Hamming");
+}
+
+class LshFamilySweep : public ::testing::TestWithParam<LshScheme> {};
+
+TEST_P(LshFamilySweep, DeterministicForSameSeed) {
+  const auto family_a = MakeLshFamily(ParamsFor(GetParam()));
+  const auto family_b = MakeLshFamily(ParamsFor(GetParam()));
+  Rng rng(3);
+  const auto v = RandomVector(rng, 16);
+  EXPECT_EQ(family_a->HashKey(v), family_b->HashKey(v));
+  EXPECT_EQ(family_a->Project(v), family_b->Project(v));
+}
+
+TEST_P(LshFamilySweep, IdenticalInputsCollide) {
+  const auto family = MakeLshFamily(ParamsFor(GetParam()));
+  Rng rng(4);
+  const auto v = RandomVector(rng, 16);
+  EXPECT_EQ(family->HashKey(v), family->HashKey(v));
+}
+
+TEST_P(LshFamilySweep, OutputSizesMatchNumHashes) {
+  const auto family = MakeLshFamily(ParamsFor(GetParam()));
+  Rng rng(5);
+  const auto v = RandomVector(rng, 16);
+  EXPECT_EQ(family->Project(v).size(), 8u);
+  EXPECT_EQ(family->HashKey(v).size(), 8u);
+}
+
+TEST_P(LshFamilySweep, CloserPairsCollideMoreOften) {
+  // Locality property: near pairs share more hash coordinates than far
+  // pairs, on average.
+  Rng rng(6);
+  double near_matches = 0.0, far_matches = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    LshParams p = ParamsFor(GetParam());
+    p.seed = 100 + static_cast<uint64_t>(t);
+    const auto family = MakeLshFamily(p);
+    const auto x = RandomVector(rng, 16);
+    std::vector<double> near(x), far(x);
+    for (auto& v : near) v += rng.Gaussian(0.0, 0.05);
+    for (auto& v : far) v = rng.Gaussian() * 3.0;
+    const auto hx = family->HashKey(x);
+    const auto hn = family->HashKey(near);
+    const auto hf = family->HashKey(far);
+    for (size_t i = 0; i < hx.size(); ++i) {
+      if (hx[i] == hn[i]) near_matches += 1.0;
+      if (hx[i] == hf[i]) far_matches += 1.0;
+    }
+  }
+  EXPECT_GT(near_matches, far_matches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, LshFamilySweep,
+                         ::testing::Values(LshScheme::kL2PStable,
+                                           LshScheme::kCosine,
+                                           LshScheme::kHamming));
+
+TEST(PStableLshTest, TranslationChangesBucketProportionally) {
+  // Moving along a hash direction by the bucket width shifts that hash by
+  // roughly one; small perturbations rarely change the key.
+  LshParams p = ParamsFor(LshScheme::kL2PStable);
+  const auto family = MakeLshFamily(p);
+  Rng rng(7);
+  const auto x = RandomVector(rng, 16);
+  auto y = x;
+  for (auto& v : y) v += 1e-6;
+  int same = 0;
+  const auto hx = family->HashKey(x);
+  const auto hy = family->HashKey(y);
+  for (size_t i = 0; i < hx.size(); ++i) {
+    if (hx[i] == hy[i]) ++same;
+  }
+  EXPECT_GE(same, 7);  // at most one boundary crossing expected
+}
+
+TEST(CosineLshTest, KeysAreSignBits) {
+  const auto family = MakeLshFamily(ParamsFor(LshScheme::kCosine));
+  Rng rng(8);
+  const auto v = RandomVector(rng, 16);
+  const auto key = family->HashKey(v);
+  const auto proj = family->Project(v);
+  for (size_t i = 0; i < key.size(); ++i) {
+    EXPECT_TRUE(key[i] == 0 || key[i] == 1);
+    EXPECT_EQ(key[i], proj[i] >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(CosineLshTest, ScaleInvariant) {
+  const auto family = MakeLshFamily(ParamsFor(LshScheme::kCosine));
+  Rng rng(9);
+  const auto v = RandomVector(rng, 16);
+  std::vector<double> scaled(v);
+  for (auto& x : scaled) x *= 7.5;
+  EXPECT_EQ(family->HashKey(v), family->HashKey(scaled));
+}
+
+TEST(HammingLshTest, KeysAreBits) {
+  const auto family = MakeLshFamily(ParamsFor(LshScheme::kHamming));
+  Rng rng(10);
+  const auto v = RandomVector(rng, 16);
+  for (int64_t bit : family->HashKey(v)) {
+    EXPECT_TRUE(bit == 0 || bit == 1);
+  }
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,60 @@
+#include "eval/metrics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(AccuracyScoreTest, KnownValues) {
+  const std::vector<int> expected = {0, 1, 2, 1};
+  const std::vector<int> predicted = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(AccuracyScore(expected, predicted), 0.75);
+}
+
+TEST(AccuracyScoreTest, PerfectAndZero) {
+  const std::vector<int> a = {1, 2, 3};
+  const std::vector<int> b = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(AccuracyScore(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(AccuracyScore(a, b), 0.0);
+}
+
+TEST(ConfusionMatrixTest, CountsByActualAndPredicted) {
+  const std::vector<int> expected = {0, 0, 1, 1, 1};
+  const std::vector<int> predicted = {0, 1, 1, 1, 0};
+  const auto m = ConfusionMatrix(expected, predicted, 2);
+  EXPECT_EQ(m[0][0], 1u);
+  EXPECT_EQ(m[0][1], 1u);
+  EXPECT_EQ(m[1][0], 1u);
+  EXPECT_EQ(m[1][1], 2u);
+}
+
+TEST(ConfusionMatrixTest, DiagonalSumMatchesAccuracy) {
+  const std::vector<int> expected = {0, 1, 2, 0, 1, 2};
+  const std::vector<int> predicted = {0, 1, 1, 0, 2, 2};
+  const auto m = ConfusionMatrix(expected, predicted, 3);
+  size_t diag = 0;
+  for (int c = 0; c < 3; ++c) diag += m[static_cast<size_t>(c)][static_cast<size_t>(c)];
+  EXPECT_DOUBLE_EQ(static_cast<double>(diag) / 6.0,
+                   AccuracyScore(expected, predicted));
+}
+
+TEST(CompareScoresTest, WinDrawLoss) {
+  const std::vector<double> a = {0.9, 0.5, 0.7, 0.6};
+  const std::vector<double> b = {0.8, 0.5, 0.9, 0.6};
+  const WinDrawLoss r = CompareScores(a, b);
+  EXPECT_EQ(r.wins, 1u);
+  EXPECT_EQ(r.draws, 2u);
+  EXPECT_EQ(r.losses, 1u);
+}
+
+TEST(CompareScoresTest, EpsilonTreatsNearEqualAsDraw) {
+  const std::vector<double> a = {0.5000001};
+  const std::vector<double> b = {0.5};
+  EXPECT_EQ(CompareScores(a, b, 1e-3).draws, 1u);
+  EXPECT_EQ(CompareScores(a, b, 1e-9).wins, 1u);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,86 @@
+#include "matrix_profile/motif.h"
+
+#include <cmath>
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(FindMotifsTest, PicksSmallestFirst) {
+  const std::vector<double> profile = {5.0, 1.0, 4.0, 0.5, 3.0, 9.0};
+  const auto motifs = FindMotifs(profile, 2, 0);
+  ASSERT_EQ(motifs.size(), 2u);
+  EXPECT_EQ(motifs[0], 3u);
+  EXPECT_EQ(motifs[1], 1u);
+}
+
+TEST(FindDiscordsTest, PicksLargestFirst) {
+  const std::vector<double> profile = {5.0, 1.0, 4.0, 0.5, 3.0, 9.0};
+  const auto discords = FindDiscords(profile, 2, 0);
+  ASSERT_EQ(discords.size(), 2u);
+  EXPECT_EQ(discords[0], 5u);
+  EXPECT_EQ(discords[1], 0u);
+}
+
+TEST(FindMotifsTest, ExclusionZoneSeparatesSelections) {
+  // Values 0.1, 0.2, 0.3 adjacent: with exclusion 2, only one of them can
+  // be selected; next pick must be >= 3 away.
+  const std::vector<double> profile = {0.1, 0.2, 0.3, 5.0, 5.0, 0.4, 5.0};
+  const auto motifs = FindMotifs(profile, 3, 2);
+  ASSERT_GE(motifs.size(), 2u);
+  EXPECT_EQ(motifs[0], 0u);
+  EXPECT_EQ(motifs[1], 5u);
+  for (size_t i = 0; i < motifs.size(); ++i) {
+    for (size_t j = i + 1; j < motifs.size(); ++j) {
+      const size_t gap = motifs[i] > motifs[j] ? motifs[i] - motifs[j]
+                                               : motifs[j] - motifs[i];
+      EXPECT_GT(gap, 2u);
+    }
+  }
+}
+
+TEST(FindMotifsTest, RequestMoreThanAvailable) {
+  const std::vector<double> profile = {1.0, 2.0};
+  const auto motifs = FindMotifs(profile, 10, 0);
+  EXPECT_EQ(motifs.size(), 2u);
+}
+
+TEST(FindMotifsTest, SkipsNonFiniteEntries) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> profile = {inf, 2.0, inf, 1.0};
+  const auto motifs = FindMotifs(profile, 4, 0);
+  ASSERT_EQ(motifs.size(), 2u);
+  EXPECT_EQ(motifs[0], 3u);
+  EXPECT_EQ(motifs[1], 1u);
+}
+
+TEST(FindDiscordsTest, SkipsNonFiniteEntries) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> profile = {inf, 2.0, 5.0};
+  const auto discords = FindDiscords(profile, 2, 0);
+  ASSERT_EQ(discords.size(), 2u);
+  EXPECT_EQ(discords[0], 2u);
+}
+
+TEST(FindMotifsTest, EmptyProfile) {
+  EXPECT_TRUE(FindMotifs(std::vector<double>{}, 3, 1).empty());
+}
+
+TEST(FindMotifsTest, LargeExclusionLimitsCount) {
+  const std::vector<double> profile = {1.0, 2.0, 3.0, 4.0, 5.0};
+  // Exclusion spanning the whole profile: only one selection possible.
+  EXPECT_EQ(FindMotifs(profile, 5, 10).size(), 1u);
+}
+
+TEST(FindMotifsTest, StableTieBreaking) {
+  const std::vector<double> profile = {1.0, 1.0, 1.0};
+  const auto motifs = FindMotifs(profile, 3, 0);
+  EXPECT_EQ(motifs, (std::vector<size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,81 @@
+#include "baselines/mp_base.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace ips {
+namespace {
+
+TrainTestSplit MakeData(const std::string& name) {
+  GeneratorSpec spec;
+  spec.name = name;
+  spec.num_classes = 2;
+  spec.train_size = 12;
+  spec.test_size = 40;
+  spec.length = 80;
+  return GenerateDataset(spec);
+}
+
+MpBaseOptions FastOptions() {
+  MpBaseOptions o;
+  o.length_ratios = {0.2, 0.3};
+  o.shapelets_per_class = 3;
+  return o;
+}
+
+TEST(MpBaseTest, DiscoversShapeletsPerClass) {
+  const TrainTestSplit data = MakeData("base1");
+  const auto shapelets = DiscoverMpBaseShapelets(data.train, FastOptions());
+  EXPECT_GT(shapelets.size(), 0u);
+  EXPECT_LE(shapelets.size(), 6u);
+  bool has_class0 = false, has_class1 = false;
+  for (const auto& s : shapelets) {
+    if (s.label == 0) has_class0 = true;
+    if (s.label == 1) has_class1 = true;
+  }
+  EXPECT_TRUE(has_class0);
+  EXPECT_TRUE(has_class1);
+}
+
+TEST(MpBaseTest, ShapeletLengthsMatchRatios) {
+  const TrainTestSplit data = MakeData("base2");
+  const auto shapelets = DiscoverMpBaseShapelets(data.train, FastOptions());
+  for (const auto& s : shapelets) {
+    EXPECT_TRUE(s.length() == 16 || s.length() == 24)
+        << "length " << s.length();
+  }
+}
+
+TEST(MpBaseTest, ClassifierBeatsChance) {
+  const TrainTestSplit data = MakeData("base3");
+  MpBaseClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 0.5);
+}
+
+TEST(MpBaseTest, DeterministicDiscovery) {
+  const TrainTestSplit data = MakeData("base4");
+  const auto a = DiscoverMpBaseShapelets(data.train, FastOptions());
+  const auto b = DiscoverMpBaseShapelets(data.train, FastOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].values, b[i].values);
+}
+
+TEST(MpBaseTest, MulticlassSupported) {
+  GeneratorSpec spec;
+  spec.name = "base5";
+  spec.num_classes = 3;
+  spec.train_size = 15;
+  spec.test_size = 30;
+  spec.length = 80;
+  const TrainTestSplit data = GenerateDataset(spec);
+  MpBaseClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,122 @@
+#include "multivariate/mips.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "multivariate/mv_generator.h"
+
+namespace ips {
+namespace {
+
+MvGeneratorSpec BasicSpec() {
+  MvGeneratorSpec spec;
+  spec.name = "mvtest";
+  spec.num_classes = 2;
+  spec.num_channels = 3;
+  spec.informative_channels = 1;
+  spec.train_size = 16;
+  spec.test_size = 40;
+  spec.length = 96;
+  return spec;
+}
+
+IpsOptions FastOptions() {
+  IpsOptions o;
+  o.sample_count = 5;
+  o.sample_size = 3;
+  o.length_ratios = {0.15, 0.25};
+  o.shapelets_per_class = 3;
+  return o;
+}
+
+TEST(MultivariateDatasetTest, AddAndSlice) {
+  MultivariateDataset d;
+  MultivariateTimeSeries s;
+  s.channels = {{1.0, 2.0}, {3.0, 4.0}};
+  s.label = 1;
+  d.Add(s);
+  s.channels = {{5.0, 6.0}, {7.0, 8.0}};
+  s.label = 0;
+  d.Add(s);
+
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_channels(), 2u);
+  EXPECT_EQ(d.NumClasses(), 2);
+  EXPECT_EQ(d.Labels(), (std::vector<int>{1, 0}));
+
+  const Dataset slice = d.ChannelSlice(1);
+  EXPECT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0].values, (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(slice[0].label, 1);
+  EXPECT_EQ(slice[1].values, (std::vector<double>{7.0, 8.0}));
+}
+
+TEST(MvGeneratorTest, ShapesMatchSpec) {
+  const MvTrainTestSplit split = GenerateMultivariateDataset(BasicSpec());
+  EXPECT_EQ(split.train.size(), 16u);
+  EXPECT_EQ(split.test.size(), 40u);
+  EXPECT_EQ(split.train.num_channels(), 3u);
+  EXPECT_EQ(split.train[0].length(), 96u);
+  EXPECT_EQ(split.train.NumClasses(), 2);
+}
+
+TEST(MvGeneratorTest, Deterministic) {
+  const MvTrainTestSplit a = GenerateMultivariateDataset(BasicSpec());
+  const MvTrainTestSplit b = GenerateMultivariateDataset(BasicSpec());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].channels, b.train[i].channels);
+  }
+}
+
+TEST(MultivariateIpsTest, LearnsChannelLocalizedClasses) {
+  const MvTrainTestSplit split = GenerateMultivariateDataset(BasicSpec());
+  MultivariateIpsClassifier clf(FastOptions());
+  clf.Fit(split.train);
+  EXPECT_EQ(clf.num_channels(), 3u);
+  EXPECT_GT(clf.Accuracy(split.test), 0.7);
+}
+
+TEST(MultivariateIpsTest, PerChannelShapeletsAccessible) {
+  const MvTrainTestSplit split = GenerateMultivariateDataset(BasicSpec());
+  MultivariateIpsClassifier clf(FastOptions());
+  clf.Fit(split.train);
+  size_t total = 0;
+  for (size_t c = 0; c < clf.num_channels(); ++c) {
+    total += clf.ChannelShapelets(c).size();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(MultivariateIpsTest, MoreChannelsStillWork) {
+  MvGeneratorSpec spec = BasicSpec();
+  spec.num_channels = 5;
+  spec.informative_channels = 2;
+  const MvTrainTestSplit split = GenerateMultivariateDataset(spec);
+  MultivariateIpsClassifier clf(FastOptions());
+  clf.Fit(split.train);
+  EXPECT_GT(clf.Accuracy(split.test), 0.6);
+}
+
+TEST(MultivariateIpsTest, MulticlassSupported) {
+  MvGeneratorSpec spec = BasicSpec();
+  spec.num_classes = 3;
+  spec.train_size = 18;
+  const MvTrainTestSplit split = GenerateMultivariateDataset(spec);
+  MultivariateIpsClassifier clf(FastOptions());
+  clf.Fit(split.train);
+  EXPECT_GT(clf.Accuracy(split.test), 1.0 / 3.0 + 0.15);
+}
+
+TEST(MultivariateIpsTest, SingleChannelMatchesUnivariateShape) {
+  MvGeneratorSpec spec = BasicSpec();
+  spec.num_channels = 1;
+  spec.informative_channels = 1;
+  const MvTrainTestSplit split = GenerateMultivariateDataset(spec);
+  MultivariateIpsClassifier clf(FastOptions());
+  clf.Fit(split.train);
+  EXPECT_GT(clf.Accuracy(split.test), 0.7);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,158 @@
+#include "classify/nn.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dtw.h"
+#include "core/rng.h"
+#include "data/generator.h"
+
+namespace ips {
+namespace {
+
+Dataset TwoClassBlobs(size_t per_class, size_t len, Rng& rng) {
+  Dataset d;
+  for (size_t i = 0; i < per_class; ++i) {
+    std::vector<double> a(len), b(len);
+    for (size_t j = 0; j < len; ++j) {
+      a[j] = std::sin(0.3 * static_cast<double>(j)) + rng.Gaussian(0.0, 0.2);
+      b[j] = std::cos(0.7 * static_cast<double>(j)) + rng.Gaussian(0.0, 0.2);
+    }
+    d.Add(TimeSeries(std::move(a), 0));
+    d.Add(TimeSeries(std::move(b), 1));
+  }
+  return d;
+}
+
+TEST(OneNnEdTest, TrainingPointsClassifiedCorrectly) {
+  Rng rng(1);
+  const Dataset train = TwoClassBlobs(10, 40, rng);
+  OneNnEd clf;
+  clf.Fit(train);
+  // Nearest neighbour of a training point is itself (distance zero).
+  EXPECT_DOUBLE_EQ(clf.Accuracy(train), 1.0);
+}
+
+TEST(OneNnEdTest, GeneralizesToFreshDraws) {
+  Rng rng(2);
+  const Dataset train = TwoClassBlobs(15, 40, rng);
+  const Dataset test = TwoClassBlobs(15, 40, rng);
+  OneNnEd clf;
+  clf.Fit(train);
+  EXPECT_GE(clf.Accuracy(test), 0.95);
+}
+
+TEST(OneNnEdTest, UnequalLengthsSupported) {
+  Dataset train;
+  train.Add(TimeSeries({0.0, 0.0, 0.0, 0.0}, 0));
+  train.Add(TimeSeries({5.0, 5.0, 5.0, 5.0, 5.0, 5.0}, 1));
+  OneNnEd clf;
+  clf.Fit(train);
+  EXPECT_EQ(clf.Predict(TimeSeries({0.1, -0.1, 0.05}, -1)), 0);
+  EXPECT_EQ(clf.Predict(TimeSeries({4.9, 5.1, 5.0}, -1)), 1);
+}
+
+TEST(OneNnDtwTest, GeneralizesToFreshDraws) {
+  Rng rng(3);
+  const Dataset train = TwoClassBlobs(12, 40, rng);
+  const Dataset test = TwoClassBlobs(12, 40, rng);
+  OneNnDtw clf(0.1);
+  clf.Fit(train);
+  EXPECT_GE(clf.Accuracy(test), 0.95);
+}
+
+TEST(OneNnDtwTest, ToleratesTimeShiftsBetterThanEd) {
+  // Class patterns differ only by a pulse position jitter; DTW should cope.
+  Rng rng(4);
+  auto pulse_series = [&](size_t center, double amplitude) {
+    std::vector<double> v(60);
+    for (size_t j = 0; j < 60; ++j) {
+      const double d = static_cast<double>(j) - static_cast<double>(center);
+      v[j] = amplitude * std::exp(-d * d / 10.0) + rng.Gaussian(0.0, 0.05);
+    }
+    return v;
+  };
+  Dataset train, test;
+  for (int i = 0; i < 8; ++i) {
+    train.Add(TimeSeries(pulse_series(20 + (i % 5), 1.0), 0));
+    train.Add(TimeSeries(pulse_series(20 + (i % 5), -1.0), 1));
+    test.Add(TimeSeries(pulse_series(22 + (i % 5), 1.0), 0));
+    test.Add(TimeSeries(pulse_series(22 + (i % 5), -1.0), 1));
+  }
+  OneNnDtw dtw(0.2);
+  dtw.Fit(train);
+  EXPECT_GE(dtw.Accuracy(test), 0.9);
+}
+
+TEST(OneNnDtwTest, UnconstrainedWindowWorks) {
+  Rng rng(5);
+  const Dataset train = TwoClassBlobs(8, 30, rng);
+  OneNnDtw clf(-1.0);
+  clf.Fit(train);
+  EXPECT_DOUBLE_EQ(clf.Accuracy(train), 1.0);
+}
+
+TEST(OneNnDtwCvTest, ChoosesAWindowFromTheGrid) {
+  Rng rng(8);
+  const Dataset train = TwoClassBlobs(8, 32, rng);
+  OneNnDtwCv clf({0.0, 0.05, 0.1});
+  clf.Fit(train);
+  const double w = clf.chosen_window_fraction();
+  EXPECT_TRUE(w == 0.0 || w == 0.05 || w == 0.1);
+}
+
+TEST(OneNnDtwCvTest, AtLeastAsGoodAsWorstFixedWindowOnTrain) {
+  Rng rng(9);
+  const Dataset train = TwoClassBlobs(10, 32, rng);
+  const Dataset test = TwoClassBlobs(10, 32, rng);
+  OneNnDtwCv cv;
+  cv.Fit(train);
+  EXPECT_GE(cv.Accuracy(test), 0.9);
+}
+
+TEST(OneNnDtwCvTest, PrefersSmallestWindowOnTies) {
+  // Perfectly separable data: every window is 100% in LOO, so the smallest
+  // must win.
+  Dataset train;
+  for (int i = 0; i < 6; ++i) {
+    train.Add(TimeSeries(std::vector<double>(24, 0.0), 0));
+    train.Add(TimeSeries(std::vector<double>(24, 5.0), 1));
+  }
+  OneNnDtwCv clf({0.0, 0.1, 0.2});
+  clf.Fit(train);
+  EXPECT_DOUBLE_EQ(clf.chosen_window_fraction(), 0.0);
+}
+
+TEST(OneNnDtwTest, LbKeoghPruningPreservesExactness) {
+  // The pruned search must return the same labels as a windowed DTW scan
+  // without pruning (verified indirectly by comparing with a brute scan).
+  Rng rng(6);
+  const Dataset train = TwoClassBlobs(10, 32, rng);
+  const Dataset test = TwoClassBlobs(10, 32, rng);
+  OneNnDtw clf(0.1);
+  clf.Fit(train);
+
+  for (size_t i = 0; i < test.size(); ++i) {
+    // Brute-force windowed 1NN.
+    double best = 1e300;
+    int label = -1;
+    const int window =
+        static_cast<int>(std::ceil(0.1 * static_cast<double>(
+                                       test[i].length())));
+    for (size_t j = 0; j < train.size(); ++j) {
+      const double d =
+          DtwDistance(test[i].view(), train[j].view(), window);
+      if (d < best) {
+        best = d;
+        label = train[j].label;
+      }
+    }
+    EXPECT_EQ(clf.Predict(test[i]), label) << "series " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,135 @@
+// Regression tests tying the statistics machinery to the paper itself: the
+// Friedman/rank computation over the paper's published Table VI numbers
+// must reproduce the published Fig. 11 ordering and §IV-C statements.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/paper_results.h"
+#include "eval/friedman.h"
+#include "eval/metrics.h"
+
+namespace ips {
+namespace {
+
+// The paper's Table VI, as a scores[dataset][method] matrix (ELIS's one
+// missing value mapped to 0, affecting only ELIS's own rank).
+std::vector<std::vector<double>> PaperMatrix() {
+  std::vector<std::vector<double>> scores;
+  for (const bench::PaperAccuracyRow& row : bench::PaperTable6()) {
+    std::vector<double> r = {row.rotf,     row.dtw,    row.st,
+                             row.lts,      row.fs,     row.sd,
+                             row.elis,     row.bspcover, row.resnet,
+                             row.cote,     row.cote_ips, row.base,
+                             row.ips};
+    if (r[6] < 0.0) r[6] = 0.0;
+    scores.push_back(std::move(r));
+  }
+  return scores;
+}
+
+constexpr size_t kIps = 12;
+constexpr size_t kBase = 11;
+constexpr size_t kCote = 9;
+constexpr size_t kCoteIps = 10;
+
+TEST(PaperReproductionTest, TableHas46Rows) {
+  EXPECT_EQ(bench::PaperTable6().size(), 46u);
+  EXPECT_EQ(bench::PaperTable4().size(), 46u);
+}
+
+TEST(PaperReproductionTest, FriedmanRejectsAtPaperSignificance) {
+  // §IV-C: "The statistical significance p-value is 0.00".
+  const FriedmanResult r = FriedmanTest(PaperMatrix());
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(PaperReproductionTest, IpsRanksFourthOnPaperNumbers) {
+  // §IV-C / Fig. 11: IPS is ranked 4th among the 13 methods, behind
+  // COTE-IPS, COTE and ResNet.
+  const FriedmanResult r = FriedmanTest(PaperMatrix());
+  std::vector<size_t> order(r.average_ranks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return r.average_ranks[a] < r.average_ranks[b];
+  });
+  EXPECT_EQ(order[0], kCoteIps);  // COTE-IPS best
+  EXPECT_EQ(order[1], kCote);
+  EXPECT_EQ(order[2], 8u);        // ResNet
+  EXPECT_EQ(order[3], kIps);      // IPS 4th
+}
+
+TEST(PaperReproductionTest, BaseRanksNearBottom) {
+  const FriedmanResult r = FriedmanTest(PaperMatrix());
+  size_t worse_than_base = 0;
+  for (size_t m = 0; m < r.average_ranks.size(); ++m) {
+    if (r.average_ranks[m] > r.average_ranks[kBase]) ++worse_than_base;
+  }
+  EXPECT_LE(worse_than_base, 1u);  // BASE is last or second-to-last
+}
+
+TEST(PaperReproductionTest, IpsVsBaseWinDrawLossMatchesPaperTable) {
+  // Recomputing from the paper's printed Table VI cells gives 42W/3D/1L
+  // (IPS loses only DiatomSizeReduction; ties on Earthquakes, ECG200,
+  // Meat). The paper's own footer prints 41/2/3 -- internally inconsistent
+  // with its table, presumably computed on unrounded accuracies. We pin
+  // the value derivable from the published cells.
+  const auto scores = PaperMatrix();
+  std::vector<double> ips(scores.size()), base(scores.size());
+  for (size_t d = 0; d < scores.size(); ++d) {
+    ips[d] = scores[d][kIps];
+    base[d] = scores[d][kBase];
+  }
+  const WinDrawLoss r = CompareScores(ips, base, 1e-9);
+  EXPECT_EQ(r.wins, 42u);
+  EXPECT_EQ(r.draws, 3u);
+  EXPECT_EQ(r.losses, 1u);
+  // Either reading supports the claim under reproduction: IPS beats BASE
+  // on ~90% of the datasets.
+  EXPECT_GE(r.wins, 41u);
+}
+
+TEST(PaperReproductionTest, IpsBestOnNineDatasets) {
+  // Table VI footer: "Total best acc" for IPS is 9.
+  const auto scores = PaperMatrix();
+  size_t best_count = 0;
+  for (const auto& row : scores) {
+    const double best = *std::max_element(row.begin(), row.end());
+    if (row[kIps] >= best - 1e-9) ++best_count;
+  }
+  EXPECT_EQ(best_count, 9u);
+}
+
+TEST(PaperReproductionTest, PaperSpeedupsMatchPublishedAverages) {
+  // Table IV: average BASE->IPS speedup 1.20, IPS->BSPCOVER 25.74.
+  double base_vs_ips = 0.0, ips_vs_bsp = 0.0;
+  const auto rows = bench::PaperTable4();
+  for (const auto& row : rows) {
+    base_vs_ips += row.ips_s / row.base_s;
+    ips_vs_bsp += row.bspcover_s / row.ips_s;
+  }
+  base_vs_ips /= static_cast<double>(rows.size());
+  ips_vs_bsp /= static_cast<double>(rows.size());
+  EXPECT_NEAR(base_vs_ips, 1.20, 0.02);
+  EXPECT_NEAR(ips_vs_bsp, 25.74, 0.25);
+}
+
+TEST(PaperReproductionTest, NemenyiCdMatchesPaperSetting) {
+  // 13 methods x 46 datasets -> CD ~ 2.69 (the Fig. 11 bar length).
+  EXPECT_NEAR(NemenyiCriticalDifference(13, 46), 2.69, 0.01);
+}
+
+TEST(PaperReproductionTest, LookupHelpers) {
+  ASSERT_NE(bench::FindPaperAccuracy("ArrowHead"), nullptr);
+  EXPECT_DOUBLE_EQ(bench::FindPaperAccuracy("ArrowHead")->ips, 85.14);
+  ASSERT_NE(bench::FindPaperEfficiency("FacesUCR"), nullptr);
+  EXPECT_DOUBLE_EQ(bench::FindPaperEfficiency("FacesUCR")->bspcover_s,
+                   1265.71);
+  EXPECT_EQ(bench::FindPaperAccuracy("NotADataset"), nullptr);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,102 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "ips/pipeline.h"
+#include "transform/shapelet_transform.h"
+
+namespace ips {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(hits.size(), 4, [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SequentialFallback) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> sum{0};
+  ParallelFor(3, 16, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelForTest, SumMatchesSequential) {
+  std::vector<long> partial(100, 0);
+  ParallelFor(partial.size(), 8, [&](size_t i) {
+    partial[i] = static_cast<long>(i) * static_cast<long>(i);
+  });
+  long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  long expected = 0;
+  for (long i = 0; i < 100; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(HardwareThreadsTest, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1u); }
+
+// Determinism of the discovery pipeline across thread counts: all
+// randomness is drawn before the parallel regions.
+TEST(ParallelDiscoveryTest, IdenticalResultsAcrossThreadCounts) {
+  GeneratorSpec spec;
+  spec.name = "parallel";
+  spec.num_classes = 2;
+  spec.train_size = 14;
+  spec.test_size = 2;
+  spec.length = 80;
+  const Dataset train = GenerateDataset(spec).train;
+
+  IpsOptions sequential;
+  sequential.num_threads = 1;
+  IpsOptions parallel = sequential;
+  parallel.num_threads = 4;
+
+  const auto a = DiscoverShapelets(train, sequential);
+  const auto b = DiscoverShapelets(train, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values, b[i].values) << "shapelet " << i;
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+TEST(ParallelTransformTest, IdenticalResultsAcrossThreadCounts) {
+  GeneratorSpec spec;
+  spec.name = "ptransform";
+  spec.num_classes = 2;
+  spec.train_size = 10;
+  spec.test_size = 2;
+  spec.length = 64;
+  const Dataset train = GenerateDataset(spec).train;
+  std::vector<Subsequence> shapelets;
+  for (size_t i = 0; i < 4; ++i) {
+    shapelets.push_back(ExtractSubsequence(train[i], i, 12));
+  }
+  const TransformedData a =
+      ShapeletTransform(train, shapelets, TransformDistance::kZNormalized, 1);
+  const TransformedData b =
+      ShapeletTransform(train, shapelets, TransformDistance::kZNormalized, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.features[i], b.features[i]);
+    EXPECT_EQ(a.labels[i], b.labels[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,97 @@
+// Parameterised properties of the end-to-end discovery pipeline across
+// several catalogue-shaped datasets: invariants that must hold regardless
+// of the workload.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/ucr_catalog.h"
+#include "ips/candidate_gen.h"
+#include "ips/pipeline.h"
+
+namespace ips {
+namespace {
+
+class PipelinePropertySweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  TrainTestSplit MakeData() const {
+    const auto info = FindUcrDataset(GetParam());
+    CatalogScale scale;
+    scale.count_factor = 0.15;
+    scale.length_factor = 0.3;
+    scale.max_train = 24;
+    scale.max_test = 30;
+    scale.min_length = 48;
+    scale.max_length = 96;
+    return GenerateDataset(SpecFromCatalog(ScaleDataset(*info, scale)));
+  }
+
+  IpsOptions FastOptions() const {
+    IpsOptions o;
+    o.sample_count = 4;
+    o.sample_size = 3;
+    o.length_ratios = {0.15, 0.3};
+    o.shapelets_per_class = 3;
+    return o;
+  }
+};
+
+TEST_P(PipelinePropertySweep, ShapeletLengthsComeFromConfiguredRatios) {
+  const TrainTestSplit data = MakeData();
+  const IpsOptions options = FastOptions();
+  const auto lengths = ResolveCandidateLengths(data.train.MinLength(),
+                                               options.length_ratios);
+  for (const Subsequence& s : DiscoverShapelets(data.train, options)) {
+    EXPECT_TRUE(std::find(lengths.begin(), lengths.end(), s.length()) !=
+                lengths.end())
+        << GetParam() << ": unexpected length " << s.length();
+  }
+}
+
+TEST_P(PipelinePropertySweep, EveryTrainClassGetsShapelets) {
+  const TrainTestSplit data = MakeData();
+  const auto shapelets = DiscoverShapelets(data.train, FastOptions());
+  std::set<int> classes_with_shapelets;
+  for (const Subsequence& s : shapelets) classes_with_shapelets.insert(s.label);
+  EXPECT_EQ(static_cast<int>(classes_with_shapelets.size()),
+            data.train.NumClasses())
+      << GetParam();
+}
+
+TEST_P(PipelinePropertySweep, StatsAreInternallyConsistent) {
+  const TrainTestSplit data = MakeData();
+  IpsRunStats stats;
+  const auto shapelets =
+      DiscoverShapelets(data.train, FastOptions(), &stats);
+  EXPECT_EQ(stats.shapelets, shapelets.size()) << GetParam();
+  EXPECT_LE(stats.motifs_after_prune, stats.motifs_generated);
+  EXPECT_LE(stats.discords_after_prune, stats.discords_generated);
+  EXPECT_GE(stats.candidate_gen_seconds, 0.0);
+  EXPECT_GE(stats.pruning_seconds, 0.0);
+  EXPECT_GE(stats.selection_seconds, 0.0);
+}
+
+TEST_P(PipelinePropertySweep, PredictionsAreValidLabels) {
+  const TrainTestSplit data = MakeData();
+  IpsClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  const int num_classes = data.train.NumClasses();
+  for (size_t i = 0; i < data.test.size(); ++i) {
+    const int label = clf.Predict(data.test[i]);
+    EXPECT_GE(label, 0) << GetParam();
+    EXPECT_LT(label, num_classes) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CatalogDatasets, PipelinePropertySweep,
+                         ::testing::Values("ArrowHead", "CBF", "ECG200",
+                                           "GunPoint", "SyntheticControl",
+                                           "TwoLeadECG"));
+
+}  // namespace
+}  // namespace ips

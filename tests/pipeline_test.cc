@@ -1,0 +1,116 @@
+#include "ips/pipeline.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace ips {
+namespace {
+
+TrainTestSplit MakeData(const std::string& name, int classes = 2,
+                        size_t train = 16, size_t test = 40,
+                        size_t length = 80) {
+  GeneratorSpec spec;
+  spec.name = name;
+  spec.num_classes = classes;
+  spec.train_size = train;
+  spec.test_size = test;
+  spec.length = length;
+  return GenerateDataset(spec);
+}
+
+IpsOptions FastOptions() {
+  IpsOptions o;
+  o.sample_count = 5;
+  o.sample_size = 3;
+  o.length_ratios = {0.2, 0.3};
+  o.shapelets_per_class = 3;
+  return o;
+}
+
+TEST(DiscoverShapeletsTest, ProducesRequestedCount) {
+  const TrainTestSplit data = MakeData("pipe1");
+  IpsRunStats stats;
+  const auto shapelets = DiscoverShapelets(data.train, FastOptions(), &stats);
+  EXPECT_GT(shapelets.size(), 0u);
+  EXPECT_LE(shapelets.size(), 3u * 2u);
+  EXPECT_EQ(stats.shapelets, shapelets.size());
+}
+
+TEST(DiscoverShapeletsTest, StatsArePopulated) {
+  const TrainTestSplit data = MakeData("pipe2");
+  IpsRunStats stats;
+  DiscoverShapelets(data.train, FastOptions(), &stats);
+  EXPECT_GT(stats.motifs_generated, 0u);
+  EXPECT_GT(stats.discords_generated, 0u);
+  EXPECT_GE(stats.motifs_generated, stats.motifs_after_prune);
+  EXPECT_GE(stats.candidate_gen_seconds, 0.0);
+  EXPECT_GT(stats.TotalDiscoverySeconds(), 0.0);
+}
+
+TEST(DiscoverShapeletsTest, ShapeletsComeFromTrainingSet) {
+  const TrainTestSplit data = MakeData("pipe3");
+  const auto shapelets = DiscoverShapelets(data.train, FastOptions());
+  for (const Subsequence& s : shapelets) {
+    ASSERT_GE(s.series_index, 0);
+    ASSERT_LT(static_cast<size_t>(s.series_index), data.train.size());
+    const TimeSeries& src = data.train[static_cast<size_t>(s.series_index)];
+    EXPECT_EQ(src.label, s.label);
+    for (size_t i = 0; i < s.length(); ++i) {
+      EXPECT_DOUBLE_EQ(s.values[i], src.values[s.start + i]);
+    }
+  }
+}
+
+TEST(DiscoverShapeletsTest, DeterministicForSameSeed) {
+  const TrainTestSplit data = MakeData("pipe4");
+  const auto a = DiscoverShapelets(data.train, FastOptions());
+  const auto b = DiscoverShapelets(data.train, FastOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].values, b[i].values);
+}
+
+TEST(DiscoverShapeletsTest, AllUtilityModesWork) {
+  const TrainTestSplit data = MakeData("pipe5");
+  for (UtilityMode mode : {UtilityMode::kExactNaive, UtilityMode::kExactWithCr,
+                           UtilityMode::kDtCr}) {
+    IpsOptions o = FastOptions();
+    o.utility_mode = mode;
+    EXPECT_GT(DiscoverShapelets(data.train, o).size(), 0u);
+  }
+}
+
+TEST(DiscoverShapeletsTest, NaivePruningWorks) {
+  const TrainTestSplit data = MakeData("pipe6");
+  IpsOptions o = FastOptions();
+  o.use_dabf_pruning = false;
+  EXPECT_GT(DiscoverShapelets(data.train, o).size(), 0u);
+}
+
+TEST(IpsClassifierTest, BeatsChanceOnSeparableData) {
+  const TrainTestSplit data = MakeData("pipe7", 2, 20, 60, 80);
+  IpsClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  const double accuracy = clf.Accuracy(data.test);
+  EXPECT_GT(accuracy, 0.65) << "accuracy " << accuracy;
+}
+
+TEST(IpsClassifierTest, MulticlassSupported) {
+  const TrainTestSplit data = MakeData("pipe8", 3, 24, 60, 80);
+  IpsClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 1.0 / 3.0 + 0.1);
+}
+
+TEST(IpsClassifierTest, ShapeletsAccessibleAfterFit) {
+  const TrainTestSplit data = MakeData("pipe9");
+  IpsClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  EXPECT_FALSE(clf.shapelets().empty());
+  EXPECT_GT(clf.stats().TotalDiscoverySeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ips

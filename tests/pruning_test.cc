@@ -1,0 +1,136 @@
+#include "ips/pruning.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+Subsequence SineSub(int label, size_t len, double freq, double noise,
+                    Rng& rng) {
+  Subsequence s;
+  s.label = label;
+  s.values.resize(len);
+  for (size_t j = 0; j < len; ++j) {
+    s.values[j] =
+        std::sin(freq * static_cast<double>(j)) + rng.Gaussian(0.0, noise);
+  }
+  return s;
+}
+
+// Class 0 motifs: two sub-populations -- "discriminative" (distinct shape)
+// and "confusable" (same shape as class 1's population).
+CandidatePool MakePool(Rng& rng, size_t confusable, size_t discriminative) {
+  CandidatePool pool;
+  for (size_t i = 0; i < confusable; ++i) {
+    pool.motifs[0].push_back(SineSub(0, 32, 0.8, 0.05, rng));
+  }
+  for (size_t i = 0; i < discriminative; ++i) {
+    Subsequence s;
+    s.label = 0;
+    s.values.resize(32);
+    for (size_t j = 0; j < 32; ++j) {
+      // Strong ramp, very different norm profile from the sines.
+      s.values[j] = 5.0 * static_cast<double>(j) + rng.Gaussian(0.0, 0.05);
+    }
+    pool.motifs[0].push_back(std::move(s));
+  }
+  for (size_t i = 0; i < 40; ++i) {
+    pool.motifs[1].push_back(SineSub(1, 32, 0.8, 0.05, rng));
+    pool.discords[1].push_back(SineSub(1, 32, 0.8, 0.05, rng));
+  }
+  return pool;
+}
+
+DabfOptions TestDabfOptions() {
+  DabfOptions o;
+  o.projection_dim = 16;
+  o.num_hashes = 6;
+  o.bucket_width = 8.0;
+  o.seed = 3;
+  return o;
+}
+
+TEST(PruneWithDabfTest, RemovesConfusableKeepsDiscriminative) {
+  Rng rng(1);
+  CandidatePool pool = MakePool(rng, 10, 10);
+  std::map<int, std::vector<Subsequence>> by_class;
+  by_class[0] = pool.AllOfClass(0);
+  by_class[1] = pool.AllOfClass(1);
+  const Dabf dabf(by_class, TestDabfOptions());
+
+  const PruneStats stats = PruneWithDabf(pool, dabf, /*min_keep_motifs=*/1);
+  EXPECT_EQ(stats.motifs_before, 60u);
+  EXPECT_LT(stats.motifs_after, stats.motifs_before);
+  // The ramp candidates should survive: their DABF statistic is far from
+  // the sine population of class 1.
+  size_t ramps_surviving = 0;
+  for (const Subsequence& m : pool.motifs.at(0)) {
+    if (m.values.back() > 50.0) ++ramps_surviving;
+  }
+  EXPECT_GT(ramps_surviving, 5u);
+}
+
+TEST(PruneWithDabfTest, MinKeepGuardRestoresMotifs) {
+  Rng rng(2);
+  // All class-0 motifs are confusable with class 1: everything would be
+  // pruned without the guard.
+  CandidatePool pool = MakePool(rng, 12, 0);
+  std::map<int, std::vector<Subsequence>> by_class;
+  by_class[0] = pool.AllOfClass(0);
+  by_class[1] = pool.AllOfClass(1);
+  const Dabf dabf(by_class, TestDabfOptions());
+
+  PruneWithDabf(pool, dabf, /*min_keep_motifs=*/5);
+  EXPECT_GE(pool.motifs.at(0).size(), 5u);
+}
+
+TEST(PruneWithDabfTest, SingleClassNothingPruned) {
+  Rng rng(3);
+  CandidatePool pool;
+  for (int i = 0; i < 10; ++i) {
+    pool.motifs[0].push_back(SineSub(0, 32, 0.5, 0.05, rng));
+  }
+  std::map<int, std::vector<Subsequence>> by_class;
+  by_class[0] = pool.AllOfClass(0);
+  const Dabf dabf(by_class, TestDabfOptions());
+  const PruneStats stats = PruneWithDabf(pool, dabf, 1);
+  EXPECT_EQ(stats.motifs_after, 10u);
+  EXPECT_EQ(stats.Pruned(), 0u);
+}
+
+TEST(PruneNaiveTest, RemovesConfusableKeepsDiscriminative) {
+  Rng rng(4);
+  CandidatePool pool = MakePool(rng, 10, 10);
+  const PruneStats stats = PruneNaive(pool, /*min_keep_motifs=*/1);
+  EXPECT_LT(stats.motifs_after, stats.motifs_before);
+  size_t ramps_surviving = 0;
+  for (const Subsequence& m : pool.motifs.at(0)) {
+    if (m.values.back() > 50.0) ++ramps_surviving;
+  }
+  EXPECT_GT(ramps_surviving, 5u);
+}
+
+TEST(PruneNaiveTest, MinKeepGuard) {
+  Rng rng(5);
+  CandidatePool pool = MakePool(rng, 12, 0);
+  PruneNaive(pool, /*min_keep_motifs=*/4);
+  EXPECT_GE(pool.motifs.at(0).size(), 4u);
+}
+
+TEST(PruneStatsTest, PrunedCount) {
+  PruneStats s;
+  s.motifs_before = 10;
+  s.motifs_after = 6;
+  s.discords_before = 8;
+  s.discords_after = 8;
+  EXPECT_EQ(s.Pruned(), 4u);
+}
+
+}  // namespace
+}  // namespace ips

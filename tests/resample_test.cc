@@ -1,0 +1,82 @@
+#include "core/resample.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(ResampleTest, IdentityWhenDimMatches) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const auto r = ResampleToDim(x, 4);
+  EXPECT_EQ(r, x);
+}
+
+TEST(ResampleTest, EndpointsPreserved) {
+  const std::vector<double> x = {5.0, 1.0, 9.0, 2.0, 7.0};
+  const auto r = ResampleToDim(x, 11);
+  EXPECT_DOUBLE_EQ(r.front(), 5.0);
+  EXPECT_DOUBLE_EQ(r.back(), 7.0);
+}
+
+TEST(ResampleTest, LinearRampResamplesExactly) {
+  // A linear function is reproduced exactly by linear interpolation.
+  std::vector<double> x(10);
+  for (size_t i = 0; i < 10; ++i) x[i] = 2.0 * static_cast<double>(i);
+  const auto r = ResampleToDim(x, 19);
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_NEAR(r[i], static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(ResampleTest, DownsampleMidpoint) {
+  const std::vector<double> x = {0.0, 1.0, 2.0};
+  const auto r = ResampleToDim(x, 2);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.0);
+}
+
+TEST(ResampleTest, SingleInputReplicated) {
+  const std::vector<double> x = {3.5};
+  const auto r = ResampleToDim(x, 5);
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(ResampleTest, SingleOutputTakesMiddle) {
+  const std::vector<double> x = {1.0, 9.0, 5.0};
+  const auto r = ResampleToDim(x, 1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], 9.0);
+}
+
+class ResampleSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(ResampleSweep, OutputBoundedByInputRange) {
+  const auto [in_len, out_len] = GetParam();
+  std::vector<double> x(in_len);
+  for (size_t i = 0; i < in_len; ++i) {
+    x[i] = (i % 3 == 0 ? 1.0 : -1.0) * static_cast<double>(i % 5);
+  }
+  const double mn = *std::min_element(x.begin(), x.end());
+  const double mx = *std::max_element(x.begin(), x.end());
+  const auto r = ResampleToDim(x, out_len);
+  ASSERT_EQ(r.size(), out_len);
+  // Linear interpolation never overshoots the hull of its inputs.
+  for (double v : r) {
+    EXPECT_GE(v, mn - 1e-12);
+    EXPECT_LE(v, mx + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ResampleSweep,
+    ::testing::Values(std::pair<size_t, size_t>{5, 32},
+                      std::pair<size_t, size_t>{32, 5},
+                      std::pair<size_t, size_t>{100, 100},
+                      std::pair<size_t, size_t>{2, 7},
+                      std::pair<size_t, size_t>{7, 2}));
+
+}  // namespace
+}  // namespace ips

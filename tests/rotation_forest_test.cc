@@ -1,0 +1,109 @@
+#include "classify/rotation_forest.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+LabeledMatrix GaussianBlobs(size_t per_class, size_t dim, Rng& rng) {
+  LabeledMatrix data;
+  for (size_t i = 0; i < per_class; ++i) {
+    std::vector<double> a(dim), b(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      a[j] = rng.Gaussian(1.5, 0.6);
+      b[j] = rng.Gaussian(-1.5, 0.6);
+    }
+    data.x.push_back(std::move(a));
+    data.y.push_back(0);
+    data.x.push_back(std::move(b));
+    data.y.push_back(1);
+  }
+  return data;
+}
+
+TEST(RotationForestTest, FitsSeparableData) {
+  Rng rng(1);
+  const LabeledMatrix data = GaussianBlobs(40, 8, rng);
+  RotationForestOptions o;
+  o.num_trees = 5;
+  RotationForest forest(o);
+  forest.Fit(data);
+  EXPECT_EQ(forest.num_trees(), 5u);
+  EXPECT_GE(forest.Accuracy(data), 0.95);
+}
+
+TEST(RotationForestTest, GeneralizesToFreshDraws) {
+  Rng rng(2);
+  const LabeledMatrix train = GaussianBlobs(40, 8, rng);
+  const LabeledMatrix test = GaussianBlobs(40, 8, rng);
+  RotationForest forest;
+  forest.Fit(train);
+  EXPECT_GE(forest.Accuracy(test), 0.9);
+}
+
+TEST(RotationForestTest, DimensionNotMultipleOfSubsetSize) {
+  Rng rng(3);
+  const LabeledMatrix data = GaussianBlobs(30, 7, rng);  // 7 % 4 != 0
+  RotationForestOptions o;
+  o.num_trees = 3;
+  o.features_per_subset = 4;
+  RotationForest forest(o);
+  forest.Fit(data);
+  EXPECT_GE(forest.Accuracy(data), 0.9);
+}
+
+TEST(RotationForestTest, SingleFeature) {
+  Rng rng(4);
+  LabeledMatrix data;
+  for (int i = 0; i < 50; ++i) {
+    data.x.push_back({rng.Gaussian(i % 2 == 0 ? 2.0 : -2.0, 0.5)});
+    data.y.push_back(i % 2);
+  }
+  RotationForestOptions o;
+  o.num_trees = 3;
+  RotationForest forest(o);
+  forest.Fit(data);
+  EXPECT_GE(forest.Accuracy(data), 0.9);
+}
+
+TEST(RotationForestTest, MulticlassVoting) {
+  Rng rng(5);
+  LabeledMatrix data;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      std::vector<double> row(6);
+      for (auto& v : row) {
+        v = rng.Gaussian(3.0 * static_cast<double>(c), 0.5);
+      }
+      data.x.push_back(std::move(row));
+      data.y.push_back(c);
+    }
+  }
+  RotationForest forest;
+  forest.Fit(data);
+  EXPECT_GE(forest.Accuracy(data), 0.9);
+}
+
+TEST(RotationForestTest, DeterministicForSameSeed) {
+  Rng rng(6);
+  const LabeledMatrix data = GaussianBlobs(20, 6, rng);
+  RotationForestOptions o;
+  o.num_trees = 4;
+  o.seed = 77;
+  RotationForest a(o), b(o);
+  a.Fit(data);
+  b.Fit(data);
+  Rng probe_rng(7);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> probe(6);
+    for (auto& v : probe) v = probe_rng.Gaussian();
+    EXPECT_EQ(a.Predict(probe), b.Predict(probe));
+  }
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,106 @@
+#include "baselines/sax.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+TEST(PaaTest, ExactSegments) {
+  const std::vector<double> x = {1.0, 3.0, 5.0, 7.0};
+  const auto paa = Paa(x, 2);
+  ASSERT_EQ(paa.size(), 2u);
+  EXPECT_DOUBLE_EQ(paa[0], 2.0);
+  EXPECT_DOUBLE_EQ(paa[1], 6.0);
+}
+
+TEST(PaaTest, SingleSegmentIsMean) {
+  const std::vector<double> x = {2.0, 4.0, 6.0};
+  const auto paa = Paa(x, 1);
+  ASSERT_EQ(paa.size(), 1u);
+  EXPECT_DOUBLE_EQ(paa[0], 4.0);
+}
+
+TEST(PaaTest, SegmentsClampedToLength) {
+  const std::vector<double> x = {1.0, 2.0};
+  EXPECT_EQ(Paa(x, 10).size(), 2u);
+}
+
+TEST(PaaTest, UnevenDivision) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto paa = Paa(x, 2);
+  ASSERT_EQ(paa.size(), 2u);
+  // floor(i*2/5): 0,0,0,1,1.
+  EXPECT_DOUBLE_EQ(paa[0], 2.0);
+  EXPECT_DOUBLE_EQ(paa[1], 4.5);
+}
+
+TEST(SaxBreakpointsTest, StandardTableValues) {
+  const auto b2 = SaxBreakpoints(2);
+  ASSERT_EQ(b2.size(), 1u);
+  EXPECT_DOUBLE_EQ(b2[0], 0.0);
+  const auto b4 = SaxBreakpoints(4);
+  ASSERT_EQ(b4.size(), 3u);
+  EXPECT_NEAR(b4[0], -0.67, 1e-9);
+  EXPECT_NEAR(b4[1], 0.0, 1e-9);
+  EXPECT_NEAR(b4[2], 0.67, 1e-9);
+}
+
+TEST(SaxBreakpointsTest, LargeCardinalityViaInverseNormal) {
+  const auto b10 = SaxBreakpoints(10);
+  ASSERT_EQ(b10.size(), 9u);
+  // Symmetric around 0; monotone ascending.
+  for (size_t i = 1; i < b10.size(); ++i) EXPECT_GT(b10[i], b10[i - 1]);
+  EXPECT_NEAR(b10[4], 0.0, 1e-6);                  // median
+  EXPECT_NEAR(b10[0], -b10[8], 1e-6);              // symmetry
+  EXPECT_NEAR(b10[0], -1.2815515655, 1e-4);        // 10% quantile of N(0,1)
+}
+
+TEST(SaxWordTest, LengthAndAlphabet) {
+  Rng rng(1);
+  std::vector<double> x(32);
+  for (auto& v : x) v = rng.Gaussian();
+  const std::string word = SaxWord(x, 8, 4);
+  ASSERT_EQ(word.size(), 8u);
+  for (char c : word) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'd');
+  }
+}
+
+TEST(SaxWordTest, ScaleShiftInvariant) {
+  Rng rng(2);
+  std::vector<double> x(24);
+  for (auto& v : x) v = rng.Gaussian();
+  std::vector<double> y(x);
+  for (auto& v : y) v = 10.0 * v + 42.0;
+  EXPECT_EQ(SaxWord(x, 6, 4), SaxWord(y, 6, 4));
+}
+
+TEST(SaxWordTest, RampProducesAscendingSymbols) {
+  std::vector<double> x(32);
+  for (size_t i = 0; i < 32; ++i) x[i] = static_cast<double>(i);
+  const std::string word = SaxWord(x, 4, 4);
+  for (size_t i = 1; i < word.size(); ++i) EXPECT_GE(word[i], word[i - 1]);
+  EXPECT_EQ(word.front(), 'a');
+  EXPECT_EQ(word.back(), 'd');
+}
+
+TEST(SaxWordTest, SimilarInputsShareWord) {
+  Rng rng(3);
+  std::vector<double> x(32);
+  for (size_t i = 0; i < 32; ++i) {
+    x[i] = std::sin(0.3 * static_cast<double>(i));
+  }
+  std::vector<double> y(x);
+  for (auto& v : y) v += rng.Gaussian(0.0, 0.01);
+  EXPECT_EQ(SaxWord(x, 8, 4), SaxWord(y, 8, 4));
+}
+
+}  // namespace
+}  // namespace ips

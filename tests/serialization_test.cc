@@ -1,0 +1,112 @@
+#include "ips/serialization.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "ips/pipeline.h"
+
+namespace ips {
+namespace {
+
+std::vector<Subsequence> SampleShapelets() {
+  std::vector<Subsequence> out;
+  Subsequence a;
+  a.values = {1.5, -2.25, 0.0, 1e-17, 3.141592653589793};
+  a.label = 0;
+  a.series_index = 7;
+  a.start = 12;
+  out.push_back(a);
+  Subsequence b;
+  b.values = {-1.0};
+  b.label = 3;
+  b.series_index = -1;  // learned shapelet, no provenance
+  b.start = 0;
+  out.push_back(b);
+  return out;
+}
+
+TEST(SerializationTest, RoundTripIsExact) {
+  const auto original = SampleShapelets();
+  const std::string text = SerializeShapelets(original);
+  const auto restored = DeserializeShapelets(text);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*restored)[i].values, original[i].values);  // bit-exact
+    EXPECT_EQ((*restored)[i].label, original[i].label);
+    EXPECT_EQ((*restored)[i].series_index, original[i].series_index);
+    EXPECT_EQ((*restored)[i].start, original[i].start);
+  }
+}
+
+TEST(SerializationTest, EmptySetRoundTrips) {
+  const auto restored = DeserializeShapelets(SerializeShapelets({}));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(SerializationTest, RejectsWrongMagic) {
+  EXPECT_FALSE(DeserializeShapelets("not-a-shapelet-file\n0\n").has_value());
+  EXPECT_FALSE(DeserializeShapelets("").has_value());
+}
+
+TEST(SerializationTest, RejectsTruncatedInput) {
+  std::string text = SerializeShapelets(SampleShapelets());
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(DeserializeShapelets(text).has_value());
+}
+
+TEST(SerializationTest, RejectsCountMismatch) {
+  // Claim 5 shapelets but provide 2.
+  std::string text = SerializeShapelets(SampleShapelets());
+  const size_t pos = text.find("\n2\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "\n5\n");
+  EXPECT_FALSE(DeserializeShapelets(text).has_value());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ips_ser_" + std::to_string(::getpid()) + ".txt");
+  const auto original = SampleShapelets();
+  ASSERT_TRUE(SaveShapelets(original, path.string()));
+  const auto restored = LoadShapelets(path.string());
+  std::filesystem::remove(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), original.size());
+  EXPECT_EQ((*restored)[0].values, original[0].values);
+}
+
+TEST(SerializationTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadShapelets("/nonexistent/path/shapelets.txt").has_value());
+}
+
+TEST(SerializationTest, DiscoveredShapeletsSurviveRoundTrip) {
+  GeneratorSpec spec;
+  spec.name = "sertest";
+  spec.num_classes = 2;
+  spec.train_size = 10;
+  spec.test_size = 2;
+  spec.length = 64;
+  const Dataset train = GenerateDataset(spec).train;
+  IpsOptions options;
+  options.sample_count = 3;
+  options.length_ratios = {0.2};
+  const auto discovered = DiscoverShapelets(train, options);
+  const auto restored =
+      DeserializeShapelets(SerializeShapelets(discovered));
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), discovered.size());
+  for (size_t i = 0; i < discovered.size(); ++i) {
+    EXPECT_EQ((*restored)[i].values, discovered[i].values);
+  }
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,109 @@
+#include "baselines/shapelet_quality.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+Subsequence MakeCandidate(std::vector<double> values, int label) {
+  Subsequence s;
+  s.values = std::move(values);
+  s.label = label;
+  return s;
+}
+
+TEST(LabelEntropyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(LabelEntropy({4, 0}, 4), 0.0);
+  EXPECT_NEAR(LabelEntropy({2, 2}, 4), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LabelEntropy({1, 1, 1}, 3), std::log(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(LabelEntropy({}, 0), 0.0);
+}
+
+TEST(EvaluateSplitQualityTest, PerfectDiscriminatorGetsFullGain) {
+  // Class 0 contains the pattern exactly; class 1 contains its negation.
+  Dataset train;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> a(20, 0.0), b(20, 0.0);
+    for (size_t j = 0; j < 6; ++j) {
+      a[5 + j] = std::sin(0.9 * static_cast<double>(j)) * 4.0;
+      b[5 + j] = -a[5 + j];
+    }
+    train.Add(TimeSeries(std::move(a), 0));
+    train.Add(TimeSeries(std::move(b), 1));
+  }
+  std::vector<double> pattern(6);
+  for (size_t j = 0; j < 6; ++j) {
+    pattern[j] = std::sin(0.9 * static_cast<double>(j)) * 4.0;
+  }
+  const SplitQuality q =
+      EvaluateSplitQuality(MakeCandidate(pattern, 0), train, 2);
+  EXPECT_NEAR(q.info_gain, std::log(2.0), 1e-9);  // full binary entropy
+  EXPECT_EQ(q.covered.size(), 5u);                // all class-0 instances
+}
+
+TEST(EvaluateSplitQualityTest, UselessCandidateHasZeroGain) {
+  // All instances identical: every distance ties, no split boundary exists.
+  Dataset train;
+  for (int i = 0; i < 6; ++i) {
+    train.Add(TimeSeries(std::vector<double>(16, 1.0), i % 2));
+  }
+  const SplitQuality q = EvaluateSplitQuality(
+      MakeCandidate(std::vector<double>(4, 1.0), 0), train, 2);
+  EXPECT_DOUBLE_EQ(q.info_gain, 0.0);
+}
+
+TEST(EvaluateSplitQualityTest, GainBoundedByParentEntropy) {
+  Rng rng(1);
+  Dataset train;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> v(24);
+    for (auto& x : v) x = rng.Gaussian();
+    train.Add(TimeSeries(std::move(v), i % 3));
+  }
+  std::vector<double> cand(6);
+  for (auto& x : cand) x = rng.Gaussian();
+  const SplitQuality q =
+      EvaluateSplitQuality(MakeCandidate(cand, 0), train, 3);
+  EXPECT_GE(q.info_gain, 0.0);
+  EXPECT_LE(q.info_gain, std::log(3.0) + 1e-12);
+}
+
+TEST(EvaluateSplitQualityTest, CoverageOnlyContainsOwnClass) {
+  Rng rng(2);
+  Dataset train;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> v(24);
+    for (auto& x : v) x = rng.Gaussian();
+    train.Add(TimeSeries(std::move(v), i % 2));
+  }
+  std::vector<double> cand(train[0].values.begin(),
+                           train[0].values.begin() + 8);
+  const SplitQuality q =
+      EvaluateSplitQuality(MakeCandidate(cand, 0), train, 2);
+  for (size_t idx : q.covered) {
+    EXPECT_EQ(train[idx].label, 0);
+  }
+}
+
+TEST(EvaluateSplitQualityTest, ThresholdSeparatesTheSplit) {
+  Dataset train;
+  // Class 0: flat zeros (distance 0 to a zero candidate); class 1: offset.
+  for (int i = 0; i < 4; ++i) {
+    train.Add(TimeSeries(std::vector<double>(12, 0.0), 0));
+    train.Add(TimeSeries(std::vector<double>(12, 3.0), 1));
+  }
+  const SplitQuality q = EvaluateSplitQuality(
+      MakeCandidate(std::vector<double>(4, 0.0), 0), train, 2);
+  EXPECT_GT(q.threshold, 0.0);
+  EXPECT_LT(q.threshold, 9.0);  // between 0 and 3^2
+  EXPECT_NEAR(q.info_gain, std::log(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,58 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(RegularizedGammaPTest, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-10);
+  // P(a, 0) = 0, P(a, inf) -> 1.
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(3.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(3.0, 100.0), 1.0, 1e-10);
+}
+
+TEST(RegularizedGammaPTest, HalfIntegerShape) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-9);
+  }
+}
+
+TEST(RegularizedGammaPTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.0; x <= 20.0; x += 0.25) {
+    const double p = RegularizedGammaP(2.5, x);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ChiSquaredCdfTest, KnownQuantiles) {
+  // Chi-squared with 1 dof: P(X <= 3.841) ~ 0.95.
+  EXPECT_NEAR(ChiSquaredCdf(3.841, 1.0), 0.95, 1e-3);
+  // 5 dof: P(X <= 11.070) ~ 0.95.
+  EXPECT_NEAR(ChiSquaredCdf(11.070, 5.0), 0.95, 1e-3);
+  // 12 dof (13 methods): P(X <= 21.026) ~ 0.95.
+  EXPECT_NEAR(ChiSquaredCdf(21.026, 12.0), 0.95, 1e-3);
+}
+
+TEST(ChiSquaredCdfTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-1.0, 3.0), 0.0);
+  EXPECT_NEAR(ChiSquaredCdf(1000.0, 3.0), 1.0, 1e-12);
+}
+
+TEST(StandardNormalCdfTest, KnownValues) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(StandardNormalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(StandardNormalCdf(1.0) + StandardNormalCdf(-1.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,187 @@
+// Tests for the three search/learning baselines added beyond the core
+// reproduction: ST (exhaustive transform discovery), SD (clustering-pruned
+// discovery) and LTS (gradient-learned shapelets).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lts.h"
+#include "baselines/sd.h"
+#include "baselines/st.h"
+#include "data/generator.h"
+
+namespace ips {
+namespace {
+
+TrainTestSplit MakeData(const std::string& name, size_t train = 12,
+                        size_t test = 40, size_t length = 64) {
+  GeneratorSpec spec;
+  spec.name = name;
+  spec.num_classes = 2;
+  spec.train_size = train;
+  spec.test_size = test;
+  spec.length = length;
+  return GenerateDataset(spec);
+}
+
+// ------------------------------------------------------------------- ST
+
+TEST(StTest, DiscoversTopGainShapeletsPerClass) {
+  const TrainTestSplit data = MakeData("st1");
+  StOptions options;
+  options.length_ratios = {0.2, 0.3};
+  options.shapelets_per_class = 3;
+  options.stride = 2;
+  const auto shapelets = DiscoverStShapelets(data.train, options);
+  EXPECT_GT(shapelets.size(), 0u);
+  EXPECT_LE(shapelets.size(), 6u);
+  bool c0 = false, c1 = false;
+  for (const auto& s : shapelets) {
+    if (s.label == 0) c0 = true;
+    if (s.label == 1) c1 = true;
+  }
+  EXPECT_TRUE(c0 && c1);
+}
+
+TEST(StTest, SelfSimilarityFilterSuppressesOverlaps) {
+  const TrainTestSplit data = MakeData("st2");
+  StOptions options;
+  options.length_ratios = {0.3};
+  options.shapelets_per_class = 5;
+  options.stride = 1;
+  const auto shapelets = DiscoverStShapelets(data.train, options);
+  for (size_t a = 0; a < shapelets.size(); ++a) {
+    for (size_t b = a + 1; b < shapelets.size(); ++b) {
+      if (shapelets[a].series_index != shapelets[b].series_index) continue;
+      const size_t a_end = shapelets[a].start + shapelets[a].length();
+      const size_t b_end = shapelets[b].start + shapelets[b].length();
+      EXPECT_TRUE(shapelets[a].start >= b_end ||
+                  shapelets[b].start >= a_end)
+          << "overlapping shapelets from series "
+          << shapelets[a].series_index;
+    }
+  }
+}
+
+TEST(StTest, ClassifierBeatsChance) {
+  const TrainTestSplit data = MakeData("st3");
+  StOptions options;
+  options.length_ratios = {0.2, 0.3};
+  options.stride = 2;
+  StClassifier clf(options);
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 0.6);
+}
+
+// ------------------------------------------------------------------- SD
+
+TEST(SdTest, ClusteringPrunesEnumeration) {
+  const TrainTestSplit data = MakeData("sd1");
+  SdOptions options;
+  SdStats stats;
+  DiscoverSdShapelets(data.train, options, &stats);
+  EXPECT_GT(stats.candidates_enumerated, 0u);
+  EXPECT_LT(stats.cluster_representatives, stats.candidates_enumerated);
+}
+
+TEST(SdTest, ClassifierBeatsChance) {
+  const TrainTestSplit data = MakeData("sd2");
+  SdClassifier clf;
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 0.55);
+}
+
+TEST(SdTest, HigherPercentilePrunesMore) {
+  const TrainTestSplit data = MakeData("sd3");
+  SdOptions loose;
+  loose.prune_percentile = 0.05;
+  SdOptions tight;
+  tight.prune_percentile = 0.75;
+  SdStats loose_stats, tight_stats;
+  DiscoverSdShapelets(data.train, loose, &loose_stats);
+  DiscoverSdShapelets(data.train, tight, &tight_stats);
+  EXPECT_GE(loose_stats.cluster_representatives,
+            tight_stats.cluster_representatives);
+}
+
+// ------------------------------------------------------------------ LTS
+
+TEST(LtsTest, LearnsSeparableData) {
+  const TrainTestSplit data = MakeData("lts1", 16, 40, 64);
+  LtsOptions options;
+  options.max_iters = 150;
+  LtsClassifier clf(options);
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 0.6);
+}
+
+TEST(LtsTest, TrainingReducesError) {
+  // More iterations must not make training accuracy worse (descent on a
+  // smooth objective with a small step size).
+  const TrainTestSplit data = MakeData("lts2", 16, 4, 64);
+  LtsOptions few;
+  few.max_iters = 5;
+  LtsOptions many = few;
+  many.max_iters = 200;
+  LtsClassifier clf_few(few), clf_many(many);
+  clf_few.Fit(data.train);
+  clf_many.Fit(data.train);
+  EXPECT_GE(clf_many.Accuracy(data.train),
+            clf_few.Accuracy(data.train) - 0.1);
+}
+
+TEST(LtsTest, ShapeletCountMatchesOptions) {
+  const TrainTestSplit data = MakeData("lts3");
+  LtsOptions options;
+  options.shapelets_per_scale = 4;
+  options.scales = 2;
+  options.max_iters = 10;
+  LtsClassifier clf(options);
+  clf.Fit(data.train);
+  EXPECT_EQ(clf.Shapelets().size(), 8u);
+}
+
+TEST(LtsTest, LearnedShapeletsHaveExpectedLengths) {
+  const TrainTestSplit data = MakeData("lts4", 12, 4, 100);
+  LtsOptions options;
+  options.length_ratio = 0.2;
+  options.scales = 2;
+  options.max_iters = 5;
+  LtsClassifier clf(options);
+  clf.Fit(data.train);
+  for (const auto& s : clf.Shapelets()) {
+    EXPECT_TRUE(s.length() == 20 || s.length() == 40)
+        << "length " << s.length();
+  }
+}
+
+TEST(LtsTest, MulticlassSupported) {
+  GeneratorSpec spec;
+  spec.name = "lts5";
+  spec.num_classes = 3;
+  spec.train_size = 18;
+  spec.test_size = 30;
+  spec.length = 64;
+  const TrainTestSplit data = GenerateDataset(spec);
+  LtsOptions options;
+  options.max_iters = 150;
+  LtsClassifier clf(options);
+  clf.Fit(data.train);
+  EXPECT_GT(clf.Accuracy(data.test), 1.0 / 3.0);
+}
+
+TEST(LtsTest, DeterministicForSameSeed) {
+  const TrainTestSplit data = MakeData("lts6");
+  LtsOptions options;
+  options.max_iters = 20;
+  LtsClassifier a(options), b(options);
+  a.Fit(data.train);
+  b.Fit(data.train);
+  for (size_t i = 0; i < data.test.size(); ++i) {
+    EXPECT_EQ(a.Predict(data.test[i]), b.Predict(data.test[i]));
+  }
+}
+
+}  // namespace
+}  // namespace ips

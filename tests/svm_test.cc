@@ -1,0 +1,144 @@
+#include "classify/svm.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace ips {
+namespace {
+
+LabeledMatrix LinearlySeparable2D(size_t per_class, Rng& rng) {
+  LabeledMatrix data;
+  for (size_t i = 0; i < per_class; ++i) {
+    data.x.push_back({rng.Gaussian(2.0, 0.5), rng.Gaussian(2.0, 0.5)});
+    data.y.push_back(0);
+    data.x.push_back({rng.Gaussian(-2.0, 0.5), rng.Gaussian(-2.0, 0.5)});
+    data.y.push_back(1);
+  }
+  return data;
+}
+
+TEST(LinearSvmTest, SeparatesLinearlySeparableData) {
+  Rng rng(1);
+  const LabeledMatrix data = LinearlySeparable2D(50, rng);
+  LinearSvm svm;
+  svm.Fit(data);
+  EXPECT_GE(svm.Accuracy(data), 0.98);
+}
+
+TEST(LinearSvmTest, GeneralizesToFreshDraws) {
+  Rng rng(2);
+  const LabeledMatrix train = LinearlySeparable2D(40, rng);
+  const LabeledMatrix test = LinearlySeparable2D(40, rng);
+  LinearSvm svm;
+  svm.Fit(train);
+  EXPECT_GE(svm.Accuracy(test), 0.95);
+}
+
+TEST(LinearSvmTest, MulticlassOneVsRest) {
+  Rng rng(3);
+  LabeledMatrix data;
+  const std::vector<std::pair<double, double>> centers = {
+      {3.0, 0.0}, {-3.0, 0.0}, {0.0, 3.0}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      data.x.push_back({rng.Gaussian(centers[c].first, 0.4),
+                        rng.Gaussian(centers[c].second, 0.4)});
+      data.y.push_back(c);
+    }
+  }
+  LinearSvm svm;
+  svm.Fit(data);
+  EXPECT_EQ(svm.num_classes(), 3);
+  EXPECT_GE(svm.Accuracy(data), 0.95);
+}
+
+TEST(LinearSvmTest, BiasTermLearned) {
+  // Classes separated by a hyperplane far from the origin -- fails without
+  // a bias term.
+  Rng rng(4);
+  LabeledMatrix data;
+  for (int i = 0; i < 60; ++i) {
+    data.x.push_back({rng.Gaussian(10.0, 0.3)});
+    data.y.push_back(0);
+    data.x.push_back({rng.Gaussian(12.0, 0.3)});
+    data.y.push_back(1);
+  }
+  LinearSvm svm;
+  svm.Fit(data);
+  EXPECT_GE(svm.Accuracy(data), 0.95);
+}
+
+TEST(LinearSvmTest, StandardizationHandlesScaleMismatch) {
+  // One informative low-scale feature + one noisy high-scale feature.
+  Rng rng(5);
+  LabeledMatrix data;
+  for (int i = 0; i < 80; ++i) {
+    const int label = i % 2;
+    const double informative = label == 0 ? 0.01 : -0.01;
+    data.x.push_back({informative + rng.Gaussian(0.0, 0.002),
+                      rng.Gaussian(0.0, 1000.0)});
+    data.y.push_back(label);
+  }
+  LinearSvm svm;
+  svm.Fit(data);
+  EXPECT_GE(svm.Accuracy(data), 0.9);
+}
+
+TEST(LinearSvmTest, ConstantFeatureDoesNotCrash) {
+  LabeledMatrix data;
+  data.x = {{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}, {4.0, 5.0}};
+  data.y = {0, 0, 1, 1};
+  LinearSvm svm;
+  svm.Fit(data);
+  EXPECT_GE(svm.Accuracy(data), 0.75);
+}
+
+TEST(LinearSvmTest, SingleClassAlwaysPredictsIt) {
+  LabeledMatrix data;
+  data.x = {{1.0}, {2.0}, {3.0}};
+  data.y = {0, 0, 0};
+  LinearSvm svm;
+  svm.Fit(data);
+  EXPECT_EQ(svm.Predict(std::vector<double>{9.0}), 0);
+}
+
+TEST(LinearSvmTest, DecisionValueSignMatchesPrediction) {
+  Rng rng(6);
+  const LabeledMatrix data = LinearlySeparable2D(30, rng);
+  LinearSvm svm;
+  svm.Fit(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int predicted = svm.Predict(data.x[i]);
+    const double own = svm.DecisionValue(data.x[i], predicted);
+    const double other = svm.DecisionValue(data.x[i], 1 - predicted);
+    EXPECT_GE(own, other);
+  }
+}
+
+TEST(LabeledMatrixTest, NumClasses) {
+  LabeledMatrix data;
+  data.x = {{0.0}, {0.0}};
+  data.y = {0, 4};
+  EXPECT_EQ(data.NumClasses(), 5);
+}
+
+class SvmCostSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvmCostSweep, ConvergesAcrossCostValues) {
+  Rng rng(7);
+  const LabeledMatrix data = LinearlySeparable2D(40, rng);
+  SvmOptions o;
+  o.c = GetParam();
+  LinearSvm svm(o);
+  svm.Fit(data);
+  EXPECT_GE(svm.Accuracy(data), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Costs, SvmCostSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace ips

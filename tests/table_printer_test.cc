@@ -1,0 +1,84 @@
+#include "util/table_printer.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t;
+  t.SetHeader({"Name", "Value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  const std::string out = t.ToString();
+  // Every row has "Value"/cell starting at the same column.
+  const size_t header_col = out.find("Value");
+  const size_t row1 = out.find("1\n");
+  ASSERT_NE(header_col, std::string::npos);
+  ASSERT_NE(row1, std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderRulePresent) {
+  TablePrinter t;
+  t.SetHeader({"A", "B"});
+  t.AddRow({"x", "y"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::Num(-1.5, 1), "-1.5");
+  EXPECT_EQ(TablePrinter::Num(100.0, 2), "100.00");
+}
+
+TEST(TablePrinterTest, EmptyTableIsHeaderOnly) {
+  TablePrinter t;
+  t.SetHeader({"Col"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("Col"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvRendering) {
+  TablePrinter t;
+  t.SetHeader({"A", "B"});
+  t.AddRow({"1", "x"});
+  t.AddRow({"2", "y"});
+  EXPECT_EQ(t.ToCsv(), "A,B\n1,x\n2,y\n");
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecialCharacters) {
+  TablePrinter t;
+  t.SetHeader({"name", "note"});
+  t.AddRow({"a,b", "say \"hi\""});
+  EXPECT_EQ(t.ToCsv(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinterTest, WriteCsvRoundTrip) {
+  TablePrinter t;
+  t.SetHeader({"k", "v"});
+  t.AddRow({"x", "1"});
+  const std::string path =
+      std::string("/tmp/ips_csv_test_") + std::to_string(::getpid());
+  ASSERT_TRUE(t.WriteCsv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "k,v\nx,1\n");
+}
+
+TEST(TablePrinterTest, WriteCsvFailsOnBadPath) {
+  TablePrinter t;
+  t.SetHeader({"A"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent/dir/file.csv"));
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,88 @@
+#include "core/time_series.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+Dataset MakeToyDataset() {
+  Dataset d;
+  d.Add(TimeSeries({1.0, 2.0, 3.0}, 0));
+  d.Add(TimeSeries({4.0, 5.0}, 1));
+  d.Add(TimeSeries({6.0, 7.0, 8.0, 9.0}, 0));
+  d.Add(TimeSeries({10.0}, 2));
+  return d;
+}
+
+TEST(DatasetTest, SizeAndAccess) {
+  const Dataset d = MakeToyDataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d[1].label, 1);
+  EXPECT_DOUBLE_EQ(d[0][2], 3.0);
+}
+
+TEST(DatasetTest, NumClasses) {
+  EXPECT_EQ(MakeToyDataset().NumClasses(), 3);
+  EXPECT_EQ(Dataset().NumClasses(), 0);
+}
+
+TEST(DatasetTest, IndicesOfClass) {
+  const Dataset d = MakeToyDataset();
+  EXPECT_EQ(d.IndicesOfClass(0), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(d.IndicesOfClass(1), (std::vector<size_t>{1}));
+  EXPECT_TRUE(d.IndicesOfClass(7).empty());
+}
+
+TEST(DatasetTest, SeriesOfClassCopies) {
+  const Dataset d = MakeToyDataset();
+  const auto series = d.SeriesOfClass(0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].length(), 3u);
+  EXPECT_EQ(series[1].length(), 4u);
+}
+
+TEST(DatasetTest, ConcatenateClass) {
+  const Dataset d = MakeToyDataset();
+  const TimeSeries t = d.ConcatenateClass(0);
+  EXPECT_EQ(t.label, 0);
+  EXPECT_EQ(t.values,
+            (std::vector<double>{1.0, 2.0, 3.0, 6.0, 7.0, 8.0, 9.0}));
+}
+
+TEST(DatasetTest, ConcatenateMissingClassIsEmpty) {
+  EXPECT_EQ(MakeToyDataset().ConcatenateClass(9).length(), 0u);
+}
+
+TEST(DatasetTest, MinMaxLength) {
+  const Dataset d = MakeToyDataset();
+  EXPECT_EQ(d.MaxLength(), 4u);
+  EXPECT_EQ(d.MinLength(), 1u);
+  EXPECT_EQ(Dataset().MaxLength(), 0u);
+  EXPECT_EQ(Dataset().MinLength(), 0u);
+}
+
+TEST(DatasetTest, Labels) {
+  EXPECT_EQ(MakeToyDataset().Labels(), (std::vector<int>{0, 1, 0, 2}));
+}
+
+TEST(ExtractSubsequenceTest, ValuesAndProvenance) {
+  const TimeSeries t({10.0, 11.0, 12.0, 13.0, 14.0}, 3);
+  const Subsequence s = ExtractSubsequence(t, 1, 3, 42);
+  EXPECT_EQ(s.values, (std::vector<double>{11.0, 12.0, 13.0}));
+  EXPECT_EQ(s.label, 3);
+  EXPECT_EQ(s.series_index, 42);
+  EXPECT_EQ(s.start, 1u);
+  EXPECT_EQ(s.length(), 3u);
+}
+
+TEST(ExtractSubsequenceTest, FullSeries) {
+  const TimeSeries t({1.0, 2.0}, 0);
+  const Subsequence s = ExtractSubsequence(t, 0, 2);
+  EXPECT_EQ(s.values, t.values);
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,80 @@
+#include "ips/top_k.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+Subsequence MakeSub(double marker, int label) {
+  Subsequence s;
+  s.values = {marker};
+  s.label = label;
+  return s;
+}
+
+CandidateScore Score(double combined) {
+  CandidateScore s;
+  s.intra = 0.5 + combined;  // inter = instance = 0 contribution
+  s.inter = 0.5;
+  s.instance = 0.5;
+  // Combined() = intra - inter + instance = 0.5 + combined.
+  return s;
+}
+
+TEST(SelectTopKShapeletsTest, PicksSmallestScores) {
+  CandidatePool pool;
+  pool.motifs[0] = {MakeSub(10, 0), MakeSub(20, 0), MakeSub(30, 0)};
+  std::map<int, std::vector<CandidateScore>> scores;
+  scores[0] = {Score(0.3), Score(0.1), Score(0.2)};
+
+  const auto shapelets = SelectTopKShapelets(pool, scores, 2);
+  ASSERT_EQ(shapelets.size(), 2u);
+  EXPECT_DOUBLE_EQ(shapelets[0].values[0], 20.0);  // lowest combined
+  EXPECT_DOUBLE_EQ(shapelets[1].values[0], 30.0);
+}
+
+TEST(SelectTopKShapeletsTest, PerClassSelection) {
+  CandidatePool pool;
+  pool.motifs[0] = {MakeSub(1, 0), MakeSub(2, 0)};
+  pool.motifs[1] = {MakeSub(3, 1), MakeSub(4, 1)};
+  std::map<int, std::vector<CandidateScore>> scores;
+  scores[0] = {Score(0.1), Score(0.2)};
+  scores[1] = {Score(0.2), Score(0.1)};
+
+  const auto shapelets = SelectTopKShapelets(pool, scores, 1);
+  ASSERT_EQ(shapelets.size(), 2u);
+  EXPECT_EQ(shapelets[0].label, 0);
+  EXPECT_EQ(shapelets[1].label, 1);
+  EXPECT_DOUBLE_EQ(shapelets[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(shapelets[1].values[0], 4.0);
+}
+
+TEST(SelectTopKShapeletsTest, KLargerThanPool) {
+  CandidatePool pool;
+  pool.motifs[0] = {MakeSub(1, 0)};
+  std::map<int, std::vector<CandidateScore>> scores;
+  scores[0] = {Score(0.0)};
+  EXPECT_EQ(SelectTopKShapelets(pool, scores, 10).size(), 1u);
+}
+
+TEST(SelectTopKShapeletsTest, ClassWithoutScoresSkipped) {
+  CandidatePool pool;
+  pool.motifs[0] = {MakeSub(1, 0)};
+  pool.motifs[1] = {MakeSub(2, 1)};
+  std::map<int, std::vector<CandidateScore>> scores;
+  scores[0] = {Score(0.0)};
+  const auto shapelets = SelectTopKShapelets(pool, scores, 1);
+  ASSERT_EQ(shapelets.size(), 1u);
+  EXPECT_EQ(shapelets[0].label, 0);
+}
+
+TEST(SelectTopKShapeletsTest, EmptyPool) {
+  CandidatePool pool;
+  std::map<int, std::vector<CandidateScore>> scores;
+  EXPECT_TRUE(SelectTopKShapelets(pool, scores, 5).empty());
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,104 @@
+#include "transform/shapelet_transform.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "data/generator.h"
+
+namespace ips {
+namespace {
+
+Subsequence MakeShapelet(std::vector<double> values, int label = 0) {
+  Subsequence s;
+  s.values = std::move(values);
+  s.label = label;
+  return s;
+}
+
+TEST(TransformSeriesTest, RawDistancesMatchDef4) {
+  const TimeSeries t({0.0, 1.0, 2.0, 3.0, 4.0}, 0);
+  const std::vector<Subsequence> shapelets = {
+      MakeShapelet({1.0, 2.0}), MakeShapelet({9.0, 9.0, 9.0})};
+  const auto row = TransformSeries(t, shapelets, TransformDistance::kRaw);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_NEAR(row[0], 0.0, 1e-12);  // contained exactly
+  EXPECT_DOUBLE_EQ(row[1],
+                   SubsequenceDistance(t.view(), shapelets[1].view()));
+}
+
+TEST(TransformSeriesTest, ZNormDistanceIsScaleInvariant) {
+  const TimeSeries t({0.0, 1.0, 2.0, 1.0, 0.0, 3.0}, 0);
+  const std::vector<Subsequence> small = {MakeShapelet({0.0, 1.0, 2.0})};
+  const std::vector<Subsequence> scaled = {MakeShapelet({10.0, 30.0, 50.0})};
+  const auto a = TransformSeries(t, small, TransformDistance::kZNormalized);
+  const auto b = TransformSeries(t, scaled, TransformDistance::kZNormalized);
+  EXPECT_NEAR(a[0], b[0], 1e-6);
+  EXPECT_NEAR(a[0], 0.0, 1e-6);  // z-normalised shape is contained
+}
+
+TEST(ShapeletTransformTest, ShapeAndLabels) {
+  GeneratorSpec spec;
+  spec.name = "transform";
+  spec.num_classes = 2;
+  spec.train_size = 8;
+  spec.test_size = 2;
+  spec.length = 48;
+  const Dataset data = GenerateDataset(spec).train;
+  const std::vector<Subsequence> shapelets = {
+      MakeShapelet(std::vector<double>(10, 0.5)),
+      MakeShapelet(std::vector<double>(8, -0.5)),
+      MakeShapelet(std::vector<double>(12, 1.0))};
+
+  const TransformedData out = ShapeletTransform(data, shapelets);
+  EXPECT_EQ(out.size(), data.size());
+  EXPECT_EQ(out.dim(), 3u);
+  EXPECT_EQ(out.labels, data.Labels());
+  for (const auto& row : out.features) {
+    for (double v : row) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(ShapeletTransformTest, ShapeletLongerThanSeriesIsHandled) {
+  Dataset data;
+  data.Add(TimeSeries({1.0, 2.0, 3.0}, 0));
+  const std::vector<Subsequence> shapelets = {
+      MakeShapelet({1.0, 2.0, 3.0, 4.0, 5.0})};
+  // Def. 4 is symmetric: the shorter input slides along the longer one.
+  const TransformedData out = ShapeletTransform(data, shapelets);
+  EXPECT_NEAR(out.features[0][0], 0.0, 1e-12);
+}
+
+TEST(ShapeletTransformTest, DiscriminativeShapeletSeparatesClasses) {
+  // Class 1 contains a strong spike pattern that class 0 lacks; the
+  // transform distance to that pattern must separate the classes.
+  Dataset data;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<double> flat(40, 0.0);
+    data.Add(TimeSeries(flat, 0));
+    std::vector<double> spiky(40, 0.0);
+    for (size_t j = 0; j < 8; ++j) {
+      spiky[10 + j] = 5.0 * std::sin(0.8 * static_cast<double>(j));
+    }
+    data.Add(TimeSeries(spiky, 1));
+  }
+  std::vector<double> pattern(8);
+  for (size_t j = 0; j < 8; ++j) {
+    pattern[j] = 5.0 * std::sin(0.8 * static_cast<double>(j));
+  }
+  const std::vector<Subsequence> shapelets = {MakeShapelet(pattern, 1)};
+  const TransformedData out = ShapeletTransform(data, shapelets);
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.labels[i] == 1) {
+      EXPECT_LT(out.features[i][0], 0.5);
+    } else {
+      EXPECT_GT(out.features[i][0], 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ips

@@ -1,0 +1,106 @@
+#include "data/ucr_catalog.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(UcrCatalogTest, ContainsAllEvaluatedDatasets) {
+  // 46 Table IV/VI datasets + MoteStrain (+ ItalyPowerDemand among the 46).
+  EXPECT_EQ(UcrCatalog().size(), 47u);
+}
+
+TEST(UcrCatalogTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& info : UcrCatalog()) names.insert(info.name);
+  EXPECT_EQ(names.size(), UcrCatalog().size());
+}
+
+TEST(UcrCatalogTest, AllEntriesWellFormed) {
+  for (const auto& info : UcrCatalog()) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.type.empty());
+    EXPECT_GE(info.num_classes, 2) << info.name;
+    EXPECT_GE(info.train_size, 16u) << info.name;
+    EXPECT_GE(info.test_size, 20u) << info.name;
+    EXPECT_GE(info.length, 24u) << info.name;
+  }
+}
+
+TEST(FindUcrDatasetTest, KnownEntries) {
+  const auto arrow = FindUcrDataset("ArrowHead");
+  ASSERT_TRUE(arrow.has_value());
+  EXPECT_EQ(arrow->num_classes, 3);
+  EXPECT_EQ(arrow->train_size, 36u);
+  EXPECT_EQ(arrow->length, 251u);
+
+  const auto italy = FindUcrDataset("ItalyPowerDemand");
+  ASSERT_TRUE(italy.has_value());
+  EXPECT_EQ(italy->num_classes, 2);
+  EXPECT_EQ(italy->length, 24u);
+
+  EXPECT_FALSE(FindUcrDataset("NotADataset").has_value());
+}
+
+TEST(ScaleDatasetTest, FactorsApplied) {
+  UcrDatasetInfo info;
+  info.name = "X";
+  info.num_classes = 2;
+  info.train_size = 100;
+  info.test_size = 200;
+  info.length = 400;
+  CatalogScale scale;
+  scale.count_factor = 0.5;
+  scale.length_factor = 0.25;
+  const UcrDatasetInfo out = ScaleDataset(info, scale);
+  EXPECT_EQ(out.train_size, 50u);
+  EXPECT_EQ(out.test_size, 100u);
+  EXPECT_EQ(out.length, 100u);
+}
+
+TEST(ScaleDatasetTest, ClampsToBounds) {
+  UcrDatasetInfo info;
+  info.name = "X";
+  info.num_classes = 2;
+  info.train_size = 8926;
+  info.test_size = 7711;
+  info.length = 2709;
+  CatalogScale scale;
+  scale.count_factor = 0.01;
+  scale.length_factor = 0.01;
+  scale.min_train = 10;
+  scale.min_test = 20;
+  scale.min_length = 32;
+  const UcrDatasetInfo out = ScaleDataset(info, scale);
+  EXPECT_GE(out.train_size, 10u);
+  EXPECT_GE(out.test_size, 20u);
+  EXPECT_EQ(out.length, 32u);
+}
+
+TEST(ScaleDatasetTest, KeepsTwoPerClassMinimum) {
+  UcrDatasetInfo info;
+  info.name = "Many";
+  info.num_classes = 42;
+  info.train_size = 1800;
+  info.test_size = 1965;
+  info.length = 750;
+  CatalogScale scale;
+  scale.count_factor = 0.001;
+  const UcrDatasetInfo out = ScaleDataset(info, scale);
+  EXPECT_GE(out.train_size, 84u);
+}
+
+TEST(ScaleDatasetTest, IdentityScaleIsNoopForCounts) {
+  const auto info = FindUcrDataset("GunPoint");
+  ASSERT_TRUE(info.has_value());
+  const UcrDatasetInfo out = ScaleDataset(*info, CatalogScale{});
+  EXPECT_EQ(out.train_size, info->train_size);
+  EXPECT_EQ(out.test_size, info->test_size);
+  EXPECT_EQ(out.length, info->length);
+}
+
+}  // namespace
+}  // namespace ips

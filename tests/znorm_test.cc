@@ -1,0 +1,99 @@
+#include "core/znorm.h"
+
+#include <cmath>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ips {
+namespace {
+
+TEST(MeanStdTest, KnownValues) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(x), 2.5);
+  EXPECT_NEAR(StdDev(x), std::sqrt(1.25), 1e-12);
+}
+
+TEST(MeanStdTest, SingleElement) {
+  const std::vector<double> x = {7.0};
+  EXPECT_DOUBLE_EQ(Mean(x), 7.0);
+  EXPECT_DOUBLE_EQ(StdDev(x), 0.0);
+}
+
+TEST(ZNormalizeTest, ResultHasZeroMeanUnitStd) {
+  const std::vector<double> x = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const std::vector<double> z = ZNormalize(x);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(z), 1.0, 1e-12);
+}
+
+TEST(ZNormalizeTest, ConstantInputMapsToZeros) {
+  const std::vector<double> x = {5.0, 5.0, 5.0};
+  for (double v : ZNormalize(x)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ZNormalizeTest, ShiftAndScaleInvariant) {
+  const std::vector<double> x = {1.0, 5.0, 2.0, 8.0, 3.0};
+  std::vector<double> y(x);
+  for (double& v : y) v = 3.0 * v - 11.0;
+  const std::vector<double> zx = ZNormalize(x);
+  const std::vector<double> zy = ZNormalize(y);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(zx[i], zy[i], 1e-12);
+}
+
+TEST(ZNormalizeTest, EmptyInputIsNoop) {
+  std::vector<double> x;
+  ZNormalizeInPlace(x);
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(RollingStatsTest, MatchesPerWindowComputation) {
+  const std::vector<double> x = {0.5, -1.2, 3.3, 2.0, -0.7, 1.1, 4.2, -2.5};
+  const size_t w = 3;
+  const RollingStats rs = ComputeRollingStats(x, w);
+  ASSERT_EQ(rs.means.size(), x.size() - w + 1);
+  for (size_t i = 0; i + w <= x.size(); ++i) {
+    const std::vector<double> window(x.begin() + static_cast<ptrdiff_t>(i),
+                                     x.begin() + static_cast<ptrdiff_t>(i + w));
+    EXPECT_NEAR(rs.means[i], Mean(window), 1e-12) << "window " << i;
+    EXPECT_NEAR(rs.stds[i], StdDev(window), 1e-10) << "window " << i;
+  }
+}
+
+TEST(RollingStatsTest, FullLengthWindow) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const RollingStats rs = ComputeRollingStats(x, 3);
+  ASSERT_EQ(rs.means.size(), 1u);
+  EXPECT_DOUBLE_EQ(rs.means[0], 2.0);
+}
+
+TEST(RollingStatsTest, ConstantWindowsHaveZeroStd) {
+  const std::vector<double> x(10, 4.2);
+  const RollingStats rs = ComputeRollingStats(x, 4);
+  for (double s : rs.stds) EXPECT_NEAR(s, 0.0, 1e-12);
+}
+
+class RollingStatsSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RollingStatsSweep, AgreesWithDirectAtAllWindowSizes) {
+  const size_t w = GetParam();
+  std::vector<double> x(64);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.3 * static_cast<double>(i)) +
+           0.01 * static_cast<double>(i % 7);
+  }
+  const RollingStats rs = ComputeRollingStats(x, w);
+  for (size_t i = 0; i + w <= x.size(); i += 5) {
+    const std::vector<double> window(x.begin() + static_cast<ptrdiff_t>(i),
+                                     x.begin() + static_cast<ptrdiff_t>(i + w));
+    EXPECT_NEAR(rs.means[i], Mean(window), 1e-10);
+    EXPECT_NEAR(rs.stds[i], StdDev(window), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, RollingStatsSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+}  // namespace
+}  // namespace ips
