@@ -50,5 +50,15 @@ run_csv exp_pruning_quality "$@"
 echo "=== micro_kernels ==="
 "$BENCH/micro_kernels" --benchmark_min_time=0.05 | tee "$OUT/micro_kernels.txt"
 
+# Machine-readable before/after numbers for the DistanceEngine refactor:
+# seed-style per-pair loops vs batched engine APIs at 1 and 8 threads.
+echo "=== BENCH_engine ==="
+"$BENCH/micro_kernels" \
+  --benchmark_filter='Pairwise|TransformBatch' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out="$OUT/BENCH_engine.json" \
+  --benchmark_out_format=json |
+  tee "$OUT/BENCH_engine.txt"
+
 echo
 echo "All outputs under $OUT/"

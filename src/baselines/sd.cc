@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 
 #include "baselines/shapelet_quality.h"
-#include "core/distance.h"
+#include "core/distance_engine.h"
 #include "ips/candidate_gen.h"
 #include "transform/shapelet_transform.h"
 #include "util/check.h"
@@ -14,16 +15,19 @@ namespace ips {
 namespace {
 
 // Data-derived pruning radius: a low percentile of the pairwise distances
-// among the first accepted representatives of this length.
-double PruneRadius(const std::vector<Subsequence>& sample,
-                   double percentile) {
-  std::vector<double> dists;
-  for (size_t i = 0; i < sample.size(); ++i) {
-    for (size_t j = i + 1; j < sample.size(); ++j) {
-      dists.push_back(
-          SubsequenceDistance(sample[i].view(), sample[j].view()));
-    }
+// among the first accepted representatives of this length. The pairs run
+// through the engine in the serial loops' upper-triangle order, so the
+// percentile is identical.
+double PruneRadius(const std::vector<Subsequence>& sample, double percentile,
+                   DistanceEngine& engine) {
+  std::vector<std::span<const double>> views;
+  views.reserve(sample.size());
+  for (const Subsequence& s : sample) views.push_back(s.view());
+  std::vector<IndexPair> pairs;
+  for (uint32_t i = 0; i < sample.size(); ++i) {
+    for (uint32_t j = i + 1; j < sample.size(); ++j) pairs.push_back({i, j});
   }
+  std::vector<double> dists = engine.MinForPairs(views, pairs);
   if (dists.empty()) return 0.0;
   std::sort(dists.begin(), dists.end());
   const size_t idx = std::min(
@@ -42,6 +46,12 @@ std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
   SdStats local;
   SdStats& s = stats != nullptr ? *stats : local;
   s = SdStats{};
+
+  // One engine per run: the redundancy scans and split evaluations below
+  // reuse train- and representative-side artefacts through its caches.
+  // Everything it caches (seeds, representatives, train) outlives the scope
+  // that cached it, and the engine dies with this call.
+  DistanceEngine engine(1);
 
   const std::vector<size_t> lengths =
       ResolveCandidateLengths(train.MinLength(), options.length_ratios);
@@ -62,7 +72,7 @@ std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
           train[i], (train[i].length() - window) / 2, window,
           static_cast<int>(i)));
     }
-    const double radius = PruneRadius(seeds, options.prune_percentile);
+    const double radius = PruneRadius(seeds, options.prune_percentile, engine);
 
     // Online clustering over the grid enumeration: accept a candidate only
     // when it is farther than `radius` from every accepted representative
@@ -76,10 +86,13 @@ std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
         ++s.candidates_enumerated;
         Subsequence cand =
             ExtractSubsequence(t, off, window, static_cast<int>(i));
+        // cache_b: accepted representatives recur across the whole scan;
+        // the probe side is never cached (most candidates are discarded).
         const bool redundant = std::any_of(
             representatives.begin(), representatives.end(),
             [&](const Subsequence& rep) {
-              return SubsequenceDistance(cand.view(), rep.view()) <= radius;
+              return engine.SubsequenceMin(cand.view(), rep.view(),
+                                           /*cache_b=*/true) <= radius;
             });
         if (redundant) continue;
         representatives.push_back(std::move(cand));
@@ -90,7 +103,7 @@ std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
     // Score the representatives only.
     for (Subsequence& rep : representatives) {
       const double gain =
-          EvaluateSplitQuality(rep, train, num_classes).info_gain;
+          EvaluateSplitQuality(rep, train, num_classes, &engine).info_gain;
       per_class[rep.label].push_back({std::move(rep), gain});
     }
   }

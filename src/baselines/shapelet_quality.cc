@@ -3,8 +3,9 @@
 #include <cmath>
 
 #include <algorithm>
+#include <span>
 
-#include "core/distance.h"
+#include "core/distance_engine.h"
 #include "util/check.h"
 
 namespace ips {
@@ -21,15 +22,30 @@ double LabelEntropy(const std::vector<size_t>& counts, size_t total) {
 }
 
 SplitQuality EvaluateSplitQuality(const Subsequence& candidate,
-                                  const Dataset& train, int num_classes) {
+                                  const Dataset& train, int num_classes,
+                                  DistanceEngine* engine) {
   IPS_CHECK(!train.empty());
   IPS_CHECK(num_classes >= 1);
   const size_t n = train.size();
 
+  DistanceEngine local(1);
+  DistanceEngine& eng = engine != nullptr ? *engine : local;
+
+  // Batched (train[i], candidate) pairs in the serial loop's argument order,
+  // so the sorted distances are bitwise identical to it.
+  std::vector<std::span<const double>> views;
+  views.reserve(n + 1);
+  for (size_t i = 0; i < n; ++i) views.push_back(train[i].view());
+  views.push_back(candidate.view());
+  std::vector<IndexPair> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs[i] = {static_cast<uint32_t>(i), static_cast<uint32_t>(n)};
+  }
+  const std::vector<double> dists = eng.MinForPairs(views, pairs);
+
   std::vector<std::pair<double, size_t>> by_distance(n);
   for (size_t i = 0; i < n; ++i) {
-    by_distance[i] = {SubsequenceDistance(train[i].view(), candidate.view()),
-                      i};
+    by_distance[i] = {dists[i], i};
   }
   std::sort(by_distance.begin(), by_distance.end());
 

@@ -5,14 +5,20 @@
 #include <limits>
 
 #include "core/distance.h"
+#include "core/distance_engine.h"
 #include "core/dtw.h"
 #include "util/check.h"
 
 namespace ips {
 
+OneNnEd::OneNnEd() = default;
+OneNnEd::~OneNnEd() = default;
+
 void OneNnEd::Fit(const Dataset& train) {
   IPS_CHECK(!train.empty());
   train_ = train;
+  // Fresh engine: the old one's caches key on the previous train_'s buffers.
+  engine_ = std::make_unique<DistanceEngine>(1);
 }
 
 int OneNnEd::Predict(const TimeSeries& series) const {
@@ -25,7 +31,10 @@ int OneNnEd::Predict(const TimeSeries& series) const {
     if (cand.length() == series.length()) {
       d = SquaredEuclidean(series.view(), cand.view());
     } else {
-      d = SubsequenceDistance(series.view(), cand.view());
+      // cache_b: the train-side artefacts persist across Predict calls; the
+      // query side is never cached, so the caller's temporary is safe.
+      d = engine_->SubsequenceMin(series.view(), cand.view(),
+                                  /*cache_b=*/true);
     }
     if (d < best) {
       best = d;

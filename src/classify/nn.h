@@ -7,20 +7,31 @@
 #ifndef IPS_CLASSIFY_NN_H_
 #define IPS_CLASSIFY_NN_H_
 
+#include <memory>
+
 #include "classify/classifier.h"
 #include "core/time_series.h"
 
 namespace ips {
 
+class DistanceEngine;
+
 /// 1-nearest-neighbour under whole-series Euclidean distance. Series of
-/// unequal length are compared with the sliding Def. 4 distance.
+/// unequal length are compared with the sliding Def. 4 distance, routed
+/// through a DistanceEngine so train-side prefix sums and FFTs are computed
+/// once and reused across Predict calls. The engine (and its pointer-keyed
+/// caches) is rebuilt on every Fit.
 class OneNnEd final : public SeriesClassifier {
  public:
+  OneNnEd();
+  ~OneNnEd() override;  // out of line: DistanceEngine is incomplete here
+
   void Fit(const Dataset& train) override;
   int Predict(const TimeSeries& series) const override;
 
  private:
   Dataset train_;
+  std::unique_ptr<DistanceEngine> engine_;
 };
 
 /// 1-nearest-neighbour under DTW with a Sakoe-Chiba band.

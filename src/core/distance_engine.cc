@@ -1,0 +1,480 @@
+#include "core/distance_engine.h"
+
+#include <cmath>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/distance.h"
+#include "core/fft.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace ips {
+
+namespace {
+
+// Scratch for the single-pair entry points; batch calls hand each worker a
+// workspace from a per-call pool instead.
+DistanceWorkspace& LocalWorkspace() {
+  static thread_local DistanceWorkspace ws;
+  return ws;
+}
+
+// Prefix sums of squares into `out` (size n + 1). The accumulation order
+// matches both DistanceProfileRaw's window-energy prefix and its qq loop,
+// so out.back() is bitwise equal to the serial qq.
+void PrefixSquaresInto(std::span<const double> s, std::vector<double>& out) {
+  out.resize(s.size() + 1);
+  out[0] = 0.0;
+  for (size_t i = 0; i < s.size(); ++i) out[i + 1] = out[i] + s[i] * s[i];
+}
+
+void ForwardFftInto(std::span<const double> s, size_t padded, bool reversed,
+                    std::vector<std::complex<double>>& out) {
+  out.assign(padded, std::complex<double>(0.0, 0.0));
+  if (reversed) {
+    const size_t m = s.size();
+    for (size_t i = 0; i < m; ++i) out[i] = s[m - 1 - i];
+  } else {
+    for (size_t i = 0; i < s.size(); ++i) out[i] = s[i];
+  }
+  Fft(out, /*inverse=*/false);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- caches
+
+const std::vector<double>* DistanceEngine::CachedPrefix(
+    std::span<const double> s, bool allow) {
+  if (!allow) return nullptr;
+  const SpanKey key{s.data(), s.size(), 0};
+  {
+    std::lock_guard<std::mutex> lock(prefix_mu_);
+    auto it = prefix_.find(key);
+    if (it != prefix_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<double> fresh;
+  PrefixSquaresInto(s, fresh);
+  std::lock_guard<std::mutex> lock(prefix_mu_);
+  return &prefix_.try_emplace(key, std::move(fresh)).first->second;
+}
+
+const RollingStats* DistanceEngine::CachedStats(std::span<const double> s,
+                                                size_t window, bool allow) {
+  if (!allow) return nullptr;
+  const SpanKey key{s.data(), s.size(), window};
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    auto it = stats_.find(key);
+    if (it != stats_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  RollingStats fresh = ComputeRollingStats(s, window);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return &stats_.try_emplace(key, std::move(fresh)).first->second;
+}
+
+const std::vector<std::complex<double>>* DistanceEngine::CachedFft(
+    std::span<const double> s, size_t padded, bool reversed, bool allow) {
+  if (!allow) return nullptr;
+  auto& map = reversed ? fft_query_ : fft_series_;
+  const SpanKey key{s.data(), s.size(), padded};
+  {
+    std::lock_guard<std::mutex> lock(fft_mu_);
+    auto it = map.find(key);
+    if (it != map.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::complex<double>> fresh;
+  ForwardFftInto(s, padded, reversed, fresh);
+  std::lock_guard<std::mutex> lock(fft_mu_);
+  return &map.try_emplace(key, std::move(fresh)).first->second;
+}
+
+const DistanceEngine::ZnQuery* DistanceEngine::CachedZnQuery(
+    std::span<const double> q, bool allow) {
+  if (!allow) return nullptr;
+  const SpanKey key{q.data(), q.size(), 0};
+  {
+    std::lock_guard<std::mutex> lock(znq_mu_);
+    auto it = znq_.find(key);
+    if (it != znq_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  ZnQuery fresh;
+  fresh.values = ZNormalize(q);
+  fresh.flat = std::all_of(fresh.values.begin(), fresh.values.end(),
+                           [](double v) { return v == 0.0; });
+  std::lock_guard<std::mutex> lock(znq_mu_);
+  return &znq_.try_emplace(key, std::move(fresh)).first->second;
+}
+
+// ------------------------------------------------------------------ kernels
+
+// Fills ws.dots with the sliding dot products of `query` against `series`,
+// replicating the naive/FFT dispatch of core/distance.cc exactly. When a
+// side is cacheable its forward FFT is fetched from (or inserted into) the
+// engine cache; the arithmetic is identical either way.
+void DistanceEngine::SlidingDotsInto(std::span<const double> query,
+                                     std::span<const double> series,
+                                     bool cache_query, bool cache_series,
+                                     DistanceWorkspace& ws) {
+  const size_t m = query.size();
+  const size_t n = series.size();
+  const size_t count = n - m + 1;
+  ws.dots.resize(count);
+
+  if (m < kFftCutoff || !ShouldUseFftSlidingProducts(m, n)) {
+    for (size_t i = 0; i < count; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < m; ++j) s += query[j] * series[i + j];
+      ws.dots[i] = s;
+    }
+    return;
+  }
+
+  const size_t padded = NextPowerOfTwo(n + m);
+  const std::vector<std::complex<double>>* fs =
+      CachedFft(series, padded, /*reversed=*/false, cache_series);
+  if (fs == nullptr) {
+    ForwardFftInto(series, padded, /*reversed=*/false, ws.fft_sig);
+    fs = &ws.fft_sig;
+  }
+  const std::vector<std::complex<double>>* fq =
+      CachedFft(query, padded, /*reversed=*/true, cache_query);
+  if (fq == nullptr) {
+    ForwardFftInto(query, padded, /*reversed=*/true, ws.fft_qry);
+    fq = &ws.fft_qry;
+  }
+
+  ws.fft_prod.resize(padded);
+  for (size_t i = 0; i < padded; ++i) ws.fft_prod[i] = (*fs)[i] * (*fq)[i];
+  Fft(ws.fft_prod, /*inverse=*/true);
+  for (size_t i = 0; i < count; ++i) {
+    ws.dots[i] = ws.fft_prod[m - 1 + i].real();
+  }
+}
+
+double DistanceEngine::RawMinImpl(std::span<const double> a,
+                                  std::span<const double> b, bool cache_a,
+                                  bool cache_b, DistanceWorkspace& ws) {
+  const bool a_shorter = a.size() <= b.size();
+  const std::span<const double> query = a_shorter ? a : b;
+  const std::span<const double> series = a_shorter ? b : a;
+  const bool cache_q = a_shorter ? cache_a : cache_b;
+  const bool cache_s = a_shorter ? cache_b : cache_a;
+  const size_t m = query.size();
+  const size_t n = series.size();
+  IPS_CHECK(m >= 1);
+  profiles_.fetch_add(1, std::memory_order_relaxed);
+
+  double qq;
+  if (const std::vector<double>* p = CachedPrefix(query, cache_q)) {
+    qq = p->back();
+  } else {
+    qq = 0.0;
+    for (double v : query) qq += v * v;
+  }
+
+  const std::vector<double>* sq = CachedPrefix(series, cache_s);
+  if (sq == nullptr) {
+    PrefixSquaresInto(series, ws.prefix);
+    sq = &ws.prefix;
+  }
+
+  SlidingDotsInto(query, series, cache_q, cache_s, ws);
+
+  double best = std::numeric_limits<double>::infinity();
+  const double md = static_cast<double>(m);
+  for (size_t i = 0; i <= n - m; ++i) {
+    const double window_sq = (*sq)[i + m] - (*sq)[i];
+    const double d = std::max(0.0, (qq - 2.0 * ws.dots[i] + window_sq) / md);
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+void DistanceEngine::RawProfileImpl(std::span<const double> query,
+                                    std::span<const double> series,
+                                    bool cache_query, bool cache_series,
+                                    DistanceWorkspace& ws,
+                                    std::vector<double>& out) {
+  const size_t m = query.size();
+  const size_t n = series.size();
+  IPS_CHECK(m >= 1);
+  IPS_CHECK(n >= m);
+  profiles_.fetch_add(1, std::memory_order_relaxed);
+
+  double qq;
+  if (const std::vector<double>* p = CachedPrefix(query, cache_query)) {
+    qq = p->back();
+  } else {
+    qq = 0.0;
+    for (double v : query) qq += v * v;
+  }
+  const std::vector<double>* sq = CachedPrefix(series, cache_series);
+  if (sq == nullptr) {
+    PrefixSquaresInto(series, ws.prefix);
+    sq = &ws.prefix;
+  }
+  SlidingDotsInto(query, series, cache_query, cache_series, ws);
+
+  out.resize(n - m + 1);
+  const double md = static_cast<double>(m);
+  for (size_t i = 0; i <= n - m; ++i) {
+    const double window_sq = (*sq)[i + m] - (*sq)[i];
+    out[i] = std::max(0.0, (qq - 2.0 * ws.dots[i] + window_sq) / md);
+  }
+}
+
+double DistanceEngine::ZNormMinImpl(std::span<const double> a,
+                                    std::span<const double> b, bool cache_a,
+                                    bool cache_b, DistanceWorkspace& ws) {
+  const bool a_shorter = a.size() <= b.size();
+  const std::span<const double> query = a_shorter ? a : b;
+  const std::span<const double> series = a_shorter ? b : a;
+  const bool cache_q = a_shorter ? cache_a : cache_b;
+  const bool cache_s = a_shorter ? cache_b : cache_a;
+  const size_t m = query.size();
+  const size_t n = series.size();
+  IPS_CHECK(m >= 1);
+  profiles_.fetch_add(1, std::memory_order_relaxed);
+
+  const RollingStats* stats = CachedStats(series, m, cache_s);
+  RollingStats local_stats;
+  if (stats == nullptr) {
+    local_stats = ComputeRollingStats(series, m);
+    stats = &local_stats;
+  }
+
+  // Z-normalised query: from the cache when the shapelet side is stable,
+  // otherwise into scratch (same operations as ZNormalize, so bitwise
+  // identical).
+  std::span<const double> q;
+  bool query_flat;
+  if (const ZnQuery* zq = CachedZnQuery(query, cache_q)) {
+    q = zq->values;
+    query_flat = zq->flat;
+  } else {
+    ws.znorm_query.assign(query.begin(), query.end());
+    ZNormalizeInPlace(ws.znorm_query);
+    q = ws.znorm_query;
+    query_flat = std::all_of(q.begin(), q.end(),
+                             [](double v) { return v == 0.0; });
+  }
+
+  // The FFT of the z-normalised query is only cacheable when the values
+  // live in the engine-owned ZnQuery entry (a stable address).
+  SlidingDotsInto(q, series, cache_q, cache_s, ws);
+
+  double best = std::numeric_limits<double>::infinity();
+  const double md = static_cast<double>(m);
+  for (size_t i = 0; i <= n - m; ++i) {
+    const double sig = stats->stds[i];
+    const bool window_flat = sig < kFlatStdEpsilon;
+    double d;
+    if (query_flat && window_flat) {
+      d = 0.0;
+    } else if (query_flat || window_flat) {
+      d = std::sqrt(md);
+    } else {
+      const double d2 = std::max(0.0, 2.0 * md - 2.0 * ws.dots[i] / sig);
+      d = std::sqrt(d2);
+    }
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+// ------------------------------------------------------------- parallelism
+
+template <typename Fn>
+void DistanceEngine::ParallelItems(size_t count, Fn&& fn) {
+  if (count == 0) return;
+  const size_t workers = std::min(num_threads_, std::max<size_t>(count, 1));
+  if (workers <= 1) {
+    DistanceWorkspace ws;
+    for (size_t i = 0; i < count; ++i) fn(i, ws);
+    return;
+  }
+  std::vector<DistanceWorkspace> pool(workers);
+  ParallelForWorkers(count, workers,
+                     [&](size_t i, size_t w) { fn(i, pool[w]); });
+}
+
+// -------------------------------------------------------------- public API
+
+double DistanceEngine::SubsequenceMin(std::span<const double> a,
+                                      std::span<const double> b,
+                                      bool cache_b) {
+  return RawMinImpl(a, b, /*cache_a=*/false, cache_b, LocalWorkspace());
+}
+
+double DistanceEngine::SubsequenceMinZNorm(std::span<const double> a,
+                                           std::span<const double> b,
+                                           bool cache_b) {
+  return ZNormMinImpl(a, b, /*cache_a=*/false, cache_b, LocalWorkspace());
+}
+
+std::vector<double> DistanceEngine::ProfileAgainstSeries(
+    std::span<const double> query, std::span<const double> series) {
+  std::vector<double> out;
+  RawProfileImpl(query, series, /*cache_query=*/false, /*cache_series=*/false,
+                 LocalWorkspace(), out);
+  return out;
+}
+
+std::vector<std::vector<double>> DistanceEngine::ProfileAgainstDataset(
+    std::span<const double> query, const Dataset& data) {
+  std::vector<std::vector<double>> out(data.size());
+  ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
+    RawProfileImpl(query, data[i].view(), /*cache_query=*/false,
+                   /*cache_series=*/true, ws, out[i]);
+  });
+  return out;
+}
+
+std::vector<double> DistanceEngine::MinAgainstDataset(
+    std::span<const double> query, const Dataset& data, DistanceKind kind) {
+  std::vector<double> out(data.size());
+  ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
+    out[i] = kind == DistanceKind::kRaw
+                 ? RawMinImpl(query, data[i].view(), /*cache_a=*/false,
+                              /*cache_b=*/true, ws)
+                 : ZNormMinImpl(query, data[i].view(), /*cache_a=*/false,
+                                /*cache_b=*/true, ws);
+  });
+  return out;
+}
+
+std::vector<double> DistanceEngine::MinForPairs(
+    const std::vector<std::span<const double>>& views,
+    const std::vector<IndexPair>& pairs) {
+  std::vector<double> out(pairs.size());
+  ParallelItems(pairs.size(), [&](size_t t, DistanceWorkspace& ws) {
+    const auto [qi, si] = pairs[t];
+    out[t] = RawMinImpl(views[qi], views[si], /*cache_a=*/true,
+                        /*cache_b=*/true, ws);
+  });
+  return out;
+}
+
+std::vector<double> DistanceEngine::PairwiseSubsequenceMin(
+    const std::vector<Subsequence>& candidates, bool symmetric) {
+  std::vector<std::span<const double>> views;
+  views.reserve(candidates.size());
+  for (const Subsequence& c : candidates) views.push_back(c.view());
+  return PairwiseSubsequenceMin(views, symmetric);
+}
+
+std::vector<double> DistanceEngine::PairwiseSubsequenceMin(
+    const std::vector<std::span<const double>>& views, bool symmetric) {
+  const size_t n = views.size();
+  // dist(x, x) is exactly 0 (offset 0 of the profile evaluates to
+  // (qq - 2qq + qq)/m == 0 and every entry is clamped non-negative), so the
+  // diagonal is filled without dispatching kernels.
+  std::vector<double> matrix(n * n, 0.0);
+  std::vector<IndexPair> pairs;
+  pairs.reserve(symmetric ? n * (n - 1) / 2 : n * (n - 1));
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = symmetric ? i + 1 : 0; j < n; ++j) {
+      if (i == j) continue;
+      pairs.push_back({i, j});
+    }
+  }
+  const std::vector<double> dists = MinForPairs(views, pairs);
+  for (size_t t = 0; t < pairs.size(); ++t) {
+    const auto [i, j] = pairs[t];
+    matrix[static_cast<size_t>(i) * n + j] = dists[t];
+    if (symmetric) matrix[static_cast<size_t>(j) * n + i] = dists[t];
+  }
+  return matrix;
+}
+
+std::vector<std::vector<double>> DistanceEngine::TransformBatch(
+    const Dataset& data, const std::vector<Subsequence>& shapelets,
+    DistanceKind kind) {
+  IPS_CHECK(!shapelets.empty());
+  std::vector<std::vector<double>> rows(data.size());
+  ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
+    std::vector<double>& row = rows[i];
+    row.resize(shapelets.size());
+    const std::span<const double> series = data[i].view();
+    for (size_t s = 0; s < shapelets.size(); ++s) {
+      // Argument order matches TransformSeries: (series, shapelet).
+      row[s] = kind == DistanceKind::kRaw
+                   ? RawMinImpl(series, shapelets[s].view(), /*cache_a=*/true,
+                                /*cache_b=*/true, ws)
+                   : ZNormMinImpl(series, shapelets[s].view(),
+                                  /*cache_a=*/true, /*cache_b=*/true, ws);
+    }
+  });
+  return rows;
+}
+
+std::vector<double> DistanceEngine::TransformOne(
+    std::span<const double> series, const std::vector<Subsequence>& shapelets,
+    DistanceKind kind) {
+  IPS_CHECK(!shapelets.empty());
+  DistanceWorkspace& ws = LocalWorkspace();
+  std::vector<double> row(shapelets.size());
+  for (size_t s = 0; s < shapelets.size(); ++s) {
+    row[s] = kind == DistanceKind::kRaw
+                 ? RawMinImpl(series, shapelets[s].view(), /*cache_a=*/false,
+                              /*cache_b=*/true, ws)
+                 : ZNormMinImpl(series, shapelets[s].view(), /*cache_a=*/false,
+                                /*cache_b=*/true, ws);
+  }
+  return row;
+}
+
+EngineCounters DistanceEngine::counters() const {
+  EngineCounters c;
+  c.profiles_computed = profiles_.load(std::memory_order_relaxed);
+  c.stats_cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  c.stats_cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void DistanceEngine::ResetCounters() {
+  profiles_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+}
+
+void DistanceEngine::ClearCaches() {
+  {
+    std::lock_guard<std::mutex> lock(prefix_mu_);
+    prefix_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(fft_mu_);
+    fft_series_.clear();
+    fft_query_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(znq_mu_);
+    znq_.clear();
+  }
+}
+
+}  // namespace ips

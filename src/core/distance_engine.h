@@ -1,0 +1,247 @@
+// Batched subsequence-distance engine.
+//
+// Every layer of the system -- IPS utility scoring, naive pruning, the
+// shapelet transform, the subsequence 1-NN and the SD/shapelet-quality
+// baselines -- needs the same primitive: the paper's Def. 4 min-alignment
+// distance (or its z-normalised cousin) between a query and one or many
+// series. Calling the raw kernels in core/distance.h per pair recomputes
+// rolling statistics, prefix sums of squares and FFT transforms for every
+// call and allocates fresh scratch each time. The DistanceEngine amortises
+// all of that, the way the matrix-profile line of work amortises
+// normalisation statistics across all queries:
+//
+//  * a cache of per-series artefacts -- prefix sums of squares, RollingStats
+//    keyed by (series, window), forward FFTs keyed by (series, padded size)
+//    and z-normalised queries -- shared across every pair of a batch;
+//  * reusable per-thread workspaces, so the radix-2 FFT path and the naive
+//    dot-product path stop allocating per call;
+//  * batched APIs (pairwise candidate distances, query x dataset profiles,
+//    whole-dataset shapelet transforms) that shard over ParallelFor with
+//    one output slot per work item, so results are deterministic -- and
+//    bitwise identical to the serial core/distance.h kernels -- regardless
+//    of thread count.
+//
+// Thread-safety contract: all public methods may be called concurrently
+// from any number of threads on the same engine. The artefact caches are
+// mutex-guarded; cache fills are pure functions of the series bytes, so a
+// racing double-compute yields identical values and first-insert wins.
+// Batch calls create their worker scratch per call; single-pair calls use
+// thread-local scratch.
+//
+// Lifetime contract: cached artefacts are keyed by the address and length
+// of the series data. Only arguments the API documents as cacheable are
+// ever inserted or looked up (temporary queries never are), and callers
+// that re-fit against new data must ClearCaches() first -- the classifiers
+// in this codebase do so at the top of Fit().
+
+#ifndef IPS_CORE_DISTANCE_ENGINE_H_
+#define IPS_CORE_DISTANCE_ENGINE_H_
+
+#include <atomic>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/time_series.h"
+#include "core/znorm.h"
+
+namespace ips {
+
+/// Which distance family a batched call evaluates. Mirrors
+/// TransformDistance (transform/) without making core depend on it.
+enum class DistanceKind {
+  kRaw,          ///< Paper Def. 4: length-normalised squared Euclidean.
+  kZNormalized,  ///< MASS-style z-normalised Euclidean.
+};
+
+/// Per-thread scratch buffers. Owned by the engine's batch calls (one per
+/// worker) or by thread-local storage for single-pair calls; reused across
+/// kernel invocations so the hot path performs no allocations after warmup.
+struct DistanceWorkspace {
+  std::vector<double> prefix;                 ///< prefix sums of squares
+  std::vector<double> dots;                   ///< sliding dot products
+  std::vector<double> znorm_query;            ///< z-normalised query
+  std::vector<std::complex<double>> fft_sig;  ///< series transform
+  std::vector<std::complex<double>> fft_qry;  ///< query transform
+  std::vector<std::complex<double>> fft_prod; ///< pointwise product / inverse
+};
+
+/// Monotonic instrumentation counters (snapshot via counters()).
+struct EngineCounters {
+  size_t profiles_computed = 0;   ///< distance profiles evaluated
+  size_t stats_cache_hits = 0;    ///< artefact-cache hits (stats/prefix/FFT)
+  size_t stats_cache_misses = 0;  ///< artefact-cache misses (entry computed)
+};
+
+/// An ordered (query index, series index) work item for MinForPairs.
+using IndexPair = std::pair<uint32_t, uint32_t>;
+
+class DistanceEngine {
+ public:
+  /// `num_threads` shards every batched call (1 = serial). The thread count
+  /// never changes results, only wall-clock.
+  explicit DistanceEngine(size_t num_threads = 1)
+      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+  DistanceEngine(const DistanceEngine&) = delete;
+  DistanceEngine& operator=(const DistanceEngine&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+  void set_num_threads(size_t n) { num_threads_ = n == 0 ? 1 : n; }
+
+  // ------------------------------------------------------------ single pair
+
+  /// SubsequenceDistance(a, b), bitwise identical, with scratch reuse.
+  /// `cache_b` additionally caches b's artefacts across calls; only pass
+  /// true when b outlives the engine's cache (e.g. a classifier member).
+  double SubsequenceMin(std::span<const double> a, std::span<const double> b,
+                        bool cache_b = false);
+
+  /// SubsequenceDistanceZNorm(a, b), bitwise identical, with scratch reuse.
+  double SubsequenceMinZNorm(std::span<const double> a,
+                             std::span<const double> b, bool cache_b = false);
+
+  // ---------------------------------------------------------------- batched
+
+  /// DistanceProfileRaw(query, series), bitwise identical.
+  std::vector<double> ProfileAgainstSeries(std::span<const double> query,
+                                           std::span<const double> series);
+
+  /// Raw distance profile of `query` against every series of `data`;
+  /// out[i] == DistanceProfileRaw(query, data[i]) (query must be no longer
+  /// than the shortest series). Parallel over series.
+  std::vector<std::vector<double>> ProfileAgainstDataset(
+      std::span<const double> query, const Dataset& data);
+
+  /// out[i] == SubsequenceDistance[ZNorm](query, data[i].view()). The
+  /// argument order matches the serial call sites (query first), so results
+  /// are bitwise identical to them. Parallel over series; `data`'s
+  /// artefacts are cached, the query's are not (it may be a temporary).
+  std::vector<double> MinAgainstDataset(std::span<const double> query,
+                                        const Dataset& data,
+                                        DistanceKind kind = DistanceKind::kRaw);
+
+  /// dist[t] == SubsequenceDistance(views[pairs[t].first],
+  /// views[pairs[t].second]) for every work item, computed in parallel with
+  /// every view's artefacts cached. The building block of the pairwise and
+  /// matrix APIs; call sites with bespoke pair structure (utility scoring,
+  /// naive pruning) drive it directly.
+  std::vector<double> MinForPairs(
+      const std::vector<std::span<const double>>& views,
+      const std::vector<IndexPair>& pairs);
+
+  /// Full n x n matrix (row-major) of pairwise Def. 4 distances between
+  /// candidates. `symmetric` computes each unordered pair once and mirrors
+  /// it (the CR optimisation); false computes both orders independently
+  /// (the Fig. 10(b) no-reuse baseline). The diagonal is exactly 0 either
+  /// way, matching SubsequenceDistance(x, x).
+  std::vector<double> PairwiseSubsequenceMin(
+      const std::vector<Subsequence>& candidates, bool symmetric = true);
+  std::vector<double> PairwiseSubsequenceMin(
+      const std::vector<std::span<const double>>& views, bool symmetric = true);
+
+  /// Whole-dataset shapelet transform: rows[i][s] is the distance of
+  /// data[i] to shapelets[s] under `kind`, bitwise identical to the serial
+  /// TransformSeries loop. Parallel over series; rolling stats / FFTs /
+  /// z-normalised shapelets shared across the whole batch.
+  std::vector<std::vector<double>> TransformBatch(
+      const Dataset& data, const std::vector<Subsequence>& shapelets,
+      DistanceKind kind);
+
+  /// One transform row for a (possibly temporary) series. Shapelet
+  /// artefacts are cached across calls; the series' are not.
+  std::vector<double> TransformOne(std::span<const double> series,
+                                   const std::vector<Subsequence>& shapelets,
+                                   DistanceKind kind);
+
+  // ------------------------------------------------------- instrumentation
+
+  EngineCounters counters() const;
+  void ResetCounters();
+
+  /// Drops every cached artefact. Required before reusing an engine against
+  /// data whose storage may have been freed or reused (e.g. re-Fit).
+  void ClearCaches();
+
+ private:
+  struct SpanKey {
+    const double* data;
+    size_t len;
+    size_t aux;  // window (stats), padded size (FFT), 0 otherwise
+    bool operator==(const SpanKey& o) const {
+      return data == o.data && len == o.len && aux == o.aux;
+    }
+  };
+  struct SpanKeyHash {
+    size_t operator()(const SpanKey& k) const {
+      size_t h = std::hash<const double*>{}(k.data);
+      h ^= std::hash<size_t>{}(k.len) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      h ^= std::hash<size_t>{}(k.aux) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      return h;
+    }
+  };
+  /// A z-normalised query plus its all-zero (flat) flag.
+  struct ZnQuery {
+    std::vector<double> values;
+    bool flat = false;
+  };
+
+  // Cache accessors: return a stable pointer to the cached artefact, or
+  // nullptr when `allow` is false (caller computes into scratch instead).
+  const std::vector<double>* CachedPrefix(std::span<const double> s,
+                                          bool allow);
+  const RollingStats* CachedStats(std::span<const double> s, size_t window,
+                                  bool allow);
+  const std::vector<std::complex<double>>* CachedFft(
+      std::span<const double> s, size_t padded, bool reversed, bool allow);
+  const ZnQuery* CachedZnQuery(std::span<const double> q, bool allow);
+
+  // Kernels (bitwise identical to the core/distance.h serial paths). The
+  // query span passed to SlidingDotsInto must be address-stable whenever
+  // cache_query is true (the z-norm path passes the engine-owned cached
+  // ZnQuery values in that case, never scratch).
+  void SlidingDotsInto(std::span<const double> query,
+                       std::span<const double> series, bool cache_query,
+                       bool cache_series, DistanceWorkspace& ws);
+  double RawMinImpl(std::span<const double> a, std::span<const double> b,
+                    bool cache_a, bool cache_b, DistanceWorkspace& ws);
+  void RawProfileImpl(std::span<const double> query,
+                      std::span<const double> series, bool cache_query,
+                      bool cache_series, DistanceWorkspace& ws,
+                      std::vector<double>& out);
+  double ZNormMinImpl(std::span<const double> a, std::span<const double> b,
+                      bool cache_a, bool cache_b, DistanceWorkspace& ws);
+
+  /// Runs fn(item, workspace) for every item with per-worker scratch.
+  template <typename Fn>
+  void ParallelItems(size_t count, Fn&& fn);
+
+  size_t num_threads_;
+
+  mutable std::mutex prefix_mu_;
+  std::unordered_map<SpanKey, std::vector<double>, SpanKeyHash> prefix_;
+  mutable std::mutex stats_mu_;
+  std::unordered_map<SpanKey, RollingStats, SpanKeyHash> stats_;
+  mutable std::mutex fft_mu_;
+  // aux = padded size; the reversed (query-side) transforms get their own
+  // map so a key never aliases a series-side transform.
+  std::unordered_map<SpanKey, std::vector<std::complex<double>>, SpanKeyHash>
+      fft_series_;
+  std::unordered_map<SpanKey, std::vector<std::complex<double>>, SpanKeyHash>
+      fft_query_;
+  mutable std::mutex znq_mu_;
+  std::unordered_map<SpanKey, ZnQuery, SpanKeyHash> znq_;
+
+  std::atomic<size_t> profiles_{0};
+  std::atomic<size_t> cache_hits_{0};
+  std::atomic<size_t> cache_misses_{0};
+};
+
+}  // namespace ips
+
+#endif  // IPS_CORE_DISTANCE_ENGINE_H_

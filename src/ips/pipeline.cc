@@ -6,6 +6,7 @@
 #include "dabf/dabf.h"
 #include "classify/logistic.h"
 #include "classify/naive_bayes.h"
+#include "core/distance_engine.h"
 #include "ips/top_k.h"
 #include "ips/utility.h"
 #include "transform/shapelet_transform.h"
@@ -21,6 +22,10 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
   IpsRunStats local;
   IpsRunStats& s = stats != nullptr ? *stats : local;
   s = IpsRunStats{};
+
+  // One engine for every Def. 4 evaluation of the run: pruning and exact
+  // utility scoring share its rolling-stats/FFT caches and thread pool.
+  DistanceEngine engine(options.num_threads);
 
   // (1)+(2) Candidate generation with the instance profile (Alg. 1).
   Rng rng(options.seed);
@@ -38,7 +43,8 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
   if (need_dabf) {
     timer.Reset();
     std::map<int, std::vector<Subsequence>> by_class;
-    for (const auto& [label, motifs] : pool.motifs) {
+    for (const auto& entry : pool.motifs) {
+      const int label = entry.first;
       auto merged = pool.AllOfClass(label);
       if (!merged.empty()) by_class.emplace(label, std::move(merged));
     }
@@ -53,7 +59,8 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
   if (options.use_dabf_pruning) {
     PruneWithDabf(pool, *dabf, options.shapelets_per_class);
   } else {
-    PruneNaive(pool, options.shapelets_per_class);
+    PruneNaive(pool, options.shapelets_per_class, /*majority_fraction=*/0.5,
+               &engine);
   }
   s.pruning_seconds = timer.ElapsedSeconds();
   s.motifs_after_prune = pool.TotalMotifs();
@@ -62,11 +69,17 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
   // (5) Utility scoring + top-k (Alg. 4).
   timer.Reset();
   const auto scores =
-      ScoreAllCandidates(pool, train, options.utility_mode, dabf.get());
+      ScoreAllCandidates(pool, train, options.utility_mode, dabf.get(),
+                         &engine);
   std::vector<Subsequence> shapelets =
       SelectTopKShapelets(pool, scores, options.shapelets_per_class);
   s.selection_seconds = timer.ElapsedSeconds();
   s.shapelets = shapelets.size();
+
+  const EngineCounters counters = engine.counters();
+  s.profiles_computed += counters.profiles_computed;
+  s.stats_cache_hits += counters.stats_cache_hits;
+  s.stats_cache_misses += counters.stats_cache_misses;
   return shapelets;
 }
 
@@ -88,23 +101,42 @@ std::unique_ptr<Classifier> MakeBackend(const IpsOptions& options) {
 
 }  // namespace
 
+IpsClassifier::IpsClassifier(IpsOptions options) : options_(options) {}
+IpsClassifier::~IpsClassifier() = default;
+
 void IpsClassifier::Fit(const Dataset& train) {
+  // Fresh engine per fit: pointer-keyed caches must not outlive the series
+  // and shapelets they describe.
+  engine_ = std::make_unique<DistanceEngine>(options_.num_threads);
   shapelets_ = DiscoverShapelets(train, options_, &stats_);
   IPS_CHECK_MSG(!shapelets_.empty(), "IPS discovered no shapelets");
+
+  Timer timer;
   const TransformedData transformed =
       ShapeletTransform(train, shapelets_, options_.transform_distance,
-                        options_.num_threads);
+                        options_.num_threads, engine_.get());
+  stats_.transform_seconds = timer.ElapsedSeconds();
+
   LabeledMatrix matrix;
   matrix.x = transformed.features;
   matrix.y = transformed.labels;
   backend_ = MakeBackend(options_);
+  timer.Reset();
   backend_->Fit(matrix);
+  stats_.backend_fit_seconds = timer.ElapsedSeconds();
+
+  const EngineCounters counters = engine_->counters();
+  stats_.profiles_computed += counters.profiles_computed;
+  stats_.stats_cache_hits += counters.stats_cache_hits;
+  stats_.stats_cache_misses += counters.stats_cache_misses;
 }
 
 int IpsClassifier::Predict(const TimeSeries& series) const {
   IPS_CHECK(!shapelets_.empty());
-  return backend_->Predict(
-      TransformSeries(series, shapelets_, options_.transform_distance));
+  // The engine caches only shapelet-side artefacts here; the query series
+  // is never cached, so a caller-owned temporary is safe.
+  return backend_->Predict(TransformSeries(
+      series, shapelets_, options_.transform_distance, engine_.get()));
 }
 
 }  // namespace ips

@@ -21,6 +21,8 @@
 
 namespace ips {
 
+class DistanceEngine;
+
 /// Wall-clock and size instrumentation of one discovery run (Table V).
 struct IpsRunStats {
   double candidate_gen_seconds = 0.0;
@@ -28,11 +30,23 @@ struct IpsRunStats {
   double pruning_seconds = 0.0;
   double selection_seconds = 0.0;
 
+  /// Classifier-only stages (filled by IpsClassifier::Fit, zero after a bare
+  /// DiscoverShapelets): shapelet-transforming the training set, and fitting
+  /// the back-end on the transformed features.
+  double transform_seconds = 0.0;
+  double backend_fit_seconds = 0.0;
+
   size_t motifs_generated = 0;
   size_t discords_generated = 0;
   size_t motifs_after_prune = 0;
   size_t discords_after_prune = 0;
   size_t shapelets = 0;
+
+  /// DistanceEngine counters over the run: Def. 4 evaluations (profiles or
+  /// single-pair minima) and rolling-stats cache hits/misses.
+  size_t profiles_computed = 0;
+  size_t stats_cache_hits = 0;
+  size_t stats_cache_misses = 0;
 
   double TotalDiscoverySeconds() const {
     return candidate_gen_seconds + dabf_build_seconds + pruning_seconds +
@@ -51,7 +65,9 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
 /// + a configurable back-end (linear SVM by default, per §III-D).
 class IpsClassifier final : public SeriesClassifier {
  public:
-  explicit IpsClassifier(IpsOptions options = {}) : options_(options) {}
+  // Both out of line: DistanceEngine is incomplete here.
+  explicit IpsClassifier(IpsOptions options = {});
+  ~IpsClassifier() override;
 
   void Fit(const Dataset& train) override;
   int Predict(const TimeSeries& series) const override;
@@ -66,6 +82,9 @@ class IpsClassifier final : public SeriesClassifier {
   IpsOptions options_;
   std::vector<Subsequence> shapelets_;
   std::unique_ptr<Classifier> backend_;
+  // Owns the distance caches shared by transform-time and predict-time
+  // Def. 4 evaluations. Reset (caches cleared) on every Fit.
+  std::unique_ptr<DistanceEngine> engine_;
   IpsRunStats stats_;
 };
 

@@ -5,8 +5,9 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <span>
 
-#include "core/distance.h"
+#include "core/distance_engine.h"
 #include "util/check.h"
 
 namespace ips {
@@ -82,15 +83,19 @@ PruneStats PruneWithDabf(CandidatePool& pool, const Dabf& dabf,
 namespace {
 
 // Median pairwise Def. 4 distance within a candidate set (the naive
-// pruner's closeness radius r).
-double MedianPairwiseDistance(const std::vector<Subsequence>& pool) {
-  std::vector<double> dists;
-  for (size_t i = 0; i < pool.size(); ++i) {
-    for (size_t j = i + 1; j < pool.size(); ++j) {
-      dists.push_back(
-          SubsequenceDistance(pool[i].view(), pool[j].view()));
-    }
+// pruner's closeness radius r). The pairwise distances are evaluated
+// through the engine (parallel, artefact-cached) in the same upper-triangle
+// order the serial loops produced, so the median is identical.
+double MedianPairwiseDistance(const std::vector<Subsequence>& pool,
+                              DistanceEngine& engine) {
+  std::vector<std::span<const double>> views;
+  views.reserve(pool.size());
+  for (const Subsequence& s : pool) views.push_back(s.view());
+  std::vector<IndexPair> pairs;
+  for (uint32_t i = 0; i < pool.size(); ++i) {
+    for (uint32_t j = i + 1; j < pool.size(); ++j) pairs.push_back({i, j});
   }
+  std::vector<double> dists = engine.MinForPairs(views, pairs);
   if (dists.empty()) return 0.0;
   const size_t mid = dists.size() / 2;
   std::nth_element(dists.begin(),
@@ -98,10 +103,60 @@ double MedianPairwiseDistance(const std::vector<Subsequence>& pool) {
   return dists[mid];
 }
 
+// Closeness margins of `cands` against the pool's other classes in its
+// CURRENT state (earlier classes may already be pruned -- the sequential
+// semantics of the original per-candidate scan). margins[c] >= 0 means
+// cands[c] is "close to most" of some other class; -1 otherwise.
+std::vector<double> CloseToMostMargins(
+    const CandidatePool& pool, const std::vector<Subsequence>& cands,
+    int own_label, const std::map<int, double>& radius,
+    double majority_fraction, DistanceEngine& engine) {
+  std::vector<double> best_margin(
+      cands.size(), -std::numeric_limits<double>::infinity());
+  for (const auto& [other, motifs] : pool.motifs) {
+    if (other == own_label) continue;
+    const std::vector<Subsequence> others = pool.AllOfClass(other);
+    if (others.empty()) continue;
+
+    // One batched candidate x other-class matrix per class pair.
+    std::vector<std::span<const double>> views;
+    views.reserve(cands.size() + others.size());
+    for (const Subsequence& c : cands) views.push_back(c.view());
+    for (const Subsequence& o : others) views.push_back(o.view());
+    std::vector<IndexPair> pairs;
+    pairs.reserve(cands.size() * others.size());
+    for (uint32_t c = 0; c < cands.size(); ++c) {
+      for (uint32_t o = 0; o < others.size(); ++o) {
+        pairs.push_back({c, static_cast<uint32_t>(cands.size()) + o});
+      }
+    }
+    const std::vector<double> dists = engine.MinForPairs(views, pairs);
+
+    const double r = radius.at(other);
+    for (size_t c = 0; c < cands.size(); ++c) {
+      size_t close = 0;
+      for (size_t o = 0; o < others.size(); ++o) {
+        if (dists[c * others.size() + o] <= r) ++close;
+      }
+      const double frac = static_cast<double>(close) /
+                          static_cast<double>(others.size());
+      best_margin[c] = std::max(best_margin[c], frac - majority_fraction);
+    }
+  }
+  for (double& m : best_margin) {
+    m = m >= 0.0 ? m : -1.0;
+  }
+  return best_margin;
+}
+
 }  // namespace
 
 PruneStats PruneNaive(CandidatePool& pool, size_t min_keep_motifs,
-                      double majority_fraction) {
+                      double majority_fraction, DistanceEngine* engine,
+                      size_t num_threads) {
+  DistanceEngine local(num_threads);
+  DistanceEngine& eng = engine != nullptr ? *engine : local;
+
   PruneStats stats;
   stats.motifs_before = pool.TotalMotifs();
   stats.discords_before = pool.TotalDiscords();
@@ -110,33 +165,17 @@ PruneStats PruneNaive(CandidatePool& pool, size_t min_keep_motifs,
   std::map<int, double> radius;
   for (const auto& [label, motifs] : pool.motifs) {
     std::vector<Subsequence> all = pool.AllOfClass(label);
-    radius[label] = MedianPairwiseDistance(all);
+    radius[label] = MedianPairwiseDistance(all, eng);
   }
 
-  auto close_to_most = [&](const Subsequence& cand, int own_label) {
-    double best_margin = -std::numeric_limits<double>::infinity();
-    for (const auto& [other, motifs] : pool.motifs) {
-      if (other == own_label) continue;
-      const std::vector<Subsequence> others = pool.AllOfClass(other);
-      if (others.empty()) continue;
-      size_t close = 0;
-      for (const auto& o : others) {
-        if (SubsequenceDistance(cand.view(), o.view()) <= radius[other]) {
-          ++close;
-        }
-      }
-      const double frac = static_cast<double>(close) /
-                          static_cast<double>(others.size());
-      best_margin = std::max(best_margin, frac - majority_fraction);
-    }
-    return best_margin >= 0.0 ? best_margin : -1.0;
-  };
-
   for (auto& [label, motifs] : pool.motifs) {
+    const std::vector<double> margins = CloseToMostMargins(
+        pool, motifs, label, radius, majority_fraction, eng);
     std::vector<Subsequence> kept, pruned;
     std::vector<double> atypicality;
-    for (auto& cand : motifs) {
-      const double margin = close_to_most(cand, label);
+    for (size_t c = 0; c < motifs.size(); ++c) {
+      Subsequence& cand = motifs[c];
+      const double margin = margins[c];
       if (margin >= 0.0) {
         pruned.push_back(std::move(cand));
         atypicality.push_back(-margin);  // smaller margin = more atypical
@@ -149,9 +188,11 @@ PruneStats PruneNaive(CandidatePool& pool, size_t min_keep_motifs,
   }
 
   for (auto& [label, discords] : pool.discords) {
+    const std::vector<double> margins = CloseToMostMargins(
+        pool, discords, label, radius, majority_fraction, eng);
     std::vector<Subsequence> kept;
-    for (auto& cand : discords) {
-      if (close_to_most(cand, label) < 0.0) kept.push_back(std::move(cand));
+    for (size_t c = 0; c < discords.size(); ++c) {
+      if (margins[c] < 0.0) kept.push_back(std::move(discords[c]));
     }
     discords = std::move(kept);
   }

@@ -15,6 +15,8 @@
 
 namespace ips {
 
+class DistanceEngine;
+
 /// Before/after counts of a pruning pass.
 struct PruneStats {
   size_t motifs_before = 0;
@@ -40,8 +42,16 @@ PruneStats PruneWithDabf(CandidatePool& pool, const Dabf& dabf,
 /// other class, at least `majority_fraction` of that class's candidates lie
 /// within distance r of e, where r is the median pairwise distance among
 /// that class's candidates. Same min-keep guard as the DABF variant.
+///
+/// All Def. 4 distances run through a DistanceEngine
+/// (core/distance_engine.h): pass `engine` to share caches with other
+/// pipeline stages (its thread count then governs), or leave it null for a
+/// call-local engine sharded over `num_threads`. The pruning decisions are
+/// identical to the serial scan for every configuration.
 PruneStats PruneNaive(CandidatePool& pool, size_t min_keep_motifs,
-                      double majority_fraction = 0.5);
+                      double majority_fraction = 0.5,
+                      DistanceEngine* engine = nullptr,
+                      size_t num_threads = 1);
 
 }  // namespace ips
 

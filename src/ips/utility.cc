@@ -4,7 +4,7 @@
 
 #include <algorithm>
 
-#include "core/distance.h"
+#include "core/distance_engine.h"
 #include "util/check.h"
 
 namespace ips {
@@ -19,15 +19,22 @@ double MeanOrZero(double sum, size_t count) {
 
 // ------------------------------------------------------------------ exact
 
-// Exact-mode scorer. With `reuse` the candidate-candidate distances are
-// computed once into a symmetric cache; without it every lookup recomputes
-// the Def. 4 distance (the deliberate Fig. 10(b) baseline).
+// Exact-mode scorer. All Def. 4 distances are evaluated up front through
+// the DistanceEngine (parallel, scratch- and artefact-cached), then
+// aggregated serially in the same order as the original per-pair loops, so
+// the scores are bitwise identical to them for any thread count. With
+// `reuse` each unordered candidate pair is computed once and mirrored (the
+// CR optimisation of §III-E2); without it both orders are computed
+// independently, preserving the work profile of the deliberate Fig. 10(b)
+// baseline.
 std::map<int, std::vector<CandidateScore>> ScoreExact(
-    const CandidatePool& pool, const Dataset& train, bool reuse) {
+    const CandidatePool& pool, const Dataset& train, bool reuse,
+    DistanceEngine& engine) {
   // Global candidate index: motifs first per class, then discords.
   struct Ref {
     const Subsequence* sub;
     int label;
+    bool motif;
   };
   std::vector<Ref> all;
   std::map<int, std::vector<size_t>> motif_ids;    // per class
@@ -36,11 +43,11 @@ std::map<int, std::vector<CandidateScore>> ScoreExact(
   for (const auto& [label, motifs] : pool.motifs) {
     for (const auto& m : motifs) {
       motif_ids[label].push_back(all.size());
-      all.push_back({&m, label});
+      all.push_back({&m, label, true});
     }
   }
   for (const auto& [label, discords] : pool.discords) {
-    for (const auto& d : discords) all.push_back({&d, label});
+    for (const auto& d : discords) all.push_back({&d, label, false});
   }
   for (const auto& [label, ids] : motif_ids) {
     auto& inter = inter_pool[label];
@@ -50,22 +57,66 @@ std::map<int, std::vector<CandidateScore>> ScoreExact(
   }
 
   const size_t n = all.size();
-  std::vector<double> cache;
-  if (reuse) {
-    cache.assign(n * n, -1.0);
-  }
-  auto dist = [&](size_t i, size_t j) {
-    if (!reuse) {
-      return SubsequenceDistance(all[i].sub->view(), all[j].sub->view());
-    }
-    double& slot = cache[i * n + j];
-    if (slot < 0.0) {
-      slot = SubsequenceDistance(all[i].sub->view(), all[j].sub->view());
-      cache[j * n + i] = slot;  // CR: the symmetric pair is free
-    }
-    return slot;
+
+  // Views: candidates first, then the raw training instances.
+  std::vector<std::span<const double>> views;
+  views.reserve(n + train.size());
+  for (const Ref& r : all) views.push_back(r.sub->view());
+  for (size_t t = 0; t < train.size(); ++t) views.push_back(train[t].view());
+
+  // The serial scorer touches an ordered candidate pair (i, j) only when i
+  // is a motif and j is either a same-class motif or any other-class
+  // candidate (intra / inter utilities).
+  auto touched = [&](size_t i, size_t j) {
+    return all[i].motif &&
+           (all[i].label != all[j].label || all[j].motif);
   };
 
+  std::vector<IndexPair> pairs;
+  if (reuse) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (touched(i, j) || touched(j, i)) {
+          pairs.push_back({static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(j)});
+        }
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i != j && touched(i, j)) {
+          pairs.push_back({static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(j)});
+        }
+      }
+    }
+  }
+  const size_t num_cc = pairs.size();
+
+  // Candidate-instance work items, in the aggregation's iteration order.
+  for (const auto& [label, ids] : motif_ids) {
+    const std::vector<size_t> instance_ids = train.IndicesOfClass(label);
+    for (size_t i : ids) {
+      for (size_t t : instance_ids) {
+        pairs.push_back({static_cast<uint32_t>(i),
+                         static_cast<uint32_t>(n + t)});
+      }
+    }
+  }
+
+  const std::vector<double> dists = engine.MinForPairs(views, pairs);
+
+  std::vector<double> cc(n * n, 0.0);
+  for (size_t t = 0; t < num_cc; ++t) {
+    const auto [i, j] = pairs[t];
+    cc[static_cast<size_t>(i) * n + j] = dists[t];
+    if (reuse) cc[static_cast<size_t>(j) * n + i] = dists[t];
+  }
+
+  // Serial aggregation in the original loop order; `cursor` walks the
+  // candidate-instance results, which were queued in this same order.
+  size_t cursor = num_cc;
   std::map<int, std::vector<CandidateScore>> scores;
   for (const auto& [label, ids] : motif_ids) {
     const std::vector<size_t>& inter = inter_pool[label];
@@ -80,17 +131,17 @@ std::map<int, std::vector<CandidateScore>> ScoreExact(
       double intra_sum = 0.0;
       for (size_t b = 0; b < ids.size(); ++b) {
         if (b == a) continue;
-        intra_sum += dist(i, ids[b]);
+        intra_sum += cc[i * n + ids[b]];
       }
       cs.intra = Sigmoid(MeanOrZero(intra_sum, ids.size() - 1));
 
       double inter_sum = 0.0;
-      for (size_t j : inter) inter_sum += dist(i, j);
+      for (size_t j : inter) inter_sum += cc[i * n + j];
       cs.inter = Sigmoid(MeanOrZero(inter_sum, inter.size()));
 
       double inst_sum = 0.0;
-      for (size_t t : instance_ids) {
-        inst_sum += SubsequenceDistance(all[i].sub->view(), train[t].view());
+      for (size_t t = 0; t < instance_ids.size(); ++t) {
+        inst_sum += dists[cursor++];
       }
       cs.instance = Sigmoid(MeanOrZero(inst_sum, instance_ids.size()));
 
@@ -172,12 +223,14 @@ std::map<int, std::vector<CandidateScore>> ScoreDtCr(
 
 std::map<int, std::vector<CandidateScore>> ScoreAllCandidates(
     const CandidatePool& pool, const Dataset& train, UtilityMode mode,
-    const Dabf* dabf) {
+    const Dabf* dabf, DistanceEngine* engine, size_t num_threads) {
+  DistanceEngine local(num_threads);
+  DistanceEngine& eng = engine != nullptr ? *engine : local;
   switch (mode) {
     case UtilityMode::kExactNaive:
-      return ScoreExact(pool, train, /*reuse=*/false);
+      return ScoreExact(pool, train, /*reuse=*/false, eng);
     case UtilityMode::kExactWithCr:
-      return ScoreExact(pool, train, /*reuse=*/true);
+      return ScoreExact(pool, train, /*reuse=*/true, eng);
     case UtilityMode::kDtCr:
       IPS_CHECK_MSG(dabf != nullptr, "kDtCr scoring requires a DABF");
       return ScoreDtCr(pool, train, *dabf);

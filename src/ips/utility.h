@@ -40,6 +40,8 @@
 
 namespace ips {
 
+class DistanceEngine;
+
 /// Logistic function 1 / (1 + exp(-x)).
 double Sigmoid(double x);
 
@@ -57,9 +59,16 @@ struct CandidateScore {
 /// Returns, per class, one CandidateScore per motif candidate (same order
 /// as pool.motifs.at(label)). `dabf` is required for kDtCr mode and ignored
 /// otherwise.
+///
+/// The exact modes evaluate their Def. 4 distances through a
+/// DistanceEngine: pass `engine` to reuse caches across pipeline stages
+/// (its thread count then governs), or leave it null to use a call-local
+/// engine sharded over `num_threads`. Scores are bitwise identical to the
+/// serial per-pair loops for every engine/thread configuration.
 std::map<int, std::vector<CandidateScore>> ScoreAllCandidates(
     const CandidatePool& pool, const Dataset& train, UtilityMode mode,
-    const Dabf* dabf);
+    const Dabf* dabf, DistanceEngine* engine = nullptr,
+    size_t num_threads = 1);
 
 }  // namespace ips
 

@@ -1,36 +1,41 @@
 #include "transform/shapelet_transform.h"
 
-#include "core/distance.h"
+#include "core/distance_engine.h"
 #include "util/check.h"
-#include "util/parallel.h"
 
 namespace ips {
 
+namespace {
+
+DistanceKind ToKind(TransformDistance distance) {
+  return distance == TransformDistance::kRaw ? DistanceKind::kRaw
+                                             : DistanceKind::kZNormalized;
+}
+
+}  // namespace
+
 std::vector<double> TransformSeries(const TimeSeries& series,
                                     const std::vector<Subsequence>& shapelets,
-                                    TransformDistance distance) {
+                                    TransformDistance distance,
+                                    DistanceEngine* engine) {
   IPS_CHECK(!shapelets.empty());
-  std::vector<double> row(shapelets.size());
-  for (size_t s = 0; s < shapelets.size(); ++s) {
-    row[s] = distance == TransformDistance::kRaw
-                 ? SubsequenceDistance(series.view(), shapelets[s].view())
-                 : SubsequenceDistanceZNorm(series.view(),
-                                            shapelets[s].view());
+  if (engine != nullptr) {
+    return engine->TransformOne(series.view(), shapelets, ToKind(distance));
   }
-  return row;
+  DistanceEngine local(1);
+  return local.TransformOne(series.view(), shapelets, ToKind(distance));
 }
 
 TransformedData ShapeletTransform(const Dataset& data,
                                   const std::vector<Subsequence>& shapelets,
                                   TransformDistance distance,
-                                  size_t num_threads) {
+                                  size_t num_threads, DistanceEngine* engine) {
   TransformedData out;
-  out.features.resize(data.size());
+  DistanceEngine local(num_threads);
+  DistanceEngine& eng = engine != nullptr ? *engine : local;
+  out.features = eng.TransformBatch(data, shapelets, ToKind(distance));
   out.labels.resize(data.size());
-  ParallelFor(data.size(), num_threads, [&](size_t i) {
-    out.features[i] = TransformSeries(data[i], shapelets, distance);
-    out.labels[i] = data[i].label;
-  });
+  for (size_t i = 0; i < data.size(); ++i) out.labels[i] = data[i].label;
   return out;
 }
 

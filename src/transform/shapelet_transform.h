@@ -15,6 +15,8 @@
 
 namespace ips {
 
+class DistanceEngine;
+
 /// Which subsequence distance the transform embeds with.
 enum class TransformDistance {
   /// The paper's literal Def. 4: length-normalised squared Euclidean.
@@ -39,15 +41,25 @@ struct TransformedData {
 /// non-empty shapelet set; shapelets longer than a series contribute the
 /// distance with the roles swapped (the distances are symmetric in
 /// min-alignment).
+///
+/// The work is routed through a DistanceEngine (core/distance_engine.h):
+/// rolling statistics, prefix sums and FFTs are computed once per
+/// (series, window) and shared across the whole batch, sharded over
+/// `num_threads`. Pass `engine` to reuse an existing engine's caches (its
+/// thread count then governs); otherwise a call-local engine is used.
+/// Results are identical for every thread count and engine.
 TransformedData ShapeletTransform(
     const Dataset& data, const std::vector<Subsequence>& shapelets,
     TransformDistance distance = TransformDistance::kZNormalized,
-    size_t num_threads = 1);
+    size_t num_threads = 1, DistanceEngine* engine = nullptr);
 
-/// Transforms a single series.
+/// Transforms a single series. Pass `engine` to amortise shapelet-side
+/// artefacts (z-normalisation, FFTs) across repeated calls; the series
+/// itself is never cached, so temporaries are safe.
 std::vector<double> TransformSeries(
     const TimeSeries& series, const std::vector<Subsequence>& shapelets,
-    TransformDistance distance = TransformDistance::kZNormalized);
+    TransformDistance distance = TransformDistance::kZNormalized,
+    DistanceEngine* engine = nullptr);
 
 }  // namespace ips
 

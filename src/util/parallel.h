@@ -45,6 +45,40 @@ void ParallelFor(size_t count, size_t num_threads, Fn&& fn) {
   for (auto& t : threads) t.join();
 }
 
+/// Like ParallelFor, but fn also receives the slot index of the worker
+/// running it: fn(i, worker) with worker in [0, min(num_threads, count)).
+/// Lets callers hand each worker private scratch (e.g. the distance
+/// engine's per-thread workspaces) without thread_local state. The same
+/// claim-from-atomic-counter scheduling applies, so output determinism is
+/// the caller's responsibility exactly as with ParallelFor: writes must be
+/// disjoint per index and must not depend on the worker id.
+template <typename Fn>
+void ParallelForWorkers(size_t count, size_t num_threads, Fn&& fn) {
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i, size_t{0});
+    return;
+  }
+
+  const size_t workers = std::min(num_threads, count);
+  std::atomic<size_t> next{0};
+  auto worker = [&](size_t slot) {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i, slot);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 0; t + 1 < workers; ++t) {
+    threads.emplace_back(worker, t + 1);
+  }
+  worker(0);
+  for (auto& t : threads) t.join();
+}
+
 /// Number of hardware threads, at least 1.
 inline size_t HardwareThreads() {
   const unsigned n = std::thread::hardware_concurrency();

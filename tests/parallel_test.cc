@@ -8,6 +8,7 @@
 
 #include "data/generator.h"
 #include "ips/pipeline.h"
+#include "ips/utility.h"
 #include "transform/shapelet_transform.h"
 
 namespace ips {
@@ -51,7 +52,10 @@ TEST(ParallelForTest, SumMatchesSequential) {
 TEST(HardwareThreadsTest, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1u); }
 
 // Determinism of the discovery pipeline across thread counts: all
-// randomness is drawn before the parallel regions.
+// randomness is drawn before the parallel regions, and the DistanceEngine's
+// batched stages aggregate serially in a fixed order, so the discovered
+// shapelets AND the utility scores behind them must be bitwise identical
+// for every num_threads.
 TEST(ParallelDiscoveryTest, IdenticalResultsAcrossThreadCounts) {
   GeneratorSpec spec;
   spec.name = "parallel";
@@ -61,17 +65,57 @@ TEST(ParallelDiscoveryTest, IdenticalResultsAcrossThreadCounts) {
   spec.length = 80;
   const Dataset train = GenerateDataset(spec).train;
 
-  IpsOptions sequential;
-  sequential.num_threads = 1;
-  IpsOptions parallel = sequential;
-  parallel.num_threads = 4;
+  IpsOptions options;
+  options.num_threads = 1;
+  const auto a = DiscoverShapelets(train, options);
 
-  const auto a = DiscoverShapelets(train, sequential);
-  const auto b = DiscoverShapelets(train, parallel);
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].values, b[i].values) << "shapelet " << i;
-    EXPECT_EQ(a[i].label, b[i].label);
+  for (const size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    const auto b = DiscoverShapelets(train, options);
+    ASSERT_EQ(a.size(), b.size()) << threads << " threads";
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].values, b[i].values)
+          << "shapelet " << i << " at " << threads << " threads";
+      EXPECT_EQ(a[i].label, b[i].label);
+    }
+  }
+}
+
+// Same determinism check one level down: the exact utility scores (the
+// quantities top-k selection ranks by) across thread counts, for both exact
+// modes.
+TEST(ParallelDiscoveryTest, IdenticalScoresAcrossThreadCounts) {
+  GeneratorSpec spec;
+  spec.name = "parallel-scores";
+  spec.num_classes = 2;
+  spec.train_size = 10;
+  spec.test_size = 2;
+  spec.length = 72;
+  const Dataset train = GenerateDataset(spec).train;
+
+  IpsOptions options;
+  Rng rng(options.seed);
+  CandidatePool pool = GenerateCandidates(train, options, rng);
+
+  for (const UtilityMode mode :
+       {UtilityMode::kExactNaive, UtilityMode::kExactWithCr}) {
+    const auto base = ScoreAllCandidates(pool, train, mode, nullptr,
+                                         /*engine=*/nullptr,
+                                         /*num_threads=*/1);
+    for (const size_t threads : {2u, 8u}) {
+      const auto got = ScoreAllCandidates(pool, train, mode, nullptr,
+                                          /*engine=*/nullptr, threads);
+      ASSERT_EQ(got.size(), base.size());
+      for (const auto& [label, expected] : base) {
+        const auto& actual = got.at(label);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(actual[i].intra, expected[i].intra);
+          EXPECT_EQ(actual[i].inter, expected[i].inter);
+          EXPECT_EQ(actual[i].instance, expected[i].instance);
+        }
+      }
+    }
   }
 }
 
