@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -19,7 +20,9 @@
 #include "ips/utility.h"
 #include "lsh/lsh.h"
 #include "matrix_profile/matrix_profile.h"
+#include "matrix_profile/mp_engine.h"
 #include "transform/shapelet_transform.h"
+#include "util/parallel.h"
 
 namespace ips {
 namespace {
@@ -292,6 +295,182 @@ void BM_TransformBatchEngine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransformBatchEngine)->Arg(1)->Arg(8);
+
+// ------------------------------------------------------ matrix-profile engine
+//
+// Before/after pair for the MatrixProfileEngine on a Table V-shaped
+// instance-profile task: one sample of Q_S instances at UWave-like length,
+// window = 10% of the series (the paper's smallest length ratio). The Seed
+// variant reproduces the pre-engine ComputeInstanceProfile exactly -- one
+// serial AbJoinProfile per ORDERED pair, per-window inner vectors for the
+// k-NN step; the Engine variant runs the pair-symmetric batched sweep at 1
+// and 8 threads. Values are bitwise identical (tests/mp_engine_test.cc);
+// the joins/sweeps counters quantify the pair-symmetric halving.
+
+struct InstanceProfileFixture {
+  std::vector<TimeSeries> sample;
+  static constexpr size_t kWindow = 32;
+
+  InstanceProfileFixture() {
+    GeneratorSpec spec;
+    spec.name = "micro_mp_engine";
+    spec.num_classes = 2;
+    spec.train_size = 12;
+    spec.test_size = 2;
+    spec.length = 315;  // UWaveGestureLibraryY-like (Table V)
+    const Dataset train = GenerateDataset(spec).train;
+    for (size_t i = 0; i < 3; ++i) sample.push_back(train[i]);  // Q_S = 3
+  }
+};
+
+void BM_InstanceProfileSeed(benchmark::State& state) {
+  static const InstanceProfileFixture fixture;
+  const auto& sample = fixture.sample;
+  const size_t window = InstanceProfileFixture::kWindow;
+  size_t joins = 0;
+  for (auto _ : state) {
+    InstanceProfile ip;
+    for (size_t m = 0; m < sample.size(); ++m) {
+      const size_t num_windows = sample[m].length() - window + 1;
+      std::vector<std::vector<double>> per_other(num_windows);
+      for (size_t other = 0; other < sample.size(); ++other) {
+        if (other == m) continue;
+        const MatrixProfile join =
+            AbJoinProfile(sample[m].view(), sample[other].view(), window);
+        ++joins;
+        for (size_t i = 0; i < num_windows; ++i) {
+          per_other[i].push_back(join.values[i]);
+        }
+      }
+      for (size_t i = 0; i < num_windows; ++i) {
+        std::nth_element(per_other[i].begin(), per_other[i].begin(),
+                         per_other[i].end());
+        ip.values.push_back(per_other[i].front());
+        ip.instances.push_back(m);
+        ip.offsets.push_back(i);
+      }
+    }
+    benchmark::DoNotOptimize(ip);
+  }
+  state.counters["joins"] =
+      benchmark::Counter(static_cast<double>(joins) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_InstanceProfileSeed);
+
+void BM_InstanceProfileEngine(benchmark::State& state) {
+  static const InstanceProfileFixture fixture;
+  const size_t threads = static_cast<size_t>(state.range(0));
+  MpEngineCounters last;
+  for (auto _ : state) {
+    // A fresh engine per iteration: cache construction is measured work.
+    MatrixProfileEngine engine(threads);
+    benchmark::DoNotOptimize(ComputeInstanceProfile(
+        fixture.sample, InstanceProfileFixture::kWindow, 1, &engine));
+    last = engine.counters();
+  }
+  state.counters["qt_sweeps"] = static_cast<double>(last.qt_sweeps);
+  state.counters["joins_served"] = static_cast<double>(last.joins_computed);
+  state.counters["joins_halved"] = static_cast<double>(last.joins_halved);
+}
+BENCHMARK(BM_InstanceProfileEngine)->Arg(1)->Arg(8);
+
+// The full Table V profile stage: 2 classes x Q_N = 30 samples of Q_S = 3
+// instances, as exp_table5_breakdown configures candidate generation. The
+// Seed variant is the historic stage verbatim -- a serial loop over tasks,
+// each built from per-ordered-pair AbJoinProfile calls. The Engine variant
+// schedules tasks and sweep chunks exactly as GenerateCandidates does
+// (outer tasks x inner engine threads). This is the workload behind the
+// BENCH_mp.json before/after numbers.
+
+struct ProfileStageFixture {
+  std::vector<std::vector<TimeSeries>> tasks;
+  static constexpr size_t kWindow = 32;
+
+  ProfileStageFixture() {
+    GeneratorSpec spec;
+    spec.name = "micro_mp_stage";
+    spec.num_classes = 2;
+    spec.train_size = 20;
+    spec.test_size = 2;
+    spec.length = 315;
+    const Dataset train = GenerateDataset(spec).train;
+    Rng rng(17);
+    for (size_t t = 0; t < 60; ++t) {  // 2 classes x Q_N = 30
+      std::vector<TimeSeries> sample;
+      const std::vector<size_t> picks =
+          rng.SampleWithoutReplacement(train.size(), 3);  // Q_S = 3
+      for (size_t p : picks) sample.push_back(train[p]);
+      tasks.push_back(std::move(sample));
+    }
+  }
+};
+
+void BM_TableVProfileStageSeed(benchmark::State& state) {
+  static const ProfileStageFixture fixture;
+  const size_t window = ProfileStageFixture::kWindow;
+  size_t joins = 0;
+  for (auto _ : state) {
+    std::vector<InstanceProfile> profiles;
+    for (const auto& sample : fixture.tasks) {
+      InstanceProfile ip;
+      for (size_t m = 0; m < sample.size(); ++m) {
+        const size_t num_windows = sample[m].length() - window + 1;
+        std::vector<std::vector<double>> per_other(num_windows);
+        for (size_t other = 0; other < sample.size(); ++other) {
+          if (other == m) continue;
+          const MatrixProfile join =
+              AbJoinProfile(sample[m].view(), sample[other].view(), window);
+          ++joins;
+          for (size_t i = 0; i < num_windows; ++i) {
+            per_other[i].push_back(join.values[i]);
+          }
+        }
+        for (size_t i = 0; i < num_windows; ++i) {
+          std::nth_element(per_other[i].begin(), per_other[i].begin(),
+                           per_other[i].end());
+          ip.values.push_back(per_other[i].front());
+          ip.instances.push_back(m);
+          ip.offsets.push_back(i);
+        }
+      }
+      profiles.push_back(std::move(ip));
+    }
+    benchmark::DoNotOptimize(profiles);
+  }
+  state.counters["joins"] =
+      benchmark::Counter(static_cast<double>(joins) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TableVProfileStageSeed);
+
+void BM_TableVProfileStageEngine(benchmark::State& state) {
+  static const ProfileStageFixture fixture;
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t outer = std::min(threads, fixture.tasks.size());
+  const size_t inner = std::max<size_t>(1, threads / outer);
+  size_t sweeps = 0;
+  size_t joins = 0;
+  for (auto _ : state) {
+    std::vector<InstanceProfile> profiles(fixture.tasks.size());
+    std::vector<MpEngineCounters> counters(fixture.tasks.size());
+    ParallelFor(fixture.tasks.size(), outer, [&](size_t t) {
+      MatrixProfileEngine engine(inner);
+      profiles[t] = ComputeInstanceProfile(
+          fixture.tasks[t], ProfileStageFixture::kWindow, 1, &engine);
+      counters[t] = engine.counters();
+    });
+    sweeps = joins = 0;
+    for (const auto& c : counters) {
+      sweeps += c.qt_sweeps;
+      joins += c.joins_computed;
+    }
+    benchmark::DoNotOptimize(profiles);
+  }
+  state.counters["qt_sweeps"] = static_cast<double>(sweeps);
+  state.counters["joins_served"] = static_cast<double>(joins);
+}
+BENCHMARK(BM_TableVProfileStageEngine)->Arg(1)->Arg(8);
 
 }  // namespace
 }  // namespace ips

@@ -16,6 +16,8 @@
 #include "core/rng.h"
 #include "matrix_profile/matrix_profile.h"
 #include "matrix_profile/motif.h"
+#include "matrix_profile/mp_engine.h"
+#include "util/parallel.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -66,15 +68,21 @@ int main(int argc, char** argv) {
   std::printf("series (n = %zu, window L = %zu):\n  %s\n\n", series.size(),
               window, Sparkline(series).c_str());
 
+  // The engine shards the join's diagonals over all cores; the profile is
+  // bitwise identical to the serial SelfJoinProfile kernel.
+  ips::MatrixProfileEngine engine(ips::HardwareThreads());
   ips::Timer timer;
-  const ips::MatrixProfile mp = ips::SelfJoinProfile(series, window);
-  std::printf("self-join matrix profile computed in %.3f s:\n  %s\n\n",
-              timer.ElapsedSeconds(), Sparkline(mp.values).c_str());
+  const ips::SeriesMotifs explored =
+      ips::ExploreSeries(series, window, /*k_motifs=*/3, /*k_discords=*/2,
+                         &engine);
+  const ips::MatrixProfile& mp = explored.profile;
+  std::printf(
+      "self-join matrix profile computed in %.3f s (%zu threads):\n  %s\n\n",
+      timer.ElapsedSeconds(), engine.num_threads(),
+      Sparkline(mp.values).c_str());
 
-  const auto motifs =
-      ips::FindMotifs(mp.values, 3, ips::DefaultExclusionZone(window));
-  const auto discords =
-      ips::FindDiscords(mp.values, 2, ips::DefaultExclusionZone(window));
+  const auto& motifs = explored.motifs;
+  const auto& discords = explored.discords;
 
   ips::TablePrinter table;
   table.SetHeader({"kind", "position", "profile value", "nearest neighbour"});

@@ -60,5 +60,17 @@ echo "=== BENCH_engine ==="
   --benchmark_out_format=json |
   tee "$OUT/BENCH_engine.txt"
 
+# Machine-readable before/after numbers for the MatrixProfileEngine:
+# historic per-ordered-pair AbJoinProfile construction vs the pair-symmetric
+# cached engine, per ComputeInstanceProfile call and on the Table V
+# candidate-generation workload, at 1 and 8 threads.
+echo "=== BENCH_mp ==="
+"$BENCH/micro_kernels" \
+  --benchmark_filter='InstanceProfile|TableVProfile' \
+  --benchmark_min_time=0.1 \
+  --benchmark_out="$OUT/BENCH_mp.json" \
+  --benchmark_out_format=json |
+  tee "$OUT/BENCH_mp.txt"
+
 echo
 echo "All outputs under $OUT/"

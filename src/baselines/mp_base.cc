@@ -5,6 +5,7 @@
 #include "ips/candidate_gen.h"
 #include "matrix_profile/matrix_profile.h"
 #include "matrix_profile/motif.h"
+#include "matrix_profile/mp_engine.h"
 #include "transform/shapelet_transform.h"
 #include "util/check.h"
 
@@ -16,6 +17,11 @@ std::vector<Subsequence> DiscoverMpBaseShapelets(
   const std::vector<size_t> lengths =
       ResolveCandidateLengths(train.MinLength(), options.length_ratios);
   const int num_classes = train.NumClasses();
+
+  // One engine for all joins: rolling stats and seed products of T_C /
+  // T_notC are shared across the candidate lengths of a class, and each
+  // join's diagonals are sharded over the option's threads.
+  MatrixProfileEngine engine(options.num_threads);
 
   std::vector<Subsequence> shapelets;
   for (int label = 0; label < num_classes; ++label) {
@@ -41,9 +47,9 @@ std::vector<Subsequence> DiscoverMpBaseShapelets(
     std::vector<Candidate> candidates;
     for (size_t window : lengths) {
       if (own.length() <= window || other.length() < window) continue;
-      const MatrixProfile self = SelfJoinProfile(own.view(), window);
+      const MatrixProfile self = engine.SelfJoin(own.view(), window);
       const MatrixProfile cross =
-          AbJoinProfile(own.view(), other.view(), window);
+          engine.AbJoin(own.view(), other.view(), window);
       const std::vector<double> diff = ProfileDiff(cross, self);
       // Largest differences, separated by an exclusion zone (Formula 4
       // extended to top-k, as the paper notes).
@@ -65,6 +71,9 @@ std::vector<Subsequence> DiscoverMpBaseShapelets(
                                              candidates[i].length,
                                              /*series_index=*/-1));
     }
+    // T_C / T_notC are freed at the end of the iteration; the pointer-keyed
+    // caches must not survive into the next class's allocations.
+    engine.ClearCaches();
   }
   return shapelets;
 }

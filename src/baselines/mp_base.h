@@ -26,6 +26,9 @@ struct MpBaseOptions {
   std::vector<double> length_ratios = {0.1, 0.2, 0.3, 0.4, 0.5};
   /// Shapelets per class (top-k largest profile differences).
   size_t shapelets_per_class = 5;
+  /// Worker threads for the per-class self-/AB-joins (sharded through the
+  /// MatrixProfileEngine; results are identical at every thread count).
+  size_t num_threads = 1;
   /// Back-end SVM on the shapelet transform.
   SvmOptions svm;
 };

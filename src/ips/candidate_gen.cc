@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "ips/instance_profile.h"
+#include "ips/pipeline.h"
+#include "matrix_profile/mp_engine.h"
 #include "util/parallel.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace ips {
 
@@ -46,7 +49,8 @@ std::vector<size_t> ResolveCandidateLengths(
 }
 
 CandidatePool GenerateCandidates(const Dataset& train,
-                                 const IpsOptions& options, Rng& rng) {
+                                 const IpsOptions& options, Rng& rng,
+                                 IpsRunStats* stats) {
   IPS_CHECK(!train.empty());
   IPS_CHECK(options.sample_size >= 1);
   IPS_CHECK(options.sample_count >= 1);
@@ -64,6 +68,7 @@ CandidatePool GenerateCandidates(const Dataset& train,
     std::vector<size_t> dataset_index;  // provenance of each sample member
     std::vector<Subsequence> motifs;    // task-local outputs
     std::vector<Subsequence> discords;
+    MpEngineCounters counters;          // the task engine's final snapshot
   };
   std::vector<Task> tasks;
   for (int label = 0; label < num_classes; ++label) {
@@ -84,15 +89,25 @@ CandidatePool GenerateCandidates(const Dataset& train,
     }
   }
 
-  // Instance profiles per task (the expensive part; embarrassingly
-  // parallel).
+  // Instance profiles per task (the expensive part). The thread budget is
+  // split between tasks (outer) and each task's MatrixProfileEngine (inner:
+  // diagonal sharding within a join), so few tasks still use every core.
+  // Neither split affects results -- the engine is bitwise thread-count
+  // independent and the merge below runs in task order.
+  const size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
+  const size_t outer = std::min(threads, std::max<size_t>(1, tasks.size()));
+  const size_t inner = std::max<size_t>(1, threads / outer);
   const size_t min_length = train.MinLength();
-  ParallelFor(tasks.size(), options.num_threads, [&](size_t t) {
+  Timer profile_timer;
+  ParallelFor(tasks.size(), outer, [&](size_t t) {
     Task& task = tasks[t];
+    // Per-task engine: its artefact caches span every window length of the
+    // task, and the task's sample storage outlives it.
+    MatrixProfileEngine engine(inner);
     for (size_t window : lengths) {
       if (min_length < window) continue;
       const InstanceProfile ip = ComputeInstanceProfile(
-          task.sample, window, options.profile_neighbors);
+          task.sample, window, options.profile_neighbors, &engine);
 
       auto extract = [&](std::span<const size_t> entries,
                          std::vector<Subsequence>& dst) {
@@ -110,7 +125,9 @@ CandidatePool GenerateCandidates(const Dataset& train,
                                       window),
               task.discords);
     }
+    task.counters = engine.counters();
   });
+  const double profile_seconds = profile_timer.ElapsedSeconds();
 
   // Merge in task order (stable across thread counts).
   CandidatePool pool;
@@ -119,6 +136,16 @@ CandidatePool GenerateCandidates(const Dataset& train,
     auto& discord_pool = pool.discords[task.label];
     for (auto& m : task.motifs) motif_pool.push_back(std::move(m));
     for (auto& d : task.discords) discord_pool.push_back(std::move(d));
+  }
+  if (stats != nullptr) {
+    stats->profile_seconds += profile_seconds;
+    for (const Task& task : tasks) {
+      stats->mp_joins_computed += task.counters.joins_computed;
+      stats->mp_qt_sweeps += task.counters.qt_sweeps;
+      stats->mp_joins_halved += task.counters.joins_halved;
+      stats->mp_cache_hits += task.counters.cache_hits;
+      stats->mp_cache_misses += task.counters.cache_misses;
+    }
   }
   return pool;
 }

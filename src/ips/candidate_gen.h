@@ -21,6 +21,8 @@
 
 namespace ips {
 
+struct IpsRunStats;
+
 /// The per-class candidate pools Phi of Algorithm 1.
 struct CandidatePool {
   std::map<int, std::vector<Subsequence>> motifs;
@@ -41,8 +43,16 @@ std::vector<size_t> ResolveCandidateLengths(
 
 /// Runs Algorithm 1 over the training set. Classes with no training
 /// instance produce empty pools. Requires a non-empty training set.
+///
+/// `options.num_threads` is split between sampling tasks (outer) and each
+/// task's MatrixProfileEngine (inner: diagonal sharding within a join), so
+/// the profile stage scales with cores even when there are few tasks. The
+/// pool is identical for every thread count. When `stats` is non-null, the
+/// profile-stage wall time and the aggregated engine counters are recorded
+/// there (IpsRunStats::profile_seconds and the mp_* fields).
 CandidatePool GenerateCandidates(const Dataset& train,
-                                 const IpsOptions& options, Rng& rng);
+                                 const IpsOptions& options, Rng& rng,
+                                 IpsRunStats* stats = nullptr);
 
 }  // namespace ips
 

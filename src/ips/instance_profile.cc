@@ -7,12 +7,14 @@
 #include <numeric>
 
 #include "matrix_profile/matrix_profile.h"
+#include "matrix_profile/mp_engine.h"
 #include "util/check.h"
 
 namespace ips {
 
 InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
-                                       size_t window, size_t neighbors) {
+                                       size_t window, size_t neighbors,
+                                       MatrixProfileEngine* engine) {
   IPS_CHECK(!sample.empty());
   IPS_CHECK(window >= 2);
   IPS_CHECK(neighbors >= 1);
@@ -25,6 +27,9 @@ InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
   IPS_CHECK_MSG(!usable.empty(),
                 "no instance in the sample is as long as the window");
 
+  MatrixProfileEngine local_engine(1);
+  MatrixProfileEngine& eng = engine != nullptr ? *engine : local_engine;
+
   InstanceProfile ip;
 
   if (usable.size() == 1) {
@@ -32,7 +37,7 @@ InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
     const size_t m = usable.front();
     const TimeSeries& t = sample[m];
     if (t.length() > window) {
-      const MatrixProfile mp = SelfJoinProfile(t.view(), window);
+      const MatrixProfile mp = eng.SelfJoin(t.view(), window);
       for (size_t i = 0; i < mp.size(); ++i) {
         ip.values.push_back(mp.values[i]);
         ip.instances.push_back(m);
@@ -47,27 +52,49 @@ InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
     return ip;
   }
 
-  for (size_t m : usable) {
-    const TimeSeries& t = sample[m];
-    const size_t num_windows = t.length() - window + 1;
-    // Per window: the nearest-window distance to each OTHER instance.
-    std::vector<std::vector<double>> per_other(num_windows);
-    for (size_t other : usable) {
-      if (other == m) continue;
-      const MatrixProfile join =
-          AbJoinProfile(t.view(), sample[other].view(), window);
-      for (size_t i = 0; i < num_windows; ++i) {
-        per_other[i].push_back(join.values[i]);
-      }
+  // Every unordered pair once; the sweep's far side serves the reverse
+  // direction that the historic code recomputed from scratch.
+  std::vector<std::span<const double>> views;
+  views.reserve(usable.size());
+  for (size_t m : usable) views.push_back(sample[m].view());
+  const std::vector<PairJoin> joins = eng.JoinAllPairs(views, window);
+
+  // Flat num_windows x |others| scatter buffer per usable instance: row i
+  // holds window i's nearest-window distance to each OTHER instance. One
+  // allocation per instance instead of num_windows inner vectors.
+  const size_t others = usable.size() - 1;
+  std::vector<std::vector<double>> per_instance(usable.size());
+  std::vector<size_t> num_windows(usable.size());
+  for (size_t u = 0; u < usable.size(); ++u) {
+    num_windows[u] = sample[usable[u]].length() - window + 1;
+    per_instance[u].resize(num_windows[u] * others);
+  }
+  for (const PairJoin& pj : joins) {
+    // Column of v in u's buffer: usable order with u itself skipped.
+    const size_t col_b = pj.b > pj.a ? pj.b - 1 : pj.b;
+    const size_t col_a = pj.a > pj.b ? pj.a - 1 : pj.a;
+    std::vector<double>& buf_a = per_instance[pj.a];
+    for (size_t i = 0; i < num_windows[pj.a]; ++i) {
+      buf_a[i * others + col_b] = pj.a_vs_b.values[i];
     }
-    const size_t k = std::min(neighbors, usable.size() - 1);
-    for (size_t i = 0; i < num_windows; ++i) {
+    std::vector<double>& buf_b = per_instance[pj.b];
+    for (size_t j = 0; j < num_windows[pj.b]; ++j) {
+      buf_b[j * others + col_a] = pj.b_vs_a.values[j];
+    }
+  }
+
+  const size_t k = std::min(neighbors, others);
+  for (size_t u = 0; u < usable.size(); ++u) {
+    std::vector<double>& buf = per_instance[u];
+    for (size_t i = 0; i < num_windows[u]; ++i) {
+      auto row = buf.begin() + static_cast<ptrdiff_t>(i * others);
       // k-th smallest of the per-instance minima (k=1 is Def. 9's 1-NN).
-      std::nth_element(per_other[i].begin(),
-                       per_other[i].begin() + static_cast<ptrdiff_t>(k - 1),
-                       per_other[i].end());
-      ip.values.push_back(per_other[i][k - 1]);
-      ip.instances.push_back(m);
+      // The k-th order statistic is a pure function of the row's multiset,
+      // so this matches the historic per-window vectors bitwise.
+      std::nth_element(row, row + static_cast<ptrdiff_t>(k - 1),
+                       row + static_cast<ptrdiff_t>(others));
+      ip.values.push_back(row[static_cast<ptrdiff_t>(k - 1)]);
+      ip.instances.push_back(usable[u]);
       ip.offsets.push_back(i);
     }
   }

@@ -20,6 +20,8 @@
 
 namespace ips {
 
+class MatrixProfileEngine;
+
 /// The instance profile of a sample of instances for one window length.
 /// Entry e annotates the window starting at `offsets[e]` of instance
 /// `instances[e]` (an index into the sample) with its nearest-neighbour
@@ -43,8 +45,16 @@ struct InstanceProfile {
 /// instance nearest distances -- the neighbor-profile idea of He et al.
 /// (ICDE 2020) that the paper's related work credits for the bagging view.
 /// k is clamped to the number of other instances.
+///
+/// When `engine` is non-null the sample's unordered pairs are joined through
+/// it -- one pair-symmetric QT sweep per pair, artefacts cached across
+/// window lengths, diagonals sharded over the engine's threads. A null
+/// engine uses a private serial engine. Either way the result is bitwise
+/// identical to the historic pairwise-AbJoinProfile construction at every
+/// thread count (tests/mp_engine_test.cc).
 InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
-                                       size_t window, size_t neighbors = 1);
+                                       size_t window, size_t neighbors = 1,
+                                       MatrixProfileEngine* engine = nullptr);
 
 /// Positions of the `k` smallest (motifs) profile entries, with an
 /// exclusion zone of half the window length between selections *within the

@@ -30,7 +30,7 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
   // (1)+(2) Candidate generation with the instance profile (Alg. 1).
   Rng rng(options.seed);
   Timer timer;
-  CandidatePool pool = GenerateCandidates(train, options, rng);
+  CandidatePool pool = GenerateCandidates(train, options, rng, &s);
   s.candidate_gen_seconds = timer.ElapsedSeconds();
   s.motifs_generated = pool.TotalMotifs();
   s.discords_generated = pool.TotalDiscords();

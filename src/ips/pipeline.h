@@ -48,6 +48,18 @@ struct IpsRunStats {
   size_t stats_cache_hits = 0;
   size_t stats_cache_misses = 0;
 
+  /// The instance-profile stage of candidate generation (a sub-interval of
+  /// candidate_gen_seconds: Alg. 1 line 5 across all sampling tasks) and
+  /// the MatrixProfileEngine counters aggregated over the per-task engines.
+  /// mp_joins_halved counts directed joins served by a pair-symmetric
+  /// sweep's far side -- work the pre-engine code computed from scratch.
+  double profile_seconds = 0.0;
+  size_t mp_joins_computed = 0;
+  size_t mp_qt_sweeps = 0;
+  size_t mp_joins_halved = 0;
+  size_t mp_cache_hits = 0;
+  size_t mp_cache_misses = 0;
+
   double TotalDiscoverySeconds() const {
     return candidate_gen_seconds + dabf_build_seconds + pruning_seconds +
            selection_seconds;

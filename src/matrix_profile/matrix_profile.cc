@@ -1,13 +1,11 @@
 #include "matrix_profile/matrix_profile.h"
 
-#include <cmath>
-
 #include <algorithm>
 #include <limits>
 
-#include "core/distance.h"
 #include "core/fft.h"
 #include "core/znorm.h"
+#include "matrix_profile/stomp_common.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -17,26 +15,12 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Z-normalised distance between windows i (of the series described by
-// stats_a) and j (stats_b) given their raw dot product qt.
-double ZNormDistance(double qt, size_t window, double mu_a, double sig_a,
-                     double mu_b, double sig_b) {
-  const double m = static_cast<double>(window);
-  const bool flat_a = sig_a < kFlatStdEpsilon;
-  const bool flat_b = sig_b < kFlatStdEpsilon;
-  if (flat_a && flat_b) return 0.0;
-  if (flat_a || flat_b) return std::sqrt(m);
-  const double corr = (qt - m * mu_a * mu_b) / (m * sig_a * sig_b);
-  const double d2 = std::max(0.0, 2.0 * m * (1.0 - corr));
-  return std::sqrt(d2);
-}
-
 std::vector<double> InitialDots(std::span<const double> query,
                                 std::span<const double> series) {
-  if (query.size() < kFftCutoff) {
-    return SlidingDotProductsNaive(query, series);
+  if (StompSeedUsesFft(query.size(), series.size())) {
+    return SlidingDotProducts(query, series);
   }
-  return SlidingDotProductsAuto(query, series);
+  return SlidingDotProductsNaive(query, series);
 }
 
 }  // namespace
@@ -65,9 +49,9 @@ MatrixProfile SelfJoinProfile(std::span<const double> series, size_t window,
   auto update = [&](size_t i, size_t j, double qt_ij) {
     const size_t gap = i > j ? i - j : j - i;
     if (gap <= exclusion) return;
-    const double d = ZNormDistance(qt_ij, window, stats.means[i],
-                                   stats.stds[i], stats.means[j],
-                                   stats.stds[j]);
+    const double d = StompZNormDistance(qt_ij, window, stats.means[i],
+                                        stats.stds[i], stats.means[j],
+                                        stats.stds[j]);
     if (d < mp.values[i]) {
       mp.values[i] = d;
       mp.indices[i] = j;
@@ -81,11 +65,9 @@ MatrixProfile SelfJoinProfile(std::span<const double> series, size_t window,
   for (size_t j = 0; j < l; ++j) update(0, j, qt[j]);
 
   for (size_t i = 1; i < l; ++i) {
-    // STOMP recurrence, in-place right-to-left:
-    //   QT(i, j) = QT(i-1, j-1) - t[i-1] t[j-1] + t[i+m-1] t[j+m-1]
+    // STOMP recurrence, in-place right-to-left.
     for (size_t j = l - 1; j >= 1; --j) {
-      qt[j] = qt[j - 1] - series[i - 1] * series[j - 1] +
-              series[i + window - 1] * series[j + window - 1];
+      qt[j] = StompAdvance(qt[j - 1], series, series, i, j, window);
     }
     qt[0] = qt_first[i];  // QT(i, 0) = QT(0, i) by symmetry.
     // Only j >= i is needed; update() fills both directions.
@@ -110,6 +92,12 @@ MatrixProfile SelfJoinProfileParallel(std::span<const double> series,
   mp.values.assign(l, kInf);
   mp.indices.assign(l, kNoNeighbor);
 
+  // Column-0 products, shared by every chunk: QT(i, 0) = QT(0, i), so the
+  // seed row doubles as the recurrence's left edge (as in the serial
+  // kernel) instead of an O(window) scalar dot per row.
+  const std::vector<double> qt_first =
+      InitialDots(series.subspan(0, window), series);
+
   const size_t chunks = std::min(num_threads, l);
   const size_t chunk_size = (l + chunks - 1) / chunks;
 
@@ -125,20 +113,16 @@ MatrixProfile SelfJoinProfileParallel(std::span<const double> series,
     for (size_t i = row_begin; i < row_end; ++i) {
       if (i > row_begin) {
         for (size_t j = l - 1; j >= 1; --j) {
-          qt[j] = qt[j - 1] - series[i - 1] * series[j - 1] +
-                  series[i + window - 1] * series[j + window - 1];
+          qt[j] = StompAdvance(qt[j - 1], series, series, i, j, window);
         }
-        // QT(i, 0) by direct dot product (no symmetric row available).
-        double dot = 0.0;
-        for (size_t p = 0; p < window; ++p) dot += series[i + p] * series[p];
-        qt[0] = dot;
+        qt[0] = qt_first[i];
       }
       for (size_t j = 0; j < l; ++j) {
         const size_t gap = i > j ? i - j : j - i;
         if (gap <= exclusion) continue;
         const double d =
-            ZNormDistance(qt[j], window, stats.means[i], stats.stds[i],
-                          stats.means[j], stats.stds[j]);
+            StompZNormDistance(qt[j], window, stats.means[i], stats.stds[i],
+                               stats.means[j], stats.stds[j]);
         if (d < mp.values[i]) {
           mp.values[i] = d;
           mp.indices[i] = j;
@@ -173,15 +157,14 @@ MatrixProfile AbJoinProfile(std::span<const double> a,
   for (size_t i = 0; i < la; ++i) {
     if (i > 0) {
       for (size_t j = lb - 1; j >= 1; --j) {
-        qt[j] = qt[j - 1] - a[i - 1] * b[j - 1] +
-                a[i + window - 1] * b[j + window - 1];
+        qt[j] = StompAdvance(qt[j - 1], a, b, i, j, window);
       }
       qt[0] = qt_col0[i];
     }
     for (size_t j = 0; j < lb; ++j) {
       const double d =
-          ZNormDistance(qt[j], window, stats_a.means[i], stats_a.stds[i],
-                        stats_b.means[j], stats_b.stds[j]);
+          StompZNormDistance(qt[j], window, stats_a.means[i], stats_a.stds[i],
+                             stats_b.means[j], stats_b.stds[j]);
       if (d < mp.values[i]) {
         mp.values[i] = d;
         mp.indices[i] = j;

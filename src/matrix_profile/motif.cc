@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "matrix_profile/mp_engine.h"
+
 namespace ips {
 
 namespace {
@@ -44,6 +46,20 @@ std::vector<size_t> FindMotifs(std::span<const double> profile, size_t k,
 std::vector<size_t> FindDiscords(std::span<const double> profile, size_t k,
                                  size_t exclusion) {
   return SelectWithExclusion(profile, k, exclusion, /*smallest_first=*/false);
+}
+
+SeriesMotifs ExploreSeries(std::span<const double> series, size_t window,
+                           size_t k_motifs, size_t k_discords,
+                           MatrixProfileEngine* engine) {
+  MatrixProfileEngine local_engine(1);
+  MatrixProfileEngine& eng = engine != nullptr ? *engine : local_engine;
+  const size_t exclusion = DefaultExclusionZone(window);
+
+  SeriesMotifs out;
+  out.profile = eng.SelfJoin(series, window);
+  out.motifs = FindMotifs(out.profile.values, k_motifs, exclusion);
+  out.discords = FindDiscords(out.profile.values, k_discords, exclusion);
+  return out;
 }
 
 }  // namespace ips

@@ -1,0 +1,557 @@
+#include "matrix_profile/mp_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "core/fft.h"
+#include "matrix_profile/stomp_common.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace ips {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void ForwardFftInto(std::span<const double> s, size_t padded, bool reversed,
+                    std::vector<std::complex<double>>& out) {
+  out.assign(padded, std::complex<double>(0.0, 0.0));
+  if (reversed) {
+    const size_t m = s.size();
+    for (size_t i = 0; i < m; ++i) out[i] = s[m - 1 - i];
+  } else {
+    for (size_t i = 0; i < s.size(); ++i) out[i] = s[i];
+  }
+  Fft(out, /*inverse=*/false);
+}
+
+// The serial kernels' strict-< running minimum over candidates in
+// increasing-index order selects the smallest value and, among bitwise-equal
+// values, the smallest index. This update rule computes the same selection
+// from candidates arriving in ANY order, which is what makes diagonal
+// sweeps and chunk merges bitwise identical to the row-order kernels.
+inline void UpdateMin(double d, size_t neighbor, double& val, size_t& idx) {
+  if (d < val || (d == val && neighbor < idx)) {
+    val = d;
+    idx = neighbor;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- caches
+
+const RollingStats* MatrixProfileEngine::CachedStats(std::span<const double> s,
+                                                     size_t window) {
+  const SeriesKey key{s.data(), s.size(), window};
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    auto it = stats_.find(key);
+    if (it != stats_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  RollingStats fresh = ComputeRollingStats(s, window);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return &stats_.try_emplace(key, std::move(fresh)).first->second;
+}
+
+const std::vector<std::complex<double>>* MatrixProfileEngine::CachedFft(
+    std::span<const double> s, size_t padded, bool reversed) {
+  auto& map = reversed ? fft_query_ : fft_series_;
+  const SeriesKey key{s.data(), s.size(), padded};
+  {
+    std::lock_guard<std::mutex> lock(fft_mu_);
+    auto it = map.find(key);
+    if (it != map.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::complex<double>> fresh;
+  ForwardFftInto(s, padded, reversed, fresh);
+  std::lock_guard<std::mutex> lock(fft_mu_);
+  return &map.try_emplace(key, std::move(fresh)).first->second;
+}
+
+// Seed sliding-dot-products of x's first window against every window of y,
+// replicating the kernels' InitialDots dispatch exactly: short windows go
+// through the naive kernel, long ones through the FFT kernel with both
+// forward transforms served from (or inserted into) the engine cache. The
+// arithmetic is identical either way, so seeds are bitwise equal to
+// SlidingDotProducts[Naive].
+const std::vector<double>* MatrixProfileEngine::CachedSeedDots(
+    std::span<const double> x, std::span<const double> y, size_t window) {
+  const SeedKey key{x.data(), y.data(), y.size(), window};
+  {
+    std::lock_guard<std::mutex> lock(seed_mu_);
+    auto it = seeds_.find(key);
+    if (it != seeds_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::span<const double> query = x.subspan(0, window);
+  std::vector<double> fresh;
+  if (!StompSeedUsesFft(window, y.size())) {
+    fresh = SlidingDotProductsNaive(query, y);
+  } else {
+    const size_t padded = NextPowerOfTwo(y.size() + window);
+    const std::vector<std::complex<double>>* fs =
+        CachedFft(y, padded, /*reversed=*/false);
+    const std::vector<std::complex<double>>* fq =
+        CachedFft(query, padded, /*reversed=*/true);
+    std::vector<std::complex<double>> prod(padded);
+    for (size_t i = 0; i < padded; ++i) prod[i] = (*fs)[i] * (*fq)[i];
+    Fft(prod, /*inverse=*/true);
+    fresh.resize(y.size() - window + 1);
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      fresh[i] = prod[window - 1 + i].real();
+    }
+  }
+  std::lock_guard<std::mutex> lock(seed_mu_);
+  return &seeds_.try_emplace(key, std::move(fresh)).first->second;
+}
+
+// -------------------------------------------------------------------- sweep
+
+MatrixProfileEngine::SweepContext MatrixProfileEngine::MakeContext(
+    std::span<const double> a, std::span<const double> b, size_t window,
+    bool self, size_t exclusion, bool want_b) {
+  SweepContext cx;
+  cx.a = a;
+  cx.b = b;
+  cx.window = window;
+  cx.la = a.size() - window + 1;
+  cx.lb = b.size() - window + 1;
+  cx.stats_a = CachedStats(a, window);
+  cx.stats_b = self ? cx.stats_a : CachedStats(b, window);
+  cx.row0 = CachedSeedDots(a, b, window);
+  // Self joins seed every diagonal from row 0 (QT(i, 0) = QT(0, i) by
+  // symmetry), so the column-0 products are the same vector.
+  cx.col0 = self ? cx.row0 : CachedSeedDots(b, a, window);
+  cx.self = self;
+  cx.exclusion = exclusion;
+  cx.want_b = want_b && !self;
+  return cx;
+}
+
+size_t MatrixProfileEngine::DiagCount(const SweepContext& cx) {
+  if (cx.self) {
+    return cx.la - 1 > cx.exclusion ? cx.la - 1 - cx.exclusion : 0;
+  }
+  return cx.la + cx.lb - 1;
+}
+
+size_t MatrixProfileEngine::DiagCells(const SweepContext& cx, size_t diag) {
+  if (cx.self) {
+    return cx.la - (cx.exclusion + 1 + diag);
+  }
+  if (diag >= cx.la - 1) {  // c = diag - (la - 1) >= 0
+    const size_t c = diag - (cx.la - 1);
+    return std::min(cx.la, cx.lb - c);
+  }
+  const size_t d = (cx.la - 1) - diag;  // c < 0, starts at row d
+  return std::min(cx.lb, cx.la - d);
+}
+
+std::vector<size_t> MatrixProfileEngine::ChunkDiagonals(const SweepContext& cx,
+                                                        size_t chunks) const {
+  const size_t count = DiagCount(cx);
+  size_t total = 0;
+  for (size_t k = 0; k < count; ++k) total += DiagCells(cx, k);
+  chunks = std::max<size_t>(1, std::min(chunks, count));
+  // Sharding only pays off once each chunk amortises a thread spawn (~tens
+  // of microseconds), so small sweeps stay single-chunk (and take the
+  // row-order fast path). Never affects results, only wall-clock.
+  chunks = std::min(chunks, std::max<size_t>(1, total / min_cells_per_chunk_));
+
+  // Greedy cell-balanced boundaries. Chunk boundaries depend only on the
+  // chunk count, and even that never affects results -- UpdateMin is
+  // visit-order independent.
+  std::vector<size_t> bounds;
+  bounds.push_back(0);
+  const size_t target = (total + chunks - 1) / chunks;
+  size_t acc = 0;
+  for (size_t k = 0; k < count; ++k) {
+    acc += DiagCells(cx, k);
+    if (acc >= target && bounds.size() < chunks) {
+      bounds.push_back(k + 1);
+      acc = 0;
+    }
+  }
+  if (bounds.back() != count) bounds.push_back(count);
+  return bounds;
+}
+
+void MatrixProfileEngine::SweepPartial::Reset(const SweepContext& cx) {
+  a_val.assign(cx.la, kInf);
+  a_idx.assign(cx.la, kNoNeighbor);
+  if (cx.want_b) {
+    b_val.assign(cx.lb, kInf);
+    b_idx.assign(cx.lb, kNoNeighbor);
+  } else {
+    b_val.clear();
+    b_idx.clear();
+  }
+}
+
+void MatrixProfileEngine::SweepDiagonals(const SweepContext& cx,
+                                         size_t diag_begin, size_t diag_end,
+                                         SweepPartial& p) {
+  const std::span<const double> a = cx.a;
+  const std::span<const double> b = cx.self ? cx.a : cx.b;
+  const size_t w = cx.window;
+  const double* ma = cx.stats_a->means.data();
+  const double* sa = cx.stats_a->stds.data();
+  const double* mb = cx.stats_b->means.data();
+  const double* sb = cx.stats_b->stds.data();
+
+  for (size_t k = diag_begin; k < diag_end; ++k) {
+    const size_t cells = DiagCells(cx, k);
+    size_t i, j;  // first cell of the diagonal
+    double qt;
+    if (cx.self) {
+      i = 0;
+      j = cx.exclusion + 1 + k;
+      qt = (*cx.row0)[j];
+    } else if (k >= cx.la - 1) {
+      i = 0;
+      j = k - (cx.la - 1);
+      qt = (*cx.row0)[j];
+    } else {
+      i = (cx.la - 1) - k;
+      j = 0;
+      qt = (*cx.col0)[i];
+    }
+
+    for (size_t s = 0;; ++s) {
+      const double d = StompZNormDistance(qt, w, ma[i], sa[i], mb[j], sb[j]);
+      UpdateMin(d, j, p.a_val[i], p.a_idx[i]);
+      if (cx.self) {
+        UpdateMin(d, i, p.a_val[j], p.a_idx[j]);
+      } else if (cx.want_b) {
+        UpdateMin(d, i, p.b_val[j], p.b_idx[j]);
+      }
+      if (s + 1 >= cells) break;
+      ++i;
+      ++j;
+      qt = StompAdvance(qt, a, b, i, j, w);
+    }
+  }
+}
+
+void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
+  const std::span<const double> a = cx.a;
+  const std::span<const double> b = cx.self ? cx.a : cx.b;
+  const size_t w = cx.window;
+  const double* ma = cx.stats_a->means.data();
+  const double* sa = cx.stats_a->stds.data();
+  const double* mb = cx.stats_b->means.data();
+  const double* sb = cx.stats_b->stds.data();
+
+  // In-place right-to-left row recurrence, exactly as the serial kernels:
+  // the QT pass streams over the row (no loop-carried stall, unlike a
+  // diagonal walk) and each cell's chained value is identical to the
+  // diagonal sweep's, so both paths yield the same profiles bitwise. The
+  // one difference from the kernels is that each cell feeds BOTH sides'
+  // minima -- the pair-symmetric halving.
+  //
+  // Updates here use plain strict < (not the tie-aware UpdateMin): a full
+  // row-order sweep visits cells in the kernels' own order -- for a fixed
+  // row target i the candidates j arrive in increasing order, and for a
+  // fixed column target j the candidates i do too -- so first-strictly-
+  // smaller-wins IS the serial tie rule. The tie-aware comparison is only
+  // needed when chunk partials merge out of visit order.
+  std::vector<double> qt_row = *cx.row0;
+  double* const qt = qt_row.data();
+  const std::vector<double>& col0 = *cx.col0;
+  double* const av = p.a_val.data();
+  size_t* const ai = p.a_idx.data();
+
+  if (cx.self) {
+    const size_t l = cx.la;
+    for (size_t i = 0; i < l; ++i) {
+      if (i > 0) {
+        for (size_t j = l - 1; j >= 1; --j) {
+          qt[j] = StompAdvance(qt[j - 1], a, a, i, j, w);
+        }
+        qt[0] = col0[i];  // QT(i, 0) = QT(0, i) by symmetry
+      }
+      const double mai = ma[i], sai = sa[i];
+      double best = av[i];
+      size_t best_j = ai[i];
+      for (size_t j = i + cx.exclusion + 1; j < l; ++j) {
+        const double d = StompZNormDistance(qt[j], w, mai, sai, mb[j], sb[j]);
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
+        if (d < av[j]) {
+          av[j] = d;
+          ai[j] = i;
+        }
+      }
+      av[i] = best;
+      ai[i] = best_j;
+    }
+    return;
+  }
+
+  double* const bv = p.b_val.data();
+  size_t* const bi = p.b_idx.data();
+  for (size_t i = 0; i < cx.la; ++i) {
+    if (i > 0) {
+      for (size_t j = cx.lb - 1; j >= 1; --j) {
+        qt[j] = StompAdvance(qt[j - 1], a, b, i, j, w);
+      }
+      qt[0] = col0[i];
+    }
+    const double mai = ma[i], sai = sa[i];
+    double best = kInf;
+    size_t best_j = kNoNeighbor;
+    if (cx.want_b) {
+      for (size_t j = 0; j < cx.lb; ++j) {
+        const double d = StompZNormDistance(qt[j], w, mai, sai, mb[j], sb[j]);
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
+        if (d < bv[j]) {
+          bv[j] = d;
+          bi[j] = i;
+        }
+      }
+    } else {
+      for (size_t j = 0; j < cx.lb; ++j) {
+        const double d = StompZNormDistance(qt[j], w, mai, sai, mb[j], sb[j]);
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
+      }
+    }
+    av[i] = best;
+    ai[i] = best_j;
+  }
+}
+
+void MatrixProfileEngine::MergePartial(const SweepContext& cx,
+                                       const SweepPartial& p,
+                                       MatrixProfile& a_out,
+                                       MatrixProfile* b_out) {
+  for (size_t i = 0; i < cx.la; ++i) {
+    UpdateMin(p.a_val[i], p.a_idx[i], a_out.values[i], a_out.indices[i]);
+  }
+  if (cx.want_b && b_out != nullptr) {
+    for (size_t j = 0; j < cx.lb; ++j) {
+      UpdateMin(p.b_val[j], p.b_idx[j], b_out->values[j], b_out->indices[j]);
+    }
+  }
+}
+
+void MatrixProfileEngine::RunSweep(const SweepContext& cx, size_t chunks,
+                                   MatrixProfile& a_out, MatrixProfile* b_out) {
+  a_out.values.assign(cx.la, kInf);
+  a_out.indices.assign(cx.la, kNoNeighbor);
+  if (b_out != nullptr) {
+    b_out->values.assign(cx.lb, kInf);
+    b_out->indices.assign(cx.lb, kNoNeighbor);
+  }
+  if (DiagCount(cx) == 0) return;
+
+  const std::vector<size_t> bounds = ChunkDiagonals(cx, chunks);
+  const size_t parts = bounds.size() - 1;
+  std::vector<SweepPartial> partials(parts);
+  if (parts == 1) {
+    partials[0].Reset(cx);
+    RowSweep(cx, partials[0]);
+  } else {
+    ParallelFor(parts, parts, [&](size_t c) {
+      partials[c].Reset(cx);
+      SweepDiagonals(cx, bounds[c], bounds[c + 1], partials[c]);
+    });
+  }
+  for (size_t c = 0; c < parts; ++c) {
+    MergePartial(cx, partials[c], a_out, b_out);
+  }
+}
+
+// -------------------------------------------------------------- public API
+
+MatrixProfile MatrixProfileEngine::SelfJoin(std::span<const double> series,
+                                            size_t window, size_t exclusion) {
+  IPS_CHECK(window >= 2);
+  IPS_CHECK(series.size() > window);
+  if (exclusion == 0) exclusion = DefaultExclusionZone(window);
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  joins_.fetch_add(1, std::memory_order_relaxed);
+
+  const SweepContext cx = MakeContext(series, series, window, /*self=*/true,
+                                      exclusion, /*want_b=*/false);
+  MatrixProfile mp;
+  RunSweep(cx, num_threads_, mp, nullptr);
+  return mp;
+}
+
+MatrixProfile MatrixProfileEngine::AbJoin(std::span<const double> a,
+                                          std::span<const double> b,
+                                          size_t window) {
+  IPS_CHECK(window >= 2);
+  IPS_CHECK(a.size() >= window);
+  IPS_CHECK(b.size() >= window);
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  joins_.fetch_add(1, std::memory_order_relaxed);
+
+  const SweepContext cx = MakeContext(a, b, window, /*self=*/false,
+                                      /*exclusion=*/0, /*want_b=*/false);
+  MatrixProfile mp;
+  RunSweep(cx, num_threads_, mp, nullptr);
+  return mp;
+}
+
+PairJoin MatrixProfileEngine::AbJoinBoth(std::span<const double> a,
+                                         std::span<const double> b,
+                                         size_t window) {
+  IPS_CHECK(window >= 2);
+  IPS_CHECK(a.size() >= window);
+  IPS_CHECK(b.size() >= window);
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  joins_.fetch_add(2, std::memory_order_relaxed);
+  halved_.fetch_add(1, std::memory_order_relaxed);
+
+  const SweepContext cx = MakeContext(a, b, window, /*self=*/false,
+                                      /*exclusion=*/0, /*want_b=*/true);
+  PairJoin join;
+  join.a = 0;
+  join.b = 1;
+  RunSweep(cx, num_threads_, join.a_vs_b, &join.b_vs_a);
+  return join;
+}
+
+std::vector<PairJoin> MatrixProfileEngine::JoinAllPairs(
+    const std::vector<std::span<const double>>& views, size_t window) {
+  IPS_CHECK(window >= 2);
+  for (const auto& v : views) IPS_CHECK(v.size() >= window);
+
+  std::vector<PairJoin> joins;
+  const size_t n = views.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      PairJoin pj;
+      pj.a = i;
+      pj.b = j;
+      joins.push_back(std::move(pj));
+    }
+  }
+  const size_t pair_count = joins.size();
+  if (pair_count == 0) return joins;
+  sweeps_.fetch_add(pair_count, std::memory_order_relaxed);
+  joins_.fetch_add(2 * pair_count, std::memory_order_relaxed);
+  halved_.fetch_add(pair_count, std::memory_order_relaxed);
+
+  // Warm the per-series stats serially so concurrent pair setup below only
+  // ever hits (a racing double-compute would be harmless but wasted work).
+  for (const auto& v : views) CachedStats(v, window);
+
+  // Phase 1, parallel over pairs: contexts (seed dot products are the
+  // per-pair setup cost) and per-pair chunk boundaries. With more threads
+  // than pairs, each pair's diagonals are split so every worker stays busy.
+  const size_t chunks_per_pair =
+      pair_count >= num_threads_
+          ? 1
+          : (num_threads_ + pair_count - 1) / pair_count;
+  std::vector<SweepContext> contexts(pair_count);
+  std::vector<std::vector<size_t>> bounds(pair_count);
+  ParallelFor(pair_count, num_threads_, [&](size_t t) {
+    contexts[t] = MakeContext(views[joins[t].a], views[joins[t].b], window,
+                              /*self=*/false, /*exclusion=*/0,
+                              /*want_b=*/true);
+    bounds[t] = ChunkDiagonals(contexts[t], chunks_per_pair);
+    joins[t].a_vs_b.values.assign(contexts[t].la, kInf);
+    joins[t].a_vs_b.indices.assign(contexts[t].la, kNoNeighbor);
+    joins[t].b_vs_a.values.assign(contexts[t].lb, kInf);
+    joins[t].b_vs_a.indices.assign(contexts[t].lb, kNoNeighbor);
+  });
+
+  // Phase 2, parallel over (pair, chunk) work items with private partials.
+  struct WorkItem {
+    size_t pair;
+    size_t chunk;
+  };
+  std::vector<WorkItem> items;
+  for (size_t t = 0; t < pair_count; ++t) {
+    for (size_t c = 0; c + 1 < bounds[t].size(); ++c) {
+      items.push_back({t, c});
+    }
+  }
+  std::vector<size_t> pair_parts(pair_count);
+  for (size_t t = 0; t < pair_count; ++t) pair_parts[t] = bounds[t].size() - 1;
+  std::vector<SweepPartial> partials(items.size());
+  ParallelFor(items.size(), num_threads_, [&](size_t w) {
+    const WorkItem& it = items[w];
+    const SweepContext& cx = contexts[it.pair];
+    partials[w].Reset(cx);
+    if (pair_parts[it.pair] == 1) {
+      // Unsharded pair: the row-order fast path (bitwise identical to the
+      // diagonal walk -- same seeds, same chained QT values).
+      RowSweep(cx, partials[w]);
+    } else {
+      SweepDiagonals(cx, bounds[it.pair][it.chunk],
+                     bounds[it.pair][it.chunk + 1], partials[w]);
+    }
+  });
+
+  // Phase 3, serial merge in original (pair, chunk) order.
+  for (size_t w = 0; w < items.size(); ++w) {
+    const WorkItem& it = items[w];
+    MergePartial(contexts[it.pair], partials[w], joins[it.pair].a_vs_b,
+                 &joins[it.pair].b_vs_a);
+  }
+  return joins;
+}
+
+// ------------------------------------------------------- instrumentation
+
+MpEngineCounters MatrixProfileEngine::counters() const {
+  MpEngineCounters c;
+  c.joins_computed = joins_.load(std::memory_order_relaxed);
+  c.qt_sweeps = sweeps_.load(std::memory_order_relaxed);
+  c.joins_halved = halved_.load(std::memory_order_relaxed);
+  c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  c.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void MatrixProfileEngine::ResetCounters() {
+  joins_.store(0, std::memory_order_relaxed);
+  sweeps_.store(0, std::memory_order_relaxed);
+  halved_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+}
+
+void MatrixProfileEngine::ClearCaches() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(fft_mu_);
+    fft_series_.clear();
+    fft_query_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(seed_mu_);
+    seeds_.clear();
+  }
+}
+
+}  // namespace ips

@@ -1,0 +1,272 @@
+// Batched matrix-profile engine.
+//
+// The instance-profile stage (paper Defs. 8-9, Alg. 1 line 5) is the
+// dominant cost of IPS discovery: a sample of Q_S instances needs every
+// ordered AB-join among its members, per candidate length, per sample. The
+// free kernels in matrix_profile.h recompute rolling statistics and seed
+// sliding-dot-products for every join and compute each unordered pair
+// twice. The MatrixProfileEngine amortises all of that, the way the
+// DistanceEngine (core/distance_engine.h) amortises the Def. 4 layer:
+//
+//  * a cache of per-series artefacts -- RollingStats keyed by
+//    (series, window), forward FFTs keyed by (series, padded size) and seed
+//    sliding-dot-products keyed by (query series, target series, window) --
+//    shared across every join of a batch;
+//  * pair symmetry: one QT sweep over an unordered pair yields the row
+//    minima (the a-side profile) AND the column minima (the b-side
+//    profile), because QT values along a diagonal and the z-normalised
+//    distance are both bitwise symmetric under exchanging the sides. This
+//    halves the O(|sample|^2) join count of an all-pairs batch;
+//  * diagonal sharding: a sweep's diagonals are split into cell-balanced
+//    chunks over worker threads, each with private scratch, and the
+//    per-chunk partial minima are merged serially -- so profiles are
+//    bitwise identical to AbJoinProfile / SelfJoinProfile at every thread
+//    count.
+//
+// Bitwise-identity argument, in full (tests/mp_engine_test.cc asserts it):
+// every QT value chains along its diagonal from a row-0 or column-0 seed by
+// the shared StompAdvance step, which both the serial kernels and the
+// engine apply in the same order from the same seeds; StompZNormDistance is
+// written to be exactly symmetric (stomp_common.h); and a serial kernel's
+// strict-< running minimum over candidates in increasing-index order equals
+// "smallest value, smallest index achieving it", which is what the
+// order-independent (value, index) merge rule computes.
+//
+// Thread-safety contract: all public methods may be called concurrently on
+// one engine. Caches are mutex-guarded and fills are pure functions of the
+// series bytes, so a racing double-compute yields identical values and
+// first-insert wins.
+//
+// Lifetime contract: cached artefacts are keyed by data address and length;
+// callers that re-batch against freed or reused storage must ClearCaches()
+// first (candidate generation builds one engine per sampling task, whose
+// series outlive it).
+
+#ifndef IPS_MATRIX_PROFILE_MP_ENGINE_H_
+#define IPS_MATRIX_PROFILE_MP_ENGINE_H_
+
+#include <atomic>
+#include <complex>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/znorm.h"
+#include "matrix_profile/matrix_profile.h"
+
+namespace ips {
+
+/// Monotonic instrumentation counters (snapshot via counters()).
+struct MpEngineCounters {
+  size_t joins_computed = 0;  ///< directed join profiles produced
+  size_t qt_sweeps = 0;       ///< QT sweeps run (1 per unordered pair)
+  size_t joins_halved = 0;    ///< joins served by a sweep's far side (saved)
+  size_t cache_hits = 0;      ///< artefact-cache hits (stats/FFT/seed dots)
+  size_t cache_misses = 0;    ///< artefact-cache misses (entry computed)
+};
+
+/// Both directions of one unordered AB-join: `a_vs_b` annotates windows of
+/// the pair's first series with their nearest window in the second
+/// (== AbJoinProfile(a, b, window) bitwise) and `b_vs_a` the reverse.
+struct PairJoin {
+  size_t a = 0;  ///< batch index of the first series
+  size_t b = 0;  ///< batch index of the second series
+  MatrixProfile a_vs_b;
+  MatrixProfile b_vs_a;
+};
+
+class MatrixProfileEngine {
+ public:
+  /// `num_threads` shards every join and batch (1 = serial). The thread
+  /// count never changes results, only wall-clock.
+  explicit MatrixProfileEngine(size_t num_threads = 1)
+      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+  MatrixProfileEngine(const MatrixProfileEngine&) = delete;
+  MatrixProfileEngine& operator=(const MatrixProfileEngine&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+  void set_num_threads(size_t n) { num_threads_ = n == 0 ? 1 : n; }
+
+  /// Minimum QT cells per sweep chunk before another shard is opened; small
+  /// sweeps stay single-chunk and take the row-order fast path. A perf
+  /// knob only -- chunking never changes results. Tests lower it to force
+  /// the sharded diagonal path on small inputs.
+  void set_min_cells_per_chunk(size_t cells) {
+    min_cells_per_chunk_ = cells == 0 ? 1 : cells;
+  }
+
+  /// SelfJoinProfile(series, window, exclusion), bitwise identical, with
+  /// the sweep's diagonals sharded over the engine's threads.
+  MatrixProfile SelfJoin(std::span<const double> series, size_t window,
+                         size_t exclusion = 0);
+
+  /// AbJoinProfile(a, b, window), bitwise identical. Prefer AbJoinBoth or
+  /// JoinAllPairs when the reverse direction is needed too -- this entry
+  /// point runs the sweep without collecting column minima.
+  MatrixProfile AbJoin(std::span<const double> a, std::span<const double> b,
+                       size_t window);
+
+  /// Both directions of the (a, b) join from ONE QT sweep: row minima give
+  /// a_vs_b, column minima give b_vs_a, each bitwise identical to the
+  /// corresponding AbJoinProfile call. The `a`/`b` members of the result
+  /// are 0 and 1.
+  PairJoin AbJoinBoth(std::span<const double> a, std::span<const double> b,
+                      size_t window);
+
+  /// Every unordered pair (i < j) of `views`, each computed once via the
+  /// pair-symmetric sweep, sharded over threads with per-chunk scratch and
+  /// a serial original-order merge. Result t covers the t-th pair of the
+  /// lexicographic (i, j) enumeration; all profiles are bitwise identical
+  /// to the serial AbJoinProfile in both directions, for any thread count.
+  /// Requires every view to be at least `window` long.
+  std::vector<PairJoin> JoinAllPairs(
+      const std::vector<std::span<const double>>& views, size_t window);
+
+  MpEngineCounters counters() const;
+  void ResetCounters();
+
+  /// Drops every cached artefact. Required before reusing an engine against
+  /// data whose storage may have been freed or reused.
+  void ClearCaches();
+
+ private:
+  struct SeriesKey {
+    const double* data;
+    size_t len;
+    size_t aux;  // window (stats), padded size (FFT)
+    bool operator==(const SeriesKey& o) const {
+      return data == o.data && len == o.len && aux == o.aux;
+    }
+  };
+  struct SeriesKeyHash {
+    size_t operator()(const SeriesKey& k) const {
+      size_t h = std::hash<const double*>{}(k.data);
+      h ^= std::hash<size_t>{}(k.len) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      h ^= std::hash<size_t>{}(k.aux) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      return h;
+    }
+  };
+  /// Seed sliding-dot-products are a property of (query series, target
+  /// series, window): dots of x's first window against every window of y.
+  struct SeedKey {
+    const double* query;
+    const double* series;
+    size_t series_len;
+    size_t window;
+    bool operator==(const SeedKey& o) const {
+      return query == o.query && series == o.series &&
+             series_len == o.series_len && window == o.window;
+    }
+  };
+  struct SeedKeyHash {
+    size_t operator()(const SeedKey& k) const {
+      size_t h = std::hash<const double*>{}(k.query);
+      h ^= std::hash<const double*>{}(k.series) + 0x9e3779b97f4a7c15ULL +
+           (h << 6);
+      h ^= std::hash<size_t>{}(k.series_len) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      h ^= std::hash<size_t>{}(k.window) + 0x9e3779b97f4a7c15ULL + (h << 6);
+      return h;
+    }
+  };
+
+  /// One sweep's immutable inputs: the pair, its rolling stats and its
+  /// row-0 / column-0 QT seeds (cache-owned pointers).
+  struct SweepContext {
+    std::span<const double> a;
+    std::span<const double> b;
+    size_t window = 0;
+    size_t la = 0;  // number of a-side windows
+    size_t lb = 0;  // number of b-side windows
+    const RollingStats* stats_a = nullptr;
+    const RollingStats* stats_b = nullptr;
+    const std::vector<double>* row0 = nullptr;  // QT(0, j)
+    const std::vector<double>* col0 = nullptr;  // QT(i, 0)
+    bool self = false;      // a and b are the same series
+    size_t exclusion = 0;   // self-join trivial-match half-width
+    bool want_b = true;     // collect column minima (the b-side profile)
+  };
+
+  /// Running minima for (a chunk of) one sweep. The merge rule -- smaller
+  /// value wins, bitwise-equal values go to the smaller neighbour index --
+  /// is visit-order independent, so chunk boundaries never affect results.
+  struct SweepPartial {
+    std::vector<double> a_val;
+    std::vector<size_t> a_idx;
+    std::vector<double> b_val;  // unused for self joins / want_b == false
+    std::vector<size_t> b_idx;
+    void Reset(const SweepContext& cx);
+  };
+
+  // Cache accessors: return a stable pointer to the cached artefact,
+  // computing and inserting it on miss.
+  const RollingStats* CachedStats(std::span<const double> s, size_t window);
+  const std::vector<std::complex<double>>* CachedFft(
+      std::span<const double> s, size_t padded, bool reversed);
+  const std::vector<double>* CachedSeedDots(std::span<const double> x,
+                                            std::span<const double> y,
+                                            size_t window);
+
+  /// Builds the sweep context for one (a, b) pair, filling stats and seeds
+  /// from the caches.
+  SweepContext MakeContext(std::span<const double> a, std::span<const double> b,
+                           size_t window, bool self, size_t exclusion,
+                           bool want_b);
+
+  /// Walks diagonals [diag_begin, diag_end) of the sweep, updating the
+  /// partial. Diagonal indices enumerate c = index - (la - 1) for AB pairs
+  /// and c = exclusion + 1 + index for self joins.
+  static void SweepDiagonals(const SweepContext& cx, size_t diag_begin,
+                             size_t diag_end, SweepPartial& partial);
+
+  /// Full sweep in row order (the kernels' in-place right-to-left
+  /// recurrence), the serial fast path: no loop-carried QT stall, bitwise
+  /// identical to SweepDiagonals over every diagonal.
+  static void RowSweep(const SweepContext& cx, SweepPartial& partial);
+
+  /// Number of diagonals of the sweep and of cells on one diagonal.
+  static size_t DiagCount(const SweepContext& cx);
+  static size_t DiagCells(const SweepContext& cx, size_t diag);
+
+  /// Splits [0, DiagCount) into at most `chunks` cell-balanced ranges,
+  /// keeping at least min_cells_per_chunk_ cells per range.
+  std::vector<size_t> ChunkDiagonals(const SweepContext& cx,
+                                     size_t chunks) const;
+
+  /// Merges a partial into the sweep's output profiles (serial).
+  static void MergePartial(const SweepContext& cx, const SweepPartial& partial,
+                           MatrixProfile& a_out, MatrixProfile* b_out);
+
+  /// Runs one sweep with its diagonals sharded over `chunks` workers.
+  void RunSweep(const SweepContext& cx, size_t chunks, MatrixProfile& a_out,
+                MatrixProfile* b_out);
+
+  size_t num_threads_;
+  size_t min_cells_per_chunk_ = size_t{1} << 16;
+
+  mutable std::mutex stats_mu_;
+  std::unordered_map<SeriesKey, RollingStats, SeriesKeyHash> stats_;
+  mutable std::mutex fft_mu_;
+  // aux = padded size; reversed (query-side) transforms get their own map
+  // so a key never aliases a series-side transform.
+  std::unordered_map<SeriesKey, std::vector<std::complex<double>>,
+                     SeriesKeyHash>
+      fft_series_;
+  std::unordered_map<SeriesKey, std::vector<std::complex<double>>,
+                     SeriesKeyHash>
+      fft_query_;
+  mutable std::mutex seed_mu_;
+  std::unordered_map<SeedKey, std::vector<double>, SeedKeyHash> seeds_;
+
+  std::atomic<size_t> joins_{0};
+  std::atomic<size_t> sweeps_{0};
+  std::atomic<size_t> halved_{0};
+  std::atomic<size_t> cache_hits_{0};
+  std::atomic<size_t> cache_misses_{0};
+};
+
+}  // namespace ips
+
+#endif  // IPS_MATRIX_PROFILE_MP_ENGINE_H_

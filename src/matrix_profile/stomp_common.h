@@ -1,0 +1,66 @@
+// Shared STOMP arithmetic used by every matrix-profile join variant.
+//
+// The serial kernels (matrix_profile.cc), the chunked parallel self-join and
+// the batched MatrixProfileEngine (mp_engine.cc) must produce bitwise
+// identical profiles, so the three pieces of arithmetic they share live here
+// as inline helpers: the z-normalised distance from a raw dot product, the
+// O(1) QT recurrence step, and the naive/FFT dispatch rule for the seed
+// sliding-dot-products. Keeping each in exactly one place is what makes the
+// bitwise-identity contract auditable -- any divergence would have to be a
+// different call, not a diverged copy.
+
+#ifndef IPS_MATRIX_PROFILE_STOMP_COMMON_H_
+#define IPS_MATRIX_PROFILE_STOMP_COMMON_H_
+
+#include <cmath>
+
+#include <algorithm>
+#include <span>
+
+#include "core/distance.h"
+#include "core/fft.h"
+#include "core/znorm.h"
+
+namespace ips {
+
+/// Z-normalised distance between a window of the `a` side (mean mu_a, std
+/// sig_a) and a window of the `b` side given their raw dot product `qt`.
+/// Exactly symmetric under (a, b) exchange -- the property the engine's
+/// pair-symmetric sweep relies on to serve both join directions from one
+/// evaluation: the mixed products are grouped as m * (mu_a * mu_b) and
+/// m * (sig_a * sig_b), so swapping the sides only commutes single IEEE
+/// multiplications and the result is bitwise unchanged.
+inline double StompZNormDistance(double qt, size_t window, double mu_a,
+                                 double sig_a, double mu_b, double sig_b) {
+  const double m = static_cast<double>(window);
+  const bool flat_a = sig_a < kFlatStdEpsilon;
+  const bool flat_b = sig_b < kFlatStdEpsilon;
+  if (flat_a && flat_b) return 0.0;
+  if (flat_a || flat_b) return std::sqrt(m);
+  const double corr = (qt - m * (mu_a * mu_b)) / (m * (sig_a * sig_b));
+  const double d2 = std::max(0.0, 2.0 * m * (1.0 - corr));
+  return std::sqrt(d2);
+}
+
+/// One step of the STOMP recurrence along a diagonal:
+///   QT(i, j) = QT(i-1, j-1) - a[i-1] b[j-1] + a[i+m-1] b[j+m-1].
+/// The subtraction is applied before the addition, matching the historic
+/// in-place row update -- callers must not reassociate.
+inline double StompAdvance(double qt, std::span<const double> a,
+                           std::span<const double> b, size_t i, size_t j,
+                           size_t window) {
+  return qt - a[i - 1] * b[j - 1] + a[i + window - 1] * b[j + window - 1];
+}
+
+/// Whether a seed row (sliding dot products of a length-`window` query
+/// against a length-`series_len` series) goes through the FFT kernel.
+/// Equivalent to the historic InitialDots dispatch: queries under
+/// kFftCutoff always go direct, longer ones follow the calibrated
+/// cost model of SlidingDotProductsAuto.
+inline bool StompSeedUsesFft(size_t window, size_t series_len) {
+  return window >= kFftCutoff && ShouldUseFftSlidingProducts(window, series_len);
+}
+
+}  // namespace ips
+
+#endif  // IPS_MATRIX_PROFILE_STOMP_COMMON_H_

@@ -1,0 +1,278 @@
+// Bitwise-identity suite for the MatrixProfileEngine: every engine entry
+// point must reproduce the serial AbJoinProfile / SelfJoinProfile kernels
+// EXACTLY (EXPECT_EQ on doubles, no tolerance) at every thread count --
+// that is the contract that lets the instance-profile stage shard pairs
+// over cores without perturbing discovery results.
+
+#include "matrix_profile/mp_engine.h"
+
+#include <cstddef>
+
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time_series.h"
+#include "data/generator.h"
+#include "ips/candidate_gen.h"
+#include "ips/config.h"
+#include "ips/instance_profile.h"
+#include "matrix_profile/matrix_profile.h"
+#include "gtest/gtest.h"
+
+namespace ips {
+namespace {
+
+std::vector<double> RandomWalk(Rng& rng, size_t n) {
+  std::vector<double> v(n);
+  double level = 0.0;
+  for (auto& x : v) {
+    level = 0.95 * level + rng.Gaussian(0.0, 1.0);
+    x = level;
+  }
+  return v;
+}
+
+void ExpectProfilesIdentical(const MatrixProfile& expected,
+                             const MatrixProfile& actual, const char* what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected.values[i], actual.values[i]) << what << " value " << i;
+    EXPECT_EQ(expected.indices[i], actual.indices[i]) << what << " index " << i;
+  }
+}
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+
+TEST(MpEngineSelfJoinTest, BitwiseIdenticalToSerialKernel) {
+  Rng rng(7);
+  const std::vector<double> series = RandomWalk(rng, 240);
+  for (size_t window : {5u, 16u, 48u}) {
+    const MatrixProfile expected = SelfJoinProfile(series, window);
+    for (size_t threads : kThreadCounts) {
+      MatrixProfileEngine engine(threads);
+      ExpectProfilesIdentical(expected, engine.SelfJoin(series, window),
+                              "self join");
+      // Force fine-grained diagonal sharding (a join this small would
+      // otherwise stay single-chunk on the row-order fast path).
+      MatrixProfileEngine sharded(threads);
+      sharded.set_min_cells_per_chunk(1);
+      ExpectProfilesIdentical(expected, sharded.SelfJoin(series, window),
+                              "sharded self join");
+    }
+  }
+}
+
+TEST(MpEngineSelfJoinTest, CustomExclusionZone) {
+  Rng rng(11);
+  const std::vector<double> series = RandomWalk(rng, 150);
+  const size_t window = 12;
+  for (size_t exclusion : {1u, 6u, 30u}) {
+    const MatrixProfile expected = SelfJoinProfile(series, window, exclusion);
+    for (size_t threads : kThreadCounts) {
+      MatrixProfileEngine engine(threads);
+      engine.set_min_cells_per_chunk(1);
+      ExpectProfilesIdentical(
+          expected, engine.SelfJoin(series, window, exclusion), "exclusion");
+    }
+  }
+}
+
+TEST(MpEngineSelfJoinTest, FlatRegionsMatch) {
+  // Constant stretches exercise the flat-std branches of the distance.
+  Rng rng(13);
+  std::vector<double> series = RandomWalk(rng, 180);
+  for (size_t i = 40; i < 70; ++i) series[i] = 2.5;
+  for (size_t i = 120; i < 150; ++i) series[i] = 2.5;
+  const size_t window = 10;
+  const MatrixProfile expected = SelfJoinProfile(series, window);
+  for (size_t threads : kThreadCounts) {
+    MatrixProfileEngine engine(threads);
+    engine.set_min_cells_per_chunk(1);
+    ExpectProfilesIdentical(expected, engine.SelfJoin(series, window), "flat");
+  }
+}
+
+TEST(MpEngineAbJoinTest, BothDirectionsBitwiseIdentical) {
+  Rng rng(17);
+  const std::vector<double> a = RandomWalk(rng, 200);
+  const std::vector<double> b = RandomWalk(rng, 130);
+  for (size_t window : {4u, 21u}) {
+    const MatrixProfile ab = AbJoinProfile(a, b, window);
+    const MatrixProfile ba = AbJoinProfile(b, a, window);
+    for (size_t threads : kThreadCounts) {
+      MatrixProfileEngine engine(threads);
+      ExpectProfilesIdentical(ab, engine.AbJoin(a, b, window), "a vs b");
+      ExpectProfilesIdentical(ba, engine.AbJoin(b, a, window), "b vs a");
+
+      // One sweep, both sides.
+      const PairJoin both = engine.AbJoinBoth(a, b, window);
+      ExpectProfilesIdentical(ab, both.a_vs_b, "pair a side");
+      ExpectProfilesIdentical(ba, both.b_vs_a, "pair b side");
+
+      // Same, forced onto the fine-grained sharded diagonal path.
+      MatrixProfileEngine sharded(threads);
+      sharded.set_min_cells_per_chunk(1);
+      const PairJoin sharded_both = sharded.AbJoinBoth(a, b, window);
+      ExpectProfilesIdentical(ab, sharded_both.a_vs_b, "sharded a side");
+      ExpectProfilesIdentical(ba, sharded_both.b_vs_a, "sharded b side");
+    }
+  }
+}
+
+TEST(MpEngineAbJoinTest, FftSeedPathBitwiseIdentical) {
+  // Window long enough that the seed sliding-dot-products dispatch to the
+  // FFT kernel (window >= kFftCutoff and the cost model prefers FFT).
+  Rng rng(19);
+  const std::vector<double> a = RandomWalk(rng, 2048);
+  const std::vector<double> b = RandomWalk(rng, 1500);
+  const size_t window = 512;
+  const MatrixProfile ab = AbJoinProfile(a, b, window);
+  const MatrixProfile ba = AbJoinProfile(b, a, window);
+  const MatrixProfile self = SelfJoinProfile(a, window);
+  for (size_t threads : {1u, 8u}) {
+    MatrixProfileEngine engine(threads);
+    const PairJoin both = engine.AbJoinBoth(a, b, window);
+    ExpectProfilesIdentical(ab, both.a_vs_b, "fft a side");
+    ExpectProfilesIdentical(ba, both.b_vs_a, "fft b side");
+    ExpectProfilesIdentical(self, engine.SelfJoin(a, window), "fft self");
+  }
+}
+
+TEST(MpEngineAbJoinTest, SingleWindowSeries) {
+  // b has exactly one window (size == window): la x 1 sweep, lb = 1.
+  Rng rng(23);
+  const std::vector<double> a = RandomWalk(rng, 60);
+  const std::vector<double> b = RandomWalk(rng, 9);
+  const size_t window = 9;
+  const MatrixProfile ab = AbJoinProfile(a, b, window);
+  const MatrixProfile ba = AbJoinProfile(b, a, window);
+  for (size_t threads : kThreadCounts) {
+    MatrixProfileEngine engine(threads);
+    const PairJoin both = engine.AbJoinBoth(a, b, window);
+    ExpectProfilesIdentical(ab, both.a_vs_b, "one-window a side");
+    ExpectProfilesIdentical(ba, both.b_vs_a, "one-window b side");
+  }
+}
+
+TEST(MpEngineJoinAllPairsTest, EveryPairBothDirections) {
+  Rng rng(29);
+  std::vector<std::vector<double>> series;
+  for (size_t n : {90u, 120u, 75u, 104u}) {
+    series.push_back(RandomWalk(rng, n));
+  }
+  std::vector<std::span<const double>> views(series.begin(), series.end());
+  const size_t window = 14;
+
+  for (size_t threads : kThreadCounts) {
+    MatrixProfileEngine engine(threads);
+    engine.set_min_cells_per_chunk(1);
+    const std::vector<PairJoin> joins = engine.JoinAllPairs(views, window);
+    ASSERT_EQ(joins.size(), 6u);  // C(4, 2)
+    size_t t = 0;
+    for (size_t i = 0; i < views.size(); ++i) {
+      for (size_t j = i + 1; j < views.size(); ++j, ++t) {
+        ASSERT_EQ(joins[t].a, i);
+        ASSERT_EQ(joins[t].b, j);
+        ExpectProfilesIdentical(AbJoinProfile(views[i], views[j], window),
+                                joins[t].a_vs_b, "batch a side");
+        ExpectProfilesIdentical(AbJoinProfile(views[j], views[i], window),
+                                joins[t].b_vs_a, "batch b side");
+      }
+    }
+  }
+}
+
+TEST(MpEngineCountersTest, PairSymmetryHalvesJoins) {
+  Rng rng(31);
+  std::vector<std::vector<double>> series;
+  for (size_t n : {80u, 80u, 80u}) series.push_back(RandomWalk(rng, n));
+  std::vector<std::span<const double>> views(series.begin(), series.end());
+
+  MatrixProfileEngine engine(2);
+  engine.JoinAllPairs(views, 10);
+  const MpEngineCounters c = engine.counters();
+  // 3 unordered pairs serve all 6 directed joins of the historic code.
+  EXPECT_EQ(c.qt_sweeps, 3u);
+  EXPECT_EQ(c.joins_computed, 6u);
+  EXPECT_EQ(c.joins_halved, 3u);
+  EXPECT_GT(c.cache_misses, 0u);
+
+  // A second batch over the same views is served from the artefact caches.
+  const size_t misses_before = c.cache_misses;
+  engine.JoinAllPairs(views, 10);
+  const MpEngineCounters c2 = engine.counters();
+  EXPECT_EQ(c2.cache_misses, misses_before);
+  EXPECT_GT(c2.cache_hits, c.cache_hits);
+
+  engine.ResetCounters();
+  const MpEngineCounters zero = engine.counters();
+  EXPECT_EQ(zero.joins_computed, 0u);
+  EXPECT_EQ(zero.cache_hits, 0u);
+}
+
+TEST(MpEngineInstanceProfileTest, EngineMatchesSerialConstruction) {
+  Rng rng(37);
+  std::vector<TimeSeries> sample;
+  for (size_t n : {70u, 95u, 4u, 82u}) {  // the length-4 instance is skipped
+    TimeSeries t;
+    t.values = RandomWalk(rng, n);
+    sample.push_back(std::move(t));
+  }
+  const size_t window = 11;
+  for (size_t neighbors : {1u, 2u}) {
+    const InstanceProfile expected =
+        ComputeInstanceProfile(sample, window, neighbors);
+    for (size_t threads : kThreadCounts) {
+      MatrixProfileEngine engine(threads);
+      const InstanceProfile actual =
+          ComputeInstanceProfile(sample, window, neighbors, &engine);
+      ASSERT_EQ(expected.size(), actual.size());
+      for (size_t e = 0; e < expected.size(); ++e) {
+        EXPECT_EQ(expected.values[e], actual.values[e]) << "entry " << e;
+        EXPECT_EQ(expected.instances[e], actual.instances[e]);
+        EXPECT_EQ(expected.offsets[e], actual.offsets[e]);
+      }
+    }
+  }
+}
+
+TEST(MpEngineCandidateGenTest, OutputIndependentOfThreadCount) {
+  GeneratorSpec spec;
+  spec.name = "mp-engine-candgen";
+  spec.num_classes = 2;
+  spec.train_size = 12;
+  spec.test_size = 2;
+  spec.length = 64;
+  const Dataset train = GenerateDataset(spec).train;
+
+  IpsOptions options;
+  options.num_threads = 1;
+  Rng rng_base(options.seed);
+  const CandidatePool base = GenerateCandidates(train, options, rng_base);
+
+  for (size_t threads : {2u, 5u, 8u}) {
+    options.num_threads = threads;
+    Rng rng(options.seed);
+    const CandidatePool got = GenerateCandidates(train, options, rng);
+    ASSERT_EQ(base.motifs.size(), got.motifs.size()) << threads;
+    for (const auto& [label, pool] : base.motifs) {
+      const auto& other = got.motifs.at(label);
+      ASSERT_EQ(pool.size(), other.size()) << threads << " threads";
+      for (size_t i = 0; i < pool.size(); ++i) {
+        EXPECT_EQ(pool[i].values, other[i].values);
+        EXPECT_EQ(pool[i].label, other[i].label);
+      }
+    }
+    for (const auto& [label, pool] : base.discords) {
+      const auto& other = got.discords.at(label);
+      ASSERT_EQ(pool.size(), other.size()) << threads << " threads";
+      for (size_t i = 0; i < pool.size(); ++i) {
+        EXPECT_EQ(pool[i].values, other[i].values);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ips
