@@ -1,0 +1,348 @@
+// Scalar-vs-SIMD before/after numbers for the kernel layer (core/simd.h),
+// emitted as machine-readable JSON (BENCH_simd.json).
+//
+// Each kernel is timed as the dispatched (SIMD) entry point against the
+// always-compiled scalar reference on the same inputs, best-of-trials, with
+// a checksum over the outputs to confirm the two paths computed the same
+// values (they are bitwise identical; tests/simd_kernel_test.cc is the
+// strict assertion, the checksum here guards the benchmark itself). On top
+// of the kernels, the end-to-end block times IpsClassifier::PredictBatch
+// against the equivalent per-series Predict loop at equal predictions.
+//
+// Usage: bench_simd [--out=PATH]   (default ./BENCH_simd.json)
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/simd.h"
+#include "core/znorm.h"
+#include "data/generator.h"
+#include "ips/pipeline.h"
+#include "util/parallel.h"
+
+namespace ips {
+namespace {
+
+struct KernelResult {
+  std::string kernel;
+  double scalar_ns = 0.0;
+  double simd_ns = 0.0;
+  bool checksum_equal = false;
+
+  double Speedup() const { return simd_ns > 0.0 ? scalar_ns / simd_ns : 0.0; }
+};
+
+double BestOfNs(const std::function<void()>& fn, int trials, int reps) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        static_cast<double>(reps);
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+double Checksum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.Gaussian();
+  return out;
+}
+
+// Naive distance profile core: sliding dot products of a short query, the
+// regime below the FFT cutoff where the O(nm) loop runs.
+KernelResult BenchSlidingDots() {
+  const size_t m = 48, n = 8192, count = n - m + 1;
+  const auto q = RandomSeries(m, 1);
+  const auto s = RandomSeries(n, 2);
+  std::vector<double> out_simd(count), out_scalar(count);
+
+  KernelResult r;
+  r.kernel = "sliding_dots";
+  r.simd_ns = BestOfNs(
+      [&] { simd::SlidingDots(q.data(), m, s.data(), n, out_simd.data()); }, 5,
+      3);
+  r.scalar_ns = BestOfNs(
+      [&] {
+        simd::scalar::SlidingDots(q.data(), m, s.data(), n, out_scalar.data());
+      },
+      5, 3);
+  r.checksum_equal = Checksum(out_simd) == Checksum(out_scalar);
+  return r;
+}
+
+// The raw-profile tail on precomputed dots (the DistanceEngine min-reduce
+// shape, materialised so the checksum can compare outputs).
+KernelResult BenchRawProfile() {
+  const size_t m = 64, n = 65536, count = n - m + 1;
+  const auto s = RandomSeries(n, 3);
+  const auto q = RandomSeries(m, 4);
+  double qq = 0.0;
+  for (double v : q) qq += v * v;
+  std::vector<double> sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) sq[i + 1] = sq[i] + s[i] * s[i];
+  const auto dots = RandomSeries(count, 5);
+  std::vector<double> out_simd(count), out_scalar(count);
+
+  KernelResult r;
+  r.kernel = "raw_profile";
+  r.simd_ns = BestOfNs(
+      [&] {
+        simd::RawProfileFromDots(qq, sq.data(), m, dots.data(), count,
+                                 out_simd.data());
+      },
+      5, 10);
+  r.scalar_ns = BestOfNs(
+      [&] {
+        simd::scalar::RawProfileFromDots(qq, sq.data(), m, dots.data(), count,
+                                         out_scalar.data());
+      },
+      5, 10);
+  r.checksum_equal = Checksum(out_simd) == Checksum(out_scalar);
+  return r;
+}
+
+// The z-norm profile tail (MASS) with realistic rolling stats.
+KernelResult BenchZNormProfile() {
+  const size_t m = 64, n = 65536, count = n - m + 1;
+  const auto s = RandomSeries(n, 6);
+  const RollingStats stats = ComputeRollingStats(s, m);
+  const auto dots = RandomSeries(count, 7);
+  std::vector<double> out_simd(count), out_scalar(count);
+
+  KernelResult r;
+  r.kernel = "znorm_profile";
+  r.simd_ns = BestOfNs(
+      [&] {
+        simd::ZNormProfileFromDots(dots.data(), stats.stds.data(), count, m,
+                                   false, out_simd.data());
+      },
+      5, 10);
+  r.scalar_ns = BestOfNs(
+      [&] {
+        simd::scalar::ZNormProfileFromDots(dots.data(), stats.stds.data(),
+                                           count, m, false, out_scalar.data());
+      },
+      5, 10);
+  r.checksum_equal = Checksum(out_simd) == Checksum(out_scalar);
+  return r;
+}
+
+// One full STOMP row sweep: chained QT updates plus the per-row distance
+// evaluation, the engine's RowSweep inner loops.
+KernelResult BenchQtSweep() {
+  const size_t w = 64, n = 4096, l = n - w + 1, rows = 256;
+  const auto a = RandomSeries(rows + w, 8);
+  const auto b = RandomSeries(n, 9);
+  const RollingStats sb = ComputeRollingStats(b, w);
+  const RollingStats sa = ComputeRollingStats(a, w);
+  std::vector<double> qt0(l);
+  simd::scalar::SlidingDots(a.data(), w, b.data(), n, qt0.data());
+
+  std::vector<double> qt(l), dist(l);
+  std::vector<double> sum_simd(1), sum_scalar(1);
+
+  const auto sweep = [&](bool use_simd) {
+    qt = qt0;
+    double acc = 0.0;
+    for (size_t i = 1; i < rows; ++i) {
+      if (use_simd) {
+        simd::QtRowAdvance(qt.data(), l, b.data(), w, a[i - 1], a[i + w - 1]);
+        simd::StompRowDistances(qt.data(), sb.means.data(), sb.stds.data(), l,
+                                w, sa.means[i], sa.stds[i], dist.data());
+      } else {
+        simd::scalar::QtRowAdvance(qt.data(), l, b.data(), w, a[i - 1],
+                                   a[i + w - 1]);
+        simd::scalar::StompRowDistances(qt.data(), sb.means.data(),
+                                        sb.stds.data(), l, w, sa.means[i],
+                                        sa.stds[i], dist.data());
+      }
+      acc += dist[i % l];
+    }
+    return acc;
+  };
+
+  KernelResult r;
+  r.kernel = "qt_sweep";
+  r.simd_ns = BestOfNs([&] { sum_simd[0] = sweep(true); }, 3, 2);
+  r.scalar_ns = BestOfNs([&] { sum_scalar[0] = sweep(false); }, 3, 2);
+  r.checksum_equal = sum_simd[0] == sum_scalar[0];
+  return r;
+}
+
+// Rolling mean/std from centred prefix sums (ComputeRollingStats' kernel).
+KernelResult BenchRollingStats() {
+  const size_t w = 64, n = 65536, count = n - w + 1;
+  const auto x = RandomSeries(n, 10);
+  double gm = 0.0;
+  for (double v : x) gm += v;
+  gm /= static_cast<double>(n);
+  std::vector<double> sum(n + 1, 0.0), sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double c = x[i] - gm;
+    sum[i + 1] = sum[i] + c;
+    sq[i + 1] = sq[i] + c * c;
+  }
+  std::vector<double> mg(count), sg(count), mr(count), sr(count);
+
+  KernelResult r;
+  r.kernel = "rolling_stats";
+  r.simd_ns = BestOfNs(
+      [&] {
+        simd::RollingMomentsFromPrefix(sum.data(), sq.data(), count, w, gm,
+                                       mg.data(), sg.data());
+      },
+      5, 10);
+  r.scalar_ns = BestOfNs(
+      [&] {
+        simd::scalar::RollingMomentsFromPrefix(sum.data(), sq.data(), count, w,
+                                               gm, mr.data(), sr.data());
+      },
+      5, 10);
+  r.checksum_equal =
+      Checksum(mg) == Checksum(mr) && Checksum(sg) == Checksum(sr);
+  return r;
+}
+
+struct PredictResult {
+  size_t series = 0;
+  size_t threads = 0;
+  double loop_ns = 0.0;
+  double batch_ns = 0.0;
+  bool labels_equal = false;
+
+  double Speedup() const { return batch_ns > 0.0 ? loop_ns / batch_ns : 0.0; }
+};
+
+// End-to-end prediction: per-series Predict loop vs PredictBatch at equal
+// predictions (identical labels, asserted).
+std::vector<PredictResult> BenchPredictBatch() {
+  GeneratorSpec spec;
+  spec.name = "bench_simd_predict";
+  spec.num_classes = 2;
+  spec.train_size = 20;
+  spec.test_size = 64;
+  spec.length = 256;
+  const TrainTestSplit data = GenerateDataset(spec);
+
+  IpsOptions options;
+  options.sample_count = 5;
+  options.sample_size = 3;
+  options.length_ratios = {0.2, 0.3};
+  options.shapelets_per_class = 4;
+
+  std::vector<PredictResult> results;
+  for (size_t threads : {size_t{1}, HardwareThreads()}) {
+    if (!results.empty() && threads == results.back().threads) continue;
+    IpsOptions o = options;
+    o.num_threads = threads;
+    IpsClassifier clf(o);
+    clf.Fit(data.train);
+
+    std::vector<int> loop_labels(data.test.size());
+    PredictResult r;
+    r.series = data.test.size();
+    r.threads = threads;
+    r.loop_ns = BestOfNs(
+        [&] {
+          for (size_t i = 0; i < data.test.size(); ++i) {
+            loop_labels[i] = clf.Predict(data.test[i]);
+          }
+        },
+        3, 1);
+    std::vector<int> batch_labels;
+    r.batch_ns = BestOfNs([&] { batch_labels = clf.PredictBatch(data.test); },
+                          3, 1);
+    r.labels_equal = batch_labels == loop_labels;
+    results.push_back(r);
+  }
+  return results;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_simd.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+
+  std::vector<KernelResult> kernels;
+  kernels.push_back(BenchSlidingDots());
+  kernels.push_back(BenchRawProfile());
+  kernels.push_back(BenchZNormProfile());
+  kernels.push_back(BenchQtSweep());
+  kernels.push_back(BenchRollingStats());
+  const std::vector<PredictResult> predict = BenchPredictBatch();
+
+  std::ofstream out(out_path);
+  out << "{\n";
+  out << "  \"backend\": \"" << simd::BackendName() << "\",\n";
+  out << "  \"width\": " << simd::kLanes << ",\n";
+  out << "  \"kernels\": [\n";
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelResult& k = kernels[i];
+    out << "    {\"kernel\": \"" << k.kernel << "\", \"width\": "
+        << simd::kLanes << ", \"scalar_ns\": " << k.scalar_ns
+        << ", \"simd_ns\": " << k.simd_ns << ", \"speedup\": " << k.Speedup()
+        << ", \"checksum_equal\": " << (k.checksum_equal ? "true" : "false")
+        << "}" << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"predict_batch\": [\n";
+  for (size_t i = 0; i < predict.size(); ++i) {
+    const PredictResult& p = predict[i];
+    out << "    {\"series\": " << p.series << ", \"threads\": " << p.threads
+        << ", \"loop_ns\": " << p.loop_ns << ", \"batch_ns\": " << p.batch_ns
+        << ", \"speedup\": " << p.Speedup()
+        << ", \"labels_equal\": " << (p.labels_equal ? "true" : "false")
+        << "}" << (i + 1 < predict.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  out.close();
+
+  std::cout << "backend=" << simd::BackendName() << " width=" << simd::kLanes
+            << "\n";
+  for (const KernelResult& k : kernels) {
+    std::printf("%-14s scalar %10.0f ns  simd %10.0f ns  speedup %5.2fx  %s\n",
+                k.kernel.c_str(), k.scalar_ns, k.simd_ns, k.Speedup(),
+                k.checksum_equal ? "checksum OK" : "CHECKSUM MISMATCH");
+  }
+  for (const PredictResult& p : predict) {
+    std::printf(
+        "predict_batch  threads=%zu  loop %10.0f ns  batch %10.0f ns  "
+        "speedup %5.2fx  %s\n",
+        p.threads, p.loop_ns, p.batch_ns, p.Speedup(),
+        p.labels_equal ? "labels OK" : "LABEL MISMATCH");
+  }
+  std::cout << "wrote " << out_path << "\n";
+
+  bool ok = true;
+  for (const KernelResult& k : kernels) ok = ok && k.checksum_equal;
+  for (const PredictResult& p : predict) ok = ok && p.labels_equal;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ips
+
+int main(int argc, char** argv) { return ips::Main(argc, argv); }

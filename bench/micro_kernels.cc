@@ -13,10 +13,13 @@
 #include "core/distance_engine.h"
 #include "core/fft.h"
 #include "core/rng.h"
+#include "core/simd.h"
+#include "core/znorm.h"
 #include "dabf/dabf.h"
 #include "data/generator.h"
 #include "ips/candidate_gen.h"
 #include "ips/instance_profile.h"
+#include "ips/pipeline.h"
 #include "ips/utility.h"
 #include "lsh/lsh.h"
 #include "matrix_profile/matrix_profile.h"
@@ -139,11 +142,7 @@ struct DabfFixture {
     options.sample_count = 6;
     Rng rng(1);
     pool = GenerateCandidates(train, options, rng);
-    std::map<int, std::vector<Subsequence>> by_class;
-    for (const auto& [label, motifs] : pool.motifs) {
-      by_class[label] = pool.AllOfClass(label);
-    }
-    dabf = std::make_unique<Dabf>(by_class, DabfOptions{});
+    dabf = std::make_unique<Dabf>(pool.MergedByClass(), DabfOptions{});
   }
 };
 
@@ -471,6 +470,274 @@ void BM_TableVProfileStageEngine(benchmark::State& state) {
   state.counters["joins_served"] = static_cast<double>(joins);
 }
 BENCHMARK(BM_TableVProfileStageEngine)->Arg(1)->Arg(8);
+
+// ------------------------------------------------------------- SIMD kernels
+//
+// Before/after pairs for the core/simd.h kernel layer. The *Scalar variants
+// run the always-compiled scalar reference (simd::scalar::*, the historic
+// loops verbatim); the *Simd variants run the dispatched entry points, which
+// widen to the backend selected at build time (simd::kLanes lanes). Both
+// paths are bitwise identical (tests/simd_kernel_test.cc); only wall-clock
+// differs. bench_simd emits the same comparison as BENCH_simd.json.
+
+void BM_SimdSlidingDotsScalar(benchmark::State& state) {
+  const auto query = RandomSeries(48, 11);
+  const auto series = RandomSeries(8192, 12);
+  std::vector<double> out(series.size() - query.size() + 1);
+  for (auto _ : state) {
+    simd::scalar::SlidingDots(query.data(), query.size(), series.data(),
+                              series.size(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SimdSlidingDotsScalar);
+
+void BM_SimdSlidingDotsSimd(benchmark::State& state) {
+  const auto query = RandomSeries(48, 11);
+  const auto series = RandomSeries(8192, 12);
+  std::vector<double> out(series.size() - query.size() + 1);
+  for (auto _ : state) {
+    simd::SlidingDots(query.data(), query.size(), series.data(),
+                      series.size(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["width"] = static_cast<double>(simd::kLanes);
+}
+BENCHMARK(BM_SimdSlidingDotsSimd);
+
+struct SimdProfileFixture {
+  static constexpr size_t kWindow = 64;
+  static constexpr size_t kLength = 65536;
+  std::vector<double> series;
+  std::vector<double> dots;
+  std::vector<double> prefix_sq;
+  RollingStats stats;
+  double qq = 0.0;
+
+  SimdProfileFixture() {
+    series = RandomSeries(kLength, 13);
+    const auto query = RandomSeries(kWindow, 14);
+    for (double v : query) qq += v * v;
+    prefix_sq.assign(kLength + 1, 0.0);
+    for (size_t i = 0; i < kLength; ++i) {
+      prefix_sq[i + 1] = prefix_sq[i] + series[i] * series[i];
+    }
+    dots = RandomSeries(kLength - kWindow + 1, 15);
+    stats = ComputeRollingStats(series, kWindow);
+  }
+};
+
+void BM_SimdRawProfileScalar(benchmark::State& state) {
+  static const SimdProfileFixture f;
+  std::vector<double> out(f.dots.size());
+  for (auto _ : state) {
+    simd::scalar::RawProfileFromDots(f.qq, f.prefix_sq.data(),
+                                     SimdProfileFixture::kWindow,
+                                     f.dots.data(), out.size(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SimdRawProfileScalar);
+
+void BM_SimdRawProfileSimd(benchmark::State& state) {
+  static const SimdProfileFixture f;
+  std::vector<double> out(f.dots.size());
+  for (auto _ : state) {
+    simd::RawProfileFromDots(f.qq, f.prefix_sq.data(),
+                             SimdProfileFixture::kWindow, f.dots.data(),
+                             out.size(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["width"] = static_cast<double>(simd::kLanes);
+}
+BENCHMARK(BM_SimdRawProfileSimd);
+
+void BM_SimdZNormProfileScalar(benchmark::State& state) {
+  static const SimdProfileFixture f;
+  std::vector<double> out(f.dots.size());
+  for (auto _ : state) {
+    simd::scalar::ZNormProfileFromDots(f.dots.data(), f.stats.stds.data(),
+                                       out.size(),
+                                       SimdProfileFixture::kWindow, false,
+                                       out.data());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SimdZNormProfileScalar);
+
+void BM_SimdZNormProfileSimd(benchmark::State& state) {
+  static const SimdProfileFixture f;
+  std::vector<double> out(f.dots.size());
+  for (auto _ : state) {
+    simd::ZNormProfileFromDots(f.dots.data(), f.stats.stds.data(), out.size(),
+                               SimdProfileFixture::kWindow, false, out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["width"] = static_cast<double>(simd::kLanes);
+}
+BENCHMARK(BM_SimdZNormProfileSimd);
+
+// One chained STOMP row sweep: QtRowAdvance + StompRowDistances per row,
+// the RowSweep inner loops of the matrix-profile engine.
+struct SimdQtFixture {
+  static constexpr size_t kWindow = 64;
+  static constexpr size_t kRows = 256;
+  std::vector<double> a, b, qt0;
+  RollingStats sa, sb;
+
+  SimdQtFixture() {
+    a = RandomSeries(kRows + kWindow, 16);
+    b = RandomSeries(4096, 17);
+    sa = ComputeRollingStats(a, kWindow);
+    sb = ComputeRollingStats(b, kWindow);
+    qt0.resize(b.size() - kWindow + 1);
+    simd::scalar::SlidingDots(a.data(), kWindow, b.data(), b.size(),
+                              qt0.data());
+  }
+};
+
+template <bool kUseSimd>
+void SimdQtSweepBody(benchmark::State& state) {
+  static const SimdQtFixture f;
+  const size_t l = f.qt0.size();
+  std::vector<double> qt(l), dist(l);
+  for (auto _ : state) {
+    qt = f.qt0;
+    for (size_t i = 1; i < SimdQtFixture::kRows; ++i) {
+      if constexpr (kUseSimd) {
+        simd::QtRowAdvance(qt.data(), l, f.b.data(), SimdQtFixture::kWindow,
+                           f.a[i - 1], f.a[i + SimdQtFixture::kWindow - 1]);
+        simd::StompRowDistances(qt.data(), f.sb.means.data(),
+                                f.sb.stds.data(), l, SimdQtFixture::kWindow,
+                                f.sa.means[i], f.sa.stds[i], dist.data());
+      } else {
+        simd::scalar::QtRowAdvance(qt.data(), l, f.b.data(),
+                                   SimdQtFixture::kWindow, f.a[i - 1],
+                                   f.a[i + SimdQtFixture::kWindow - 1]);
+        simd::scalar::StompRowDistances(
+            qt.data(), f.sb.means.data(), f.sb.stds.data(), l,
+            SimdQtFixture::kWindow, f.sa.means[i], f.sa.stds[i], dist.data());
+      }
+    }
+    benchmark::DoNotOptimize(dist);
+  }
+  if (kUseSimd) state.counters["width"] = static_cast<double>(simd::kLanes);
+}
+
+void BM_SimdQtSweepScalar(benchmark::State& state) {
+  SimdQtSweepBody<false>(state);
+}
+BENCHMARK(BM_SimdQtSweepScalar);
+
+void BM_SimdQtSweepSimd(benchmark::State& state) {
+  SimdQtSweepBody<true>(state);
+}
+BENCHMARK(BM_SimdQtSweepSimd);
+
+// Centred prefix sums shared by both rolling-stats variants, so the pair
+// times the moment-extraction kernel alone (the prefix build is a scalar
+// chain in both configurations).
+struct SimdRollingFixture {
+  std::vector<double> sum, sq;
+  double grand_mean = 0.0;
+
+  SimdRollingFixture() {
+    static const SimdProfileFixture f;
+    for (double v : f.series) grand_mean += v;
+    grand_mean /= static_cast<double>(f.series.size());
+    sum.assign(f.series.size() + 1, 0.0);
+    sq.assign(f.series.size() + 1, 0.0);
+    for (size_t i = 0; i < f.series.size(); ++i) {
+      const double c = f.series[i] - grand_mean;
+      sum[i + 1] = sum[i] + c;
+      sq[i + 1] = sq[i] + c * c;
+    }
+  }
+};
+
+void BM_SimdRollingStatsScalar(benchmark::State& state) {
+  static const SimdRollingFixture f;
+  const size_t count = f.sum.size() - SimdProfileFixture::kWindow;
+  std::vector<double> means(count), stds(count);
+  for (auto _ : state) {
+    simd::scalar::RollingMomentsFromPrefix(
+        f.sum.data(), f.sq.data(), count, SimdProfileFixture::kWindow,
+        f.grand_mean, means.data(), stds.data());
+    benchmark::DoNotOptimize(means);
+    benchmark::DoNotOptimize(stds);
+  }
+}
+BENCHMARK(BM_SimdRollingStatsScalar);
+
+void BM_SimdRollingStatsSimd(benchmark::State& state) {
+  static const SimdRollingFixture f;
+  const size_t count = f.sum.size() - SimdProfileFixture::kWindow;
+  std::vector<double> means(count), stds(count);
+  for (auto _ : state) {
+    simd::RollingMomentsFromPrefix(
+        f.sum.data(), f.sq.data(), count, SimdProfileFixture::kWindow,
+        f.grand_mean, means.data(), stds.data());
+    benchmark::DoNotOptimize(means);
+    benchmark::DoNotOptimize(stds);
+  }
+  state.counters["width"] = static_cast<double>(simd::kLanes);
+}
+BENCHMARK(BM_SimdRollingStatsSimd);
+
+// ------------------------------------------------------- batched prediction
+//
+// PredictBatch vs the per-series Predict loop at equal predictions. The
+// batch path shares one ShapeletTransform call (series-side artefacts cached
+// across shapelets, rows parallelised); the loop re-enters the engine once
+// per series.
+
+struct PredictFixture {
+  TrainTestSplit data;
+  std::map<size_t, IpsClassifier> by_threads;
+
+  PredictFixture() {
+    GeneratorSpec spec;
+    spec.name = "micro_predict";
+    spec.num_classes = 2;
+    spec.train_size = 20;
+    spec.test_size = 64;
+    spec.length = 256;
+    data = GenerateDataset(spec);
+    for (size_t threads : {1, 8}) {
+      IpsOptions o;
+      o.sample_count = 5;
+      o.sample_size = 3;
+      o.length_ratios = {0.2, 0.3};
+      o.shapelets_per_class = 4;
+      o.num_threads = threads;
+      by_threads.try_emplace(threads, o).first->second.Fit(data.train);
+    }
+  }
+};
+
+void BM_PredictLoop(benchmark::State& state) {
+  static const PredictFixture fixture;
+  const IpsClassifier& clf =
+      fixture.by_threads.at(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<int> labels(fixture.data.test.size());
+    for (size_t i = 0; i < fixture.data.test.size(); ++i) {
+      labels[i] = clf.Predict(fixture.data.test[i]);
+    }
+    benchmark::DoNotOptimize(labels);
+  }
+}
+BENCHMARK(BM_PredictLoop)->Arg(1)->Arg(8);
+
+void BM_PredictBatch(benchmark::State& state) {
+  static const PredictFixture fixture;
+  const IpsClassifier& clf =
+      fixture.by_threads.at(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.PredictBatch(fixture.data.test));
+  }
+}
+BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(8);
 
 }  // namespace
 }  // namespace ips

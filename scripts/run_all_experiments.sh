@@ -72,5 +72,11 @@ echo "=== BENCH_mp ==="
   --benchmark_out_format=json |
   tee "$OUT/BENCH_mp.txt"
 
+# Machine-readable scalar-vs-SIMD numbers for the core/simd.h kernel layer
+# (per-kernel speedup + checksum equality) and PredictBatch vs the
+# per-series Predict loop. bench_simd writes the JSON itself.
+echo "=== BENCH_simd ==="
+"$BENCH/bench_simd" --out="$OUT/BENCH_simd.json" | tee "$OUT/BENCH_simd.txt"
+
 echo
 echo "All outputs under $OUT/"

@@ -21,11 +21,18 @@ double Classifier::Accuracy(const LabeledMatrix& data) const {
   return static_cast<double>(correct) / static_cast<double>(data.x.size());
 }
 
+std::vector<int> SeriesClassifier::PredictBatch(const Dataset& test) const {
+  std::vector<int> out(test.size());
+  for (size_t i = 0; i < test.size(); ++i) out[i] = Predict(test[i]);
+  return out;
+}
+
 double SeriesClassifier::Accuracy(const Dataset& test) const {
   IPS_CHECK(!test.empty());
+  const std::vector<int> predicted = PredictBatch(test);
   size_t correct = 0;
   for (size_t i = 0; i < test.size(); ++i) {
-    if (Predict(test[i]) == test[i].label) ++correct;
+    if (predicted[i] == test[i].label) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(test.size());
 }

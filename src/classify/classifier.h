@@ -51,7 +51,14 @@ class SeriesClassifier {
   /// Predicts the class of a series. Requires Fit().
   virtual int Predict(const TimeSeries& series) const = 0;
 
-  /// Fraction of `test` series predicted correctly.
+  /// Predicts every series of `test`; out[i] == Predict(test[i]) for all i.
+  /// The default is exactly that loop; implementations may override with a
+  /// batched path (IpsClassifier drives the whole set through one shapelet
+  /// transform on worker threads) as long as labels stay identical.
+  virtual std::vector<int> PredictBatch(const Dataset& test) const;
+
+  /// Fraction of `test` series predicted correctly. Routed through
+  /// PredictBatch, so batched implementations accelerate it for free.
   double Accuracy(const Dataset& test) const;
 };
 

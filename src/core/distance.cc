@@ -5,18 +5,14 @@
 #include <algorithm>
 
 #include "core/fft.h"
+#include "core/simd.h"
 #include "util/check.h"
 
 namespace ips {
 
 double SquaredEuclidean(std::span<const double> a, std::span<const double> b) {
   IPS_CHECK(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return simd::SquaredEuclideanChained(a.data(), b.data(), a.size());
 }
 
 double Euclidean(std::span<const double> a, std::span<const double> b) {
@@ -52,11 +48,8 @@ std::vector<double> DistanceProfileRaw(std::span<const double> query,
   const std::vector<double> qt = SlidingProducts(query, series);
 
   std::vector<double> out(n - m + 1);
-  const double md = static_cast<double>(m);
-  for (size_t i = 0; i <= n - m; ++i) {
-    const double window_sq = sq[i + m] - sq[i];
-    out[i] = std::max(0.0, (qq - 2.0 * qt[i] + window_sq) / md);
-  }
+  simd::RawProfileFromDots(qq, sq.data(), m, qt.data(), out.size(),
+                           out.data());
   return out;
 }
 
@@ -94,20 +87,8 @@ std::vector<double> DistanceProfileZNorm(std::span<const double> query,
   //   || q - znorm(w) ||^2 = m + m - 2 * <q, w - mu> / sig
   //                        = 2m - 2 * <q, w> / sig          (since sum q = 0)
   std::vector<double> out(n - m + 1);
-  const double md = static_cast<double>(m);
-  for (size_t i = 0; i <= n - m; ++i) {
-    const double sig = stats->stds[i];
-    const bool window_flat = sig < kFlatStdEpsilon;
-    if (query_flat && window_flat) {
-      out[i] = 0.0;
-    } else if (query_flat || window_flat) {
-      // One side is the all-zero vector; distance is the other's norm sqrt(m).
-      out[i] = std::sqrt(md);
-    } else {
-      const double d2 = std::max(0.0, 2.0 * md - 2.0 * qt[i] / sig);
-      out[i] = std::sqrt(d2);
-    }
-  }
+  simd::ZNormProfileFromDots(qt.data(), stats->stds.data(), out.size(), m,
+                             query_flat, out.data());
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/distance.h"
 #include "core/fft.h"
+#include "core/simd.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -140,11 +141,7 @@ void DistanceEngine::SlidingDotsInto(std::span<const double> query,
   ws.dots.resize(count);
 
   if (m < kFftCutoff || !ShouldUseFftSlidingProducts(m, n)) {
-    for (size_t i = 0; i < count; ++i) {
-      double s = 0.0;
-      for (size_t j = 0; j < m; ++j) s += query[j] * series[i + j];
-      ws.dots[i] = s;
-    }
+    simd::SlidingDots(query.data(), m, series.data(), n, ws.dots.data());
     return;
   }
 
@@ -199,14 +196,7 @@ double DistanceEngine::RawMinImpl(std::span<const double> a,
 
   SlidingDotsInto(query, series, cache_q, cache_s, ws);
 
-  double best = std::numeric_limits<double>::infinity();
-  const double md = static_cast<double>(m);
-  for (size_t i = 0; i <= n - m; ++i) {
-    const double window_sq = (*sq)[i + m] - (*sq)[i];
-    const double d = std::max(0.0, (qq - 2.0 * ws.dots[i] + window_sq) / md);
-    best = std::min(best, d);
-  }
-  return best;
+  return simd::RawMinFromDots(qq, sq->data(), m, ws.dots.data(), n - m + 1);
 }
 
 void DistanceEngine::RawProfileImpl(std::span<const double> query,
@@ -235,11 +225,8 @@ void DistanceEngine::RawProfileImpl(std::span<const double> query,
   SlidingDotsInto(query, series, cache_query, cache_series, ws);
 
   out.resize(n - m + 1);
-  const double md = static_cast<double>(m);
-  for (size_t i = 0; i <= n - m; ++i) {
-    const double window_sq = (*sq)[i + m] - (*sq)[i];
-    out[i] = std::max(0.0, (qq - 2.0 * ws.dots[i] + window_sq) / md);
-  }
+  simd::RawProfileFromDots(qq, sq->data(), m, ws.dots.data(), out.size(),
+                           out.data());
 }
 
 double DistanceEngine::ZNormMinImpl(std::span<const double> a,
@@ -282,23 +269,8 @@ double DistanceEngine::ZNormMinImpl(std::span<const double> a,
   // live in the engine-owned ZnQuery entry (a stable address).
   SlidingDotsInto(q, series, cache_q, cache_s, ws);
 
-  double best = std::numeric_limits<double>::infinity();
-  const double md = static_cast<double>(m);
-  for (size_t i = 0; i <= n - m; ++i) {
-    const double sig = stats->stds[i];
-    const bool window_flat = sig < kFlatStdEpsilon;
-    double d;
-    if (query_flat && window_flat) {
-      d = 0.0;
-    } else if (query_flat || window_flat) {
-      d = std::sqrt(md);
-    } else {
-      const double d2 = std::max(0.0, 2.0 * md - 2.0 * ws.dots[i] / sig);
-      d = std::sqrt(d2);
-    }
-    best = std::min(best, d);
-  }
-  return best;
+  return simd::ZNormMinFromDots(ws.dots.data(), stats->stds.data(), n - m + 1,
+                                m, query_flat);
 }
 
 // ------------------------------------------------------------- parallelism

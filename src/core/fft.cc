@@ -4,6 +4,7 @@
 
 #include <numbers>
 
+#include "core/simd.h"
 #include "util/check.h"
 
 namespace ips {
@@ -95,12 +96,8 @@ std::vector<double> SlidingDotProductsNaive(std::span<const double> query,
   const size_t n = series.size();
   IPS_CHECK(m >= 1);
   IPS_CHECK(n >= m);
-  std::vector<double> out(n - m + 1, 0.0);
-  for (size_t i = 0; i <= n - m; ++i) {
-    double s = 0.0;
-    for (size_t j = 0; j < m; ++j) s += query[j] * series[i + j];
-    out[i] = s;
-  }
+  std::vector<double> out(n - m + 1);
+  simd::SlidingDots(query.data(), m, series.data(), n, out.data());
   return out;
 }
 

@@ -1,0 +1,575 @@
+#include "core/simd.h"
+
+#include <cmath>
+
+#include <limits>
+
+#include "core/znorm.h"
+
+#if !defined(IPS_DISABLE_SIMD) && (defined(__AVX2__) || defined(__SSE2__) || \
+                                   defined(_M_X64))
+#include <immintrin.h>
+#define IPS_SIMD_X86 1
+#elif !defined(IPS_DISABLE_SIMD) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#include <arm_neon.h>
+#define IPS_SIMD_NEON 1
+#endif
+
+namespace ips {
+namespace simd {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------- backends
+//
+// Each backend exposes the same static interface; the kernels below are
+// templates over it. Semantics every backend must honour so lanes match the
+// scalar code bit-for-bit:
+//  * Add/Sub/Mul/Div/Sqrt: one correctly-rounded IEEE-754 operation per
+//    lane -- exactly what the scalar expression performs. No FMA.
+//  * Min(a, b) / Max(a, b): value-level selection matching std::min(a, b) /
+//    std::max(a, b) for the non-NaN, non-(-0.0) inputs these kernels see.
+//  * CmpLt + Select(mask, a, b): lane-wise `cmp ? a : b` with a full-width
+//    mask, a pure bit-select (no arithmetic).
+
+struct ScalarOps {
+  static constexpr size_t kWidth = 1;
+  using Vec = double;
+  using Mask = bool;
+  static Vec Load(const double* p) { return *p; }
+  static void Store(double* p, Vec v) { *p = v; }
+  static Vec Set(double x) { return x; }
+  static Vec Add(Vec a, Vec b) { return a + b; }
+  static Vec Sub(Vec a, Vec b) { return a - b; }
+  static Vec Mul(Vec a, Vec b) { return a * b; }
+  static Vec Div(Vec a, Vec b) { return a / b; }
+  static Vec Sqrt(Vec a) { return std::sqrt(a); }
+  static Vec Min(Vec a, Vec b) { return b < a ? b : a; }  // == std::min(a, b)
+  static Vec Max(Vec a, Vec b) { return a < b ? b : a; }  // == std::max(a, b)
+  static Mask CmpLt(Vec a, Vec b) { return a < b; }
+  static Vec Select(Mask m, Vec a, Vec b) { return m ? a : b; }
+  static double ReduceMin(Vec a) { return a; }
+};
+
+#if defined(IPS_SIMD_X86) && defined(__AVX2__)
+
+struct Avx2Ops {
+  static constexpr size_t kWidth = 4;
+  using Vec = __m256d;
+  using Mask = __m256d;
+  static Vec Load(const double* p) { return _mm256_loadu_pd(p); }
+  static void Store(double* p, Vec v) { _mm256_storeu_pd(p, v); }
+  static Vec Set(double x) { return _mm256_set1_pd(x); }
+  static Vec Add(Vec a, Vec b) { return _mm256_add_pd(a, b); }
+  static Vec Sub(Vec a, Vec b) { return _mm256_sub_pd(a, b); }
+  static Vec Mul(Vec a, Vec b) { return _mm256_mul_pd(a, b); }
+  static Vec Div(Vec a, Vec b) { return _mm256_div_pd(a, b); }
+  static Vec Sqrt(Vec a) { return _mm256_sqrt_pd(a); }
+  static Vec Min(Vec a, Vec b) { return _mm256_min_pd(a, b); }
+  static Vec Max(Vec a, Vec b) { return _mm256_max_pd(a, b); }
+  static Mask CmpLt(Vec a, Vec b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static Vec Select(Mask m, Vec a, Vec b) {
+    return _mm256_blendv_pd(b, a, m);
+  }
+  static double ReduceMin(Vec a) {
+    const __m128d lo = _mm256_castpd256_pd128(a);
+    const __m128d hi = _mm256_extractf128_pd(a, 1);
+    const __m128d m2 = _mm_min_pd(lo, hi);
+    const __m128d m1 = _mm_min_sd(m2, _mm_unpackhi_pd(m2, m2));
+    return _mm_cvtsd_f64(m1);
+  }
+};
+
+#elif defined(IPS_SIMD_X86)
+
+struct Sse2Ops {
+  static constexpr size_t kWidth = 2;
+  using Vec = __m128d;
+  using Mask = __m128d;
+  static Vec Load(const double* p) { return _mm_loadu_pd(p); }
+  static void Store(double* p, Vec v) { _mm_storeu_pd(p, v); }
+  static Vec Set(double x) { return _mm_set1_pd(x); }
+  static Vec Add(Vec a, Vec b) { return _mm_add_pd(a, b); }
+  static Vec Sub(Vec a, Vec b) { return _mm_sub_pd(a, b); }
+  static Vec Mul(Vec a, Vec b) { return _mm_mul_pd(a, b); }
+  static Vec Div(Vec a, Vec b) { return _mm_div_pd(a, b); }
+  static Vec Sqrt(Vec a) { return _mm_sqrt_pd(a); }
+  static Vec Min(Vec a, Vec b) { return _mm_min_pd(a, b); }
+  static Vec Max(Vec a, Vec b) { return _mm_max_pd(a, b); }
+  static Mask CmpLt(Vec a, Vec b) { return _mm_cmplt_pd(a, b); }
+  static Vec Select(Mask m, Vec a, Vec b) {
+    // SSE2 has no blendv; the mask lanes are all-ones/all-zeros, so a bit
+    // select is exact.
+    return _mm_or_pd(_mm_and_pd(m, a), _mm_andnot_pd(m, b));
+  }
+  static double ReduceMin(Vec a) {
+    const __m128d m1 = _mm_min_sd(a, _mm_unpackhi_pd(a, a));
+    return _mm_cvtsd_f64(m1);
+  }
+};
+
+#elif defined(IPS_SIMD_NEON)
+
+struct NeonOps {
+  static constexpr size_t kWidth = 2;
+  using Vec = float64x2_t;
+  using Mask = uint64x2_t;
+  static Vec Load(const double* p) { return vld1q_f64(p); }
+  static void Store(double* p, Vec v) { vst1q_f64(p, v); }
+  static Vec Set(double x) { return vdupq_n_f64(x); }
+  static Vec Add(Vec a, Vec b) { return vaddq_f64(a, b); }
+  static Vec Sub(Vec a, Vec b) { return vsubq_f64(a, b); }
+  static Vec Mul(Vec a, Vec b) { return vmulq_f64(a, b); }
+  static Vec Div(Vec a, Vec b) { return vdivq_f64(a, b); }
+  static Vec Sqrt(Vec a) { return vsqrtq_f64(a); }
+  static Vec Min(Vec a, Vec b) { return vminq_f64(a, b); }
+  static Vec Max(Vec a, Vec b) { return vmaxq_f64(a, b); }
+  static Mask CmpLt(Vec a, Vec b) { return vcltq_f64(a, b); }
+  static Vec Select(Mask m, Vec a, Vec b) { return vbslq_f64(m, a, b); }
+  static double ReduceMin(Vec a) {
+    const double lo = vgetq_lane_f64(a, 0);
+    const double hi = vgetq_lane_f64(a, 1);
+    return hi < lo ? hi : lo;
+  }
+};
+
+#endif
+
+#if defined(IPS_DISABLE_SIMD)
+using ActiveOps = ScalarOps;
+constexpr const char* kName = "scalar";
+#elif defined(IPS_SIMD_X86) && defined(__AVX2__)
+using ActiveOps = Avx2Ops;
+constexpr const char* kName = "avx2";
+#elif defined(IPS_SIMD_X86)
+using ActiveOps = Sse2Ops;
+constexpr const char* kName = "sse2";
+#elif defined(IPS_SIMD_NEON)
+using ActiveOps = NeonOps;
+constexpr const char* kName = "neon";
+#else
+using ActiveOps = ScalarOps;
+constexpr const char* kName = "scalar";
+#endif
+
+static_assert(ActiveOps::kWidth == kLanes,
+              "simd.h width constant out of sync with the active backend");
+
+// ----------------------------------------------------------------- kernels
+//
+// Every template keeps the remainder loop textually identical to the
+// historic scalar code; the vector block performs the same operation
+// sequence per lane. With Ops = ScalarOps the vector block compiles away
+// (kWidth == 1 never enters it), leaving exactly the pre-SIMD loops.
+
+template <typename Ops>
+void SlidingDotsT(const double* q, size_t m, const double* s, size_t n,
+                  double* out) {
+  const size_t count = n - m + 1;
+  constexpr size_t W = Ops::kWidth;
+  size_t i = 0;
+  if constexpr (W > 1) {
+    for (; i + W <= count; i += W) {
+      auto acc = Ops::Set(0.0);
+      for (size_t j = 0; j < m; ++j) {
+        acc = Ops::Add(acc, Ops::Mul(Ops::Set(q[j]), Ops::Load(s + i + j)));
+      }
+      Ops::Store(out + i, acc);
+    }
+  }
+  for (; i < count; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < m; ++j) acc += q[j] * s[i + j];
+    out[i] = acc;
+  }
+}
+
+template <typename Ops>
+void RawProfileT(double qq, const double* sqp, size_t window,
+                 const double* dots, size_t count, double* out) {
+  const double md = static_cast<double>(window);
+  constexpr size_t W = Ops::kWidth;
+  size_t i = 0;
+  if constexpr (W > 1) {
+    const auto qqv = Ops::Set(qq);
+    const auto two = Ops::Set(2.0);
+    const auto mdv = Ops::Set(md);
+    const auto zero = Ops::Set(0.0);
+    for (; i + W <= count; i += W) {
+      const auto wsq = Ops::Sub(Ops::Load(sqp + i + window), Ops::Load(sqp + i));
+      const auto num = Ops::Add(Ops::Sub(qqv, Ops::Mul(two, Ops::Load(dots + i))), wsq);
+      Ops::Store(out + i, Ops::Max(zero, Ops::Div(num, mdv)));
+    }
+  }
+  for (; i < count; ++i) {
+    const double window_sq = sqp[i + window] - sqp[i];
+    out[i] = std::max(0.0, (qq - 2.0 * dots[i] + window_sq) / md);
+  }
+}
+
+template <typename Ops>
+double RawMinT(double qq, const double* sqp, size_t window, const double* dots,
+               size_t count) {
+  const double md = static_cast<double>(window);
+  constexpr size_t W = Ops::kWidth;
+  double best = kInf;
+  size_t i = 0;
+  if constexpr (W > 1) {
+    const auto qqv = Ops::Set(qq);
+    const auto two = Ops::Set(2.0);
+    const auto mdv = Ops::Set(md);
+    const auto zero = Ops::Set(0.0);
+    auto acc = Ops::Set(kInf);
+    for (; i + W <= count; i += W) {
+      const auto wsq = Ops::Sub(Ops::Load(sqp + i + window), Ops::Load(sqp + i));
+      const auto num = Ops::Add(Ops::Sub(qqv, Ops::Mul(two, Ops::Load(dots + i))), wsq);
+      acc = Ops::Min(acc, Ops::Max(zero, Ops::Div(num, mdv)));
+    }
+    best = Ops::ReduceMin(acc);
+  }
+  for (; i < count; ++i) {
+    const double window_sq = sqp[i + window] - sqp[i];
+    const double d = std::max(0.0, (qq - 2.0 * dots[i] + window_sq) / md);
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+template <typename Ops>
+void ZNormProfileT(const double* dots, const double* stds, size_t count,
+                   size_t window, bool query_flat, double* out) {
+  const double md = static_cast<double>(window);
+  const double sqrt_md = std::sqrt(md);
+  constexpr size_t W = Ops::kWidth;
+  size_t i = 0;
+  if (query_flat) {
+    if constexpr (W > 1) {
+      const auto eps = Ops::Set(kFlatStdEpsilon);
+      const auto zero = Ops::Set(0.0);
+      const auto smd = Ops::Set(sqrt_md);
+      for (; i + W <= count; i += W) {
+        const auto flat = Ops::CmpLt(Ops::Load(stds + i), eps);
+        Ops::Store(out + i, Ops::Select(flat, zero, smd));
+      }
+    }
+    for (; i < count; ++i) {
+      out[i] = stds[i] < kFlatStdEpsilon ? 0.0 : sqrt_md;
+    }
+    return;
+  }
+  if constexpr (W > 1) {
+    const auto eps = Ops::Set(kFlatStdEpsilon);
+    const auto zero = Ops::Set(0.0);
+    const auto two = Ops::Set(2.0);
+    const auto twomd = Ops::Set(2.0 * md);
+    const auto smd = Ops::Set(sqrt_md);
+    for (; i + W <= count; i += W) {
+      const auto sig = Ops::Load(stds + i);
+      const auto flat = Ops::CmpLt(sig, eps);
+      const auto d2 = Ops::Max(
+          zero, Ops::Sub(twomd, Ops::Div(Ops::Mul(two, Ops::Load(dots + i)), sig)));
+      Ops::Store(out + i, Ops::Select(flat, smd, Ops::Sqrt(d2)));
+    }
+  }
+  for (; i < count; ++i) {
+    const double sig = stds[i];
+    if (sig < kFlatStdEpsilon) {
+      out[i] = sqrt_md;
+    } else {
+      const double d2 = std::max(0.0, 2.0 * md - 2.0 * dots[i] / sig);
+      out[i] = std::sqrt(d2);
+    }
+  }
+}
+
+template <typename Ops>
+double ZNormMinT(const double* dots, const double* stds, size_t count,
+                 size_t window, bool query_flat) {
+  const double md = static_cast<double>(window);
+  const double sqrt_md = std::sqrt(md);
+  constexpr size_t W = Ops::kWidth;
+  double best = kInf;
+  size_t i = 0;
+  if (query_flat) {
+    if constexpr (W > 1) {
+      const auto eps = Ops::Set(kFlatStdEpsilon);
+      const auto zero = Ops::Set(0.0);
+      const auto smd = Ops::Set(sqrt_md);
+      auto acc = Ops::Set(kInf);
+      for (; i + W <= count; i += W) {
+        const auto flat = Ops::CmpLt(Ops::Load(stds + i), eps);
+        acc = Ops::Min(acc, Ops::Select(flat, zero, smd));
+      }
+      best = Ops::ReduceMin(acc);
+    }
+    for (; i < count; ++i) {
+      const double d = stds[i] < kFlatStdEpsilon ? 0.0 : sqrt_md;
+      best = std::min(best, d);
+    }
+    return best;
+  }
+  if constexpr (W > 1) {
+    const auto eps = Ops::Set(kFlatStdEpsilon);
+    const auto zero = Ops::Set(0.0);
+    const auto two = Ops::Set(2.0);
+    const auto twomd = Ops::Set(2.0 * md);
+    const auto smd = Ops::Set(sqrt_md);
+    auto acc = Ops::Set(kInf);
+    for (; i + W <= count; i += W) {
+      const auto sig = Ops::Load(stds + i);
+      const auto flat = Ops::CmpLt(sig, eps);
+      const auto d2 = Ops::Max(
+          zero, Ops::Sub(twomd, Ops::Div(Ops::Mul(two, Ops::Load(dots + i)), sig)));
+      acc = Ops::Min(acc, Ops::Select(flat, smd, Ops::Sqrt(d2)));
+    }
+    best = Ops::ReduceMin(acc);
+  }
+  for (; i < count; ++i) {
+    const double sig = stds[i];
+    double d;
+    if (sig < kFlatStdEpsilon) {
+      d = sqrt_md;
+    } else {
+      const double d2 = std::max(0.0, 2.0 * md - 2.0 * dots[i] / sig);
+      d = std::sqrt(d2);
+    }
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+template <typename Ops>
+void RollingMomentsT(const double* sum, const double* sq, size_t count,
+                     size_t window, double grand_mean, double* means,
+                     double* stds) {
+  const double wd = static_cast<double>(window);
+  constexpr size_t W = Ops::kWidth;
+  size_t i = 0;
+  if constexpr (W > 1) {
+    const auto wdv = Ops::Set(wd);
+    const auto gmv = Ops::Set(grand_mean);
+    const auto zero = Ops::Set(0.0);
+    for (; i + W <= count; i += W) {
+      const auto s1 = Ops::Sub(Ops::Load(sum + i + window), Ops::Load(sum + i));
+      const auto s2 = Ops::Sub(Ops::Load(sq + i + window), Ops::Load(sq + i));
+      const auto mean_c = Ops::Div(s1, wdv);
+      const auto var = Ops::Max(
+          zero, Ops::Sub(Ops::Div(s2, wdv), Ops::Mul(mean_c, mean_c)));
+      Ops::Store(means + i, Ops::Add(gmv, mean_c));
+      Ops::Store(stds + i, Ops::Sqrt(var));
+    }
+  }
+  for (; i < count; ++i) {
+    const double s1 = sum[i + window] - sum[i];
+    const double s2 = sq[i + window] - sq[i];
+    const double mean_c = s1 / wd;
+    const double var = std::max(0.0, s2 / wd - mean_c * mean_c);
+    means[i] = grand_mean + mean_c;
+    stds[i] = std::sqrt(var);
+  }
+}
+
+template <typename Ops>
+void QtRowAdvanceT(double* qt, size_t count, const double* b, size_t window,
+                   double a_head, double a_tail) {
+  // Right-to-left, in place: every new qt[j] reads only pre-update values
+  // (qt[j - 1] sits left of the lowest index written so far), so whole
+  // blocks are independent outputs as long as each block loads before it
+  // stores and blocks are walked right to left.
+  constexpr size_t W = Ops::kWidth;
+  size_t j = count;  // exclusive upper bound of the un-updated range
+  if constexpr (W > 1) {
+    const auto ah = Ops::Set(a_head);
+    const auto at = Ops::Set(a_tail);
+    while (j >= 1 + W) {
+      const size_t jb = j - W;  // block [jb, jb + W), jb >= 1
+      const auto prev = Ops::Load(qt + jb - 1);
+      const auto drop = Ops::Mul(ah, Ops::Load(b + jb - 1));
+      const auto add = Ops::Mul(at, Ops::Load(b + jb + window - 1));
+      Ops::Store(qt + jb, Ops::Add(Ops::Sub(prev, drop), add));
+      j = jb;
+    }
+  }
+  for (size_t k = j; k-- > 1;) {
+    qt[k] = qt[k - 1] - a_head * b[k - 1] + a_tail * b[k + window - 1];
+  }
+}
+
+template <typename Ops>
+void StompRowDistancesT(const double* qt, const double* mu_b,
+                        const double* sig_b, size_t count, size_t window,
+                        double mu_a, double sig_a, double* out) {
+  const double m = static_cast<double>(window);
+  const double sqrt_m = std::sqrt(m);
+  constexpr size_t W = Ops::kWidth;
+  size_t j = 0;
+  if (sig_a < kFlatStdEpsilon) {
+    if constexpr (W > 1) {
+      const auto eps = Ops::Set(kFlatStdEpsilon);
+      const auto zero = Ops::Set(0.0);
+      const auto sm = Ops::Set(sqrt_m);
+      for (; j + W <= count; j += W) {
+        const auto flat_b = Ops::CmpLt(Ops::Load(sig_b + j), eps);
+        Ops::Store(out + j, Ops::Select(flat_b, zero, sm));
+      }
+    }
+    for (; j < count; ++j) {
+      out[j] = sig_b[j] < kFlatStdEpsilon ? 0.0 : sqrt_m;
+    }
+    return;
+  }
+  if constexpr (W > 1) {
+    const auto eps = Ops::Set(kFlatStdEpsilon);
+    const auto zero = Ops::Set(0.0);
+    const auto one = Ops::Set(1.0);
+    const auto mv = Ops::Set(m);
+    const auto twom = Ops::Set(2.0 * m);
+    const auto sm = Ops::Set(sqrt_m);
+    const auto mua = Ops::Set(mu_a);
+    const auto siga = Ops::Set(sig_a);
+    for (; j + W <= count; j += W) {
+      const auto sigb = Ops::Load(sig_b + j);
+      const auto flat_b = Ops::CmpLt(sigb, eps);
+      const auto num =
+          Ops::Sub(Ops::Load(qt + j), Ops::Mul(mv, Ops::Mul(mua, Ops::Load(mu_b + j))));
+      const auto den = Ops::Mul(mv, Ops::Mul(siga, sigb));
+      const auto corr = Ops::Div(num, den);
+      const auto d2 = Ops::Max(zero, Ops::Mul(twom, Ops::Sub(one, corr)));
+      Ops::Store(out + j, Ops::Select(flat_b, sm, Ops::Sqrt(d2)));
+    }
+  }
+  for (; j < count; ++j) {
+    // The tail mirrors StompZNormDistance (stomp_common.h) with flat_a
+    // already known false; tests pin the two to bitwise agreement.
+    if (sig_b[j] < kFlatStdEpsilon) {
+      out[j] = sqrt_m;
+      continue;
+    }
+    const double corr = (qt[j] - m * (mu_a * mu_b[j])) / (m * (sig_a * sig_b[j]));
+    const double d2 = std::max(0.0, 2.0 * m * (1.0 - corr));
+    out[j] = std::sqrt(d2);
+  }
+}
+
+double SquaredEuclideanChainedT(const double* a, const double* b, size_t n) {
+  // One dependent accumulation chain -- deliberately scalar on every
+  // backend (see the header's identity rule).
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- dispatched
+
+const char* BackendName() { return kName; }
+
+void SlidingDots(const double* q, size_t m, const double* s, size_t n,
+                 double* out) {
+  SlidingDotsT<ActiveOps>(q, m, s, n, out);
+}
+
+void RawProfileFromDots(double qq, const double* sqp, size_t window,
+                        const double* dots, size_t count, double* out) {
+  RawProfileT<ActiveOps>(qq, sqp, window, dots, count, out);
+}
+
+double RawMinFromDots(double qq, const double* sqp, size_t window,
+                      const double* dots, size_t count) {
+  return RawMinT<ActiveOps>(qq, sqp, window, dots, count);
+}
+
+void ZNormProfileFromDots(const double* dots, const double* stds, size_t count,
+                          size_t window, bool query_flat, double* out) {
+  ZNormProfileT<ActiveOps>(dots, stds, count, window, query_flat, out);
+}
+
+double ZNormMinFromDots(const double* dots, const double* stds, size_t count,
+                        size_t window, bool query_flat) {
+  return ZNormMinT<ActiveOps>(dots, stds, count, window, query_flat);
+}
+
+void RollingMomentsFromPrefix(const double* sum, const double* sq,
+                              size_t count, size_t window, double grand_mean,
+                              double* means, double* stds) {
+  RollingMomentsT<ActiveOps>(sum, sq, count, window, grand_mean, means, stds);
+}
+
+void QtRowAdvance(double* qt, size_t count, const double* b, size_t window,
+                  double a_head, double a_tail) {
+  QtRowAdvanceT<ActiveOps>(qt, count, b, window, a_head, a_tail);
+}
+
+void StompRowDistances(const double* qt, const double* mu_b,
+                       const double* sig_b, size_t count, size_t window,
+                       double mu_a, double sig_a, double* out) {
+  StompRowDistancesT<ActiveOps>(qt, mu_b, sig_b, count, window, mu_a, sig_a,
+                                out);
+}
+
+double SquaredEuclideanChained(const double* a, const double* b, size_t n) {
+  return SquaredEuclideanChainedT(a, b, n);
+}
+
+// -------------------------------------------------------- scalar reference
+
+namespace scalar {
+
+void SlidingDots(const double* q, size_t m, const double* s, size_t n,
+                 double* out) {
+  SlidingDotsT<ScalarOps>(q, m, s, n, out);
+}
+
+void RawProfileFromDots(double qq, const double* sqp, size_t window,
+                        const double* dots, size_t count, double* out) {
+  RawProfileT<ScalarOps>(qq, sqp, window, dots, count, out);
+}
+
+double RawMinFromDots(double qq, const double* sqp, size_t window,
+                      const double* dots, size_t count) {
+  return RawMinT<ScalarOps>(qq, sqp, window, dots, count);
+}
+
+void ZNormProfileFromDots(const double* dots, const double* stds, size_t count,
+                          size_t window, bool query_flat, double* out) {
+  ZNormProfileT<ScalarOps>(dots, stds, count, window, query_flat, out);
+}
+
+double ZNormMinFromDots(const double* dots, const double* stds, size_t count,
+                        size_t window, bool query_flat) {
+  return ZNormMinT<ScalarOps>(dots, stds, count, window, query_flat);
+}
+
+void RollingMomentsFromPrefix(const double* sum, const double* sq,
+                              size_t count, size_t window, double grand_mean,
+                              double* means, double* stds) {
+  RollingMomentsT<ScalarOps>(sum, sq, count, window, grand_mean, means, stds);
+}
+
+void QtRowAdvance(double* qt, size_t count, const double* b, size_t window,
+                  double a_head, double a_tail) {
+  QtRowAdvanceT<ScalarOps>(qt, count, b, window, a_head, a_tail);
+}
+
+void StompRowDistances(const double* qt, const double* mu_b,
+                       const double* sig_b, size_t count, size_t window,
+                       double mu_a, double sig_a, double* out) {
+  StompRowDistancesT<ScalarOps>(qt, mu_b, sig_b, count, window, mu_a, sig_a,
+                                out);
+}
+
+double SquaredEuclideanChained(const double* a, const double* b, size_t n) {
+  return SquaredEuclideanChainedT(a, b, n);
+}
+
+}  // namespace scalar
+
+}  // namespace simd
+}  // namespace ips

@@ -1,0 +1,155 @@
+// Portable SIMD kernel layer for the hot numeric loops.
+//
+// Every kernel here obeys one design rule, inherited from this repo's
+// bitwise-identity test culture: **vectorise across independent outputs,
+// never inside a single reduction.** A vector register holds kLanes
+// *different* outputs (distance-profile columns, rolling-stat windows, STOMP
+// row cells); each lane performs exactly the scalar kernel's operation
+// sequence for its own output, so every result is bitwise identical to the
+// scalar code at any vector width. Loops whose value is one chained
+// floating-point reduction (SquaredEuclidean's accumulator, prefix sums, the
+// per-diagonal QT chain) stay scalar by design -- splitting them into lane
+// partials would reassociate the rounding order. Min-reductions are the one
+// sanctioned exception: min/max selection involves no rounding, so a
+// lane-wise running minimum folded horizontally at the end selects exactly
+// the value the sequential loop selects (all inputs here are non-NaN and
+// non-negative, so IEEE min quirks around NaN and -0.0 never apply).
+//
+// Backend selection is a build-time decision (no runtime dispatch): AVX2
+// (4 lanes) when the compiler targets it (-march=native and friends), else
+// SSE2 (2 lanes, the x86-64 baseline), else NEON (2 lanes, AArch64), else
+// the scalar fallback. -DIPS_DISABLE_SIMD=ON forces the scalar fallback
+// everywhere, restoring the exact pre-SIMD code path. The always-compiled
+// `scalar::` namespace mirrors every kernel with the width-1 instantiation
+// of the same template, so tests and benchmarks can compare the dispatched
+// kernels against the scalar reference in the same binary
+// (tests/simd_kernel_test.cc asserts bit-level equality).
+//
+// NOTE on fused multiply-add: the kernels never emit FMA. The scalar
+// baseline rounds after the multiply and again after the add, so a fused
+// contraction would change results; the build compiles with
+// -ffp-contract=off (top-level CMakeLists.txt) so neither the scalar code
+// nor the intrinsic sequences are contracted behind our back.
+
+#ifndef IPS_CORE_SIMD_H_
+#define IPS_CORE_SIMD_H_
+
+#include <cstddef>
+
+namespace ips {
+namespace simd {
+
+// Active backend, decided at build time. The macros are global compile
+// options (IPS_DISABLE_SIMD via CMake, the rest implied by -march), so every
+// translation unit agrees on the width.
+#if defined(IPS_DISABLE_SIMD)
+inline constexpr size_t kLanes = 1;
+#elif defined(__AVX2__)
+inline constexpr size_t kLanes = 4;
+#elif defined(__SSE2__) || defined(_M_X64)
+inline constexpr size_t kLanes = 2;
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+inline constexpr size_t kLanes = 2;
+#else
+inline constexpr size_t kLanes = 1;
+#endif
+
+/// Human-readable name of the active backend: "avx2", "sse2", "neon" or
+/// "scalar". Used by benchmarks and logs.
+const char* BackendName();
+
+// ---------------------------------------------------------------------------
+// Kernels. Each is documented with the scalar loop it replaces; the
+// guarantee is bitwise-identical output for every input shape, including
+// remainder lanes (counts below, equal to, and above kLanes).
+// ---------------------------------------------------------------------------
+
+/// Sliding dot products: out[i] = sum_j q[j] * s[i + j] for i in
+/// [0, n - m], accumulated in increasing j exactly as the naive kernel.
+/// Vectorised across kLanes adjacent outputs i (each lane keeps its own
+/// scalar-order accumulator). `out` must hold n - m + 1 values.
+void SlidingDots(const double* q, size_t m, const double* s, size_t n,
+                 double* out);
+
+/// The raw (Def. 4) distance-profile tail given sliding dot products and a
+/// prefix-sum-of-squares table:
+///   out[i] = max(0, (qq - 2*dots[i] + (sqp[i+m] - sqp[i])) / m).
+void RawProfileFromDots(double qq, const double* sqp, size_t window,
+                        const double* dots, size_t count, double* out);
+
+/// Minimum of RawProfileFromDots without materialising the profile -- the
+/// batched profile min-reduce of DistanceEngine. Exact: the lane-minimum /
+/// horizontal fold selects values, it never rounds.
+double RawMinFromDots(double qq, const double* sqp, size_t window,
+                      const double* dots, size_t count);
+
+/// The z-normalised (MASS) distance-profile tail:
+///   flat query & flat window -> 0; exactly one flat -> sqrt(m);
+///   else sqrt(max(0, 2m - 2*dots[i]/stds[i])).
+/// A window is flat when stds[i] < kFlatStdEpsilon (core/znorm.h).
+void ZNormProfileFromDots(const double* dots, const double* stds, size_t count,
+                          size_t window, bool query_flat, double* out);
+
+/// Minimum of ZNormProfileFromDots without materialising the profile.
+double ZNormMinFromDots(const double* dots, const double* stds, size_t count,
+                        size_t window, bool query_flat);
+
+/// Rolling mean/std from centred prefix sums (core/znorm.cc):
+///   s1 = sum[i+w]-sum[i]; s2 = sq[i+w]-sq[i]; mean_c = s1/w;
+///   means[i] = gm + mean_c; stds[i] = sqrt(max(0, s2/w - mean_c^2)).
+void RollingMomentsFromPrefix(const double* sum, const double* sq,
+                              size_t count, size_t window, double grand_mean,
+                              double* means, double* stds);
+
+/// One in-place right-to-left STOMP row update (matrix_profile RowSweep):
+///   for j = count-1 .. 1: qt[j] = qt[j-1] - a_head*b[j-1] + a_tail*b[j+w-1]
+/// where a_head = a[i-1] and a_tail = a[i+w-1]. Every new qt[j] reads only
+/// pre-update values, so blocks of kLanes cells are independent outputs.
+/// qt[0] is the caller's seed (column-0 dot product). `b` must extend to
+/// index count + window - 2.
+void QtRowAdvance(double* qt, size_t count, const double* b, size_t window,
+                  double a_head, double a_tail);
+
+/// One STOMP row of z-normalised distances (stomp_common.h
+/// StompZNormDistance with the row side's mu_a/sig_a fixed):
+///   out[j] = StompZNormDistance(qt[j], w, mu_a, sig_a, mu_b[j], sig_b[j]).
+void StompRowDistances(const double* qt, const double* mu_b,
+                       const double* sig_b, size_t count, size_t window,
+                       double mu_a, double sig_a, double* out);
+
+/// Sum of squared differences, kept as ONE scalar accumulation chain for
+/// every backend: the value is a single dependent reduction, and the
+/// identity rule forbids splitting it into lane partials (that would
+/// reassociate the additions). Routed through this layer so the contract is
+/// stated in one place rather than silently diverging per call site.
+double SquaredEuclideanChained(const double* a, const double* b, size_t n);
+
+// Scalar reference instantiations of the same kernels (width 1), compiled
+// unconditionally. With IPS_DISABLE_SIMD the dispatched kernels above are
+// these exact functions.
+namespace scalar {
+void SlidingDots(const double* q, size_t m, const double* s, size_t n,
+                 double* out);
+void RawProfileFromDots(double qq, const double* sqp, size_t window,
+                        const double* dots, size_t count, double* out);
+double RawMinFromDots(double qq, const double* sqp, size_t window,
+                      const double* dots, size_t count);
+void ZNormProfileFromDots(const double* dots, const double* stds, size_t count,
+                          size_t window, bool query_flat, double* out);
+double ZNormMinFromDots(const double* dots, const double* stds, size_t count,
+                        size_t window, bool query_flat);
+void RollingMomentsFromPrefix(const double* sum, const double* sq,
+                              size_t count, size_t window, double grand_mean,
+                              double* means, double* stds);
+void QtRowAdvance(double* qt, size_t count, const double* b, size_t window,
+                  double a_head, double a_tail);
+void StompRowDistances(const double* qt, const double* mu_b,
+                       const double* sig_b, size_t count, size_t window,
+                       double mu_a, double sig_a, double* out);
+double SquaredEuclideanChained(const double* a, const double* b, size_t n);
+}  // namespace scalar
+
+}  // namespace simd
+}  // namespace ips
+
+#endif  // IPS_CORE_SIMD_H_

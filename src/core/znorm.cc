@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "core/simd.h"
 #include "util/check.h"
 
 namespace ips {
@@ -69,16 +70,9 @@ RollingStats ComputeRollingStats(std::span<const double> x, size_t w) {
   RollingStats rs;
   rs.means.resize(count);
   rs.stds.resize(count);
-  const double wd = static_cast<double>(w);
-  for (size_t i = 0; i < count; ++i) {
-    const double s1 = sum[i + w] - sum[i];
-    const double s2 = sq[i + w] - sq[i];
-    const double mean_c = s1 / wd;
-    // Cancellation can push the variance slightly negative; clamp.
-    const double var = std::max(0.0, s2 / wd - mean_c * mean_c);
-    rs.means[i] = gm + mean_c;
-    rs.stds[i] = std::sqrt(var);
-  }
+  // Cancellation can push the variance slightly negative; the kernel clamps.
+  simd::RollingMomentsFromPrefix(sum.data(), sq.data(), count, w, gm,
+                                 rs.means.data(), rs.stds.data());
   return rs;
 }
 

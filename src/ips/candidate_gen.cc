@@ -34,6 +34,21 @@ std::vector<Subsequence> CandidatePool::AllOfClass(int label) const {
   return out;
 }
 
+std::map<int, std::vector<Subsequence>> CandidatePool::MergedByClass() const {
+  std::map<int, std::vector<Subsequence>> by_class;
+  for (const auto& [label, pool] : motifs) {
+    if (pool.empty()) continue;
+    auto merged = AllOfClass(label);
+    by_class.emplace(label, std::move(merged));
+  }
+  for (const auto& [label, pool] : discords) {
+    if (pool.empty() || by_class.count(label) != 0) continue;
+    auto merged = AllOfClass(label);
+    by_class.emplace(label, std::move(merged));
+  }
+  return by_class;
+}
+
 std::vector<size_t> ResolveCandidateLengths(
     size_t series_length, std::span<const double> ratios) {
   IPS_CHECK(series_length >= 4);

@@ -33,6 +33,12 @@ struct CandidatePool {
 
   /// Motifs and discords of one class merged (the paper's Phi_C).
   std::vector<Subsequence> AllOfClass(int label) const;
+
+  /// AllOfClass for every class with at least one surviving candidate of
+  /// EITHER kind. The label set is the union of the motif and discord keys:
+  /// a class can hold discords but no motifs (or vice versa) after pruning,
+  /// and it must still be represented.
+  std::map<int, std::vector<Subsequence>> MergedByClass() const;
 };
 
 /// Concrete candidate lengths for a dataset whose shortest series has

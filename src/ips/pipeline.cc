@@ -42,12 +42,10 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
   std::unique_ptr<Dabf> dabf;
   if (need_dabf) {
     timer.Reset();
-    std::map<int, std::vector<Subsequence>> by_class;
-    for (const auto& entry : pool.motifs) {
-      const int label = entry.first;
-      auto merged = pool.AllOfClass(label);
-      if (!merged.empty()) by_class.emplace(label, std::move(merged));
-    }
+    // Label set from the union of motif and discord keys: a class whose
+    // surviving candidates are all discords still needs a ClassDabf, or its
+    // candidates would sail through pruning unchecked.
+    std::map<int, std::vector<Subsequence>> by_class = pool.MergedByClass();
     DabfOptions dabf_options = options.dabf;
     dabf_options.seed = options.dabf.seed + options.seed;
     dabf = std::make_unique<Dabf>(by_class, dabf_options);
@@ -137,6 +135,22 @@ int IpsClassifier::Predict(const TimeSeries& series) const {
   // is never cached, so a caller-owned temporary is safe.
   return backend_->Predict(TransformSeries(
       series, shapelets_, options_.transform_distance, engine_.get()));
+}
+
+std::vector<int> IpsClassifier::PredictBatch(const Dataset& test) const {
+  IPS_CHECK(!shapelets_.empty());
+  // A call-local engine (ShapeletTransform builds one when none is passed)
+  // rather than the member engine_: the batch path caches test-series
+  // artefacts too, and test sets are caller-owned temporaries that must not
+  // outlive their pointer-keyed cache entries. Rows are bitwise equal to
+  // TransformSeries, so every label matches the per-series Predict loop.
+  const TransformedData transformed = ShapeletTransform(
+      test, shapelets_, options_.transform_distance, options_.num_threads);
+  std::vector<int> out(transformed.features.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = backend_->Predict(transformed.features[i]);
+  }
+  return out;
 }
 
 }  // namespace ips

@@ -84,6 +84,13 @@ class IpsClassifier final : public SeriesClassifier {
   void Fit(const Dataset& train) override;
   int Predict(const TimeSeries& series) const override;
 
+  /// Batched inference: one shapelet transform over the whole test set on
+  /// `options.num_threads` workers (shapelet-side artefacts computed once,
+  /// series sharded across the pool) instead of a per-series Predict loop.
+  /// Labels are identical to the loop -- the transform rows are bitwise
+  /// equal to TransformSeries -- just faster; Accuracy() uses this path.
+  std::vector<int> PredictBatch(const Dataset& test) const override;
+
   /// Discovered shapelets (valid after Fit()).
   const std::vector<Subsequence>& shapelets() const { return shapelets_; }
 

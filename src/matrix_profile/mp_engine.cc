@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/fft.h"
+#include "core/simd.h"
 #include "matrix_profile/stomp_common.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -264,6 +265,13 @@ void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
   // one difference from the kernels is that each cell feeds BOTH sides'
   // minima -- the pair-symmetric halving.
   //
+  // Both row passes are vectorised (core/simd.h): QtRowAdvance performs the
+  // in-place update -- every new qt[j] reads only pre-update values, so
+  // blocks of lanes are independent outputs -- and StompRowDistances
+  // evaluates StompZNormDistance per cell into `dist`. The min/index scans
+  // stay scalar: they are selection recurrences whose result feeds the next
+  // comparison, and scalar is what preserves the serial kernels' rule below.
+  //
   // Updates here use plain strict < (not the tie-aware UpdateMin): a full
   // row-order sweep visits cells in the kernels' own order -- for a fixed
   // row target i the candidates j arrive in increasing order, and for a
@@ -275,21 +283,24 @@ void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
   const std::vector<double>& col0 = *cx.col0;
   double* const av = p.a_val.data();
   size_t* const ai = p.a_idx.data();
+  std::vector<double> dist_row(cx.lb);
+  double* const dist = dist_row.data();
 
   if (cx.self) {
     const size_t l = cx.la;
     for (size_t i = 0; i < l; ++i) {
       if (i > 0) {
-        for (size_t j = l - 1; j >= 1; --j) {
-          qt[j] = StompAdvance(qt[j - 1], a, a, i, j, w);
-        }
+        simd::QtRowAdvance(qt, l, a.data(), w, a[i - 1], a[i + w - 1]);
         qt[0] = col0[i];  // QT(i, 0) = QT(0, i) by symmetry
       }
-      const double mai = ma[i], sai = sa[i];
+      const size_t start = i + cx.exclusion + 1;
+      if (start >= l) continue;
+      simd::StompRowDistances(qt + start, mb + start, sb + start, l - start, w,
+                              ma[i], sa[i], dist);
       double best = av[i];
       size_t best_j = ai[i];
-      for (size_t j = i + cx.exclusion + 1; j < l; ++j) {
-        const double d = StompZNormDistance(qt[j], w, mai, sai, mb[j], sb[j]);
+      for (size_t j = start; j < l; ++j) {
+        const double d = dist[j - start];
         if (d < best) {
           best = d;
           best_j = j;
@@ -309,17 +320,15 @@ void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
   size_t* const bi = p.b_idx.data();
   for (size_t i = 0; i < cx.la; ++i) {
     if (i > 0) {
-      for (size_t j = cx.lb - 1; j >= 1; --j) {
-        qt[j] = StompAdvance(qt[j - 1], a, b, i, j, w);
-      }
+      simd::QtRowAdvance(qt, cx.lb, b.data(), w, a[i - 1], a[i + w - 1]);
       qt[0] = col0[i];
     }
-    const double mai = ma[i], sai = sa[i];
+    simd::StompRowDistances(qt, mb, sb, cx.lb, w, ma[i], sa[i], dist);
     double best = kInf;
     size_t best_j = kNoNeighbor;
     if (cx.want_b) {
       for (size_t j = 0; j < cx.lb; ++j) {
-        const double d = StompZNormDistance(qt[j], w, mai, sai, mb[j], sb[j]);
+        const double d = dist[j];
         if (d < best) {
           best = d;
           best_j = j;
@@ -331,7 +340,7 @@ void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
       }
     } else {
       for (size_t j = 0; j < cx.lb; ++j) {
-        const double d = StompZNormDistance(qt[j], w, mai, sai, mb[j], sb[j]);
+        const double d = dist[j];
         if (d < best) {
           best = d;
           best_j = j;

@@ -8,6 +8,12 @@
 // sliding-dot-products. Keeping each in exactly one place is what makes the
 // bitwise-identity contract auditable -- any divergence would have to be a
 // different call, not a diverged copy.
+//
+// The engine's row-order fast path evaluates these per-cell helpers through
+// the vectorised row kernels simd::QtRowAdvance / simd::StompRowDistances
+// (core/simd.h), whose lanes perform exactly the operation sequences below;
+// tests/simd_kernel_test.cc pins the kernels to these inline definitions
+// bit for bit.
 
 #ifndef IPS_MATRIX_PROFILE_STOMP_COMMON_H_
 #define IPS_MATRIX_PROFILE_STOMP_COMMON_H_

@@ -130,5 +130,33 @@ TEST(CandidatePoolTest, AllOfClassMergesMotifsAndDiscords) {
   EXPECT_TRUE(pool.AllOfClass(1).empty());
 }
 
+TEST(CandidatePoolTest, MergedByClassCoversDiscordOnlyClasses) {
+  // Class 0: motifs only. Class 1: discords only (e.g. every motif pruned).
+  // Class 2: an empty motif entry alongside discords. Class 3: both empty.
+  CandidatePool pool;
+  Subsequence s0, s1, s2;
+  s0.values = {1.0};
+  s0.label = 0;
+  s1.values = {2.0};
+  s1.label = 1;
+  s2.values = {3.0};
+  s2.label = 2;
+  pool.motifs[0] = {s0, s0};
+  pool.discords[1] = {s1};
+  pool.motifs[2] = {};
+  pool.discords[2] = {s2, s2};
+  pool.motifs[3] = {};
+  pool.discords[3] = {};
+
+  const auto by_class = pool.MergedByClass();
+  ASSERT_EQ(by_class.size(), 3u);
+  EXPECT_EQ(by_class.at(0).size(), 2u);
+  // The discord-only class must be present -- building the label set from
+  // motif keys alone would silently drop it (and its DABF).
+  EXPECT_EQ(by_class.at(1).size(), 1u);
+  EXPECT_EQ(by_class.at(2).size(), 2u);
+  EXPECT_EQ(by_class.count(3), 0u);
+}
+
 }  // namespace
 }  // namespace ips

@@ -112,5 +112,54 @@ TEST(IpsClassifierTest, ShapeletsAccessibleAfterFit) {
   EXPECT_GT(clf.stats().TotalDiscoverySeconds(), 0.0);
 }
 
+TEST(IpsClassifierTest, PredictBatchMatchesPredictLoopAtEveryThreadCount) {
+  const TrainTestSplit data = MakeData("pipe10", 2, 20, 48, 80);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    IpsOptions o = FastOptions();
+    o.num_threads = threads;
+    IpsClassifier clf(o);
+    clf.Fit(data.train);
+
+    std::vector<int> loop(data.test.size());
+    for (size_t i = 0; i < data.test.size(); ++i) {
+      loop[i] = clf.Predict(data.test[i]);
+    }
+    const std::vector<int> batch = clf.PredictBatch(data.test);
+    ASSERT_EQ(batch.size(), loop.size()) << "threads=" << threads;
+    for (size_t i = 0; i < loop.size(); ++i) {
+      EXPECT_EQ(batch[i], loop[i]) << "threads=" << threads << " series " << i;
+    }
+  }
+}
+
+TEST(IpsClassifierTest, PredictBatchIsDeterministicAcrossThreadCounts) {
+  const TrainTestSplit data = MakeData("pipe11", 3, 24, 36, 80);
+  IpsClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  const std::vector<int> base = clf.PredictBatch(data.test);
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    IpsOptions o = FastOptions();
+    o.num_threads = threads;
+    IpsClassifier threaded(o);
+    threaded.Fit(data.train);
+    EXPECT_EQ(threaded.PredictBatch(data.test), base)
+        << "threads=" << threads;
+  }
+}
+
+TEST(IpsClassifierTest, AccuracyRoutesThroughPredictBatch) {
+  const TrainTestSplit data = MakeData("pipe12", 2, 20, 40, 80);
+  IpsClassifier clf(FastOptions());
+  clf.Fit(data.train);
+  const std::vector<int> batch = clf.PredictBatch(data.test);
+  size_t correct = 0;
+  for (size_t i = 0; i < data.test.size(); ++i) {
+    if (batch[i] == data.test[i].label) ++correct;
+  }
+  const double expected =
+      static_cast<double>(correct) / static_cast<double>(data.test.size());
+  EXPECT_DOUBLE_EQ(clf.Accuracy(data.test), expected);
+}
+
 }  // namespace
 }  // namespace ips

@@ -1,0 +1,315 @@
+// Bitwise-identity property tests for the SIMD kernel layer (core/simd.h).
+//
+// Every dispatched kernel must produce output bit-for-bit equal to its
+// scalar reference (simd::scalar::*) -- and, where one exists, to the
+// historic scalar loop it replaced -- over shapes that exercise the
+// remainder handling: counts of 1, kLanes - 1, kLanes, kLanes + 1 and a
+// spread of primes, with inputs that include flat (zero-variance) windows
+// so the masked/blended lanes are hit too. Comparisons go through
+// std::bit_cast so -0.0 vs +0.0 or NaN-payload drift would fail, not pass.
+
+#include "core/simd.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/znorm.h"
+#include "gtest/gtest.h"
+#include "matrix_profile/stomp_common.h"
+
+namespace ips {
+namespace {
+
+constexpr size_t kW = simd::kLanes;
+
+// Counts around the vector width plus primes; filtered to >= 1 and deduped.
+std::vector<size_t> TestCounts() {
+  std::vector<size_t> counts = {1, 2, 3, 5, 7, 13, 31, 97, 257};
+  if (kW > 1) {
+    counts.push_back(kW - 1);
+    counts.push_back(kW);
+    counts.push_back(kW + 1);
+    counts.push_back(4 * kW + 3);
+  }
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+// Gaussian data with occasional constant stretches so flat-window branches
+// (stds below kFlatStdEpsilon) are exercised, not just the main path.
+std::vector<double> RandomSeries(Rng& rng, size_t n, bool with_flats) {
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Gaussian(0.0, 1.0);
+  if (with_flats && n >= 8) {
+    const size_t start = rng.Index(n / 2);
+    const size_t len = 4 + rng.Index(n / 4);
+    const double c = rng.Gaussian(0.0, 1.0);
+    for (size_t i = start; i < std::min(n, start + len); ++i) x[i] = c;
+  }
+  return x;
+}
+
+void ExpectBitEqual(const std::vector<double>& got,
+                    const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(got[i]), std::bit_cast<uint64_t>(want[i]))
+        << what << " diverges at index " << i << ": " << got[i] << " vs "
+        << want[i];
+  }
+}
+
+TEST(SimdBackendTest, WidthAndNameAreConsistent) {
+  const std::string name = simd::BackendName();
+#if defined(IPS_DISABLE_SIMD)
+  EXPECT_EQ(name, "scalar");
+  EXPECT_EQ(kW, 1u);
+#else
+  EXPECT_TRUE(name == "scalar" || name == "sse2" || name == "avx2" ||
+              name == "neon");
+  if (name == "scalar") {
+    EXPECT_EQ(kW, 1u);
+  } else if (name == "sse2" || name == "neon") {
+    EXPECT_EQ(kW, 2u);
+  } else {
+    EXPECT_EQ(kW, 4u);
+  }
+#endif
+}
+
+TEST(SimdKernelTest, SlidingDotsMatchesScalarAndHistoricLoop) {
+  Rng rng(7);
+  for (size_t count : TestCounts()) {
+    for (size_t m : {size_t{1}, size_t{3}, size_t{16}}) {
+      const size_t n = count + m - 1;
+      const std::vector<double> q = RandomSeries(rng, m, false);
+      const std::vector<double> s = RandomSeries(rng, n, false);
+
+      std::vector<double> got(count), ref(count), historic(count);
+      simd::SlidingDots(q.data(), m, s.data(), n, got.data());
+      simd::scalar::SlidingDots(q.data(), m, s.data(), n, ref.data());
+      for (size_t i = 0; i < count; ++i) {
+        double acc = 0.0;
+        for (size_t j = 0; j < m; ++j) acc += q[j] * s[i + j];
+        historic[i] = acc;
+      }
+      ExpectBitEqual(got, ref, "SlidingDots vs scalar");
+      ExpectBitEqual(got, historic, "SlidingDots vs historic loop");
+    }
+  }
+}
+
+TEST(SimdKernelTest, RawProfileAndMinMatchScalar) {
+  Rng rng(11);
+  for (size_t count : TestCounts()) {
+    const size_t m = 1 + rng.Index(8);
+    const size_t n = count + m - 1;
+    const std::vector<double> q = RandomSeries(rng, m, false);
+    const std::vector<double> s = RandomSeries(rng, n, false);
+
+    double qq = 0.0;
+    for (double v : q) qq += v * v;
+    std::vector<double> sq(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) sq[i + 1] = sq[i] + s[i] * s[i];
+    std::vector<double> dots(count);
+    simd::scalar::SlidingDots(q.data(), m, s.data(), n, dots.data());
+
+    std::vector<double> got(count), ref(count), historic(count);
+    simd::RawProfileFromDots(qq, sq.data(), m, dots.data(), count, got.data());
+    simd::scalar::RawProfileFromDots(qq, sq.data(), m, dots.data(), count,
+                                     ref.data());
+    const double md = static_cast<double>(m);
+    for (size_t i = 0; i < count; ++i) {
+      const double window_sq = sq[i + m] - sq[i];
+      historic[i] = std::max(0.0, (qq - 2.0 * dots[i] + window_sq) / md);
+    }
+    ExpectBitEqual(got, ref, "RawProfileFromDots vs scalar");
+    ExpectBitEqual(got, historic, "RawProfileFromDots vs historic loop");
+
+    const double min_got = simd::RawMinFromDots(qq, sq.data(), m, dots.data(),
+                                                count);
+    const double min_ref = simd::scalar::RawMinFromDots(qq, sq.data(), m,
+                                                        dots.data(), count);
+    const double min_hist = *std::min_element(historic.begin(), historic.end());
+    EXPECT_EQ(std::bit_cast<uint64_t>(min_got), std::bit_cast<uint64_t>(min_ref));
+    EXPECT_EQ(std::bit_cast<uint64_t>(min_got), std::bit_cast<uint64_t>(min_hist));
+  }
+}
+
+TEST(SimdKernelTest, ZNormProfileAndMinMatchScalarIncludingFlats) {
+  Rng rng(13);
+  for (size_t count : TestCounts()) {
+    for (bool query_flat : {false, true}) {
+      const size_t m = 2 + rng.Index(6);
+      const size_t n = count + m - 1;
+      const std::vector<double> s = RandomSeries(rng, n, /*with_flats=*/true);
+      const RollingStats stats = ComputeRollingStats(s, m);
+      ASSERT_EQ(stats.stds.size(), count);
+      std::vector<double> dots(count);
+      for (double& v : dots) v = rng.Gaussian(0.0, static_cast<double>(m));
+
+      std::vector<double> got(count), ref(count), historic(count);
+      simd::ZNormProfileFromDots(dots.data(), stats.stds.data(), count, m,
+                                 query_flat, got.data());
+      simd::scalar::ZNormProfileFromDots(dots.data(), stats.stds.data(), count,
+                                         m, query_flat, ref.data());
+      const double md = static_cast<double>(m);
+      for (size_t i = 0; i < count; ++i) {
+        const double sig = stats.stds[i];
+        const bool window_flat = sig < kFlatStdEpsilon;
+        if (query_flat && window_flat) {
+          historic[i] = 0.0;
+        } else if (query_flat || window_flat) {
+          historic[i] = std::sqrt(md);
+        } else {
+          historic[i] = std::sqrt(std::max(0.0, 2.0 * md - 2.0 * dots[i] / sig));
+        }
+      }
+      ExpectBitEqual(got, ref, "ZNormProfileFromDots vs scalar");
+      ExpectBitEqual(got, historic, "ZNormProfileFromDots vs historic loop");
+
+      const double min_got = simd::ZNormMinFromDots(
+          dots.data(), stats.stds.data(), count, m, query_flat);
+      const double min_ref = simd::scalar::ZNormMinFromDots(
+          dots.data(), stats.stds.data(), count, m, query_flat);
+      const double min_hist =
+          *std::min_element(historic.begin(), historic.end());
+      EXPECT_EQ(std::bit_cast<uint64_t>(min_got),
+                std::bit_cast<uint64_t>(min_ref));
+      EXPECT_EQ(std::bit_cast<uint64_t>(min_got),
+                std::bit_cast<uint64_t>(min_hist));
+    }
+  }
+}
+
+TEST(SimdKernelTest, RollingMomentsMatchScalarIncludingFlats) {
+  Rng rng(17);
+  for (size_t count : TestCounts()) {
+    const size_t w = 2 + rng.Index(6);
+    const size_t n = count + w - 1;
+    const std::vector<double> x = RandomSeries(rng, n, /*with_flats=*/true);
+
+    double gm = 0.0;
+    for (double v : x) gm += v;
+    gm /= static_cast<double>(n);
+    std::vector<double> sum(n + 1, 0.0), sq(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double c = x[i] - gm;
+      sum[i + 1] = sum[i] + c;
+      sq[i + 1] = sq[i] + c * c;
+    }
+
+    std::vector<double> means_got(count), stds_got(count);
+    std::vector<double> means_ref(count), stds_ref(count);
+    simd::RollingMomentsFromPrefix(sum.data(), sq.data(), count, w, gm,
+                                   means_got.data(), stds_got.data());
+    simd::scalar::RollingMomentsFromPrefix(sum.data(), sq.data(), count, w, gm,
+                                           means_ref.data(), stds_ref.data());
+    ExpectBitEqual(means_got, means_ref, "RollingMoments means vs scalar");
+    ExpectBitEqual(stds_got, stds_ref, "RollingMoments stds vs scalar");
+
+    // And against the public entry point that routes through the kernel.
+    const RollingStats rs = ComputeRollingStats(x, w);
+    ExpectBitEqual(means_got, rs.means, "RollingMoments vs ComputeRollingStats");
+    ExpectBitEqual(stds_got, rs.stds, "RollingMoments vs ComputeRollingStats");
+  }
+}
+
+TEST(SimdKernelTest, QtRowAdvanceMatchesScalarAcrossChainedRows) {
+  Rng rng(19);
+  for (size_t count : TestCounts()) {
+    const size_t w = 3;
+    const size_t rows = 5;
+    const std::vector<double> a = RandomSeries(rng, rows + w - 1, false);
+    const std::vector<double> b = RandomSeries(rng, count + w - 1, false);
+
+    // Row 0 seed: dot products of a's first window against b's windows.
+    std::vector<double> qt_got(count), qt_ref(count), qt_hist(count);
+    simd::scalar::SlidingDots(a.data(), w, b.data(), b.size(), qt_got.data());
+    qt_ref = qt_got;
+    qt_hist = qt_got;
+
+    const std::span<const double> av(a), bv(b);
+    for (size_t i = 1; i < rows; ++i) {
+      // Chained updates: errors would compound across rows if any lane
+      // diverged, so the comparison after the loop is a strong check.
+      simd::QtRowAdvance(qt_got.data(), count, b.data(), w, a[i - 1],
+                         a[i + w - 1]);
+      simd::scalar::QtRowAdvance(qt_ref.data(), count, b.data(), w, a[i - 1],
+                                 a[i + w - 1]);
+      for (size_t j = count; j-- > 1;) {
+        qt_hist[j] = StompAdvance(qt_hist[j - 1], av, bv, i, j, w);
+      }
+      // The caller reseeds column 0 from cached products; replicate with the
+      // true dot product so later rows keep chaining.
+      double col0 = 0.0;
+      for (size_t k = 0; k < w; ++k) col0 += a[i + k] * b[k];
+      qt_got[0] = col0;
+      qt_ref[0] = col0;
+      qt_hist[0] = col0;
+    }
+    ExpectBitEqual(qt_got, qt_ref, "QtRowAdvance vs scalar");
+    ExpectBitEqual(qt_got, qt_hist, "QtRowAdvance vs StompAdvance loop");
+  }
+}
+
+TEST(SimdKernelTest, StompRowDistancesMatchesScalarAndStompZNormDistance) {
+  Rng rng(23);
+  for (size_t count : TestCounts()) {
+    const size_t w = 4;
+    const std::vector<double> b = RandomSeries(rng, count + w - 1,
+                                               /*with_flats=*/true);
+    const RollingStats sb = ComputeRollingStats(b, w);
+    ASSERT_EQ(sb.stds.size(), count);
+    std::vector<double> qt(count);
+    for (double& v : qt) v = rng.Gaussian(0.0, static_cast<double>(w));
+
+    // Flat and non-flat row sides both matter: flat_a takes the early-out.
+    const double mu_flat = 0.7;
+    for (double sig_a : {1.3, 0.0}) {
+      const double mu_a = sig_a == 0.0 ? mu_flat : -0.4;
+      std::vector<double> got(count), ref(count), historic(count);
+      simd::StompRowDistances(qt.data(), sb.means.data(), sb.stds.data(),
+                              count, w, mu_a, sig_a, got.data());
+      simd::scalar::StompRowDistances(qt.data(), sb.means.data(),
+                                      sb.stds.data(), count, w, mu_a, sig_a,
+                                      ref.data());
+      for (size_t j = 0; j < count; ++j) {
+        historic[j] = StompZNormDistance(qt[j], w, mu_a, sig_a, sb.means[j],
+                                         sb.stds[j]);
+      }
+      ExpectBitEqual(got, ref, "StompRowDistances vs scalar");
+      ExpectBitEqual(got, historic, "StompRowDistances vs StompZNormDistance");
+    }
+  }
+}
+
+TEST(SimdKernelTest, SquaredEuclideanChainedMatchesHistoricLoop) {
+  Rng rng(29);
+  for (size_t n : TestCounts()) {
+    const std::vector<double> a = RandomSeries(rng, n, false);
+    const std::vector<double> b = RandomSeries(rng, n, false);
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = a[i] - b[i];
+      s += d * d;
+    }
+    const double got = simd::SquaredEuclideanChained(a.data(), b.data(), n);
+    const double ref =
+        simd::scalar::SquaredEuclideanChained(a.data(), b.data(), n);
+    EXPECT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(s));
+    EXPECT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(ref));
+  }
+}
+
+}  // namespace
+}  // namespace ips
