@@ -18,6 +18,7 @@
 #include "ips/top_k.h"
 #include "ips/utility.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ips::bench {
@@ -41,8 +42,13 @@ int Run(const BenchArgs& args) {
   IpsOptions options;
   options.sample_count = 30;
   options.candidates_per_profile = 3;
+  // Auto threads (0 = HardwareThreads()): candidate generation runs on the
+  // persistent pool. Results are bitwise thread-count independent, so the
+  // table matches a serial run; only the timings change.
+  options.num_threads = 0;
   DistanceEngine engine(1);
   IpsRunStats mp_stats;  // accumulates matrix-profile engine work across runs
+  const ThreadPoolCounters pool_before = ThreadPool::Counters();
   for (const std::string& name : datasets) {
     const TrainTestSplit data = GetDataset(name, args);
 
@@ -114,6 +120,14 @@ int Run(const BenchArgs& args) {
       mp_stats.profile_seconds, mp_stats.mp_joins_computed,
       mp_stats.mp_qt_sweeps, mp_stats.mp_joins_halved, mp_stats.mp_cache_hits,
       mp_stats.mp_cache_misses);
+  const ThreadPoolCounters pool_now = ThreadPool::Counters();
+  std::printf(
+      "ThreadPool: %zu regions dispatched / %zu inline, %zu tasks run, %zu "
+      "chunk steals\n",
+      pool_now.regions_dispatched - pool_before.regions_dispatched,
+      pool_now.regions_inline - pool_before.regions_inline,
+      pool_now.tasks_run - pool_before.tasks_run,
+      pool_now.chunk_steals - pool_before.chunk_steals);
   return 0;
 }
 

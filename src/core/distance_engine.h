@@ -49,6 +49,7 @@
 
 #include "core/time_series.h"
 #include "core/znorm.h"
+#include "util/parallel.h"
 
 namespace ips {
 
@@ -83,16 +84,17 @@ using IndexPair = std::pair<uint32_t, uint32_t>;
 
 class DistanceEngine {
  public:
-  /// `num_threads` shards every batched call (1 = serial). The thread count
-  /// never changes results, only wall-clock.
+  /// `num_threads` shards every batched call (1 = serial, 0 = auto:
+  /// HardwareThreads()). The thread count never changes results, only
+  /// wall-clock.
   explicit DistanceEngine(size_t num_threads = 1)
-      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+      : num_threads_(ResolveNumThreads(num_threads)) {}
 
   DistanceEngine(const DistanceEngine&) = delete;
   DistanceEngine& operator=(const DistanceEngine&) = delete;
 
   size_t num_threads() const { return num_threads_; }
-  void set_num_threads(size_t n) { num_threads_ = n == 0 ? 1 : n; }
+  void set_num_threads(size_t n) { num_threads_ = ResolveNumThreads(n); }
 
   // ------------------------------------------------------------ single pair
 

@@ -104,14 +104,16 @@ CandidatePool GenerateCandidates(const Dataset& train,
     }
   }
 
-  // Instance profiles per task (the expensive part). The thread budget is
-  // split between tasks (outer) and each task's MatrixProfileEngine (inner:
-  // diagonal sharding within a join), so few tasks still use every core.
-  // Neither split affects results -- the engine is bitwise thread-count
+  // Instance profiles per task (the expensive part). The pool's
+  // nested-inline rule means only one level can fan out, so the thread
+  // budget goes entirely to tasks (outer) when there are enough of them,
+  // and entirely to each task's MatrixProfileEngine (inner: diagonal
+  // sharding within a join) otherwise -- few tasks still use every core.
+  // Neither split affects results: the engine is bitwise thread-count
   // independent and the merge below runs in task order.
-  const size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
-  const size_t outer = std::min(threads, std::max<size_t>(1, tasks.size()));
-  const size_t inner = std::max<size_t>(1, threads / outer);
+  const size_t threads = ResolveNumThreads(options.num_threads);
+  const size_t outer = tasks.size() >= threads ? threads : 1;
+  const size_t inner = outer == 1 ? threads : 1;
   const size_t min_length = train.MinLength();
   Timer profile_timer;
   ParallelFor(tasks.size(), outer, [&](size_t t) {

@@ -75,9 +75,11 @@ struct IpsOptions {
   /// paper's literal Def. 4.
   TransformDistance transform_distance = TransformDistance::kZNormalized;
 
-  /// Worker threads for candidate generation and the shapelet transform
-  /// (1 = sequential). Results are identical for every thread count: all
-  /// randomness is drawn before the parallel regions.
+  /// Worker threads for candidate generation and the shapelet transform:
+  /// 1 = sequential, 0 = auto (HardwareThreads()). Parallel regions run on
+  /// the persistent process-wide pool (util/thread_pool.h). Results are
+  /// bitwise identical for every thread count: all randomness is drawn
+  /// before the parallel regions (see docs/threading.md).
   size_t num_threads = 1;
 
   uint64_t seed = 42;

@@ -11,9 +11,26 @@
 #include "ips/utility.h"
 #include "transform/shapelet_transform.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ips {
+
+namespace {
+
+// Accumulates the change in the process-wide pool counters since `before`
+// into `stats` (the counters are monotonic, so subtraction is safe even
+// with other threads running concurrent regions -- their work is simply
+// attributed to whichever run observes it).
+void AddPoolDelta(const ThreadPoolCounters& before, IpsRunStats& stats) {
+  const ThreadPoolCounters now = ThreadPool::Counters();
+  stats.pool_regions += now.regions_dispatched - before.regions_dispatched;
+  stats.pool_inline_regions += now.regions_inline - before.regions_inline;
+  stats.pool_tasks_run += now.tasks_run - before.tasks_run;
+  stats.pool_steals += now.chunk_steals - before.chunk_steals;
+}
+
+}  // namespace
 
 std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
                                            const IpsOptions& options,
@@ -22,6 +39,7 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
   IpsRunStats local;
   IpsRunStats& s = stats != nullptr ? *stats : local;
   s = IpsRunStats{};
+  const ThreadPoolCounters pool_before = ThreadPool::Counters();
 
   // One engine for every Def. 4 evaluation of the run: pruning and exact
   // utility scoring share its rolling-stats/FFT caches and thread pool.
@@ -78,6 +96,7 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
   s.profiles_computed += counters.profiles_computed;
   s.stats_cache_hits += counters.stats_cache_hits;
   s.stats_cache_misses += counters.stats_cache_misses;
+  AddPoolDelta(pool_before, s);
   return shapelets;
 }
 
@@ -109,6 +128,9 @@ void IpsClassifier::Fit(const Dataset& train) {
   shapelets_ = DiscoverShapelets(train, options_, &stats_);
   IPS_CHECK_MSG(!shapelets_.empty(), "IPS discovered no shapelets");
 
+  // Pool activity of the classifier-only stages (the transform's sharded
+  // batch) on top of the discovery deltas recorded above.
+  const ThreadPoolCounters pool_before = ThreadPool::Counters();
   Timer timer;
   const TransformedData transformed =
       ShapeletTransform(train, shapelets_, options_.transform_distance,
@@ -127,6 +149,7 @@ void IpsClassifier::Fit(const Dataset& train) {
   stats_.profiles_computed += counters.profiles_computed;
   stats_.stats_cache_hits += counters.stats_cache_hits;
   stats_.stats_cache_misses += counters.stats_cache_misses;
+  AddPoolDelta(pool_before, stats_);
 }
 
 int IpsClassifier::Predict(const TimeSeries& series) const {

@@ -60,6 +60,16 @@ struct IpsRunStats {
   size_t mp_cache_hits = 0;
   size_t mp_cache_misses = 0;
 
+  /// Persistent-pool activity over the run (deltas of the process-wide
+  /// util/thread_pool.h counters): regions dispatched to the pool, regions
+  /// run inline (serial fast path or the nested-inline rule), indices
+  /// executed inside pooled regions, and chunks claimed from another
+  /// participant's shard by work stealing.
+  size_t pool_regions = 0;
+  size_t pool_inline_regions = 0;
+  size_t pool_tasks_run = 0;
+  size_t pool_steals = 0;
+
   double TotalDiscoverySeconds() const {
     return candidate_gen_seconds + dabf_build_seconds + pruning_seconds +
            selection_seconds;

@@ -81,6 +81,7 @@ MatrixProfile SelfJoinProfileParallel(std::span<const double> series,
                                       size_t exclusion) {
   IPS_CHECK(window >= 2);
   IPS_CHECK(series.size() > window);
+  num_threads = ResolveNumThreads(num_threads);
   if (num_threads <= 1) return SelfJoinProfile(series, window, exclusion);
   if (exclusion == 0) exclusion = DefaultExclusionZone(window);
 

@@ -51,7 +51,7 @@ MatrixProfile AbJoinProfile(std::span<const double> a,
 /// own STOMP recurrence with one MASS computation, and per-chunk minima are
 /// merged. Bit-identical distances to SelfJoinProfile up to floating-point
 /// reassociation of the per-row minimum (values agree to ~1e-9); num_threads
-/// <= 1 delegates to the sequential kernel.
+/// == 1 delegates to the sequential kernel, 0 means HardwareThreads().
 MatrixProfile SelfJoinProfileParallel(std::span<const double> series,
                                       size_t window, size_t num_threads,
                                       size_t exclusion = 0);

@@ -55,6 +55,7 @@
 
 #include "core/znorm.h"
 #include "matrix_profile/matrix_profile.h"
+#include "util/parallel.h"
 
 namespace ips {
 
@@ -79,16 +80,17 @@ struct PairJoin {
 
 class MatrixProfileEngine {
  public:
-  /// `num_threads` shards every join and batch (1 = serial). The thread
-  /// count never changes results, only wall-clock.
+  /// `num_threads` shards every join and batch (1 = serial, 0 = auto:
+  /// HardwareThreads()). The thread count never changes results, only
+  /// wall-clock.
   explicit MatrixProfileEngine(size_t num_threads = 1)
-      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+      : num_threads_(ResolveNumThreads(num_threads)) {}
 
   MatrixProfileEngine(const MatrixProfileEngine&) = delete;
   MatrixProfileEngine& operator=(const MatrixProfileEngine&) = delete;
 
   size_t num_threads() const { return num_threads_; }
-  void set_num_threads(size_t n) { num_threads_ = n == 0 ? 1 : n; }
+  void set_num_threads(size_t n) { num_threads_ = ResolveNumThreads(n); }
 
   /// Minimum QT cells per sweep chunk before another shard is opened; small
   /// sweeps stay single-chunk and take the row-order fast path. A perf

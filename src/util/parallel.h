@@ -1,88 +1,103 @@
-// Minimal data-parallel loop used by the optional multi-threaded discovery
+// Data-parallel loops over the process-wide persistent thread pool
+// (util/thread_pool.h). Originally the optional multi-threaded discovery
 // path (the paper's future-work direction of distributing IPS, realised
-// here as shared-memory parallelism).
+// here as shared-memory parallelism); now the substrate for every parallel
+// region in the library. See docs/threading.md for the full contract.
 //
-// Work items are claimed from an atomic counter, so uneven item costs
-// balance across threads. Callers are responsible for making `fn` writes
-// disjoint per index; the library keeps determinism by pre-assigning all
-// randomness before the parallel region.
+// Execution contract (identical for ParallelFor and ParallelForWorkers):
+//
+//  * Inline by design: `num_threads <= 1` or `count <= 1` runs fn on the
+//    calling thread with no pool involvement -- a `count == 1` region with
+//    an expensive fn is the caller's problem to shard, not the library's.
+//  * Nested-inline rule: a region submitted from inside another region's
+//    fn (i.e. on a pool worker, or on a caller thread while it executes
+//    its own region's indices) runs inline instead of re-entering the
+//    pool. Nested ParallelFor therefore cannot deadlock or oversubscribe;
+//    callers that want inner parallelism must not wrap the outer loop in a
+//    parallel region (see ips/candidate_gen.cc's outer/inner split).
+//  * Scheduling is load-balanced (chunked claiming plus work stealing) and
+//    therefore nondeterministic; results must not be. Callers make fn
+//    writes disjoint per index and pre-assign all randomness before the
+//    region, so outputs are bitwise identical for every thread count.
+//  * Exceptions must not escape fn (the library does not use them).
 
 #ifndef IPS_UTIL_PARALLEL_H_
 #define IPS_UTIL_PARALLEL_H_
 
-#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <thread>
-#include <vector>
+#include <type_traits>
+
+#include "util/thread_pool.h"
 
 namespace ips {
 
-/// Runs fn(i) for every i in [0, count) on up to `num_threads` threads
-/// (including the calling thread). num_threads <= 1 or count <= 1 runs
-/// inline. Exceptions must not escape fn (the library does not use them).
+namespace internal {
+
+// Type-erases the loop body into ThreadPool::RegionFn. `Fn` may be
+// const-qualified (a const lambda lvalue binds Fn to `const L&`).
+template <typename Fn>
+void* BodyContext(Fn& fn) {
+  using Plain = std::remove_const_t<Fn>;
+  return const_cast<Plain*>(std::addressof(fn));
+}
+
+}  // namespace internal
+
+/// Runs fn(i) for every i in [0, count) on up to `num_threads` concurrent
+/// threads (the calling thread plus idle pool workers). num_threads == 0
+/// is reserved for callers' "auto" plumbing -- resolve it with
+/// ResolveNumThreads before calling; here it runs inline like 1.
 template <typename Fn>
 void ParallelFor(size_t count, size_t num_threads, Fn&& fn) {
   if (count == 0) return;
-  if (num_threads <= 1 || count == 1) {
+  if (num_threads <= 1 || count == 1 || ThreadPool::InRegion()) {
+    ThreadPool::NoteInlineRegion();
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-
-  const size_t workers = std::min(num_threads, count);
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      fn(i);
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
-  worker();
-  for (auto& t : threads) t.join();
+  using F = std::remove_reference_t<Fn>;
+  ThreadPool::Instance().Run(
+      count, num_threads,
+      [](void* ctx, size_t i, size_t) { (*static_cast<F*>(ctx))(i); },
+      internal::BodyContext(fn));
 }
 
-/// Like ParallelFor, but fn also receives the slot index of the worker
-/// running it: fn(i, worker) with worker in [0, min(num_threads, count)).
-/// Lets callers hand each worker private scratch (e.g. the distance
-/// engine's per-thread workspaces) without thread_local state. The same
-/// claim-from-atomic-counter scheduling applies, so output determinism is
-/// the caller's responsibility exactly as with ParallelFor: writes must be
-/// disjoint per index and must not depend on the worker id.
+/// Like ParallelFor, but fn also receives the slot id of the participant
+/// running it: fn(i, slot) with slot in [0, min(num_threads, count)), each
+/// slot held by at most one thread per region. Lets callers hand each
+/// participant private scratch (e.g. the distance engine's per-thread
+/// workspaces) without thread_local state. Output determinism is the
+/// caller's responsibility exactly as with ParallelFor: writes must be
+/// disjoint per index and must not depend on the slot id.
 template <typename Fn>
 void ParallelForWorkers(size_t count, size_t num_threads, Fn&& fn) {
   if (count == 0) return;
-  if (num_threads <= 1 || count == 1) {
+  if (num_threads <= 1 || count == 1 || ThreadPool::InRegion()) {
+    ThreadPool::NoteInlineRegion();
     for (size_t i = 0; i < count; ++i) fn(i, size_t{0});
     return;
   }
-
-  const size_t workers = std::min(num_threads, count);
-  std::atomic<size_t> next{0};
-  auto worker = [&](size_t slot) {
-    for (;;) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      fn(i, slot);
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (size_t t = 0; t + 1 < workers; ++t) {
-    threads.emplace_back(worker, t + 1);
-  }
-  worker(0);
-  for (auto& t : threads) t.join();
+  using F = std::remove_reference_t<Fn>;
+  ThreadPool::Instance().Run(
+      count, num_threads,
+      [](void* ctx, size_t i, size_t slot) {
+        (*static_cast<F*>(ctx))(i, slot);
+      },
+      internal::BodyContext(fn));
 }
 
 /// Number of hardware threads, at least 1.
 inline size_t HardwareThreads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+/// Maps the configuration convention `num_threads == 0` ("auto") to
+/// HardwareThreads(); any other value passes through.
+inline size_t ResolveNumThreads(size_t num_threads) {
+  return num_threads == 0 ? HardwareThreads() : num_threads;
 }
 
 }  // namespace ips
