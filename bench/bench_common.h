@@ -9,6 +9,9 @@
 //   --count_scale=<f>   override the train/test size factor
 //   --length_scale=<f>  override the series length factor
 //   --datasets=a,b,c    restrict to a comma-separated subset
+//   --csv=<path>        also write the binary's main table as CSV
+//   --json=<path>       also write the observability report (obs/export.h
+//                       schema) where the binary supports it
 
 #ifndef IPS_BENCH_BENCH_COMMON_H_
 #define IPS_BENCH_BENCH_COMMON_H_
@@ -36,6 +39,9 @@ struct BenchArgs {
   std::vector<std::string> datasets;
   /// When non-empty, the binary also writes its main table here as CSV.
   std::string csv_path;
+  /// When non-empty, the binary also writes its observability report here
+  /// (the obs/export.h JSON schema shared by every BENCH_*.json).
+  std::string json_path;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -57,6 +63,8 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.length_scale = std::atof(v->c_str());
     } else if (auto v = value_of("--csv=")) {
       args.csv_path = *v;
+    } else if (auto v = value_of("--json=")) {
+      args.json_path = *v;
     } else if (auto v = value_of("--datasets=")) {
       std::string rest = *v;
       size_t pos = 0;

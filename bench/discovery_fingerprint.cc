@@ -1,0 +1,64 @@
+// Prints a deterministic fingerprint of a discovery run: every shapelet's
+// provenance and exact values (max_digits10, so bitwise differences show).
+//
+// CI builds the library twice -- default and -DIPS_DISABLE_TRACING=ON --
+// runs this binary from both builds, and diffs the outputs. A clean diff
+// proves the tracing layer only observes: compiling the spans out changes
+// no discovery output. Run it on several synthetic datasets and thread
+// counts so both the serial and pooled paths are covered.
+//
+// Usage: discovery_fingerprint [--datasets=a,b,c] ...
+
+#include <cstdio>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "ips/pipeline.h"
+#include "ips/serialization.h"
+#include "obs/trace.h"
+
+namespace ips::bench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  const std::vector<std::string> datasets =
+      SelectDatasets(args, {"ArrowHead", "ShapeletSim", "ItalyPowerDemand"});
+
+  // Both the serial path (1 thread) and the pooled path (4): the pool's
+  // span/counter instrumentation sits on different code paths.
+  const std::vector<size_t> thread_counts = {1, 4};
+
+  for (const std::string& name : datasets) {
+    const TrainTestSplit data = GetDataset(name, args);
+    for (size_t threads : thread_counts) {
+      IpsOptions options;
+      options.num_threads = threads;
+      const RunResult result = DiscoverShapelets(data.train, options);
+      std::printf("%s threads=%zu shapelets=%zu\n", name.c_str(), threads,
+                  result.shapelets.size());
+      // The v1 shapelet block: provenance + every value at max_digits10.
+      std::fputs(SerializeShapelets(result.shapelets).c_str(), stdout);
+      // Counters are observational but deterministic for a fixed dataset
+      // and config -- identical across tracing-on/off builds by design, so
+      // they belong in the fingerprint. Timings do not.
+      std::printf("counters motifs=%zu discords=%zu pruned_motifs=%zu "
+                  "pruned_discords=%zu profiles=%zu mp_joins=%zu\n",
+                  result.stats.motifs_generated,
+                  result.stats.discords_generated,
+                  result.stats.motifs_after_prune,
+                  result.stats.discords_after_prune,
+                  result.stats.profiles_computed,
+                  result.stats.mp_joins_computed);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ips::bench
+
+int main(int argc, char** argv) {
+  return ips::bench::Run(ips::bench::ParseArgs(argc, argv));
+}

@@ -73,7 +73,8 @@ int Run(const BenchArgs& args) {
   ips_options.length_ratios = {0.25, 0.35};
   ips_options.shapelets_per_class = 1;
   Timer ips_timer;
-  const auto ips_shapelets = DiscoverShapelets(data.train, ips_options);
+  const auto ips_shapelets =
+      DiscoverShapelets(data.train, ips_options).shapelets;
   const double ips_s = ips_timer.ElapsedSeconds();
 
   // BSPCOVER discovery.

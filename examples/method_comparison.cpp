@@ -105,6 +105,6 @@ int main(int argc, char** argv) {
       "candidates)\n",
       ips_clf.shapelets().size() /
           static_cast<size_t>(info->num_classes),
-      static_cast<size_t>(5), ips_clf.stats().motifs_after_prune);
+      static_cast<size_t>(5), ips_clf.result().stats.motifs_after_prune);
   return 0;
 }

@@ -31,17 +31,16 @@ int main() {
   //    the series, DABF pruning, DT & CR optimisations, top-5 per class.
   ips::IpsOptions options;
   options.shapelets_per_class = 3;
-  ips::IpsRunStats stats;
-  const std::vector<ips::Subsequence> shapelets =
-      ips::DiscoverShapelets(data.train, options, &stats);
+  const ips::RunResult result = ips::DiscoverShapelets(data.train, options);
+  const ips::IpsRunStats& stats = result.stats;
 
-  std::printf("\ndiscovered %zu shapelets in %.3f s\n", shapelets.size(),
-              stats.TotalDiscoverySeconds());
+  std::printf("\ndiscovered %zu shapelets in %.3f s\n",
+              result.shapelets.size(), stats.TotalDiscoverySeconds());
   std::printf("  candidates: %zu motifs, %zu discords; %zu motifs survived "
               "DABF pruning\n",
               stats.motifs_generated, stats.discords_generated,
               stats.motifs_after_prune);
-  for (const ips::Subsequence& s : shapelets) {
+  for (const ips::Subsequence& s : result.shapelets) {
     std::printf("  class %d: length %zu from series %d offset %zu\n", s.label,
                 s.length(), s.series_index, s.start);
   }

@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
   classifier.Fit(data.train);
   const double fit_seconds = timer.ElapsedSeconds();
 
-  const ips::IpsRunStats& stats = classifier.stats();
+  const ips::IpsRunStats& stats = classifier.result().stats;
   std::printf("\ndiscovery: %.3f s (gen %.3f, dabf %.3f, prune %.3f, "
               "select %.3f)\n",
               stats.TotalDiscoverySeconds(), stats.candidate_gen_seconds,

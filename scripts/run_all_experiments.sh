@@ -33,7 +33,12 @@ run_csv() {
 run_csv exp_table2_base_topk "$@"
 run_csv exp_table3_distribution_fit "$@"
 run_csv exp_table4_efficiency "$@"
-run exp_table5_breakdown "$@"
+# Table V also emits the per-stage span trace + metrics report
+# (obs/export.h schema, see docs/observability.md).
+echo "=== exp_table5_breakdown ==="
+"$BENCH/exp_table5_breakdown" --json="$OUT/BENCH_table5.json" "$@" |
+  tee "$OUT/exp_table5_breakdown.txt"
+echo
 run_csv exp_table6_accuracy "$@"
 run_csv exp_table7_lsh "$@"
 run exp_fig3_4_motivation "$@"

@@ -8,6 +8,8 @@
 #include "core/distance.h"
 #include "core/fft.h"
 #include "core/simd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -20,6 +22,28 @@ namespace {
 DistanceWorkspace& LocalWorkspace() {
   static thread_local DistanceWorkspace ws;
   return ws;
+}
+
+// Process-wide mirrors of the per-instance counters. The instance atomics
+// keep their per-engine snapshot/reset semantics (tests and micro-benches
+// depend on them); run-level consumers (IpsRunStats::FromRegistry, the
+// exporters) read these registry totals instead of hand-copying fields.
+struct EngineMetrics {
+  obs::Counter& profiles_computed;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Histogram& batch_items;
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics* metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+    return new EngineMetrics{registry.GetCounter("engine.profiles_computed"),
+                             registry.GetCounter("engine.stats_cache_hits"),
+                             registry.GetCounter("engine.stats_cache_misses"),
+                             registry.GetHistogram("engine.batch_items")};
+  }();
+  return *metrics;
 }
 
 // Prefix sums of squares into `out` (size n + 1). The accumulation order
@@ -56,10 +80,12 @@ const std::vector<double>* DistanceEngine::CachedPrefix(
     auto it = prefix_.find(key);
     if (it != prefix_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().cache_hits.Add(1);
       return &it->second;
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().cache_misses.Add(1);
   std::vector<double> fresh;
   PrefixSquaresInto(s, fresh);
   std::lock_guard<std::mutex> lock(prefix_mu_);
@@ -75,10 +101,12 @@ const RollingStats* DistanceEngine::CachedStats(std::span<const double> s,
     auto it = stats_.find(key);
     if (it != stats_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().cache_hits.Add(1);
       return &it->second;
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().cache_misses.Add(1);
   RollingStats fresh = ComputeRollingStats(s, window);
   std::lock_guard<std::mutex> lock(stats_mu_);
   return &stats_.try_emplace(key, std::move(fresh)).first->second;
@@ -94,10 +122,12 @@ const std::vector<std::complex<double>>* DistanceEngine::CachedFft(
     auto it = map.find(key);
     if (it != map.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().cache_hits.Add(1);
       return &it->second;
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().cache_misses.Add(1);
   std::vector<std::complex<double>> fresh;
   ForwardFftInto(s, padded, reversed, fresh);
   std::lock_guard<std::mutex> lock(fft_mu_);
@@ -113,10 +143,12 @@ const DistanceEngine::ZnQuery* DistanceEngine::CachedZnQuery(
     auto it = znq_.find(key);
     if (it != znq_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().cache_hits.Add(1);
       return &it->second;
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().cache_misses.Add(1);
   ZnQuery fresh;
   fresh.values = ZNormalize(q);
   fresh.flat = std::all_of(fresh.values.begin(), fresh.values.end(),
@@ -179,6 +211,7 @@ double DistanceEngine::RawMinImpl(std::span<const double> a,
   const size_t n = series.size();
   IPS_CHECK(m >= 1);
   profiles_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().profiles_computed.Add(1);
 
   double qq;
   if (const std::vector<double>* p = CachedPrefix(query, cache_q)) {
@@ -209,6 +242,7 @@ void DistanceEngine::RawProfileImpl(std::span<const double> query,
   IPS_CHECK(m >= 1);
   IPS_CHECK(n >= m);
   profiles_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().profiles_computed.Add(1);
 
   double qq;
   if (const std::vector<double>* p = CachedPrefix(query, cache_query)) {
@@ -241,6 +275,7 @@ double DistanceEngine::ZNormMinImpl(std::span<const double> a,
   const size_t n = series.size();
   IPS_CHECK(m >= 1);
   profiles_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().profiles_computed.Add(1);
 
   const RollingStats* stats = CachedStats(series, m, cache_s);
   RollingStats local_stats;
@@ -278,6 +313,7 @@ double DistanceEngine::ZNormMinImpl(std::span<const double> a,
 template <typename Fn>
 void DistanceEngine::ParallelItems(size_t count, Fn&& fn) {
   if (count == 0) return;
+  Metrics().batch_items.Observe(count);
   const size_t workers = std::min(num_threads_, std::max<size_t>(count, 1));
   if (workers <= 1) {
     DistanceWorkspace ws;
@@ -313,6 +349,7 @@ std::vector<double> DistanceEngine::ProfileAgainstSeries(
 
 std::vector<std::vector<double>> DistanceEngine::ProfileAgainstDataset(
     std::span<const double> query, const Dataset& data) {
+  IPS_SPAN("dist_profile_batch");
   std::vector<std::vector<double>> out(data.size());
   ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
     RawProfileImpl(query, data[i].view(), /*cache_query=*/false,
@@ -323,6 +360,7 @@ std::vector<std::vector<double>> DistanceEngine::ProfileAgainstDataset(
 
 std::vector<double> DistanceEngine::MinAgainstDataset(
     std::span<const double> query, const Dataset& data, DistanceKind kind) {
+  IPS_SPAN("dist_min_batch");
   std::vector<double> out(data.size());
   ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
     out[i] = kind == DistanceKind::kRaw
@@ -337,6 +375,7 @@ std::vector<double> DistanceEngine::MinAgainstDataset(
 std::vector<double> DistanceEngine::MinForPairs(
     const std::vector<std::span<const double>>& views,
     const std::vector<IndexPair>& pairs) {
+  IPS_SPAN("dist_pair_batch");
   std::vector<double> out(pairs.size());
   ParallelItems(pairs.size(), [&](size_t t, DistanceWorkspace& ws) {
     const auto [qi, si] = pairs[t];
@@ -382,6 +421,7 @@ std::vector<std::vector<double>> DistanceEngine::TransformBatch(
     const Dataset& data, const std::vector<Subsequence>& shapelets,
     DistanceKind kind) {
   IPS_CHECK(!shapelets.empty());
+  IPS_SPAN("dist_transform_batch");
   std::vector<std::vector<double>> rows(data.size());
   ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
     std::vector<double>& row = rows[i];

@@ -3,11 +3,10 @@
 #include <algorithm>
 
 #include "ips/instance_profile.h"
-#include "ips/pipeline.h"
 #include "matrix_profile/mp_engine.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/check.h"
-#include "util/timer.h"
 
 namespace ips {
 
@@ -64,8 +63,7 @@ std::vector<size_t> ResolveCandidateLengths(
 }
 
 CandidatePool GenerateCandidates(const Dataset& train,
-                                 const IpsOptions& options, Rng& rng,
-                                 IpsRunStats* stats) {
+                                 const IpsOptions& options, Rng& rng) {
   IPS_CHECK(!train.empty());
   IPS_CHECK(options.sample_size >= 1);
   IPS_CHECK(options.sample_count >= 1);
@@ -83,7 +81,6 @@ CandidatePool GenerateCandidates(const Dataset& train,
     std::vector<size_t> dataset_index;  // provenance of each sample member
     std::vector<Subsequence> motifs;    // task-local outputs
     std::vector<Subsequence> discords;
-    MpEngineCounters counters;          // the task engine's final snapshot
   };
   std::vector<Task> tasks;
   for (int label = 0; label < num_classes; ++label) {
@@ -115,36 +112,39 @@ CandidatePool GenerateCandidates(const Dataset& train,
   const size_t outer = tasks.size() >= threads ? threads : 1;
   const size_t inner = outer == 1 ? threads : 1;
   const size_t min_length = train.MinLength();
-  Timer profile_timer;
-  ParallelFor(tasks.size(), outer, [&](size_t t) {
-    Task& task = tasks[t];
-    // Per-task engine: its artefact caches span every window length of the
-    // task, and the task's sample storage outlives it.
-    MatrixProfileEngine engine(inner);
-    for (size_t window : lengths) {
-      if (min_length < window) continue;
-      const InstanceProfile ip = ComputeInstanceProfile(
-          task.sample, window, options.profile_neighbors, &engine);
+  // The span covers every task's profile computation (Alg. 1 line 5); its
+  // leaf feeds IpsRunStats::profile_seconds. The per-task engines publish
+  // their mp.* counters to the metrics registry as they run.
+  {
+    IPS_SPAN("instance_profile");
+    ParallelFor(tasks.size(), outer, [&](size_t t) {
+      Task& task = tasks[t];
+      // Per-task engine: its artefact caches span every window length of
+      // the task, and the task's sample storage outlives it.
+      MatrixProfileEngine engine(inner);
+      for (size_t window : lengths) {
+        if (min_length < window) continue;
+        const InstanceProfile ip = ComputeInstanceProfile(
+            task.sample, window, options.profile_neighbors, &engine);
 
-      auto extract = [&](std::span<const size_t> entries,
-                         std::vector<Subsequence>& dst) {
-        for (size_t e : entries) {
-          const size_t m = ip.instances[e];
-          dst.push_back(ExtractSubsequence(
-              task.sample[m], ip.offsets[e], window,
-              static_cast<int>(task.dataset_index[m])));
-        }
-      };
-      extract(
-          InstanceProfileMotifs(ip, options.candidates_per_profile, window),
-          task.motifs);
-      extract(InstanceProfileDiscords(ip, options.candidates_per_profile,
-                                      window),
-              task.discords);
-    }
-    task.counters = engine.counters();
-  });
-  const double profile_seconds = profile_timer.ElapsedSeconds();
+        auto extract = [&](std::span<const size_t> entries,
+                           std::vector<Subsequence>& dst) {
+          for (size_t e : entries) {
+            const size_t m = ip.instances[e];
+            dst.push_back(ExtractSubsequence(
+                task.sample[m], ip.offsets[e], window,
+                static_cast<int>(task.dataset_index[m])));
+          }
+        };
+        extract(
+            InstanceProfileMotifs(ip, options.candidates_per_profile, window),
+            task.motifs);
+        extract(InstanceProfileDiscords(ip, options.candidates_per_profile,
+                                        window),
+                task.discords);
+      }
+    });
+  }
 
   // Merge in task order (stable across thread counts).
   CandidatePool pool;
@@ -153,16 +153,6 @@ CandidatePool GenerateCandidates(const Dataset& train,
     auto& discord_pool = pool.discords[task.label];
     for (auto& m : task.motifs) motif_pool.push_back(std::move(m));
     for (auto& d : task.discords) discord_pool.push_back(std::move(d));
-  }
-  if (stats != nullptr) {
-    stats->profile_seconds += profile_seconds;
-    for (const Task& task : tasks) {
-      stats->mp_joins_computed += task.counters.joins_computed;
-      stats->mp_qt_sweeps += task.counters.qt_sweeps;
-      stats->mp_joins_halved += task.counters.joins_halved;
-      stats->mp_cache_hits += task.counters.cache_hits;
-      stats->mp_cache_misses += task.counters.cache_misses;
-    }
   }
   return pool;
 }

@@ -21,8 +21,6 @@
 
 namespace ips {
 
-struct IpsRunStats;
-
 /// The per-class candidate pools Phi of Algorithm 1.
 struct CandidatePool {
   std::map<int, std::vector<Subsequence>> motifs;
@@ -53,12 +51,12 @@ std::vector<size_t> ResolveCandidateLengths(
 /// `options.num_threads` is split between sampling tasks (outer) and each
 /// task's MatrixProfileEngine (inner: diagonal sharding within a join), so
 /// the profile stage scales with cores even when there are few tasks. The
-/// pool is identical for every thread count. When `stats` is non-null, the
-/// profile-stage wall time and the aggregated engine counters are recorded
-/// there (IpsRunStats::profile_seconds and the mp_* fields).
+/// pool is identical for every thread count. Instrumentation goes through
+/// the obs registries: the profile stage opens an "instance_profile" span
+/// and the per-task engines publish the "mp.*" counters, both of which
+/// IpsRunStats::FromRegistry folds into the run's stats view.
 CandidatePool GenerateCandidates(const Dataset& train,
-                                 const IpsOptions& options, Rng& rng,
-                                 IpsRunStats* stats = nullptr);
+                                 const IpsOptions& options, Rng& rng);
 
 }  // namespace ips
 

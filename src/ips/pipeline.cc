@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "dabf/dabf.h"
 #include "classify/logistic.h"
@@ -9,37 +10,47 @@
 #include "core/distance_engine.h"
 #include "ips/top_k.h"
 #include "ips/utility.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "transform/shapelet_transform.h"
 #include "util/check.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace ips {
 
 namespace {
 
-// Accumulates the change in the process-wide pool counters since `before`
-// into `stats` (the counters are monotonic, so subtraction is safe even
-// with other threads running concurrent regions -- their work is simply
-// attributed to whichever run observes it).
-void AddPoolDelta(const ThreadPoolCounters& before, IpsRunStats& stats) {
-  const ThreadPoolCounters now = ThreadPool::Counters();
-  stats.pool_regions += now.regions_dispatched - before.regions_dispatched;
-  stats.pool_inline_regions += now.regions_inline - before.regions_inline;
-  stats.pool_tasks_run += now.tasks_run - before.tasks_run;
-  stats.pool_steals += now.chunk_steals - before.chunk_steals;
+// Pipeline-level event counters ("ips.*"). The stage sizes used to be
+// IpsRunStats out-param fields; they are registry counters now, so the
+// stats view (IpsRunStats::FromRegistry) and the exporters read them the
+// same way they read the engine and pool counters.
+struct PipelineMetrics {
+  obs::Counter& motifs_generated;
+  obs::Counter& discords_generated;
+  obs::Counter& motifs_after_prune;
+  obs::Counter& discords_after_prune;
+  obs::Counter& shapelets_selected;
+};
+
+PipelineMetrics& Metrics() {
+  static PipelineMetrics* metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+    return new PipelineMetrics{
+        registry.GetCounter("ips.motifs_generated"),
+        registry.GetCounter("ips.discords_generated"),
+        registry.GetCounter("ips.motifs_after_prune"),
+        registry.GetCounter("ips.discords_after_prune"),
+        registry.GetCounter("ips.shapelets_selected")};
+  }();
+  return *metrics;
 }
 
-}  // namespace
-
-std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
-                                           const IpsOptions& options,
-                                           IpsRunStats* stats) {
+// Stages 1-5 with their spans and counters. Both public entry points wrap
+// this in an observation window (registry snapshots before, deltas after);
+// under IpsClassifier::Fit the "discover" span nests inside "fit".
+std::vector<Subsequence> RunDiscovery(const Dataset& train,
+                                      const IpsOptions& options) {
   IPS_CHECK(!train.empty());
-  IpsRunStats local;
-  IpsRunStats& s = stats != nullptr ? *stats : local;
-  s = IpsRunStats{};
-  const ThreadPoolCounters pool_before = ThreadPool::Counters();
+  IPS_SPAN("discover");
 
   // One engine for every Def. 4 evaluation of the run: pruning and exact
   // utility scoring share its rolling-stats/FFT caches and thread pool.
@@ -47,11 +58,13 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
 
   // (1)+(2) Candidate generation with the instance profile (Alg. 1).
   Rng rng(options.seed);
-  Timer timer;
-  CandidatePool pool = GenerateCandidates(train, options, rng, &s);
-  s.candidate_gen_seconds = timer.ElapsedSeconds();
-  s.motifs_generated = pool.TotalMotifs();
-  s.discords_generated = pool.TotalDiscords();
+  CandidatePool pool;
+  {
+    IPS_SPAN("candidate_gen");
+    pool = GenerateCandidates(train, options, rng);
+  }
+  Metrics().motifs_generated.Add(pool.TotalMotifs());
+  Metrics().discords_generated.Add(pool.TotalDiscords());
 
   // (3) DABF construction (Alg. 2). Needed for DABF pruning and for the
   // DT utility coordinates, so it is built whenever either is active.
@@ -59,7 +72,7 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
                          options.utility_mode == UtilityMode::kDtCr;
   std::unique_ptr<Dabf> dabf;
   if (need_dabf) {
-    timer.Reset();
+    IPS_SPAN("dabf_build");
     // Label set from the union of motif and discord keys: a class whose
     // surviving candidates are all discords still needs a ClassDabf, or its
     // candidates would sail through pruning unchecked.
@@ -67,40 +80,32 @@ std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
     DabfOptions dabf_options = options.dabf;
     dabf_options.seed = options.dabf.seed + options.seed;
     dabf = std::make_unique<Dabf>(by_class, dabf_options);
-    s.dabf_build_seconds = timer.ElapsedSeconds();
   }
 
   // (4) Pruning (Alg. 3).
-  timer.Reset();
-  if (options.use_dabf_pruning) {
-    PruneWithDabf(pool, *dabf, options.shapelets_per_class);
-  } else {
-    PruneNaive(pool, options.shapelets_per_class, /*majority_fraction=*/0.5,
-               &engine);
+  {
+    IPS_SPAN("pruning");
+    if (options.use_dabf_pruning) {
+      PruneWithDabf(pool, *dabf, options.shapelets_per_class);
+    } else {
+      PruneNaive(pool, options.shapelets_per_class, /*majority_fraction=*/0.5,
+                 &engine);
+    }
   }
-  s.pruning_seconds = timer.ElapsedSeconds();
-  s.motifs_after_prune = pool.TotalMotifs();
-  s.discords_after_prune = pool.TotalDiscords();
+  Metrics().motifs_after_prune.Add(pool.TotalMotifs());
+  Metrics().discords_after_prune.Add(pool.TotalDiscords());
 
   // (5) Utility scoring + top-k (Alg. 4).
-  timer.Reset();
-  const auto scores =
-      ScoreAllCandidates(pool, train, options.utility_mode, dabf.get(),
-                         &engine);
-  std::vector<Subsequence> shapelets =
-      SelectTopKShapelets(pool, scores, options.shapelets_per_class);
-  s.selection_seconds = timer.ElapsedSeconds();
-  s.shapelets = shapelets.size();
-
-  const EngineCounters counters = engine.counters();
-  s.profiles_computed += counters.profiles_computed;
-  s.stats_cache_hits += counters.stats_cache_hits;
-  s.stats_cache_misses += counters.stats_cache_misses;
-  AddPoolDelta(pool_before, s);
+  std::vector<Subsequence> shapelets;
+  {
+    IPS_SPAN("selection");
+    const auto scores = ScoreAllCandidates(pool, train, options.utility_mode,
+                                           dabf.get(), &engine);
+    shapelets = SelectTopKShapelets(pool, scores, options.shapelets_per_class);
+  }
+  Metrics().shapelets_selected.Add(shapelets.size());
   return shapelets;
 }
-
-namespace {
 
 std::unique_ptr<Classifier> MakeBackend(const IpsOptions& options) {
   switch (options.backend) {
@@ -118,6 +123,38 @@ std::unique_ptr<Classifier> MakeBackend(const IpsOptions& options) {
 
 }  // namespace
 
+RunResult DiscoverShapelets(const Dataset& train, const IpsOptions& options) {
+  const obs::MetricsSnapshot metrics_before =
+      obs::MetricsRegistry::Instance().Snapshot();
+  const obs::TraceSnapshot trace_before =
+      obs::TraceRegistry::Instance().Snapshot();
+
+  RunResult result;
+  result.shapelets = RunDiscovery(train, options);
+  result.trace = obs::TraceRegistry::Instance().DeltaSince(trace_before);
+  result.stats = IpsRunStats::FromRegistry(
+      obs::MetricsRegistry::Instance().DeltaSince(metrics_before),
+      result.trace);
+  return result;
+}
+
+// Definition of the transitional overload; the attribute lives on the
+// declaration, and new code inside the library must not call this.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
+                                           const IpsOptions& options,
+                                           IpsRunStats* stats) {
+  RunResult result = DiscoverShapelets(train, options);
+  if (stats != nullptr) *stats = result.stats;
+  return std::move(result.shapelets);
+}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
 IpsClassifier::IpsClassifier(IpsOptions options) : options_(options) {}
 IpsClassifier::~IpsClassifier() = default;
 
@@ -125,50 +162,63 @@ void IpsClassifier::Fit(const Dataset& train) {
   // Fresh engine per fit: pointer-keyed caches must not outlive the series
   // and shapelets they describe.
   engine_ = std::make_unique<DistanceEngine>(options_.num_threads);
-  shapelets_ = DiscoverShapelets(train, options_, &stats_);
-  IPS_CHECK_MSG(!shapelets_.empty(), "IPS discovered no shapelets");
 
-  // Pool activity of the classifier-only stages (the transform's sharded
-  // batch) on top of the discovery deltas recorded above.
-  const ThreadPoolCounters pool_before = ThreadPool::Counters();
-  Timer timer;
-  const TransformedData transformed =
-      ShapeletTransform(train, shapelets_, options_.transform_distance,
-                        options_.num_threads, engine_.get());
-  stats_.transform_seconds = timer.ElapsedSeconds();
+  // One observation window over discovery AND the classifier-only stages,
+  // so result_.stats attributes the whole fit and the trace nests every
+  // stage under "fit".
+  const obs::MetricsSnapshot metrics_before =
+      obs::MetricsRegistry::Instance().Snapshot();
+  const obs::TraceSnapshot trace_before =
+      obs::TraceRegistry::Instance().Snapshot();
+  result_ = RunResult{};
+  {
+    IPS_SPAN("fit");
+    result_.shapelets = RunDiscovery(train, options_);
+    IPS_CHECK_MSG(!result_.shapelets.empty(), "IPS discovered no shapelets");
 
-  LabeledMatrix matrix;
-  matrix.x = transformed.features;
-  matrix.y = transformed.labels;
-  backend_ = MakeBackend(options_);
-  timer.Reset();
-  backend_->Fit(matrix);
-  stats_.backend_fit_seconds = timer.ElapsedSeconds();
+    TransformedData transformed;
+    {
+      IPS_SPAN("transform");
+      transformed =
+          ShapeletTransform(train, result_.shapelets,
+                            options_.transform_distance, options_.num_threads,
+                            engine_.get());
+    }
 
-  const EngineCounters counters = engine_->counters();
-  stats_.profiles_computed += counters.profiles_computed;
-  stats_.stats_cache_hits += counters.stats_cache_hits;
-  stats_.stats_cache_misses += counters.stats_cache_misses;
-  AddPoolDelta(pool_before, stats_);
+    LabeledMatrix matrix;
+    matrix.x = std::move(transformed.features);
+    matrix.y = std::move(transformed.labels);
+    backend_ = MakeBackend(options_);
+    {
+      IPS_SPAN("backend_fit");
+      backend_->Fit(matrix);
+    }
+  }
+  result_.trace = obs::TraceRegistry::Instance().DeltaSince(trace_before);
+  result_.stats = IpsRunStats::FromRegistry(
+      obs::MetricsRegistry::Instance().DeltaSince(metrics_before),
+      result_.trace);
 }
 
 int IpsClassifier::Predict(const TimeSeries& series) const {
-  IPS_CHECK(!shapelets_.empty());
+  IPS_CHECK(!result_.shapelets.empty());
   // The engine caches only shapelet-side artefacts here; the query series
   // is never cached, so a caller-owned temporary is safe.
-  return backend_->Predict(TransformSeries(
-      series, shapelets_, options_.transform_distance, engine_.get()));
+  return backend_->Predict(TransformSeries(series, result_.shapelets,
+                                           options_.transform_distance,
+                                           engine_.get()));
 }
 
 std::vector<int> IpsClassifier::PredictBatch(const Dataset& test) const {
-  IPS_CHECK(!shapelets_.empty());
+  IPS_CHECK(!result_.shapelets.empty());
   // A call-local engine (ShapeletTransform builds one when none is passed)
   // rather than the member engine_: the batch path caches test-series
   // artefacts too, and test sets are caller-owned temporaries that must not
   // outlive their pointer-keyed cache entries. Rows are bitwise equal to
   // TransformSeries, so every label matches the per-series Predict loop.
-  const TransformedData transformed = ShapeletTransform(
-      test, shapelets_, options_.transform_distance, options_.num_threads);
+  const TransformedData transformed =
+      ShapeletTransform(test, result_.shapelets, options_.transform_distance,
+                        options_.num_threads);
   std::vector<int> out(transformed.features.size());
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = backend_->Predict(transformed.features[i]);

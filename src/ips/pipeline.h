@@ -5,6 +5,11 @@
 //   (4) candidate pruning (Alg. 3)
 //   (5) utility scoring + top-k selection (Alg. 4, DT & CR)
 // followed by the shapelet transform and a linear SVM for classification.
+//
+// Every entry point returns (or exposes) a RunResult: the shapelets plus
+// the run's observability record, derived from the obs registries -- see
+// ips/run_result.h for the stats view and docs/observability.md for the
+// span/metric taxonomy the stages emit.
 
 #ifndef IPS_IPS_PIPELINE_H_
 #define IPS_IPS_PIPELINE_H_
@@ -18,70 +23,26 @@
 #include "ips/candidate_gen.h"
 #include "ips/config.h"
 #include "ips/pruning.h"
+#include "ips/run_result.h"
 
 namespace ips {
 
 class DistanceEngine;
 
-/// Wall-clock and size instrumentation of one discovery run (Table V).
-struct IpsRunStats {
-  double candidate_gen_seconds = 0.0;
-  double dabf_build_seconds = 0.0;
-  double pruning_seconds = 0.0;
-  double selection_seconds = 0.0;
+/// Runs shapelet discovery (stages 1-5) on a training set and returns the
+/// shapelets together with the run's stats and span trace. Requires a
+/// non-empty training set whose shortest series has at least 4 points.
+RunResult DiscoverShapelets(const Dataset& train, const IpsOptions& options);
 
-  /// Classifier-only stages (filled by IpsClassifier::Fit, zero after a bare
-  /// DiscoverShapelets): shapelet-transforming the training set, and fitting
-  /// the back-end on the transformed features.
-  double transform_seconds = 0.0;
-  double backend_fit_seconds = 0.0;
-
-  size_t motifs_generated = 0;
-  size_t discords_generated = 0;
-  size_t motifs_after_prune = 0;
-  size_t discords_after_prune = 0;
-  size_t shapelets = 0;
-
-  /// DistanceEngine counters over the run: Def. 4 evaluations (profiles or
-  /// single-pair minima) and rolling-stats cache hits/misses.
-  size_t profiles_computed = 0;
-  size_t stats_cache_hits = 0;
-  size_t stats_cache_misses = 0;
-
-  /// The instance-profile stage of candidate generation (a sub-interval of
-  /// candidate_gen_seconds: Alg. 1 line 5 across all sampling tasks) and
-  /// the MatrixProfileEngine counters aggregated over the per-task engines.
-  /// mp_joins_halved counts directed joins served by a pair-symmetric
-  /// sweep's far side -- work the pre-engine code computed from scratch.
-  double profile_seconds = 0.0;
-  size_t mp_joins_computed = 0;
-  size_t mp_qt_sweeps = 0;
-  size_t mp_joins_halved = 0;
-  size_t mp_cache_hits = 0;
-  size_t mp_cache_misses = 0;
-
-  /// Persistent-pool activity over the run (deltas of the process-wide
-  /// util/thread_pool.h counters): regions dispatched to the pool, regions
-  /// run inline (serial fast path or the nested-inline rule), indices
-  /// executed inside pooled regions, and chunks claimed from another
-  /// participant's shard by work stealing.
-  size_t pool_regions = 0;
-  size_t pool_inline_regions = 0;
-  size_t pool_tasks_run = 0;
-  size_t pool_steals = 0;
-
-  double TotalDiscoverySeconds() const {
-    return candidate_gen_seconds + dabf_build_seconds + pruning_seconds +
-           selection_seconds;
-  }
-};
-
-/// Runs shapelet discovery (stages 1-5) on a training set. `stats` may be
-/// null. Requires a non-empty training set whose shortest series has at
-/// least 4 points.
+/// Transitional shim for the pre-RunResult signature; removed after one
+/// release. Runs the two-argument overload, copies the stats view into
+/// `stats` (when non-null), and returns only the shapelets -- the trace is
+/// dropped.
+[[deprecated(
+    "call the two-argument DiscoverShapelets and use RunResult instead")]]
 std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
                                            const IpsOptions& options,
-                                           IpsRunStats* stats = nullptr);
+                                           IpsRunStats* stats);
 
 /// IPS as a drop-in time-series classifier: discovery + shapelet transform
 /// + a configurable back-end (linear SVM by default, per §III-D).
@@ -101,20 +62,27 @@ class IpsClassifier final : public SeriesClassifier {
   /// equal to TransformSeries -- just faster; Accuracy() uses this path.
   std::vector<int> PredictBatch(const Dataset& test) const override;
 
-  /// Discovered shapelets (valid after Fit()).
-  const std::vector<Subsequence>& shapelets() const { return shapelets_; }
+  /// The fit's full outcome (valid after Fit()): shapelets, the stats
+  /// view, and the span trace covering discovery + transform + back-end.
+  const RunResult& result() const { return result_; }
 
-  /// Discovery instrumentation (valid after Fit()).
-  const IpsRunStats& stats() const { return stats_; }
+  /// Discovered shapelets (valid after Fit()).
+  const std::vector<Subsequence>& shapelets() const {
+    return result_.shapelets;
+  }
+
+  /// Transitional alias for result().stats; removed after one release.
+  [[deprecated("use result().stats")]] const IpsRunStats& stats() const {
+    return result_.stats;
+  }
 
  private:
   IpsOptions options_;
-  std::vector<Subsequence> shapelets_;
   std::unique_ptr<Classifier> backend_;
   // Owns the distance caches shared by transform-time and predict-time
   // Def. 4 evaluations. Reset (caches cleared) on every Fit.
   std::unique_ptr<DistanceEngine> engine_;
-  IpsRunStats stats_;
+  RunResult result_;
 };
 
 }  // namespace ips

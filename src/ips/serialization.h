@@ -1,6 +1,6 @@
-// Plain-text persistence for discovered shapelets.
+// Plain-text persistence for discovered shapelets and whole runs.
 //
-// Format (line-oriented, locale-independent):
+// Shapelet format (line-oriented, locale-independent, unchanged since v1):
 //   ips-shapelets v1
 //   <count>
 //   <label> <series_index> <start> <length> v_0 v_1 ... v_{length-1}
@@ -8,6 +8,16 @@
 // Doubles are written with max_digits10 so a round trip is bit-exact.
 // A saved shapelet set plus the training set is sufficient to rebuild a
 // classifier (refit the transform + SVM), so no classifier state is stored.
+//
+// Run format (one artifact: shapelets + stats + trace):
+//   ips-run v<major>.<minor>
+//   stats <one-line JSON object, the IpsRunStats fields by name>
+//   trace <one-line JSON object, obs/export.h's trace schema>
+//   <the ips-shapelets v1 block verbatim>
+// The version header is explicit (FormatVersion): loaders reject a major
+// they do not speak and accept any minor within a known major, so fields
+// can be added minor-compatibly. JSON blocks use obs/json.h, the same
+// schema the BENCH_*.json exporters emit.
 
 #ifndef IPS_IPS_SERIALIZATION_H_
 #define IPS_IPS_SERIALIZATION_H_
@@ -17,8 +27,22 @@
 #include <vector>
 
 #include "core/time_series.h"
+#include "ips/run_result.h"
+#include "obs/json.h"
 
 namespace ips {
+
+/// Version stamp of the run artifact format.
+struct FormatVersion {
+  int major = 0;
+  int minor = 0;
+
+  friend bool operator==(const FormatVersion&, const FormatVersion&) = default;
+};
+
+/// The run format this library writes. Readers accept major == 2 with any
+/// minor (additive fields only within a major).
+inline constexpr FormatVersion kRunFormatVersion{2, 0};
 
 /// Serialises `shapelets` to a string in the v1 format.
 std::string SerializeShapelets(const std::vector<Subsequence>& shapelets);
@@ -34,6 +58,27 @@ bool SaveShapelets(const std::vector<Subsequence>& shapelets,
 /// Reads shapelets from `path`; nullopt on I/O or syntax failure.
 std::optional<std::vector<Subsequence>> LoadShapelets(
     const std::string& path);
+
+/// IpsRunStats as a flat JSON object (field name -> value). Shared by the
+/// run artifact below and exp_* benchmark emitters.
+obs::JsonValue RunStatsToJson(const IpsRunStats& stats);
+
+/// Inverse of RunStatsToJson; nullopt when a field is missing or of the
+/// wrong type.
+std::optional<IpsRunStats> RunStatsFromJson(const obs::JsonValue& json);
+
+/// Serialises a whole run (shapelets + stats + trace) in the run format.
+std::string SerializeRunResult(const RunResult& result);
+
+/// Parses the run format; nullopt on syntax error or a major version this
+/// reader does not speak.
+std::optional<RunResult> DeserializeRunResult(const std::string& text);
+
+/// Writes one run artifact to `path`. Returns false on I/O failure.
+bool SaveRunResult(const RunResult& result, const std::string& path);
+
+/// Reads a run artifact from `path`; nullopt on I/O or syntax failure.
+std::optional<RunResult> LoadRunResult(const std::string& path);
 
 }  // namespace ips
 

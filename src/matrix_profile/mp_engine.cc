@@ -7,6 +7,8 @@
 #include "core/fft.h"
 #include "core/simd.h"
 #include "matrix_profile/stomp_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -15,6 +17,29 @@ namespace ips {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Process-wide mirrors of the per-instance counters (same split as
+// core/distance_engine.cc: instance atomics keep per-engine snapshot/reset
+// semantics, the registry carries the run-level totals consumers read).
+struct MpMetrics {
+  obs::Counter& joins_computed;
+  obs::Counter& qt_sweeps;
+  obs::Counter& joins_halved;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+};
+
+MpMetrics& Metrics() {
+  static MpMetrics* metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+    return new MpMetrics{registry.GetCounter("mp.joins_computed"),
+                         registry.GetCounter("mp.qt_sweeps"),
+                         registry.GetCounter("mp.joins_halved"),
+                         registry.GetCounter("mp.cache_hits"),
+                         registry.GetCounter("mp.cache_misses")};
+  }();
+  return *metrics;
+}
 
 void ForwardFftInto(std::span<const double> s, size_t padded, bool reversed,
                     std::vector<std::complex<double>>& out) {
@@ -52,10 +77,12 @@ const RollingStats* MatrixProfileEngine::CachedStats(std::span<const double> s,
     auto it = stats_.find(key);
     if (it != stats_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().cache_hits.Add(1);
       return &it->second;
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().cache_misses.Add(1);
   RollingStats fresh = ComputeRollingStats(s, window);
   std::lock_guard<std::mutex> lock(stats_mu_);
   return &stats_.try_emplace(key, std::move(fresh)).first->second;
@@ -70,10 +97,12 @@ const std::vector<std::complex<double>>* MatrixProfileEngine::CachedFft(
     auto it = map.find(key);
     if (it != map.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().cache_hits.Add(1);
       return &it->second;
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().cache_misses.Add(1);
   std::vector<std::complex<double>> fresh;
   ForwardFftInto(s, padded, reversed, fresh);
   std::lock_guard<std::mutex> lock(fft_mu_);
@@ -94,10 +123,12 @@ const std::vector<double>* MatrixProfileEngine::CachedSeedDots(
     auto it = seeds_.find(key);
     if (it != seeds_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().cache_hits.Add(1);
       return &it->second;
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().cache_misses.Add(1);
 
   const std::span<const double> query = x.subspan(0, window);
   std::vector<double> fresh;
@@ -400,8 +431,11 @@ MatrixProfile MatrixProfileEngine::SelfJoin(std::span<const double> series,
   IPS_CHECK(window >= 2);
   IPS_CHECK(series.size() > window);
   if (exclusion == 0) exclusion = DefaultExclusionZone(window);
+  IPS_SPAN("mp_self_join");
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   joins_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().qt_sweeps.Add(1);
+  Metrics().joins_computed.Add(1);
 
   const SweepContext cx = MakeContext(series, series, window, /*self=*/true,
                                       exclusion, /*want_b=*/false);
@@ -416,8 +450,11 @@ MatrixProfile MatrixProfileEngine::AbJoin(std::span<const double> a,
   IPS_CHECK(window >= 2);
   IPS_CHECK(a.size() >= window);
   IPS_CHECK(b.size() >= window);
+  IPS_SPAN("mp_ab_join");
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   joins_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().qt_sweeps.Add(1);
+  Metrics().joins_computed.Add(1);
 
   const SweepContext cx = MakeContext(a, b, window, /*self=*/false,
                                       /*exclusion=*/0, /*want_b=*/false);
@@ -432,9 +469,13 @@ PairJoin MatrixProfileEngine::AbJoinBoth(std::span<const double> a,
   IPS_CHECK(window >= 2);
   IPS_CHECK(a.size() >= window);
   IPS_CHECK(b.size() >= window);
+  IPS_SPAN("mp_ab_join");
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   joins_.fetch_add(2, std::memory_order_relaxed);
   halved_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().qt_sweeps.Add(1);
+  Metrics().joins_computed.Add(2);
+  Metrics().joins_halved.Add(1);
 
   const SweepContext cx = MakeContext(a, b, window, /*self=*/false,
                                       /*exclusion=*/0, /*want_b=*/true);
@@ -462,9 +503,13 @@ std::vector<PairJoin> MatrixProfileEngine::JoinAllPairs(
   }
   const size_t pair_count = joins.size();
   if (pair_count == 0) return joins;
+  IPS_SPAN("mp_join_all_pairs");
   sweeps_.fetch_add(pair_count, std::memory_order_relaxed);
   joins_.fetch_add(2 * pair_count, std::memory_order_relaxed);
   halved_.fetch_add(pair_count, std::memory_order_relaxed);
+  Metrics().qt_sweeps.Add(pair_count);
+  Metrics().joins_computed.Add(2 * pair_count);
+  Metrics().joins_halved.Add(pair_count);
 
   // Warm the per-series stats serially so concurrent pair setup below only
   // ever hits (a racing double-compute would be harmless but wasted work).

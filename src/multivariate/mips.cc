@@ -18,7 +18,7 @@ void MultivariateIpsClassifier::Fit(const MultivariateDataset& train) {
     const Dataset slice = train.ChannelSlice(c);
     IpsOptions channel_options = options_;
     channel_options.seed = options_.seed + 0x9e3779b9u * (c + 1);
-    channel_shapelets_[c] = DiscoverShapelets(slice, channel_options);
+    channel_shapelets_[c] = DiscoverShapelets(slice, channel_options).shapelets;
 
     const TransformedData transformed = ShapeletTransform(
         slice, channel_shapelets_[c], options_.transform_distance,

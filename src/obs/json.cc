@@ -1,0 +1,322 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace ips::obs {
+
+namespace {
+
+const JsonValue& NullSentinel() {
+  static const JsonValue null;
+  return null;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; null is the conventional lossy stand-in.
+    out += "null";
+    return;
+  }
+  char buf[40];
+  // Integral values within the exactly-representable range print as
+  // integers (counters stay grep-able); everything else round-trips via
+  // max_digits10.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> ParseDocument() {
+    std::optional<JsonValue> value = ParseValue();
+    if (!value) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          if (code > 0xFF) return std::nullopt;  // see header comment
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      std::optional<std::string> s = ParseString();
+      if (!s) return std::nullopt;
+      return JsonValue(std::move(*s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue();
+    return ParseNumber();
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return JsonValue(v);
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) return std::nullopt;
+    JsonValue out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return out;
+    for (;;) {
+      std::optional<JsonValue> element = ParseValue();
+      if (!element) return std::nullopt;
+      out.Append(std::move(*element));
+      if (Consume(']')) return out;
+      if (!Consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    JsonValue out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return out;
+    for (;;) {
+      SkipWhitespace();
+      std::optional<std::string> key = ParseString();
+      if (!key) return std::nullopt;
+      if (!Consume(':')) return std::nullopt;
+      std::optional<JsonValue> value = ParseValue();
+      if (!value) return std::nullopt;
+      out.Set(*key, std::move(*value));
+      if (Consume('}')) return out;
+      if (!Consume(',')) return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+uint64_t JsonValue::AsUint64(uint64_t fallback) const {
+  if (!is_number() || number_ < 0.0 || number_ != std::floor(number_)) {
+    return fallback;
+  }
+  return static_cast<uint64_t>(number_);
+}
+
+void JsonValue::Append(JsonValue value) {
+  if (kind_ != Kind::kArray) {
+    kind_ = Kind::kArray;
+    array_.clear();
+  }
+  array_.push_back(std::move(value));
+}
+
+size_t JsonValue::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return members_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::At(size_t index) const {
+  if (!is_array() || index >= array_.size()) return NullSentinel();
+  return array_[index];
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  if (kind_ != Kind::kObject) {
+    kind_ = Kind::kObject;
+    members_.clear();
+  }
+  for (auto& [existing, existing_value] : members_) {
+    if (existing == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [existing, value] : members_) {
+    if (existing == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  const JsonValue* found = Find(key);
+  return found != nullptr ? *found : NullSentinel();
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int level) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<size_t>(indent * level), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: AppendNumber(out, number_); break;
+    case Kind::kString: AppendEscaped(out, string_); break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline(depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline(depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+std::optional<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace ips::obs

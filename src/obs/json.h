@@ -1,0 +1,111 @@
+// Minimal JSON document model for the observability layer.
+//
+// One value type covers everything the repo serialises as JSON: the
+// BENCH_*.json benchmark artefacts, the trace/metrics exports consumed by
+// scripts/, and the stats block of a saved discovery run
+// (ips/serialization). Object keys keep insertion order so every dump is
+// deterministic and diffable; numbers round-trip doubles bit-exactly
+// (max_digits10) and print integral values without an exponent so counter
+// deltas stay grep-able.
+//
+// The parser accepts the subset this repo emits -- objects, arrays,
+// strings with the standard short escapes plus \uXXXX (decoded as raw
+// code-unit bytes for ASCII, rejected above 0xFF to avoid pretending to
+// be a full UTF-8 transcoder), numbers, booleans and null -- which is
+// plain RFC-8259 JSON minus nothing a caller here produces.
+
+#ifndef IPS_OBS_JSON_H_
+#define IPS_OBS_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ips::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Default-constructs null.
+  JsonValue() = default;
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  JsonValue(int value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(unsigned value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(long value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(unsigned long value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(long long value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(unsigned long long value)
+      : JsonValue(static_cast<double>(value)) {}
+  JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : JsonValue(std::string(value)) {}
+
+  /// Empty aggregates (a default-constructed value is null, not {} or []).
+  static JsonValue Object() { return JsonValue(Kind::kObject); }
+  static JsonValue Array() { return JsonValue(Kind::kArray); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed reads. Wrong-kind access returns the fallback rather than
+  /// asserting: loaders treat malformed documents as data errors.
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  uint64_t AsUint64(uint64_t fallback = 0) const;
+  const std::string& AsString() const { return string_; }
+
+  // ----------------------------------------------------------------- array
+  void Append(JsonValue value);
+  size_t size() const;
+  /// Null (a static sentinel) when out of range or not an array.
+  const JsonValue& At(size_t index) const;
+
+  // ---------------------------------------------------------------- object
+  /// Inserts or overwrites `key` (first-insert position is kept).
+  void Set(const std::string& key, JsonValue value);
+  /// nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Find() but returning the null sentinel instead of nullptr.
+  const JsonValue& Get(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // ------------------------------------------------------------------- i/o
+  /// Serialises the value. `indent` == 0 emits one compact line (the form
+  /// the run-artifact format requires); > 0 pretty-prints with that many
+  /// spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  /// Strict parse of a complete document (trailing garbage is an error).
+  static std::optional<JsonValue> Parse(const std::string& text);
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace ips::obs
+
+#endif  // IPS_OBS_JSON_H_

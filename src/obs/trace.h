@@ -1,0 +1,154 @@
+// Low-overhead span tracer: RAII wall-clock attribution by nesting path.
+//
+// A Span marks one timed section; spans opened while another span is alive
+// on the same thread nest under it, and the full slash-joined path
+// ("fit/discover/candidate_gen/instance_profile") is the aggregation key.
+// On destruction a span folds its monotonic-clock duration into the
+// process-wide TraceRegistry: one mutex-guarded map update per span, so
+// spans belong on stage and batch boundaries, not inner loops (counters in
+// obs/metrics.h cover per-item events).
+//
+// Run-level attribution is a delta of two snapshots, exactly like the
+// metrics registry: capture TraceRegistry::Snapshot() before the run and
+// DeltaSince() after. Aggregated times are monotonic, so deltas are safe
+// under concurrent runs (a concurrent run's spans are attributed to
+// whichever observer's window they land in -- same contract as the
+// pre-existing thread-pool counter deltas).
+//
+// Threading: a Span must be destroyed on the thread that created it, in
+// LIFO order (automatic storage guarantees both). Spans created on pool
+// worker threads have no parent there and root their own path -- the tree
+// printer renders them as top-level entries.
+//
+// Kill switch: compiling with -DIPS_DISABLE_TRACING (the CMake option of
+// the same name) replaces Span with an empty type; IPS_SPAN expands to a
+// no-op object the optimiser deletes, making tracing zero-cost. Discovery
+// output is bitwise identical either way -- spans only observe, a claim
+// CI enforces by diffing discovery fingerprints across the two builds.
+
+#ifndef IPS_OBS_TRACE_H_
+#define IPS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ips::obs {
+
+/// Cumulative totals of one span path.
+struct SpanStats {
+  uint64_t count = 0;    ///< completed spans on this path
+  double seconds = 0.0;  ///< summed wall-clock duration
+};
+
+/// Point-in-time copy of the registry's per-path aggregation (ordered so
+/// every rendering is deterministic).
+using TraceSnapshot = std::map<std::string, SpanStats>;
+
+/// One aggregated span of a report: a path plus its totals.
+struct TraceSpan {
+  std::string path;
+  uint64_t count = 0;
+  double seconds = 0.0;
+
+  /// Last path segment ("candidate_gen" for "fit/discover/candidate_gen").
+  std::string Leaf() const;
+  /// Nesting depth: number of '/' separators in the path.
+  size_t Depth() const;
+};
+
+/// The spans of one observation window, sorted by path (parents precede
+/// children). The unit RunResult carries and the exporters consume.
+struct TraceReport {
+  std::vector<TraceSpan> spans;
+
+  bool empty() const { return spans.empty(); }
+  /// The span with exactly this path, or nullptr.
+  const TraceSpan* Find(const std::string& path) const;
+  /// Summed seconds over every span whose Leaf() == `leaf`. How
+  /// IpsRunStats::FromRegistry maps stage names to fields regardless of
+  /// which pipeline entry point (and hence path prefix) produced them.
+  double LeafSeconds(const std::string& leaf) const;
+  /// Summed count over every span whose Leaf() == `leaf`.
+  uint64_t LeafCount(const std::string& leaf) const;
+};
+
+class TraceRegistry {
+ public:
+  /// The process-wide registry (leaky singleton, like MetricsRegistry).
+  static TraceRegistry& Instance();
+
+  TraceRegistry(const TraceRegistry&) = delete;
+  TraceRegistry& operator=(const TraceRegistry&) = delete;
+
+  /// Folds one completed span into the aggregation. Called by ~Span; also
+  /// the hook for recording externally-timed sections under a fixed path.
+  void Record(const std::string& path, double seconds);
+
+  TraceSnapshot Snapshot() const;
+
+  /// Per-path `after - before`, dropping zero-count entries.
+  static TraceReport Delta(const TraceSnapshot& before,
+                           const TraceSnapshot& after);
+
+  /// Delta(before, Snapshot()).
+  TraceReport DeltaSince(const TraceSnapshot& before) const;
+
+ private:
+  TraceRegistry() = default;
+
+  mutable std::mutex mu_;
+  TraceSnapshot totals_;
+};
+
+#if !defined(IPS_DISABLE_TRACING)
+
+inline constexpr bool kTracingEnabled = true;
+
+/// RAII timed section. See the file comment for nesting and threading.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// The slash-joined aggregation path of this span.
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  Span* parent_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // IPS_DISABLE_TRACING
+
+inline constexpr bool kTracingEnabled = false;
+
+/// Zero-cost stand-in: constructing it does nothing, so IPS_SPAN sites
+/// compile away entirely.
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // IPS_DISABLE_TRACING
+
+#define IPS_OBS_CONCAT_INNER(a, b) a##b
+#define IPS_OBS_CONCAT(a, b) IPS_OBS_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope:
+///   IPS_SPAN("pruning");
+#define IPS_SPAN(name) \
+  ::ips::obs::Span IPS_OBS_CONCAT(ips_obs_span_, __LINE__)(name)
+
+}  // namespace ips::obs
+
+#endif  // IPS_OBS_TRACE_H_

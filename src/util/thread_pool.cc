@@ -5,15 +5,37 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ips {
 namespace {
 
-// Process-wide counters live outside the pool object so the inline fast
-// paths of ParallelFor can record regions without starting the workers.
-std::atomic<size_t> g_regions_dispatched{0};
-std::atomic<size_t> g_regions_inline{0};
-std::atomic<size_t> g_tasks_run{0};
-std::atomic<size_t> g_chunk_steals{0};
+// The pool's process-wide counters are registry metrics (obs/metrics.h):
+// ThreadPoolCounters is a view over them, and run-level consumers
+// (IpsRunStats::FromRegistry, the JSON exporters) read the same names.
+// Bound once here so the hot paths pay one relaxed fetch_add per event and
+// the inline fast paths of ParallelFor can record regions without starting
+// the workers.
+struct PoolMetrics {
+  obs::Counter& regions_dispatched;
+  obs::Counter& regions_inline;
+  obs::Counter& tasks_run;
+  obs::Counter& chunk_steals;
+  obs::Histogram& region_items;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+    return new PoolMetrics{registry.GetCounter("pool.regions_dispatched"),
+                           registry.GetCounter("pool.regions_inline"),
+                           registry.GetCounter("pool.tasks_run"),
+                           registry.GetCounter("pool.chunk_steals"),
+                           registry.GetHistogram("pool.region_items")};
+  }();
+  return *metrics;
+}
 
 // Nested-submission guard: > 0 while this thread executes region indices.
 thread_local int t_region_depth = 0;
@@ -76,16 +98,17 @@ ThreadPool::ThreadPool(size_t workers) {
 bool ThreadPool::InRegion() { return t_region_depth > 0; }
 
 ThreadPoolCounters ThreadPool::Counters() {
+  const PoolMetrics& m = Metrics();
   ThreadPoolCounters c;
-  c.regions_dispatched = g_regions_dispatched.load(std::memory_order_relaxed);
-  c.regions_inline = g_regions_inline.load(std::memory_order_relaxed);
-  c.tasks_run = g_tasks_run.load(std::memory_order_relaxed);
-  c.chunk_steals = g_chunk_steals.load(std::memory_order_relaxed);
+  c.regions_dispatched = m.regions_dispatched.Value();
+  c.regions_inline = m.regions_inline.Value();
+  c.tasks_run = m.tasks_run.Value();
+  c.chunk_steals = m.chunk_steals.Value();
   return c;
 }
 
 void ThreadPool::NoteInlineRegion() {
-  g_regions_inline.fetch_add(1, std::memory_order_relaxed);
+  Metrics().regions_inline.Add(1);
 }
 
 void ThreadPool::Participate(Region& region, size_t slot) {
@@ -109,8 +132,8 @@ void ThreadPool::Participate(Region& region, size_t slot) {
     }
   }
   --t_region_depth;
-  if (executed != 0) g_tasks_run.fetch_add(executed, std::memory_order_relaxed);
-  if (steals != 0) g_chunk_steals.fetch_add(steals, std::memory_order_relaxed);
+  if (executed != 0) Metrics().tasks_run.Add(executed);
+  if (steals != 0) Metrics().chunk_steals.Add(steals);
 }
 
 void ThreadPool::Run(size_t count, size_t max_workers, RegionFn fn,
@@ -154,7 +177,9 @@ void ThreadPool::Run(size_t count, size_t max_workers, RegionFn fn,
     regions_.push_back(&region);
   }
   cv_.notify_all();
-  g_regions_dispatched.fetch_add(1, std::memory_order_relaxed);
+  Metrics().regions_dispatched.Add(1);
+  Metrics().region_items.Observe(count);
+  IPS_SPAN("pool_region");
 
   Participate(region, 0);
 

@@ -124,7 +124,7 @@ TEST(DeterminismMatrixTest, AutoThreadsRecordPoolActivityInStats) {
 
   IpsClassifier clf(o);
   clf.Fit(data.train);
-  const IpsRunStats& stats = clf.stats();
+  const IpsRunStats& stats = clf.result().stats;
   // Some regions always run (candidate generation, the transform); whether
   // they dispatched or inlined depends on the machine, but the counters
   // must have recorded them either way.

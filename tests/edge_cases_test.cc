@@ -85,7 +85,7 @@ TEST(EdgeCaseTest, SingleClassDatasetThroughIps) {
   IpsOptions options;
   options.sample_count = 3;
   options.length_ratios = {0.2};
-  const auto shapelets = DiscoverShapelets(single, options);
+  const auto shapelets = DiscoverShapelets(single, options).shapelets;
   EXPECT_FALSE(shapelets.empty());
   for (const auto& s : shapelets) EXPECT_EQ(s.label, 0);
 }
@@ -151,7 +151,7 @@ TEST(EdgeCaseTest, TwoInstancesPerClass) {
   IpsOptions options;
   options.sample_count = 2;
   options.sample_size = 2;
-  const auto shapelets = DiscoverShapelets(data.train, options);
+  const auto shapelets = DiscoverShapelets(data.train, options).shapelets;
   EXPECT_FALSE(shapelets.empty());
 }
 

@@ -1,0 +1,122 @@
+#include "obs/json.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ips::obs {
+namespace {
+
+TEST(JsonValueTest, DefaultIsNull) {
+  JsonValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.Dump(), "null");
+}
+
+TEST(JsonValueTest, ScalarsDump) {
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonValueTest, IntegralNumbersHaveNoExponent) {
+  // Counter deltas must stay grep-able: no 1e+06 style output.
+  EXPECT_EQ(JsonValue(uint64_t{1000000}).Dump(), "1000000");
+  EXPECT_EQ(JsonValue(0).Dump(), "0");
+}
+
+TEST(JsonValueTest, DoublesRoundTripBitExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, 1e-17, 3.141592653589793,
+                           std::numeric_limits<double>::min()};
+  for (const double d : values) {
+    const auto parsed = JsonValue::Parse(JsonValue(d).Dump());
+    ASSERT_TRUE(parsed.has_value()) << d;
+    EXPECT_EQ(parsed->AsDouble(), d);
+  }
+}
+
+TEST(JsonValueTest, ObjectKeepsInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", 1);
+  obj.Set("apple", 2);
+  obj.Set("mango", 3);
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  // Overwrite keeps the first-insert position.
+  obj.Set("zebra", 9);
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":9,\"apple\":2,\"mango\":3}");
+}
+
+TEST(JsonValueTest, NestedRoundTrip) {
+  JsonValue inner = JsonValue::Object();
+  inner.Set("count", uint64_t{7});
+  inner.Set("seconds", 0.5);
+  JsonValue arr = JsonValue::Array();
+  arr.Append(inner);
+  arr.Append(JsonValue("text with \"quotes\" and \\slash\n"));
+  JsonValue root = JsonValue::Object();
+  root.Set("spans", arr);
+  root.Set("ok", true);
+
+  const auto parsed = JsonValue::Parse(root.Dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Dump(), root.Dump());
+  EXPECT_EQ(parsed->Get("spans").At(0).Get("count").AsUint64(), 7u);
+  EXPECT_EQ(parsed->Get("spans").At(1).AsString(),
+            "text with \"quotes\" and \\slash\n");
+  EXPECT_TRUE(parsed->Get("ok").AsBool());
+}
+
+TEST(JsonValueTest, PrettyPrintParsesBack) {
+  JsonValue root = JsonValue::Object();
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1);
+  arr.Append(2);
+  root.Set("xs", arr);
+  const std::string pretty = root.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const auto parsed = JsonValue::Parse(pretty);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Dump(), root.Dump());
+}
+
+TEST(JsonValueTest, WrongKindAccessReturnsFallback) {
+  const JsonValue num(5);
+  EXPECT_EQ(num.AsBool(true), true);
+  EXPECT_EQ(JsonValue("x").AsDouble(-1.0), -1.0);
+  EXPECT_EQ(num.Find("k"), nullptr);
+  EXPECT_TRUE(num.Get("k").is_null());
+  EXPECT_TRUE(num.At(0).is_null());
+  JsonValue obj = JsonValue::Object();
+  obj.Set("present", 1);
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+  EXPECT_TRUE(obj.At(99).is_null());
+}
+
+TEST(JsonValueTest, AsUint64OnNonIntegralFallsBack) {
+  EXPECT_EQ(JsonValue(2.5).AsUint64(77), 77u);
+  EXPECT_EQ(JsonValue(-1).AsUint64(77), 77u);
+  EXPECT_EQ(JsonValue(uint64_t{123}).AsUint64(), 123u);
+}
+
+TEST(JsonValueTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{").has_value());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").has_value());
+  EXPECT_FALSE(JsonValue::Parse("nul").has_value());
+  // Trailing garbage after a complete document is an error.
+  EXPECT_FALSE(JsonValue::Parse("{} x").has_value());
+  EXPECT_FALSE(JsonValue::Parse("1 2").has_value());
+}
+
+TEST(JsonValueTest, ParseAcceptsWhitespaceAndEscapes) {
+  const auto v = JsonValue::Parse(" { \"a\" : [ 1 , \"\\t\\u0041\" ] } ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Get("a").At(1).AsString(), "\tA");
+}
+
+}  // namespace
+}  // namespace ips::obs

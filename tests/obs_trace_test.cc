@@ -1,0 +1,207 @@
+// Span nesting, path aggregation, and the snapshot/delta windowing that
+// RunResult attribution is built on. Registry-level behaviour (Record,
+// Delta, leaf queries) is config-independent; Span-driven tests compile
+// only when tracing is enabled and are skipped otherwise.
+
+#include "obs/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+
+namespace ips::obs {
+namespace {
+
+TEST(TraceReportTest, LeafAndDepth) {
+  TraceSpan s;
+  s.path = "fit/discover/candidate_gen";
+  EXPECT_EQ(s.Leaf(), "candidate_gen");
+  EXPECT_EQ(s.Depth(), 2u);
+  s.path = "discover";
+  EXPECT_EQ(s.Leaf(), "discover");
+  EXPECT_EQ(s.Depth(), 0u);
+}
+
+TEST(TraceReportTest, LeafQueriesSumAcrossPrefixes) {
+  TraceReport report;
+  report.spans.push_back({"discover/pruning", 1, 0.25});
+  report.spans.push_back({"fit/discover/pruning", 2, 0.5});
+  report.spans.push_back({"fit/discover/selection", 1, 4.0});
+  EXPECT_EQ(report.LeafSeconds("pruning"), 0.75);
+  EXPECT_EQ(report.LeafCount("pruning"), 3u);
+  EXPECT_EQ(report.LeafSeconds("selection"), 4.0);
+  EXPECT_EQ(report.LeafSeconds("absent"), 0.0);
+  EXPECT_EQ(report.LeafCount("absent"), 0u);
+  ASSERT_NE(report.Find("discover/pruning"), nullptr);
+  EXPECT_EQ(report.Find("discover/pruning")->count, 1u);
+  EXPECT_EQ(report.Find("pruning"), nullptr);  // exact path, not leaf
+}
+
+TEST(TraceRegistryTest, DeltaWindowsIsolateRuns) {
+  TraceRegistry& reg = TraceRegistry::Instance();
+  reg.Record("obs_trace_test/outside", 1.0);
+  const TraceSnapshot before = reg.Snapshot();
+  reg.Record("obs_trace_test/inside", 0.5);
+  reg.Record("obs_trace_test/inside", 0.25);
+  const TraceReport delta = reg.DeltaSince(before);
+  const TraceSpan* inside = delta.Find("obs_trace_test/inside");
+  ASSERT_NE(inside, nullptr);
+  EXPECT_EQ(inside->count, 2u);
+  EXPECT_DOUBLE_EQ(inside->seconds, 0.75);
+  // Paths untouched inside the window are dropped from the delta.
+  EXPECT_EQ(delta.Find("obs_trace_test/outside"), nullptr);
+}
+
+TEST(TraceRegistryTest, SnapshotIsOrderedByPath) {
+  TraceRegistry& reg = TraceRegistry::Instance();
+  const TraceSnapshot before = reg.Snapshot();
+  reg.Record("obs_trace_test/z", 0.1);
+  reg.Record("obs_trace_test/a", 0.1);
+  reg.Record("obs_trace_test/m", 0.1);
+  const TraceReport delta = reg.DeltaSince(before);
+  std::string prev;
+  for (const TraceSpan& s : delta.spans) {
+    EXPECT_LT(prev, s.path);
+    prev = s.path;
+  }
+}
+
+TEST(TraceExportTest, TraceJsonRoundTrips) {
+  TraceReport report;
+  report.spans.push_back({"discover", 1, 2.0});
+  report.spans.push_back({"discover/candidate_gen", 1, 1.5});
+  const auto restored = TraceFromJson(TraceToJson(report));
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->spans.size(), 2u);
+  EXPECT_EQ(restored->spans[0].path, "discover");
+  EXPECT_EQ(restored->spans[1].count, 1u);
+  EXPECT_EQ(restored->spans[1].seconds, 1.5);
+}
+
+TEST(TraceExportTest, FormatTraceTreeListsEveryPath) {
+  TraceReport report;
+  report.spans.push_back({"discover", 1, 2.0});
+  report.spans.push_back({"discover/candidate_gen", 1, 1.5});
+  report.spans.push_back({"discover/candidate_gen/instance_profile", 4, 1.0});
+  const std::string tree = FormatTraceTree(report);
+  EXPECT_NE(tree.find("discover"), std::string::npos);
+  EXPECT_NE(tree.find("candidate_gen"), std::string::npos);
+  EXPECT_NE(tree.find("instance_profile"), std::string::npos);
+}
+
+#if !defined(IPS_DISABLE_TRACING)
+
+TEST(SpanTest, NestingBuildsSlashJoinedPaths) {
+  TraceRegistry& reg = TraceRegistry::Instance();
+  const TraceSnapshot before = reg.Snapshot();
+  {
+    Span outer("span_test_outer");
+    EXPECT_EQ(outer.path(), "span_test_outer");
+    {
+      Span inner("span_test_inner");
+      EXPECT_EQ(inner.path(), "span_test_outer/span_test_inner");
+      Span deepest("span_test_deep");
+      EXPECT_EQ(deepest.path(),
+                "span_test_outer/span_test_inner/span_test_deep");
+    }
+    {
+      // A sibling after the first child nests under the same parent.
+      Span sibling("span_test_inner");
+      EXPECT_EQ(sibling.path(), "span_test_outer/span_test_inner");
+    }
+  }
+  const TraceReport delta = reg.DeltaSince(before);
+  ASSERT_NE(delta.Find("span_test_outer"), nullptr);
+  const TraceSpan* inner = delta.Find("span_test_outer/span_test_inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2u);  // first child + sibling, aggregated
+  EXPECT_NE(
+      delta.Find("span_test_outer/span_test_inner/span_test_deep"), nullptr);
+}
+
+TEST(SpanTest, ParentAccumulatesChildTime) {
+  TraceRegistry& reg = TraceRegistry::Instance();
+  const TraceSnapshot before = reg.Snapshot();
+  {
+    Span outer("span_test_parent");
+    Span inner("span_test_child");
+    // Both spans cover this scope; the parent's wall-clock includes the
+    // child's.
+  }
+  const TraceReport delta = reg.DeltaSince(before);
+  const TraceSpan* parent = delta.Find("span_test_parent");
+  const TraceSpan* child = delta.Find("span_test_parent/span_test_child");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_GE(parent->seconds, child->seconds);
+}
+
+TEST(SpanTest, MacroOpensScopedSpan) {
+  TraceRegistry& reg = TraceRegistry::Instance();
+  const TraceSnapshot before = reg.Snapshot();
+  {
+    IPS_SPAN("span_test_macro");
+  }
+  const TraceReport delta = reg.DeltaSince(before);
+  const TraceSpan* s = delta.Find("span_test_macro");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 1u);
+}
+
+TEST(SpanTest, WorkerThreadSpansRootTheirOwnPath) {
+  TraceRegistry& reg = TraceRegistry::Instance();
+  const TraceSnapshot before = reg.Snapshot();
+  {
+    Span outer("span_test_main_root");
+    // The parent stack is thread-local: a span on another thread does not
+    // nest under this thread's open span.
+    std::thread worker([] { Span s("span_test_worker"); });
+    worker.join();
+  }
+  const TraceReport delta = reg.DeltaSince(before);
+  ASSERT_NE(delta.Find("span_test_worker"), nullptr);
+  EXPECT_EQ(delta.Find("span_test_main_root/span_test_worker"), nullptr);
+}
+
+TEST(SpanTest, ConcurrentSpansAggregateExactly) {
+  TraceRegistry& reg = TraceRegistry::Instance();
+  const TraceSnapshot before = reg.Snapshot();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span s("span_test_concurrent");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const TraceReport delta = reg.DeltaSince(before);
+  const TraceSpan* s = delta.Find("span_test_concurrent");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, uint64_t{kThreads} * kSpansPerThread);
+  EXPECT_GE(s->seconds, 0.0);
+}
+
+#else  // IPS_DISABLE_TRACING
+
+TEST(SpanTest, DisabledSpanRecordsNothing) {
+  TraceRegistry& reg = TraceRegistry::Instance();
+  const TraceSnapshot before = reg.Snapshot();
+  {
+    IPS_SPAN("span_test_disabled");
+    Span s("span_test_disabled_direct");
+  }
+  EXPECT_TRUE(reg.DeltaSince(before).empty());
+  EXPECT_FALSE(kTracingEnabled);
+}
+
+#endif  // IPS_DISABLE_TRACING
+
+}  // namespace
+}  // namespace ips::obs

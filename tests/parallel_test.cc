@@ -67,11 +67,11 @@ TEST(ParallelDiscoveryTest, IdenticalResultsAcrossThreadCounts) {
 
   IpsOptions options;
   options.num_threads = 1;
-  const auto a = DiscoverShapelets(train, options);
+  const auto a = DiscoverShapelets(train, options).shapelets;
 
   for (const size_t threads : {2u, 8u}) {
     options.num_threads = threads;
-    const auto b = DiscoverShapelets(train, options);
+    const auto b = DiscoverShapelets(train, options).shapelets;
     ASSERT_EQ(a.size(), b.size()) << threads << " threads";
     for (size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i].values, b[i].values)

@@ -46,7 +46,7 @@ TEST_P(PipelinePropertySweep, ShapeletLengthsComeFromConfiguredRatios) {
   const IpsOptions options = FastOptions();
   const auto lengths = ResolveCandidateLengths(data.train.MinLength(),
                                                options.length_ratios);
-  for (const Subsequence& s : DiscoverShapelets(data.train, options)) {
+  for (const Subsequence& s : DiscoverShapelets(data.train, options).shapelets) {
     EXPECT_TRUE(std::find(lengths.begin(), lengths.end(), s.length()) !=
                 lengths.end())
         << GetParam() << ": unexpected length " << s.length();
@@ -55,7 +55,7 @@ TEST_P(PipelinePropertySweep, ShapeletLengthsComeFromConfiguredRatios) {
 
 TEST_P(PipelinePropertySweep, EveryTrainClassGetsShapelets) {
   const TrainTestSplit data = MakeData();
-  const auto shapelets = DiscoverShapelets(data.train, FastOptions());
+  const auto shapelets = DiscoverShapelets(data.train, FastOptions()).shapelets;
   std::set<int> classes_with_shapelets;
   for (const Subsequence& s : shapelets) classes_with_shapelets.insert(s.label);
   EXPECT_EQ(static_cast<int>(classes_with_shapelets.size()),
@@ -65,10 +65,9 @@ TEST_P(PipelinePropertySweep, EveryTrainClassGetsShapelets) {
 
 TEST_P(PipelinePropertySweep, StatsAreInternallyConsistent) {
   const TrainTestSplit data = MakeData();
-  IpsRunStats stats;
-  const auto shapelets =
-      DiscoverShapelets(data.train, FastOptions(), &stats);
-  EXPECT_EQ(stats.shapelets, shapelets.size()) << GetParam();
+  const RunResult result = DiscoverShapelets(data.train, FastOptions());
+  const IpsRunStats& stats = result.stats;
+  EXPECT_EQ(stats.shapelets, result.shapelets.size()) << GetParam();
   EXPECT_LE(stats.motifs_after_prune, stats.motifs_generated);
   EXPECT_LE(stats.discords_after_prune, stats.discords_generated);
   EXPECT_GE(stats.candidate_gen_seconds, 0.0);

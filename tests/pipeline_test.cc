@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "data/generator.h"
+#include "obs/trace.h"
 
 namespace ips {
 namespace {
@@ -32,27 +33,65 @@ IpsOptions FastOptions() {
 
 TEST(DiscoverShapeletsTest, ProducesRequestedCount) {
   const TrainTestSplit data = MakeData("pipe1");
-  IpsRunStats stats;
-  const auto shapelets = DiscoverShapelets(data.train, FastOptions(), &stats);
-  EXPECT_GT(shapelets.size(), 0u);
-  EXPECT_LE(shapelets.size(), 3u * 2u);
-  EXPECT_EQ(stats.shapelets, shapelets.size());
+  const RunResult result = DiscoverShapelets(data.train, FastOptions());
+  EXPECT_GT(result.shapelets.size(), 0u);
+  EXPECT_LE(result.shapelets.size(), 3u * 2u);
+  EXPECT_EQ(result.stats.shapelets, result.shapelets.size());
 }
 
 TEST(DiscoverShapeletsTest, StatsArePopulated) {
   const TrainTestSplit data = MakeData("pipe2");
-  IpsRunStats stats;
-  DiscoverShapelets(data.train, FastOptions(), &stats);
+  const IpsRunStats stats = DiscoverShapelets(data.train, FastOptions()).stats;
   EXPECT_GT(stats.motifs_generated, 0u);
   EXPECT_GT(stats.discords_generated, 0u);
   EXPECT_GE(stats.motifs_generated, stats.motifs_after_prune);
   EXPECT_GE(stats.candidate_gen_seconds, 0.0);
-  EXPECT_GT(stats.TotalDiscoverySeconds(), 0.0);
+  if (obs::kTracingEnabled) {
+    EXPECT_GT(stats.TotalDiscoverySeconds(), 0.0);
+  } else {
+    EXPECT_EQ(stats.TotalDiscoverySeconds(), 0.0);
+  }
+}
+
+TEST(DiscoverShapeletsTest, TraceCoversEveryStage) {
+  const TrainTestSplit data = MakeData("pipe2b");
+  const RunResult result = DiscoverShapelets(data.train, FastOptions());
+  if (!obs::kTracingEnabled) {
+    EXPECT_TRUE(result.trace.empty());
+    return;
+  }
+  // Bare discovery roots at "discover"; classifier-only stages are absent.
+  EXPECT_NE(result.trace.Find("discover"), nullptr);
+  EXPECT_EQ(result.trace.LeafCount("candidate_gen"), 1u);
+  EXPECT_EQ(result.trace.LeafCount("instance_profile"), 1u);
+  EXPECT_EQ(result.trace.LeafCount("pruning"), 1u);
+  EXPECT_EQ(result.trace.LeafCount("selection"), 1u);
+  EXPECT_EQ(result.trace.LeafCount("transform"), 0u);
+  EXPECT_EQ(result.trace.LeafCount("backend_fit"), 0u);
+  // The stats view is the same trace by leaf name.
+  EXPECT_DOUBLE_EQ(result.stats.candidate_gen_seconds,
+                   result.trace.LeafSeconds("candidate_gen"));
+}
+
+TEST(DiscoverShapeletsTest, DeprecatedOutParamShimStillWorks) {
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const TrainTestSplit data = MakeData("pipe2c");
+  IpsRunStats stats;
+  const std::vector<Subsequence> shapelets =
+      DiscoverShapelets(data.train, FastOptions(), &stats);
+  EXPECT_GT(shapelets.size(), 0u);
+  EXPECT_EQ(stats.shapelets, shapelets.size());
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 }
 
 TEST(DiscoverShapeletsTest, ShapeletsComeFromTrainingSet) {
   const TrainTestSplit data = MakeData("pipe3");
-  const auto shapelets = DiscoverShapelets(data.train, FastOptions());
+  const auto shapelets = DiscoverShapelets(data.train, FastOptions()).shapelets;
   for (const Subsequence& s : shapelets) {
     ASSERT_GE(s.series_index, 0);
     ASSERT_LT(static_cast<size_t>(s.series_index), data.train.size());
@@ -66,8 +105,8 @@ TEST(DiscoverShapeletsTest, ShapeletsComeFromTrainingSet) {
 
 TEST(DiscoverShapeletsTest, DeterministicForSameSeed) {
   const TrainTestSplit data = MakeData("pipe4");
-  const auto a = DiscoverShapelets(data.train, FastOptions());
-  const auto b = DiscoverShapelets(data.train, FastOptions());
+  const auto a = DiscoverShapelets(data.train, FastOptions()).shapelets;
+  const auto b = DiscoverShapelets(data.train, FastOptions()).shapelets;
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].values, b[i].values);
 }
@@ -78,7 +117,7 @@ TEST(DiscoverShapeletsTest, AllUtilityModesWork) {
                            UtilityMode::kDtCr}) {
     IpsOptions o = FastOptions();
     o.utility_mode = mode;
-    EXPECT_GT(DiscoverShapelets(data.train, o).size(), 0u);
+    EXPECT_GT(DiscoverShapelets(data.train, o).shapelets.size(), 0u);
   }
 }
 
@@ -86,7 +125,7 @@ TEST(DiscoverShapeletsTest, NaivePruningWorks) {
   const TrainTestSplit data = MakeData("pipe6");
   IpsOptions o = FastOptions();
   o.use_dabf_pruning = false;
-  EXPECT_GT(DiscoverShapelets(data.train, o).size(), 0u);
+  EXPECT_GT(DiscoverShapelets(data.train, o).shapelets.size(), 0u);
 }
 
 TEST(IpsClassifierTest, BeatsChanceOnSeparableData) {
@@ -109,7 +148,16 @@ TEST(IpsClassifierTest, ShapeletsAccessibleAfterFit) {
   IpsClassifier clf(FastOptions());
   clf.Fit(data.train);
   EXPECT_FALSE(clf.shapelets().empty());
-  EXPECT_GT(clf.stats().TotalDiscoverySeconds(), 0.0);
+  EXPECT_EQ(&clf.shapelets(), &clf.result().shapelets);
+  if (obs::kTracingEnabled) {
+    EXPECT_GT(clf.result().stats.TotalDiscoverySeconds(), 0.0);
+    // Fit's window covers the classifier-only stages too, nested under
+    // "fit".
+    EXPECT_NE(clf.result().trace.Find("fit"), nullptr);
+    EXPECT_NE(clf.result().trace.Find("fit/discover"), nullptr);
+    EXPECT_EQ(clf.result().trace.LeafCount("transform"), 1u);
+    EXPECT_EQ(clf.result().trace.LeafCount("backend_fit"), 1u);
+  }
 }
 
 TEST(IpsClassifierTest, PredictBatchMatchesPredictLoopAtEveryThreadCount) {

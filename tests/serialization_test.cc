@@ -98,7 +98,7 @@ TEST(SerializationTest, DiscoveredShapeletsSurviveRoundTrip) {
   IpsOptions options;
   options.sample_count = 3;
   options.length_ratios = {0.2};
-  const auto discovered = DiscoverShapelets(train, options);
+  const auto discovered = DiscoverShapelets(train, options).shapelets;
   const auto restored =
       DeserializeShapelets(SerializeShapelets(discovered));
   ASSERT_TRUE(restored.has_value());
@@ -106,6 +106,181 @@ TEST(SerializationTest, DiscoveredShapeletsSurviveRoundTrip) {
   for (size_t i = 0; i < discovered.size(); ++i) {
     EXPECT_EQ((*restored)[i].values, discovered[i].values);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Run artifact (ips-run v2): shapelets + stats + trace in one file.
+
+IpsRunStats SampleStats() {
+  IpsRunStats s;
+  s.candidate_gen_seconds = 1.25;
+  s.dabf_build_seconds = 0.5;
+  s.pruning_seconds = 0.125;
+  s.selection_seconds = 2.0;
+  s.transform_seconds = 0.75;
+  s.backend_fit_seconds = 0.0625;
+  s.profile_seconds = 1.0;
+  s.motifs_generated = 100;
+  s.discords_generated = 90;
+  s.motifs_after_prune = 40;
+  s.discords_after_prune = 30;
+  s.shapelets = 6;
+  s.profiles_computed = 12345;
+  s.stats_cache_hits = 11;
+  s.stats_cache_misses = 7;
+  s.mp_joins_computed = 222;
+  s.mp_qt_sweeps = 111;
+  s.mp_joins_halved = 55;
+  s.mp_cache_hits = 9;
+  s.mp_cache_misses = 4;
+  s.pool_regions = 17;
+  s.pool_inline_regions = 3;
+  s.pool_tasks_run = 5000;
+  s.pool_steals = 21;
+  return s;
+}
+
+void ExpectStatsEqual(const IpsRunStats& a, const IpsRunStats& b) {
+  EXPECT_EQ(a.candidate_gen_seconds, b.candidate_gen_seconds);
+  EXPECT_EQ(a.dabf_build_seconds, b.dabf_build_seconds);
+  EXPECT_EQ(a.pruning_seconds, b.pruning_seconds);
+  EXPECT_EQ(a.selection_seconds, b.selection_seconds);
+  EXPECT_EQ(a.transform_seconds, b.transform_seconds);
+  EXPECT_EQ(a.backend_fit_seconds, b.backend_fit_seconds);
+  EXPECT_EQ(a.profile_seconds, b.profile_seconds);
+  EXPECT_EQ(a.motifs_generated, b.motifs_generated);
+  EXPECT_EQ(a.discords_generated, b.discords_generated);
+  EXPECT_EQ(a.motifs_after_prune, b.motifs_after_prune);
+  EXPECT_EQ(a.discords_after_prune, b.discords_after_prune);
+  EXPECT_EQ(a.shapelets, b.shapelets);
+  EXPECT_EQ(a.profiles_computed, b.profiles_computed);
+  EXPECT_EQ(a.stats_cache_hits, b.stats_cache_hits);
+  EXPECT_EQ(a.stats_cache_misses, b.stats_cache_misses);
+  EXPECT_EQ(a.mp_joins_computed, b.mp_joins_computed);
+  EXPECT_EQ(a.mp_qt_sweeps, b.mp_qt_sweeps);
+  EXPECT_EQ(a.mp_joins_halved, b.mp_joins_halved);
+  EXPECT_EQ(a.mp_cache_hits, b.mp_cache_hits);
+  EXPECT_EQ(a.mp_cache_misses, b.mp_cache_misses);
+  EXPECT_EQ(a.pool_regions, b.pool_regions);
+  EXPECT_EQ(a.pool_inline_regions, b.pool_inline_regions);
+  EXPECT_EQ(a.pool_tasks_run, b.pool_tasks_run);
+  EXPECT_EQ(a.pool_steals, b.pool_steals);
+}
+
+TEST(RunSerializationTest, StatsJsonRoundTripsEveryField) {
+  const IpsRunStats original = SampleStats();
+  const auto restored = RunStatsFromJson(RunStatsToJson(original));
+  ASSERT_TRUE(restored.has_value());
+  ExpectStatsEqual(*restored, original);
+}
+
+TEST(RunSerializationTest, StatsJsonRejectsMissingField) {
+  obs::JsonValue json = RunStatsToJson(SampleStats());
+  obs::JsonValue pruned = obs::JsonValue::Object();
+  for (const auto& [key, value] : json.members()) {
+    if (key != "motifs_generated") pruned.Set(key, value);
+  }
+  EXPECT_FALSE(RunStatsFromJson(pruned).has_value());
+}
+
+TEST(RunSerializationTest, RunResultRoundTripIsExact) {
+  RunResult original;
+  original.shapelets = SampleShapelets();
+  original.stats = SampleStats();
+  obs::TraceSpan span;
+  span.path = "discover/candidate_gen";
+  span.count = 2;
+  span.seconds = 0.375;
+  original.trace.spans.push_back(span);
+
+  const std::string text = SerializeRunResult(original);
+  const auto restored = DeserializeRunResult(text);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->shapelets.size(), original.shapelets.size());
+  for (size_t i = 0; i < original.shapelets.size(); ++i) {
+    EXPECT_EQ(restored->shapelets[i].values, original.shapelets[i].values);
+    EXPECT_EQ(restored->shapelets[i].label, original.shapelets[i].label);
+  }
+  ExpectStatsEqual(restored->stats, original.stats);
+  ASSERT_EQ(restored->trace.spans.size(), 1u);
+  EXPECT_EQ(restored->trace.spans[0].path, "discover/candidate_gen");
+  EXPECT_EQ(restored->trace.spans[0].count, 2u);
+  EXPECT_EQ(restored->trace.spans[0].seconds, 0.375);
+}
+
+TEST(RunSerializationTest, HeaderCarriesCurrentVersion) {
+  RunResult result;
+  result.shapelets = SampleShapelets();
+  const std::string text = SerializeRunResult(result);
+  EXPECT_EQ(text.rfind("ips-run v2.0\n", 0), 0u);
+  EXPECT_EQ(kRunFormatVersion, (FormatVersion{2, 0}));
+}
+
+TEST(RunSerializationTest, RejectsUnknownMajorVersion) {
+  RunResult result;
+  result.shapelets = SampleShapelets();
+  std::string text = SerializeRunResult(result);
+  const size_t pos = text.find("v2.0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "v3.0");
+  EXPECT_FALSE(DeserializeRunResult(text).has_value());
+}
+
+TEST(RunSerializationTest, AcceptsNewerMinorWithinMajor) {
+  RunResult result;
+  result.shapelets = SampleShapelets();
+  result.stats = SampleStats();
+  std::string text = SerializeRunResult(result);
+  const size_t pos = text.find("v2.0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "v2.7");
+  const auto restored = DeserializeRunResult(text);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->shapelets.size(), result.shapelets.size());
+}
+
+TEST(RunSerializationTest, RejectsGarbageAndV1OnlyInput) {
+  EXPECT_FALSE(DeserializeRunResult("").has_value());
+  EXPECT_FALSE(DeserializeRunResult("not-a-run\n").has_value());
+  // A bare v1 shapelet block is not a run artifact.
+  EXPECT_FALSE(
+      DeserializeRunResult(SerializeShapelets(SampleShapelets())).has_value());
+}
+
+TEST(RunSerializationTest, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ips_run_" + std::to_string(::getpid()) + ".txt");
+  RunResult original;
+  original.shapelets = SampleShapelets();
+  original.stats = SampleStats();
+  ASSERT_TRUE(SaveRunResult(original, path.string()));
+  const auto restored = LoadRunResult(path.string());
+  std::filesystem::remove(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->shapelets.size(), original.shapelets.size());
+  ExpectStatsEqual(restored->stats, original.stats);
+}
+
+TEST(RunSerializationTest, DiscoveredRunSurvivesRoundTrip) {
+  GeneratorSpec spec;
+  spec.name = "serrun";
+  spec.num_classes = 2;
+  spec.train_size = 10;
+  spec.test_size = 2;
+  spec.length = 64;
+  const Dataset train = GenerateDataset(spec).train;
+  IpsOptions options;
+  options.sample_count = 3;
+  options.length_ratios = {0.2};
+  const RunResult run = DiscoverShapelets(train, options);
+  const auto restored = DeserializeRunResult(SerializeRunResult(run));
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->shapelets.size(), run.shapelets.size());
+  for (size_t i = 0; i < run.shapelets.size(); ++i) {
+    EXPECT_EQ(restored->shapelets[i].values, run.shapelets[i].values);
+  }
+  ExpectStatsEqual(restored->stats, run.stats);
+  EXPECT_EQ(restored->trace.spans.size(), run.trace.spans.size());
 }
 
 }  // namespace
