@@ -12,6 +12,8 @@
 //   --csv=<path>        also write the binary's main table as CSV
 //   --json=<path>       also write the observability report (obs/export.h
 //                       schema) where the binary supports it
+//   --metric=<name>     run under a registered non-default distance metric
+//                       (core/metric.h) where the binary supports it
 
 #ifndef IPS_BENCH_BENCH_COMMON_H_
 #define IPS_BENCH_BENCH_COMMON_H_
@@ -42,6 +44,9 @@ struct BenchArgs {
   /// When non-empty, the binary also writes its observability report here
   /// (the obs/export.h JSON schema shared by every BENCH_*.json).
   std::string json_path;
+  /// Registered metric name (core/metric.h) for binaries that support
+  /// running under a non-default distance; empty means the default.
+  std::string metric;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -65,6 +70,8 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.csv_path = *v;
     } else if (auto v = value_of("--json=")) {
       args.json_path = *v;
+    } else if (auto v = value_of("--metric=")) {
+      args.metric = *v;
     } else if (auto v = value_of("--datasets=")) {
       std::string rest = *v;
       size_t pos = 0;

@@ -7,14 +7,21 @@
 // no discovery output. Run it on several synthetic datasets and thread
 // counts so both the serial and pooled paths are covered.
 //
-// Usage: discovery_fingerprint [--datasets=a,b,c] ...
+// Usage: discovery_fingerprint [--datasets=a,b,c] [--metric=NAME] ...
+//
+// --metric runs discovery under a registered non-default metric; the
+// default invocation's output is the identity oracle and never changes
+// format, and a non-default metric announces itself with a "metric" line
+// so two different metrics can never diff clean against each other.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/metric.h"
 #include "ips/pipeline.h"
 #include "ips/serialization.h"
 #include "obs/trace.h"
@@ -26,6 +33,19 @@ int Run(const BenchArgs& args) {
   const std::vector<std::string> datasets =
       SelectDatasets(args, {"ArrowHead", "ShapeletSim", "ItalyPowerDemand"});
 
+  MetricId metric = MetricId::kZNormEuclidean;
+  if (!args.metric.empty()) {
+    const MetricPolicy* policy = FindMetricByName(args.metric);
+    if (policy == nullptr) {
+      std::fprintf(stderr, "unknown metric: %s\n", args.metric.c_str());
+      std::exit(2);
+    }
+    metric = policy->id;
+  }
+  if (metric != MetricId::kZNormEuclidean) {
+    std::printf("metric %s\n", MetricName(metric));
+  }
+
   // Both the serial path (1 thread) and the pooled path (4): the pool's
   // span/counter instrumentation sits on different code paths.
   const std::vector<size_t> thread_counts = {1, 4};
@@ -35,6 +55,7 @@ int Run(const BenchArgs& args) {
     for (size_t threads : thread_counts) {
       IpsOptions options;
       options.num_threads = threads;
+      options.metric = metric;
       const RunResult result = DiscoverShapelets(data.train, options);
       std::printf("%s threads=%zu shapelets=%zu\n", name.c_str(), threads,
                   result.shapelets.size());

@@ -290,7 +290,7 @@ void BM_TransformBatchEngine(benchmark::State& state) {
   for (auto _ : state) {
     DistanceEngine engine(threads);
     benchmark::DoNotOptimize(engine.TransformBatch(
-        fixture.train, fixture.shapelets, DistanceKind::kZNormalized));
+        fixture.train, fixture.shapelets, MetricId::kZNormEuclidean));
   }
 }
 BENCHMARK(BM_TransformBatchEngine)->Arg(1)->Arg(8);

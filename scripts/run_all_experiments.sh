@@ -83,5 +83,12 @@ echo "=== BENCH_mp ==="
 echo "=== BENCH_simd ==="
 "$BENCH/bench_simd" --out="$OUT/BENCH_simd.json" | tee "$OUT/BENCH_simd.txt"
 
+# Per-metric cost/accuracy comparison over every registered MetricPolicy
+# (QT sweep, transform batch, end-to-end fit). bench_metric writes the
+# JSON itself.
+echo "=== BENCH_metric ==="
+"$BENCH/bench_metric" --out="$OUT/BENCH_metric.json" |
+  tee "$OUT/BENCH_metric.txt"
+
 echo
 echo "All outputs under $OUT/"

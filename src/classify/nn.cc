@@ -7,11 +7,12 @@
 #include "core/distance.h"
 #include "core/distance_engine.h"
 #include "core/dtw.h"
+#include "core/metric.h"
 #include "util/check.h"
 
 namespace ips {
 
-OneNnEd::OneNnEd() = default;
+OneNnEd::OneNnEd(MetricId metric) : metric_(metric) {}
 OneNnEd::~OneNnEd() = default;
 
 void OneNnEd::Fit(const Dataset& train) {
@@ -23,18 +24,25 @@ void OneNnEd::Fit(const Dataset& train) {
 
 int OneNnEd::Predict(const TimeSeries& series) const {
   IPS_CHECK(!train_.empty());
+  const bool default_metric = metric_ == MetricId::kRawSquaredEuclidean;
   double best = std::numeric_limits<double>::infinity();
   int label = train_[0].label;
   for (size_t i = 0; i < train_.size(); ++i) {
     const TimeSeries& cand = train_[i];
     double d;
     if (cand.length() == series.length()) {
-      d = SquaredEuclidean(series.view(), cand.view());
+      // The historic default skips the Def. 4 1/m factor: with equal
+      // lengths it scales every candidate alike, so the ranking (and the
+      // bake-off accuracy) is unchanged and the old behaviour is preserved
+      // bitwise. Other metrics use their registered pairwise distance.
+      d = default_metric
+              ? SquaredEuclidean(series.view(), cand.view())
+              : GetMetric(metric_).pairwise(series.view(), cand.view());
     } else {
       // cache_b: the train-side artefacts persist across Predict calls; the
       // query side is never cached, so the caller's temporary is safe.
-      d = engine_->SubsequenceMin(series.view(), cand.view(),
-                                  /*cache_b=*/true);
+      d = engine_->SubsequenceMinMetric(series.view(), cand.view(), metric_,
+                                        /*cache_b=*/true);
     }
     if (d < best) {
       best = d;

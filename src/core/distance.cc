@@ -100,4 +100,50 @@ double SubsequenceDistanceZNorm(std::span<const double> a,
   return *std::min_element(profile.begin(), profile.end());
 }
 
+std::vector<double> DistanceProfileMetric(std::span<const double> query,
+                                          std::span<const double> series,
+                                          MetricId metric) {
+  // The two historic metrics keep their dedicated entry points (and their
+  // exact instruction sequences); the dot family below shares one skeleton.
+  if (metric == MetricId::kZNormEuclidean) {
+    return DistanceProfileZNorm(query, series);
+  }
+  if (metric == MetricId::kRawSquaredEuclidean) {
+    return DistanceProfileRaw(query, series);
+  }
+
+  const size_t m = query.size();
+  const size_t n = series.size();
+  IPS_CHECK(m >= 1);
+  IPS_CHECK(n >= m);
+
+  double qq = 0.0;
+  for (double v : query) qq += v * v;
+
+  std::vector<double> sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) sq[i + 1] = sq[i] + series[i] * series[i];
+
+  const std::vector<double> qt = SlidingProducts(query, series);
+
+  MetricProfileArgs args;
+  args.dots = qt.data();
+  args.count = n - m + 1;
+  args.window = m;
+  args.qq = qq;
+  args.sqp = sq.data();
+
+  std::vector<double> out(args.count);
+  GetMetric(metric).kernels.profile_from_dots(args, out.data());
+  return out;
+}
+
+double SubsequenceDistanceMetric(std::span<const double> a,
+                                 std::span<const double> b, MetricId metric) {
+  const std::span<const double>& shorter = a.size() <= b.size() ? a : b;
+  const std::span<const double>& longer = a.size() <= b.size() ? b : a;
+  const std::vector<double> profile =
+      DistanceProfileMetric(shorter, longer, metric);
+  return *std::min_element(profile.begin(), profile.end());
+}
+
 }  // namespace ips

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "core/metric.h"
 #include "core/znorm.h"
 
 namespace ips {
@@ -54,6 +55,21 @@ std::vector<double> DistanceProfileZNorm(std::span<const double> query,
 /// shorter input against the longer one. Symmetric in its arguments.
 double SubsequenceDistanceZNorm(std::span<const double> a,
                                 std::span<const double> b);
+
+/// Distance profile of `query` against `series` under any registered metric
+/// (core/metric.h): profile[i] = d(query, series[i..i+m)). Dispatches to
+/// the exact kZNormEuclidean / kRawSquaredEuclidean code paths above for
+/// those ids (bitwise identical), and to the policy's profile kernel for the
+/// dot-family metrics.
+std::vector<double> DistanceProfileMetric(std::span<const double> query,
+                                          std::span<const double> series,
+                                          MetricId metric);
+
+/// Subsequence distance under any registered metric: minimum of
+/// DistanceProfileMetric of the shorter input against the longer one.
+/// Symmetric in its arguments for every shipped metric.
+double SubsequenceDistanceMetric(std::span<const double> a,
+                                 std::span<const double> b, MetricId metric);
 
 }  // namespace ips
 

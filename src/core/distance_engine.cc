@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "core/distance.h"
 #include "core/fft.h"
@@ -33,15 +34,27 @@ struct EngineMetrics {
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
   obs::Histogram& batch_items;
+  // Per-metric slice of profiles_computed ("engine.profiles.<name>"), so a
+  // mixed-metric run's obs output attributes work to metrics. The total
+  // above is always bumped too, keeping historic dashboards intact.
+  obs::Counter* profiles_by_metric[kMetricCount];
 };
 
 EngineMetrics& Metrics() {
   static EngineMetrics* metrics = [] {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
-    return new EngineMetrics{registry.GetCounter("engine.profiles_computed"),
-                             registry.GetCounter("engine.stats_cache_hits"),
-                             registry.GetCounter("engine.stats_cache_misses"),
-                             registry.GetHistogram("engine.batch_items")};
+    auto* m =
+        new EngineMetrics{registry.GetCounter("engine.profiles_computed"),
+                          registry.GetCounter("engine.stats_cache_hits"),
+                          registry.GetCounter("engine.stats_cache_misses"),
+                          registry.GetHistogram("engine.batch_items"),
+                          {}};
+    for (size_t i = 0; i < kMetricCount; ++i) {
+      m->profiles_by_metric[i] = &registry.GetCounter(
+          std::string("engine.profiles.") +
+          MetricName(static_cast<MetricId>(i)));
+    }
+    return m;
   }();
   return *metrics;
 }
@@ -157,6 +170,13 @@ const DistanceEngine::ZnQuery* DistanceEngine::CachedZnQuery(
   return &znq_.try_emplace(key, std::move(fresh)).first->second;
 }
 
+void DistanceEngine::BumpProfiles(MetricId metric) {
+  profiles_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics& m = Metrics();
+  m.profiles_computed.Add(1);
+  m.profiles_by_metric[static_cast<size_t>(metric)]->Add(1);
+}
+
 // ------------------------------------------------------------------ kernels
 
 // Fills ws.dots with the sliding dot products of `query` against `series`,
@@ -199,9 +219,10 @@ void DistanceEngine::SlidingDotsInto(std::span<const double> query,
   }
 }
 
-double DistanceEngine::RawMinImpl(std::span<const double> a,
+double DistanceEngine::DotMinImpl(std::span<const double> a,
                                   std::span<const double> b, bool cache_a,
-                                  bool cache_b, DistanceWorkspace& ws) {
+                                  bool cache_b, const MetricPolicy& policy,
+                                  DistanceWorkspace& ws) {
   const bool a_shorter = a.size() <= b.size();
   const std::span<const double> query = a_shorter ? a : b;
   const std::span<const double> series = a_shorter ? b : a;
@@ -210,8 +231,7 @@ double DistanceEngine::RawMinImpl(std::span<const double> a,
   const size_t m = query.size();
   const size_t n = series.size();
   IPS_CHECK(m >= 1);
-  profiles_.fetch_add(1, std::memory_order_relaxed);
-  Metrics().profiles_computed.Add(1);
+  BumpProfiles(policy.id);
 
   double qq;
   if (const std::vector<double>* p = CachedPrefix(query, cache_q)) {
@@ -229,20 +249,26 @@ double DistanceEngine::RawMinImpl(std::span<const double> a,
 
   SlidingDotsInto(query, series, cache_q, cache_s, ws);
 
-  return simd::RawMinFromDots(qq, sq->data(), m, ws.dots.data(), n - m + 1);
+  MetricProfileArgs args;
+  args.dots = ws.dots.data();
+  args.count = n - m + 1;
+  args.window = m;
+  args.qq = qq;
+  args.sqp = sq->data();
+  return policy.kernels.min_from_dots(args);
 }
 
-void DistanceEngine::RawProfileImpl(std::span<const double> query,
+void DistanceEngine::DotProfileImpl(std::span<const double> query,
                                     std::span<const double> series,
                                     bool cache_query, bool cache_series,
+                                    const MetricPolicy& policy,
                                     DistanceWorkspace& ws,
                                     std::vector<double>& out) {
   const size_t m = query.size();
   const size_t n = series.size();
   IPS_CHECK(m >= 1);
   IPS_CHECK(n >= m);
-  profiles_.fetch_add(1, std::memory_order_relaxed);
-  Metrics().profiles_computed.Add(1);
+  BumpProfiles(policy.id);
 
   double qq;
   if (const std::vector<double>* p = CachedPrefix(query, cache_query)) {
@@ -259,8 +285,13 @@ void DistanceEngine::RawProfileImpl(std::span<const double> query,
   SlidingDotsInto(query, series, cache_query, cache_series, ws);
 
   out.resize(n - m + 1);
-  simd::RawProfileFromDots(qq, sq->data(), m, ws.dots.data(), out.size(),
-                           out.data());
+  MetricProfileArgs args;
+  args.dots = ws.dots.data();
+  args.count = out.size();
+  args.window = m;
+  args.qq = qq;
+  args.sqp = sq->data();
+  policy.kernels.profile_from_dots(args, out.data());
 }
 
 double DistanceEngine::ZNormMinImpl(std::span<const double> a,
@@ -274,8 +305,7 @@ double DistanceEngine::ZNormMinImpl(std::span<const double> a,
   const size_t m = query.size();
   const size_t n = series.size();
   IPS_CHECK(m >= 1);
-  profiles_.fetch_add(1, std::memory_order_relaxed);
-  Metrics().profiles_computed.Add(1);
+  BumpProfiles(MetricId::kZNormEuclidean);
 
   const RollingStats* stats = CachedStats(series, m, cache_s);
   RollingStats local_stats;
@@ -308,6 +338,67 @@ double DistanceEngine::ZNormMinImpl(std::span<const double> a,
                                 m, query_flat);
 }
 
+void DistanceEngine::ZNormProfileImpl(std::span<const double> query,
+                                      std::span<const double> series,
+                                      bool cache_query, bool cache_series,
+                                      DistanceWorkspace& ws,
+                                      std::vector<double>& out) {
+  const size_t m = query.size();
+  const size_t n = series.size();
+  IPS_CHECK(m >= 1);
+  IPS_CHECK(n >= m);
+  BumpProfiles(MetricId::kZNormEuclidean);
+
+  const RollingStats* stats = CachedStats(series, m, cache_series);
+  RollingStats local_stats;
+  if (stats == nullptr) {
+    local_stats = ComputeRollingStats(series, m);
+    stats = &local_stats;
+  }
+
+  std::span<const double> q;
+  bool query_flat;
+  if (const ZnQuery* zq = CachedZnQuery(query, cache_query)) {
+    q = zq->values;
+    query_flat = zq->flat;
+  } else {
+    ws.znorm_query.assign(query.begin(), query.end());
+    ZNormalizeInPlace(ws.znorm_query);
+    q = ws.znorm_query;
+    query_flat = std::all_of(q.begin(), q.end(),
+                             [](double v) { return v == 0.0; });
+  }
+
+  SlidingDotsInto(q, series, cache_query, cache_series, ws);
+
+  out.resize(n - m + 1);
+  simd::ZNormProfileFromDots(ws.dots.data(), stats->stds.data(), out.size(),
+                             m, query_flat, out.data());
+}
+
+double DistanceEngine::MinImpl(std::span<const double> a,
+                               std::span<const double> b, bool cache_a,
+                               bool cache_b, MetricId metric,
+                               DistanceWorkspace& ws) {
+  if (metric == MetricId::kZNormEuclidean) {
+    return ZNormMinImpl(a, b, cache_a, cache_b, ws);
+  }
+  return DotMinImpl(a, b, cache_a, cache_b, GetMetric(metric), ws);
+}
+
+void DistanceEngine::ProfileImpl(std::span<const double> query,
+                                 std::span<const double> series,
+                                 bool cache_query, bool cache_series,
+                                 MetricId metric, DistanceWorkspace& ws,
+                                 std::vector<double>& out) {
+  if (metric == MetricId::kZNormEuclidean) {
+    ZNormProfileImpl(query, series, cache_query, cache_series, ws, out);
+    return;
+  }
+  DotProfileImpl(query, series, cache_query, cache_series, GetMetric(metric),
+                 ws, out);
+}
+
 // ------------------------------------------------------------- parallelism
 
 template <typename Fn>
@@ -330,7 +421,9 @@ void DistanceEngine::ParallelItems(size_t count, Fn&& fn) {
 double DistanceEngine::SubsequenceMin(std::span<const double> a,
                                       std::span<const double> b,
                                       bool cache_b) {
-  return RawMinImpl(a, b, /*cache_a=*/false, cache_b, LocalWorkspace());
+  return DotMinImpl(a, b, /*cache_a=*/false, cache_b,
+                    GetMetric(MetricId::kRawSquaredEuclidean),
+                    LocalWorkspace());
 }
 
 double DistanceEngine::SubsequenceMinZNorm(std::span<const double> a,
@@ -339,48 +432,52 @@ double DistanceEngine::SubsequenceMinZNorm(std::span<const double> a,
   return ZNormMinImpl(a, b, /*cache_a=*/false, cache_b, LocalWorkspace());
 }
 
+double DistanceEngine::SubsequenceMinMetric(std::span<const double> a,
+                                            std::span<const double> b,
+                                            MetricId metric, bool cache_b) {
+  return MinImpl(a, b, /*cache_a=*/false, cache_b, metric, LocalWorkspace());
+}
+
 std::vector<double> DistanceEngine::ProfileAgainstSeries(
-    std::span<const double> query, std::span<const double> series) {
+    std::span<const double> query, std::span<const double> series,
+    MetricId metric) {
   std::vector<double> out;
-  RawProfileImpl(query, series, /*cache_query=*/false, /*cache_series=*/false,
-                 LocalWorkspace(), out);
+  ProfileImpl(query, series, /*cache_query=*/false, /*cache_series=*/false,
+              metric, LocalWorkspace(), out);
   return out;
 }
 
 std::vector<std::vector<double>> DistanceEngine::ProfileAgainstDataset(
-    std::span<const double> query, const Dataset& data) {
+    std::span<const double> query, const Dataset& data, MetricId metric) {
   IPS_SPAN("dist_profile_batch");
   std::vector<std::vector<double>> out(data.size());
   ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
-    RawProfileImpl(query, data[i].view(), /*cache_query=*/false,
-                   /*cache_series=*/true, ws, out[i]);
+    ProfileImpl(query, data[i].view(), /*cache_query=*/false,
+                /*cache_series=*/true, metric, ws, out[i]);
   });
   return out;
 }
 
 std::vector<double> DistanceEngine::MinAgainstDataset(
-    std::span<const double> query, const Dataset& data, DistanceKind kind) {
+    std::span<const double> query, const Dataset& data, MetricId metric) {
   IPS_SPAN("dist_min_batch");
   std::vector<double> out(data.size());
   ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
-    out[i] = kind == DistanceKind::kRaw
-                 ? RawMinImpl(query, data[i].view(), /*cache_a=*/false,
-                              /*cache_b=*/true, ws)
-                 : ZNormMinImpl(query, data[i].view(), /*cache_a=*/false,
-                                /*cache_b=*/true, ws);
+    out[i] = MinImpl(query, data[i].view(), /*cache_a=*/false,
+                     /*cache_b=*/true, metric, ws);
   });
   return out;
 }
 
 std::vector<double> DistanceEngine::MinForPairs(
     const std::vector<std::span<const double>>& views,
-    const std::vector<IndexPair>& pairs) {
+    const std::vector<IndexPair>& pairs, MetricId metric) {
   IPS_SPAN("dist_pair_batch");
   std::vector<double> out(pairs.size());
   ParallelItems(pairs.size(), [&](size_t t, DistanceWorkspace& ws) {
     const auto [qi, si] = pairs[t];
-    out[t] = RawMinImpl(views[qi], views[si], /*cache_a=*/true,
-                        /*cache_b=*/true, ws);
+    out[t] = MinImpl(views[qi], views[si], /*cache_a=*/true,
+                     /*cache_b=*/true, metric, ws);
   });
   return out;
 }
@@ -419,7 +516,7 @@ std::vector<double> DistanceEngine::PairwiseSubsequenceMin(
 
 std::vector<std::vector<double>> DistanceEngine::TransformBatch(
     const Dataset& data, const std::vector<Subsequence>& shapelets,
-    DistanceKind kind) {
+    MetricId metric) {
   IPS_CHECK(!shapelets.empty());
   IPS_SPAN("dist_transform_batch");
   std::vector<std::vector<double>> rows(data.size());
@@ -429,11 +526,8 @@ std::vector<std::vector<double>> DistanceEngine::TransformBatch(
     const std::span<const double> series = data[i].view();
     for (size_t s = 0; s < shapelets.size(); ++s) {
       // Argument order matches TransformSeries: (series, shapelet).
-      row[s] = kind == DistanceKind::kRaw
-                   ? RawMinImpl(series, shapelets[s].view(), /*cache_a=*/true,
-                                /*cache_b=*/true, ws)
-                   : ZNormMinImpl(series, shapelets[s].view(),
-                                  /*cache_a=*/true, /*cache_b=*/true, ws);
+      row[s] = MinImpl(series, shapelets[s].view(), /*cache_a=*/true,
+                       /*cache_b=*/true, metric, ws);
     }
   });
   return rows;
@@ -441,16 +535,13 @@ std::vector<std::vector<double>> DistanceEngine::TransformBatch(
 
 std::vector<double> DistanceEngine::TransformOne(
     std::span<const double> series, const std::vector<Subsequence>& shapelets,
-    DistanceKind kind) {
+    MetricId metric) {
   IPS_CHECK(!shapelets.empty());
   DistanceWorkspace& ws = LocalWorkspace();
   std::vector<double> row(shapelets.size());
   for (size_t s = 0; s < shapelets.size(); ++s) {
-    row[s] = kind == DistanceKind::kRaw
-                 ? RawMinImpl(series, shapelets[s].view(), /*cache_a=*/false,
-                              /*cache_b=*/true, ws)
-                 : ZNormMinImpl(series, shapelets[s].view(), /*cache_a=*/false,
-                                /*cache_b=*/true, ws);
+    row[s] = MinImpl(series, shapelets[s].view(), /*cache_a=*/false,
+                     /*cache_b=*/true, metric, ws);
   }
   return row;
 }

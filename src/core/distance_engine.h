@@ -2,9 +2,10 @@
 //
 // Every layer of the system -- IPS utility scoring, naive pruning, the
 // shapelet transform, the subsequence 1-NN and the SD/shapelet-quality
-// baselines -- needs the same primitive: the paper's Def. 4 min-alignment
-// distance (or its z-normalised cousin) between a query and one or many
-// series. Calling the raw kernels in core/distance.h per pair recomputes
+// baselines -- needs the same primitive: the min-alignment distance between
+// a query and one or many series under some registered metric
+// (core/metric.h; the paper's Def. 4 and its z-normalised cousin are the
+// historic two). Calling the raw kernels in core/distance.h per pair recomputes
 // rolling statistics, prefix sums of squares and FFT transforms for every
 // call and allocates fresh scratch each time. The DistanceEngine amortises
 // all of that, the way the matrix-profile line of work amortises
@@ -47,18 +48,12 @@
 #include <utility>
 #include <vector>
 
+#include "core/metric.h"
 #include "core/time_series.h"
 #include "core/znorm.h"
 #include "util/parallel.h"
 
 namespace ips {
-
-/// Which distance family a batched call evaluates. Mirrors
-/// TransformDistance (transform/) without making core depend on it.
-enum class DistanceKind {
-  kRaw,          ///< Paper Def. 4: length-normalised squared Euclidean.
-  kZNormalized,  ///< MASS-style z-normalised Euclidean.
-};
 
 /// Per-thread scratch buffers. Owned by the engine's batch calls (one per
 /// worker) or by thread-local storage for single-pair calls; reused across
@@ -108,34 +103,46 @@ class DistanceEngine {
   double SubsequenceMinZNorm(std::span<const double> a,
                              std::span<const double> b, bool cache_b = false);
 
+  /// SubsequenceDistanceMetric(a, b, metric), bitwise identical, with
+  /// scratch reuse. The metric-generic cousin of the two entry points above
+  /// (and exactly them for their ids).
+  double SubsequenceMinMetric(std::span<const double> a,
+                              std::span<const double> b, MetricId metric,
+                              bool cache_b = false);
+
   // ---------------------------------------------------------------- batched
 
-  /// DistanceProfileRaw(query, series), bitwise identical.
-  std::vector<double> ProfileAgainstSeries(std::span<const double> query,
-                                           std::span<const double> series);
+  /// DistanceProfileMetric(query, series, metric), bitwise identical. The
+  /// default keeps the historic raw-profile behaviour.
+  std::vector<double> ProfileAgainstSeries(
+      std::span<const double> query, std::span<const double> series,
+      MetricId metric = MetricId::kRawSquaredEuclidean);
 
-  /// Raw distance profile of `query` against every series of `data`;
-  /// out[i] == DistanceProfileRaw(query, data[i]) (query must be no longer
-  /// than the shortest series). Parallel over series.
+  /// Distance profile of `query` against every series of `data` under
+  /// `metric`; out[i] == DistanceProfileMetric(query, data[i], metric)
+  /// (query must be no longer than the shortest series). Parallel over
+  /// series.
   std::vector<std::vector<double>> ProfileAgainstDataset(
-      std::span<const double> query, const Dataset& data);
+      std::span<const double> query, const Dataset& data,
+      MetricId metric = MetricId::kRawSquaredEuclidean);
 
-  /// out[i] == SubsequenceDistance[ZNorm](query, data[i].view()). The
-  /// argument order matches the serial call sites (query first), so results
-  /// are bitwise identical to them. Parallel over series; `data`'s
+  /// out[i] == SubsequenceDistanceMetric(query, data[i].view(), metric).
+  /// The argument order matches the serial call sites (query first), so
+  /// results are bitwise identical to them. Parallel over series; `data`'s
   /// artefacts are cached, the query's are not (it may be a temporary).
-  std::vector<double> MinAgainstDataset(std::span<const double> query,
-                                        const Dataset& data,
-                                        DistanceKind kind = DistanceKind::kRaw);
+  std::vector<double> MinAgainstDataset(
+      std::span<const double> query, const Dataset& data,
+      MetricId metric = MetricId::kRawSquaredEuclidean);
 
-  /// dist[t] == SubsequenceDistance(views[pairs[t].first],
-  /// views[pairs[t].second]) for every work item, computed in parallel with
-  /// every view's artefacts cached. The building block of the pairwise and
-  /// matrix APIs; call sites with bespoke pair structure (utility scoring,
-  /// naive pruning) drive it directly.
+  /// dist[t] == SubsequenceDistanceMetric(views[pairs[t].first],
+  /// views[pairs[t].second], metric) for every work item, computed in
+  /// parallel with every view's artefacts cached. The building block of the
+  /// pairwise and matrix APIs; call sites with bespoke pair structure
+  /// (utility scoring, naive pruning) drive it directly.
   std::vector<double> MinForPairs(
       const std::vector<std::span<const double>>& views,
-      const std::vector<IndexPair>& pairs);
+      const std::vector<IndexPair>& pairs,
+      MetricId metric = MetricId::kRawSquaredEuclidean);
 
   /// Full n x n matrix (row-major) of pairwise Def. 4 distances between
   /// candidates. `symmetric` computes each unordered pair once and mirrors
@@ -148,18 +155,18 @@ class DistanceEngine {
       const std::vector<std::span<const double>>& views, bool symmetric = true);
 
   /// Whole-dataset shapelet transform: rows[i][s] is the distance of
-  /// data[i] to shapelets[s] under `kind`, bitwise identical to the serial
-  /// TransformSeries loop. Parallel over series; rolling stats / FFTs /
-  /// z-normalised shapelets shared across the whole batch.
+  /// data[i] to shapelets[s] under `metric`, bitwise identical to the
+  /// serial TransformSeries loop. Parallel over series; rolling stats /
+  /// FFTs / z-normalised shapelets shared across the whole batch.
   std::vector<std::vector<double>> TransformBatch(
       const Dataset& data, const std::vector<Subsequence>& shapelets,
-      DistanceKind kind);
+      MetricId metric);
 
   /// One transform row for a (possibly temporary) series. Shapelet
   /// artefacts are cached across calls; the series' are not.
   std::vector<double> TransformOne(std::span<const double> series,
                                    const std::vector<Subsequence>& shapelets,
-                                   DistanceKind kind);
+                                   MetricId metric);
 
   // ------------------------------------------------------- instrumentation
 
@@ -207,17 +214,37 @@ class DistanceEngine {
   // query span passed to SlidingDotsInto must be address-stable whenever
   // cache_query is true (the z-norm path passes the engine-owned cached
   // ZnQuery values in that case, never scratch).
+  /// Bumps the per-engine total plus the registry total and the per-metric
+  /// labelled counter ("engine.profiles.<name>").
+  void BumpProfiles(MetricId metric);
+
   void SlidingDotsInto(std::span<const double> query,
                        std::span<const double> series, bool cache_query,
                        bool cache_series, DistanceWorkspace& ws);
-  double RawMinImpl(std::span<const double> a, std::span<const double> b,
-                    bool cache_a, bool cache_b, DistanceWorkspace& ws);
-  void RawProfileImpl(std::span<const double> query,
+  // The dot family (raw / L2 / cosine) shares one qq + prefix-squares +
+  // sliding-dots skeleton and differs only in the policy tail hook; the
+  // z-normalised family has its own impls (rolling stats, query z-norm).
+  double DotMinImpl(std::span<const double> a, std::span<const double> b,
+                    bool cache_a, bool cache_b, const MetricPolicy& policy,
+                    DistanceWorkspace& ws);
+  void DotProfileImpl(std::span<const double> query,
                       std::span<const double> series, bool cache_query,
-                      bool cache_series, DistanceWorkspace& ws,
-                      std::vector<double>& out);
+                      bool cache_series, const MetricPolicy& policy,
+                      DistanceWorkspace& ws, std::vector<double>& out);
   double ZNormMinImpl(std::span<const double> a, std::span<const double> b,
                       bool cache_a, bool cache_b, DistanceWorkspace& ws);
+  void ZNormProfileImpl(std::span<const double> query,
+                        std::span<const double> series, bool cache_query,
+                        bool cache_series, DistanceWorkspace& ws,
+                        std::vector<double>& out);
+  // Metric-dispatching wrappers over the four impls above.
+  double MinImpl(std::span<const double> a, std::span<const double> b,
+                 bool cache_a, bool cache_b, MetricId metric,
+                 DistanceWorkspace& ws);
+  void ProfileImpl(std::span<const double> query,
+                   std::span<const double> series, bool cache_query,
+                   bool cache_series, MetricId metric, DistanceWorkspace& ws,
+                   std::vector<double>& out);
 
   /// Runs fn(item, workspace) for every item with per-worker scratch.
   template <typename Fn>

@@ -342,6 +342,165 @@ double ZNormMinT(const double* dots, const double* stds, size_t count,
 }
 
 template <typename Ops>
+void L2ProfileT(double qq, const double* sqp, size_t window,
+                const double* dots, size_t count, double* out) {
+  constexpr size_t W = Ops::kWidth;
+  size_t i = 0;
+  if constexpr (W > 1) {
+    const auto qqv = Ops::Set(qq);
+    const auto two = Ops::Set(2.0);
+    const auto zero = Ops::Set(0.0);
+    for (; i + W <= count; i += W) {
+      const auto wsq = Ops::Sub(Ops::Load(sqp + i + window), Ops::Load(sqp + i));
+      const auto num = Ops::Add(Ops::Sub(qqv, Ops::Mul(two, Ops::Load(dots + i))), wsq);
+      Ops::Store(out + i, Ops::Sqrt(Ops::Max(zero, num)));
+    }
+  }
+  for (; i < count; ++i) {
+    const double window_sq = sqp[i + window] - sqp[i];
+    out[i] = std::sqrt(std::max(0.0, qq - 2.0 * dots[i] + window_sq));
+  }
+}
+
+template <typename Ops>
+double L2MinT(double qq, const double* sqp, size_t window, const double* dots,
+              size_t count) {
+  constexpr size_t W = Ops::kWidth;
+  double best = kInf;
+  size_t i = 0;
+  if constexpr (W > 1) {
+    const auto qqv = Ops::Set(qq);
+    const auto two = Ops::Set(2.0);
+    const auto zero = Ops::Set(0.0);
+    auto acc = Ops::Set(kInf);
+    for (; i + W <= count; i += W) {
+      const auto wsq = Ops::Sub(Ops::Load(sqp + i + window), Ops::Load(sqp + i));
+      const auto num = Ops::Add(Ops::Sub(qqv, Ops::Mul(two, Ops::Load(dots + i))), wsq);
+      acc = Ops::Min(acc, Ops::Sqrt(Ops::Max(zero, num)));
+    }
+    best = Ops::ReduceMin(acc);
+  }
+  for (; i < count; ++i) {
+    const double window_sq = sqp[i + window] - sqp[i];
+    const double d = std::sqrt(std::max(0.0, qq - 2.0 * dots[i] + window_sq));
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+// NOTE on the cosine kernels: the window energies are prefix differences of
+// a non-decreasing prefix (each step adds a non-negative square under
+// monotone rounding), so sqp[i+m] - sqp[i] >= 0 exactly and the Sqrt is
+// always defined. Flat (near-zero-norm) lanes still evaluate the division
+// in the vector block -- the quotient may be inf/nan but Select discards it
+// bit-for-bit, the same convention ZNormProfileT uses for flat stds.
+
+template <typename Ops>
+void CosineProfileT(double qq, const double* sqp, size_t window,
+                    const double* dots, size_t count, double* out) {
+  const double qn = std::sqrt(qq);
+  constexpr size_t W = Ops::kWidth;
+  size_t i = 0;
+  if (qn < kFlatStdEpsilon) {
+    if constexpr (W > 1) {
+      const auto eps = Ops::Set(kFlatStdEpsilon);
+      const auto zero = Ops::Set(0.0);
+      const auto one = Ops::Set(1.0);
+      for (; i + W <= count; i += W) {
+        const auto wn = Ops::Sqrt(
+            Ops::Sub(Ops::Load(sqp + i + window), Ops::Load(sqp + i)));
+        Ops::Store(out + i, Ops::Select(Ops::CmpLt(wn, eps), zero, one));
+      }
+    }
+    for (; i < count; ++i) {
+      const double wn = std::sqrt(sqp[i + window] - sqp[i]);
+      out[i] = wn < kFlatStdEpsilon ? 0.0 : 1.0;
+    }
+    return;
+  }
+  if constexpr (W > 1) {
+    const auto eps = Ops::Set(kFlatStdEpsilon);
+    const auto zero = Ops::Set(0.0);
+    const auto one = Ops::Set(1.0);
+    const auto qnv = Ops::Set(qn);
+    for (; i + W <= count; i += W) {
+      const auto wn = Ops::Sqrt(
+          Ops::Sub(Ops::Load(sqp + i + window), Ops::Load(sqp + i)));
+      const auto flat = Ops::CmpLt(wn, eps);
+      const auto sim = Ops::Div(Ops::Load(dots + i), Ops::Mul(qnv, wn));
+      Ops::Store(out + i,
+                 Ops::Select(flat, one, Ops::Max(zero, Ops::Sub(one, sim))));
+    }
+  }
+  for (; i < count; ++i) {
+    const double wn = std::sqrt(sqp[i + window] - sqp[i]);
+    if (wn < kFlatStdEpsilon) {
+      out[i] = 1.0;
+    } else {
+      const double sim = dots[i] / (qn * wn);
+      out[i] = std::max(0.0, 1.0 - sim);
+    }
+  }
+}
+
+template <typename Ops>
+double CosineMinT(double qq, const double* sqp, size_t window,
+                  const double* dots, size_t count) {
+  const double qn = std::sqrt(qq);
+  constexpr size_t W = Ops::kWidth;
+  double best = kInf;
+  size_t i = 0;
+  if (qn < kFlatStdEpsilon) {
+    if constexpr (W > 1) {
+      const auto eps = Ops::Set(kFlatStdEpsilon);
+      const auto zero = Ops::Set(0.0);
+      const auto one = Ops::Set(1.0);
+      auto acc = Ops::Set(kInf);
+      for (; i + W <= count; i += W) {
+        const auto wn = Ops::Sqrt(
+            Ops::Sub(Ops::Load(sqp + i + window), Ops::Load(sqp + i)));
+        acc = Ops::Min(acc, Ops::Select(Ops::CmpLt(wn, eps), zero, one));
+      }
+      best = Ops::ReduceMin(acc);
+    }
+    for (; i < count; ++i) {
+      const double wn = std::sqrt(sqp[i + window] - sqp[i]);
+      const double d = wn < kFlatStdEpsilon ? 0.0 : 1.0;
+      best = std::min(best, d);
+    }
+    return best;
+  }
+  if constexpr (W > 1) {
+    const auto eps = Ops::Set(kFlatStdEpsilon);
+    const auto zero = Ops::Set(0.0);
+    const auto one = Ops::Set(1.0);
+    const auto qnv = Ops::Set(qn);
+    auto acc = Ops::Set(kInf);
+    for (; i + W <= count; i += W) {
+      const auto wn = Ops::Sqrt(
+          Ops::Sub(Ops::Load(sqp + i + window), Ops::Load(sqp + i)));
+      const auto flat = Ops::CmpLt(wn, eps);
+      const auto sim = Ops::Div(Ops::Load(dots + i), Ops::Mul(qnv, wn));
+      acc = Ops::Min(acc,
+                     Ops::Select(flat, one, Ops::Max(zero, Ops::Sub(one, sim))));
+    }
+    best = Ops::ReduceMin(acc);
+  }
+  for (; i < count; ++i) {
+    const double wn = std::sqrt(sqp[i + window] - sqp[i]);
+    double d;
+    if (wn < kFlatStdEpsilon) {
+      d = 1.0;
+    } else {
+      const double sim = dots[i] / (qn * wn);
+      d = std::max(0.0, 1.0 - sim);
+    }
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+template <typename Ops>
 void RollingMomentsT(const double* sum, const double* sq, size_t count,
                      size_t window, double grand_mean, double* means,
                      double* stds) {
@@ -454,6 +613,97 @@ void StompRowDistancesT(const double* qt, const double* mu_b,
   }
 }
 
+template <typename Ops>
+void StompRowRawT(const double* qt, const double* ssq_b, size_t count,
+                  size_t window, double ssq_a, double* out) {
+  const double m = static_cast<double>(window);
+  constexpr size_t W = Ops::kWidth;
+  size_t j = 0;
+  if constexpr (W > 1) {
+    const auto zero = Ops::Set(0.0);
+    const auto two = Ops::Set(2.0);
+    const auto mv = Ops::Set(m);
+    const auto sa = Ops::Set(ssq_a);
+    for (; j + W <= count; j += W) {
+      const auto num = Ops::Sub(Ops::Add(sa, Ops::Load(ssq_b + j)),
+                                Ops::Mul(two, Ops::Load(qt + j)));
+      Ops::Store(out + j, Ops::Max(zero, Ops::Div(num, mv)));
+    }
+  }
+  for (; j < count; ++j) {
+    // Mirrors StompRawDistance (stomp_common.h); the (ssq_a + ssq_b)
+    // grouping makes the value bitwise symmetric under exchanging sides.
+    out[j] = std::max(0.0, ((ssq_a + ssq_b[j]) - 2.0 * qt[j]) / m);
+  }
+}
+
+template <typename Ops>
+void StompRowL2T(const double* qt, const double* ssq_b, size_t count,
+                 double ssq_a, double* out) {
+  constexpr size_t W = Ops::kWidth;
+  size_t j = 0;
+  if constexpr (W > 1) {
+    const auto zero = Ops::Set(0.0);
+    const auto two = Ops::Set(2.0);
+    const auto sa = Ops::Set(ssq_a);
+    for (; j + W <= count; j += W) {
+      const auto num = Ops::Sub(Ops::Add(sa, Ops::Load(ssq_b + j)),
+                                Ops::Mul(two, Ops::Load(qt + j)));
+      Ops::Store(out + j, Ops::Sqrt(Ops::Max(zero, num)));
+    }
+  }
+  for (; j < count; ++j) {
+    // Mirrors StompL2Distance (stomp_common.h).
+    out[j] = std::sqrt(std::max(0.0, (ssq_a + ssq_b[j]) - 2.0 * qt[j]));
+  }
+}
+
+template <typename Ops>
+void StompRowCosineT(const double* qt, const double* ssq_b, size_t count,
+                     double ssq_a, double* out) {
+  const double na = std::sqrt(ssq_a);
+  constexpr size_t W = Ops::kWidth;
+  size_t j = 0;
+  if (na < kFlatStdEpsilon) {
+    if constexpr (W > 1) {
+      const auto eps = Ops::Set(kFlatStdEpsilon);
+      const auto zero = Ops::Set(0.0);
+      const auto one = Ops::Set(1.0);
+      for (; j + W <= count; j += W) {
+        const auto nb = Ops::Sqrt(Ops::Load(ssq_b + j));
+        Ops::Store(out + j, Ops::Select(Ops::CmpLt(nb, eps), zero, one));
+      }
+    }
+    for (; j < count; ++j) {
+      out[j] = std::sqrt(ssq_b[j]) < kFlatStdEpsilon ? 0.0 : 1.0;
+    }
+    return;
+  }
+  if constexpr (W > 1) {
+    const auto eps = Ops::Set(kFlatStdEpsilon);
+    const auto zero = Ops::Set(0.0);
+    const auto one = Ops::Set(1.0);
+    const auto nav = Ops::Set(na);
+    for (; j + W <= count; j += W) {
+      const auto nb = Ops::Sqrt(Ops::Load(ssq_b + j));
+      const auto flat = Ops::CmpLt(nb, eps);
+      const auto sim = Ops::Div(Ops::Load(qt + j), Ops::Mul(nav, nb));
+      Ops::Store(out + j,
+                 Ops::Select(flat, one, Ops::Max(zero, Ops::Sub(one, sim))));
+    }
+  }
+  for (; j < count; ++j) {
+    // Mirrors StompCosineDistance (stomp_common.h) with flat_a known false.
+    const double nb = std::sqrt(ssq_b[j]);
+    if (nb < kFlatStdEpsilon) {
+      out[j] = 1.0;
+      continue;
+    }
+    const double sim = qt[j] / (na * nb);
+    out[j] = std::max(0.0, 1.0 - sim);
+  }
+}
+
 double SquaredEuclideanChainedT(const double* a, const double* b, size_t n) {
   // One dependent accumulation chain -- deliberately scalar on every
   // backend (see the header's identity rule).
@@ -496,6 +746,26 @@ double ZNormMinFromDots(const double* dots, const double* stds, size_t count,
   return ZNormMinT<ActiveOps>(dots, stds, count, window, query_flat);
 }
 
+void L2ProfileFromDots(double qq, const double* sqp, size_t window,
+                       const double* dots, size_t count, double* out) {
+  L2ProfileT<ActiveOps>(qq, sqp, window, dots, count, out);
+}
+
+double L2MinFromDots(double qq, const double* sqp, size_t window,
+                     const double* dots, size_t count) {
+  return L2MinT<ActiveOps>(qq, sqp, window, dots, count);
+}
+
+void CosineProfileFromDots(double qq, const double* sqp, size_t window,
+                           const double* dots, size_t count, double* out) {
+  CosineProfileT<ActiveOps>(qq, sqp, window, dots, count, out);
+}
+
+double CosineMinFromDots(double qq, const double* sqp, size_t window,
+                         const double* dots, size_t count) {
+  return CosineMinT<ActiveOps>(qq, sqp, window, dots, count);
+}
+
 void RollingMomentsFromPrefix(const double* sum, const double* sq,
                               size_t count, size_t window, double grand_mean,
                               double* means, double* stds) {
@@ -512,6 +782,22 @@ void StompRowDistances(const double* qt, const double* mu_b,
                        double mu_a, double sig_a, double* out) {
   StompRowDistancesT<ActiveOps>(qt, mu_b, sig_b, count, window, mu_a, sig_a,
                                 out);
+}
+
+void StompRowDistancesRaw(const double* qt, const double* ssq_b, size_t count,
+                          size_t window, double ssq_a, double* out) {
+  StompRowRawT<ActiveOps>(qt, ssq_b, count, window, ssq_a, out);
+}
+
+void StompRowDistancesL2(const double* qt, const double* ssq_b, size_t count,
+                         size_t /*window*/, double ssq_a, double* out) {
+  StompRowL2T<ActiveOps>(qt, ssq_b, count, ssq_a, out);
+}
+
+void StompRowDistancesCosine(const double* qt, const double* ssq_b,
+                             size_t count, size_t /*window*/, double ssq_a,
+                             double* out) {
+  StompRowCosineT<ActiveOps>(qt, ssq_b, count, ssq_a, out);
 }
 
 double SquaredEuclideanChained(const double* a, const double* b, size_t n) {
@@ -547,6 +833,26 @@ double ZNormMinFromDots(const double* dots, const double* stds, size_t count,
   return ZNormMinT<ScalarOps>(dots, stds, count, window, query_flat);
 }
 
+void L2ProfileFromDots(double qq, const double* sqp, size_t window,
+                       const double* dots, size_t count, double* out) {
+  L2ProfileT<ScalarOps>(qq, sqp, window, dots, count, out);
+}
+
+double L2MinFromDots(double qq, const double* sqp, size_t window,
+                     const double* dots, size_t count) {
+  return L2MinT<ScalarOps>(qq, sqp, window, dots, count);
+}
+
+void CosineProfileFromDots(double qq, const double* sqp, size_t window,
+                           const double* dots, size_t count, double* out) {
+  CosineProfileT<ScalarOps>(qq, sqp, window, dots, count, out);
+}
+
+double CosineMinFromDots(double qq, const double* sqp, size_t window,
+                         const double* dots, size_t count) {
+  return CosineMinT<ScalarOps>(qq, sqp, window, dots, count);
+}
+
 void RollingMomentsFromPrefix(const double* sum, const double* sq,
                               size_t count, size_t window, double grand_mean,
                               double* means, double* stds) {
@@ -563,6 +869,22 @@ void StompRowDistances(const double* qt, const double* mu_b,
                        double mu_a, double sig_a, double* out) {
   StompRowDistancesT<ScalarOps>(qt, mu_b, sig_b, count, window, mu_a, sig_a,
                                 out);
+}
+
+void StompRowDistancesRaw(const double* qt, const double* ssq_b, size_t count,
+                          size_t window, double ssq_a, double* out) {
+  StompRowRawT<ScalarOps>(qt, ssq_b, count, window, ssq_a, out);
+}
+
+void StompRowDistancesL2(const double* qt, const double* ssq_b, size_t count,
+                         size_t /*window*/, double ssq_a, double* out) {
+  StompRowL2T<ScalarOps>(qt, ssq_b, count, ssq_a, out);
+}
+
+void StompRowDistancesCosine(const double* qt, const double* ssq_b,
+                             size_t count, size_t /*window*/, double ssq_a,
+                             double* out) {
+  StompRowCosineT<ScalarOps>(qt, ssq_b, count, ssq_a, out);
 }
 
 double SquaredEuclideanChained(const double* a, const double* b, size_t n) {

@@ -94,6 +94,28 @@ void ZNormProfileFromDots(const double* dots, const double* stds, size_t count,
 double ZNormMinFromDots(const double* dots, const double* stds, size_t count,
                         size_t window, bool query_flat);
 
+/// The non-normalised Euclidean (L2) distance-profile tail:
+///   out[i] = sqrt(max(0, qq - 2*dots[i] + (sqp[i+m] - sqp[i]))).
+/// Same inputs as the raw (Def. 4) tail -- the dot family shares its
+/// qq / prefix-squares / sliding-dots setup.
+void L2ProfileFromDots(double qq, const double* sqp, size_t window,
+                       const double* dots, size_t count, double* out);
+
+/// Minimum of L2ProfileFromDots without materialising the profile.
+double L2MinFromDots(double qq, const double* sqp, size_t window,
+                     const double* dots, size_t count);
+
+/// The cosine distance-profile tail, with wn = sqrt(sqp[i+m] - sqp[i]) and
+/// qn = sqrt(qq):
+///   both norms < kFlatStdEpsilon -> 0; exactly one -> 1;
+///   else max(0, 1 - dots[i] / (qn * wn)).
+void CosineProfileFromDots(double qq, const double* sqp, size_t window,
+                           const double* dots, size_t count, double* out);
+
+/// Minimum of CosineProfileFromDots without materialising the profile.
+double CosineMinFromDots(double qq, const double* sqp, size_t window,
+                         const double* dots, size_t count);
+
 /// Rolling mean/std from centred prefix sums (core/znorm.cc):
 ///   s1 = sum[i+w]-sum[i]; s2 = sq[i+w]-sq[i]; mean_c = s1/w;
 ///   means[i] = gm + mean_c; stds[i] = sqrt(max(0, s2/w - mean_c^2)).
@@ -117,6 +139,24 @@ void StompRowDistances(const double* qt, const double* mu_b,
                        const double* sig_b, size_t count, size_t window,
                        double mu_a, double sig_a, double* out);
 
+/// One STOMP row of raw (Def. 4) distances from window energies
+/// (stomp_common.h StompRawDistance with the row side's energy fixed):
+///   out[j] = max(0, ((ssq_a + ssq_b[j]) - 2*qt[j]) / m).
+void StompRowDistancesRaw(const double* qt, const double* ssq_b, size_t count,
+                          size_t window, double ssq_a, double* out);
+
+/// One STOMP row of non-normalised L2 distances (StompL2Distance):
+///   out[j] = sqrt(max(0, (ssq_a + ssq_b[j]) - 2*qt[j])).
+void StompRowDistancesL2(const double* qt, const double* ssq_b, size_t count,
+                         size_t window, double ssq_a, double* out);
+
+/// One STOMP row of cosine distances (StompCosineDistance with the row
+/// side's norm sqrt(ssq_a) fixed); norms under kFlatStdEpsilon follow the
+/// flat conventions (both -> 0, one -> 1).
+void StompRowDistancesCosine(const double* qt, const double* ssq_b,
+                             size_t count, size_t window, double ssq_a,
+                             double* out);
+
 /// Sum of squared differences, kept as ONE scalar accumulation chain for
 /// every backend: the value is a single dependent reduction, and the
 /// identity rule forbids splitting it into lane partials (that would
@@ -138,6 +178,14 @@ void ZNormProfileFromDots(const double* dots, const double* stds, size_t count,
                           size_t window, bool query_flat, double* out);
 double ZNormMinFromDots(const double* dots, const double* stds, size_t count,
                         size_t window, bool query_flat);
+void L2ProfileFromDots(double qq, const double* sqp, size_t window,
+                       const double* dots, size_t count, double* out);
+double L2MinFromDots(double qq, const double* sqp, size_t window,
+                     const double* dots, size_t count);
+void CosineProfileFromDots(double qq, const double* sqp, size_t window,
+                           const double* dots, size_t count, double* out);
+double CosineMinFromDots(double qq, const double* sqp, size_t window,
+                         const double* dots, size_t count);
 void RollingMomentsFromPrefix(const double* sum, const double* sq,
                               size_t count, size_t window, double grand_mean,
                               double* means, double* stds);
@@ -146,6 +194,13 @@ void QtRowAdvance(double* qt, size_t count, const double* b, size_t window,
 void StompRowDistances(const double* qt, const double* mu_b,
                        const double* sig_b, size_t count, size_t window,
                        double mu_a, double sig_a, double* out);
+void StompRowDistancesRaw(const double* qt, const double* ssq_b, size_t count,
+                          size_t window, double ssq_a, double* out);
+void StompRowDistancesL2(const double* qt, const double* ssq_b, size_t count,
+                         size_t window, double ssq_a, double* out);
+void StompRowDistancesCosine(const double* qt, const double* ssq_b,
+                             size_t count, size_t window, double ssq_a,
+                             double* out);
 double SquaredEuclideanChained(const double* a, const double* b, size_t n);
 }  // namespace scalar
 

@@ -76,4 +76,22 @@ RollingStats ComputeRollingStats(std::span<const double> x, size_t w) {
   return rs;
 }
 
+std::vector<double> ComputeWindowEnergies(std::span<const double> x, size_t w) {
+  IPS_CHECK(w >= 1);
+  IPS_CHECK(x.size() >= w);
+  const size_t n = x.size();
+  const size_t count = n - w + 1;
+
+  // Prefix sums of squares, accumulated in index order exactly like
+  // DistanceProfileRaw's table. Each step adds a non-negative square and
+  // IEEE rounding is monotone, so the prefix is non-decreasing and every
+  // difference below is exactly >= 0 (cosine kernels may sqrt it unclamped).
+  std::vector<double> sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) sq[i + 1] = sq[i] + x[i] * x[i];
+
+  std::vector<double> energies(count);
+  for (size_t i = 0; i < count; ++i) energies[i] = sq[i + w] - sq[i];
+  return energies;
+}
+
 }  // namespace ips

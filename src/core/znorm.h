@@ -36,6 +36,14 @@ struct RollingStats {
 };
 RollingStats ComputeRollingStats(std::span<const double> x, size_t w);
 
+/// Per-window energies: out[i] = sum_{j < w} x[i+j]^2, for every length-`w`
+/// window of `x` (size x.size() - w + 1). Computed as differences of a
+/// prefix-sums-of-squares table -- the same accumulation order as
+/// DistanceProfileRaw's window energies, so values match that path bitwise.
+/// The non-normalised metric policies (core/metric.h) feed on these the way
+/// the z-normalised family feeds on RollingStats.
+std::vector<double> ComputeWindowEnergies(std::span<const double> x, size_t w);
+
 /// Threshold below which a window standard deviation is treated as zero
 /// (constant window) by the normalised-distance kernels.
 inline constexpr double kFlatStdEpsilon = 1e-8;

@@ -124,8 +124,10 @@ CandidatePool GenerateCandidates(const Dataset& train,
       MatrixProfileEngine engine(inner);
       for (size_t window : lengths) {
         if (min_length < window) continue;
-        const InstanceProfile ip = ComputeInstanceProfile(
-            task.sample, window, options.profile_neighbors, &engine);
+        const InstanceProfile ip =
+            ComputeInstanceProfile(task.sample, window,
+                                   options.profile_neighbors, &engine,
+                                   options.metric);
 
         auto extract = [&](std::span<const size_t> entries,
                            std::vector<Subsequence>& dst) {

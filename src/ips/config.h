@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "classify/svm.h"
+#include "core/metric.h"
 #include "dabf/dabf.h"
 #include "transform/shapelet_transform.h"
 
@@ -70,10 +71,15 @@ struct IpsOptions {
   TransformBackend backend = TransformBackend::kLinearSvm;
   /// SVM hyper-parameters (used when backend == kLinearSvm).
   SvmOptions svm;
-  /// Distance the shapelet transform embeds with; kZNormalized (the
-  /// shapelet-transform literature's convention) by default, kRaw for the
-  /// paper's literal Def. 4.
-  TransformDistance transform_distance = TransformDistance::kZNormalized;
+  /// Distance metric (core/metric.h) the run is parameterised by: governs
+  /// the instance-profile matrix-profile joins AND the shapelet-transform
+  /// embedding (and prediction-time transforms). kZNormEuclidean is the
+  /// matrix-profile / shapelet-transform literature's convention and the
+  /// default; the recorded run artifact carries the metric (v2.1). Note
+  /// candidate utility scoring, pruning and the DABF always use the
+  /// paper's Def. 4 raw distance -- that is part of the IPS algorithm
+  /// itself, not a profile choice.
+  MetricId metric = MetricId::kZNormEuclidean;
 
   /// Worker threads for candidate generation and the shapelet transform:
   /// 1 = sequential, 0 = auto (HardwareThreads()). Parallel regions run on

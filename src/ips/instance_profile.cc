@@ -14,7 +14,8 @@ namespace ips {
 
 InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
                                        size_t window, size_t neighbors,
-                                       MatrixProfileEngine* engine) {
+                                       MatrixProfileEngine* engine,
+                                       MetricId metric) {
   IPS_CHECK(!sample.empty());
   IPS_CHECK(window >= 2);
   IPS_CHECK(neighbors >= 1);
@@ -37,7 +38,8 @@ InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
     const size_t m = usable.front();
     const TimeSeries& t = sample[m];
     if (t.length() > window) {
-      const MatrixProfile mp = eng.SelfJoin(t.view(), window);
+      const MatrixProfile mp =
+          eng.SelfJoin(t.view(), window, /*exclusion=*/0, metric);
       for (size_t i = 0; i < mp.size(); ++i) {
         ip.values.push_back(mp.values[i]);
         ip.instances.push_back(m);
@@ -57,7 +59,7 @@ InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
   std::vector<std::span<const double>> views;
   views.reserve(usable.size());
   for (size_t m : usable) views.push_back(sample[m].view());
-  const std::vector<PairJoin> joins = eng.JoinAllPairs(views, window);
+  const std::vector<PairJoin> joins = eng.JoinAllPairs(views, window, metric);
 
   // Flat num_windows x |others| scatter buffer per usable instance: row i
   // holds window i's nearest-window distance to each OTHER instance. One

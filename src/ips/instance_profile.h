@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "core/metric.h"
 #include "core/time_series.h"
 
 namespace ips {
@@ -52,9 +53,13 @@ struct InstanceProfile {
 /// engine uses a private serial engine. Either way the result is bitwise
 /// identical to the historic pairwise-AbJoinProfile construction at every
 /// thread count (tests/mp_engine_test.cc).
-InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
-                                       size_t window, size_t neighbors = 1,
-                                       MatrixProfileEngine* engine = nullptr);
+///
+/// `metric` selects the distance the joins annotate with (core/metric.h);
+/// the default keeps the matrix profile's z-normalised Euclidean.
+InstanceProfile ComputeInstanceProfile(
+    std::span<const TimeSeries> sample, size_t window, size_t neighbors = 1,
+    MatrixProfileEngine* engine = nullptr,
+    MetricId metric = MetricId::kZNormEuclidean);
 
 /// Positions of the `k` smallest (motifs) profile entries, with an
 /// exclusion zone of half the window length between selections *within the

@@ -130,6 +130,7 @@ RunResult DiscoverShapelets(const Dataset& train, const IpsOptions& options) {
       obs::TraceRegistry::Instance().Snapshot();
 
   RunResult result;
+  result.metric = options.metric;
   result.shapelets = RunDiscovery(train, options);
   result.trace = obs::TraceRegistry::Instance().DeltaSince(trace_before);
   result.stats = IpsRunStats::FromRegistry(
@@ -137,23 +138,6 @@ RunResult DiscoverShapelets(const Dataset& train, const IpsOptions& options) {
       result.trace);
   return result;
 }
-
-// Definition of the transitional overload; the attribute lives on the
-// declaration, and new code inside the library must not call this.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
-                                           const IpsOptions& options,
-                                           IpsRunStats* stats) {
-  RunResult result = DiscoverShapelets(train, options);
-  if (stats != nullptr) *stats = result.stats;
-  return std::move(result.shapelets);
-}
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
 
 IpsClassifier::IpsClassifier(IpsOptions options) : options_(options) {}
 IpsClassifier::~IpsClassifier() = default;
@@ -171,6 +155,7 @@ void IpsClassifier::Fit(const Dataset& train) {
   const obs::TraceSnapshot trace_before =
       obs::TraceRegistry::Instance().Snapshot();
   result_ = RunResult{};
+  result_.metric = options_.metric;
   {
     IPS_SPAN("fit");
     result_.shapelets = RunDiscovery(train, options_);
@@ -181,7 +166,7 @@ void IpsClassifier::Fit(const Dataset& train) {
       IPS_SPAN("transform");
       transformed =
           ShapeletTransform(train, result_.shapelets,
-                            options_.transform_distance, options_.num_threads,
+                            options_.metric, options_.num_threads,
                             engine_.get());
     }
 
@@ -205,7 +190,7 @@ int IpsClassifier::Predict(const TimeSeries& series) const {
   // The engine caches only shapelet-side artefacts here; the query series
   // is never cached, so a caller-owned temporary is safe.
   return backend_->Predict(TransformSeries(series, result_.shapelets,
-                                           options_.transform_distance,
+                                           options_.metric,
                                            engine_.get()));
 }
 
@@ -217,7 +202,7 @@ std::vector<int> IpsClassifier::PredictBatch(const Dataset& test) const {
   // outlive their pointer-keyed cache entries. Rows are bitwise equal to
   // TransformSeries, so every label matches the per-series Predict loop.
   const TransformedData transformed =
-      ShapeletTransform(test, result_.shapelets, options_.transform_distance,
+      ShapeletTransform(test, result_.shapelets, options_.metric,
                         options_.num_threads);
   std::vector<int> out(transformed.features.size());
   for (size_t i = 0; i < out.size(); ++i) {

@@ -34,16 +34,6 @@ class DistanceEngine;
 /// non-empty training set whose shortest series has at least 4 points.
 RunResult DiscoverShapelets(const Dataset& train, const IpsOptions& options);
 
-/// Transitional shim for the pre-RunResult signature; removed after one
-/// release. Runs the two-argument overload, copies the stats view into
-/// `stats` (when non-null), and returns only the shapelets -- the trace is
-/// dropped.
-[[deprecated(
-    "call the two-argument DiscoverShapelets and use RunResult instead")]]
-std::vector<Subsequence> DiscoverShapelets(const Dataset& train,
-                                           const IpsOptions& options,
-                                           IpsRunStats* stats);
-
 /// IPS as a drop-in time-series classifier: discovery + shapelet transform
 /// + a configurable back-end (linear SVM by default, per §III-D).
 class IpsClassifier final : public SeriesClassifier {
@@ -69,11 +59,6 @@ class IpsClassifier final : public SeriesClassifier {
   /// Discovered shapelets (valid after Fit()).
   const std::vector<Subsequence>& shapelets() const {
     return result_.shapelets;
-  }
-
-  /// Transitional alias for result().stats; removed after one release.
-  [[deprecated("use result().stats")]] const IpsRunStats& stats() const {
-    return result_.stats;
   }
 
  private:

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/metric.h"
 #include "core/time_series.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -90,6 +91,9 @@ struct IpsRunStats {
 /// observability record. `trace` is empty under -DIPS_DISABLE_TRACING.
 struct RunResult {
   std::vector<Subsequence> shapelets;
+  /// The distance metric the run's joins and transform were parameterised
+  /// with (IpsOptions::metric); recorded in v2.1 artifacts.
+  MetricId metric = MetricId::kZNormEuclidean;
   IpsRunStats stats;
   obs::TraceReport trace;
 };

@@ -6,7 +6,9 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <utility>
 
+#include "core/metric.h"
 #include "obs/export.h"
 
 namespace ips {
@@ -191,46 +193,74 @@ std::string SerializeRunResult(const RunResult& result) {
   std::ostringstream out;
   out << kRunMagicPrefix << kRunFormatVersion.major << '.'
       << kRunFormatVersion.minor << '\n';
+  out << "metric " << MetricName(result.metric) << '\n';
   out << "stats " << RunStatsToJson(result.stats).Dump() << '\n';
   out << "trace " << obs::TraceToJson(result.trace).Dump() << '\n';
   out << SerializeShapelets(result.shapelets);
   return out.str();
 }
 
-std::optional<RunResult> DeserializeRunResult(const std::string& text) {
+std::optional<RunResult> DeserializeRunResult(const std::string& text,
+                                              std::string* error) {
+  const auto fail = [&](std::string reason) -> std::optional<RunResult> {
+    if (error != nullptr) *error = std::move(reason);
+    return std::nullopt;
+  };
+  if (error != nullptr) error->clear();
+
   std::istringstream in(text);
   std::string line;
 
-  if (!std::getline(in, line)) return std::nullopt;
+  if (!std::getline(in, line)) return fail("empty artifact");
   const std::optional<FormatVersion> version = ParseRunHeader(line);
-  // Any minor within a known major parses (minors only add JSON fields the
+  // Any minor within a known major parses (minors only add fields the
   // loaders below ignore); an unknown major is a different format.
   if (!version || version->major != kRunFormatVersion.major) {
-    return std::nullopt;
+    return fail("unrecognised run header: \"" + line + "\"");
   }
 
-  if (!std::getline(in, line)) return std::nullopt;
+  // v2.1 added the metric line; a v2.0 artifact predates selectable
+  // metrics and so was implicitly z-normalised Euclidean.
+  MetricId metric = MetricId::kZNormEuclidean;
+  if (version->minor >= 1) {
+    if (!std::getline(in, line)) return fail("truncated after header");
+    constexpr const char* kMetricPrefix = "metric ";
+    if (line.rfind(kMetricPrefix, 0) != 0) {
+      return fail("v2.1 artifact is missing the metric line");
+    }
+    const std::string name = line.substr(std::string(kMetricPrefix).size());
+    const MetricPolicy* policy = FindMetricByName(name);
+    if (policy == nullptr) {
+      // A metric this build does not register: the shapelet distances in
+      // the artifact are meaningless here, so refuse rather than guess.
+      return fail("run artifact uses unknown metric \"" + name + "\"");
+    }
+    metric = policy->id;
+  }
+
+  if (!std::getline(in, line)) return fail("truncated before stats");
   const std::optional<obs::JsonValue> stats_json =
       ParseTaggedJsonLine(line, "stats");
-  if (!stats_json) return std::nullopt;
+  if (!stats_json) return fail("malformed stats line");
   std::optional<IpsRunStats> stats = RunStatsFromJson(*stats_json);
-  if (!stats) return std::nullopt;
+  if (!stats) return fail("stats JSON is missing fields");
 
-  if (!std::getline(in, line)) return std::nullopt;
+  if (!std::getline(in, line)) return fail("truncated before trace");
   const std::optional<obs::JsonValue> trace_json =
       ParseTaggedJsonLine(line, "trace");
-  if (!trace_json) return std::nullopt;
+  if (!trace_json) return fail("malformed trace line");
   std::optional<obs::TraceReport> trace = obs::TraceFromJson(*trace_json);
-  if (!trace) return std::nullopt;
+  if (!trace) return fail("trace JSON does not match the trace schema");
 
   std::ostringstream rest;
   rest << in.rdbuf();
   std::optional<std::vector<Subsequence>> shapelets =
       DeserializeShapelets(rest.str());
-  if (!shapelets) return std::nullopt;
+  if (!shapelets) return fail("malformed shapelet block");
 
   RunResult result;
   result.shapelets = std::move(*shapelets);
+  result.metric = metric;
   result.stats = *stats;
   result.trace = std::move(*trace);
   return result;
@@ -243,12 +273,16 @@ bool SaveRunResult(const RunResult& result, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<RunResult> LoadRunResult(const std::string& path) {
+std::optional<RunResult> LoadRunResult(const std::string& path,
+                                       std::string* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    if (error != nullptr) *error = "cannot open \"" + path + "\"";
+    return std::nullopt;
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return DeserializeRunResult(buffer.str());
+  return DeserializeRunResult(buffer.str(), error);
 }
 
 }  // namespace ips

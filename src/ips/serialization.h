@@ -9,15 +9,20 @@
 // A saved shapelet set plus the training set is sufficient to rebuild a
 // classifier (refit the transform + SVM), so no classifier state is stored.
 //
-// Run format (one artifact: shapelets + stats + trace):
+// Run format (one artifact: shapelets + metric + stats + trace):
 //   ips-run v<major>.<minor>
+//   metric <name>          (v2.1+: the run's MetricId by registered name)
 //   stats <one-line JSON object, the IpsRunStats fields by name>
 //   trace <one-line JSON object, obs/export.h's trace schema>
 //   <the ips-shapelets v1 block verbatim>
 // The version header is explicit (FormatVersion): loaders reject a major
 // they do not speak and accept any minor within a known major, so fields
-// can be added minor-compatibly. JSON blocks use obs/json.h, the same
-// schema the BENCH_*.json exporters emit.
+// can be added minor-compatibly. The metric line was added in v2.1; a v2.0
+// artifact (no metric line) loads with the z-normalised Euclidean default,
+// and an artifact naming a metric this build does not register is REJECTED
+// -- its shapelet distances are meaningless under a different metric.
+// JSON blocks use obs/json.h, the same schema the BENCH_*.json exporters
+// emit.
 
 #ifndef IPS_IPS_SERIALIZATION_H_
 #define IPS_IPS_SERIALIZATION_H_
@@ -41,8 +46,9 @@ struct FormatVersion {
 };
 
 /// The run format this library writes. Readers accept major == 2 with any
-/// minor (additive fields only within a major).
-inline constexpr FormatVersion kRunFormatVersion{2, 0};
+/// minor (additive fields only within a major). Minor 1 added the metric
+/// line.
+inline constexpr FormatVersion kRunFormatVersion{2, 1};
 
 /// Serialises `shapelets` to a string in the v1 format.
 std::string SerializeShapelets(const std::vector<Subsequence>& shapelets);
@@ -67,18 +73,24 @@ obs::JsonValue RunStatsToJson(const IpsRunStats& stats);
 /// wrong type.
 std::optional<IpsRunStats> RunStatsFromJson(const obs::JsonValue& json);
 
-/// Serialises a whole run (shapelets + stats + trace) in the run format.
+/// Serialises a whole run (shapelets + metric + stats + trace) in the run
+/// format.
 std::string SerializeRunResult(const RunResult& result);
 
-/// Parses the run format; nullopt on syntax error or a major version this
-/// reader does not speak.
-std::optional<RunResult> DeserializeRunResult(const std::string& text);
+/// Parses the run format; nullopt on syntax error, a major version this
+/// reader does not speak, or a metric name this build does not register.
+/// When `error` is non-null it receives a human-readable reason on
+/// failure (and is cleared on success).
+std::optional<RunResult> DeserializeRunResult(const std::string& text,
+                                              std::string* error = nullptr);
 
 /// Writes one run artifact to `path`. Returns false on I/O failure.
 bool SaveRunResult(const RunResult& result, const std::string& path);
 
-/// Reads a run artifact from `path`; nullopt on I/O or syntax failure.
-std::optional<RunResult> LoadRunResult(const std::string& path);
+/// Reads a run artifact from `path`; nullopt on I/O or syntax failure,
+/// with the reason in `*error` when provided.
+std::optional<RunResult> LoadRunResult(const std::string& path,
+                                       std::string* error = nullptr);
 
 }  // namespace ips
 

@@ -1,7 +1,10 @@
 #include "matrix_profile/mp_engine.h"
 
+#include <cmath>
+
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "core/fft.h"
@@ -27,18 +30,33 @@ struct MpMetrics {
   obs::Counter& joins_halved;
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
+  // Per-metric slice of qt_sweeps ("mp.qt_sweeps.<name>"); the total above
+  // is always bumped too, keeping historic consumers intact.
+  obs::Counter* sweeps_by_metric[kMetricCount];
 };
 
 MpMetrics& Metrics() {
   static MpMetrics* metrics = [] {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
-    return new MpMetrics{registry.GetCounter("mp.joins_computed"),
-                         registry.GetCounter("mp.qt_sweeps"),
-                         registry.GetCounter("mp.joins_halved"),
-                         registry.GetCounter("mp.cache_hits"),
-                         registry.GetCounter("mp.cache_misses")};
+    auto* m = new MpMetrics{registry.GetCounter("mp.joins_computed"),
+                            registry.GetCounter("mp.qt_sweeps"),
+                            registry.GetCounter("mp.joins_halved"),
+                            registry.GetCounter("mp.cache_hits"),
+                            registry.GetCounter("mp.cache_misses"),
+                            {}};
+    for (size_t i = 0; i < kMetricCount; ++i) {
+      m->sweeps_by_metric[i] = &registry.GetCounter(
+          std::string("mp.qt_sweeps.") + MetricName(static_cast<MetricId>(i)));
+    }
+    return m;
   }();
   return *metrics;
+}
+
+void BumpSweeps(size_t n, MetricId metric) {
+  MpMetrics& m = Metrics();
+  m.qt_sweeps.Add(n);
+  m.sweeps_by_metric[static_cast<size_t>(metric)]->Add(n);
 }
 
 void ForwardFftInto(std::span<const double> s, size_t padded, bool reversed,
@@ -86,6 +104,25 @@ const RollingStats* MatrixProfileEngine::CachedStats(std::span<const double> s,
   RollingStats fresh = ComputeRollingStats(s, window);
   std::lock_guard<std::mutex> lock(stats_mu_);
   return &stats_.try_emplace(key, std::move(fresh)).first->second;
+}
+
+const std::vector<double>* MatrixProfileEngine::CachedEnergies(
+    std::span<const double> s, size_t window) {
+  const SeriesKey key{s.data(), s.size(), window};
+  {
+    std::lock_guard<std::mutex> lock(energy_mu_);
+    auto it = energies_.find(key);
+    if (it != energies_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().cache_hits.Add(1);
+      return &it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().cache_misses.Add(1);
+  std::vector<double> fresh = ComputeWindowEnergies(s, window);
+  std::lock_guard<std::mutex> lock(energy_mu_);
+  return &energies_.try_emplace(key, std::move(fresh)).first->second;
 }
 
 const std::vector<std::complex<double>>* MatrixProfileEngine::CachedFft(
@@ -156,15 +193,23 @@ const std::vector<double>* MatrixProfileEngine::CachedSeedDots(
 
 MatrixProfileEngine::SweepContext MatrixProfileEngine::MakeContext(
     std::span<const double> a, std::span<const double> b, size_t window,
-    bool self, size_t exclusion, bool want_b) {
+    MetricId metric, bool self, size_t exclusion, bool want_b) {
+  const MetricPolicy& policy = GetMetric(metric);
   SweepContext cx;
   cx.a = a;
   cx.b = b;
   cx.window = window;
   cx.la = a.size() - window + 1;
   cx.lb = b.size() - window + 1;
-  cx.stats_a = CachedStats(a, window);
-  cx.stats_b = self ? cx.stats_a : CachedStats(b, window);
+  cx.metric = metric;
+  if (policy.needs_rolling_stats) {
+    cx.stats_a = CachedStats(a, window);
+    cx.stats_b = self ? cx.stats_a : CachedStats(b, window);
+  }
+  if (policy.needs_window_energy) {
+    cx.energy_a = CachedEnergies(a, window);
+    cx.energy_b = self ? cx.energy_a : CachedEnergies(b, window);
+  }
   cx.row0 = CachedSeedDots(a, b, window);
   // Self joins seed every diagonal from row 0 (QT(i, 0) = QT(0, i) by
   // symmetry), so the column-0 products are the same vector.
@@ -235,16 +280,14 @@ void MatrixProfileEngine::SweepPartial::Reset(const SweepContext& cx) {
   }
 }
 
-void MatrixProfileEngine::SweepDiagonals(const SweepContext& cx,
-                                         size_t diag_begin, size_t diag_end,
-                                         SweepPartial& p) {
+template <typename CellFn>
+void MatrixProfileEngine::SweepDiagonalsImpl(const SweepContext& cx,
+                                             size_t diag_begin,
+                                             size_t diag_end, SweepPartial& p,
+                                             CellFn cell) {
   const std::span<const double> a = cx.a;
   const std::span<const double> b = cx.self ? cx.a : cx.b;
   const size_t w = cx.window;
-  const double* ma = cx.stats_a->means.data();
-  const double* sa = cx.stats_a->stds.data();
-  const double* mb = cx.stats_b->means.data();
-  const double* sb = cx.stats_b->stds.data();
 
   for (size_t k = diag_begin; k < diag_end; ++k) {
     const size_t cells = DiagCells(cx, k);
@@ -265,7 +308,7 @@ void MatrixProfileEngine::SweepDiagonals(const SweepContext& cx,
     }
 
     for (size_t s = 0;; ++s) {
-      const double d = StompZNormDistance(qt, w, ma[i], sa[i], mb[j], sb[j]);
+      const double d = cell(i, j, qt);
       UpdateMin(d, j, p.a_val[i], p.a_idx[i]);
       if (cx.self) {
         UpdateMin(d, i, p.a_val[j], p.a_idx[j]);
@@ -280,14 +323,89 @@ void MatrixProfileEngine::SweepDiagonals(const SweepContext& cx,
   }
 }
 
+void MatrixProfileEngine::SweepDiagonals(const SweepContext& cx,
+                                         size_t diag_begin, size_t diag_end,
+                                         SweepPartial& p) {
+  const size_t w = cx.window;
+  switch (cx.metric) {
+    case MetricId::kZNormEuclidean: {
+      const double* ma = cx.stats_a->means.data();
+      const double* sa = cx.stats_a->stds.data();
+      const double* mb = cx.stats_b->means.data();
+      const double* sb = cx.stats_b->stds.data();
+      SweepDiagonalsImpl(cx, diag_begin, diag_end, p,
+                         [=](size_t i, size_t j, double qt) {
+                           return StompZNormDistance(qt, w, ma[i], sa[i],
+                                                     mb[j], sb[j]);
+                         });
+      return;
+    }
+    case MetricId::kRawSquaredEuclidean: {
+      const double* ea = cx.energy_a->data();
+      const double* eb = cx.energy_b->data();
+      SweepDiagonalsImpl(cx, diag_begin, diag_end, p,
+                         [=](size_t i, size_t j, double qt) {
+                           return StompRawDistance(qt, w, ea[i], eb[j]);
+                         });
+      return;
+    }
+    case MetricId::kEuclidean: {
+      const double* ea = cx.energy_a->data();
+      const double* eb = cx.energy_b->data();
+      SweepDiagonalsImpl(cx, diag_begin, diag_end, p,
+                         [=](size_t i, size_t j, double qt) {
+                           return StompL2Distance(qt, ea[i], eb[j]);
+                         });
+      return;
+    }
+    case MetricId::kCosine: {
+      // sqrt is correctly rounded, so recomputing the window norms per cell
+      // matches the row kernel's precomputed norms bitwise.
+      const double* ea = cx.energy_a->data();
+      const double* eb = cx.energy_b->data();
+      SweepDiagonalsImpl(cx, diag_begin, diag_end, p,
+                         [=](size_t i, size_t j, double qt) {
+                           return StompCosineDistance(qt, std::sqrt(ea[i]),
+                                                      std::sqrt(eb[j]));
+                         });
+      return;
+    }
+  }
+  IPS_CHECK(false);  // unreachable: all MetricId values handled above
+}
+
 void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
   const std::span<const double> a = cx.a;
   const std::span<const double> b = cx.self ? cx.a : cx.b;
   const size_t w = cx.window;
-  const double* ma = cx.stats_a->means.data();
-  const double* sa = cx.stats_a->stds.data();
-  const double* mb = cx.stats_b->means.data();
-  const double* sb = cx.stats_b->stds.data();
+  const MetricKernels& kernels = GetMetric(cx.metric).kernels;
+  const double* ma = cx.stats_a ? cx.stats_a->means.data() : nullptr;
+  const double* sa = cx.stats_a ? cx.stats_a->stds.data() : nullptr;
+  const double* mb = cx.stats_b ? cx.stats_b->means.data() : nullptr;
+  const double* sb = cx.stats_b ? cx.stats_b->stds.data() : nullptr;
+  const double* ea = cx.energy_a ? cx.energy_a->data() : nullptr;
+  const double* eb = cx.energy_b ? cx.energy_b->data() : nullptr;
+  // Per-window statistics of the column side from offset `off`, and of one
+  // row window -- the policy row kernel reads whichever arrays its metric
+  // declared (needs_* flags); the rest stay null / zero.
+  const auto row_view = [&](size_t off) {
+    MetricRowView v;
+    if (mb != nullptr) {
+      v.means = mb + off;
+      v.stds = sb + off;
+    }
+    if (eb != nullptr) v.energies = eb + off;
+    return v;
+  };
+  const auto cell_at = [&](size_t i) {
+    MetricCell c;
+    if (ma != nullptr) {
+      c.mean = ma[i];
+      c.std = sa[i];
+    }
+    if (ea != nullptr) c.energy = ea[i];
+    return c;
+  };
 
   // In-place right-to-left row recurrence, exactly as the serial kernels:
   // the QT pass streams over the row (no loop-carried stall, unlike a
@@ -298,10 +416,11 @@ void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
   //
   // Both row passes are vectorised (core/simd.h): QtRowAdvance performs the
   // in-place update -- every new qt[j] reads only pre-update values, so
-  // blocks of lanes are independent outputs -- and StompRowDistances
-  // evaluates StompZNormDistance per cell into `dist`. The min/index scans
-  // stay scalar: they are selection recurrences whose result feeds the next
-  // comparison, and scalar is what preserves the serial kernels' rule below.
+  // blocks of lanes are independent outputs -- and the policy's stomp_row
+  // kernel evaluates the metric's per-cell distance into `dist`. The
+  // min/index scans stay scalar: they are selection recurrences whose
+  // result feeds the next comparison, and scalar is what preserves the
+  // serial kernels' rule below.
   //
   // Updates here use plain strict < (not the tie-aware UpdateMin): a full
   // row-order sweep visits cells in the kernels' own order -- for a fixed
@@ -326,8 +445,8 @@ void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
       }
       const size_t start = i + cx.exclusion + 1;
       if (start >= l) continue;
-      simd::StompRowDistances(qt + start, mb + start, sb + start, l - start, w,
-                              ma[i], sa[i], dist);
+      kernels.stomp_row(qt + start, row_view(start), l - start, w, cell_at(i),
+                        dist);
       double best = av[i];
       size_t best_j = ai[i];
       for (size_t j = start; j < l; ++j) {
@@ -354,7 +473,7 @@ void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
       simd::QtRowAdvance(qt, cx.lb, b.data(), w, a[i - 1], a[i + w - 1]);
       qt[0] = col0[i];
     }
-    simd::StompRowDistances(qt, mb, sb, cx.lb, w, ma[i], sa[i], dist);
+    kernels.stomp_row(qt, row_view(0), cx.lb, w, cell_at(i), dist);
     double best = kInf;
     size_t best_j = kNoNeighbor;
     if (cx.want_b) {
@@ -427,18 +546,20 @@ void MatrixProfileEngine::RunSweep(const SweepContext& cx, size_t chunks,
 // -------------------------------------------------------------- public API
 
 MatrixProfile MatrixProfileEngine::SelfJoin(std::span<const double> series,
-                                            size_t window, size_t exclusion) {
+                                            size_t window, size_t exclusion,
+                                            MetricId metric) {
   IPS_CHECK(window >= 2);
   IPS_CHECK(series.size() > window);
   if (exclusion == 0) exclusion = DefaultExclusionZone(window);
   IPS_SPAN("mp_self_join");
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   joins_.fetch_add(1, std::memory_order_relaxed);
-  Metrics().qt_sweeps.Add(1);
+  BumpSweeps(1, metric);
   Metrics().joins_computed.Add(1);
 
-  const SweepContext cx = MakeContext(series, series, window, /*self=*/true,
-                                      exclusion, /*want_b=*/false);
+  const SweepContext cx = MakeContext(series, series, window, metric,
+                                      /*self=*/true, exclusion,
+                                      /*want_b=*/false);
   MatrixProfile mp;
   RunSweep(cx, num_threads_, mp, nullptr);
   return mp;
@@ -446,17 +567,17 @@ MatrixProfile MatrixProfileEngine::SelfJoin(std::span<const double> series,
 
 MatrixProfile MatrixProfileEngine::AbJoin(std::span<const double> a,
                                           std::span<const double> b,
-                                          size_t window) {
+                                          size_t window, MetricId metric) {
   IPS_CHECK(window >= 2);
   IPS_CHECK(a.size() >= window);
   IPS_CHECK(b.size() >= window);
   IPS_SPAN("mp_ab_join");
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   joins_.fetch_add(1, std::memory_order_relaxed);
-  Metrics().qt_sweeps.Add(1);
+  BumpSweeps(1, metric);
   Metrics().joins_computed.Add(1);
 
-  const SweepContext cx = MakeContext(a, b, window, /*self=*/false,
+  const SweepContext cx = MakeContext(a, b, window, metric, /*self=*/false,
                                       /*exclusion=*/0, /*want_b=*/false);
   MatrixProfile mp;
   RunSweep(cx, num_threads_, mp, nullptr);
@@ -465,7 +586,7 @@ MatrixProfile MatrixProfileEngine::AbJoin(std::span<const double> a,
 
 PairJoin MatrixProfileEngine::AbJoinBoth(std::span<const double> a,
                                          std::span<const double> b,
-                                         size_t window) {
+                                         size_t window, MetricId metric) {
   IPS_CHECK(window >= 2);
   IPS_CHECK(a.size() >= window);
   IPS_CHECK(b.size() >= window);
@@ -473,11 +594,11 @@ PairJoin MatrixProfileEngine::AbJoinBoth(std::span<const double> a,
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   joins_.fetch_add(2, std::memory_order_relaxed);
   halved_.fetch_add(1, std::memory_order_relaxed);
-  Metrics().qt_sweeps.Add(1);
+  BumpSweeps(1, metric);
   Metrics().joins_computed.Add(2);
   Metrics().joins_halved.Add(1);
 
-  const SweepContext cx = MakeContext(a, b, window, /*self=*/false,
+  const SweepContext cx = MakeContext(a, b, window, metric, /*self=*/false,
                                       /*exclusion=*/0, /*want_b=*/true);
   PairJoin join;
   join.a = 0;
@@ -487,7 +608,8 @@ PairJoin MatrixProfileEngine::AbJoinBoth(std::span<const double> a,
 }
 
 std::vector<PairJoin> MatrixProfileEngine::JoinAllPairs(
-    const std::vector<std::span<const double>>& views, size_t window) {
+    const std::vector<std::span<const double>>& views, size_t window,
+    MetricId metric) {
   IPS_CHECK(window >= 2);
   for (const auto& v : views) IPS_CHECK(v.size() >= window);
 
@@ -507,13 +629,18 @@ std::vector<PairJoin> MatrixProfileEngine::JoinAllPairs(
   sweeps_.fetch_add(pair_count, std::memory_order_relaxed);
   joins_.fetch_add(2 * pair_count, std::memory_order_relaxed);
   halved_.fetch_add(pair_count, std::memory_order_relaxed);
-  Metrics().qt_sweeps.Add(pair_count);
+  BumpSweeps(pair_count, metric);
   Metrics().joins_computed.Add(2 * pair_count);
   Metrics().joins_halved.Add(pair_count);
 
-  // Warm the per-series stats serially so concurrent pair setup below only
-  // ever hits (a racing double-compute would be harmless but wasted work).
-  for (const auto& v : views) CachedStats(v, window);
+  // Warm the metric's per-series statistics serially so concurrent pair
+  // setup below only ever hits (a racing double-compute would be harmless
+  // but wasted work).
+  const MetricPolicy& policy = GetMetric(metric);
+  for (const auto& v : views) {
+    if (policy.needs_rolling_stats) CachedStats(v, window);
+    if (policy.needs_window_energy) CachedEnergies(v, window);
+  }
 
   // Phase 1, parallel over pairs: contexts (seed dot products are the
   // per-pair setup cost) and per-pair chunk boundaries. With more threads
@@ -526,7 +653,7 @@ std::vector<PairJoin> MatrixProfileEngine::JoinAllPairs(
   std::vector<std::vector<size_t>> bounds(pair_count);
   ParallelFor(pair_count, num_threads_, [&](size_t t) {
     contexts[t] = MakeContext(views[joins[t].a], views[joins[t].b], window,
-                              /*self=*/false, /*exclusion=*/0,
+                              metric, /*self=*/false, /*exclusion=*/0,
                               /*want_b=*/true);
     bounds[t] = ChunkDiagonals(contexts[t], chunks_per_pair);
     joins[t].a_vs_b.values.assign(contexts[t].la, kInf);
@@ -596,6 +723,10 @@ void MatrixProfileEngine::ClearCaches() {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(energy_mu_);
+    energies_.clear();
   }
   {
     std::lock_guard<std::mutex> lock(fft_mu_);

@@ -53,6 +53,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/metric.h"
 #include "core/znorm.h"
 #include "matrix_profile/matrix_profile.h"
 #include "util/parallel.h"
@@ -101,22 +102,30 @@ class MatrixProfileEngine {
   }
 
   /// SelfJoinProfile(series, window, exclusion), bitwise identical, with
-  /// the sweep's diagonals sharded over the engine's threads.
+  /// the sweep's diagonals sharded over the engine's threads. `metric`
+  /// selects the distance function (core/metric.h); the default keeps the
+  /// historic z-normalised behaviour, and non-default metrics share the
+  /// exact same QT machinery with only the O(1) distance step swapped.
   MatrixProfile SelfJoin(std::span<const double> series, size_t window,
-                         size_t exclusion = 0);
+                         size_t exclusion = 0,
+                         MetricId metric = MetricId::kZNormEuclidean);
 
   /// AbJoinProfile(a, b, window), bitwise identical. Prefer AbJoinBoth or
   /// JoinAllPairs when the reverse direction is needed too -- this entry
   /// point runs the sweep without collecting column minima.
   MatrixProfile AbJoin(std::span<const double> a, std::span<const double> b,
-                       size_t window);
+                       size_t window,
+                       MetricId metric = MetricId::kZNormEuclidean);
 
   /// Both directions of the (a, b) join from ONE QT sweep: row minima give
   /// a_vs_b, column minima give b_vs_a, each bitwise identical to the
   /// corresponding AbJoinProfile call. The `a`/`b` members of the result
-  /// are 0 and 1.
+  /// are 0 and 1. Pair symmetry holds for every registered metric -- each
+  /// per-cell distance helper groups its operands so exchanging the sides
+  /// only commutes single IEEE operations (stomp_common.h).
   PairJoin AbJoinBoth(std::span<const double> a, std::span<const double> b,
-                      size_t window);
+                      size_t window,
+                      MetricId metric = MetricId::kZNormEuclidean);
 
   /// Every unordered pair (i < j) of `views`, each computed once via the
   /// pair-symmetric sweep, sharded over threads with per-chunk scratch and
@@ -125,7 +134,8 @@ class MatrixProfileEngine {
   /// to the serial AbJoinProfile in both directions, for any thread count.
   /// Requires every view to be at least `window` long.
   std::vector<PairJoin> JoinAllPairs(
-      const std::vector<std::span<const double>>& views, size_t window);
+      const std::vector<std::span<const double>>& views, size_t window,
+      MetricId metric = MetricId::kZNormEuclidean);
 
   MpEngineCounters counters() const;
   void ResetCounters();
@@ -174,7 +184,8 @@ class MatrixProfileEngine {
     }
   };
 
-  /// One sweep's immutable inputs: the pair, its rolling stats and its
+  /// One sweep's immutable inputs: the pair, its per-window statistics
+  /// (rolling stats and/or window energies, per the metric's needs) and its
   /// row-0 / column-0 QT seeds (cache-owned pointers).
   struct SweepContext {
     std::span<const double> a;
@@ -182,8 +193,11 @@ class MatrixProfileEngine {
     size_t window = 0;
     size_t la = 0;  // number of a-side windows
     size_t lb = 0;  // number of b-side windows
-    const RollingStats* stats_a = nullptr;
+    MetricId metric = MetricId::kZNormEuclidean;
+    const RollingStats* stats_a = nullptr;  // when needs_rolling_stats
     const RollingStats* stats_b = nullptr;
+    const std::vector<double>* energy_a = nullptr;  // when needs_window_energy
+    const std::vector<double>* energy_b = nullptr;
     const std::vector<double>* row0 = nullptr;  // QT(0, j)
     const std::vector<double>* col0 = nullptr;  // QT(i, 0)
     bool self = false;      // a and b are the same series
@@ -205,23 +219,34 @@ class MatrixProfileEngine {
   // Cache accessors: return a stable pointer to the cached artefact,
   // computing and inserting it on miss.
   const RollingStats* CachedStats(std::span<const double> s, size_t window);
+  const std::vector<double>* CachedEnergies(std::span<const double> s,
+                                            size_t window);
   const std::vector<std::complex<double>>* CachedFft(
       std::span<const double> s, size_t padded, bool reversed);
   const std::vector<double>* CachedSeedDots(std::span<const double> x,
                                             std::span<const double> y,
                                             size_t window);
 
-  /// Builds the sweep context for one (a, b) pair, filling stats and seeds
-  /// from the caches.
+  /// Builds the sweep context for one (a, b) pair, filling the metric's
+  /// per-window statistics and the seeds from the caches.
   SweepContext MakeContext(std::span<const double> a, std::span<const double> b,
-                           size_t window, bool self, size_t exclusion,
-                           bool want_b);
+                           size_t window, MetricId metric, bool self,
+                           size_t exclusion, bool want_b);
 
   /// Walks diagonals [diag_begin, diag_end) of the sweep, updating the
   /// partial. Diagonal indices enumerate c = index - (la - 1) for AB pairs
-  /// and c = exclusion + 1 + index for self joins.
+  /// and c = exclusion + 1 + index for self joins. Dispatches on cx.metric
+  /// to an instantiation of SweepDiagonalsImpl.
   static void SweepDiagonals(const SweepContext& cx, size_t diag_begin,
                              size_t diag_end, SweepPartial& partial);
+
+  /// The diagonal walk with the per-cell distance step `cell(i, j, qt)`
+  /// inlined per metric (one instantiation each, so the hot loop carries no
+  /// per-cell dispatch).
+  template <typename CellFn>
+  static void SweepDiagonalsImpl(const SweepContext& cx, size_t diag_begin,
+                                 size_t diag_end, SweepPartial& partial,
+                                 CellFn cell);
 
   /// Full sweep in row order (the kernels' in-place right-to-left
   /// recurrence), the serial fast path: no loop-carried QT stall, bitwise
@@ -250,6 +275,10 @@ class MatrixProfileEngine {
 
   mutable std::mutex stats_mu_;
   std::unordered_map<SeriesKey, RollingStats, SeriesKeyHash> stats_;
+  mutable std::mutex energy_mu_;
+  // aux = window; per-window sums of squares (ComputeWindowEnergies), the
+  // artefact the non-normalised metrics need instead of rolling stats.
+  std::unordered_map<SeriesKey, std::vector<double>, SeriesKeyHash> energies_;
   mutable std::mutex fft_mu_;
   // aux = padded size; reversed (query-side) transforms get their own map
   // so a key never aliases a series-side transform.

@@ -48,6 +48,34 @@ inline double StompZNormDistance(double qt, size_t window, double mu_a,
   return std::sqrt(d2);
 }
 
+/// Raw (paper Def. 4) distance between two windows given their dot product
+/// `qt` and their energies (sums of squares). Symmetric under exchange: the
+/// energies are grouped as (ssq_a + ssq_b) before anything else touches
+/// them, so swapping the sides only commutes a single IEEE addition.
+inline double StompRawDistance(double qt, size_t window, double ssq_a,
+                               double ssq_b) {
+  const double m = static_cast<double>(window);
+  return std::max(0.0, ((ssq_a + ssq_b) - 2.0 * qt) / m);
+}
+
+/// Non-normalised Euclidean (L2) distance between two windows given their
+/// dot product and energies. Symmetric for the same grouping reason.
+inline double StompL2Distance(double qt, double ssq_a, double ssq_b) {
+  return std::sqrt(std::max(0.0, (ssq_a + ssq_b) - 2.0 * qt));
+}
+
+/// Cosine distance between two windows given their dot product and their
+/// norms (sqrt of the energies). Windows with norm under kFlatStdEpsilon
+/// follow the flat conventions: both flat -> 0, exactly one flat -> 1.
+/// Symmetric: norm_a * norm_b is a single commuted multiplication.
+inline double StompCosineDistance(double qt, double norm_a, double norm_b) {
+  const bool flat_a = norm_a < kFlatStdEpsilon;
+  const bool flat_b = norm_b < kFlatStdEpsilon;
+  if (flat_a && flat_b) return 0.0;
+  if (flat_a || flat_b) return 1.0;
+  return std::max(0.0, 1.0 - qt / (norm_a * norm_b));
+}
+
 /// One step of the STOMP recurrence along a diagonal:
 ///   QT(i, j) = QT(i-1, j-1) - a[i-1] b[j-1] + a[i+m-1] b[j+m-1].
 /// The subtraction is applied before the addition, matching the historic

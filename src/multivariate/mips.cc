@@ -21,7 +21,7 @@ void MultivariateIpsClassifier::Fit(const MultivariateDataset& train) {
     channel_shapelets_[c] = DiscoverShapelets(slice, channel_options).shapelets;
 
     const TransformedData transformed = ShapeletTransform(
-        slice, channel_shapelets_[c], options_.transform_distance,
+        slice, channel_shapelets_[c], options_.metric,
         options_.num_threads);
     for (size_t i = 0; i < train.size(); ++i) {
       matrix.x[i].insert(matrix.x[i].end(), transformed.features[i].begin(),
@@ -39,7 +39,7 @@ std::vector<double> MultivariateIpsClassifier::Featurize(
   for (size_t c = 0; c < channel_shapelets_.size(); ++c) {
     const TimeSeries channel(series.channels[c], series.label);
     const std::vector<double> row = TransformSeries(
-        channel, channel_shapelets_[c], options_.transform_distance);
+        channel, channel_shapelets_[c], options_.metric);
     features.insert(features.end(), row.begin(), row.end());
   }
   return features;

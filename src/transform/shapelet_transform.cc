@@ -5,35 +5,26 @@
 
 namespace ips {
 
-namespace {
-
-DistanceKind ToKind(TransformDistance distance) {
-  return distance == TransformDistance::kRaw ? DistanceKind::kRaw
-                                             : DistanceKind::kZNormalized;
-}
-
-}  // namespace
-
 std::vector<double> TransformSeries(const TimeSeries& series,
                                     const std::vector<Subsequence>& shapelets,
-                                    TransformDistance distance,
+                                    MetricId distance,
                                     DistanceEngine* engine) {
   IPS_CHECK(!shapelets.empty());
   if (engine != nullptr) {
-    return engine->TransformOne(series.view(), shapelets, ToKind(distance));
+    return engine->TransformOne(series.view(), shapelets, distance);
   }
   DistanceEngine local(1);
-  return local.TransformOne(series.view(), shapelets, ToKind(distance));
+  return local.TransformOne(series.view(), shapelets, distance);
 }
 
 TransformedData ShapeletTransform(const Dataset& data,
                                   const std::vector<Subsequence>& shapelets,
-                                  TransformDistance distance,
+                                  MetricId distance,
                                   size_t num_threads, DistanceEngine* engine) {
   TransformedData out;
   DistanceEngine local(num_threads);
   DistanceEngine& eng = engine != nullptr ? *engine : local;
-  out.features = eng.TransformBatch(data, shapelets, ToKind(distance));
+  out.features = eng.TransformBatch(data, shapelets, distance);
   out.labels.resize(data.size());
   for (size_t i = 0; i < data.size(); ++i) out.labels[i] = data[i].label;
   return out;

@@ -2,30 +2,24 @@
 //
 // Given a set of discovered shapelets S, a time series T_j is embedded as
 // the vector (dist(T_j, S_1), ..., dist(T_j, S_|S|)) -- its distance to each
-// shapelet under the paper's Def. 4 subsequence distance. The transformed
-// dataset is then handed to a conventional classifier (the paper uses a
-// linear-kernel SVM).
+// shapelet under a registered metric's min-alignment subsequence distance
+// (core/metric.h). The default is z-normalised Euclidean, the convention of
+// the shapelet-transform literature ([23], [26]); MetricId::
+// kRawSquaredEuclidean gives the paper's literal Def. 4 embedding. The
+// transformed dataset is then handed to a conventional classifier (the
+// paper uses a linear-kernel SVM).
 
 #ifndef IPS_TRANSFORM_SHAPELET_TRANSFORM_H_
 #define IPS_TRANSFORM_SHAPELET_TRANSFORM_H_
 
 #include <vector>
 
+#include "core/metric.h"
 #include "core/time_series.h"
 
 namespace ips {
 
 class DistanceEngine;
-
-/// Which subsequence distance the transform embeds with.
-enum class TransformDistance {
-  /// The paper's literal Def. 4: length-normalised squared Euclidean.
-  kRaw,
-  /// Z-normalised windows before comparison -- the convention of the
-  /// shapelet-transform literature ([23], [26]), robust to amplitude and
-  /// offset jitter. The default.
-  kZNormalized,
-};
 
 /// A transformed dataset: one row of shapelet distances per series, plus the
 /// original labels.
@@ -50,15 +44,15 @@ struct TransformedData {
 /// Results are identical for every thread count and engine.
 TransformedData ShapeletTransform(
     const Dataset& data, const std::vector<Subsequence>& shapelets,
-    TransformDistance distance = TransformDistance::kZNormalized,
-    size_t num_threads = 1, DistanceEngine* engine = nullptr);
+    MetricId distance = MetricId::kZNormEuclidean, size_t num_threads = 1,
+    DistanceEngine* engine = nullptr);
 
 /// Transforms a single series. Pass `engine` to amortise shapelet-side
 /// artefacts (z-normalisation, FFTs) across repeated calls; the series
 /// itself is never cached, so temporaries are safe.
 std::vector<double> TransformSeries(
     const TimeSeries& series, const std::vector<Subsequence>& shapelets,
-    TransformDistance distance = TransformDistance::kZNormalized,
+    MetricId distance = MetricId::kZNormEuclidean,
     DistanceEngine* engine = nullptr);
 
 }  // namespace ips

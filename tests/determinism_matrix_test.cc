@@ -8,10 +8,12 @@
 
 #include <cstdlib>
 
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/metric.h"
 #include "data/generator.h"
 #include "data/ucr_catalog.h"
 #include "ips/pipeline.h"
@@ -35,23 +37,53 @@ struct PipelineRun {
   double accuracy = 0.0;
 };
 
-PipelineRun RunPipeline(const TrainTestSplit& data, size_t num_threads) {
+PipelineRun RunPipeline(const TrainTestSplit& data, size_t num_threads,
+                        MetricId metric = MetricId::kZNormEuclidean) {
   IpsOptions o;
   o.sample_count = 4;
   o.sample_size = 3;
   o.length_ratios = {0.2, 0.35};
   o.shapelets_per_class = 3;
   o.num_threads = num_threads;
+  o.metric = metric;
 
   IpsClassifier clf(o);
   clf.Fit(data.train);
 
   PipelineRun run;
   run.shapelets = clf.shapelets();
-  run.transform = ShapeletTransform(data.test, clf.shapelets(),
-                                    o.transform_distance, num_threads);
+  run.transform = ShapeletTransform(data.test, clf.shapelets(), o.metric,
+                                    num_threads);
   run.accuracy = clf.Accuracy(data.test);
   return run;
+}
+
+void ExpectRunsBitwiseEqual(const PipelineRun& run, const PipelineRun& base) {
+  ASSERT_EQ(run.shapelets.size(), base.shapelets.size());
+  for (size_t s = 0; s < base.shapelets.size(); ++s) {
+    EXPECT_EQ(run.shapelets[s].label, base.shapelets[s].label);
+    EXPECT_EQ(run.shapelets[s].series_index, base.shapelets[s].series_index);
+    EXPECT_EQ(run.shapelets[s].start, base.shapelets[s].start);
+    ASSERT_EQ(run.shapelets[s].values.size(),
+              base.shapelets[s].values.size());
+    for (size_t v = 0; v < base.shapelets[s].values.size(); ++v) {
+      ASSERT_EQ(run.shapelets[s].values[v], base.shapelets[s].values[v])
+          << "shapelet " << s << " value " << v;
+    }
+  }
+
+  ASSERT_EQ(run.transform.size(), base.transform.size());
+  EXPECT_EQ(run.transform.labels, base.transform.labels);
+  for (size_t i = 0; i < base.transform.size(); ++i) {
+    ASSERT_EQ(run.transform.features[i].size(),
+              base.transform.features[i].size());
+    for (size_t f = 0; f < base.transform.features[i].size(); ++f) {
+      ASSERT_EQ(run.transform.features[i][f], base.transform.features[i][f])
+          << "series " << i << " feature " << f;
+    }
+  }
+
+  EXPECT_EQ(run.accuracy, base.accuracy);
 }
 
 TEST(DeterminismMatrixTest, PipelineBitwiseIdenticalAcrossThreadCounts) {
@@ -76,33 +108,36 @@ TEST(DeterminismMatrixTest, PipelineBitwiseIdenticalAcrossThreadCounts) {
   // 0 = auto (HardwareThreads()).
   for (size_t threads : {size_t{2}, size_t{8}, size_t{0}}) {
     SCOPED_TRACE("num_threads=" + std::to_string(threads));
-    const PipelineRun run = RunPipeline(data, threads);
+    ExpectRunsBitwiseEqual(RunPipeline(data, threads), base);
+  }
+}
 
-    ASSERT_EQ(run.shapelets.size(), base.shapelets.size());
-    for (size_t s = 0; s < base.shapelets.size(); ++s) {
-      EXPECT_EQ(run.shapelets[s].label, base.shapelets[s].label);
-      EXPECT_EQ(run.shapelets[s].series_index, base.shapelets[s].series_index);
-      EXPECT_EQ(run.shapelets[s].start, base.shapelets[s].start);
-      ASSERT_EQ(run.shapelets[s].values.size(),
-                base.shapelets[s].values.size());
-      for (size_t v = 0; v < base.shapelets[s].values.size(); ++v) {
-        ASSERT_EQ(run.shapelets[s].values[v], base.shapelets[s].values[v])
-            << "shapelet " << s << " value " << v;
-      }
+// The same matrix under each non-default metric: end-to-end runs must be
+// bitwise thread-count independent regardless of which registered metric
+// parameterises the joins and transform.
+TEST(DeterminismMatrixTest, EveryMetricBitwiseIdenticalAcrossThreadCounts) {
+  ASSERT_TRUE(kForcePoolWorkers);
+  const auto info = FindUcrDataset("ItalyPowerDemand");
+  ASSERT_TRUE(info.has_value());
+  CatalogScale scale;
+  scale.count_factor = 0.4;
+  scale.min_train = 16;
+  scale.max_train = 28;
+  scale.min_test = 24;
+  scale.max_test = 48;
+  const TrainTestSplit data =
+      GenerateDataset(SpecFromCatalog(ScaleDataset(*info, scale)));
+
+  for (const MetricId metric :
+       {MetricId::kRawSquaredEuclidean, MetricId::kEuclidean,
+        MetricId::kCosine}) {
+    SCOPED_TRACE(std::string("metric=") + MetricName(metric));
+    const PipelineRun base = RunPipeline(data, 1, metric);
+    ASSERT_FALSE(base.shapelets.empty());
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+      SCOPED_TRACE("num_threads=" + std::to_string(threads));
+      ExpectRunsBitwiseEqual(RunPipeline(data, threads, metric), base);
     }
-
-    ASSERT_EQ(run.transform.size(), base.transform.size());
-    EXPECT_EQ(run.transform.labels, base.transform.labels);
-    for (size_t i = 0; i < base.transform.size(); ++i) {
-      ASSERT_EQ(run.transform.features[i].size(),
-                base.transform.features[i].size());
-      for (size_t f = 0; f < base.transform.features[i].size(); ++f) {
-        ASSERT_EQ(run.transform.features[i][f], base.transform.features[i][f])
-            << "series " << i << " feature " << f;
-      }
-    }
-
-    EXPECT_EQ(run.accuracy, base.accuracy);
   }
 }
 

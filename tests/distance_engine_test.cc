@@ -124,9 +124,9 @@ TEST(DistanceEngineTest, MinAgainstDatasetMatchesSerialLoop) {
   const std::vector<double> query = RandomSeries(rng, 120);
   DistanceEngine engine(2);
   const std::vector<double> raw =
-      engine.MinAgainstDataset(query, train, DistanceKind::kRaw);
+      engine.MinAgainstDataset(query, train, MetricId::kRawSquaredEuclidean);
   const std::vector<double> zn =
-      engine.MinAgainstDataset(query, train, DistanceKind::kZNormalized);
+      engine.MinAgainstDataset(query, train, MetricId::kZNormEuclidean);
   ASSERT_EQ(raw.size(), train.size());
   for (size_t i = 0; i < train.size(); ++i) {
     EXPECT_EQ(raw[i], SubsequenceDistance(query, train[i].view())) << i;
@@ -165,16 +165,14 @@ TEST(DistanceEngineTest, TransformBatchMatchesTransformSeriesBitwise) {
   for (size_t i = 0; i < 4; ++i) {
     shapelets.push_back(ExtractSubsequence(train[i], i, 12));
   }
-  for (const DistanceKind kind :
-       {DistanceKind::kRaw, DistanceKind::kZNormalized}) {
-    const TransformDistance dist = kind == DistanceKind::kRaw
-                                       ? TransformDistance::kRaw
-                                       : TransformDistance::kZNormalized;
+  for (const MetricId metric :
+       {MetricId::kRawSquaredEuclidean, MetricId::kZNormEuclidean,
+        MetricId::kEuclidean, MetricId::kCosine}) {
     DistanceEngine engine(2);
-    const auto rows = engine.TransformBatch(train, shapelets, kind);
+    const auto rows = engine.TransformBatch(train, shapelets, metric);
     ASSERT_EQ(rows.size(), train.size());
     for (size_t i = 0; i < train.size(); ++i) {
-      EXPECT_EQ(rows[i], TransformSeries(train[i], shapelets, dist)) << i;
+      EXPECT_EQ(rows[i], TransformSeries(train[i], shapelets, metric)) << i;
     }
   }
 }
@@ -188,11 +186,11 @@ TEST(DistanceEngineTest, BatchedResultsIdenticalAcrossThreadCounts) {
   DistanceEngine serial(1);
   const auto pair_base = serial.PairwiseSubsequenceMin(cands);
   const auto rows_base =
-      serial.TransformBatch(train, cands, DistanceKind::kZNormalized);
+      serial.TransformBatch(train, cands, MetricId::kZNormEuclidean);
   for (const size_t threads : {2u, 8u}) {
     DistanceEngine engine(threads);
     EXPECT_EQ(engine.PairwiseSubsequenceMin(cands), pair_base);
-    EXPECT_EQ(engine.TransformBatch(train, cands, DistanceKind::kZNormalized),
+    EXPECT_EQ(engine.TransformBatch(train, cands, MetricId::kZNormEuclidean),
               rows_base);
   }
 }
@@ -244,7 +242,7 @@ TEST(DistanceEngineStressTest, ConcurrentBatchesMatchSerialBitwise) {
   DistanceEngine baseline(1);
   const auto pair_base = baseline.PairwiseSubsequenceMin(cands);
   const auto rows_base =
-      baseline.TransformBatch(train, cands, DistanceKind::kRaw);
+      baseline.TransformBatch(train, cands, MetricId::kRawSquaredEuclidean);
   Rng rng(31);
   const std::vector<double> query = RandomSeries(rng, 32);
   const auto profile_base = baseline.ProfileAgainstDataset(query, train);
@@ -260,7 +258,7 @@ TEST(DistanceEngineStressTest, ConcurrentBatchesMatchSerialBitwise) {
     threads.emplace_back([&] {
       for (int iter = 0; iter < 4; ++iter) {
         check(shared.PairwiseSubsequenceMin(cands) == pair_base);
-        check(shared.TransformBatch(train, cands, DistanceKind::kRaw) ==
+        check(shared.TransformBatch(train, cands, MetricId::kRawSquaredEuclidean) ==
               rows_base);
         check(shared.ProfileAgainstDataset(query, train) == profile_base);
       }

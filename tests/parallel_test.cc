@@ -132,9 +132,9 @@ TEST(ParallelTransformTest, IdenticalResultsAcrossThreadCounts) {
     shapelets.push_back(ExtractSubsequence(train[i], i, 12));
   }
   const TransformedData a =
-      ShapeletTransform(train, shapelets, TransformDistance::kZNormalized, 1);
+      ShapeletTransform(train, shapelets, MetricId::kZNormEuclidean, 1);
   const TransformedData b =
-      ShapeletTransform(train, shapelets, TransformDistance::kZNormalized, 8);
+      ShapeletTransform(train, shapelets, MetricId::kZNormEuclidean, 8);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.features[i], b.features[i]);

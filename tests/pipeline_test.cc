@@ -73,20 +73,16 @@ TEST(DiscoverShapeletsTest, TraceCoversEveryStage) {
                    result.trace.LeafSeconds("candidate_gen"));
 }
 
-TEST(DiscoverShapeletsTest, DeprecatedOutParamShimStillWorks) {
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
+TEST(DiscoverShapeletsTest, RecordsRunMetricInResult) {
   const TrainTestSplit data = MakeData("pipe2c");
-  IpsRunStats stats;
-  const std::vector<Subsequence> shapelets =
-      DiscoverShapelets(data.train, FastOptions(), &stats);
-  EXPECT_GT(shapelets.size(), 0u);
-  EXPECT_EQ(stats.shapelets, shapelets.size());
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
+  const RunResult default_run = DiscoverShapelets(data.train, FastOptions());
+  EXPECT_EQ(default_run.metric, MetricId::kZNormEuclidean);
+
+  IpsOptions options = FastOptions();
+  options.metric = MetricId::kCosine;
+  const RunResult cosine_run = DiscoverShapelets(data.train, options);
+  EXPECT_EQ(cosine_run.metric, MetricId::kCosine);
+  EXPECT_GT(cosine_run.shapelets.size(), 0u);
 }
 
 TEST(DiscoverShapeletsTest, ShapeletsComeFromTrainingSet) {

@@ -212,15 +212,15 @@ TEST(RunSerializationTest, HeaderCarriesCurrentVersion) {
   RunResult result;
   result.shapelets = SampleShapelets();
   const std::string text = SerializeRunResult(result);
-  EXPECT_EQ(text.rfind("ips-run v2.0\n", 0), 0u);
-  EXPECT_EQ(kRunFormatVersion, (FormatVersion{2, 0}));
+  EXPECT_EQ(text.rfind("ips-run v2.1\n", 0), 0u);
+  EXPECT_EQ(kRunFormatVersion, (FormatVersion{2, 1}));
 }
 
 TEST(RunSerializationTest, RejectsUnknownMajorVersion) {
   RunResult result;
   result.shapelets = SampleShapelets();
   std::string text = SerializeRunResult(result);
-  const size_t pos = text.find("v2.0");
+  const size_t pos = text.find("v2.1");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 4, "v3.0");
   EXPECT_FALSE(DeserializeRunResult(text).has_value());
@@ -231,12 +231,63 @@ TEST(RunSerializationTest, AcceptsNewerMinorWithinMajor) {
   result.shapelets = SampleShapelets();
   result.stats = SampleStats();
   std::string text = SerializeRunResult(result);
-  const size_t pos = text.find("v2.0");
+  const size_t pos = text.find("v2.1");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 4, "v2.7");
   const auto restored = DeserializeRunResult(text);
   ASSERT_TRUE(restored.has_value());
   EXPECT_EQ(restored->shapelets.size(), result.shapelets.size());
+}
+
+TEST(RunSerializationTest, MetricRoundTripsForEveryRegisteredMetric) {
+  for (size_t m = 0; m < kMetricCount; ++m) {
+    RunResult result;
+    result.shapelets = SampleShapelets();
+    result.metric = static_cast<MetricId>(m);
+    const std::string text = SerializeRunResult(result);
+    EXPECT_NE(text.find(std::string("metric ") + MetricName(result.metric) +
+                        "\n"),
+              std::string::npos);
+    const auto restored = DeserializeRunResult(text);
+    ASSERT_TRUE(restored.has_value()) << MetricName(result.metric);
+    EXPECT_EQ(restored->metric, result.metric);
+  }
+}
+
+TEST(RunSerializationTest, RejectsUnknownMetricWithClearError) {
+  RunResult result;
+  result.shapelets = SampleShapelets();
+  std::string text = SerializeRunResult(result);
+  const std::string line = std::string("metric ") + MetricName(result.metric);
+  const size_t pos = text.find(line);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, line.size(), "metric hyperbolic_wavelet");
+  std::string error;
+  EXPECT_FALSE(DeserializeRunResult(text, &error).has_value());
+  EXPECT_NE(error.find("unknown metric"), std::string::npos) << error;
+  EXPECT_NE(error.find("hyperbolic_wavelet"), std::string::npos) << error;
+}
+
+TEST(RunSerializationTest, V20ArtifactDefaultsToZNormMetric) {
+  // Rewrite a current artifact as v2.0: header downgraded, metric line
+  // dropped. Pre-metric artifacts were implicitly z-normalised Euclidean.
+  RunResult result;
+  result.shapelets = SampleShapelets();
+  result.stats = SampleStats();
+  result.metric = MetricId::kCosine;
+  std::string text = SerializeRunResult(result);
+  const size_t pos = text.find("v2.1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "v2.0");
+  const std::string line =
+      std::string("metric ") + MetricName(MetricId::kCosine) + "\n";
+  const size_t metric_pos = text.find(line);
+  ASSERT_NE(metric_pos, std::string::npos);
+  text.erase(metric_pos, line.size());
+  std::string error;
+  const auto restored = DeserializeRunResult(text, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->metric, MetricId::kZNormEuclidean);
 }
 
 TEST(RunSerializationTest, RejectsGarbageAndV1OnlyInput) {

@@ -311,5 +311,162 @@ TEST(SimdKernelTest, SquaredEuclideanChainedMatchesHistoricLoop) {
   }
 }
 
+// ------------------------------------------------------- per-metric kernels
+
+TEST(SimdKernelTest, L2ProfileAndMinMatchScalarAndHistoricLoop) {
+  Rng rng(31);
+  for (size_t count : TestCounts()) {
+    const size_t m = 1 + rng.Index(8);
+    const size_t n = count + m - 1;
+    const std::vector<double> q = RandomSeries(rng, m, false);
+    const std::vector<double> s = RandomSeries(rng, n, false);
+
+    double qq = 0.0;
+    for (double v : q) qq += v * v;
+    std::vector<double> sq(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) sq[i + 1] = sq[i] + s[i] * s[i];
+    std::vector<double> dots(count);
+    simd::scalar::SlidingDots(q.data(), m, s.data(), n, dots.data());
+
+    std::vector<double> got(count), ref(count), historic(count);
+    simd::L2ProfileFromDots(qq, sq.data(), m, dots.data(), count, got.data());
+    simd::scalar::L2ProfileFromDots(qq, sq.data(), m, dots.data(), count,
+                                    ref.data());
+    for (size_t i = 0; i < count; ++i) {
+      const double window_sq = sq[i + m] - sq[i];
+      historic[i] = std::sqrt(std::max(0.0, qq - 2.0 * dots[i] + window_sq));
+    }
+    ExpectBitEqual(got, ref, "L2ProfileFromDots vs scalar");
+    ExpectBitEqual(got, historic, "L2ProfileFromDots vs historic loop");
+
+    const double min_got =
+        simd::L2MinFromDots(qq, sq.data(), m, dots.data(), count);
+    const double min_ref =
+        simd::scalar::L2MinFromDots(qq, sq.data(), m, dots.data(), count);
+    const double min_hist = *std::min_element(historic.begin(), historic.end());
+    EXPECT_EQ(std::bit_cast<uint64_t>(min_got),
+              std::bit_cast<uint64_t>(min_ref));
+    EXPECT_EQ(std::bit_cast<uint64_t>(min_got),
+              std::bit_cast<uint64_t>(min_hist));
+  }
+}
+
+TEST(SimdKernelTest, CosineProfileAndMinMatchScalarIncludingFlats) {
+  Rng rng(37);
+  for (size_t count : TestCounts()) {
+    for (bool query_flat : {false, true}) {
+      const size_t m = 2 + rng.Index(6);
+      const size_t n = count + m - 1;
+      // A zeroed stretch makes some window norms flat, so the blended
+      // convention lanes (both -> 0, one -> 1) are exercised.
+      std::vector<double> s = RandomSeries(rng, n, false);
+      if (n >= 8) {
+        const size_t start = rng.Index(n / 2);
+        for (size_t i = start; i < std::min(n, start + m + 2); ++i) s[i] = 0.0;
+      }
+      const std::vector<double> q =
+          query_flat ? std::vector<double>(m, 0.0) : RandomSeries(rng, m,
+                                                                  false);
+
+      double qq = 0.0;
+      for (double v : q) qq += v * v;
+      std::vector<double> sq(n + 1, 0.0);
+      for (size_t i = 0; i < n; ++i) sq[i + 1] = sq[i] + s[i] * s[i];
+      std::vector<double> dots(count);
+      simd::scalar::SlidingDots(q.data(), m, s.data(), n, dots.data());
+
+      std::vector<double> got(count), ref(count), historic(count);
+      simd::CosineProfileFromDots(qq, sq.data(), m, dots.data(), count,
+                                  got.data());
+      simd::scalar::CosineProfileFromDots(qq, sq.data(), m, dots.data(), count,
+                                          ref.data());
+      const double qn = std::sqrt(qq);
+      for (size_t i = 0; i < count; ++i) {
+        const double wn = std::sqrt(sq[i + m] - sq[i]);
+        const bool q_flat = qn < kFlatStdEpsilon;
+        const bool w_flat = wn < kFlatStdEpsilon;
+        if (q_flat && w_flat) {
+          historic[i] = 0.0;
+        } else if (q_flat || w_flat) {
+          historic[i] = 1.0;
+        } else {
+          historic[i] = std::max(0.0, 1.0 - dots[i] / (qn * wn));
+        }
+      }
+      ExpectBitEqual(got, ref, "CosineProfileFromDots vs scalar");
+      ExpectBitEqual(got, historic, "CosineProfileFromDots vs historic loop");
+
+      const double min_got =
+          simd::CosineMinFromDots(qq, sq.data(), m, dots.data(), count);
+      const double min_ref =
+          simd::scalar::CosineMinFromDots(qq, sq.data(), m, dots.data(),
+                                          count);
+      const double min_hist =
+          *std::min_element(historic.begin(), historic.end());
+      EXPECT_EQ(std::bit_cast<uint64_t>(min_got),
+                std::bit_cast<uint64_t>(min_ref));
+      EXPECT_EQ(std::bit_cast<uint64_t>(min_got),
+                std::bit_cast<uint64_t>(min_hist));
+    }
+  }
+}
+
+TEST(SimdKernelTest, StompRowDistancesRawL2CosineMatchScalarAndHelpers) {
+  Rng rng(41);
+  for (size_t count : TestCounts()) {
+    const size_t w = 4;
+    // Window energies of a series with a zeroed stretch: flat-norm lanes
+    // for the cosine row alongside ordinary ones.
+    std::vector<double> b = RandomSeries(rng, count + w - 1, false);
+    if (b.size() >= 8) {
+      const size_t start = rng.Index(b.size() / 2);
+      for (size_t i = start; i < std::min(b.size(), start + w + 2); ++i) {
+        b[i] = 0.0;
+      }
+    }
+    const std::vector<double> energies = ComputeWindowEnergies(b, w);
+    ASSERT_EQ(energies.size(), count);
+    std::vector<double> qt(count);
+    for (double& v : qt) v = rng.Gaussian(0.0, static_cast<double>(w));
+
+    for (double ssq_a : {2.75, 0.0}) {
+      std::vector<double> got(count), ref(count), historic(count);
+
+      simd::StompRowDistancesRaw(qt.data(), energies.data(), count, w, ssq_a,
+                                 got.data());
+      simd::scalar::StompRowDistancesRaw(qt.data(), energies.data(), count, w,
+                                         ssq_a, ref.data());
+      for (size_t j = 0; j < count; ++j) {
+        historic[j] = StompRawDistance(qt[j], w, ssq_a, energies[j]);
+      }
+      ExpectBitEqual(got, ref, "StompRowDistancesRaw vs scalar");
+      ExpectBitEqual(got, historic, "StompRowDistancesRaw vs StompRawDistance");
+
+      simd::StompRowDistancesL2(qt.data(), energies.data(), count, w, ssq_a,
+                                got.data());
+      simd::scalar::StompRowDistancesL2(qt.data(), energies.data(), count, w,
+                                        ssq_a, ref.data());
+      for (size_t j = 0; j < count; ++j) {
+        historic[j] = StompL2Distance(qt[j], ssq_a, energies[j]);
+      }
+      ExpectBitEqual(got, ref, "StompRowDistancesL2 vs scalar");
+      ExpectBitEqual(got, historic, "StompRowDistancesL2 vs StompL2Distance");
+
+      simd::StompRowDistancesCosine(qt.data(), energies.data(), count, w,
+                                    ssq_a, got.data());
+      simd::scalar::StompRowDistancesCosine(qt.data(), energies.data(), count,
+                                            w, ssq_a, ref.data());
+      const double norm_a = std::sqrt(ssq_a);
+      for (size_t j = 0; j < count; ++j) {
+        historic[j] = StompCosineDistance(qt[j], norm_a,
+                                          std::sqrt(energies[j]));
+      }
+      ExpectBitEqual(got, ref, "StompRowDistancesCosine vs scalar");
+      ExpectBitEqual(got, historic,
+                     "StompRowDistancesCosine vs StompCosineDistance");
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ips

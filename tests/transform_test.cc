@@ -23,7 +23,7 @@ TEST(TransformSeriesTest, RawDistancesMatchDef4) {
   const TimeSeries t({0.0, 1.0, 2.0, 3.0, 4.0}, 0);
   const std::vector<Subsequence> shapelets = {
       MakeShapelet({1.0, 2.0}), MakeShapelet({9.0, 9.0, 9.0})};
-  const auto row = TransformSeries(t, shapelets, TransformDistance::kRaw);
+  const auto row = TransformSeries(t, shapelets, MetricId::kRawSquaredEuclidean);
   ASSERT_EQ(row.size(), 2u);
   EXPECT_NEAR(row[0], 0.0, 1e-12);  // contained exactly
   EXPECT_DOUBLE_EQ(row[1],
@@ -34,8 +34,8 @@ TEST(TransformSeriesTest, ZNormDistanceIsScaleInvariant) {
   const TimeSeries t({0.0, 1.0, 2.0, 1.0, 0.0, 3.0}, 0);
   const std::vector<Subsequence> small = {MakeShapelet({0.0, 1.0, 2.0})};
   const std::vector<Subsequence> scaled = {MakeShapelet({10.0, 30.0, 50.0})};
-  const auto a = TransformSeries(t, small, TransformDistance::kZNormalized);
-  const auto b = TransformSeries(t, scaled, TransformDistance::kZNormalized);
+  const auto a = TransformSeries(t, small, MetricId::kZNormEuclidean);
+  const auto b = TransformSeries(t, scaled, MetricId::kZNormEuclidean);
   EXPECT_NEAR(a[0], b[0], 1e-6);
   EXPECT_NEAR(a[0], 0.0, 1e-6);  // z-normalised shape is contained
 }
