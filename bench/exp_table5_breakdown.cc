@@ -196,6 +196,17 @@ int Run(const BenchArgs& args) {
                 static_cast<double>(stats.stats_cache_hits +
                                     stats.stats_cache_misses));
   std::printf(
+      "Early-abandon cascade: %zu candidate alignments, %zu lb-pruned / %zu "
+      "abandoned / %zu full scans (%.1f%% skipped)\n",
+      stats.eab_candidates, stats.eab_lb_pruned, stats.eab_abandoned,
+      stats.eab_full,
+      stats.eab_candidates == 0
+          ? 0.0
+          : 100.0 *
+                static_cast<double>(stats.eab_lb_pruned +
+                                    stats.eab_abandoned) /
+                static_cast<double>(stats.eab_candidates));
+  std::printf(
       "MatrixProfileEngine: %.3fs in instance profiles, %zu joins from %zu "
       "QT sweeps (%zu saved by pair symmetry), artefact cache %zu hits / %zu "
       "misses\n",

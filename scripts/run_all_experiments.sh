@@ -90,5 +90,16 @@ echo "=== BENCH_metric ==="
 "$BENCH/bench_metric" --out="$OUT/BENCH_metric.json" |
   tee "$OUT/BENCH_metric.txt"
 
+# Early-abandon cascade vs exhaustive dense path (transform + PredictBatch,
+# per metric, 1 and 8 threads). bench_eab writes the JSON itself and exits
+# nonzero if the pruned and exhaustive outputs are not bitwise identical.
+echo "=== BENCH_eab ==="
+"$BENCH/bench_eab" --out="$OUT/BENCH_eab.json" | tee "$OUT/BENCH_eab.txt"
+
+# The machine-readable before/after artefacts double as repo-root files so
+# tooling (and the acceptance checks) can diff them without knowing the
+# results/ layout.
+cp "$OUT"/BENCH_*.json .
+
 echo
-echo "All outputs under $OUT/"
+echo "All outputs under $OUT/ (BENCH_*.json copied to the repo root)"

@@ -34,10 +34,20 @@ struct EngineMetrics {
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
   obs::Histogram& batch_items;
+  // Early-abandon cascade totals ("engine.eab.<stage>"), summed over every
+  // min query that took the pruned path (docs/pruning.md).
+  obs::Counter& eab_candidates;
+  obs::Counter& eab_lb_pruned;
+  obs::Counter& eab_abandoned;
+  obs::Counter& eab_full;
   // Per-metric slice of profiles_computed ("engine.profiles.<name>"), so a
   // mixed-metric run's obs output attributes work to metrics. The total
   // above is always bumped too, keeping historic dashboards intact.
   obs::Counter* profiles_by_metric[kMetricCount];
+  // Per-metric slice of the eab totals ("engine.eab.<stage>.<name>"),
+  // indexed [metric][stage] with stages ordered candidates, lb_pruned,
+  // abandoned, full.
+  obs::Counter* eab_by_metric[kMetricCount][4];
 };
 
 EngineMetrics& Metrics() {
@@ -48,11 +58,22 @@ EngineMetrics& Metrics() {
                           registry.GetCounter("engine.stats_cache_hits"),
                           registry.GetCounter("engine.stats_cache_misses"),
                           registry.GetHistogram("engine.batch_items"),
+                          registry.GetCounter("engine.eab.candidates"),
+                          registry.GetCounter("engine.eab.lb_pruned"),
+                          registry.GetCounter("engine.eab.abandoned"),
+                          registry.GetCounter("engine.eab.full"),
+                          {},
                           {}};
+    static constexpr const char* kEabStages[4] = {"candidates", "lb_pruned",
+                                                  "abandoned", "full"};
     for (size_t i = 0; i < kMetricCount; ++i) {
-      m->profiles_by_metric[i] = &registry.GetCounter(
-          std::string("engine.profiles.") +
-          MetricName(static_cast<MetricId>(i)));
+      const char* name = MetricName(static_cast<MetricId>(i));
+      m->profiles_by_metric[i] =
+          &registry.GetCounter(std::string("engine.profiles.") + name);
+      for (size_t s = 0; s < 4; ++s) {
+        m->eab_by_metric[i][s] = &registry.GetCounter(
+            std::string("engine.eab.") + kEabStages[s] + "." + name);
+      }
     }
     return m;
   }();
@@ -166,6 +187,10 @@ const DistanceEngine::ZnQuery* DistanceEngine::CachedZnQuery(
   fresh.values = ZNormalize(q);
   fresh.flat = std::all_of(fresh.values.begin(), fresh.values.end(),
                            [](double v) { return v == 0.0; });
+  for (double v : fresh.values) {
+    fresh.sum += v;
+    fresh.sum_sq += v * v;
+  }
   std::lock_guard<std::mutex> lock(znq_mu_);
   return &znq_.try_emplace(key, std::move(fresh)).first->second;
 }
@@ -175,6 +200,23 @@ void DistanceEngine::BumpProfiles(MetricId metric) {
   EngineMetrics& m = Metrics();
   m.profiles_computed.Add(1);
   m.profiles_by_metric[static_cast<size_t>(metric)]->Add(1);
+}
+
+void DistanceEngine::BumpEab(MetricId metric, const simd::EabCounters& c) {
+  eab_candidates_.fetch_add(c.candidates, std::memory_order_relaxed);
+  eab_lb_pruned_.fetch_add(c.lb_pruned, std::memory_order_relaxed);
+  eab_abandoned_.fetch_add(c.abandoned, std::memory_order_relaxed);
+  eab_full_.fetch_add(c.full, std::memory_order_relaxed);
+  EngineMetrics& m = Metrics();
+  m.eab_candidates.Add(c.candidates);
+  m.eab_lb_pruned.Add(c.lb_pruned);
+  m.eab_abandoned.Add(c.abandoned);
+  m.eab_full.Add(c.full);
+  obs::Counter** slice = m.eab_by_metric[static_cast<size_t>(metric)];
+  slice[0]->Add(c.candidates);
+  slice[1]->Add(c.lb_pruned);
+  slice[2]->Add(c.abandoned);
+  slice[3]->Add(c.full);
 }
 
 // ------------------------------------------------------------------ kernels
@@ -222,7 +264,8 @@ void DistanceEngine::SlidingDotsInto(std::span<const double> query,
 double DistanceEngine::DotMinImpl(std::span<const double> a,
                                   std::span<const double> b, bool cache_a,
                                   bool cache_b, const MetricPolicy& policy,
-                                  DistanceWorkspace& ws) {
+                                  DistanceWorkspace& ws, size_t seed,
+                                  size_t* argmin_out) {
   const bool a_shorter = a.size() <= b.size();
   const std::span<const double> query = a_shorter ? a : b;
   const std::span<const double> series = a_shorter ? b : a;
@@ -233,9 +276,23 @@ double DistanceEngine::DotMinImpl(std::span<const double> a,
   IPS_CHECK(m >= 1);
   BumpProfiles(policy.id);
 
+  // The early-abandon cascade only serves the naive sliding-dots regime:
+  // under FFT dots the dense kernel sees different (FFT-rounded) products,
+  // so pruning against exact scalar dots would break bitwise identity.
+  const bool eab = early_abandon_ && policy.min_early_abandon != nullptr &&
+                   (m < kFftCutoff || !ShouldUseFftSlidingProducts(m, n));
+
   double qq;
+  const double* qpre = nullptr;
   if (const std::vector<double>* p = CachedPrefix(query, cache_q)) {
     qq = p->back();
+    qpre = p->data();
+  } else if (eab && policy.id == MetricId::kCosine) {
+    // Cosine's Cauchy-Schwarz tail bound consumes the full query prefix;
+    // PrefixSquaresInto's back() is bitwise equal to the serial qq loop.
+    PrefixSquaresInto(query, ws.query_prefix);
+    qpre = ws.query_prefix.data();
+    qq = ws.query_prefix.back();
   } else {
     qq = 0.0;
     for (double v : query) qq += v * v;
@@ -245,6 +302,27 @@ double DistanceEngine::DotMinImpl(std::span<const double> a,
   if (sq == nullptr) {
     PrefixSquaresInto(series, ws.prefix);
     sq = &ws.prefix;
+  }
+
+  if (eab) {
+    simd::EabArgs ea;
+    ea.query = query.data();
+    ea.window = m;
+    ea.series = series.data();
+    ea.count = n - m + 1;
+    ea.qq = qq;
+    ea.sqp = sq->data();
+    ea.qpre = qpre;
+    ea.seed = seed;
+    simd::EabCounters ec;
+    const simd::EabResult res = policy.min_early_abandon(ea, ec);
+    BumpEab(policy.id, ec);
+    if (!res.bailed_out) {
+      if (argmin_out != nullptr) *argmin_out = res.argmin;
+      return res.min;
+    }
+    // Bailed out: pruning was losing to the vectorised dense kernel.
+    // Fall through to the dense path (identical result either way).
   }
 
   SlidingDotsInto(query, series, cache_q, cache_s, ws);
@@ -296,7 +374,8 @@ void DistanceEngine::DotProfileImpl(std::span<const double> query,
 
 double DistanceEngine::ZNormMinImpl(std::span<const double> a,
                                     std::span<const double> b, bool cache_a,
-                                    bool cache_b, DistanceWorkspace& ws) {
+                                    bool cache_b, DistanceWorkspace& ws,
+                                    size_t seed, size_t* argmin_out) {
   const bool a_shorter = a.size() <= b.size();
   const std::span<const double> query = a_shorter ? a : b;
   const std::span<const double> series = a_shorter ? b : a;
@@ -305,7 +384,11 @@ double DistanceEngine::ZNormMinImpl(std::span<const double> a,
   const size_t m = query.size();
   const size_t n = series.size();
   IPS_CHECK(m >= 1);
-  BumpProfiles(MetricId::kZNormEuclidean);
+  const MetricPolicy& policy = GetMetric(MetricId::kZNormEuclidean);
+  BumpProfiles(policy.id);
+
+  const bool eab = early_abandon_ && policy.min_early_abandon != nullptr &&
+                   (m < kFftCutoff || !ShouldUseFftSlidingProducts(m, n));
 
   const RollingStats* stats = CachedStats(series, m, cache_s);
   RollingStats local_stats;
@@ -316,18 +399,56 @@ double DistanceEngine::ZNormMinImpl(std::span<const double> a,
 
   // Z-normalised query: from the cache when the shapelet side is stable,
   // otherwise into scratch (same operations as ZNormalize, so bitwise
-  // identical).
+  // identical). The value/square sums only feed the early-abandon bound
+  // arithmetic, never a returned distance.
   std::span<const double> q;
   bool query_flat;
+  double zq_sum = 0.0;
+  double zq_sumsq = 0.0;
   if (const ZnQuery* zq = CachedZnQuery(query, cache_q)) {
     q = zq->values;
     query_flat = zq->flat;
+    zq_sum = zq->sum;
+    zq_sumsq = zq->sum_sq;
   } else {
     ws.znorm_query.assign(query.begin(), query.end());
     ZNormalizeInPlace(ws.znorm_query);
     q = ws.znorm_query;
     query_flat = std::all_of(q.begin(), q.end(),
                              [](double v) { return v == 0.0; });
+    if (eab) {
+      for (double v : q) {
+        zq_sum += v;
+        zq_sumsq += v * v;
+      }
+    }
+  }
+
+  if (eab) {
+    const std::vector<double>* sq = CachedPrefix(series, cache_s);
+    if (sq == nullptr) {
+      PrefixSquaresInto(series, ws.prefix);
+      sq = &ws.prefix;
+    }
+    simd::EabArgs ea;
+    ea.query = q.data();
+    ea.window = m;
+    ea.series = series.data();
+    ea.count = n - m + 1;
+    ea.sqp = sq->data();
+    ea.means = stats->means.data();
+    ea.stds = stats->stds.data();
+    ea.query_flat = query_flat;
+    ea.zq_sum = zq_sum;
+    ea.zq_sumsq = zq_sumsq;
+    ea.seed = seed;
+    simd::EabCounters ec;
+    const simd::EabResult res = policy.min_early_abandon(ea, ec);
+    BumpEab(policy.id, ec);
+    if (!res.bailed_out) {
+      if (argmin_out != nullptr) *argmin_out = res.argmin;
+      return res.min;
+    }
   }
 
   // The FFT of the z-normalised query is only cacheable when the values
@@ -379,11 +500,13 @@ void DistanceEngine::ZNormProfileImpl(std::span<const double> query,
 double DistanceEngine::MinImpl(std::span<const double> a,
                                std::span<const double> b, bool cache_a,
                                bool cache_b, MetricId metric,
-                               DistanceWorkspace& ws) {
+                               DistanceWorkspace& ws, size_t seed,
+                               size_t* argmin_out) {
   if (metric == MetricId::kZNormEuclidean) {
-    return ZNormMinImpl(a, b, cache_a, cache_b, ws);
+    return ZNormMinImpl(a, b, cache_a, cache_b, ws, seed, argmin_out);
   }
-  return DotMinImpl(a, b, cache_a, cache_b, GetMetric(metric), ws);
+  return DotMinImpl(a, b, cache_a, cache_b, GetMetric(metric), ws, seed,
+                    argmin_out);
 }
 
 void DistanceEngine::ProfileImpl(std::span<const double> query,
@@ -523,11 +646,21 @@ std::vector<std::vector<double>> DistanceEngine::TransformBatch(
   ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
     std::vector<double>& row = rows[i];
     row.resize(shapelets.size());
+    // Seed each shapelet's best-so-far search from its winning alignment in
+    // the previous series this worker transformed: similar series tend to
+    // match a shapelet in similar places, so the early-abandon path starts
+    // near the true minimum. Purely a visit-order hint -- out-of-range
+    // hints are ignored by the kernels and results are bitwise identical
+    // whatever the seeds are.
+    if (ws.eab_seed_hints.size() != shapelets.size()) {
+      ws.eab_seed_hints.assign(shapelets.size(), simd::kEabNoSeed);
+    }
     const std::span<const double> series = data[i].view();
     for (size_t s = 0; s < shapelets.size(); ++s) {
       // Argument order matches TransformSeries: (series, shapelet).
       row[s] = MinImpl(series, shapelets[s].view(), /*cache_a=*/true,
-                       /*cache_b=*/true, metric, ws);
+                       /*cache_b=*/true, metric, ws, ws.eab_seed_hints[s],
+                       &ws.eab_seed_hints[s]);
     }
   });
   return rows;
@@ -551,6 +684,10 @@ EngineCounters DistanceEngine::counters() const {
   c.profiles_computed = profiles_.load(std::memory_order_relaxed);
   c.stats_cache_hits = cache_hits_.load(std::memory_order_relaxed);
   c.stats_cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  c.eab_candidates = eab_candidates_.load(std::memory_order_relaxed);
+  c.eab_lb_pruned = eab_lb_pruned_.load(std::memory_order_relaxed);
+  c.eab_abandoned = eab_abandoned_.load(std::memory_order_relaxed);
+  c.eab_full = eab_full_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -558,6 +695,10 @@ void DistanceEngine::ResetCounters() {
   profiles_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
   cache_misses_.store(0, std::memory_order_relaxed);
+  eab_candidates_.store(0, std::memory_order_relaxed);
+  eab_lb_pruned_.store(0, std::memory_order_relaxed);
+  eab_abandoned_.store(0, std::memory_order_relaxed);
+  eab_full_.store(0, std::memory_order_relaxed);
 }
 
 void DistanceEngine::ClearCaches() {

@@ -65,6 +65,12 @@ struct DistanceWorkspace {
   std::vector<std::complex<double>> fft_sig;  ///< series transform
   std::vector<std::complex<double>> fft_qry;  ///< query transform
   std::vector<std::complex<double>> fft_prod; ///< pointwise product / inverse
+  std::vector<double> query_prefix;           ///< query prefix squares (EA)
+  /// Per-shapelet argmin of the previous series this worker transformed
+  /// (TransformBatch only): seeds the next series' best-so-far so
+  /// abandonment triggers early. Purely a visit-order hint -- results stay
+  /// bitwise identical whatever the seeds are.
+  std::vector<size_t> eab_seed_hints;
 };
 
 /// Monotonic instrumentation counters (snapshot via counters()).
@@ -72,6 +78,14 @@ struct EngineCounters {
   size_t profiles_computed = 0;   ///< distance profiles evaluated
   size_t stats_cache_hits = 0;    ///< artefact-cache hits (stats/prefix/FFT)
   size_t stats_cache_misses = 0;  ///< artefact-cache misses (entry computed)
+  /// Early-abandon cascade accounting (docs/pruning.md), summed over every
+  /// min query that took the pruned path: alignments considered, skipped
+  /// whole by a lower bound, scans cut short, and scans run to completion.
+  /// candidates == lb_pruned + abandoned + full.
+  size_t eab_candidates = 0;
+  size_t eab_lb_pruned = 0;
+  size_t eab_abandoned = 0;
+  size_t eab_full = 0;
 };
 
 /// An ordered (query index, series index) work item for MinForPairs.
@@ -79,6 +93,15 @@ using IndexPair = std::pair<uint32_t, uint32_t>;
 
 class DistanceEngine {
  public:
+  /// Build-time kill switch: -DIPS_DISABLE_EARLY_ABANDON compiles the
+  /// cascade out entirely (set_early_abandon(true) stays off). Mirrors the
+  /// IPS_DISABLE_SIMD / IPS_DISABLE_TRACING discipline.
+#if defined(IPS_DISABLE_EARLY_ABANDON)
+  static constexpr bool kEarlyAbandonCompiledIn = false;
+#else
+  static constexpr bool kEarlyAbandonCompiledIn = true;
+#endif
+
   /// `num_threads` shards every batched call (1 = serial, 0 = auto:
   /// HardwareThreads()). The thread count never changes results, only
   /// wall-clock.
@@ -90,6 +113,16 @@ class DistanceEngine {
 
   size_t num_threads() const { return num_threads_; }
   void set_num_threads(size_t n) { num_threads_ = ResolveNumThreads(n); }
+
+  /// Whether the early-abandon lower-bound cascade (docs/pruning.md) serves
+  /// min queries in the naive sliding-dots regime. On by default; minima
+  /// are bitwise identical either way, so this is a pure performance knob
+  /// (IpsOptions::enable_early_abandon plumbs it per run for A/B parity
+  /// testing). Building with -DIPS_DISABLE_EARLY_ABANDON pins it off.
+  bool early_abandon() const { return early_abandon_; }
+  void set_early_abandon(bool on) {
+    early_abandon_ = kEarlyAbandonCompiledIn && on;
+  }
 
   // ------------------------------------------------------------ single pair
 
@@ -194,10 +227,14 @@ class DistanceEngine {
       return h;
     }
   };
-  /// A z-normalised query plus its all-zero (flat) flag.
+  /// A z-normalised query plus its all-zero (flat) flag and the value/
+  /// square sums the early-abandon z-norm bound consumes (bound devices
+  /// only -- they never enter a returned distance).
   struct ZnQuery {
     std::vector<double> values;
     bool flat = false;
+    double sum = 0.0;
+    double sum_sq = 0.0;
   };
 
   // Cache accessors: return a stable pointer to the cached artefact, or
@@ -217,6 +254,10 @@ class DistanceEngine {
   /// Bumps the per-engine total plus the registry total and the per-metric
   /// labelled counter ("engine.profiles.<name>").
   void BumpProfiles(MetricId metric);
+  /// Folds one early-abandon kernel invocation's counters into the engine
+  /// atomics plus the registry totals and per-metric labelled counters
+  /// ("engine.eab.candidates.<name>" etc).
+  void BumpEab(MetricId metric, const simd::EabCounters& c);
 
   void SlidingDotsInto(std::span<const double> query,
                        std::span<const double> series, bool cache_query,
@@ -224,15 +265,22 @@ class DistanceEngine {
   // The dot family (raw / L2 / cosine) shares one qq + prefix-squares +
   // sliding-dots skeleton and differs only in the policy tail hook; the
   // z-normalised family has its own impls (rolling stats, query z-norm).
+  // The min impls optionally take a best-so-far seed alignment (a visit-
+  // order hint for the early-abandon path; ignored by the dense path) and
+  // report the winning alignment back through `argmin_out` so batched
+  // transforms can seed the next series. Neither affects returned values.
   double DotMinImpl(std::span<const double> a, std::span<const double> b,
                     bool cache_a, bool cache_b, const MetricPolicy& policy,
-                    DistanceWorkspace& ws);
+                    DistanceWorkspace& ws, size_t seed = simd::kEabNoSeed,
+                    size_t* argmin_out = nullptr);
   void DotProfileImpl(std::span<const double> query,
                       std::span<const double> series, bool cache_query,
                       bool cache_series, const MetricPolicy& policy,
                       DistanceWorkspace& ws, std::vector<double>& out);
   double ZNormMinImpl(std::span<const double> a, std::span<const double> b,
-                      bool cache_a, bool cache_b, DistanceWorkspace& ws);
+                      bool cache_a, bool cache_b, DistanceWorkspace& ws,
+                      size_t seed = simd::kEabNoSeed,
+                      size_t* argmin_out = nullptr);
   void ZNormProfileImpl(std::span<const double> query,
                         std::span<const double> series, bool cache_query,
                         bool cache_series, DistanceWorkspace& ws,
@@ -240,7 +288,8 @@ class DistanceEngine {
   // Metric-dispatching wrappers over the four impls above.
   double MinImpl(std::span<const double> a, std::span<const double> b,
                  bool cache_a, bool cache_b, MetricId metric,
-                 DistanceWorkspace& ws);
+                 DistanceWorkspace& ws, size_t seed = simd::kEabNoSeed,
+                 size_t* argmin_out = nullptr);
   void ProfileImpl(std::span<const double> query,
                    std::span<const double> series, bool cache_query,
                    bool cache_series, MetricId metric, DistanceWorkspace& ws,
@@ -251,6 +300,7 @@ class DistanceEngine {
   void ParallelItems(size_t count, Fn&& fn);
 
   size_t num_threads_;
+  bool early_abandon_ = kEarlyAbandonCompiledIn;
 
   mutable std::mutex prefix_mu_;
   std::unordered_map<SpanKey, std::vector<double>, SpanKeyHash> prefix_;
@@ -269,6 +319,10 @@ class DistanceEngine {
   std::atomic<size_t> profiles_{0};
   std::atomic<size_t> cache_hits_{0};
   std::atomic<size_t> cache_misses_{0};
+  std::atomic<size_t> eab_candidates_{0};
+  std::atomic<size_t> eab_lb_pruned_{0};
+  std::atomic<size_t> eab_abandoned_{0};
+  std::atomic<size_t> eab_full_{0};
 };
 
 }  // namespace ips

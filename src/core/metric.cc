@@ -163,25 +163,25 @@ constexpr MetricPolicy kMetrics[kMetricCount] = {
      /*needs_window_energy=*/false,
      {ZnProfile, ZnMin, ZnRow},
      {ZnProfileScalar, ZnMinScalar, ZnRowScalar},
-     ZnPairwise},
+     ZnPairwise, simd::ZNormMinEarlyAbandon},
     {MetricId::kRawSquaredEuclidean, "raw_sq_euclidean",
      /*normalizes_query=*/false, /*needs_rolling_stats=*/false,
      /*needs_window_energy=*/true,
      {RawProfile, RawMin, RawRow},
      {RawProfileScalar, RawMinScalar, RawRowScalar},
-     RawPairwise},
+     RawPairwise, simd::RawMinEarlyAbandon},
     {MetricId::kEuclidean, "euclidean",
      /*normalizes_query=*/false, /*needs_rolling_stats=*/false,
      /*needs_window_energy=*/true,
      {L2Profile, L2Min, L2Row},
      {L2ProfileScalar, L2MinScalar, L2RowScalar},
-     L2Pairwise},
+     L2Pairwise, simd::L2MinEarlyAbandon},
     {MetricId::kCosine, "cosine",
      /*normalizes_query=*/false, /*needs_rolling_stats=*/false,
      /*needs_window_energy=*/true,
      {CosineProfile, CosineMin, CosineRow},
      {CosineProfileScalar, CosineMinScalar, CosineRowScalar},
-     CosinePairwise},
+     CosinePairwise, simd::CosineMinEarlyAbandon},
 };
 
 static_assert(static_cast<size_t>(MetricId::kZNormEuclidean) == 0);

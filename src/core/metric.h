@@ -41,6 +41,8 @@
 #include <span>
 #include <string_view>
 
+#include "core/simd.h"
+
 namespace ips {
 
 /// Identifies a distance function. Values are stable across releases: they
@@ -131,6 +133,15 @@ struct MetricPolicy {
   /// Direct O(window) distance between two equal-length windows, computed
   /// without any dot-product recurrence -- the brute-force reference.
   double (*pairwise)(std::span<const double> a, std::span<const double> b);
+  /// Optional early-abandon min kernel (the lower-bound cascade,
+  /// docs/pruning.md): same minimum as kernels.min_from_dots over naive
+  /// sliding dots, bitwise, but with admissible-lower-bound pruning and
+  /// partial-sum abandonment. One function serves both kernel tables (the
+  /// scans are inherently scalar). nullptr opts the metric out: the engine
+  /// then always runs the dense path. A registered kernel is only invoked
+  /// in the naive sliding-dots regime (never over FFT dots).
+  simd::EabResult (*min_early_abandon)(const simd::EabArgs& args,
+                                       simd::EabCounters& counters) = nullptr;
 };
 
 /// The policy registered for `id`. Aborts on an out-of-range id.

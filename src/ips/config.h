@@ -81,6 +81,14 @@ struct IpsOptions {
   /// itself, not a profile choice.
   MetricId metric = MetricId::kZNormEuclidean;
 
+  /// Whether the DistanceEngine's early-abandon lower-bound cascade
+  /// (docs/pruning.md) serves min-alignment distance queries. Purely a
+  /// performance knob: minima are bitwise identical either way, so
+  /// discovery, transforms and predictions do not change. On by default;
+  /// exists so A/B parity runs (and the early-abandon-off CI job) can pin
+  /// it off per run. Builds with -DIPS_DISABLE_EARLY_ABANDON force it off.
+  bool enable_early_abandon = true;
+
   /// Worker threads for candidate generation and the shapelet transform:
   /// 1 = sequential, 0 = auto (HardwareThreads()). Parallel regions run on
   /// the persistent process-wide pool (util/thread_pool.h). Results are

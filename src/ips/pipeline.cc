@@ -55,6 +55,7 @@ std::vector<Subsequence> RunDiscovery(const Dataset& train,
   // One engine for every Def. 4 evaluation of the run: pruning and exact
   // utility scoring share its rolling-stats/FFT caches and thread pool.
   DistanceEngine engine(options.num_threads);
+  engine.set_early_abandon(options.enable_early_abandon);
 
   // (1)+(2) Candidate generation with the instance profile (Alg. 1).
   Rng rng(options.seed);
@@ -146,6 +147,7 @@ void IpsClassifier::Fit(const Dataset& train) {
   // Fresh engine per fit: pointer-keyed caches must not outlive the series
   // and shapelets they describe.
   engine_ = std::make_unique<DistanceEngine>(options_.num_threads);
+  engine_->set_early_abandon(options_.enable_early_abandon);
 
   // One observation window over discovery AND the classifier-only stages,
   // so result_.stats attributes the whole fit and the trace nests every
@@ -196,14 +198,17 @@ int IpsClassifier::Predict(const TimeSeries& series) const {
 
 std::vector<int> IpsClassifier::PredictBatch(const Dataset& test) const {
   IPS_CHECK(!result_.shapelets.empty());
-  // A call-local engine (ShapeletTransform builds one when none is passed)
-  // rather than the member engine_: the batch path caches test-series
-  // artefacts too, and test sets are caller-owned temporaries that must not
-  // outlive their pointer-keyed cache entries. Rows are bitwise equal to
+  // A call-local engine rather than the member engine_: the batch path
+  // caches test-series artefacts too, and test sets are caller-owned
+  // temporaries that must not outlive their pointer-keyed cache entries.
+  // Built explicitly (instead of letting ShapeletTransform default one) so
+  // the run's early-abandon setting is honoured. Rows are bitwise equal to
   // TransformSeries, so every label matches the per-series Predict loop.
+  DistanceEngine local_engine(options_.num_threads);
+  local_engine.set_early_abandon(options_.enable_early_abandon);
   const TransformedData transformed =
       ShapeletTransform(test, result_.shapelets, options_.metric,
-                        options_.num_threads);
+                        options_.num_threads, &local_engine);
   std::vector<int> out(transformed.features.size());
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = backend_->Predict(transformed.features[i]);
