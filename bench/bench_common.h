@@ -14,6 +14,9 @@
 //                       schema) where the binary supports it
 //   --metric=<name>     run under a registered non-default distance metric
 //                       (core/metric.h) where the binary supports it
+//   --mp_tile=<N>       pin the all-pairs join tile width (0 auto, 1 off)
+//   --no_mp_table       serve pair joins from the mutex-guarded caches
+//   --no_mp_arena       serve sweep scratch from fresh heap vectors
 
 #ifndef IPS_BENCH_BENCH_COMMON_H_
 #define IPS_BENCH_BENCH_COMMON_H_
@@ -47,6 +50,14 @@ struct BenchArgs {
   /// Registered metric name (core/metric.h) for binaries that support
   /// running under a non-default distance; empty means the default.
   std::string metric;
+  /// Join-scheduler knobs (IpsOptions equivalents) for binaries that prove
+  /// scheduling choices never change results: --mp_tile=N pins the
+  /// all-pairs tile width (0 = auto, 1 = untiled), --no_mp_table and
+  /// --no_mp_arena fall back to the mutex-guarded caches / fresh heap
+  /// vectors. The fingerprint CI matrix diffs runs across these.
+  std::optional<size_t> mp_tile;
+  bool no_mp_table = false;
+  bool no_mp_arena = false;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -72,6 +83,12 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.json_path = *v;
     } else if (auto v = value_of("--metric=")) {
       args.metric = *v;
+    } else if (auto v = value_of("--mp_tile=")) {
+      args.mp_tile = static_cast<size_t>(std::atoi(v->c_str()));
+    } else if (arg == "--no_mp_table") {
+      args.no_mp_table = true;
+    } else if (arg == "--no_mp_arena") {
+      args.no_mp_arena = true;
     } else if (auto v = value_of("--datasets=")) {
       std::string rest = *v;
       size_t pos = 0;

@@ -213,6 +213,13 @@ int Run(const BenchArgs& args) {
       stats.profile_seconds, stats.mp_joins_computed, stats.mp_qt_sweeps,
       stats.mp_joins_halved, stats.mp_cache_hits, stats.mp_cache_misses);
   std::printf(
+      "Join scheduler: %zu artifact tables built / %zu reused (%zu entries), "
+      "%zu lock-free pair reads; arena %zu acquisitions backed by %zu slabs "
+      "/ %zu KiB\n",
+      stats.artifact_tables_built, stats.artifact_tables_reused,
+      stats.artifact_entries, stats.artifact_reads, stats.arena_acquires,
+      stats.arena_slab_allocs, stats.arena_slab_bytes / 1024);
+  std::printf(
       "ThreadPool: %zu regions dispatched / %zu inline, %zu tasks run, %zu "
       "chunk steals\n",
       stats.pool_regions, stats.pool_inline_regions, stats.pool_tasks_run,

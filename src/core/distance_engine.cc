@@ -279,7 +279,11 @@ double DistanceEngine::DotMinImpl(std::span<const double> a,
   // The early-abandon cascade only serves the naive sliding-dots regime:
   // under FFT dots the dense kernel sees different (FFT-rounded) products,
   // so pruning against exact scalar dots would break bitwise identity.
+  // Metrics whose registered kernel cannot win (eab_profitable false, e.g.
+  // cosine's prune-nothing Cauchy-Schwarz scan) bail to the dense path up
+  // front, before paying any cascade setup.
   const bool eab = early_abandon_ && policy.min_early_abandon != nullptr &&
+                   policy.eab_profitable &&
                    (m < kFftCutoff || !ShouldUseFftSlidingProducts(m, n));
 
   double qq;
@@ -388,6 +392,7 @@ double DistanceEngine::ZNormMinImpl(std::span<const double> a,
   BumpProfiles(policy.id);
 
   const bool eab = early_abandon_ && policy.min_early_abandon != nullptr &&
+                   policy.eab_profitable &&
                    (m < kFftCutoff || !ShouldUseFftSlidingProducts(m, n));
 
   const RollingStats* stats = CachedStats(series, m, cache_s);

@@ -1,5 +1,6 @@
 #include "core/fft.h"
 
+#include <atomic>
 #include <cmath>
 
 #include <numbers>
@@ -8,34 +9,98 @@
 #include "util/check.h"
 
 namespace ips {
+namespace {
 
-void Fft(std::vector<std::complex<double>>& a, bool inverse) {
-  const size_t n = a.size();
-  IPS_CHECK((n & (n - 1)) == 0);
-  if (n <= 1) return;
+// One slot per power-of-two size (index = log2 n). Plans are immutable and
+// published with a release CAS; the loser of a racing build deletes its
+// copy (both copies are bitwise identical, so the race is benign). Plans
+// intentionally live for the process (leaky, like the registries).
+std::atomic<const FftPlan*> g_fft_plans[64] = {};
 
-  // Bit-reversal permutation.
+const FftPlan* BuildFftPlan(size_t n) {
+  auto* plan = new FftPlan;
+  plan->n = n;
+
+  // Bit-reversal permutation, recorded as the exact swaps the in-line loop
+  // performed.
+  IPS_CHECK(n <= UINT32_MAX);
   for (size_t i = 1, j = 0; i < n; ++i) {
     size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
+    if (i < j) {
+      plan->swaps.emplace_back(static_cast<uint32_t>(i),
+                               static_cast<uint32_t>(j));
+    }
   }
 
-  for (size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (size_t i = 0; i < n; i += len) {
+  // Twiddle chains per stage and direction: the in-line loop restarted the
+  // identical chain (w = 1; w *= wlen) for every i-block of a stage, so one
+  // stored chain per stage reproduces its values exactly.
+  plan->forward.reserve(n - 1);
+  plan->inverse.reserve(n - 1);
+  for (const bool inv : {false, true}) {
+    std::vector<std::complex<double>>& out = inv ? plan->inverse
+                                                 : plan->forward;
+    for (size_t len = 2; len <= n; len <<= 1) {
+      const double angle =
+          2.0 * std::numbers::pi / static_cast<double>(len) * (inv ? 1 : -1);
+      const std::complex<double> wlen(std::cos(angle), std::sin(angle));
       std::complex<double> w(1.0, 0.0);
       for (size_t j = 0; j < len / 2; ++j) {
-        const std::complex<double> u = a[i + j];
-        const std::complex<double> v = a[i + j + len / 2] * w;
-        a[i + j] = u + v;
-        a[i + j + len / 2] = u - v;
+        out.push_back(w);
         w *= wlen;
       }
     }
+  }
+  return plan;
+}
+
+}  // namespace
+
+const FftPlan& GetFftPlan(size_t n) {
+  IPS_CHECK(n >= 2 && (n & (n - 1)) == 0);
+  size_t k = 0;
+  for (size_t p = n; p > 1; p >>= 1) ++k;
+  std::atomic<const FftPlan*>& slot = g_fft_plans[k];
+  const FftPlan* plan = slot.load(std::memory_order_acquire);
+  if (plan != nullptr) return *plan;
+  const FftPlan* fresh = BuildFftPlan(n);
+  const FftPlan* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;
+  return *expected;
+}
+
+void Fft(std::span<std::complex<double>> a, bool inverse) {
+  const size_t n = a.size();
+  IPS_CHECK((n & (n - 1)) == 0);
+  if (n <= 1) return;
+
+  const FftPlan& plan = GetFftPlan(n);
+
+  // Bit-reversal permutation.
+  for (const auto& [i, j] : plan.swaps) std::swap(a[i], a[j]);
+
+  // Butterfly stages, reading the precomputed per-stage twiddle chain. The
+  // arithmetic on a[] is operand-for-operand the historic loop's.
+  const std::complex<double>* w_stage =
+      (inverse ? plan.inverse : plan.forward).data();
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < n; i += len) {
+      for (size_t j = 0; j < half; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + half] * w_stage[j];
+        a[i + j] = u + v;
+        a[i + j + half] = u - v;
+      }
+    }
+    w_stage += half;
   }
 
   if (inverse) {

@@ -142,6 +142,16 @@ struct MetricPolicy {
   /// in the naive sliding-dots regime (never over FFT dots).
   simd::EabResult (*min_early_abandon)(const simd::EabArgs& args,
                                        simd::EabCounters& counters) = nullptr;
+  /// Whether the registered early-abandon kernel is expected to beat the
+  /// dense path. When false the engine's cost model routes min queries
+  /// straight to the dense kernels without entering the cascade (and skips
+  /// the cascade's per-query setup); the kernel itself stays registered and
+  /// directly callable, so tests and future bounds keep their hook. Cosine
+  /// sets this false: it has no admissible norm-based lower bound, so its
+  /// kernel can only Cauchy-Schwarz-abandon scan tails -- measured to prune
+  /// 0 of ~3.5M candidates while paying the scalar-scan penalty (~0.96x in
+  /// BENCH_eab.json).
+  bool eab_profitable = true;
 };
 
 /// The policy registered for `id`. Aborts on an out-of-range id.

@@ -120,8 +120,13 @@ CandidatePool GenerateCandidates(const Dataset& train,
     ParallelFor(tasks.size(), outer, [&](size_t t) {
       Task& task = tasks[t];
       // Per-task engine: its artefact caches span every window length of
-      // the task, and the task's sample storage outlives it.
+      // the task, and the task's sample storage outlives it. The scheduler
+      // knobs thread through from the run options (A/B parity runs and the
+      // fingerprint CI matrix pin them off).
       MatrixProfileEngine engine(inner);
+      engine.set_use_artifact_table(options.enable_mp_artifact_table);
+      engine.set_use_arena(options.enable_mp_arena);
+      engine.set_tile_size(options.mp_tile_size);
       for (size_t window : lengths) {
         if (min_length < window) continue;
         const InstanceProfile ip =

@@ -76,6 +76,24 @@ struct IpsRunStats {
   size_t mp_cache_hits = 0;
   size_t mp_cache_misses = 0;
 
+  /// Tiled all-pairs join scheduler accounting (docs/memory.md): immutable
+  /// artifact tables built by the parallel precompute pass / served again
+  /// from the engine's single-slot cache, entries materialised in those
+  /// tables, and pair contexts filled lock-free from a table instead of
+  /// the mutex-guarded caches.
+  size_t artifact_tables_built = 0;
+  size_t artifact_tables_reused = 0;
+  size_t artifact_entries = 0;
+  size_t artifact_reads = 0;
+
+  /// Scratch-arena traffic (util/scratch_arena.h): spans handed out of the
+  /// thread-local bump arenas, and the heap slabs (count / bytes) actually
+  /// allocated to back them -- flat after warmup, which is what makes the
+  /// sweep hot loop allocation-free.
+  size_t arena_acquires = 0;
+  size_t arena_slab_allocs = 0;
+  size_t arena_slab_bytes = 0;
+
   /// Persistent-pool activity over the run (deltas of the process-wide
   /// pool.* counters): regions dispatched to the pool, regions run inline
   /// (serial fast path or the nested-inline rule), indices executed inside

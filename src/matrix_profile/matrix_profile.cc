@@ -44,7 +44,6 @@ MatrixProfile SelfJoinProfile(std::span<const double> series, size_t window,
   // Row 0: dot products of window 0 against every window.
   std::vector<double> qt =
       InitialDots(series.subspan(0, window), series);
-  const std::vector<double> qt_first = qt;  // qt_first[j] = QT(0, j)
 
   auto update = [&](size_t i, size_t j, double qt_ij) {
     const size_t gap = i > j ? i - j : j - i;
@@ -65,12 +64,14 @@ MatrixProfile SelfJoinProfile(std::span<const double> series, size_t window,
   for (size_t j = 0; j < l; ++j) update(0, j, qt[j]);
 
   for (size_t i = 1; i < l; ++i) {
-    // STOMP recurrence, in-place right-to-left.
-    for (size_t j = l - 1; j >= 1; --j) {
+    // STOMP recurrence, in-place right-to-left. Only j > i is consumed
+    // (update() fills both directions), and advancing row i's cell j reads
+    // row i-1's cell j-1 >= i, so the strict upper triangle chains through
+    // itself: the lower triangle -- and the column-0 reseed that used to
+    // need a copy of the seed row -- is dead work.
+    for (size_t j = l - 1; j > i; --j) {
       qt[j] = StompAdvance(qt[j - 1], series, series, i, j, window);
     }
-    qt[0] = qt_first[i];  // QT(i, 0) = QT(0, i) by symmetry.
-    // Only j >= i is needed; update() fills both directions.
     for (size_t j = i + 1; j < l; ++j) update(i, j, qt[j]);
   }
   return mp;

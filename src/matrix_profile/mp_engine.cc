@@ -14,6 +14,7 @@
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
+#include "util/scratch_arena.h"
 
 namespace ips {
 
@@ -30,6 +31,13 @@ struct MpMetrics {
   obs::Counter& joins_halved;
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
+  // Artifact-table accounting: tables built / served again from the
+  // single-slot cache, entries materialised per build, and pair contexts
+  // filled lock-free from a table instead of the Cached* maps.
+  obs::Counter& artifact_builds;
+  obs::Counter& artifact_reuses;
+  obs::Counter& artifact_entries;
+  obs::Counter& artifact_reads;
   // Per-metric slice of qt_sweeps ("mp.qt_sweeps.<name>"); the total above
   // is always bumped too, keeping historic consumers intact.
   obs::Counter* sweeps_by_metric[kMetricCount];
@@ -43,6 +51,11 @@ MpMetrics& Metrics() {
                             registry.GetCounter("mp.joins_halved"),
                             registry.GetCounter("mp.cache_hits"),
                             registry.GetCounter("mp.cache_misses"),
+                            registry.GetCounter("engine.artifact_table.builds"),
+                            registry.GetCounter("engine.artifact_table.reuses"),
+                            registry.GetCounter(
+                                "engine.artifact_table.entries"),
+                            registry.GetCounter("engine.artifact_table.reads"),
                             {}};
     for (size_t i = 0; i < kMetricCount; ++i) {
       m->sweeps_by_metric[i] = &registry.GetCounter(
@@ -83,7 +96,38 @@ inline void UpdateMin(double d, size_t neighbor, double& val, size_t& idx) {
   }
 }
 
+// Rounds an element count of an 8-byte type up to a whole number of cache
+// lines, so consecutive carves out of one arena span never false-share.
+inline size_t RoundUpLane(size_t count) {
+  constexpr size_t kLane = ScratchArena::kAlign / sizeof(double);
+  return (count + kLane - 1) & ~(kLane - 1);
+}
+
+// Call-scoped scratch: a span out of `arena` when the arena path is on,
+// otherwise backed by the given heap vector (the A/B fresh-allocation
+// mode). Arena memory is uninitialised either way the callers fill it.
+template <typename T>
+std::span<T> CallScratch(ScratchArena& arena, bool use_arena,
+                         std::vector<T>& heap, size_t count) {
+  if (use_arena) return arena.Alloc<T>(count);
+  heap.resize(count);
+  return {heap.data(), heap.size()};
+}
+
+// Pair t of the lexicographic i<j enumeration over n series.
+inline size_t PairIndexOf(size_t n, size_t i, size_t j) {
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
 }  // namespace
+
+size_t ArtifactTable::entry_count() const {
+  size_t entries = stats.size() + energies.size();
+  for (const auto& f : fft_series) entries += f.empty() ? 0 : 1;
+  for (const auto& f : fft_query) entries += f.empty() ? 0 : 1;
+  for (const auto& s : seeds) entries += s.empty() ? 0 : 1;
+  return entries;
+}
 
 // ------------------------------------------------------------------- caches
 
@@ -217,7 +261,163 @@ MatrixProfileEngine::SweepContext MatrixProfileEngine::MakeContext(
   cx.self = self;
   cx.exclusion = exclusion;
   cx.want_b = want_b && !self;
+  cx.use_arena = use_arena_;
   return cx;
+}
+
+MatrixProfileEngine::SweepContext MatrixProfileEngine::MakeContextFromTable(
+    const ArtifactTable& table, size_t i, size_t j) const {
+  const MetricPolicy& policy = GetMetric(table.metric);
+  const size_t n = table.views.size();
+  SweepContext cx;
+  cx.a = table.views[i];
+  cx.b = table.views[j];
+  cx.window = table.window;
+  cx.la = cx.a.size() - table.window + 1;
+  cx.lb = cx.b.size() - table.window + 1;
+  cx.metric = table.metric;
+  if (policy.needs_rolling_stats) {
+    cx.stats_a = &table.stats[i];
+    cx.stats_b = &table.stats[j];
+  }
+  if (policy.needs_window_energy) {
+    cx.energy_a = &table.energies[i];
+    cx.energy_b = &table.energies[j];
+  }
+  cx.row0 = &table.seeds[i * n + j];
+  cx.col0 = &table.seeds[j * n + i];
+  cx.self = false;
+  cx.exclusion = 0;
+  cx.want_b = true;
+  cx.use_arena = use_arena_;
+  return cx;
+}
+
+bool MatrixProfileEngine::TableMatches(
+    const ArtifactTable& table, const std::vector<std::span<const double>>& views,
+    size_t window, MetricId metric) {
+  if (table.window != window || table.metric != metric ||
+      table.views.size() != views.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (table.views[i].data() != views[i].data() ||
+        table.views[i].size() != views[i].size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const ArtifactTable> MatrixProfileEngine::PrepareAllPairs(
+    const std::vector<std::span<const double>>& views, size_t window,
+    MetricId metric) {
+  IPS_CHECK(window >= 2);
+  for (const auto& v : views) IPS_CHECK(v.size() >= window);
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    if (table_ != nullptr && TableMatches(*table_, views, window, metric)) {
+      Metrics().artifact_reuses.Add(1);
+      table_reuses_.fetch_add(1, std::memory_order_relaxed);
+      return table_;
+    }
+  }
+  IPS_SPAN("mp_artifact_table");
+
+  auto table = std::make_shared<ArtifactTable>();
+  table->window = window;
+  table->metric = metric;
+  table->views = views;
+  const size_t n = views.size();
+  const MetricPolicy& policy = GetMetric(metric);
+  if (policy.needs_rolling_stats) table->stats.resize(n);
+  if (policy.needs_window_energy) table->energies.resize(n);
+
+  // Distinct padded sizes among FFT-regime seed targets (usually none:
+  // short windows use the naive seed kernel).
+  for (const auto& v : views) {
+    if (StompSeedUsesFft(window, v.size())) {
+      table->padded_sizes.push_back(NextPowerOfTwo(v.size() + window));
+    }
+  }
+  std::sort(table->padded_sizes.begin(), table->padded_sizes.end());
+  table->padded_sizes.erase(
+      std::unique(table->padded_sizes.begin(), table->padded_sizes.end()),
+      table->padded_sizes.end());
+  const size_t n_sizes = table->padded_sizes.size();
+  table->fft_series.resize(n_sizes == 0 ? 0 : n);
+  table->fft_query.resize(n * n_sizes);
+  table->seeds.resize(n * n);
+
+  // Pass A, parallel over series: per-window statistics, the series-side
+  // transform at the series' own padded size, and query-side (reversed
+  // first window) transforms at every size in play. Each fill is the same
+  // function the Cached* accessors run, so entries are bitwise identical
+  // to cache-served ones.
+  ParallelFor(n, num_threads_, [&](size_t i) {
+    if (policy.needs_rolling_stats) {
+      table->stats[i] = ComputeRollingStats(views[i], window);
+    }
+    if (policy.needs_window_energy) {
+      table->energies[i] = ComputeWindowEnergies(views[i], window);
+    }
+    if (n_sizes != 0) {
+      if (StompSeedUsesFft(window, views[i].size())) {
+        ForwardFftInto(views[i], NextPowerOfTwo(views[i].size() + window),
+                       /*reversed=*/false, table->fft_series[i]);
+      }
+      const auto query = views[i].subspan(0, window);
+      for (size_t k = 0; k < n_sizes; ++k) {
+        ForwardFftInto(query, table->padded_sizes[k], /*reversed=*/true,
+                       table->fft_query[i * n_sizes + k]);
+      }
+    }
+  });
+
+  // Pass B, parallel over ordered pairs (i, j), i != j: the row-0 /
+  // column-0 QT seeds, arithmetic identical to CachedSeedDots. The inverse
+  // transform's product buffer comes from the worker's arena.
+  if (n >= 2) {
+    const bool use_arena = use_arena_;
+    ParallelFor(n * (n - 1), num_threads_, [&](size_t k) {
+      const size_t i = k / (n - 1);
+      const size_t r = k % (n - 1);
+      const size_t j = r < i ? r : r + 1;
+      std::vector<double>& out = table->seeds[i * n + j];
+      const auto query = views[i].subspan(0, window);
+      const std::span<const double> y = views[j];
+      if (!StompSeedUsesFft(window, y.size())) {
+        out = SlidingDotProductsNaive(query, y);
+        return;
+      }
+      const size_t padded = NextPowerOfTwo(y.size() + window);
+      const size_t k_size =
+          std::lower_bound(table->padded_sizes.begin(),
+                           table->padded_sizes.end(), padded) -
+          table->padded_sizes.begin();
+      const auto& fs = table->fft_series[j];
+      const auto& fq = table->fft_query[i * n_sizes + k_size];
+      ScratchArena& arena = ScratchArena::ForCurrentThread();
+      const ScratchArena::Scope scope(arena);
+      std::vector<std::complex<double>> heap_prod;
+      std::span<std::complex<double>> prod =
+          CallScratch(arena, use_arena, heap_prod, padded);
+      for (size_t p = 0; p < padded; ++p) prod[p] = fs[p] * fq[p];
+      Fft(prod, /*inverse=*/true);
+      out.resize(y.size() - window + 1);
+      for (size_t p = 0; p < out.size(); ++p) {
+        out[p] = prod[window - 1 + p].real();
+      }
+    });
+  }
+
+  Metrics().artifact_builds.Add(1);
+  Metrics().artifact_entries.Add(table->entry_count());
+  table_builds_.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(table_mu_);
+  table_ = table;
+  return table;
 }
 
 size_t MatrixProfileEngine::DiagCount(const SweepContext& cx) {
@@ -239,8 +439,9 @@ size_t MatrixProfileEngine::DiagCells(const SweepContext& cx, size_t diag) {
   return std::min(cx.lb, cx.la - d);
 }
 
-std::vector<size_t> MatrixProfileEngine::ChunkDiagonals(const SweepContext& cx,
-                                                        size_t chunks) const {
+size_t MatrixProfileEngine::ChunkDiagonalsInto(const SweepContext& cx,
+                                               size_t chunks,
+                                               std::span<size_t> out) const {
   const size_t count = DiagCount(cx);
   size_t total = 0;
   for (size_t k = 0; k < count; ++k) total += DiagCells(cx, k);
@@ -249,34 +450,63 @@ std::vector<size_t> MatrixProfileEngine::ChunkDiagonals(const SweepContext& cx,
   // of microseconds), so small sweeps stay single-chunk (and take the
   // row-order fast path). Never affects results, only wall-clock.
   chunks = std::min(chunks, std::max<size_t>(1, total / min_cells_per_chunk_));
+  IPS_CHECK(out.size() >= chunks + 1);
 
   // Greedy cell-balanced boundaries. Chunk boundaries depend only on the
   // chunk count, and even that never affects results -- UpdateMin is
   // visit-order independent.
-  std::vector<size_t> bounds;
-  bounds.push_back(0);
+  size_t written = 0;
+  out[written++] = 0;
   const size_t target = (total + chunks - 1) / chunks;
   size_t acc = 0;
   for (size_t k = 0; k < count; ++k) {
     acc += DiagCells(cx, k);
-    if (acc >= target && bounds.size() < chunks) {
-      bounds.push_back(k + 1);
+    if (acc >= target && written < chunks) {
+      out[written++] = k + 1;
       acc = 0;
     }
   }
-  if (bounds.back() != count) bounds.push_back(count);
+  if (out[written - 1] != count) out[written++] = count;
+  return written;
+}
+
+std::vector<size_t> MatrixProfileEngine::ChunkDiagonals(const SweepContext& cx,
+                                                        size_t chunks) const {
+  std::vector<size_t> bounds(std::max<size_t>(chunks, 1) + 1);
+  bounds.resize(ChunkDiagonalsInto(cx, chunks, bounds));
   return bounds;
 }
 
+size_t MatrixProfileEngine::ResolveTileSize(size_t series_len, size_t window,
+                                            MetricId metric) const {
+#if defined(IPS_DISABLE_TILING)
+  return 1;
+#else
+  if (tile_size_ != 0) return tile_size_;
+  // Auto tile: a tile pairs two blocks of B series, and a sweep touches
+  // both blocks' values plus their per-window statistics. Target the two
+  // blocks fitting one core's last-level-cache share (~4 MiB) so a tile's
+  // B^2 sweeps hit warm lines; the per-pair QT seed rows stream regardless.
+  const MetricPolicy& policy = GetMetric(metric);
+  const size_t l = series_len - window + 1;
+  size_t doubles = series_len;
+  if (policy.needs_rolling_stats) doubles += 2 * l;  // means + stds
+  if (policy.needs_window_energy) doubles += l;
+  const size_t bytes_per_series = 8 * std::max<size_t>(doubles, 1);
+  constexpr size_t kCacheBudget = size_t{4} << 20;
+  const size_t b = kCacheBudget / (2 * bytes_per_series);
+  return std::clamp<size_t>(b, 2, 64);
+#endif
+}
+
 void MatrixProfileEngine::SweepPartial::Reset(const SweepContext& cx) {
-  a_val.assign(cx.la, kInf);
-  a_idx.assign(cx.la, kNoNeighbor);
+  IPS_CHECK(a_val.size() == cx.la && a_idx.size() == cx.la);
+  std::fill(a_val.begin(), a_val.end(), kInf);
+  std::fill(a_idx.begin(), a_idx.end(), kNoNeighbor);
   if (cx.want_b) {
-    b_val.assign(cx.lb, kInf);
-    b_idx.assign(cx.lb, kNoNeighbor);
-  } else {
-    b_val.clear();
-    b_idx.clear();
+    IPS_CHECK(b_val.size() == cx.lb && b_idx.size() == cx.lb);
+    std::fill(b_val.begin(), b_val.end(), kInf);
+    std::fill(b_idx.begin(), b_idx.end(), kNoNeighbor);
   }
 }
 
@@ -428,13 +658,23 @@ void MatrixProfileEngine::RowSweep(const SweepContext& cx, SweepPartial& p) {
   // fixed column target j the candidates i do too -- so first-strictly-
   // smaller-wins IS the serial tie rule. The tie-aware comparison is only
   // needed when chunk partials merge out of visit order.
-  std::vector<double> qt_row = *cx.row0;
+  // The QT and distance rows come from the worker's arena (an inner scope,
+  // so nested sweeps on the caller thread rewind exactly their own carves)
+  // -- or from a fresh heap vector in the A/B fresh-allocation mode. The
+  // arena only changes where the bytes live, never their values.
+  ScratchArena& arena = ScratchArena::ForCurrentThread();
+  const ScratchArena::Scope scope(arena);
+  std::vector<double> heap_rows;
+  const size_t qn = cx.row0->size();
+  std::span<double> rows =
+      CallScratch(arena, cx.use_arena, heap_rows, RoundUpLane(qn) + cx.lb);
+  std::span<double> qt_row = rows.subspan(0, qn);
+  std::copy(cx.row0->begin(), cx.row0->end(), qt_row.begin());
   double* const qt = qt_row.data();
   const std::vector<double>& col0 = *cx.col0;
   double* const av = p.a_val.data();
   size_t* const ai = p.a_idx.data();
-  std::vector<double> dist_row(cx.lb);
-  double* const dist = dist_row.data();
+  double* const dist = rows.data() + RoundUpLane(qn);
 
   if (cx.self) {
     const size_t l = cx.la;
@@ -528,7 +768,34 @@ void MatrixProfileEngine::RunSweep(const SweepContext& cx, size_t chunks,
 
   const std::vector<size_t> bounds = ChunkDiagonals(cx, chunks);
   const size_t parts = bounds.size() - 1;
-  std::vector<SweepPartial> partials(parts);
+
+  // Backing storage for the per-chunk partials: one flat carve out of the
+  // caller's arena (or heap vectors when the arena is off), sliced at
+  // cache-line strides so concurrent chunk writers never false-share.
+  ScratchArena& arena = ScratchArena::ForCurrentThread();
+  const ScratchArena::Scope scope(arena);
+  const size_t va = RoundUpLane(cx.la);
+  const size_t vb = cx.want_b ? RoundUpLane(cx.lb) : 0;
+  const size_t stride = va + vb;
+  std::vector<double> heap_vals;
+  std::vector<size_t> heap_idx;
+  std::vector<SweepPartial> heap_partials;
+  std::span<double> vals =
+      CallScratch(arena, cx.use_arena, heap_vals, parts * stride);
+  std::span<size_t> idxs =
+      CallScratch(arena, cx.use_arena, heap_idx, parts * stride);
+  std::span<SweepPartial> partials =
+      CallScratch(arena, cx.use_arena, heap_partials, parts);
+  for (size_t c = 0; c < parts; ++c) {
+    SweepPartial& p = *new (&partials[c]) SweepPartial();
+    p.a_val = vals.subspan(c * stride, cx.la);
+    p.a_idx = idxs.subspan(c * stride, cx.la);
+    if (cx.want_b) {
+      p.b_val = vals.subspan(c * stride + va, cx.lb);
+      p.b_idx = idxs.subspan(c * stride + va, cx.lb);
+    }
+  }
+
   if (parts == 1) {
     partials[0].Reset(cx);
     RowSweep(cx, partials[0]);
@@ -610,21 +877,30 @@ PairJoin MatrixProfileEngine::AbJoinBoth(std::span<const double> a,
 std::vector<PairJoin> MatrixProfileEngine::JoinAllPairs(
     const std::vector<std::span<const double>>& views, size_t window,
     MetricId metric) {
+  std::vector<PairJoin> joins;
+  JoinAllPairsInto(views, window, joins, metric);
+  return joins;
+}
+
+void MatrixProfileEngine::JoinAllPairsInto(
+    const std::vector<std::span<const double>>& views, size_t window,
+    std::vector<PairJoin>& joins, MetricId metric) {
   IPS_CHECK(window >= 2);
   for (const auto& v : views) IPS_CHECK(v.size() >= window);
 
-  std::vector<PairJoin> joins;
   const size_t n = views.size();
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      PairJoin pj;
-      pj.a = i;
-      pj.b = j;
-      joins.push_back(std::move(pj));
+  const size_t pair_count = n < 2 ? 0 : n * (n - 1) / 2;
+  joins.resize(pair_count);
+  if (pair_count == 0) return;
+  {
+    size_t t = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j, ++t) {
+        joins[t].a = i;
+        joins[t].b = j;
+      }
     }
   }
-  const size_t pair_count = joins.size();
-  if (pair_count == 0) return joins;
   IPS_SPAN("mp_join_all_pairs");
   sweeps_.fetch_add(pair_count, std::memory_order_relaxed);
   joins_.fetch_add(2 * pair_count, std::memory_order_relaxed);
@@ -633,70 +909,165 @@ std::vector<PairJoin> MatrixProfileEngine::JoinAllPairs(
   Metrics().joins_computed.Add(2 * pair_count);
   Metrics().joins_halved.Add(pair_count);
 
-  // Warm the metric's per-series statistics serially so concurrent pair
-  // setup below only ever hits (a racing double-compute would be harmless
-  // but wasted work).
-  const MetricPolicy& policy = GetMetric(metric);
-  for (const auto& v : views) {
-    if (policy.needs_rolling_stats) CachedStats(v, window);
-    if (policy.needs_window_energy) CachedEnergies(v, window);
+  // Phase 0: the batch's artifacts. Default: one immutable table built (or
+  // reused) by a parallel precompute pass; every pair context below then
+  // reads it lock-free by index. A/B fallback (use_artifact_table off):
+  // warm the historic mutex-guarded caches serially, as before.
+  std::shared_ptr<const ArtifactTable> table;
+  if (use_artifact_table_) {
+    table = PrepareAllPairs(views, window, metric);
+    Metrics().artifact_reads.Add(pair_count);
+  } else {
+    const MetricPolicy& policy = GetMetric(metric);
+    for (const auto& v : views) {
+      if (policy.needs_rolling_stats) CachedStats(v, window);
+      if (policy.needs_window_energy) CachedEnergies(v, window);
+    }
   }
 
-  // Phase 1, parallel over pairs: contexts (seed dot products are the
-  // per-pair setup cost) and per-pair chunk boundaries. With more threads
-  // than pairs, each pair's diagonals are split so every worker stays busy.
+  // All per-call setup -- contexts, chunk bounds, the tile order, work
+  // items and partial-minima storage -- is carved from the caller's arena
+  // under one scope (or heap vectors in the A/B fresh-allocation mode):
+  // the steady-state call performs no heap allocation at all.
+  const bool use_arena = use_arena_;
+  ScratchArena& arena = ScratchArena::ForCurrentThread();
+  const ScratchArena::Scope scope(arena);
+
+  // Phase 1, parallel over pairs: contexts (from the table or the caches),
+  // per-pair chunk boundaries and output profile buffers (assign reuses
+  // capacity on repeat batches). With more threads than pairs, each pair's
+  // diagonals are split so every worker stays busy.
   const size_t chunks_per_pair =
       pair_count >= num_threads_
           ? 1
           : (num_threads_ + pair_count - 1) / pair_count;
-  std::vector<SweepContext> contexts(pair_count);
-  std::vector<std::vector<size_t>> bounds(pair_count);
+  const size_t bstride = chunks_per_pair + 1;
+  std::vector<SweepContext> heap_contexts;
+  std::vector<size_t> heap_bounds;
+  std::vector<size_t> heap_parts;
+  std::span<SweepContext> contexts =
+      CallScratch(arena, use_arena, heap_contexts, pair_count);
+  std::span<size_t> bounds =
+      CallScratch(arena, use_arena, heap_bounds, pair_count * bstride);
+  std::span<size_t> parts =
+      CallScratch(arena, use_arena, heap_parts, pair_count);
   ParallelFor(pair_count, num_threads_, [&](size_t t) {
-    contexts[t] = MakeContext(views[joins[t].a], views[joins[t].b], window,
-                              metric, /*self=*/false, /*exclusion=*/0,
-                              /*want_b=*/true);
-    bounds[t] = ChunkDiagonals(contexts[t], chunks_per_pair);
-    joins[t].a_vs_b.values.assign(contexts[t].la, kInf);
-    joins[t].a_vs_b.indices.assign(contexts[t].la, kNoNeighbor);
-    joins[t].b_vs_a.values.assign(contexts[t].lb, kInf);
-    joins[t].b_vs_a.indices.assign(contexts[t].lb, kNoNeighbor);
+    SweepContext& cx = *new (&contexts[t]) SweepContext(
+        table != nullptr
+            ? MakeContextFromTable(*table, joins[t].a, joins[t].b)
+            : MakeContext(views[joins[t].a], views[joins[t].b], window,
+                          metric, /*self=*/false, /*exclusion=*/0,
+                          /*want_b=*/true));
+    parts[t] = ChunkDiagonalsInto(cx, chunks_per_pair,
+                                  bounds.subspan(t * bstride, bstride)) -
+               1;
+    joins[t].a_vs_b.values.assign(cx.la, kInf);
+    joins[t].a_vs_b.indices.assign(cx.la, kNoNeighbor);
+    joins[t].b_vs_a.values.assign(cx.lb, kInf);
+    joins[t].b_vs_a.indices.assign(cx.lb, kNoNeighbor);
   });
 
-  // Phase 2, parallel over (pair, chunk) work items with private partials.
+  // Tile-scheduled execution order: partition the series into blocks of B
+  // and emit each block pair's joins consecutively, so a tile's ~2B series
+  // (values + per-window statistics) stay cache-resident across its B^2
+  // sweeps instead of being evicted between lexicographically-distant
+  // pairs. Scheduling only: results land in the lexicographic joins slots
+  // and UpdateMin merges are visit-order independent, so output is bitwise
+  // identical for every tile size (set_tile_size(1) / -DIPS_DISABLE_TILING
+  // restore the historic order exactly).
+  std::vector<size_t> heap_order;
+  std::span<size_t> order = CallScratch(arena, use_arena, heap_order,
+                                        pair_count);
+  const size_t tile = ResolveTileSize(views[0].size(), window, metric);
+  if (tile >= 2 && tile < n) {
+    size_t pos = 0;
+    const size_t blocks = (n + tile - 1) / tile;
+    for (size_t bi = 0; bi < blocks; ++bi) {
+      const size_t ib = bi * tile;
+      const size_t ie = std::min(n, ib + tile);
+      for (size_t bj = bi; bj < blocks; ++bj) {
+        const size_t jb = bj * tile;
+        const size_t je = std::min(n, jb + tile);
+        for (size_t i = ib; i < ie; ++i) {
+          for (size_t j = std::max(jb, i + 1); j < je; ++j) {
+            order[pos++] = PairIndexOf(n, i, j);
+          }
+        }
+      }
+    }
+    IPS_CHECK(pos == pair_count);
+  } else {
+    for (size_t t = 0; t < pair_count; ++t) order[t] = t;
+  }
+
+  // Phase 2 layout: (pair, chunk) work items in tile order, each with a
+  // cache-line-strided slice of one flat partial-minima carve.
   struct WorkItem {
     size_t pair;
     size_t chunk;
   };
-  std::vector<WorkItem> items;
+  size_t item_count = 0;
+  size_t value_count = 0;
   for (size_t t = 0; t < pair_count; ++t) {
-    for (size_t c = 0; c + 1 < bounds[t].size(); ++c) {
-      items.push_back({t, c});
+    item_count += parts[t];
+    value_count +=
+        parts[t] * (RoundUpLane(contexts[t].la) + RoundUpLane(contexts[t].lb));
+  }
+  std::vector<WorkItem> heap_items;
+  std::vector<SweepPartial> heap_partials;
+  std::vector<double> heap_vals;
+  std::vector<size_t> heap_idx;
+  std::span<WorkItem> items =
+      CallScratch(arena, use_arena, heap_items, item_count);
+  std::span<SweepPartial> partials =
+      CallScratch(arena, use_arena, heap_partials, item_count);
+  std::span<double> vals = CallScratch(arena, use_arena, heap_vals,
+                                       value_count);
+  std::span<size_t> idxs = CallScratch(arena, use_arena, heap_idx,
+                                       value_count);
+  {
+    size_t pos = 0;
+    size_t off = 0;
+    for (size_t o = 0; o < pair_count; ++o) {
+      const size_t t = order[o];
+      const size_t va = RoundUpLane(contexts[t].la);
+      const size_t vb = RoundUpLane(contexts[t].lb);
+      for (size_t c = 0; c < parts[t]; ++c, ++pos, off += va + vb) {
+        new (&items[pos]) WorkItem{t, c};
+        SweepPartial& p = *new (&partials[pos]) SweepPartial();
+        p.a_val = vals.subspan(off, contexts[t].la);
+        p.a_idx = idxs.subspan(off, contexts[t].la);
+        p.b_val = vals.subspan(off + va, contexts[t].lb);
+        p.b_idx = idxs.subspan(off + va, contexts[t].lb);
+      }
     }
   }
-  std::vector<size_t> pair_parts(pair_count);
-  for (size_t t = 0; t < pair_count; ++t) pair_parts[t] = bounds[t].size() - 1;
-  std::vector<SweepPartial> partials(items.size());
-  ParallelFor(items.size(), num_threads_, [&](size_t w) {
+
+  // Phase 2, parallel over tile-ordered (pair, chunk) items with private
+  // partials.
+  ParallelFor(item_count, num_threads_, [&](size_t w) {
     const WorkItem& it = items[w];
     const SweepContext& cx = contexts[it.pair];
     partials[w].Reset(cx);
-    if (pair_parts[it.pair] == 1) {
+    if (parts[it.pair] == 1) {
       // Unsharded pair: the row-order fast path (bitwise identical to the
       // diagonal walk -- same seeds, same chained QT values).
       RowSweep(cx, partials[w]);
     } else {
-      SweepDiagonals(cx, bounds[it.pair][it.chunk],
-                     bounds[it.pair][it.chunk + 1], partials[w]);
+      SweepDiagonals(cx, bounds[it.pair * bstride + it.chunk],
+                     bounds[it.pair * bstride + it.chunk + 1], partials[w]);
     }
   });
 
-  // Phase 3, serial merge in original (pair, chunk) order.
-  for (size_t w = 0; w < items.size(); ++w) {
+  // Phase 3, serial merge in deterministic item order. Each pair's chunks
+  // merge into that pair's own slots and UpdateMin is visit-order
+  // independent, so the tile order changes nothing against the historic
+  // lexicographic merge.
+  for (size_t w = 0; w < item_count; ++w) {
     const WorkItem& it = items[w];
     MergePartial(contexts[it.pair], partials[w], joins[it.pair].a_vs_b,
                  &joins[it.pair].b_vs_a);
   }
-  return joins;
 }
 
 // ------------------------------------------------------- instrumentation
@@ -708,6 +1079,8 @@ MpEngineCounters MatrixProfileEngine::counters() const {
   c.joins_halved = halved_.load(std::memory_order_relaxed);
   c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   c.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  c.table_builds = table_builds_.load(std::memory_order_relaxed);
+  c.table_reuses = table_reuses_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -717,9 +1090,15 @@ void MatrixProfileEngine::ResetCounters() {
   halved_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
   cache_misses_.store(0, std::memory_order_relaxed);
+  table_builds_.store(0, std::memory_order_relaxed);
+  table_reuses_.store(0, std::memory_order_relaxed);
 }
 
 void MatrixProfileEngine::ClearCaches() {
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    table_.reset();
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.clear();

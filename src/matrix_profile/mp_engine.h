@@ -48,6 +48,7 @@
 #include <atomic>
 #include <complex>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -60,6 +61,53 @@
 
 namespace ips {
 
+/// Whether the cache-blocking tile scheduler is compiled in
+/// (-DIPS_DISABLE_TILING pins the historic lexicographic pair order).
+#if defined(IPS_DISABLE_TILING)
+inline constexpr bool kTilingCompiledIn = false;
+#else
+inline constexpr bool kTilingCompiledIn = true;
+#endif
+
+/// Immutable, index-addressed artifacts of one all-pairs batch: everything
+/// the O(N^2) pair loop reads, precomputed by PrepareAllPairs in one
+/// parallel pass so the loop itself is lock-free -- contexts address
+/// artifacts by batch index instead of going through the mutex-guarded
+/// Cached* maps. Each entry's arithmetic is identical to the corresponding
+/// Cached* fill, so table-served joins are bitwise equal to cache-served
+/// ones.
+///
+/// Lifetime (docs/memory.md): the table borrows the batch's series storage
+/// via spans and owns everything else. Consumers hold it by shared_ptr, so
+/// a table stays valid through its sweeps even if a new batch replaces the
+/// engine's retained copy; ClearCaches() drops the engine's reference.
+struct ArtifactTable {
+  size_t window = 0;
+  MetricId metric = MetricId::kZNormEuclidean;
+  std::vector<std::span<const double>> views;
+  /// Per-series rolling mean/std windows (needs_rolling_stats metrics).
+  std::vector<RollingStats> stats;
+  /// Per-series window energies (needs_window_energy metrics).
+  std::vector<std::vector<double>> energies;
+  /// Distinct padded FFT sizes among the batch's FFT-regime targets,
+  /// sorted. Empty at short windows (the naive-seed regime).
+  std::vector<size_t> padded_sizes;
+  /// Forward transform of series i zero-padded to ITS target size
+  /// NextPowerOfTwo(len_i + window); empty when series i is never an
+  /// FFT-regime target.
+  std::vector<std::vector<std::complex<double>>> fft_series;
+  /// fft_query[i * padded_sizes.size() + k]: forward transform of series
+  /// i's reversed first window, zero-padded to padded_sizes[k].
+  std::vector<std::vector<std::complex<double>>> fft_query;
+  /// seeds[i * views.size() + j], i != j: sliding dot products of series
+  /// i's first window against every window of series j -- the row-0 /
+  /// column-0 QT seeds. Diagonal entries stay empty.
+  std::vector<std::vector<double>> seeds;
+
+  /// Number of materialised artifact entries (counter fodder).
+  size_t entry_count() const;
+};
+
 /// Monotonic instrumentation counters (snapshot via counters()).
 struct MpEngineCounters {
   size_t joins_computed = 0;  ///< directed join profiles produced
@@ -67,6 +115,8 @@ struct MpEngineCounters {
   size_t joins_halved = 0;    ///< joins served by a sweep's far side (saved)
   size_t cache_hits = 0;      ///< artefact-cache hits (stats/FFT/seed dots)
   size_t cache_misses = 0;    ///< artefact-cache misses (entry computed)
+  size_t table_builds = 0;    ///< artifact tables built by PrepareAllPairs
+  size_t table_reuses = 0;    ///< PrepareAllPairs calls served by the slot
 };
 
 /// Both directions of one unordered AB-join: `a_vs_b` annotates windows of
@@ -129,13 +179,52 @@ class MatrixProfileEngine {
 
   /// Every unordered pair (i < j) of `views`, each computed once via the
   /// pair-symmetric sweep, sharded over threads with per-chunk scratch and
-  /// a serial original-order merge. Result t covers the t-th pair of the
+  /// a serial deterministic merge. Result t covers the t-th pair of the
   /// lexicographic (i, j) enumeration; all profiles are bitwise identical
-  /// to the serial AbJoinProfile in both directions, for any thread count.
-  /// Requires every view to be at least `window` long.
+  /// to the serial AbJoinProfile in both directions, for any thread count,
+  /// tile size or artifact/arena setting. Requires every view to be at
+  /// least `window` long.
   std::vector<PairJoin> JoinAllPairs(
       const std::vector<std::span<const double>>& views, size_t window,
       MetricId metric = MetricId::kZNormEuclidean);
+
+  /// JoinAllPairs writing into `joins`: profiles reuse whatever capacity
+  /// `joins` already holds, so repeat batches of the same shape perform no
+  /// output allocations (the serving-loop form). Same results, bitwise.
+  void JoinAllPairsInto(const std::vector<std::span<const double>>& views,
+                        size_t window, std::vector<PairJoin>& joins,
+                        MetricId metric = MetricId::kZNormEuclidean);
+
+  /// Builds (or reuses) the batch's immutable artifact table in one
+  /// parallel precompute pass: per-series statistics, forward FFTs and all
+  /// ordered-pair QT seeds. The engine retains the most recent table and
+  /// JoinAllPairs reuses it when views/window/metric match, so calling
+  /// this up front moves the whole artifact cost out of the join. The
+  /// returned shared_ptr stays valid regardless of later calls.
+  std::shared_ptr<const ArtifactTable> PrepareAllPairs(
+      const std::vector<std::span<const double>>& views, size_t window,
+      MetricId metric = MetricId::kZNormEuclidean);
+
+  /// Routes JoinAllPairs through the lock-free artifact table (default) or
+  /// the historic mutex-guarded Cached* accessors. A/B knob: results are
+  /// bitwise identical either way.
+  void set_use_artifact_table(bool on) { use_artifact_table_ = on; }
+  bool use_artifact_table() const { return use_artifact_table_; }
+
+  /// Serves sweep scratch (QT rows, distance rows, partial minima, setup
+  /// tables) from thread-local ScratchArenas (default) or from fresh heap
+  /// vectors. A/B knob: results are bitwise identical either way.
+  void set_use_arena(bool on) { use_arena_ = on; }
+  bool use_arena() const { return use_arena_; }
+
+  /// Cache-blocking tile width of the all-pairs schedule, in series:
+  /// 0 auto-tunes from series length (the default), 1 disables tiling (the
+  /// historic lexicographic order), B >= 2 processes B*B pair tiles so a
+  /// tile's artifacts stay L2/L3-resident across its sweeps. Scheduling
+  /// only -- results are bitwise identical for every value. Compiled out
+  /// (pinned to 1) by -DIPS_DISABLE_TILING.
+  void set_tile_size(size_t b) { tile_size_ = b; }
+  size_t tile_size() const { return tile_size_; }
 
   MpEngineCounters counters() const;
   void ResetCounters();
@@ -203,16 +292,20 @@ class MatrixProfileEngine {
     bool self = false;      // a and b are the same series
     size_t exclusion = 0;   // self-join trivial-match half-width
     bool want_b = true;     // collect column minima (the b-side profile)
+    bool use_arena = true;  // serve sweep scratch from the thread arena
   };
 
-  /// Running minima for (a chunk of) one sweep. The merge rule -- smaller
-  /// value wins, bitwise-equal values go to the smaller neighbour index --
-  /// is visit-order independent, so chunk boundaries never affect results.
+  /// Running minima for (a chunk of) one sweep, viewing storage owned by
+  /// the caller (arena carve or heap vector). Trivially destructible, so
+  /// whole arrays of partials live in arena memory. The merge rule --
+  /// smaller value wins, bitwise-equal values go to the smaller neighbour
+  /// index -- is visit-order independent, so chunk boundaries never affect
+  /// results.
   struct SweepPartial {
-    std::vector<double> a_val;
-    std::vector<size_t> a_idx;
-    std::vector<double> b_val;  // unused for self joins / want_b == false
-    std::vector<size_t> b_idx;
+    std::span<double> a_val;
+    std::span<size_t> a_idx;
+    std::span<double> b_val;  // empty for self joins / want_b == false
+    std::span<size_t> b_idx;
     void Reset(const SweepContext& cx);
   };
 
@@ -232,6 +325,17 @@ class MatrixProfileEngine {
   SweepContext MakeContext(std::span<const double> a, std::span<const double> b,
                            size_t window, MetricId metric, bool self,
                            size_t exclusion, bool want_b);
+
+  /// Builds the sweep context for batch pair (i, j) by indexing the
+  /// artifact table -- no locks, no cache lookups.
+  SweepContext MakeContextFromTable(const ArtifactTable& table, size_t i,
+                                    size_t j) const;
+
+  /// True when `table` serves exactly this batch (same series storage,
+  /// window and metric).
+  static bool TableMatches(const ArtifactTable& table,
+                           const std::vector<std::span<const double>>& views,
+                           size_t window, MetricId metric);
 
   /// Walks diagonals [diag_begin, diag_end) of the sweep, updating the
   /// partial. Diagonal indices enumerate c = index - (la - 1) for AB pairs
@@ -262,6 +366,19 @@ class MatrixProfileEngine {
   std::vector<size_t> ChunkDiagonals(const SweepContext& cx,
                                      size_t chunks) const;
 
+  /// ChunkDiagonals writing its boundaries into `out` (capacity must be at
+  /// least chunks + 1); returns the number of boundaries written. The
+  /// allocation-free form the all-pairs loop uses.
+  size_t ChunkDiagonalsInto(const SweepContext& cx, size_t chunks,
+                            std::span<size_t> out) const;
+
+  /// The tile width the all-pairs schedule will use for this batch: the
+  /// explicit tile_size_ when set, otherwise auto-tuned so two tiles of
+  /// series (values + per-window statistics) fit in a last-level-cache
+  /// share. Always 1 (tiling off) under -DIPS_DISABLE_TILING.
+  size_t ResolveTileSize(size_t series_len, size_t window,
+                         MetricId metric) const;
+
   /// Merges a partial into the sweep's output profiles (serial).
   static void MergePartial(const SweepContext& cx, const SweepPartial& partial,
                            MatrixProfile& a_out, MatrixProfile* b_out);
@@ -272,6 +389,16 @@ class MatrixProfileEngine {
 
   size_t num_threads_;
   size_t min_cells_per_chunk_ = size_t{1} << 16;
+  bool use_artifact_table_ = true;
+  bool use_arena_ = true;
+  size_t tile_size_ = 0;  // 0 = auto, 1 = off, >= 2 explicit
+
+  // Most recent all-pairs artifact table (single-slot: candidate
+  // generation re-joins the same sample across candidate work, and
+  // serving loops re-batch identical views). Consumers hold shared_ptrs,
+  // so replacing or clearing the slot never invalidates a running sweep.
+  mutable std::mutex table_mu_;
+  std::shared_ptr<const ArtifactTable> table_;
 
   mutable std::mutex stats_mu_;
   std::unordered_map<SeriesKey, RollingStats, SeriesKeyHash> stats_;
@@ -296,6 +423,8 @@ class MatrixProfileEngine {
   std::atomic<size_t> halved_{0};
   std::atomic<size_t> cache_hits_{0};
   std::atomic<size_t> cache_misses_{0};
+  std::atomic<size_t> table_builds_{0};
+  std::atomic<size_t> table_reuses_{0};
 };
 
 }  // namespace ips

@@ -1,0 +1,89 @@
+#include "util/scratch_arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace ips {
+namespace {
+
+// Arena traffic, surfaced through IpsRunStats / exp_table5_breakdown.
+// `acquires` counts spans handed out; `slab_allocs` / `slab_bytes` count
+// actual heap growth -- flat after warmup is the whole point.
+struct ArenaMetrics {
+  obs::Counter& acquires;
+  obs::Counter& slab_allocs;
+  obs::Counter& slab_bytes;
+};
+
+ArenaMetrics& Metrics() {
+  static ArenaMetrics m{
+      obs::MetricsRegistry::Instance().GetCounter("engine.arena.acquires"),
+      obs::MetricsRegistry::Instance().GetCounter("engine.arena.slab_allocs"),
+      obs::MetricsRegistry::Instance().GetCounter("engine.arena.slab_bytes"),
+  };
+  return m;
+}
+
+constexpr size_t kMinSlabBytes = size_t{64} * 1024;
+
+size_t RoundUpToAlign(size_t bytes) {
+  return (bytes + ScratchArena::kAlign - 1) & ~(ScratchArena::kAlign - 1);
+}
+
+}  // namespace
+
+ScratchArena& ScratchArena::ForCurrentThread() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+void* ScratchArena::AllocBytes(size_t bytes) {
+  bytes = RoundUpToAlign(std::max<size_t>(bytes, 1));
+  Metrics().acquires.Add(1);
+  while (true) {
+    if (slab_ < slabs_.size()) {
+      Slab& s = slabs_[slab_];
+      if (s.size - offset_ >= bytes) {
+        void* p = s.base + offset_;
+        offset_ += bytes;
+        return p;
+      }
+      // Skip to the next (always at-least-as-large) slab; the tail of the
+      // current one is dead until the enclosing Scope rewinds past it.
+      if (slab_ + 1 < slabs_.size()) {
+        ++slab_;
+        offset_ = 0;
+        continue;
+      }
+    }
+    // Grow: doubling keeps total slab count logarithmic in peak demand.
+    const size_t last = slabs_.empty() ? 0 : slabs_.back().size;
+    const size_t size = std::max({bytes, 2 * last, kMinSlabBytes});
+    Slab s;
+    s.storage = std::make_unique<std::byte[]>(size + kAlign);
+    const auto raw = reinterpret_cast<uintptr_t>(s.storage.get());
+    s.base = s.storage.get() + (RoundUpToAlign(raw) - raw);
+    s.size = size;
+    Metrics().slab_allocs.Add(1);
+    Metrics().slab_bytes.Add(size + kAlign);
+    slabs_.push_back(std::move(s));
+    slab_ = slabs_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+size_t ScratchArena::capacity_bytes() const {
+  size_t total = 0;
+  for (const Slab& s : slabs_) total += s.size;
+  return total;
+}
+
+void ScratchArena::ReleaseSlabs() {
+  slabs_.clear();
+  slab_ = 0;
+  offset_ = 0;
+}
+
+}  // namespace ips

@@ -1,0 +1,116 @@
+// Thread-local bump/reuse scratch arenas for the hot join paths.
+//
+// The matrix-profile sweeps used to allocate fresh std::vectors for every
+// QT row, distance row and partial-minima buffer -- at 8+ threads the
+// allocator (not the SIMD kernels) becomes the bottleneck of the O(N^2)
+// all-pairs join (docs/memory.md). A ScratchArena replaces those with bump
+// allocation out of thread-owned slabs that persist across parallel
+// regions: the first sweep on a thread grows the slabs, every later sweep
+// reuses them without touching malloc.
+//
+// Ownership model (the PR 4 pool contract): ParallelFor regions run on the
+// persistent process-wide pool, whose worker threads are stable for the
+// process lifetime. `ForCurrentThread()` therefore hands each pool worker
+// (and the caller thread, which participates as slot 0) one arena that
+// lives as long as the thread does -- "bound to the worker slot" without
+// any slot bookkeeping. An arena is only ever *cursor-manipulated* by its
+// owning thread; handing an allocated span's MEMORY to other threads (the
+// per-chunk partial buffers of a join, written by workers and merged by
+// the caller) is fine because the owning thread's Scope outlives the
+// parallel region, and the region join/dispatch edges order the accesses.
+//
+// Scopes nest: a work item executed inline on the caller (the pool's
+// nested-inline rule) opens an inner Scope after the call-level setup
+// spans and rewinds exactly its own allocations.
+//
+// Every span is 64-byte aligned and 64-byte granular, so two consecutive
+// allocations never share a cache line -- adjacent per-chunk partials can
+// be written by different workers without false sharing.
+
+#ifndef IPS_UTIL_SCRATCH_ARENA_H_
+#define IPS_UTIL_SCRATCH_ARENA_H_
+
+#include <cstddef>
+
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace ips {
+
+class ScratchArena {
+ public:
+  /// Cache-line alignment and granularity of every allocation.
+  static constexpr size_t kAlign = 64;
+
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// The calling thread's arena. Stable for the thread's lifetime; pool
+  /// workers are persistent, so their arenas warm up once per process.
+  static ScratchArena& ForCurrentThread();
+
+  /// RAII cursor mark: restores the arena to its construction-time cursor,
+  /// releasing (for reuse, not to the heap) everything allocated since.
+  /// Spans allocated inside the scope are dead once it ends.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena)
+        : arena_(arena), slab_(arena.slab_), offset_(arena.offset_) {}
+    ~Scope() {
+      arena_.slab_ = slab_;
+      arena_.offset_ = offset_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    size_t slab_;
+    size_t offset_;
+  };
+
+  /// An uninitialised span of `count` Ts, valid until the enclosing Scope
+  /// ends (or Reset()). T must be trivially destructible -- nothing runs
+  /// when the cursor rewinds. Callers must write before reading; non-
+  /// trivially-default-constructible Ts want placement new per element.
+  template <typename T>
+  std::span<T> Alloc(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    static_assert(alignof(T) <= kAlign);
+    return {static_cast<T*>(AllocBytes(count * sizeof(T))), count};
+  }
+
+  /// Rewinds the cursor to empty without freeing slabs.
+  void Reset() {
+    slab_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes of slab capacity currently held (monotone per thread
+  /// until ReleaseSlabs).
+  size_t capacity_bytes() const;
+
+  /// Returns all slabs to the heap (tests; the cursor must be at a point
+  /// where no live spans exist).
+  void ReleaseSlabs();
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> storage;
+    std::byte* base = nullptr;  // 64-byte-aligned into storage
+    size_t size = 0;            // usable bytes from base
+  };
+
+  void* AllocBytes(size_t bytes);
+
+  std::vector<Slab> slabs_;
+  size_t slab_ = 0;    // current slab index (may be == slabs_.size())
+  size_t offset_ = 0;  // bump cursor within the current slab
+};
+
+}  // namespace ips
+
+#endif  // IPS_UTIL_SCRATCH_ARENA_H_

@@ -136,5 +136,72 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<size_t, size_t>{100, 101},
                       std::pair<size_t, size_t>{128, 1000}));
 
+// The pre-plan iterative FFT, verbatim: bit-reversal computed in the loop
+// and the per-stage twiddle chain (w = 1; w *= wlen) restarted for every
+// i-block. The plan cache must reproduce this BITWISE -- the twiddle chain
+// of a stage is i-block independent, so storing one chain per stage and
+// replaying it yields operand-identical butterflies. Discovery
+// fingerprints across builds depend on this staying exact.
+void ReferenceFft(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  if (n <= 1) return;
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : a) v /= static_cast<double>(n);
+  }
+}
+
+TEST(FftPlanTest, BitwiseIdenticalToInlineTwiddleLoop) {
+  for (size_t n = 2; n <= 1024; n <<= 1) {
+    for (bool inverse : {false, true}) {
+      Rng rng(7 + n + (inverse ? 1 : 0));
+      std::vector<std::complex<double>> a(n);
+      for (auto& v : a) v = {rng.Gaussian(), rng.Gaussian()};
+      auto expected = a;
+      ReferenceFft(expected, inverse);
+      auto actual = a;
+      Fft(actual, inverse);
+      for (size_t i = 0; i < n; ++i) {
+        // Exact equality, not NEAR: same operands, same operation order.
+        ASSERT_EQ(actual[i].real(), expected[i].real())
+            << "n=" << n << " inverse=" << inverse << " i=" << i;
+        ASSERT_EQ(actual[i].imag(), expected[i].imag())
+            << "n=" << n << " inverse=" << inverse << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FftPlanTest, PlanIsCachedPerSize) {
+  const FftPlan& p1 = GetFftPlan(256);
+  const FftPlan& p2 = GetFftPlan(256);
+  EXPECT_EQ(&p1, &p2);
+  EXPECT_EQ(p1.n, 256u);
+  EXPECT_EQ(p1.forward.size(), 255u);  // sum over stages of len/2 chains
+  EXPECT_EQ(p1.inverse.size(), 255u);
+  const FftPlan& q = GetFftPlan(512);
+  EXPECT_NE(&p1, &q);
+}
+
 }  // namespace
 }  // namespace ips

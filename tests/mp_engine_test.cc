@@ -189,7 +189,10 @@ TEST(MpEngineCountersTest, PairSymmetryHalvesJoins) {
   for (size_t n : {80u, 80u, 80u}) series.push_back(RandomWalk(rng, n));
   std::vector<std::span<const double>> views(series.begin(), series.end());
 
+  // Legacy scheduling path: with the artifact table off, batches are fed
+  // by the mutex-guarded per-entry caches (kept for ad-hoc callers).
   MatrixProfileEngine engine(2);
+  engine.set_use_artifact_table(false);
   engine.JoinAllPairs(views, 10);
   const MpEngineCounters c = engine.counters();
   // 3 unordered pairs serve all 6 directed joins of the historic code.
@@ -197,6 +200,7 @@ TEST(MpEngineCountersTest, PairSymmetryHalvesJoins) {
   EXPECT_EQ(c.joins_computed, 6u);
   EXPECT_EQ(c.joins_halved, 3u);
   EXPECT_GT(c.cache_misses, 0u);
+  EXPECT_EQ(c.table_builds, 0u);
 
   // A second batch over the same views is served from the artefact caches.
   const size_t misses_before = c.cache_misses;
@@ -209,6 +213,30 @@ TEST(MpEngineCountersTest, PairSymmetryHalvesJoins) {
   const MpEngineCounters zero = engine.counters();
   EXPECT_EQ(zero.joins_computed, 0u);
   EXPECT_EQ(zero.cache_hits, 0u);
+
+  // Default path: the batch builds one immutable artifact table instead of
+  // touching the per-entry caches, and a repeat batch reuses it.
+  MatrixProfileEngine tabled(2);
+  tabled.JoinAllPairs(views, 10);
+  const MpEngineCounters t1 = tabled.counters();
+  EXPECT_EQ(t1.qt_sweeps, 3u);
+  EXPECT_EQ(t1.joins_computed, 6u);
+  EXPECT_EQ(t1.table_builds, 1u);
+  EXPECT_EQ(t1.table_reuses, 0u);
+  EXPECT_EQ(t1.cache_hits, 0u);
+  EXPECT_EQ(t1.cache_misses, 0u);
+
+  tabled.JoinAllPairs(views, 10);
+  const MpEngineCounters t2 = tabled.counters();
+  EXPECT_EQ(t2.table_builds, 1u);
+  EXPECT_EQ(t2.table_reuses, 1u);
+
+  // ClearCaches drops the retained table: the next batch rebuilds.
+  tabled.ClearCaches();
+  tabled.JoinAllPairs(views, 10);
+  const MpEngineCounters t3 = tabled.counters();
+  EXPECT_EQ(t3.table_builds, 2u);
+  EXPECT_EQ(t3.table_reuses, 1u);
 }
 
 TEST(MpEngineInstanceProfileTest, EngineMatchesSerialConstruction) {

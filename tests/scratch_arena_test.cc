@@ -1,0 +1,205 @@
+#include "util/scratch_arena.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "util/parallel.h"
+
+namespace ips {
+namespace {
+
+TEST(ScratchArenaTest, AllocIsAlignedAndSized) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  const std::span<double> a = arena.Alloc<double>(3);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % ScratchArena::kAlign, 0u);
+  const std::span<uint8_t> b = arena.Alloc<uint8_t>(1);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % ScratchArena::kAlign, 0u);
+}
+
+TEST(ScratchArenaTest, ConsecutiveAllocationsNeverShareACacheLine) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  // Sizes chosen to leave partial lines; the next span must start on a
+  // fresh line regardless (the no-false-sharing contract for per-chunk
+  // partial buffers written by different workers).
+  const std::span<double> a = arena.Alloc<double>(1);
+  const std::span<double> b = arena.Alloc<double>(7);
+  const std::span<double> c = arena.Alloc<double>(9);
+  const auto line = [](const void* p) {
+    return reinterpret_cast<uintptr_t>(p) / ScratchArena::kAlign;
+  };
+  EXPECT_LT(line(&a[0]), line(&b[0]));
+  EXPECT_LT(line(&b[6]), line(&c[0]));
+}
+
+TEST(ScratchArenaTest, ScopeRewindReusesMemory) {
+  ScratchArena arena;
+  double* first = nullptr;
+  {
+    ScratchArena::Scope scope(arena);
+    first = arena.Alloc<double>(100).data();
+  }
+  {
+    ScratchArena::Scope scope(arena);
+    // Same cursor, same slab: the rewound bytes are handed out again.
+    EXPECT_EQ(arena.Alloc<double>(100).data(), first);
+  }
+}
+
+TEST(ScratchArenaTest, ScopesNest) {
+  ScratchArena arena;
+  ScratchArena::Scope outer(arena);
+  const std::span<double> kept = arena.Alloc<double>(8);
+  kept[0] = 1.5;
+  double* inner_ptr = nullptr;
+  {
+    ScratchArena::Scope inner(arena);
+    const std::span<double> scratch = arena.Alloc<double>(8);
+    inner_ptr = scratch.data();
+    EXPECT_NE(scratch.data(), kept.data());
+  }
+  // The inner rewind freed only the inner allocation; the outer span is
+  // intact and the next inner-sized request reuses the inner bytes.
+  EXPECT_EQ(kept[0], 1.5);
+  {
+    ScratchArena::Scope inner(arena);
+    EXPECT_EQ(arena.Alloc<double>(8).data(), inner_ptr);
+  }
+}
+
+TEST(ScratchArenaTest, GrowthPreservesLiveSpans) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  // Force several slab growths while keeping earlier spans live: slabs are
+  // chained, never reallocated, so old spans stay valid.
+  std::vector<std::span<double>> spans;
+  for (size_t i = 0; i < 24; ++i) {
+    const size_t count = size_t{1} << (i % 12);
+    spans.push_back(arena.Alloc<double>(count));
+    for (size_t j = 0; j < count; ++j) {
+      spans.back()[j] = static_cast<double>(i * 1000 + j % 997);
+    }
+  }
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const size_t count = spans[i].size();
+    for (size_t j = 0; j < count; ++j) {
+      ASSERT_EQ(spans[i][j], static_cast<double>(i * 1000 + j % 997));
+    }
+  }
+  EXPECT_GT(arena.capacity_bytes(), 0u);
+}
+
+TEST(ScratchArenaTest, OversizedRequestGetsItsOwnSlab) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  arena.Alloc<double>(4);
+  // Far larger than the minimum slab: must still be served, aligned.
+  const std::span<double> big = arena.Alloc<double>(1 << 20);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(big.data()) % ScratchArena::kAlign,
+            0u);
+  big[0] = 1.0;
+  big[(1 << 20) - 1] = 2.0;
+  EXPECT_GE(arena.capacity_bytes(), (size_t{1} << 20) * sizeof(double));
+}
+
+TEST(ScratchArenaTest, CapacityIsStableAcrossReuse) {
+  ScratchArena arena;
+  for (int warm = 0; warm < 3; ++warm) {
+    ScratchArena::Scope scope(arena);
+    for (size_t i = 0; i < 16; ++i) arena.Alloc<double>(512);
+  }
+  const size_t warmed = arena.capacity_bytes();
+  for (int rep = 0; rep < 10; ++rep) {
+    ScratchArena::Scope scope(arena);
+    for (size_t i = 0; i < 16; ++i) arena.Alloc<double>(512);
+  }
+  // Steady state: identical request patterns never grow the slabs again.
+  EXPECT_EQ(arena.capacity_bytes(), warmed);
+  arena.Reset();
+  arena.ReleaseSlabs();
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+}
+
+TEST(ScratchArenaTest, ForCurrentThreadIsPerThread) {
+  ScratchArena* main_arena = &ScratchArena::ForCurrentThread();
+  EXPECT_EQ(main_arena, &ScratchArena::ForCurrentThread());
+  ScratchArena* other_arena = nullptr;
+  std::thread t([&] { other_arena = &ScratchArena::ForCurrentThread(); });
+  t.join();
+  EXPECT_NE(other_arena, nullptr);
+  EXPECT_NE(other_arena, main_arena);
+}
+
+// Stress: many tasks on the pool, each carving variably-sized spans from
+// its own thread's arena and checking a per-task fill pattern. Any
+// cross-thread cursor interference or span overlap corrupts a pattern.
+// Runs under the concurrency CTest label, so TSan sweeps it too.
+TEST(ScratchArenaStressTest, PoolWorkersNeverInterfere) {
+  constexpr size_t kTasks = 2000;
+  std::atomic<size_t> corrupted{0};
+  ParallelFor(kTasks, 8, [&](size_t task) {
+    ScratchArena& arena = ScratchArena::ForCurrentThread();
+    ScratchArena::Scope scope(arena);
+    Rng rng(task);
+    std::vector<std::span<uint64_t>> spans;
+    for (size_t k = 0; k < 8; ++k) {
+      const size_t count = 1 + static_cast<size_t>(rng.UniformInt(0, 511));
+      spans.push_back(arena.Alloc<uint64_t>(count));
+      for (size_t j = 0; j < count; ++j) {
+        spans.back()[j] = (task << 20) ^ (k << 12) ^ j;
+      }
+    }
+    for (size_t k = 0; k < spans.size(); ++k) {
+      for (size_t j = 0; j < spans[k].size(); ++j) {
+        if (spans[k][j] != ((task << 20) ^ (k << 12) ^ j)) {
+          corrupted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(corrupted.load(), 0u);
+}
+
+// Nested scopes under parallel regions: the caller carves cross-thread
+// buffers, workers carve their own scratch inside the region (the
+// JoinAllPairsInto shape), and the caller reads the buffers after the
+// join edge.
+TEST(ScratchArenaStressTest, CallerBuffersSurviveWorkerScratch) {
+  ScratchArena& caller = ScratchArena::ForCurrentThread();
+  for (int rep = 0; rep < 20; ++rep) {
+    ScratchArena::Scope scope(caller);
+    constexpr size_t kChunks = 64;
+    const std::span<double> partials = caller.Alloc<double>(kChunks * 8);
+    ParallelFor(kChunks, 4, [&](size_t c) {
+      ScratchArena& worker = ScratchArena::ForCurrentThread();
+      ScratchArena::Scope inner(worker);
+      const std::span<double> scratch = worker.Alloc<double>(256);
+      for (size_t j = 0; j < scratch.size(); ++j) {
+        scratch[j] = static_cast<double>(c + j);
+      }
+      double acc = 0.0;
+      for (double v : scratch) acc += v;
+      for (size_t j = 0; j < 8; ++j) partials[c * 8 + j] = acc;
+    });
+    for (size_t c = 0; c < kChunks; ++c) {
+      const double expected =
+          static_cast<double>(c) * 256.0 + 255.0 * 256.0 / 2.0;
+      for (size_t j = 0; j < 8; ++j) {
+        ASSERT_EQ(partials[c * 8 + j], expected) << "chunk " << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ips
