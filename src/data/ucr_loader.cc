@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -66,6 +67,19 @@ std::optional<Dataset> LoadUcrFile(const std::string& path) {
     out.Add(TimeSeries(std::move(values), label_map.at(raw)));
   }
   return out;
+}
+
+bool SaveUcrFile(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const TimeSeries& t = data[i];
+    out << t.label;
+    for (double v : t.values) out << '\t' << v;
+    out << '\n';
+  }
+  return static_cast<bool>(out);
 }
 
 std::optional<TrainTestSplit> LoadUcrDataset(const std::string& archive_dir,

@@ -24,6 +24,14 @@ std::optional<TrainTestSplit> LoadUcrDataset(const std::string& archive_dir,
 /// testing.
 std::optional<Dataset> LoadUcrFile(const std::string& path);
 
+/// Writes `data` as a single split file in the format LoadUcrFile reads:
+/// one labelled series per line, tab-separated, label first, doubles at
+/// max_digits10 so values round-trip bit-exactly. Dense non-negative
+/// labels survive the loader's sorted remap unchanged, so a saved dataset
+/// reloads identically -- the serving fixtures rely on this. Returns false
+/// on I/O failure.
+bool SaveUcrFile(const Dataset& data, const std::string& path);
+
 }  // namespace ips
 
 #endif  // IPS_DATA_UCR_LOADER_H_

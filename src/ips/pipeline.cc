@@ -187,6 +187,47 @@ void IpsClassifier::Fit(const Dataset& train) {
       result_.trace);
 }
 
+void IpsClassifier::FitFromRunResult(const Dataset& train,
+                                     const RunResult& artifact) {
+  IPS_CHECK_MSG(!artifact.shapelets.empty(), "run artifact has no shapelets");
+  IPS_CHECK(!train.empty());
+  engine_ = std::make_unique<DistanceEngine>(options_.num_threads);
+  engine_->set_early_abandon(options_.enable_early_abandon);
+  // The artifact's metric governs: its shapelet distances are only
+  // meaningful under the metric the run was discovered with.
+  options_.metric = artifact.metric;
+
+  const obs::MetricsSnapshot metrics_before =
+      obs::MetricsRegistry::Instance().Snapshot();
+  const obs::TraceSnapshot trace_before =
+      obs::TraceRegistry::Instance().Snapshot();
+  result_ = RunResult{};
+  result_.metric = artifact.metric;
+  result_.shapelets = artifact.shapelets;
+  {
+    IPS_SPAN("fit_from_artifact");
+    TransformedData transformed;
+    {
+      IPS_SPAN("transform");
+      transformed =
+          ShapeletTransform(train, result_.shapelets, options_.metric,
+                            options_.num_threads, engine_.get());
+    }
+    LabeledMatrix matrix;
+    matrix.x = std::move(transformed.features);
+    matrix.y = std::move(transformed.labels);
+    backend_ = MakeBackend(options_);
+    {
+      IPS_SPAN("backend_fit");
+      backend_->Fit(matrix);
+    }
+  }
+  result_.trace = obs::TraceRegistry::Instance().DeltaSince(trace_before);
+  result_.stats = IpsRunStats::FromRegistry(
+      obs::MetricsRegistry::Instance().DeltaSince(metrics_before),
+      result_.trace);
+}
+
 int IpsClassifier::Predict(const TimeSeries& series) const {
   IPS_CHECK(!result_.shapelets.empty());
   // The engine caches only shapelet-side artefacts here; the query series

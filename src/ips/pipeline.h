@@ -43,6 +43,16 @@ class IpsClassifier final : public SeriesClassifier {
   ~IpsClassifier() override;
 
   void Fit(const Dataset& train) override;
+
+  /// Rebuilds the classifier from a saved run artifact plus the training
+  /// set it was discovered on: discovery is skipped entirely (the
+  /// artifact's shapelets and metric are taken as-is, overriding
+  /// options.metric), the training set is shapelet-transformed and the
+  /// configured back-end refit. Deterministic in (artifact, train,
+  /// options); the serving layer's model-load path. Requires a non-empty
+  /// artifact shapelet set and training set.
+  void FitFromRunResult(const Dataset& train, const RunResult& artifact);
+
   int Predict(const TimeSeries& series) const override;
 
   /// Batched inference: one shapelet transform over the whole test set on

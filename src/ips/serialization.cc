@@ -1,7 +1,10 @@
 #include "ips/serialization.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <unistd.h>
 
 #include <fstream>
 #include <limits>
@@ -81,6 +84,12 @@ std::optional<std::vector<Subsequence>> DeserializeShapelets(
 
   size_t count = 0;
   if (!(in >> count)) return std::nullopt;
+  // Declared sizes are bounded by the bytes actually present before any
+  // allocation happens: every shapelet needs at least one line and every
+  // value at least two characters, so a header declaring more than the
+  // remaining text could ever hold is corrupt (a bit-flipped or hostile
+  // count must fail cleanly, not drive a multi-gigabyte resize).
+  if (count > text.size()) return std::nullopt;
 
   std::vector<Subsequence> out;
   out.reserve(count);
@@ -90,6 +99,7 @@ std::optional<std::vector<Subsequence>> DeserializeShapelets(
     if (!(in >> s.label >> s.series_index >> s.start >> length)) {
       return std::nullopt;
     }
+    if (length > text.size() / 2) return std::nullopt;
     s.values.resize(length);
     for (size_t j = 0; j < length; ++j) {
       if (!(in >> s.values[j])) return std::nullopt;
@@ -283,6 +293,28 @@ std::optional<RunResult> LoadRunResult(const std::string& path,
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return DeserializeRunResult(buffer.str(), error);
+}
+
+std::optional<RunResult> LoadRunResultFromFd(int fd, std::string* error) {
+  if (fd < 0) {
+    if (error != nullptr) *error = "invalid file descriptor";
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = std::string("read failed: ") + std::strerror(errno);
+      }
+      return std::nullopt;
+    }
+    text.append(buf, static_cast<size_t>(n));
+  }
+  return DeserializeRunResult(text, error);
 }
 
 }  // namespace ips

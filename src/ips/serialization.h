@@ -92,6 +92,15 @@ bool SaveRunResult(const RunResult& result, const std::string& path);
 std::optional<RunResult> LoadRunResult(const std::string& path,
                                        std::string* error = nullptr);
 
+/// Reads a run artifact from an already-open file descriptor (read to EOF;
+/// the fd is NOT closed). This is the serving layer's reload path: the
+/// registry opens the artifact itself (so it can apply O_NOFOLLOW-style
+/// policy) and hands the fd here, and socket-fed artifacts load without
+/// touching the filesystem. nullopt on read or parse failure, with the
+/// reason in `*error` when provided.
+std::optional<RunResult> LoadRunResultFromFd(int fd,
+                                             std::string* error = nullptr);
+
 }  // namespace ips
 
 #endif  // IPS_IPS_SERIALIZATION_H_

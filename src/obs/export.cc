@@ -64,6 +64,19 @@ JsonValue MetricsToJson(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+JsonValue HistogramStatsToJson(const HistogramSnapshot& snapshot) {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", snapshot.count);
+  out.Set("sum", snapshot.sum);
+  out.Set("mean", snapshot.count == 0
+                      ? 0.0
+                      : static_cast<double>(snapshot.sum) /
+                            static_cast<double>(snapshot.count));
+  out.Set("p50", snapshot.ValueAtQuantile(0.5));
+  out.Set("p99", snapshot.ValueAtQuantile(0.99));
+  return out;
+}
+
 JsonValue ReportToJson(const TraceReport& trace,
                        const MetricsSnapshot& metrics) {
   JsonValue out = JsonValue::Object();

@@ -31,6 +31,14 @@ std::optional<TraceReport> TraceFromJson(const JsonValue& json);
 
 JsonValue MetricsToJson(const MetricsSnapshot& snapshot);
 
+/// One histogram as summary statistics rather than buckets:
+///   {"count": N, "sum": S, "mean": M, "p50": Q, "p99": Q}
+/// (quantiles via HistogramSnapshot::ValueAtQuantile, so accurate to the
+/// power-of-two bucket width). The per-model latency blocks of the serve
+/// stats endpoint use this form; the full bucket form stays available
+/// through MetricsToJson.
+JsonValue HistogramStatsToJson(const HistogramSnapshot& snapshot);
+
 /// {"trace": ..., "metrics": ...} -- the top-level run/benchmark schema.
 JsonValue ReportToJson(const TraceReport& trace,
                        const MetricsSnapshot& metrics);

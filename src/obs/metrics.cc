@@ -2,6 +2,31 @@
 
 namespace ips::obs {
 
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile among `count` samples, 1-based; walk
+  // the buckets until the cumulative count reaches it.
+  const double rank = q * static_cast<double>(count - 1) + 1.0;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower = static_cast<double>(Histogram::BucketLowerBound(b));
+    // The open-ended last bucket has no width to interpolate across.
+    if (b + 1 == Histogram::kBuckets) return lower;
+    const double upper =
+        static_cast<double>(Histogram::BucketLowerBound(b + 1));
+    const double frac = (rank - before) / static_cast<double>(buckets[b]);
+    return lower + (upper - lower) * frac;
+  }
+  return static_cast<double>(
+      Histogram::BucketLowerBound(Histogram::kBuckets - 1));
+}
+
 MetricsRegistry& MetricsRegistry::Instance() {
   // Leaky: worker threads and atexit hooks may increment counters during
   // process teardown, after static destructors would have run.

@@ -98,6 +98,13 @@ struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;
   std::array<uint64_t, Histogram::kBuckets> buckets{};
+
+  /// Estimate of the value at quantile `q` in [0, 1] (0.5 = median,
+  /// 0.99 = p99), interpolated linearly within the power-of-two bucket the
+  /// rank falls in -- accurate to the bucket width, the resolution the
+  /// serving layer's p50/p99 latency export needs without storing raw
+  /// samples. 0 on an empty snapshot. `q` is clamped to [0, 1].
+  double ValueAtQuantile(double q) const;
 };
 
 /// Point-in-time copy of every registered metric. Ordered maps keep every

@@ -1,0 +1,153 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include <utility>
+
+namespace ips::serve {
+
+namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Connect(const std::string& host, int port, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    SetError(error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    SetError(error, "unparsable host \"" + host + "\"");
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    SetError(error, std::string("connect: ") + std::strerror(errno));
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+std::optional<Frame> Client::RoundTrip(const Frame& request,
+                                       std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return std::nullopt;
+  }
+  if (!WriteFrame(fd_, request, error)) return std::nullopt;
+  std::string read_error;
+  std::optional<Frame> reply = ReadFrame(fd_, &read_error);
+  if (!reply) {
+    SetError(error, read_error.empty() ? "connection closed" : read_error);
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<Frame> Client::Call(FrameOp op, std::vector<uint8_t> payload,
+                                  FrameOp expected, std::string* error) {
+  Frame request;
+  request.op = op;
+  request.payload = std::move(payload);
+  std::optional<Frame> reply = RoundTrip(request, error);
+  if (!reply) return std::nullopt;
+  if (reply->op == FrameOp::kError) {
+    ErrorFrame err;
+    SetError(error, DecodeErrorFrame(reply->payload, &err)
+                        ? "server: " + err.message
+                        : "server: undecodable error frame");
+    return std::nullopt;
+  }
+  if (reply->op != expected) {
+    SetError(error, "unexpected reply op " +
+                        std::to_string(static_cast<uint16_t>(reply->op)));
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<ClassifyResponse> Client::Classify(
+    const std::string& model, const std::vector<std::vector<double>>& batch,
+    std::string* error) {
+  ClassifyRequest req;
+  req.model = model;
+  req.series = batch;
+  std::optional<Frame> reply =
+      Call(FrameOp::kClassifyRequest, EncodeClassifyRequest(req),
+           FrameOp::kClassifyResponse, error);
+  if (!reply) return std::nullopt;
+  ClassifyResponse resp;
+  if (!DecodeClassifyResponse(reply->payload, &resp)) {
+    SetError(error, "undecodable classify response");
+    return std::nullopt;
+  }
+  return resp;
+}
+
+std::optional<uint32_t> Client::Reload(const std::string& model,
+                                       std::string* error) {
+  std::optional<Frame> reply =
+      Call(FrameOp::kReloadRequest, EncodeReloadRequest(ReloadRequest{model}),
+           FrameOp::kReloadResponse, error);
+  if (!reply) return std::nullopt;
+  ReloadResponse resp;
+  if (!DecodeReloadResponse(reply->payload, &resp)) {
+    SetError(error, "undecodable reload response");
+    return std::nullopt;
+  }
+  return resp.model_version;
+}
+
+std::optional<std::string> Client::Stats(std::string* error) {
+  std::optional<Frame> reply =
+      Call(FrameOp::kStatsRequest, {}, FrameOp::kStatsResponse, error);
+  if (!reply) return std::nullopt;
+  StatsResponse resp;
+  if (!DecodeStatsResponse(reply->payload, &resp)) {
+    SetError(error, "undecodable stats response");
+    return std::nullopt;
+  }
+  return resp.json;
+}
+
+std::optional<uint32_t> Client::Health(std::string* error) {
+  std::optional<Frame> reply =
+      Call(FrameOp::kHealthRequest, {}, FrameOp::kHealthResponse, error);
+  if (!reply) return std::nullopt;
+  HealthResponse resp;
+  if (!DecodeHealthResponse(reply->payload, &resp)) {
+    SetError(error, "undecodable health response");
+    return std::nullopt;
+  }
+  return resp.model_count;
+}
+
+}  // namespace ips::serve

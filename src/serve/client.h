@@ -1,0 +1,69 @@
+// Blocking client for the serve protocol: one connection, synchronous
+// request/response. Used by the bench/soak driver (bench_serve), the
+// protocol smoke tests, and as the reference for writing clients in other
+// languages (the protocol is fully specified in serve/protocol.h and
+// docs/serving.md).
+//
+// Error handling: every call returns nullopt on transport failure OR when
+// the server answered with an error frame; `*error` carries the reason
+// (prefixed "server:" for error frames). Not thread-safe -- one client per
+// thread, the serving model.
+
+#ifndef IPS_SERVE_CLIENT_H_
+#define IPS_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace ips::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  bool Connect(const std::string& host, int port,
+               std::string* error = nullptr);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Classifies a batch; the response carries the serving model version.
+  std::optional<ClassifyResponse> Classify(
+      const std::string& model, const std::vector<std::vector<double>>& batch,
+      std::string* error = nullptr);
+
+  /// Asks the server to hot-swap `model` from its recorded source.
+  /// Returns the new model version.
+  std::optional<uint32_t> Reload(const std::string& model,
+                                 std::string* error = nullptr);
+
+  /// The server's stats document (JSON, docs/serving.md schema).
+  std::optional<std::string> Stats(std::string* error = nullptr);
+
+  /// Health probe; returns the resident model count.
+  std::optional<uint32_t> Health(std::string* error = nullptr);
+
+  /// Sends a raw frame and returns the raw reply -- the escape hatch the
+  /// protocol tests use to exercise unknown ops and malformed payloads.
+  std::optional<Frame> RoundTrip(const Frame& request,
+                                 std::string* error = nullptr);
+
+ private:
+  /// RoundTrip + expect `op`; error frames and op mismatches fail.
+  std::optional<Frame> Call(FrameOp op, std::vector<uint8_t> payload,
+                            FrameOp expected, std::string* error);
+
+  int fd_ = -1;
+};
+
+}  // namespace ips::serve
+
+#endif  // IPS_SERVE_CLIENT_H_

@@ -1,0 +1,56 @@
+#include "serve/log_rotate.h"
+
+#include <cstdio>
+
+#include <utility>
+
+namespace ips::serve {
+
+RotatingLog::RotatingLog(std::string path, size_t max_bytes, int keep)
+    : path_(std::move(path)), max_bytes_(max_bytes), keep_(keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpenLocked();
+}
+
+void RotatingLog::OpenLocked() {
+  // ::ate (not just ::app) so tellp reports the existing size up front:
+  // rotation thresholds survive a daemon restart.
+  out_.open(path_, std::ios::app | std::ios::ate);
+  const auto pos = out_ ? out_.tellp() : std::ofstream::pos_type(0);
+  size_ = pos < 0 ? 0 : static_cast<size_t>(pos);
+}
+
+void RotatingLog::RotateLocked() {
+  out_.close();
+  if (keep_ <= 0) {
+    std::remove(path_.c_str());
+  } else {
+    std::remove((path_ + "." + std::to_string(keep_)).c_str());
+    for (int g = keep_ - 1; g >= 1; --g) {
+      std::rename((path_ + "." + std::to_string(g)).c_str(),
+                  (path_ + "." + std::to_string(g + 1)).c_str());
+    }
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+  }
+  out_.clear();
+  OpenLocked();
+}
+
+void RotatingLog::Append(std::string_view line) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  const size_t bytes = line.size() + 1;
+  if (size_ > 0 && size_ + bytes > max_bytes_) RotateLocked();
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.put('\n');
+  out_.flush();
+  size_ += bytes;
+}
+
+size_t RotatingLog::current_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+}  // namespace ips::serve

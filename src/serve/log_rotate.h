@@ -1,0 +1,56 @@
+// Size-rotated append-only log for the serve daemon's access lines.
+//
+// Append() adds one line (a trailing newline is supplied); when the file
+// would grow past `max_bytes` it is first rotated: path -> path.1 ->
+// path.2 ... path.<keep>, the oldest dropped. Rotation is by rename, so a
+// tail -F style follower re-opens naturally. All methods are thread-safe
+// (one mutex; the server logs from every connection thread). A
+// default-constructed log is disabled and Append() is a no-op.
+
+#ifndef IPS_SERVE_LOG_ROTATE_H_
+#define IPS_SERVE_LOG_ROTATE_H_
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ips::serve {
+
+class RotatingLog {
+ public:
+  /// Disabled log: Append() does nothing.
+  RotatingLog() = default;
+
+  /// Appends to `path`, rotating at `max_bytes` and keeping `keep` rotated
+  /// generations (path.1 .. path.keep) besides the live file. keep == 0
+  /// truncates on rotation instead of keeping history.
+  RotatingLog(std::string path, size_t max_bytes, int keep);
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Appends `line` + '\n', rotating first when the write would push the
+  /// live file past max_bytes. Lines longer than max_bytes are written
+  /// whole (one oversized generation beats silent loss).
+  void Append(std::string_view line);
+
+  /// Bytes currently in the live file (test visibility).
+  size_t current_size() const;
+
+ private:
+  void RotateLocked();
+  void OpenLocked();
+
+  std::string path_;
+  size_t max_bytes_ = 0;
+  int keep_ = 0;
+
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  size_t size_ = 0;
+};
+
+}  // namespace ips::serve
+
+#endif  // IPS_SERVE_LOG_ROTATE_H_

@@ -1,0 +1,325 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include <algorithm>
+#include <utility>
+
+#include "core/metric.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace ips::serve {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& connections;
+  obs::Counter& frames;
+  obs::Counter& errors;
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics* metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+    return new ServerMetrics{registry.GetCounter("serve.connections"),
+                             registry.GetCounter("serve.frames"),
+                             registry.GetCounter("serve.errors")};
+  }();
+  return *metrics;
+}
+
+Frame MakeError(ErrorCode code, std::string message) {
+  Metrics().errors.Add();
+  Frame frame;
+  frame.op = FrameOp::kError;
+  frame.payload = EncodeErrorFrame(ErrorFrame{code, std::move(message)});
+  return frame;
+}
+
+}  // namespace
+
+Server::Server(ModelRegistry* registry, ServerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      queue_(options_.queue),
+      access_log_(options_.access_log_path.empty()
+                      ? RotatingLog()
+                      : RotatingLog(options_.access_log_path,
+                                    options_.access_log_max_bytes,
+                                    options_.access_log_keep)) {}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start(std::string* error) {
+  int fd = -1;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what + ": " + std::strerror(errno);
+    }
+    if (fd >= 0) ::close(fd);
+    return false;
+  };
+
+  fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return fail("bind");
+  }
+  if (::listen(fd, SOMAXCONN) < 0) return fail("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return fail("getsockname");
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  port_ = ntohs(addr.sin_port);
+
+  started_ = std::chrono::steady_clock::now();
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() alone does not unblock accept() on all kernels; closing
+    // the fd does. The accept loop re-checks stopping_ on every wake.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // Stop() retired the socket
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket gone
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Metrics().connections.Add();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  for (;;) {
+    std::string read_error;
+    std::optional<Frame> request = ReadFrame(fd, &read_error);
+    if (!request) {
+      // Unrecoverable framing gets a parting error frame when the header
+      // itself was corrupt (best effort -- the peer may be gone).
+      if (!read_error.empty() && read_error != "connection closed mid-frame") {
+        WriteFrame(fd, MakeError(read_error == "unsupported protocol version"
+                                     ? ErrorCode::kUnsupportedVersion
+                                     : ErrorCode::kBadFrame,
+                                 read_error));
+      }
+      break;
+    }
+    Metrics().frames.Add();
+    const Frame reply = HandleFrame(*request);
+    if (!WriteFrame(fd, reply)) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+}
+
+Frame Server::HandleFrame(const Frame& request) {
+  switch (request.op) {
+    case FrameOp::kClassifyRequest:
+      return HandleClassify(request);
+    case FrameOp::kReloadRequest:
+      return HandleReload(request);
+    case FrameOp::kStatsRequest:
+      return HandleStats();
+    case FrameOp::kHealthRequest:
+      return HandleHealth();
+    default:
+      // Unknown or response-typed op: answer, keep the connection -- the
+      // framing is sound, only the op is not ours to serve.
+      access_log_.Append("op=" + std::to_string(uint16_t(request.op)) +
+                         " status=unknown_op");
+      return MakeError(ErrorCode::kUnknownOp,
+                       "unknown op " + std::to_string(uint16_t(request.op)));
+  }
+}
+
+Frame Server::HandleClassify(const Frame& request) {
+  ClassifyRequest req;
+  if (!DecodeClassifyRequest(request.payload, &req)) {
+    return MakeError(ErrorCode::kBadFrame, "malformed classify payload");
+  }
+  const auto logged_error = [&](ErrorCode code, const std::string& message) {
+    access_log_.Append("op=classify model=" + req.model +
+                       " n=" + std::to_string(req.series.size()) +
+                       " status=error msg=" + message);
+    return MakeError(code, message);
+  };
+  if (req.series.empty()) {
+    return logged_error(ErrorCode::kBadRequest, "empty classify batch");
+  }
+  for (const std::vector<double>& s : req.series) {
+    if (s.empty()) {
+      return logged_error(ErrorCode::kBadRequest, "empty series in batch");
+    }
+  }
+  const std::shared_ptr<const ServedModel> model = registry_->Get(req.model);
+  if (model == nullptr) {
+    return logged_error(ErrorCode::kUnknownModel,
+                        "unknown model \"" + req.model + "\"");
+  }
+
+  // Fan the batch into the admission queue one series at a time -- the
+  // queue re-coalesces across connections -- and reassemble in order. All
+  // futures resolve against the SAME model instance (captured above), so
+  // a concurrent hot-swap cannot split this response across versions.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<AdmissionQueue::Result>> futures;
+  futures.reserve(req.series.size());
+  for (std::vector<double>& s : req.series) {
+    futures.push_back(queue_.Submit(model, std::move(s)));
+  }
+  ClassifyResponse resp;
+  resp.model_version = model->version();
+  resp.labels.reserve(futures.size());
+  for (std::future<AdmissionQueue::Result>& f : futures) {
+    resp.labels.push_back(f.get().label);
+  }
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  access_log_.Append("op=classify model=" + req.model +
+                     " n=" + std::to_string(resp.labels.size()) +
+                     " version=" + std::to_string(resp.model_version) +
+                     " status=ok latency_us=" + std::to_string(us));
+
+  Frame reply;
+  reply.op = FrameOp::kClassifyResponse;
+  reply.payload = EncodeClassifyResponse(resp);
+  return reply;
+}
+
+Frame Server::HandleReload(const Frame& request) {
+  ReloadRequest req;
+  if (!DecodeReloadRequest(request.payload, &req)) {
+    return MakeError(ErrorCode::kBadFrame, "malformed reload payload");
+  }
+  std::string error;
+  const uint32_t version = registry_->Reload(req.model, &error);
+  if (version == 0) {
+    access_log_.Append("op=reload model=" + req.model + " status=error msg=" +
+                       error);
+    const bool unknown = error.rfind("unknown model", 0) == 0;
+    return MakeError(unknown ? ErrorCode::kUnknownModel
+                             : ErrorCode::kReloadFailed,
+                     error);
+  }
+  access_log_.Append("op=reload model=" + req.model +
+                     " version=" + std::to_string(version) + " status=ok");
+  Frame reply;
+  reply.op = FrameOp::kReloadResponse;
+  reply.payload = EncodeReloadResponse(ReloadResponse{version});
+  return reply;
+}
+
+std::string Server::StatsJson() const {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Instance().Snapshot();
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+
+  obs::JsonValue models = obs::JsonValue::Object();
+  for (const std::string& name : registry_->Names()) {
+    const std::shared_ptr<const ServedModel> model = registry_->Get(name);
+    if (model == nullptr) continue;
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("version", model->version());
+    entry.Set("metric", MetricName(model->metric()));
+    entry.Set("shapelets", model->shapelet_count());
+    entry.Set("train_size", model->train_size());
+    const uint64_t requests =
+        snapshot.CounterValue("serve." + name + ".requests");
+    entry.Set("requests", requests);
+    entry.Set("qps", uptime > 0.0 ? static_cast<double>(requests) / uptime
+                                  : 0.0);
+    const auto it = snapshot.histograms.find("serve." + name + ".latency_us");
+    entry.Set("latency_us", it == snapshot.histograms.end()
+                                ? obs::HistogramStatsToJson({})
+                                : obs::HistogramStatsToJson(it->second));
+    models.Set(name, std::move(entry));
+  }
+
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("uptime_seconds", uptime);
+  out.Set("connections", snapshot.CounterValue("serve.connections"));
+  out.Set("frames", snapshot.CounterValue("serve.frames"));
+  out.Set("errors", snapshot.CounterValue("serve.errors"));
+  const auto batches = snapshot.histograms.find("serve.batch_size");
+  out.Set("batch_size", batches == snapshot.histograms.end()
+                            ? obs::HistogramStatsToJson({})
+                            : obs::HistogramStatsToJson(batches->second));
+  out.Set("models", std::move(models));
+  return out.Dump();
+}
+
+Frame Server::HandleStats() {
+  Frame reply;
+  reply.op = FrameOp::kStatsResponse;
+  reply.payload = EncodeStatsResponse(StatsResponse{StatsJson()});
+  access_log_.Append("op=stats status=ok");
+  return reply;
+}
+
+Frame Server::HandleHealth() {
+  Frame reply;
+  reply.op = FrameOp::kHealthResponse;
+  reply.payload = EncodeHealthResponse(
+      HealthResponse{static_cast<uint32_t>(registry_->size())});
+  access_log_.Append("op=health status=ok");
+  return reply;
+}
+
+}  // namespace ips::serve

@@ -2,6 +2,8 @@
 // that are legal but pathological must not crash, and must degrade
 // gracefully.
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -186,6 +188,69 @@ TEST(EdgeCaseTest, DistanceProfileSingleWindow) {
   const auto profile = DistanceProfileRaw(q, s);
   ASSERT_EQ(profile.size(), 1u);
   EXPECT_NEAR(profile[0], 0.0, 1e-12);
+}
+
+// --------------------------------------------- PredictBatch degeneracies
+// The serving layer routes everything through PredictBatch, so its edge
+// shapes (empty batch, singleton batch, queries shorter than the longest
+// shapelet) are load-bearing beyond offline evaluation.
+
+class PredictBatchEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorSpec spec;
+    spec.name = "pb_edge";
+    spec.num_classes = 2;
+    spec.train_size = 12;
+    spec.test_size = 6;
+    spec.length = 64;
+    data_ = GenerateDataset(spec);
+    IpsOptions options;
+    options.sample_count = 4;
+    options.sample_size = 3;
+    options.length_ratios = {0.3};
+    options.shapelets_per_class = 3;
+    clf_ = std::make_unique<IpsClassifier>(options);
+    clf_->Fit(data_.train);
+  }
+
+  TrainTestSplit data_;
+  std::unique_ptr<IpsClassifier> clf_;
+};
+
+TEST_F(PredictBatchEdgeTest, EmptyBatchYieldsEmptyLabels) {
+  EXPECT_TRUE(clf_->PredictBatch(Dataset()).empty());
+}
+
+TEST_F(PredictBatchEdgeTest, SingleSeriesBatchMatchesPredict) {
+  Dataset one;
+  one.Add(data_.test[0]);
+  const std::vector<int> batch = clf_->PredictBatch(one);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], clf_->Predict(data_.test[0]));
+}
+
+TEST_F(PredictBatchEdgeTest, QueryShorterThanShapeletMatchesPredict) {
+  size_t longest = 0;
+  for (const Subsequence& s : clf_->result().shapelets) {
+    longest = std::max(longest, s.length());
+  }
+  ASSERT_GT(longest, 2u);
+  // Queries strictly shorter than the longest shapelet: the distance core
+  // role-swaps query and shapelet, so this is legal input and must agree
+  // with the per-series path.
+  Dataset shorties;
+  for (size_t i = 0; i < 3; ++i) {
+    std::vector<double> values(data_.test[i].values.begin(),
+                               data_.test[i].values.begin() +
+                                   static_cast<long>(longest - 1));
+    shorties.Add(TimeSeries(std::move(values), data_.test[i].label));
+  }
+  const std::vector<int> batch = clf_->PredictBatch(shorties);
+  ASSERT_EQ(batch.size(), shorties.size());
+  for (size_t i = 0; i < shorties.size(); ++i) {
+    EXPECT_EQ(batch[i], clf_->Predict(shorties[i])) << "series " << i;
+  }
 }
 
 }  // namespace
