@@ -58,6 +58,11 @@ struct BenchArgs {
   std::optional<size_t> mp_tile;
   bool no_mp_table = false;
   bool no_mp_arena = false;
+  /// --store_budget=BYTES routes the training set through an out-of-core
+  /// columnar segment (store/columnar_store.h) with the given
+  /// chunk-residency budget instead of discovering in-RAM. A storage
+  /// choice only, like the scheduler knobs: no banner, must diff clean.
+  std::optional<uint64_t> store_budget;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -89,6 +94,8 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.no_mp_table = true;
     } else if (arg == "--no_mp_arena") {
       args.no_mp_arena = true;
+    } else if (auto v = value_of("--store_budget=")) {
+      args.store_budget = static_cast<uint64_t>(std::atoll(v->c_str()));
     } else if (auto v = value_of("--datasets=")) {
       std::string rest = *v;
       size_t pos = 0;

@@ -19,10 +19,19 @@
 // (docs/memory.md). They are scheduling / memory-reuse choices only, so --
 // unlike --metric -- they print NO banner: any combination must diff clean
 // against the default run, and CI holds the output to that.
+//
+// --store_budget=BYTES routes each training set through an out-of-core
+// columnar segment (written to a temp file, opened with that residency
+// budget) instead of the in-RAM Dataset. Storage is likewise not allowed
+// to change results -- no banner, must diff clean; the CI memory-budget
+// job holds discovery to it under an RSS cap.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +40,8 @@
 #include "ips/pipeline.h"
 #include "ips/serialization.h"
 #include "obs/trace.h"
+#include "store/columnar_store.h"
+#include "store/store_writer.h"
 
 namespace ips::bench {
 namespace {
@@ -58,6 +69,39 @@ int Run(const BenchArgs& args) {
 
   for (const std::string& name : datasets) {
     const TrainTestSplit data = GetDataset(name, args);
+
+    // Under --store_budget, discovery reads the training set through the
+    // out-of-core columnar store instead of the in-RAM Dataset. Small
+    // chunks (~1/6 of the corpus) so the budget actually forces eviction.
+    std::unique_ptr<store::ColumnarStore> segment;
+    const DatasetView* train = &data.train;
+    std::string segment_path;
+    if (args.store_budget) {
+      segment_path = "/tmp/ips_fingerprint_" + std::to_string(::getpid()) +
+                     "_" + name + ".ips";
+      store::StoreWriter::Options write_options;
+      uint64_t total = 0;
+      for (size_t i = 0; i < data.train.size(); ++i) {
+        total += data.train.At(i).length() * sizeof(double);
+      }
+      write_options.chunk_target_bytes = std::max<uint64_t>(4096, total / 6);
+      std::string store_error;
+      if (!store::WriteDatasetToStore(data.train, segment_path, write_options,
+                                      &store_error)) {
+        std::fprintf(stderr, "store write failed: %s\n", store_error.c_str());
+        std::exit(2);
+      }
+      store::ColumnarStore::Options open_options;
+      open_options.budget_bytes = *args.store_budget;
+      segment = store::ColumnarStore::Open(segment_path, open_options,
+                                           &store_error);
+      if (segment == nullptr) {
+        std::fprintf(stderr, "store open failed: %s\n", store_error.c_str());
+        std::exit(2);
+      }
+      train = segment.get();
+    }
+
     for (size_t threads : thread_counts) {
       IpsOptions options;
       options.num_threads = threads;
@@ -65,7 +109,7 @@ int Run(const BenchArgs& args) {
       if (args.mp_tile) options.mp_tile_size = *args.mp_tile;
       options.enable_mp_artifact_table = !args.no_mp_table;
       options.enable_mp_arena = !args.no_mp_arena;
-      const RunResult result = DiscoverShapelets(data.train, options);
+      const RunResult result = DiscoverShapelets(*train, options);
       std::printf("%s threads=%zu shapelets=%zu\n", name.c_str(), threads,
                   result.shapelets.size());
       // The v1 shapelet block: provenance + every value at max_digits10.
@@ -81,6 +125,10 @@ int Run(const BenchArgs& args) {
                   result.stats.discords_after_prune,
                   result.stats.profiles_computed,
                   result.stats.mp_joins_computed);
+    }
+    if (!segment_path.empty()) {
+      segment.reset();
+      ::unlink(segment_path.c_str());
     }
   }
   return 0;

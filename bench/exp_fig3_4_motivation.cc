@@ -42,22 +42,23 @@ int Run(const BenchArgs& args) {
       "Figures 3-4 (and 6): concatenated-class matrix profiles on %s\n\n",
       name.c_str());
 
-  const TimeSeries t_a = data.train.ConcatenateClass(0);
-  TimeSeries t_b;
+  std::vector<double> t_a;
+  data.train.ConcatenateClass(0).CopyTo(&t_a);
+  std::vector<double> t_b;
   for (size_t i = 0; i < data.train.size(); ++i) {
     if (data.train[i].label == 0) continue;
-    t_b.values.insert(t_b.values.end(), data.train[i].values.begin(),
-                      data.train[i].values.end());
+    t_b.insert(t_b.end(), data.train[i].values.begin(),
+               data.train[i].values.end());
   }
 
   const size_t window =
       std::max<size_t>(8, data.train.MinLength() / 5);
-  const MatrixProfile p_aa = SelfJoinProfile(t_a.view(), window);
-  const MatrixProfile p_ab = AbJoinProfile(t_a.view(), t_b.view(), window);
+  const MatrixProfile p_aa = SelfJoinProfile(t_a, window);
+  const MatrixProfile p_ab = AbJoinProfile(t_a, t_b, window);
   const std::vector<double> diff = ProfileDiff(p_ab, p_aa);
 
   std::printf("window length L = %zu, |T_A| = %zu, |T_B| = %zu\n\n", window,
-              t_a.length(), t_b.length());
+              t_a.size(), t_b.size());
   std::printf("P_AA  %s\n", Sparkline(p_aa.values).c_str());
   std::printf("P_AB  %s\n", Sparkline(p_ab.values).c_str());
   std::printf("diff  %s\n\n", Sparkline(diff).c_str());

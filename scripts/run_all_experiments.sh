@@ -96,6 +96,14 @@ echo "=== BENCH_metric ==="
 echo "=== BENCH_eab ==="
 "$BENCH/bench_eab" --out="$OUT/BENCH_eab.json" | tee "$OUT/BENCH_eab.txt"
 
+# Out-of-core columnar store: discovery + transform on a corpus larger
+# than the chunk-residency budget, bitwise-diffed against the in-RAM path.
+# bench_store writes the JSON itself and exits nonzero if results diverge
+# or peak resident chunk bytes exceed the budget.
+echo "=== BENCH_store ==="
+"$BENCH/bench_store" --json="$OUT/BENCH_store.json" |
+  tee "$OUT/BENCH_store.txt"
+
 # The machine-readable before/after artefacts double as repo-root files so
 # tooling (and the acceptance checks) can diff them without knowing the
 # results/ layout.

@@ -22,7 +22,7 @@ struct ScoredCandidate {
   std::vector<size_t> covered;  // own-class instance indices below the split
 };
 
-ScoredCandidate EvaluateCandidate(Subsequence candidate, const Dataset& train,
+ScoredCandidate EvaluateCandidate(Subsequence candidate, const DatasetView& train,
                                   int num_classes) {
   SplitQuality quality = EvaluateSplitQuality(candidate, train, num_classes);
   ScoredCandidate out;
@@ -35,7 +35,7 @@ ScoredCandidate EvaluateCandidate(Subsequence candidate, const Dataset& train,
 }  // namespace
 
 std::vector<Subsequence> DiscoverBspCoverShapelets(
-    const Dataset& train, const BspCoverOptions& options,
+    const DatasetView& train, const BspCoverOptions& options,
     BspCoverStats* stats) {
   IPS_CHECK(!train.empty());
   IPS_CHECK(options.stride >= 1);
@@ -56,8 +56,8 @@ std::vector<Subsequence> DiscoverBspCoverShapelets(
     size_t expected = 0;
     for (size_t idx : class_indices) {
       for (size_t window : lengths) {
-        if (train[idx].length() >= window) {
-          expected += (train[idx].length() - window) / options.stride + 1;
+        if (train.At(idx).length() >= window) {
+          expected += (train.At(idx).length() - window) / options.stride + 1;
         }
       }
     }
@@ -66,7 +66,7 @@ std::vector<Subsequence> DiscoverBspCoverShapelets(
 
     auto& scored = scored_by_class[label];
     for (size_t idx : class_indices) {
-      const TimeSeries& t = train[idx];
+      const SeriesView t = train.At(idx);
       for (size_t window : lengths) {
         if (t.length() < window) continue;
         for (size_t off = 0; off + window <= t.length();
@@ -123,7 +123,7 @@ std::vector<Subsequence> DiscoverBspCoverShapelets(
   return shapelets;
 }
 
-void BspCoverClassifier::Fit(const Dataset& train) {
+void BspCoverClassifier::Fit(const DatasetView& train) {
   shapelets_ = DiscoverBspCoverShapelets(train, options_, &stats_);
   IPS_CHECK_MSG(!shapelets_.empty(), "BSPCOVER discovered no shapelets");
   const TransformedData transformed = ShapeletTransform(train, shapelets_);
@@ -134,7 +134,7 @@ void BspCoverClassifier::Fit(const Dataset& train) {
   svm_.Fit(matrix);
 }
 
-int BspCoverClassifier::Predict(const TimeSeries& series) const {
+int BspCoverClassifier::Predict(SeriesView series) const {
   IPS_CHECK(!shapelets_.empty());
   return svm_.Predict(TransformSeries(series, shapelets_));
 }

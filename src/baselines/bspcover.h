@@ -56,7 +56,7 @@ struct BspCoverStats {
 
 /// Runs BSPCOVER discovery. `stats` may be null.
 std::vector<Subsequence> DiscoverBspCoverShapelets(
-    const Dataset& train, const BspCoverOptions& options,
+    const DatasetView& train, const BspCoverOptions& options,
     BspCoverStats* stats = nullptr);
 
 /// BSPCOVER as a series classifier (transform + linear SVM back-end).
@@ -65,8 +65,8 @@ class BspCoverClassifier final : public SeriesClassifier {
   explicit BspCoverClassifier(BspCoverOptions options = {})
       : options_(options) {}
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
   const std::vector<Subsequence>& shapelets() const { return shapelets_; }
   const BspCoverStats& stats() const { return stats_; }

@@ -26,7 +26,7 @@ std::vector<double> PaaSmooth(std::span<const double> x, size_t factor) {
 }  // namespace
 
 std::vector<std::vector<double>> SelectElisCandidates(
-    const Dataset& train, const ElisOptions& options) {
+    const DatasetView& train, const ElisOptions& options) {
   IPS_CHECK(!train.empty());
   const std::vector<size_t> lengths =
       ResolveCandidateLengths(train.MinLength(), options.length_ratios);
@@ -40,7 +40,7 @@ std::vector<std::vector<double>> SelectElisCandidates(
 
   for (size_t window : lengths) {
     for (size_t i = 0; i < train.size(); ++i) {
-      const TimeSeries& t = train[i];
+      const SeriesView t = train.At(i);
       if (t.length() < window) continue;
       for (size_t off = 0; off + window <= t.length();
            off += options.stride) {
@@ -69,7 +69,7 @@ std::vector<std::vector<double>> SelectElisCandidates(
   return selected;
 }
 
-void ElisClassifier::Fit(const Dataset& train) {
+void ElisClassifier::Fit(const DatasetView& train) {
   std::vector<std::vector<double>> initial =
       SelectElisCandidates(train, options_);
   IPS_CHECK_MSG(!initial.empty(), "ELIS selected no candidates");
@@ -78,7 +78,7 @@ void ElisClassifier::Fit(const Dataset& train) {
   lts_.Fit(train);
 }
 
-int ElisClassifier::Predict(const TimeSeries& series) const {
+int ElisClassifier::Predict(SeriesView series) const {
   return lts_.Predict(series);
 }
 

@@ -39,8 +39,8 @@ class ElisClassifier final : public SeriesClassifier {
  public:
   explicit ElisClassifier(ElisOptions options = {}) : options_(options) {}
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
   /// The adjusted shapelets (valid after Fit()).
   std::vector<Subsequence> Shapelets() const { return lts_.Shapelets(); }
@@ -53,7 +53,7 @@ class ElisClassifier final : public SeriesClassifier {
 /// Phase 1 alone: the PAA-smoothed, information-gain-selected initial
 /// shapelets. Exposed for testing.
 std::vector<std::vector<double>> SelectElisCandidates(
-    const Dataset& train, const ElisOptions& options);
+    const DatasetView& train, const ElisOptions& options);
 
 }  // namespace ips
 

@@ -26,7 +26,7 @@ struct WordInfo {
 };
 
 // Exact information gain of the candidate's best distance split.
-double InfoGain(const Subsequence& candidate, const Dataset& train,
+double InfoGain(const Subsequence& candidate, const DatasetView& train,
                 int num_classes) {
   return EvaluateSplitQuality(candidate, train, num_classes).info_gain;
 }
@@ -34,7 +34,7 @@ double InfoGain(const Subsequence& candidate, const Dataset& train,
 }  // namespace
 
 std::vector<Subsequence> DiscoverFastShapelets(
-    const Dataset& train, const FastShapeletsOptions& options) {
+    const DatasetView& train, const FastShapeletsOptions& options) {
   IPS_CHECK(!train.empty());
   const std::vector<size_t> lengths =
       ResolveCandidateLengths(train.MinLength(), options.length_ratios);
@@ -44,7 +44,7 @@ std::vector<Subsequence> DiscoverFastShapelets(
   // Per-class per-instance counts for normalising collision frequencies.
   std::vector<size_t> class_sizes(static_cast<size_t>(num_classes), 0);
   for (size_t i = 0; i < train.size(); ++i) {
-    ++class_sizes[static_cast<size_t>(train[i].label)];
+    ++class_sizes[static_cast<size_t>(train.At(i).label)];
   }
 
   std::vector<Subsequence> shapelets;
@@ -52,7 +52,7 @@ std::vector<Subsequence> DiscoverFastShapelets(
     // Collect SAX words per class.
     std::map<std::string, WordInfo> words;
     for (size_t i = 0; i < train.size(); ++i) {
-      const TimeSeries& t = train[i];
+      const SeriesView t = train.At(i);
       if (t.length() < window) continue;
       for (size_t off = 0; off + window <= t.length();
            off += options.stride) {
@@ -85,7 +85,7 @@ std::vector<Subsequence> DiscoverFastShapelets(
         std::vector<std::set<size_t>> hit(static_cast<size_t>(num_classes));
         for (const WordInfo* info : members) {
           for (size_t i : info->instances) {
-            hit[static_cast<size_t>(train[i].label)].insert(i);
+            hit[static_cast<size_t>(train.At(i).label)].insert(i);
           }
         }
         std::vector<double> frac(static_cast<size_t>(num_classes), 0.0);
@@ -133,7 +133,7 @@ std::vector<Subsequence> DiscoverFastShapelets(
   return shapelets;
 }
 
-void FastShapeletsClassifier::Fit(const Dataset& train) {
+void FastShapeletsClassifier::Fit(const DatasetView& train) {
   shapelets_ = DiscoverFastShapelets(train, options_);
   IPS_CHECK_MSG(!shapelets_.empty(), "FS discovered no shapelets");
   const TransformedData transformed = ShapeletTransform(train, shapelets_);
@@ -144,7 +144,7 @@ void FastShapeletsClassifier::Fit(const Dataset& train) {
   tree_.Fit(matrix);
 }
 
-int FastShapeletsClassifier::Predict(const TimeSeries& series) const {
+int FastShapeletsClassifier::Predict(SeriesView series) const {
   IPS_CHECK(!shapelets_.empty());
   return tree_.Predict(TransformSeries(series, shapelets_));
 }

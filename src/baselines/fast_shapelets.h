@@ -42,7 +42,7 @@ struct FastShapeletsOptions {
 
 /// Runs Fast Shapelets discovery.
 std::vector<Subsequence> DiscoverFastShapelets(
-    const Dataset& train, const FastShapeletsOptions& options);
+    const DatasetView& train, const FastShapeletsOptions& options);
 
 /// Fast Shapelets as a series classifier (transform + decision tree).
 class FastShapeletsClassifier final : public SeriesClassifier {
@@ -50,8 +50,8 @@ class FastShapeletsClassifier final : public SeriesClassifier {
   explicit FastShapeletsClassifier(FastShapeletsOptions options = {})
       : options_(options) {}
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
   const std::vector<Subsequence>& shapelets() const { return shapelets_; }
 

@@ -116,7 +116,7 @@ void LtsClassifier::SetInitialShapelets(
   initial_shapelets_ = std::move(shapelets);
 }
 
-void LtsClassifier::Fit(const Dataset& train) {
+void LtsClassifier::Fit(const DatasetView& train) {
   IPS_CHECK(!train.empty());
   num_classes_ = train.NumClasses();
   const size_t n = train.size();
@@ -142,10 +142,11 @@ void LtsClassifier::Fit(const Dataset& train) {
     std::vector<std::vector<double>> segments;
     const size_t stride = std::max<size_t>(1, len / 2);
     for (size_t i = 0; i < n; ++i) {
-      for (size_t off = 0; off + len <= train[i].length(); off += stride) {
+      const SeriesView t = train.At(i);
+      for (size_t off = 0; off + len <= t.length(); off += stride) {
         segments.emplace_back(
-            train[i].values.begin() + static_cast<ptrdiff_t>(off),
-            train[i].values.begin() + static_cast<ptrdiff_t>(off + len));
+            t.values.begin() + static_cast<ptrdiff_t>(off),
+            t.values.begin() + static_cast<ptrdiff_t>(off + len));
       }
     }
     if (segments.empty()) continue;
@@ -171,7 +172,7 @@ void LtsClassifier::Fit(const Dataset& train) {
     for (size_t i = 0; i < n; ++i) {
       for (size_t s = 0; s < k; ++s) {
         const std::vector<double> d =
-            WindowDistances(train[i].view(), shapelets_[s]);
+            WindowDistances(train.At(i).view(), shapelets_[s]);
         m[i][s] = SoftMin(d, options_.alpha, &psi[i][s]);
       }
     }
@@ -184,7 +185,7 @@ void LtsClassifier::Fit(const Dataset& train) {
       for (size_t i = 0; i < n; ++i) {
         double z = w[k];
         for (size_t s = 0; s < k; ++s) z += w[s] * m[i][s];
-        const double y = train[i].label == c ? 1.0 : 0.0;
+        const double y = train.At(i).label == c ? 1.0 : 0.0;
         error[static_cast<size_t>(c)][i] = SigmoidStable(z) - y;
       }
     }
@@ -209,6 +210,7 @@ void LtsClassifier::Fit(const Dataset& train) {
       const size_t len = shapelets_[s].size();
       std::vector<double> grad(len, 0.0);
       for (size_t i = 0; i < n; ++i) {
+        const SeriesView ti = train.At(i);
         double coeff = 0.0;
         for (int c = 0; c < num_classes_; ++c) {
           coeff += error[static_cast<size_t>(c)][i] *
@@ -221,7 +223,7 @@ void LtsClassifier::Fit(const Dataset& train) {
           const double scaled =
               coeff * p[j] * 2.0 / static_cast<double>(len);
           for (size_t q = 0; q < len; ++q) {
-            grad[q] += scaled * (shapelets_[s][q] - train[i][j + q]);
+            grad[q] += scaled * (shapelets_[s][q] - ti[j + q]);
           }
         }
       }
@@ -232,7 +234,7 @@ void LtsClassifier::Fit(const Dataset& train) {
   }
 }
 
-std::vector<double> LtsClassifier::Featurize(const TimeSeries& series) const {
+std::vector<double> LtsClassifier::Featurize(SeriesView series) const {
   std::vector<double> out(shapelets_.size());
   for (size_t s = 0; s < shapelets_.size(); ++s) {
     if (series.length() < shapelets_[s].size()) {
@@ -246,7 +248,7 @@ std::vector<double> LtsClassifier::Featurize(const TimeSeries& series) const {
   return out;
 }
 
-int LtsClassifier::Predict(const TimeSeries& series) const {
+int LtsClassifier::Predict(SeriesView series) const {
   IPS_CHECK(!shapelets_.empty());
   const std::vector<double> m = Featurize(series);
   int best = 0;

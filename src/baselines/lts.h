@@ -50,15 +50,15 @@ class LtsClassifier final : public SeriesClassifier {
   /// Fit(); each inner vector is one shapelet's values.
   void SetInitialShapelets(std::vector<std::vector<double>> shapelets);
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
   /// The learned shapelets (label -1: learned, not extracted).
   std::vector<Subsequence> Shapelets() const;
 
  private:
   /// Soft-minimum feature of one series against every learned shapelet.
-  std::vector<double> Featurize(const TimeSeries& series) const;
+  std::vector<double> Featurize(SeriesView series) const;
 
   LtsOptions options_;
   std::vector<std::vector<double>> initial_shapelets_;

@@ -12,7 +12,7 @@
 namespace ips {
 
 std::vector<Subsequence> DiscoverMpBaseShapelets(
-    const Dataset& train, const MpBaseOptions& options) {
+    const DatasetView& train, const MpBaseOptions& options) {
   IPS_CHECK(!train.empty());
   const std::vector<size_t> lengths =
       ResolveCandidateLengths(train.MinLength(), options.length_ratios);
@@ -24,18 +24,23 @@ std::vector<Subsequence> DiscoverMpBaseShapelets(
   MatrixProfileEngine engine(options.num_threads);
 
   std::vector<Subsequence> shapelets;
+  // T_C / T_notC scratch, materialised lazily per class from the view's
+  // ClassConcat -- capacity is reused across classes, so peak memory is the
+  // two largest concatenations rather than per-class copies.
+  std::vector<double> own;
+  std::vector<double> other;
   for (int label = 0; label < num_classes; ++label) {
-    const TimeSeries own = train.ConcatenateClass(label);
-    if (own.length() == 0) continue;
+    train.ConcatenateClass(label).CopyTo(&own);
+    if (own.empty()) continue;
 
     // Concatenate every other class (the baseline's T_B).
-    TimeSeries other;
+    other.clear();
     for (size_t i = 0; i < train.size(); ++i) {
-      if (train[i].label == label) continue;
-      other.values.insert(other.values.end(), train[i].values.begin(),
-                          train[i].values.end());
+      const SeriesView t = train.At(i);
+      if (t.label == label) continue;
+      other.insert(other.end(), t.values.begin(), t.values.end());
     }
-    if (other.length() == 0) continue;
+    if (other.empty()) continue;
 
     // Candidate = (diff value, length, offset in T_C); best per position
     // across lengths, then top-k with exclusion per length group.
@@ -46,10 +51,9 @@ std::vector<Subsequence> DiscoverMpBaseShapelets(
     };
     std::vector<Candidate> candidates;
     for (size_t window : lengths) {
-      if (own.length() <= window || other.length() < window) continue;
-      const MatrixProfile self = engine.SelfJoin(own.view(), window);
-      const MatrixProfile cross =
-          engine.AbJoin(own.view(), other.view(), window);
+      if (own.size() <= window || other.size() < window) continue;
+      const MatrixProfile self = engine.SelfJoin(own, window);
+      const MatrixProfile cross = engine.AbJoin(own, other, window);
       const std::vector<double> diff = ProfileDiff(cross, self);
       // Largest differences, separated by an exclusion zone (Formula 4
       // extended to top-k, as the paper notes).
@@ -67,18 +71,18 @@ std::vector<Subsequence> DiscoverMpBaseShapelets(
     const size_t take =
         std::min(options.shapelets_per_class, candidates.size());
     for (size_t i = 0; i < take; ++i) {
-      shapelets.push_back(ExtractSubsequence(own, candidates[i].offset,
-                                             candidates[i].length,
-                                             /*series_index=*/-1));
+      shapelets.push_back(ExtractSubsequence(
+          SeriesView(own, label), candidates[i].offset, candidates[i].length,
+          /*series_index=*/-1));
     }
-    // T_C / T_notC are freed at the end of the iteration; the pointer-keyed
-    // caches must not survive into the next class's allocations.
+    // T_C / T_notC storage is reused by the next class; the pointer-keyed
+    // caches must not survive into the next class's contents.
     engine.ClearCaches();
   }
   return shapelets;
 }
 
-void MpBaseClassifier::Fit(const Dataset& train) {
+void MpBaseClassifier::Fit(const DatasetView& train) {
   shapelets_ = DiscoverMpBaseShapelets(train, options_);
   IPS_CHECK_MSG(!shapelets_.empty(), "BASE discovered no shapelets");
   const TransformedData transformed = ShapeletTransform(train, shapelets_);
@@ -89,7 +93,7 @@ void MpBaseClassifier::Fit(const Dataset& train) {
   svm_.Fit(matrix);
 }
 
-int MpBaseClassifier::Predict(const TimeSeries& series) const {
+int MpBaseClassifier::Predict(SeriesView series) const {
   IPS_CHECK(!shapelets_.empty());
   return svm_.Predict(TransformSeries(series, shapelets_));
 }

@@ -34,8 +34,8 @@ struct MpBaseOptions {
 };
 
 /// Discovers BASE shapelets for every class of `train`.
-std::vector<Subsequence> DiscoverMpBaseShapelets(const Dataset& train,
-                                                 const MpBaseOptions& options);
+std::vector<Subsequence> DiscoverMpBaseShapelets(
+    const DatasetView& train, const MpBaseOptions& options);
 
 /// BASE as a series classifier: discovery + shapelet transform + linear SVM
 /// (the same back-end as IPS, per the paper's fairness setup).
@@ -43,8 +43,8 @@ class MpBaseClassifier final : public SeriesClassifier {
  public:
   explicit MpBaseClassifier(MpBaseOptions options = {}) : options_(options) {}
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
   const std::vector<Subsequence>& shapelets() const { return shapelets_; }
 

@@ -38,7 +38,7 @@ double PruneRadius(const std::vector<Subsequence>& sample, double percentile,
 
 }  // namespace
 
-std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
+std::vector<Subsequence> DiscoverSdShapelets(const DatasetView& train,
                                              const SdOptions& options,
                                              SdStats* stats) {
   IPS_CHECK(!train.empty());
@@ -67,10 +67,10 @@ std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
     // Seed the radius estimate from one candidate per training series.
     std::vector<Subsequence> seeds;
     for (size_t i = 0; i < train.size() && seeds.size() < 20; ++i) {
-      if (train[i].length() < window) continue;
-      seeds.push_back(ExtractSubsequence(
-          train[i], (train[i].length() - window) / 2, window,
-          static_cast<int>(i)));
+      if (train.At(i).length() < window) continue;
+      const SeriesView t = train.At(i);
+      seeds.push_back(ExtractSubsequence(t, (t.length() - window) / 2, window,
+                                         static_cast<int>(i)));
     }
     const double radius = PruneRadius(seeds, options.prune_percentile, engine);
 
@@ -79,7 +79,7 @@ std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
     // of the same length.
     std::vector<Subsequence> representatives;
     for (size_t i = 0; i < train.size(); ++i) {
-      const TimeSeries& t = train[i];
+      const SeriesView t = train.At(i);
       if (t.length() < window) continue;
       for (size_t off = 0; off + window <= t.length();
            off += options.stride) {
@@ -123,7 +123,7 @@ std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
   return shapelets;
 }
 
-void SdClassifier::Fit(const Dataset& train) {
+void SdClassifier::Fit(const DatasetView& train) {
   shapelets_ = DiscoverSdShapelets(train, options_, &stats_);
   IPS_CHECK_MSG(!shapelets_.empty(), "SD discovered no shapelets");
   const TransformedData transformed = ShapeletTransform(train, shapelets_);
@@ -134,7 +134,7 @@ void SdClassifier::Fit(const Dataset& train) {
   svm_.Fit(matrix);
 }
 
-int SdClassifier::Predict(const TimeSeries& series) const {
+int SdClassifier::Predict(SeriesView series) const {
   IPS_CHECK(!shapelets_.empty());
   return svm_.Predict(TransformSeries(series, shapelets_));
 }

@@ -37,7 +37,7 @@ struct SdStats {
 };
 
 /// Runs SD discovery. `stats` may be null.
-std::vector<Subsequence> DiscoverSdShapelets(const Dataset& train,
+std::vector<Subsequence> DiscoverSdShapelets(const DatasetView& train,
                                              const SdOptions& options,
                                              SdStats* stats = nullptr);
 
@@ -46,8 +46,8 @@ class SdClassifier final : public SeriesClassifier {
  public:
   explicit SdClassifier(SdOptions options = {}) : options_(options) {}
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
   const std::vector<Subsequence>& shapelets() const { return shapelets_; }
   const SdStats& stats() const { return stats_; }

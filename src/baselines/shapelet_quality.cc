@@ -22,7 +22,7 @@ double LabelEntropy(const std::vector<size_t>& counts, size_t total) {
 }
 
 SplitQuality EvaluateSplitQuality(const Subsequence& candidate,
-                                  const Dataset& train, int num_classes,
+                                  const DatasetView& train, int num_classes,
                                   DistanceEngine* engine) {
   IPS_CHECK(!train.empty());
   IPS_CHECK(num_classes >= 1);
@@ -35,7 +35,7 @@ SplitQuality EvaluateSplitQuality(const Subsequence& candidate,
   // so the sorted distances are bitwise identical to it.
   std::vector<std::span<const double>> views;
   views.reserve(n + 1);
-  for (size_t i = 0; i < n; ++i) views.push_back(train[i].view());
+  for (size_t i = 0; i < n; ++i) views.push_back(train.At(i).view());
   views.push_back(candidate.view());
   std::vector<IndexPair> pairs(n);
   for (size_t i = 0; i < n; ++i) {
@@ -51,8 +51,8 @@ SplitQuality EvaluateSplitQuality(const Subsequence& candidate,
 
   std::vector<size_t> total_counts(static_cast<size_t>(num_classes), 0);
   for (size_t i = 0; i < n; ++i) {
-    IPS_CHECK(train[i].label >= 0 && train[i].label < num_classes);
-    ++total_counts[static_cast<size_t>(train[i].label)];
+    IPS_CHECK(train.At(i).label >= 0 && train.At(i).label < num_classes);
+    ++total_counts[static_cast<size_t>(train.At(i).label)];
   }
   const double parent = LabelEntropy(total_counts, n);
 
@@ -61,7 +61,7 @@ SplitQuality EvaluateSplitQuality(const Subsequence& candidate,
   size_t best_split = 0;
   for (size_t i = 0; i + 1 < n; ++i) {
     const size_t idx = by_distance[i].second;
-    ++left[static_cast<size_t>(train[idx].label)];
+    ++left[static_cast<size_t>(train.At(idx).label)];
     if (by_distance[i].first >= by_distance[i + 1].first) continue;
     std::vector<size_t> right(total_counts);
     for (size_t c = 0; c < right.size(); ++c) right[c] -= left[c];
@@ -82,7 +82,7 @@ SplitQuality EvaluateSplitQuality(const Subsequence& candidate,
 
   for (size_t i = 0; i < best_split; ++i) {
     const size_t idx = by_distance[i].second;
-    if (train[idx].label == candidate.label) best.covered.push_back(idx);
+    if (train.At(idx).label == candidate.label) best.covered.push_back(idx);
   }
   return best;
 }

@@ -39,7 +39,7 @@ double LabelEntropy(const std::vector<size_t>& counts, size_t total);
 /// engine's caches (ClearCaches() otherwise). A null engine uses a
 /// call-local one. Results are bitwise identical either way.
 SplitQuality EvaluateSplitQuality(const Subsequence& candidate,
-                                  const Dataset& train, int num_classes,
+                                  const DatasetView& train, int num_classes,
                                   DistanceEngine* engine = nullptr);
 
 }  // namespace ips

@@ -27,7 +27,7 @@ bool Overlaps(const Subsequence& a, const Subsequence& b) {
 
 }  // namespace
 
-std::vector<Subsequence> DiscoverStShapelets(const Dataset& train,
+std::vector<Subsequence> DiscoverStShapelets(const DatasetView& train,
                                              const StOptions& options) {
   IPS_CHECK(!train.empty());
   IPS_CHECK(options.stride >= 1);
@@ -39,7 +39,7 @@ std::vector<Subsequence> DiscoverStShapelets(const Dataset& train,
   std::vector<std::vector<Scored>> per_class(
       static_cast<size_t>(num_classes));
   for (size_t i = 0; i < train.size(); ++i) {
-    const TimeSeries& t = train[i];
+    const SeriesView t = train.At(i);
     for (size_t window : lengths) {
       if (t.length() < window) continue;
       for (size_t off = 0; off + window <= t.length();
@@ -75,7 +75,7 @@ std::vector<Subsequence> DiscoverStShapelets(const Dataset& train,
   return shapelets;
 }
 
-void StClassifier::Fit(const Dataset& train) {
+void StClassifier::Fit(const DatasetView& train) {
   shapelets_ = DiscoverStShapelets(train, options_);
   IPS_CHECK_MSG(!shapelets_.empty(), "ST discovered no shapelets");
   const TransformedData transformed = ShapeletTransform(train, shapelets_);
@@ -86,7 +86,7 @@ void StClassifier::Fit(const Dataset& train) {
   svm_.Fit(matrix);
 }
 
-int StClassifier::Predict(const TimeSeries& series) const {
+int StClassifier::Predict(SeriesView series) const {
   IPS_CHECK(!shapelets_.empty());
   return svm_.Predict(TransformSeries(series, shapelets_));
 }

@@ -32,7 +32,7 @@ struct StOptions {
 /// Runs ST discovery: top `shapelets_per_class` candidates per class by
 /// information gain, with overlapping same-series candidates suppressed
 /// (the original's self-similarity filter).
-std::vector<Subsequence> DiscoverStShapelets(const Dataset& train,
+std::vector<Subsequence> DiscoverStShapelets(const DatasetView& train,
                                              const StOptions& options);
 
 /// ST as a series classifier (transform + linear SVM back-end, mirroring
@@ -41,8 +41,8 @@ class StClassifier final : public SeriesClassifier {
  public:
   explicit StClassifier(StOptions options = {}) : options_(options) {}
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
   const std::vector<Subsequence>& shapelets() const { return shapelets_; }
 

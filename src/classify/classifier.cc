@@ -21,18 +21,19 @@ double Classifier::Accuracy(const LabeledMatrix& data) const {
   return static_cast<double>(correct) / static_cast<double>(data.x.size());
 }
 
-std::vector<int> SeriesClassifier::PredictBatch(const Dataset& test) const {
+std::vector<int> SeriesClassifier::PredictBatch(
+    const DatasetView& test) const {
   std::vector<int> out(test.size());
-  for (size_t i = 0; i < test.size(); ++i) out[i] = Predict(test[i]);
+  for (size_t i = 0; i < test.size(); ++i) out[i] = Predict(test.At(i));
   return out;
 }
 
-double SeriesClassifier::Accuracy(const Dataset& test) const {
+double SeriesClassifier::Accuracy(const DatasetView& test) const {
   IPS_CHECK(!test.empty());
   const std::vector<int> predicted = PredictBatch(test);
   size_t correct = 0;
   for (size_t i = 0; i < test.size(); ++i) {
-    if (predicted[i] == test[i].label) ++correct;
+    if (predicted[i] == test.At(i).label) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(test.size());
 }

@@ -2,7 +2,8 @@
 //
 // Feature-space classifiers (SVM, decision tree, rotation forest) consume a
 // LabeledMatrix -- e.g. the output of the shapelet transform or raw series
-// values. Series classifiers (1NN-ED, 1NN-DTW) consume Datasets directly.
+// values. Series classifiers (1NN-ED, 1NN-DTW) consume DatasetViews: any
+// backing storage works, in-RAM or the out-of-core columnar store.
 
 #ifndef IPS_CLASSIFY_CLASSIFIER_H_
 #define IPS_CLASSIFY_CLASSIFIER_H_
@@ -45,21 +46,24 @@ class SeriesClassifier {
  public:
   virtual ~SeriesClassifier() = default;
 
-  /// Trains on the dataset. Requires at least one series.
-  virtual void Fit(const Dataset& train) = 0;
+  /// Trains on the dataset. Requires at least one series. Implementations
+  /// that must retain training data beyond Fit (1NN) Materialize() it; the
+  /// view itself is only guaranteed alive for the duration of the call.
+  virtual void Fit(const DatasetView& train) = 0;
 
-  /// Predicts the class of a series. Requires Fit().
-  virtual int Predict(const TimeSeries& series) const = 0;
+  /// Predicts the class of a series. Requires Fit(). TimeSeries converts
+  /// implicitly.
+  virtual int Predict(SeriesView series) const = 0;
 
   /// Predicts every series of `test`; out[i] == Predict(test[i]) for all i.
   /// The default is exactly that loop; implementations may override with a
   /// batched path (IpsClassifier drives the whole set through one shapelet
   /// transform on worker threads) as long as labels stay identical.
-  virtual std::vector<int> PredictBatch(const Dataset& test) const;
+  virtual std::vector<int> PredictBatch(const DatasetView& test) const;
 
   /// Fraction of `test` series predicted correctly. Routed through
   /// PredictBatch, so batched implementations accelerate it for free.
-  double Accuracy(const Dataset& test) const;
+  double Accuracy(const DatasetView& test) const;
 };
 
 }  // namespace ips

@@ -11,14 +11,14 @@ void VotingEnsemble::AddMember(std::unique_ptr<SeriesClassifier> member) {
   members_.push_back(std::move(member));
 }
 
-void VotingEnsemble::Fit(const Dataset& train) {
+void VotingEnsemble::Fit(const DatasetView& train) {
   IPS_CHECK(!members_.empty());
   IPS_CHECK(!train.empty());
   num_classes_ = train.NumClasses();
   for (auto& member : members_) member->Fit(train);
 }
 
-int VotingEnsemble::Predict(const TimeSeries& series) const {
+int VotingEnsemble::Predict(SeriesView series) const {
   IPS_CHECK(!members_.empty());
   std::vector<size_t> votes(static_cast<size_t>(num_classes_), 0);
   std::vector<int> first_voter(static_cast<size_t>(num_classes_), -1);

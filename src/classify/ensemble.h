@@ -29,10 +29,10 @@ class VotingEnsemble final : public SeriesClassifier {
   size_t num_members() const { return members_.size(); }
 
   /// Fits every member on `train`. Requires at least one member.
-  void Fit(const Dataset& train) override;
+  void Fit(const DatasetView& train) override;
 
   /// Majority vote of the members' predictions.
-  int Predict(const TimeSeries& series) const override;
+  int Predict(SeriesView series) const override;
 
  private:
   std::vector<std::unique_ptr<SeriesClassifier>> members_;

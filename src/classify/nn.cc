@@ -15,14 +15,15 @@ namespace ips {
 OneNnEd::OneNnEd(MetricId metric) : metric_(metric) {}
 OneNnEd::~OneNnEd() = default;
 
-void OneNnEd::Fit(const Dataset& train) {
+void OneNnEd::Fit(const DatasetView& train) {
   IPS_CHECK(!train.empty());
-  train_ = train;
+  // 1NN retains its training data beyond Fit: the one legitimate deep copy.
+  train_ = train.Materialize();
   // Fresh engine: the old one's caches key on the previous train_'s buffers.
   engine_ = std::make_unique<DistanceEngine>(1);
 }
 
-int OneNnEd::Predict(const TimeSeries& series) const {
+int OneNnEd::Predict(SeriesView series) const {
   IPS_CHECK(!train_.empty());
   const bool default_metric = metric_ == MetricId::kRawSquaredEuclidean;
   double best = std::numeric_limits<double>::infinity();
@@ -52,7 +53,7 @@ int OneNnEd::Predict(const TimeSeries& series) const {
   return label;
 }
 
-void OneNnDtwCv::Fit(const Dataset& train) {
+void OneNnDtwCv::Fit(const DatasetView& train) {
   IPS_CHECK(!train.empty());
   std::vector<double> grid = candidates_;
   if (grid.empty()) {
@@ -66,24 +67,25 @@ void OneNnDtwCv::Fit(const Dataset& train) {
     // Leave-one-out 1NN over the training set at this window.
     size_t correct = 0;
     for (size_t i = 0; i < train.size(); ++i) {
+      const SeriesView query = train.At(i);
       const int window = static_cast<int>(std::ceil(
-          fraction * static_cast<double>(train[i].length())));
+          fraction * static_cast<double>(query.length())));
       double best = std::numeric_limits<double>::infinity();
       int label = -1;
       for (size_t j = 0; j < train.size(); ++j) {
         if (j == i) continue;
-        if (train[j].length() == train[i].length() &&
-            LbKeogh(train[i].view(), train[j].view(), window) >= best) {
+        const SeriesView cand = train.At(j);
+        if (cand.length() == query.length() &&
+            LbKeogh(query.view(), cand.view(), window) >= best) {
           continue;
         }
-        const double d =
-            DtwDistance(train[i].view(), train[j].view(), window);
+        const double d = DtwDistance(query.view(), cand.view(), window);
         if (d < best) {
           best = d;
-          label = train[j].label;
+          label = cand.label;
         }
       }
-      if (label == train[i].label) ++correct;
+      if (label == query.label) ++correct;
     }
     // Strictly-better keeps the smallest (cheapest) window on ties.
     if (correct > best_correct) {
@@ -96,16 +98,16 @@ void OneNnDtwCv::Fit(const Dataset& train) {
   inner_.Fit(train);
 }
 
-int OneNnDtwCv::Predict(const TimeSeries& series) const {
+int OneNnDtwCv::Predict(SeriesView series) const {
   return inner_.Predict(series);
 }
 
-void OneNnDtw::Fit(const Dataset& train) {
+void OneNnDtw::Fit(const DatasetView& train) {
   IPS_CHECK(!train.empty());
-  train_ = train;
+  train_ = train.Materialize();
 }
 
-int OneNnDtw::Predict(const TimeSeries& series) const {
+int OneNnDtw::Predict(SeriesView series) const {
   IPS_CHECK(!train_.empty());
   int window = -1;
   if (window_fraction_ >= 0.0) {

@@ -31,8 +31,8 @@ class OneNnEd final : public SeriesClassifier {
   explicit OneNnEd(MetricId metric = MetricId::kRawSquaredEuclidean);
   ~OneNnEd() override;  // out of line: DistanceEngine is incomplete here
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
  private:
   MetricId metric_;
@@ -49,8 +49,8 @@ class OneNnDtw final : public SeriesClassifier {
   explicit OneNnDtw(double window_fraction = 0.1)
       : window_fraction_(window_fraction) {}
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
  private:
   double window_fraction_;
@@ -68,8 +68,8 @@ class OneNnDtwCv final : public SeriesClassifier {
   explicit OneNnDtwCv(std::vector<double> candidates = {})
       : candidates_(std::move(candidates)) {}
 
-  void Fit(const Dataset& train) override;
-  int Predict(const TimeSeries& series) const override;
+  void Fit(const DatasetView& train) override;
+  int Predict(SeriesView series) const override;
 
   /// The window fraction chosen by cross-validation (valid after Fit()).
   double chosen_window_fraction() const { return chosen_; }

@@ -576,22 +576,22 @@ std::vector<double> DistanceEngine::ProfileAgainstSeries(
 }
 
 std::vector<std::vector<double>> DistanceEngine::ProfileAgainstDataset(
-    std::span<const double> query, const Dataset& data, MetricId metric) {
+    std::span<const double> query, const DatasetView& data, MetricId metric) {
   IPS_SPAN("dist_profile_batch");
   std::vector<std::vector<double>> out(data.size());
   ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
-    ProfileImpl(query, data[i].view(), /*cache_query=*/false,
+    ProfileImpl(query, data.At(i).view(), /*cache_query=*/false,
                 /*cache_series=*/true, metric, ws, out[i]);
   });
   return out;
 }
 
 std::vector<double> DistanceEngine::MinAgainstDataset(
-    std::span<const double> query, const Dataset& data, MetricId metric) {
+    std::span<const double> query, const DatasetView& data, MetricId metric) {
   IPS_SPAN("dist_min_batch");
   std::vector<double> out(data.size());
   ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
-    out[i] = MinImpl(query, data[i].view(), /*cache_a=*/false,
+    out[i] = MinImpl(query, data.At(i).view(), /*cache_a=*/false,
                      /*cache_b=*/true, metric, ws);
   });
   return out;
@@ -643,30 +643,36 @@ std::vector<double> DistanceEngine::PairwiseSubsequenceMin(
 }
 
 std::vector<std::vector<double>> DistanceEngine::TransformBatch(
-    const Dataset& data, const std::vector<Subsequence>& shapelets,
+    const DatasetView& data, const std::vector<Subsequence>& shapelets,
     MetricId metric) {
   IPS_CHECK(!shapelets.empty());
   IPS_SPAN("dist_transform_batch");
   std::vector<std::vector<double>> rows(data.size());
-  ParallelItems(data.size(), [&](size_t i, DistanceWorkspace& ws) {
-    std::vector<double>& row = rows[i];
-    row.resize(shapelets.size());
-    // Seed each shapelet's best-so-far search from its winning alignment in
-    // the previous series this worker transformed: similar series tend to
-    // match a shapelet in similar places, so the early-abandon path starts
-    // near the true minimum. Purely a visit-order hint -- out-of-range
-    // hints are ignored by the kernels and results are bitwise identical
-    // whatever the seeds are.
-    if (ws.eab_seed_hints.size() != shapelets.size()) {
-      ws.eab_seed_hints.assign(shapelets.size(), simd::kEabNoSeed);
-    }
-    const std::span<const double> series = data[i].view();
-    for (size_t s = 0; s < shapelets.size(); ++s) {
-      // Argument order matches TransformSeries: (series, shapelet).
-      row[s] = MinImpl(series, shapelets[s].view(), /*cache_a=*/true,
-                       /*cache_b=*/true, metric, ws, ws.eab_seed_hints[s],
-                       &ws.eab_seed_hints[s]);
-    }
+  // Chunk-granular streaming: one chunk of an out-of-core view is resident
+  // at a time (the in-RAM default is a single chunk, i.e. the historic
+  // whole-batch loop). Per-series work is independent, so chunking only
+  // reorders visits and rows stay bitwise identical.
+  data.ForEachChunk([&](size_t first, std::span<const SeriesView> chunk) {
+    ParallelItems(chunk.size(), [&](size_t k, DistanceWorkspace& ws) {
+      std::vector<double>& row = rows[first + k];
+      row.resize(shapelets.size());
+      // Seed each shapelet's best-so-far search from its winning alignment
+      // in the previous series this worker transformed: similar series tend
+      // to match a shapelet in similar places, so the early-abandon path
+      // starts near the true minimum. Purely a visit-order hint --
+      // out-of-range hints are ignored by the kernels and results are
+      // bitwise identical whatever the seeds are.
+      if (ws.eab_seed_hints.size() != shapelets.size()) {
+        ws.eab_seed_hints.assign(shapelets.size(), simd::kEabNoSeed);
+      }
+      const std::span<const double> series = chunk[k].view();
+      for (size_t s = 0; s < shapelets.size(); ++s) {
+        // Argument order matches TransformSeries: (series, shapelet).
+        row[s] = MinImpl(series, shapelets[s].view(), /*cache_a=*/true,
+                         /*cache_b=*/true, metric, ws, ws.eab_seed_hints[s],
+                         &ws.eab_seed_hints[s]);
+      }
+    });
   });
   return rows;
 }

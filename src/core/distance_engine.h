@@ -156,7 +156,7 @@ class DistanceEngine {
   /// (query must be no longer than the shortest series). Parallel over
   /// series.
   std::vector<std::vector<double>> ProfileAgainstDataset(
-      std::span<const double> query, const Dataset& data,
+      std::span<const double> query, const DatasetView& data,
       MetricId metric = MetricId::kRawSquaredEuclidean);
 
   /// out[i] == SubsequenceDistanceMetric(query, data[i].view(), metric).
@@ -164,7 +164,7 @@ class DistanceEngine {
   /// results are bitwise identical to them. Parallel over series; `data`'s
   /// artefacts are cached, the query's are not (it may be a temporary).
   std::vector<double> MinAgainstDataset(
-      std::span<const double> query, const Dataset& data,
+      std::span<const double> query, const DatasetView& data,
       MetricId metric = MetricId::kRawSquaredEuclidean);
 
   /// dist[t] == SubsequenceDistanceMetric(views[pairs[t].first],
@@ -189,10 +189,14 @@ class DistanceEngine {
 
   /// Whole-dataset shapelet transform: rows[i][s] is the distance of
   /// data[i] to shapelets[s] under `metric`, bitwise identical to the
-  /// serial TransformSeries loop. Parallel over series; rolling stats /
-  /// FFTs / z-normalised shapelets shared across the whole batch.
+  /// serial TransformSeries loop. Streams chunk-granularly (ForEachChunk)
+  /// and parallelises over the series of each chunk, so an out-of-core
+  /// view's resident set stays one chunk; for in-RAM data the default
+  /// single chunk makes this the historic whole-batch parallel loop.
+  /// Per-series work is independent, so chunking only reorders visits --
+  /// rows are bitwise identical for any chunking and thread count.
   std::vector<std::vector<double>> TransformBatch(
-      const Dataset& data, const std::vector<Subsequence>& shapelets,
+      const DatasetView& data, const std::vector<Subsequence>& shapelets,
       MetricId metric);
 
   /// One transform row for a (possibly temporary) series. Shapelet

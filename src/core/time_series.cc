@@ -6,64 +6,107 @@
 
 namespace ips {
 
+// ----------------------------------------------------------- ClassConcat
+
+ClassConcat::ClassConcat(const DatasetView& view, int label)
+    : view_(&view), label_(label) {
+  const size_t n = view.size();
+  for (size_t i = 0; i < n; ++i) {
+    const SeriesView s = view.At(i);
+    if (s.label != label) continue;
+    indices_.push_back(i);
+    length_ += s.length();
+  }
+}
+
+void ClassConcat::ForEachPiece(
+    const std::function<void(SeriesView)>& fn) const {
+  for (size_t i : indices_) fn(view_->At(i));
+}
+
+void ClassConcat::CopyTo(std::vector<double>* out) const {
+  out->clear();
+  out->reserve(length_);
+  for (size_t i : indices_) {
+    const SeriesView s = view_->At(i);
+    out->insert(out->end(), s.values.begin(), s.values.end());
+  }
+}
+
+// ----------------------------------------------------------- DatasetView
+
+void DatasetView::ForEachChunk(const ChunkFn& fn) const {
+  const size_t n = size();
+  if (n == 0) return;
+  std::vector<SeriesView> all;
+  all.reserve(n);
+  for (size_t i = 0; i < n; ++i) all.push_back(At(i));
+  fn(0, std::span<const SeriesView>(all));
+}
+
+int DatasetView::NumClasses() const {
+  int max_label = -1;
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    const int label = At(i).label;
+    if (label == kUnlabeledSeries) continue;  // skipped, not miscounted
+    IPS_CHECK_MSG(label >= 0, "series label below kUnlabeledSeries");
+    max_label = std::max(max_label, label);
+  }
+  return max_label + 1;
+}
+
+std::vector<size_t> DatasetView::IndicesOfClass(int label) const {
+  std::vector<size_t> out;
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    if (At(i).label == label) out.push_back(i);
+  }
+  return out;
+}
+
+ClassConcat DatasetView::ConcatenateClass(int label) const {
+  return ClassConcat(*this, label);
+}
+
+size_t DatasetView::MaxLength() const {
+  size_t n = 0;
+  const size_t count = size();
+  for (size_t i = 0; i < count; ++i) n = std::max(n, At(i).length());
+  return n;
+}
+
+size_t DatasetView::MinLength() const {
+  const size_t count = size();
+  if (count == 0) return 0;
+  size_t n = At(0).length();
+  for (size_t i = 0; i < count; ++i) n = std::min(n, At(i).length());
+  return n;
+}
+
+std::vector<int> DatasetView::Labels() const {
+  std::vector<int> out;
+  const size_t n = size();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(At(i).label);
+  return out;
+}
+
+Dataset DatasetView::Materialize() const {
+  Dataset out;
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) out.Add(At(i).Materialize());
+  return out;
+}
+
+// --------------------------------------------------------------- Dataset
+
 Dataset::Dataset(std::vector<TimeSeries> series) : series_(std::move(series)) {}
 
 void Dataset::Add(TimeSeries series) { series_.push_back(std::move(series)); }
 
-int Dataset::NumClasses() const {
-  int max_label = -1;
-  for (const auto& t : series_) max_label = std::max(max_label, t.label);
-  return max_label + 1;
-}
-
-std::vector<size_t> Dataset::IndicesOfClass(int label) const {
-  std::vector<size_t> out;
-  for (size_t i = 0; i < series_.size(); ++i) {
-    if (series_[i].label == label) out.push_back(i);
-  }
-  return out;
-}
-
-std::vector<TimeSeries> Dataset::SeriesOfClass(int label) const {
-  std::vector<TimeSeries> out;
-  for (const auto& t : series_) {
-    if (t.label == label) out.push_back(t);
-  }
-  return out;
-}
-
-TimeSeries Dataset::ConcatenateClass(int label) const {
-  TimeSeries out;
-  out.label = label;
-  for (const auto& t : series_) {
-    if (t.label != label) continue;
-    out.values.insert(out.values.end(), t.values.begin(), t.values.end());
-  }
-  return out;
-}
-
-size_t Dataset::MaxLength() const {
-  size_t n = 0;
-  for (const auto& t : series_) n = std::max(n, t.length());
-  return n;
-}
-
-size_t Dataset::MinLength() const {
-  if (series_.empty()) return 0;
-  size_t n = series_.front().length();
-  for (const auto& t : series_) n = std::min(n, t.length());
-  return n;
-}
-
-std::vector<int> Dataset::Labels() const {
-  std::vector<int> out;
-  out.reserve(series_.size());
-  for (const auto& t : series_) out.push_back(t.label);
-  return out;
-}
-
-Subsequence ExtractSubsequence(const TimeSeries& t, size_t start,
-                               size_t length, int series_index) {
+Subsequence ExtractSubsequence(SeriesView t, size_t start, size_t length,
+                               int series_index) {
   IPS_CHECK(start + length <= t.length());
   Subsequence s;
   s.values.assign(t.values.begin() + static_cast<ptrdiff_t>(start),

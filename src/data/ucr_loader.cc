@@ -17,7 +17,6 @@ namespace {
 bool ParseLine(const std::string& line, std::vector<double>& out) {
   out.clear();
   std::string token;
-  std::istringstream stream(line);
   std::string normalized = line;
   for (char& c : normalized) {
     if (c == '\t' || c == ',') c = ' ';
@@ -38,43 +37,60 @@ bool ParseLine(const std::string& line, std::vector<double>& out) {
 
 }  // namespace
 
-std::optional<Dataset> LoadUcrFile(const std::string& path) {
+bool ForEachUcrRow(const std::string& path, const UcrRowFn& fn) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return false;
 
-  // First pass collects (raw_label, values); labels remapped densely after.
-  std::vector<std::pair<double, std::vector<double>>> rows;
   std::string line;
   std::vector<double> fields;
+  bool any = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    if (!ParseLine(line, fields) || fields.size() < 2) return std::nullopt;
-    std::vector<double> values(fields.begin() + 1, fields.end());
-    // Trim trailing NaN padding (variable-length datasets).
-    while (!values.empty() && std::isnan(values.back())) values.pop_back();
-    if (values.empty()) return std::nullopt;
-    rows.emplace_back(fields.front(), std::move(values));
+    if (!ParseLine(line, fields) || fields.size() < 2) return false;
+    // Trim trailing NaN padding (variable-length datasets) in place; the
+    // callback sees [label | values...] of the reused buffer.
+    size_t end = fields.size();
+    while (end > 1 && std::isnan(fields[end - 1])) --end;
+    if (end < 2) return false;
+    any = true;
+    if (!fn(fields.front(),
+            std::span<const double>(fields.data() + 1, end - 1))) {
+      return true;
+    }
   }
-  if (rows.empty()) return std::nullopt;
+  return any;
+}
 
+std::optional<Dataset> LoadUcrFile(const std::string& path) {
+  // Pass 1: raw labels only, remapped densely in sorted order.
   std::map<double, int> label_map;
-  for (const auto& [raw, values] : rows) label_map.emplace(raw, 0);
+  if (!ForEachUcrRow(path, [&](double raw, std::span<const double>) {
+        label_map.emplace(raw, 0);
+        return true;
+      })) {
+    return std::nullopt;
+  }
   int next = 0;
   for (auto& [raw, dense] : label_map) dense = next++;
 
+  // Pass 2: build the dataset with final labels.
   Dataset out;
-  for (auto& [raw, values] : rows) {
-    out.Add(TimeSeries(std::move(values), label_map.at(raw)));
+  if (!ForEachUcrRow(path, [&](double raw, std::span<const double> values) {
+        out.Add(TimeSeries(std::vector<double>(values.begin(), values.end()),
+                           label_map.at(raw)));
+        return true;
+      })) {
+    return std::nullopt;
   }
   return out;
 }
 
-bool SaveUcrFile(const Dataset& data, const std::string& path) {
+bool SaveUcrFile(const DatasetView& data, const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
   out.precision(std::numeric_limits<double>::max_digits10);
   for (size_t i = 0; i < data.size(); ++i) {
-    const TimeSeries& t = data[i];
+    const SeriesView t = data.At(i);
     out << t.label;
     for (double v : t.values) out << '\t' << v;
     out << '\n';

@@ -62,7 +62,7 @@ std::vector<size_t> ResolveCandidateLengths(
   return lengths;
 }
 
-CandidatePool GenerateCandidates(const Dataset& train,
+CandidatePool GenerateCandidates(const DatasetView& train,
                                  const IpsOptions& options, Rng& rng) {
   IPS_CHECK(!train.empty());
   IPS_CHECK(options.sample_size >= 1);
@@ -77,7 +77,10 @@ CandidatePool GenerateCandidates(const Dataset& train,
   // count (Alg. 1 line 4's random sampling).
   struct Task {
     int label;
-    std::vector<TimeSeries> sample;
+    // Views into the training view's storage, not copies: for an
+    // out-of-core train set the samples address mapped chunks directly,
+    // which is what lets the engine's stats provider recognise them.
+    std::vector<SeriesView> sample;
     std::vector<size_t> dataset_index;  // provenance of each sample member
     std::vector<Subsequence> motifs;    // task-local outputs
     std::vector<Subsequence> discords;
@@ -95,7 +98,7 @@ CandidatePool GenerateCandidates(const Dataset& train,
       task.label = label;
       for (size_t p : picks) {
         task.dataset_index.push_back(class_indices[p]);
-        task.sample.push_back(train[class_indices[p]]);
+        task.sample.push_back(train.At(class_indices[p]));
       }
       tasks.push_back(std::move(task));
     }
@@ -124,15 +127,17 @@ CandidatePool GenerateCandidates(const Dataset& train,
       // knobs thread through from the run options (A/B parity runs and the
       // fingerprint CI matrix pin them off).
       MatrixProfileEngine engine(inner);
+      // Store-backed training views serve write-time sidecars through this,
+      // replacing the engine's stats pass with bitwise-identical fills.
+      engine.set_stats_provider(train.stats_provider());
       engine.set_use_artifact_table(options.enable_mp_artifact_table);
       engine.set_use_arena(options.enable_mp_arena);
       engine.set_tile_size(options.mp_tile_size);
       for (size_t window : lengths) {
         if (min_length < window) continue;
-        const InstanceProfile ip =
-            ComputeInstanceProfile(task.sample, window,
-                                   options.profile_neighbors, &engine,
-                                   options.metric);
+        const InstanceProfile ip = ComputeInstanceProfile(
+            std::span<const SeriesView>(task.sample), window,
+            options.profile_neighbors, &engine, options.metric);
 
         auto extract = [&](std::span<const size_t> entries,
                            std::vector<Subsequence>& dst) {

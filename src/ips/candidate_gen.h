@@ -55,7 +55,7 @@ std::vector<size_t> ResolveCandidateLengths(
 /// the obs registries: the profile stage opens an "instance_profile" span
 /// and the per-task engines publish the "mp.*" counters, both of which
 /// IpsRunStats::FromRegistry folds into the run's stats view.
-CandidatePool GenerateCandidates(const Dataset& train,
+CandidatePool GenerateCandidates(const DatasetView& train,
                                  const IpsOptions& options, Rng& rng);
 
 }  // namespace ips

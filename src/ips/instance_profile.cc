@@ -16,6 +16,15 @@ InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
                                        size_t window, size_t neighbors,
                                        MatrixProfileEngine* engine,
                                        MetricId metric) {
+  std::vector<SeriesView> views(sample.begin(), sample.end());
+  return ComputeInstanceProfile(std::span<const SeriesView>(views), window,
+                                neighbors, engine, metric);
+}
+
+InstanceProfile ComputeInstanceProfile(std::span<const SeriesView> sample,
+                                       size_t window, size_t neighbors,
+                                       MatrixProfileEngine* engine,
+                                       MetricId metric) {
   IPS_CHECK(!sample.empty());
   IPS_CHECK(window >= 2);
   IPS_CHECK(neighbors >= 1);
@@ -36,7 +45,7 @@ InstanceProfile ComputeInstanceProfile(std::span<const TimeSeries> sample,
   if (usable.size() == 1) {
     // Degenerate sample: self-join with exclusion zone (the MP extreme).
     const size_t m = usable.front();
-    const TimeSeries& t = sample[m];
+    const SeriesView t = sample[m];
     if (t.length() > window) {
       const MatrixProfile mp =
           eng.SelfJoin(t.view(), window, /*exclusion=*/0, metric);

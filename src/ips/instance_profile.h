@@ -57,6 +57,13 @@ struct InstanceProfile {
 /// `metric` selects the distance the joins annotate with (core/metric.h);
 /// the default keeps the matrix profile's z-normalised Euclidean.
 InstanceProfile ComputeInstanceProfile(
+    std::span<const SeriesView> sample, size_t window, size_t neighbors = 1,
+    MatrixProfileEngine* engine = nullptr,
+    MetricId metric = MetricId::kZNormEuclidean);
+
+/// Convenience overload for owned samples: each TimeSeries is viewed, not
+/// copied.
+InstanceProfile ComputeInstanceProfile(
     std::span<const TimeSeries> sample, size_t window, size_t neighbors = 1,
     MatrixProfileEngine* engine = nullptr,
     MetricId metric = MetricId::kZNormEuclidean);

@@ -47,7 +47,7 @@ PipelineMetrics& Metrics() {
 // Stages 1-5 with their spans and counters. Both public entry points wrap
 // this in an observation window (registry snapshots before, deltas after);
 // under IpsClassifier::Fit the "discover" span nests inside "fit".
-std::vector<Subsequence> RunDiscovery(const Dataset& train,
+std::vector<Subsequence> RunDiscovery(const DatasetView& train,
                                       const IpsOptions& options) {
   IPS_CHECK(!train.empty());
   IPS_SPAN("discover");
@@ -124,7 +124,8 @@ std::unique_ptr<Classifier> MakeBackend(const IpsOptions& options) {
 
 }  // namespace
 
-RunResult DiscoverShapelets(const Dataset& train, const IpsOptions& options) {
+RunResult DiscoverShapelets(const DatasetView& train,
+                            const IpsOptions& options) {
   const obs::MetricsSnapshot metrics_before =
       obs::MetricsRegistry::Instance().Snapshot();
   const obs::TraceSnapshot trace_before =
@@ -143,7 +144,7 @@ RunResult DiscoverShapelets(const Dataset& train, const IpsOptions& options) {
 IpsClassifier::IpsClassifier(IpsOptions options) : options_(options) {}
 IpsClassifier::~IpsClassifier() = default;
 
-void IpsClassifier::Fit(const Dataset& train) {
+void IpsClassifier::Fit(const DatasetView& train) {
   // Fresh engine per fit: pointer-keyed caches must not outlive the series
   // and shapelets they describe.
   engine_ = std::make_unique<DistanceEngine>(options_.num_threads);
@@ -187,7 +188,7 @@ void IpsClassifier::Fit(const Dataset& train) {
       result_.trace);
 }
 
-void IpsClassifier::FitFromRunResult(const Dataset& train,
+void IpsClassifier::FitFromRunResult(const DatasetView& train,
                                      const RunResult& artifact) {
   IPS_CHECK_MSG(!artifact.shapelets.empty(), "run artifact has no shapelets");
   IPS_CHECK(!train.empty());
@@ -228,7 +229,7 @@ void IpsClassifier::FitFromRunResult(const Dataset& train,
       result_.trace);
 }
 
-int IpsClassifier::Predict(const TimeSeries& series) const {
+int IpsClassifier::Predict(SeriesView series) const {
   IPS_CHECK(!result_.shapelets.empty());
   // The engine caches only shapelet-side artefacts here; the query series
   // is never cached, so a caller-owned temporary is safe.
@@ -237,7 +238,8 @@ int IpsClassifier::Predict(const TimeSeries& series) const {
                                            engine_.get()));
 }
 
-std::vector<int> IpsClassifier::PredictBatch(const Dataset& test) const {
+std::vector<int> IpsClassifier::PredictBatch(
+    const DatasetView& test) const {
   IPS_CHECK(!result_.shapelets.empty());
   // A call-local engine rather than the member engine_: the batch path
   // caches test-series artefacts too, and test sets are caller-owned

@@ -32,7 +32,8 @@ class DistanceEngine;
 /// Runs shapelet discovery (stages 1-5) on a training set and returns the
 /// shapelets together with the run's stats and span trace. Requires a
 /// non-empty training set whose shortest series has at least 4 points.
-RunResult DiscoverShapelets(const Dataset& train, const IpsOptions& options);
+RunResult DiscoverShapelets(const DatasetView& train,
+                            const IpsOptions& options);
 
 /// IPS as a drop-in time-series classifier: discovery + shapelet transform
 /// + a configurable back-end (linear SVM by default, per §III-D).
@@ -42,7 +43,7 @@ class IpsClassifier final : public SeriesClassifier {
   explicit IpsClassifier(IpsOptions options = {});
   ~IpsClassifier() override;
 
-  void Fit(const Dataset& train) override;
+  void Fit(const DatasetView& train) override;
 
   /// Rebuilds the classifier from a saved run artifact plus the training
   /// set it was discovered on: discovery is skipped entirely (the
@@ -51,16 +52,17 @@ class IpsClassifier final : public SeriesClassifier {
   /// configured back-end refit. Deterministic in (artifact, train,
   /// options); the serving layer's model-load path. Requires a non-empty
   /// artifact shapelet set and training set.
-  void FitFromRunResult(const Dataset& train, const RunResult& artifact);
+  void FitFromRunResult(const DatasetView& train,
+                        const RunResult& artifact);
 
-  int Predict(const TimeSeries& series) const override;
+  int Predict(SeriesView series) const override;
 
   /// Batched inference: one shapelet transform over the whole test set on
   /// `options.num_threads` workers (shapelet-side artefacts computed once,
   /// series sharded across the pool) instead of a per-series Predict loop.
   /// Labels are identical to the loop -- the transform rows are bitwise
   /// equal to TransformSeries -- just faster; Accuracy() uses this path.
-  std::vector<int> PredictBatch(const Dataset& test) const override;
+  std::vector<int> PredictBatch(const DatasetView& test) const override;
 
   /// The fit's full outcome (valid after Fit()): shapelets, the stats
   /// view, and the span trace covering discovery + transform + back-end.

@@ -28,7 +28,7 @@ double MeanOrZero(double sum, size_t count) {
 // independently, preserving the work profile of the deliberate Fig. 10(b)
 // baseline.
 std::map<int, std::vector<CandidateScore>> ScoreExact(
-    const CandidatePool& pool, const Dataset& train, bool reuse,
+    const CandidatePool& pool, const DatasetView& train, bool reuse,
     DistanceEngine& engine) {
   // Global candidate index: motifs first per class, then discords.
   struct Ref {
@@ -62,7 +62,9 @@ std::map<int, std::vector<CandidateScore>> ScoreExact(
   std::vector<std::span<const double>> views;
   views.reserve(n + train.size());
   for (const Ref& r : all) views.push_back(r.sub->view());
-  for (size_t t = 0; t < train.size(); ++t) views.push_back(train[t].view());
+  for (size_t t = 0; t < train.size(); ++t) {
+    views.push_back(train.At(t).view());
+  }
 
   // The serial scorer touches an ordered candidate pair (i, j) only when i
   // is a motif and j is either a same-class motif or any other-class
@@ -158,7 +160,7 @@ std::map<int, std::vector<CandidateScore>> ScoreExact(
 // integer gaps. Gaps are normalised by the bucket count so the sigmoid
 // stays responsive regardless of table size.
 std::map<int, std::vector<CandidateScore>> ScoreDtCr(
-    const CandidatePool& pool, const Dataset& train, const Dabf& dabf) {
+    const CandidatePool& pool, const DatasetView& train, const Dabf& dabf) {
   std::map<int, std::vector<CandidateScore>> scores;
 
   for (const auto& [label, motifs] : pool.motifs) {
@@ -193,7 +195,7 @@ std::map<int, std::vector<CandidateScore>> ScoreDtCr(
     std::vector<double> instances;
     for (size_t t : train.IndicesOfClass(label)) {
       instances.push_back(
-          static_cast<double>(filter->BucketCoordinate(train[t].view())));
+          static_cast<double>(filter->BucketCoordinate(train.At(t).view())));
     }
 
     for (size_t a = 0; a < motifs.size(); ++a) {
@@ -222,7 +224,7 @@ std::map<int, std::vector<CandidateScore>> ScoreDtCr(
 }  // namespace
 
 std::map<int, std::vector<CandidateScore>> ScoreAllCandidates(
-    const CandidatePool& pool, const Dataset& train, UtilityMode mode,
+    const CandidatePool& pool, const DatasetView& train, UtilityMode mode,
     const Dabf* dabf, DistanceEngine* engine, size_t num_threads) {
   DistanceEngine local(num_threads);
   DistanceEngine& eng = engine != nullptr ? *engine : local;

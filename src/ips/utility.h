@@ -66,7 +66,7 @@ struct CandidateScore {
 /// engine sharded over `num_threads`. Scores are bitwise identical to the
 /// serial per-pair loops for every engine/thread configuration.
 std::map<int, std::vector<CandidateScore>> ScoreAllCandidates(
-    const CandidatePool& pool, const Dataset& train, UtilityMode mode,
+    const CandidatePool& pool, const DatasetView& train, UtilityMode mode,
     const Dabf* dabf, DistanceEngine* engine = nullptr,
     size_t num_threads = 1);
 

@@ -145,7 +145,12 @@ const RollingStats* MatrixProfileEngine::CachedStats(std::span<const double> s,
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
   Metrics().cache_misses.Add(1);
-  RollingStats fresh = ComputeRollingStats(s, window);
+  // A provider fill (store sidecar) is bitwise identical to computing.
+  RollingStats fresh;
+  if (stats_provider_ == nullptr ||
+      !stats_provider_->FillRollingStats(s, window, &fresh)) {
+    fresh = ComputeRollingStats(s, window);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   return &stats_.try_emplace(key, std::move(fresh)).first->second;
 }
@@ -164,7 +169,11 @@ const std::vector<double>* MatrixProfileEngine::CachedEnergies(
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
   Metrics().cache_misses.Add(1);
-  std::vector<double> fresh = ComputeWindowEnergies(s, window);
+  std::vector<double> fresh;
+  if (stats_provider_ == nullptr ||
+      !stats_provider_->FillWindowEnergies(s, window, &fresh)) {
+    fresh = ComputeWindowEnergies(s, window);
+  }
   std::lock_guard<std::mutex> lock(energy_mu_);
   return &energies_.try_emplace(key, std::move(fresh)).first->second;
 }
@@ -355,10 +364,16 @@ std::shared_ptr<const ArtifactTable> MatrixProfileEngine::PrepareAllPairs(
   // function the Cached* accessors run, so entries are bitwise identical
   // to cache-served ones.
   ParallelFor(n, num_threads_, [&](size_t i) {
-    if (policy.needs_rolling_stats) {
+    if (policy.needs_rolling_stats &&
+        (stats_provider_ == nullptr ||
+         !stats_provider_->FillRollingStats(views[i], window,
+                                            &table->stats[i]))) {
       table->stats[i] = ComputeRollingStats(views[i], window);
     }
-    if (policy.needs_window_energy) {
+    if (policy.needs_window_energy &&
+        (stats_provider_ == nullptr ||
+         !stats_provider_->FillWindowEnergies(views[i], window,
+                                              &table->energies[i]))) {
       table->energies[i] = ComputeWindowEnergies(views[i], window);
     }
     if (n_sizes != 0) {

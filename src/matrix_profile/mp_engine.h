@@ -226,6 +226,19 @@ class MatrixProfileEngine {
   void set_tile_size(size_t b) { tile_size_ = b; }
   size_t tile_size() const { return tile_size_; }
 
+  /// Provider of precomputed per-series rolling statistics (core/znorm.h),
+  /// typically DatasetView::stats_provider() of a store-backed view. When
+  /// set, every stats/energy fill (Cached* accessors and the
+  /// PrepareAllPairs precompute pass) asks the provider first and only
+  /// computes on refusal. Providers are contractually bitwise identical to
+  /// ComputeRollingStats / ComputeWindowEnergies, so results never depend
+  /// on whether a fill was served or computed. Pass nullptr to unset. The
+  /// caller keeps the provider alive for the engine's lifetime.
+  void set_stats_provider(const SeriesStatsProvider* provider) {
+    stats_provider_ = provider;
+  }
+  const SeriesStatsProvider* stats_provider() const { return stats_provider_; }
+
   MpEngineCounters counters() const;
   void ResetCounters();
 
@@ -389,6 +402,7 @@ class MatrixProfileEngine {
 
   size_t num_threads_;
   size_t min_cells_per_chunk_ = size_t{1} << 16;
+  const SeriesStatsProvider* stats_provider_ = nullptr;
   bool use_artifact_table_ = true;
   bool use_arena_ = true;
   size_t tile_size_ = 0;  // 0 = auto, 1 = off, >= 2 explicit

@@ -7,6 +7,7 @@
 
 #include "data/ucr_loader.h"
 #include "ips/serialization.h"
+#include "store/columnar_store.h"
 
 namespace ips::serve {
 
@@ -35,9 +36,27 @@ std::shared_ptr<ServedModel> ModelRegistry::Build(const std::string& name,
     return fail("artifact \"" + source.artifact_path + "\" has no shapelets");
   }
 
-  std::optional<Dataset> train = LoadUcrFile(source.train_path);
-  if (!train) {
-    return fail("cannot load training split \"" + source.train_path + "\"");
+  // The training split backs the refit only for the duration of
+  // FitFromRunResult (the classifier copies what it keeps), so the store
+  // mapping / loaded Dataset can die with this frame.
+  std::unique_ptr<store::ColumnarStore> segment;
+  std::optional<Dataset> loaded;
+  const DatasetView* train = nullptr;
+  if (store::LooksLikeStoreSegment(source.train_path)) {
+    std::string store_error;
+    segment = store::ColumnarStore::Open(source.train_path, &store_error);
+    if (segment == nullptr) {
+      return fail("store segment \"" + source.train_path +
+                  "\": " + store_error);
+    }
+    train = segment.get();
+  } else {
+    loaded = LoadUcrFile(source.train_path);
+    if (!loaded) {
+      return fail("cannot load training split \"" + source.train_path +
+                  "\"");
+    }
+    train = &*loaded;
   }
   if (train->empty()) {
     return fail("training split \"" + source.train_path + "\" is empty");

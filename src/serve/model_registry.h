@@ -42,7 +42,11 @@
 namespace ips::serve {
 
 /// Where a model comes from: the saved run artifact plus the training
-/// split it was discovered on (UCR single-split format, data/ucr_loader.h).
+/// split it was discovered on. `train_path` may be either a UCR text file
+/// (data/ucr_loader.h) or an `ips-store v1` columnar segment
+/// (store/columnar_store.h) -- the registry sniffs the magic and opens the
+/// store out-of-core, so serving a model never materialises the training
+/// corpus in RAM.
 struct ModelSource {
   std::string artifact_path;
   std::string train_path;
@@ -67,7 +71,7 @@ class ServedModel {
   /// Batched classification; out[i] is the label of batch[i]. Bitwise
   /// identical to a serial per-series Predict loop (the PredictBatch
   /// contract), which is what makes admission-queue coalescing invisible.
-  std::vector<int> Classify(const Dataset& batch) const {
+  std::vector<int> Classify(const DatasetView& batch) const {
     return classifier_.PredictBatch(batch);
   }
 

@@ -1,0 +1,92 @@
+// On-disk layout of the `ips-store v1` columnar segment format.
+//
+// A segment is a single little-endian file holding a labelled time-series
+// dataset in fixed-budget chunks of contiguous doubles, plus per-series
+// statistics sidecars computed once at write time (docs/storage.md):
+//
+//   [Header: 64 bytes]
+//   [Chunk record 0] [Chunk record 1] ... (8-byte aligned, back to back)
+//   [Directory: num_chunks x 32-byte entries]
+//
+// Chunk record layout (every section 8-byte aligned):
+//   u64 values_doubles     total doubles in the chunk's value payload
+//   u64 sidecar_doubles    total doubles in the chunk's sidecar payload
+//   i32 labels[count]      (padded to 8 bytes)
+//   u64 lengths[count]
+//   u64 value_offset[count]    per-series start within values, in doubles
+//   u64 sidecar_offset[count]  per-series start within sidecar, in doubles
+//   f64 values[values_doubles]
+//   f64 sidecar[sidecar_doubles]
+//
+// Per-series sidecar (3*(n+1) + 1 doubles for a length-n series):
+//   [0]            gm    -- the series' grand mean (core/znorm.cc Mean)
+//   [1    .. n+1]  csum  -- prefix sums of the gm-centred values
+//   [n+2  .. 2n+2] csq   -- prefix sums of squared centred values
+//   [2n+3 .. 3n+3] esq   -- prefix sums of squared RAW values
+//
+// csum/csq/gm reproduce ComputeRollingStats' internal tables bitwise for
+// ANY window length (the tables are window-independent; only the O(1)
+// per-window step depends on w), and esq reproduces ComputeWindowEnergies'
+// table -- which is what lets a store-backed MatrixProfileEngine skip its
+// stats pass with bitwise-identical results.
+//
+// All integers and doubles are little-endian (doubles as IEEE-754 bit
+// patterns, the serve frame protocol's convention). The reader
+// (columnar_store.cc) is hostile-input hardened: every offset, count and
+// size is validated against the file size before any dereference or
+// allocation, in the spirit of tests/serialization_fuzz_test.cc.
+
+#ifndef IPS_STORE_STORE_FORMAT_H_
+#define IPS_STORE_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ips::store {
+
+/// "IPSSTOR1" read as a little-endian u64.
+inline constexpr uint64_t kStoreMagic = 0x31524F5453535049ULL;
+
+inline constexpr uint16_t kStoreMajor = 1;
+inline constexpr uint16_t kStoreMinor = 0;
+
+/// Fixed-size segment header at file offset 0.
+struct SegmentHeader {
+  uint64_t magic = kStoreMagic;
+  uint16_t major = kStoreMajor;
+  uint16_t minor = kStoreMinor;
+  uint32_t reserved0 = 0;
+  uint64_t num_series = 0;
+  uint64_t num_chunks = 0;
+  uint64_t directory_offset = 0;
+  uint64_t file_bytes = 0;          ///< total segment size, for validation
+  uint64_t chunk_target_bytes = 0;  ///< writer's value-payload budget
+  uint64_t reserved1 = 0;
+};
+static_assert(sizeof(SegmentHeader) == 64, "header layout is part of v1");
+
+/// One directory entry describing a chunk record.
+struct ChunkDirEntry {
+  uint64_t offset = 0;       ///< absolute file offset, 8-byte aligned
+  uint64_t bytes = 0;        ///< whole chunk record size
+  uint64_t first_series = 0; ///< dataset index of the chunk's first series
+  uint64_t num_series = 0;   ///< series in this chunk (>= 1)
+};
+static_assert(sizeof(ChunkDirEntry) == 32, "directory layout is part of v1");
+
+/// Doubles in the sidecar of a length-`n` series.
+inline constexpr uint64_t SidecarDoubles(uint64_t n) {
+  return 3 * (n + 1) + 1;
+}
+
+/// Bytes of the fixed per-chunk column block for `count` series: the two
+/// payload-size words plus labels (padded to 8), lengths and both offset
+/// columns.
+inline constexpr uint64_t ChunkColumnBytes(uint64_t count) {
+  const uint64_t labels = (count * 4 + 7) / 8 * 8;
+  return 16 + labels + 3 * 8 * count;
+}
+
+}  // namespace ips::store
+
+#endif  // IPS_STORE_STORE_FORMAT_H_

@@ -5,7 +5,7 @@
 
 namespace ips {
 
-std::vector<double> TransformSeries(const TimeSeries& series,
+std::vector<double> TransformSeries(SeriesView series,
                                     const std::vector<Subsequence>& shapelets,
                                     MetricId distance,
                                     DistanceEngine* engine) {
@@ -17,7 +17,7 @@ std::vector<double> TransformSeries(const TimeSeries& series,
   return local.TransformOne(series.view(), shapelets, distance);
 }
 
-TransformedData ShapeletTransform(const Dataset& data,
+TransformedData ShapeletTransform(const DatasetView& data,
                                   const std::vector<Subsequence>& shapelets,
                                   MetricId distance,
                                   size_t num_threads, DistanceEngine* engine) {
@@ -26,7 +26,7 @@ TransformedData ShapeletTransform(const Dataset& data,
   DistanceEngine& eng = engine != nullptr ? *engine : local;
   out.features = eng.TransformBatch(data, shapelets, distance);
   out.labels.resize(data.size());
-  for (size_t i = 0; i < data.size(); ++i) out.labels[i] = data[i].label;
+  for (size_t i = 0; i < data.size(); ++i) out.labels[i] = data.At(i).label;
   return out;
 }
 

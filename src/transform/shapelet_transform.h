@@ -43,15 +43,16 @@ struct TransformedData {
 /// thread count then governs); otherwise a call-local engine is used.
 /// Results are identical for every thread count and engine.
 TransformedData ShapeletTransform(
-    const Dataset& data, const std::vector<Subsequence>& shapelets,
+    const DatasetView& data, const std::vector<Subsequence>& shapelets,
     MetricId distance = MetricId::kZNormEuclidean, size_t num_threads = 1,
     DistanceEngine* engine = nullptr);
 
-/// Transforms a single series. Pass `engine` to amortise shapelet-side
-/// artefacts (z-normalisation, FFTs) across repeated calls; the series
-/// itself is never cached, so temporaries are safe.
+/// Transforms a single series (TimeSeries converts implicitly). Pass
+/// `engine` to amortise shapelet-side artefacts (z-normalisation, FFTs)
+/// across repeated calls; the series itself is never cached, so
+/// temporaries are safe.
 std::vector<double> TransformSeries(
-    const TimeSeries& series, const std::vector<Subsequence>& shapelets,
+    SeriesView series, const std::vector<Subsequence>& shapelets,
     MetricId distance = MetricId::kZNormEuclidean,
     DistanceEngine* engine = nullptr);
 

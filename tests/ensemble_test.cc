@@ -15,8 +15,8 @@ namespace {
 class ConstantClassifier final : public SeriesClassifier {
  public:
   explicit ConstantClassifier(int label) : label_(label) {}
-  void Fit(const Dataset&) override {}
-  int Predict(const TimeSeries&) const override { return label_; }
+  void Fit(const DatasetView&) override {}
+  int Predict(SeriesView) const override { return label_; }
 
  private:
   int label_;

@@ -29,6 +29,21 @@ TEST(DatasetTest, NumClasses) {
   EXPECT_EQ(Dataset().NumClasses(), 0);
 }
 
+TEST(DatasetTest, NumClassesSkipsUnlabeledSeries) {
+  // Regression: a kUnlabeledSeries (-1) member used to shift the class
+  // count. It must be skipped outright -- neither counted as a class nor
+  // allowed to perturb the max-label scan.
+  Dataset d;
+  d.Add(TimeSeries(std::vector<double>{1.0, 2.0}, kUnlabeledSeries));
+  EXPECT_EQ(d.NumClasses(), 0);
+  d.Add(TimeSeries(std::vector<double>{3.0, 4.0}, 0));
+  d.Add(TimeSeries(std::vector<double>{5.0, 6.0}, kUnlabeledSeries));
+  d.Add(TimeSeries(std::vector<double>{7.0, 8.0}, 2));
+  EXPECT_EQ(d.NumClasses(), 3);
+  // Unlabelled series are still addressable as a group by their sentinel.
+  EXPECT_EQ(d.IndicesOfClass(kUnlabeledSeries), (std::vector<size_t>{0, 2}));
+}
+
 TEST(DatasetTest, IndicesOfClass) {
   const Dataset d = MakeToyDataset();
   EXPECT_EQ(d.IndicesOfClass(0), (std::vector<size_t>{0, 2}));
@@ -36,20 +51,34 @@ TEST(DatasetTest, IndicesOfClass) {
   EXPECT_TRUE(d.IndicesOfClass(7).empty());
 }
 
-TEST(DatasetTest, SeriesOfClassCopies) {
+TEST(DatasetTest, ViewsOfClassWithoutCopying) {
   const Dataset d = MakeToyDataset();
-  const auto series = d.SeriesOfClass(0);
+  std::vector<SeriesView> series;
+  for (size_t i : d.IndicesOfClass(0)) series.push_back(d.At(i));
   ASSERT_EQ(series.size(), 2u);
   EXPECT_EQ(series[0].length(), 3u);
   EXPECT_EQ(series[1].length(), 4u);
+  // Views alias the owning Dataset -- no copy was made.
+  EXPECT_EQ(series[0].values.data(), d[0].values.data());
+  EXPECT_EQ(series[1].values.data(), d[2].values.data());
 }
 
 TEST(DatasetTest, ConcatenateClass) {
   const Dataset d = MakeToyDataset();
-  const TimeSeries t = d.ConcatenateClass(0);
-  EXPECT_EQ(t.label, 0);
-  EXPECT_EQ(t.values,
+  const ClassConcat t = d.ConcatenateClass(0);
+  EXPECT_EQ(t.label(), 0);
+  EXPECT_EQ(t.pieces(), 2u);
+  std::vector<double> values;
+  t.CopyTo(&values);
+  EXPECT_EQ(values,
             (std::vector<double>{1.0, 2.0, 3.0, 6.0, 7.0, 8.0, 9.0}));
+  // Streaming yields the same samples piecewise.
+  std::vector<double> streamed;
+  t.ForEachPiece([&](SeriesView piece) {
+    streamed.insert(streamed.end(), piece.values.begin(),
+                    piece.values.end());
+  });
+  EXPECT_EQ(streamed, values);
 }
 
 TEST(DatasetTest, ConcatenateMissingClassIsEmpty) {
